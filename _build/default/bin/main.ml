@@ -1,0 +1,429 @@
+(* lamp — command-line interface to the library.
+
+   Subcommands mirror the paper's workflows: evaluate queries, check
+   parallel-correctness and transfer, run the MPC algorithms with load
+   statistics, evaluate Datalog programs, and classify queries in the
+   monotonicity hierarchy. Run `lamp --help` or see README.md. *)
+
+open Lamp
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+
+let query_arg =
+  let doc = "The conjunctive query, e.g. 'H(x,z) <- R(x,y), S(y,z)'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let instance_arg =
+  let doc = "Inline instance, e.g. 'R(1,2). S(2,3)'." in
+  Arg.(value & opt (some string) None & info [ "instance"; "i" ] ~docv:"FACTS" ~doc)
+
+let instance_file_arg =
+  let doc = "File holding the instance (same textual format)." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "instance-file"; "f" ] ~docv:"FILE" ~doc)
+
+let load_instance inline file =
+  match inline, file with
+  | Some s, None -> Relational.Instance.of_string s
+  | None, Some path -> Relational.Instance.of_string (read_file path)
+  | Some _, Some _ ->
+    invalid_arg "give either --instance or --instance-file, not both"
+  | None, None -> invalid_arg "an instance is required (--instance or --instance-file)"
+
+let p_arg =
+  let doc = "Number of servers." in
+  Arg.(value & opt int 8 & info [ "p" ] ~docv:"P" ~doc)
+
+let seed_arg =
+  let doc = "Hash seed." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let wrap f =
+  try f (); 0
+  with
+  | Invalid_argument msg | Failure msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Cq.Parser.Parse_error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | Cq.Ast.Unsafe msg ->
+    Fmt.epr "unsafe query: %s@." msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* Policy specifications                                               *)
+
+(* hash:p=4:R=1,S=0          hash R's column 1 and S's column 0 over 4 nodes
+   hypercube:x=2,y=2,z=2     HyperCube grid for the given query
+   file:PATH                 explicit policy: lines "NODE: fact. fact."  *)
+let parse_policy ~query ~universe spec =
+  match String.split_on_char ':' spec with
+  | "hash" :: rest ->
+    let p = ref 4 and positions = ref [] in
+    List.iter
+      (fun part ->
+        String.split_on_char ',' part
+        |> List.iter (fun kv ->
+               match String.split_on_char '=' kv with
+               | [ "p"; n ] -> p := int_of_string n
+               | [ rel; pos ] -> positions := (rel, int_of_string pos) :: !positions
+               | _ -> invalid_arg ("bad hash policy component: " ^ kv)))
+      rest;
+    Distribution.Policy.hash_by_position ~universe ~name:spec ~p:!p
+      (List.rev !positions)
+  | [ "hypercube"; shares ] ->
+    let shares =
+      String.split_on_char ',' shares
+      |> List.map (fun kv ->
+             match String.split_on_char '=' kv with
+             | [ v; s ] -> (v, int_of_string s)
+             | _ -> invalid_arg ("bad share: " ^ kv))
+    in
+    let policy, _ =
+      Distribution.Policy.hypercube ~universe ~name:spec ~query ~shares ()
+    in
+    policy
+  | [ "file"; path ] ->
+    let assignments =
+      read_file path
+      |> String.split_on_char '\n'
+      |> List.filter_map (fun raw ->
+             let raw = String.trim raw in
+             if raw = "" || raw.[0] = '#' then None
+             else
+               match String.index_opt raw ':' with
+               | None -> invalid_arg ("bad policy line: " ^ raw)
+               | Some i ->
+                 let node = int_of_string (String.trim (String.sub raw 0 i)) in
+                 let facts =
+                   Relational.Instance.of_string
+                     (String.sub raw (i + 1) (String.length raw - i - 1))
+                 in
+                 Some (node, Relational.Instance.facts facts))
+    in
+    Distribution.Policy.explicit ~universe ~name:spec assignments
+  | _ ->
+    invalid_arg
+      (Fmt.str
+         "unknown policy spec %S (expected hash:..., hypercube:..., file:PATH)"
+         spec)
+
+let policy_arg =
+  let doc =
+    "Distribution policy: 'hash:p=4:R=1,S=0' (hash listed columns), \
+     'hypercube:x=2,y=2,z=2' (grid for the query), or 'file:PATH' (explicit \
+     'node: facts' lines)."
+  in
+  Arg.(required & opt (some string) None & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let universe_arg =
+  let doc = "Universe values (comma-separated); defaults to the instance's \
+             active domain, or {a,b} when no instance is given." in
+  Arg.(value & opt (some string) None & info [ "universe" ] ~docv:"VALUES" ~doc)
+
+let resolve_universe universe instance =
+  match universe with
+  | Some s ->
+    Relational.Value.set_of_list
+      (List.map Relational.Value.of_string (String.split_on_char ',' s))
+  | None -> (
+    match instance with
+    | Some i when not (Relational.Instance.is_empty i) -> Relational.Instance.adom i
+    | _ ->
+      Relational.Value.set_of_list
+        [ Relational.Value.str "a"; Relational.Value.str "b" ])
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+
+let eval_cmd =
+  let run query inline file =
+    wrap (fun () ->
+        let q = Cq.Parser.query query in
+        let i = load_instance inline file in
+        let result = Cq.Eval.eval q i in
+        Fmt.pr "%a@." Relational.Instance.pp result;
+        Fmt.pr "(%d facts)@." (Relational.Instance.cardinal result))
+  in
+  let doc = "Evaluate a conjunctive query (with !negation and != allowed)." in
+  Cmd.v (Cmd.info "eval" ~doc)
+    Term.(const run $ query_arg $ instance_arg $ instance_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pc                                                                  *)
+
+let pc_cmd =
+  let run query policy_spec universe inline file =
+    wrap (fun () ->
+        let q = Cq.Parser.query query in
+        let instance =
+          match inline, file with
+          | None, None -> None
+          | _ -> Some (load_instance inline file)
+        in
+        let universe = resolve_universe universe instance in
+        let policy = parse_policy ~query:q ~universe policy_spec in
+        (match instance with
+        | Some i -> (
+          match Correctness.Parallel_correctness.on_instance q policy i with
+          | Ok () -> Fmt.pr "parallel-correct on the given instance@."
+          | Error v ->
+            Fmt.pr "NOT parallel-correct on the instance:@.";
+            Fmt.pr "  missing: %a@." Relational.Instance.pp
+              v.Correctness.Parallel_correctness.missing;
+            Fmt.pr "  extra:   %a@." Relational.Instance.pp
+              v.Correctness.Parallel_correctness.extra)
+        | None -> ());
+        if Cq.Ast.has_negation q then begin
+          let verdict = Correctness.Negation.decide q policy in
+          (match verdict.Correctness.Negation.sound with
+          | Ok () -> Fmt.pr "parallel-sound under the policy@."
+          | Error i ->
+            Fmt.pr "NOT parallel-sound; counterexample: %a@."
+              Relational.Instance.pp i);
+          match verdict.Correctness.Negation.complete with
+          | Ok () -> Fmt.pr "parallel-complete under the policy@."
+          | Error i ->
+            Fmt.pr "NOT parallel-complete; counterexample: %a@."
+              Relational.Instance.pp i
+        end
+        else
+          match Correctness.Parallel_correctness.decide q policy with
+          | Ok () -> Fmt.pr "parallel-correct under the policy (all instances)@."
+          | Error v ->
+            Fmt.pr "NOT parallel-correct: %a@." Correctness.Saturation.pp_violation v)
+  in
+  let doc =
+    "Decide parallel-correctness of a query under a distribution policy \
+     (Proposition 4.6 / Theorem 4.9)."
+  in
+  Cmd.v (Cmd.info "pc" ~doc)
+    Term.(
+      const run $ query_arg $ policy_arg $ universe_arg $ instance_arg
+      $ instance_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* transfer                                                            *)
+
+let transfer_cmd =
+  let to_arg =
+    let doc = "The target query Q'." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY'" ~doc)
+  in
+  let run from_q to_q =
+    wrap (fun () ->
+        let q = Cq.Parser.query from_q and q' = Cq.Parser.query to_q in
+        match Correctness.Transfer.covers_result q q' with
+        | Ok () -> Fmt.pr "parallel-correctness transfers (Q covers Q')@."
+        | Error v ->
+          Fmt.pr "does NOT transfer: %a@." Correctness.Transfer.pp_violation v)
+  in
+  let doc =
+    "Decide whether parallel-correctness transfers from one query to another \
+     (Proposition 4.13)."
+  in
+  Cmd.v (Cmd.info "transfer" ~doc) Term.(const run $ query_arg $ to_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hypercube                                                           *)
+
+let hypercube_cmd =
+  let run query inline file p seed =
+    wrap (fun () ->
+        let q = Cq.Parser.query query in
+        let i = load_instance inline file in
+        let result, stats, shares = Mpc.Hypercube.run ~seed ~p q i in
+        Fmt.pr "shares: %a@."
+          Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
+          shares;
+        Fmt.pr "result: %a@." Relational.Instance.pp result;
+        Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
+        Fmt.pr "tau* = %.3f, load exponent eps = %.3f@."
+          (Cq.Hypergraph.tau_star q)
+          (Mpc.Stats.epsilon ~m:(Relational.Instance.cardinal i) stats))
+  in
+  let doc = "Run the one-round HyperCube algorithm and report loads." in
+  Cmd.v (Cmd.info "hypercube" ~doc)
+    Term.(const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gym                                                                 *)
+
+let gym_cmd =
+  let run query inline file p =
+    wrap (fun () ->
+        let q = Cq.Parser.query query in
+        let i = load_instance inline file in
+        let result, stats, width = Mpc.Gym_ghd.run ~p q i in
+        Fmt.pr "decomposition width: %d bag atoms@." width;
+        Fmt.pr "result: %a@." Relational.Instance.pp result;
+        Fmt.pr "stats:  %a@." Mpc.Stats.pp stats)
+  in
+  let doc =
+    "Run GYM (Yannakakis in MPC over a tree decomposition; handles cyclic \
+     queries)."
+  in
+  Cmd.v (Cmd.info "gym" ~doc)
+    Term.(const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_cmd =
+  let run query =
+    wrap (fun () ->
+        let q = Cq.Parser.query query in
+        Fmt.pr "query:        %a@." Cq.Ast.pp q;
+        Fmt.pr "full:         %b@." (Cq.Ast.is_full q);
+        Fmt.pr "self-join:    %b@." (Cq.Ast.has_self_join q);
+        if Cq.Ast.is_positive q then begin
+          Fmt.pr "acyclic:      %b@." (Cq.Hypergraph.is_acyclic q);
+          Fmt.pr "tau*:         %.3f (skew-free load m/p^%.3f)@."
+            (Cq.Hypergraph.tau_star q)
+            (1.0 /. Cq.Hypergraph.tau_star q);
+          Fmt.pr "rho*:         %.3f (AGM output bound m^rho*)@."
+            (Cq.Hypergraph.rho_star q);
+          let _, exps = Cq.Hypergraph.share_exponents q in
+          Fmt.pr "share exps:   %a@."
+            Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string float))
+            exps;
+          let d = Cq.Decomposition.min_fill q in
+          Fmt.pr "decomposition width: %d@." (Cq.Decomposition.width d);
+          let core = Cq.Containment.minimize q in
+          if not (Cq.Ast.equal core q) then
+            Fmt.pr "core (minimized): %a@." Cq.Ast.pp core
+        end)
+  in
+  let doc = "Structural analysis of a query: acyclicity, tau*, rho*, shares." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* datalog                                                             *)
+
+let datalog_cmd =
+  let program_arg =
+    let doc = "File with the Datalog program (one rule per line)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let output_arg =
+    let doc = "Output relation to print (default: all IDB relations)." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"REL" ~doc)
+  in
+  let wf_arg =
+    let doc = "Use the well-founded semantics (for non-stratifiable programs)." in
+    Arg.(value & flag & info [ "well-founded"; "wf" ] ~doc)
+  in
+  let run program_file output wf inline file =
+    wrap (fun () ->
+        let program = Datalog.Program.parse (read_file program_file) in
+        let i = load_instance inline file in
+        Fmt.pr "idb: %s;  edb: %s@."
+          (String.concat ", " (Datalog.Program.idb program))
+          (String.concat ", " (Datalog.Program.edb program));
+        Fmt.pr
+          "semi-positive: %b;  connected: %b;  semi-connected (stratified): \
+           %b;  stratifiable: %b@."
+          (Datalog.Program.is_semi_positive program)
+          (Datalog.Connectivity.program_connected program)
+          (Datalog.Connectivity.is_semi_connected program)
+          (Datalog.Stratify.is_stratifiable program);
+        if wf then begin
+          let result = Datalog.Wellfounded.well_founded program i in
+          let pick j =
+            match output with
+            | Some rel ->
+              Relational.Instance.filter (fun f -> Relational.Fact.rel f = rel) j
+            | None -> j
+          in
+          Fmt.pr "true:      %a@." Relational.Instance.pp
+            (pick
+               (Relational.Instance.diff
+                  result.Datalog.Wellfounded.true_facts i));
+          Fmt.pr "undefined: %a@." Relational.Instance.pp
+            (pick result.Datalog.Wellfounded.undefined)
+        end
+        else
+          let result =
+            match output with
+            | Some rel -> Datalog.Eval.query program ~output:rel i
+            | None ->
+              let idb = Datalog.Program.idb program in
+              Relational.Instance.filter
+                (fun f -> List.mem (Relational.Fact.rel f) idb)
+                (Datalog.Eval.run program i)
+          in
+          Fmt.pr "%a@." Relational.Instance.pp result)
+  in
+  let doc = "Evaluate a stratified (or well-founded) Datalog program." in
+  Cmd.v (Cmd.info "datalog" ~doc)
+    Term.(
+      const run $ program_arg $ output_arg $ wf_arg $ instance_arg
+      $ instance_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                            *)
+
+let classify_cmd =
+  let samples_arg =
+    let doc = "Number of random instance pairs to test against." in
+    Arg.(value & opt int 100 & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let run query samples =
+    wrap (fun () ->
+        let q = Cq.Parser.query query in
+        let schema = Cq.Ast.body_schema q in
+        let rng = Random.State.make [| 2016 |] in
+        let pairs =
+          Datalog.Classify.random_pairs ~rng ~schema ~count:samples ~size:6
+            ~domain:4
+        in
+        let cq = Datalog.Classify.of_cq q in
+        let verdict = Datalog.Classify.classify cq ~pairs in
+        Fmt.pr "empirical class (over %d random pairs): %s@." samples
+          (Datalog.Classify.class_name verdict);
+        match verdict.Datalog.Classify.monotone with
+        | Ok () -> ()
+        | Error r ->
+          Fmt.pr "monotonicity refuted by:@.  I = %a@.  J = %a@.  lost = %a@."
+            Relational.Instance.pp r.Datalog.Classify.base
+            Relational.Instance.pp r.Datalog.Classify.extension
+            Relational.Instance.pp r.Datalog.Classify.lost)
+  in
+  let doc =
+    "Place a query in the monotonicity hierarchy M / Mdistinct / Mdisjoint \
+     by randomized testing (Section 5.2)."
+  in
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ query_arg $ samples_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "logical aspects of massively parallel and distributed systems (PODS'16 \
+     reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "lamp" ~version:"1.0.0" ~doc)
+    [
+      eval_cmd;
+      pc_cmd;
+      transfer_cmd;
+      hypercube_cmd;
+      gym_cmd;
+      analyze_cmd;
+      datalog_cmd;
+      classify_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

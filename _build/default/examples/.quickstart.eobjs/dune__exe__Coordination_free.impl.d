@@ -1,0 +1,1 @@
+examples/coordination_free.ml: Cq Datalog Distribution Fmt Lamp Random Relational Transducer

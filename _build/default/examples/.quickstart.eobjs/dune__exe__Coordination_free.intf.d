@@ -1,0 +1,1 @@
+examples/coordination_free.mli:

@@ -1,0 +1,1 @@
+examples/datalog_reachability.ml: Cq Datalog Fmt Lamp List Random Relational

@@ -1,0 +1,1 @@
+examples/hypercube_triangles.ml: Cq Float Fmt Lamp Mpc Random Relational

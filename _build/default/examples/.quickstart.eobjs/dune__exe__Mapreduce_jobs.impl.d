@@ -1,0 +1,1 @@
+examples/mapreduce_jobs.ml: Algebra Array Fmt Lamp Mapreduce Mpc Ra Random Relation Relational To_mapreduce

@@ -1,0 +1,1 @@
+examples/parallel_correctness_demo.ml: Array Correctness Cq Distribution Fmt Lamp List Relational String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Correctness Cq Distribution Float Fmt Lamp Mpc Random Relational

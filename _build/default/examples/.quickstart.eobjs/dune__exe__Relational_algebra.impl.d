@@ -1,0 +1,1 @@
+examples/relational_algebra.ml: Algebra Fmt Lamp List Ra Relation Relational To_mapreduce

@@ -1,0 +1,1 @@
+examples/scale_independence.ml: Ast Cq Fmt Lamp List Parser Random Relational Scale

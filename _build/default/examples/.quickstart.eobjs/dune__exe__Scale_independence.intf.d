@@ -1,0 +1,1 @@
+examples/scale_independence.mli:

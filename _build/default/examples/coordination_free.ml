@@ -1,0 +1,116 @@
+(* Section 5 walkthrough: coordination-free computation on relational
+   transducer networks. Runs the paper's Example 5.1 programs (triangles
+   by naive broadcast, open triangles with and without coordination),
+   the policy-aware variant of Example 5.4, and the domain-guided ¬TC
+   program, reporting eventual consistency and coordination-freeness.
+
+     dune exec examples/coordination_free.exe *)
+
+open Lamp
+module T = Transducer
+
+let line fmt = Fmt.pr (fmt ^^ "@.")
+
+let graph =
+  Relational.Instance.of_string
+    "E(1,2). E(2,3). E(3,1). E(3,4). E(4,5). E(5,3). E(1,4)"
+
+let report name result =
+  match result with
+  | Ok () -> line "  %-50s OK" name
+  | Error f -> line "  %-50s FAILED: %a" name T.Calm.pp_failure f
+
+let () =
+  let p = 3 in
+  let triangles = Cq.Eval.eval Cq.Examples.triangles_distinct in
+  let open_triangles = Cq.Eval.eval Cq.Examples.open_triangle in
+  let distributions =
+    [
+      T.Horizontal.round_robin ~p graph;
+      T.Horizontal.full_replication ~p graph;
+      T.Horizontal.random_split ~rng:(Random.State.make [| 5 |]) ~p graph;
+    ]
+  in
+  line "Input graph: %a" Relational.Instance.pp graph;
+  line "";
+
+  line "Example 5.1(1): triangles by naive broadcast (monotone, F0)";
+  let tri_prog = T.Programs.monotone_broadcast ~name:"triangles" ~eval:triangles in
+  report "eventual consistency on 3 distributions x 5 schedules"
+    (T.Calm.consistent
+       ~make:(fun d -> T.Network.create tri_prog d)
+       ~expected:(triangles graph) distributions);
+  report "coordination-free (silent run on ideal distribution)"
+    (T.Calm.coordination_free
+       ~make:(fun d -> T.Network.create tri_prog d)
+       ~expected:(triangles graph)
+       (T.Horizontal.full_replication ~p graph));
+  line "";
+
+  line "Example 5.1(2): open triangles (non-monotone)";
+  let naive = T.Programs.monotone_broadcast ~name:"naive" ~eval:open_triangles in
+  report "naive broadcast (must fail: premature outputs)"
+    (T.Calm.consistent
+       ~make:(fun d -> T.Network.create naive d)
+       ~expected:(open_triangles graph)
+       [ T.Horizontal.round_robin ~p graph ]);
+  let coord = T.Programs.coordinated ~name:"coordinated" ~eval:open_triangles in
+  report "coordination protocol (correct everywhere)"
+    (T.Calm.consistent
+       ~make:(fun d -> T.Network.create coord d)
+       ~expected:(open_triangles graph) distributions);
+  report "coordination protocol coordination-free? (must fail)"
+    (T.Calm.coordination_free
+       ~make:(fun d -> T.Network.create coord d)
+       ~expected:(open_triangles graph)
+       (T.Horizontal.full_replication ~p graph));
+  line "";
+
+  line "Example 5.4: open triangles on a policy-aware network (F1)";
+  let policy =
+    Distribution.Policy.make
+      ~universe:(Relational.Instance.adom graph)
+      ~name:"hash-facts" ~nodes:(Distribution.Node.range p)
+      (fun n f -> Relational.Fact.hash f mod p = n)
+  in
+  let aware = T.Programs.open_triangle_policy_aware ~name:"aware" in
+  report "eventual consistency under the fact-hash policy"
+    (T.Calm.consistent
+       ~make:(fun d -> T.Network.create ~policy aware d)
+       ~expected:(open_triangles graph)
+       [ T.Horizontal.by_policy policy graph ]);
+  let ideal_policy =
+    Distribution.Policy.broadcast_all
+      ~universe:(Relational.Instance.adom graph)
+      ~name:"bc" ~p ()
+  in
+  report "coordination-free"
+    (T.Calm.coordination_free
+       ~make:(fun d -> T.Network.create ~policy:ideal_policy aware d)
+       ~expected:(open_triangles graph)
+       (T.Horizontal.full_replication ~p graph));
+  line "";
+
+  line "Theorem 5.12: complement of transitive closure (Mdisjoint, F2)";
+  let comp_tc i = Datalog.Eval.query Datalog.Canned.complement_tc ~output:"OUT" i in
+  let two_comp = Relational.Instance.of_string "E(a,b). E(b,c). E(x,y). E(y,x)" in
+  let assignment v =
+    Distribution.Node.Set.singleton (Relational.Value.hash v mod p)
+  in
+  let dg_policy =
+    Distribution.Policy.domain_guided
+      ~universe:(Relational.Instance.adom two_comp)
+      ~name:"dg" ~nodes:(Distribution.Node.range p) assignment
+  in
+  let dg = T.Programs.domain_guided_disjoint ~name:"¬TC" ~eval:comp_tc in
+  report "eventual consistency under a domain-guided policy"
+    (T.Calm.consistent
+       ~make:(fun d -> T.Network.create ~assignment dg d)
+       ~expected:(comp_tc two_comp)
+       [ T.Horizontal.by_policy dg_policy two_comp ]);
+  let everyone _ = Distribution.Node.Set.of_list (Distribution.Node.range p) in
+  report "coordination-free"
+    (T.Calm.coordination_free
+       ~make:(fun d -> T.Network.create ~assignment:everyone dg d)
+       ~expected:(comp_tc two_comp)
+       (T.Horizontal.full_replication ~p two_comp))

@@ -1,0 +1,81 @@
+(* Section 5.3 walkthrough: the Datalog programs of the paper —
+   transitive closure, its complement (semi-connected), the no-triangle
+   query (not semi-connected), and win-move under the well-founded
+   semantics — with their syntactic classification.
+
+     dune exec examples/datalog_reachability.exe *)
+
+open Lamp
+
+let line fmt = Fmt.pr (fmt ^^ "@.")
+
+let describe name program =
+  line "%s:" name;
+  line "%a" Datalog.Program.pp program;
+  let tag label holds = line "  %-18s %s" label (if holds then "yes" else "no") in
+  tag "positive" (Datalog.Program.is_positive program);
+  tag "semi-positive" (Datalog.Program.is_semi_positive program);
+  tag "stratifiable" (Datalog.Stratify.is_stratifiable program);
+  tag "connected" (Datalog.Connectivity.program_connected program);
+  tag "semi-connected" (Datalog.Connectivity.is_semi_connected program);
+  line ""
+
+let () =
+  let graph = Relational.Instance.of_string "E(a,b). E(b,c). E(d,d)" in
+  line "Input: %a" Relational.Instance.pp graph;
+  line "";
+
+  describe "Transitive closure" Datalog.Canned.transitive_closure;
+  line "  TC = %a" Relational.Instance.pp
+    (Datalog.Eval.query Datalog.Canned.transitive_closure ~output:"TC" graph);
+  line "";
+
+  describe "Complement of TC (Example 5.13)" Datalog.Canned.complement_tc;
+  line "  OUT = %a" Relational.Instance.pp
+    (Datalog.Eval.query Datalog.Canned.complement_tc ~output:"OUT" graph);
+  line "";
+
+  describe "No-triangle query QNT (Example 5.13)" Datalog.Canned.no_triangle;
+  let tri = Relational.Instance.of_string "E(a,b). E(b,c). E(c,a)" in
+  line "  QNT(%a) = %a" Relational.Instance.pp graph Relational.Instance.pp
+    (Datalog.Eval.query Datalog.Canned.no_triangle ~output:"OUT" graph);
+  line "  QNT(%a) = %a" Relational.Instance.pp tri Relational.Instance.pp
+    (Datalog.Eval.query Datalog.Canned.no_triangle ~output:"OUT" tri);
+  line "";
+
+  describe "Win-move (well-founded)" Datalog.Canned.win_move;
+  let game =
+    Relational.Instance.of_string "Move(a,b). Move(b,a). Move(b,c). Move(d,e)"
+  in
+  let wins, drawn = Datalog.Wellfounded.query Datalog.Canned.win_move ~output:"Win" game in
+  line "  game  = %a" Relational.Instance.pp game;
+  line "  wins  = %a" Relational.Instance.pp wins;
+  line "  drawn = %a" Relational.Instance.pp drawn;
+  line "";
+
+  (* Monotonicity classes, with the paper's witnesses. *)
+  line "Monotonicity classification (Examples 5.6 and 5.10 witnesses):";
+  let rng = Random.State.make [| 11 |] in
+  let pairs =
+    Datalog.Classify.random_pairs ~rng
+      ~schema:(Relational.Schema.of_list [ ("E", 2) ])
+      ~count:50 ~size:5 ~domain:4
+    @ [
+        ( Relational.Instance.of_string "E(1,2). E(2,3)",
+          Relational.Instance.of_string "E(3,1)" );
+        ( Relational.Instance.of_string "E(a,a). E(b,b)",
+          Relational.Instance.of_string "E(a,c). E(c,b)" );
+        ( Relational.Instance.of_string "E(a,a). E(b,b)",
+          Relational.Instance.of_string "E(c,d). E(d,e). E(e,c)" );
+      ]
+  in
+  List.iter
+    (fun q ->
+      line "  %-16s -> %s" q.Datalog.Classify.name
+        (Datalog.Classify.class_name (Datalog.Classify.classify q ~pairs)))
+    [
+      Datalog.Classify.of_cq ~name:"triangles" Cq.Examples.triangles_distinct;
+      Datalog.Classify.of_cq ~name:"open triangle" Cq.Examples.open_triangle;
+      Datalog.Classify.of_program ~name:"¬TC" ~output:"OUT" Datalog.Canned.complement_tc;
+      Datalog.Classify.of_program ~name:"QNT" ~output:"OUT" Datalog.Canned.no_triangle;
+    ]

@@ -1,0 +1,126 @@
+(* Section 4 walkthrough: Example 4.1 (parallel-correctness under two
+   policies), Example 4.3 (PC0 vs PC1), and the Figure 1 lattices of
+   parallel-correctness transfer vs containment.
+
+     dune exec examples/parallel_correctness_demo.exe *)
+
+open Lamp
+
+let line fmt = Fmt.pr (fmt ^^ "@.")
+
+let () =
+  (* Example 4.1. *)
+  let qe = Cq.Examples.qe_example_4_1 in
+  let ie =
+    Relational.Instance.of_string "R(a,b). R(b,a). R(b,c). S(a,a). S(c,a)"
+  in
+  line "Example 4.1:  Qe = %a" Cq.Ast.pp qe;
+  line "  Ie = %a" Relational.Instance.pp ie;
+  line "  Qe(Ie) = %a" Relational.Instance.pp (Cq.Eval.eval qe ie);
+  let universe = Relational.Instance.adom ie in
+  let p1 =
+    Distribution.Policy.make ~universe ~name:"P1" ~nodes:[ 0; 1 ]
+      (fun node f ->
+        match Relational.Fact.rel f with
+        | "R" -> true
+        | "S" ->
+          let args = Relational.Fact.args f in
+          if Relational.Value.equal args.(0) args.(1) then node = 0 else node = 1
+        | _ -> false)
+  in
+  let p2 =
+    Distribution.Policy.make ~universe ~name:"P2" ~nodes:[ 0; 1 ]
+      (fun node f ->
+        match Relational.Fact.rel f with
+        | "R" -> node = 0
+        | "S" -> node = 1
+        | _ -> false)
+  in
+  List.iter
+    (fun (name, p) ->
+      line "  [Qe,%s](Ie) = %a" name Relational.Instance.pp
+        (Distribution.Distributed.eval qe p ie);
+      match Correctness.Parallel_correctness.decide qe p with
+      | Ok () -> line "  %s is parallel-correct for Qe" name
+      | Error v ->
+        line "  %s is NOT parallel-correct: %a" name
+          Correctness.Saturation.pp_violation v)
+    [ ("P1", p1); ("P2", p2) ];
+
+  (* Example 4.3: strong saturation fails, saturation holds. *)
+  line "";
+  let q43 = Cq.Examples.q_example_4_3 in
+  line "Example 4.3:  Q = %a" Cq.Ast.pp q43;
+  let a = Relational.Value.str "a" and b = Relational.Value.str "b" in
+  let p43 =
+    Distribution.Policy.make
+      ~universe:(Relational.Value.set_of_list [ a; b ])
+      ~name:"P" ~nodes:[ 0; 1 ]
+      (fun node f ->
+        match node with
+        | 0 -> not (Relational.Fact.equal f (Relational.Fact.of_list "R" [ a; b ]))
+        | _ -> not (Relational.Fact.equal f (Relational.Fact.of_list "R" [ b; a ])))
+  in
+  (match Correctness.Saturation.strongly_saturates p43 q43 with
+  | Ok () -> line "  P strongly saturates Q (unexpected!)"
+  | Error v ->
+    line "  (PC0) fails: %a" Correctness.Saturation.pp_violation v);
+  (match Correctness.Saturation.saturates p43 q43 with
+  | Ok () ->
+    line "  (PC1) holds: every minimal valuation meets; Q is parallel-correct."
+  | Error _ -> line "  (PC1) fails (unexpected!)");
+
+  (* Figure 1. *)
+  line "";
+  line "Figure 1: transfer (left) and containment (right) over";
+  let queries =
+    [
+      ("Q1", Cq.Examples.q1_example_4_11);
+      ("Q2", Cq.Examples.q2_example_4_11);
+      ("Q3", Cq.Examples.q3_example_4_11);
+      ("Q4", Cq.Examples.q4_example_4_11);
+    ]
+  in
+  List.iter (fun (n, q) -> line "  %s: %a" n Cq.Ast.pp q) queries;
+  line "";
+  let names = List.map fst queries in
+  let qs = List.map snd queries in
+  let transfer = Correctness.Transfer.transfer_matrix qs in
+  let containment =
+    List.map (fun q -> List.map (fun q' -> Cq.Containment.contained q q') qs) qs
+  in
+  let print_matrix title matrix rel =
+    line "  %s" title;
+    line "        %s" (String.concat "    " names);
+    List.iteri
+      (fun i row ->
+        let cells =
+          List.map (fun b -> if b then " yes " else "  -  ") row
+        in
+        line "  %s  %s" (List.nth names i) (String.concat "" cells))
+      matrix;
+    line "  (row %s column)" rel
+  in
+  print_matrix "Parallel-correctness transfer:" transfer "pc-transfers-to";
+  line "";
+  print_matrix "Containment:" containment "is-contained-in";
+
+  (* The Section 4.2 motivation: a multi-query workload can skip
+     reshuffles when transfer holds. *)
+  line "";
+  line "Workload planning (evaluate in order, reuse distributions):";
+  let plan = Correctness.Transfer.plan_workload qs in
+  List.iter
+    (fun step ->
+      let name i = List.nth names i in
+      match step.Correctness.Transfer.reuse_of with
+      | Some j ->
+        line "  %s: reuse the distribution installed for %s"
+          (name step.Correctness.Transfer.query_index)
+          (name j)
+      | None ->
+        line "  %s: fresh reshuffle" (name step.Correctness.Transfer.query_index))
+    plan;
+  line "  total reshuffles: %d of %d queries"
+    (Correctness.Transfer.reshuffles plan)
+    (List.length qs)

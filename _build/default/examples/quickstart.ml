@@ -1,0 +1,62 @@
+(* Quickstart: parse a conjunctive query, evaluate it, check
+   parallel-correctness of a distribution policy, and run the query
+   through the one-round HyperCube algorithm.
+
+     dune exec examples/quickstart.exe *)
+
+open Lamp
+
+let () =
+  (* 1. Parse a query and an instance, and evaluate. *)
+  let q = Cq.Parser.query "H(x,z) <- R(x,y), S(y,z)" in
+  let i = Relational.Instance.of_string "R(1,2). R(7,8). S(2,3). S(2,4)" in
+  let answer = Cq.Eval.eval q i in
+  Fmt.pr "Q = %a@.Q(I) = %a@.@." Cq.Ast.pp q Relational.Instance.pp answer;
+
+  (* 2. A distribution policy: hash R on its second column and S on its
+     first, so joining tuples meet (the repartition join of Example
+     3.1(1a)). *)
+  let policy =
+    Distribution.Policy.hash_by_position
+      ~universe:(Relational.Instance.adom i)
+      ~name:"repartition" ~p:4
+      [ ("R", 1); ("S", 0) ]
+  in
+  (match Correctness.Parallel_correctness.decide q policy with
+  | Ok () -> Fmt.pr "The repartition policy is parallel-correct for Q.@."
+  | Error v ->
+    Fmt.pr "Not parallel-correct: %a@." Correctness.Saturation.pp_violation v);
+
+  (* ... whereas separating R from S entirely is not: *)
+  let bad =
+    Distribution.Policy.make
+      ~universe:(Relational.Instance.adom i)
+      ~name:"split" ~nodes:[ 0; 1 ]
+      (fun node f ->
+        match Relational.Fact.rel f with
+        | "R" -> node = 0
+        | "S" -> node = 1
+        | _ -> false)
+  in
+  (match Correctness.Parallel_correctness.decide q bad with
+  | Ok () -> Fmt.pr "Unexpectedly parallel-correct?@."
+  | Error v ->
+    Fmt.pr "Splitting R from S is not parallel-correct:@.  %a@."
+      Correctness.Saturation.pp_violation v);
+
+  (* 3. The triangle query through HyperCube on 8 simulated servers. *)
+  let triangle = Cq.Examples.q2_triangle in
+  let rng = Random.State.make [| 1 |] in
+  let workload = Mpc.Workload.triangle_skew_free ~rng ~m:2000 ~domain:500 in
+  let result, stats, shares = Mpc.Hypercube.run ~p:8 triangle workload in
+  Fmt.pr "@.HyperCube on %d facts, p = 8:@." (Relational.Instance.cardinal workload);
+  Fmt.pr "  shares      = %a@."
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
+    shares;
+  Fmt.pr "  triangles   = %d@." (Relational.Instance.cardinal result);
+  Fmt.pr "  max load    = %d (m/p^(2/3) would be %.0f)@."
+    (Mpc.Stats.max_load stats)
+    (float_of_int (Relational.Instance.cardinal workload)
+    /. Float.pow 8.0 (2.0 /. 3.0));
+  Fmt.pr "  tau* of the triangle query = %.2f@."
+    (Cq.Hypergraph.tau_star triangle)

@@ -1,0 +1,1 @@
+lib/correctness/negation.ml: Array Ast Distributed Eval Fact Fmt Instance Lamp_cq Lamp_distribution Lamp_relational List Policy Result Schema Value

@@ -1,0 +1,1 @@
+lib/correctness/negation.mli: Ast Instance Lamp_cq Lamp_distribution Lamp_relational Policy

@@ -1,0 +1,1 @@
+lib/correctness/parallel_correctness.ml: Array Ast Distributed Eval Fact Fmt Instance Lamp_cq Lamp_distribution Lamp_relational List Policy Saturation Schema Set Valuation Value

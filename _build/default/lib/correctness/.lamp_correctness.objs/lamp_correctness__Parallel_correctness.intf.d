@@ -1,0 +1,1 @@
+lib/correctness/parallel_correctness.mli: Ast Fact Instance Lamp_cq Lamp_distribution Lamp_relational Policy Saturation Value

@@ -1,0 +1,1 @@
+lib/correctness/saturation.ml: Ast Fact Fmt Instance Lamp_cq Lamp_distribution Lamp_relational List Minimal Policy Valuation Value

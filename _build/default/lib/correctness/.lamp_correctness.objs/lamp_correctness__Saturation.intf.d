@@ -1,0 +1,1 @@
+lib/correctness/saturation.mli: Ast Fact Fmt Instance Lamp_cq Lamp_distribution Lamp_relational Policy

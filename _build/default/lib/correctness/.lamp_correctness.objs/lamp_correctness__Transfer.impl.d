@@ -1,0 +1,1 @@
+lib/correctness/transfer.ml: Array Ast Eval Fact Fmt Instance Lamp_cq Lamp_relational List Minimal Parallel_correctness Valuation Value

@@ -1,0 +1,1 @@
+lib/correctness/transfer.mli: Fact Fmt Instance Lamp_cq Lamp_relational

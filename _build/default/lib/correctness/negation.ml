@@ -1,0 +1,77 @@
+open Lamp_relational
+open Lamp_cq
+open Lamp_distribution
+
+type verdict = {
+  sound : (unit, Instance.t) result;
+  complete : (unit, Instance.t) result;
+}
+
+let is_correct v = Result.is_ok v.sound && Result.is_ok v.complete
+
+let fact_space q policy =
+  let universe =
+    match Policy.universe policy with
+    | Some u -> Value.Set.elements u
+    | None -> invalid_arg "Negation: policy without a finite universe"
+  in
+  let schema = Ast.body_schema q in
+  let rec tuples arity =
+    if arity = 0 then [ [] ]
+    else
+      let rest = tuples (arity - 1) in
+      List.concat_map (fun v -> List.map (fun t -> v :: t) rest) universe
+  in
+  List.concat_map
+    (fun (rel, arity) -> List.map (Fact.of_list rel) (tuples arity))
+    (Schema.to_list schema)
+
+(* Exhaustive search over all instances over the policy universe. The
+   general problem is coNEXPTIME-complete (Theorem 4.9): counterexamples
+   of size exponential in the schema arity may be required, which is
+   exactly what this enumeration explores — hence the explicit cap. *)
+let decide_generic ~max_facts ~fact_space ~expected ~actual =
+  let facts = Array.of_list fact_space in
+  let n = Array.length facts in
+  if n > max_facts then
+    invalid_arg
+      (Fmt.str "Negation.decide: %d candidate facts exceed max_facts = %d" n
+         max_facts);
+  let sound = ref (Ok ()) and complete = ref (Ok ()) in
+  (try
+     for mask = 0 to (1 lsl n) - 1 do
+       let i =
+         let rec go k acc =
+           if k >= n then acc
+           else if mask land (1 lsl k) <> 0 then go (k + 1) (Instance.add facts.(k) acc)
+           else go (k + 1) acc
+         in
+         go 0 Instance.empty
+       in
+       let want = expected i in
+       let got = actual i in
+       if Result.is_ok !sound && not (Instance.subset got want) then
+         sound := Error i;
+       if Result.is_ok !complete && not (Instance.subset want got) then
+         complete := Error i;
+       if Result.is_error !sound && Result.is_error !complete then raise Exit
+     done
+   with Exit -> ());
+  { sound = !sound; complete = !complete }
+
+let decide ?(max_facts = 16) q policy =
+  decide_generic ~max_facts ~fact_space:(fact_space q policy)
+    ~expected:(Eval.eval q)
+    ~actual:(fun i -> Distributed.eval q policy i)
+
+(* UCQ¬ (Theorem 4.9 covers unions as well): the union's result on each
+   side of the comparison. *)
+let ucq_decide ?(max_facts = 16) qs policy =
+  if qs = [] then invalid_arg "Negation.ucq_decide: empty union";
+  let space =
+    List.sort_uniq Fact.compare
+      (List.concat_map (fun q -> fact_space q policy) qs)
+  in
+  decide_generic ~max_facts ~fact_space:space
+    ~expected:(fun i -> Eval.eval_ucq qs i)
+    ~actual:(fun i -> Distributed.eval_ucq qs policy i)

@@ -1,0 +1,35 @@
+(** Parallel-correctness for conjunctive queries with negation
+    (Theorem 4.9 / [33]).
+
+    CQ¬ is not monotone, so correctness splits into {e
+    parallel-soundness} ([⟦Q,P⟧(I) ⊆ Q(I)]: no node derives a fact the
+    global instance refutes) and {e parallel-completeness}
+    ([Q(I) ⊆ ⟦Q,P⟧(I)]). Both are decided by exhaustive search over the
+    instances above the policy's universe, matching the problem's
+    coNEXPTIME-complete nature — the cap on the explored fact space is
+    explicit. *)
+
+open Lamp_relational
+open Lamp_cq
+open Lamp_distribution
+
+type verdict = {
+  sound : (unit, Instance.t) result;
+      (** [Error i]: instance on which a node derives a wrong fact. *)
+  complete : (unit, Instance.t) result;
+      (** [Error i]: instance on which a result fact is lost. *)
+}
+
+val is_correct : verdict -> bool
+
+val decide : ?max_facts:int -> Ast.t -> Policy.t -> verdict
+(** Decides parallel-soundness and -completeness of a CQ¬ (or any CQ)
+    under the policy by enumerating all instances over the policy's
+    universe and the query's body schema.
+    @raise Invalid_argument when the policy lacks a finite universe or
+    the fact space exceeds [max_facts] (default 16). *)
+
+val ucq_decide : ?max_facts:int -> Ast.t list -> Policy.t -> verdict
+(** The same decision for a union of queries (UCQ¬), comparing the
+    union's global and one-round-distributed results.
+    @raise Invalid_argument as {!decide}, or on an empty union. *)

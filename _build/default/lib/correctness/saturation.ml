@@ -1,0 +1,54 @@
+open Lamp_relational
+open Lamp_cq
+open Lamp_distribution
+
+type violation = {
+  head : Fact.t;
+  required : Instance.t;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "valuation deriving %a from %a meets at no node" Fact.pp v.head
+    Instance.pp v.required
+
+let universe_exn policy =
+  match Policy.universe policy with
+  | Some u -> Value.Set.elements u
+  | None ->
+    invalid_arg
+      "Saturation: the policy must carry a finite universe (use \
+       Policy.with_universe)"
+
+let meets policy required =
+  List.exists
+    (fun node ->
+      Instance.subset required (Policy.loc_inst policy required node))
+    (Policy.nodes policy)
+
+(* PC0: every valuation over the universe meets at some node. *)
+let strongly_saturates policy q =
+  let universe = universe_exn policy in
+  let result = ref (Ok ()) in
+  (try
+     Valuation.enumerate ~vars:(Ast.vars q) ~universe (fun v ->
+         if Valuation.satisfies_diseq v q then begin
+           let required = Valuation.body_facts v q in
+           if not (meets policy required) then begin
+             result := Error { head = Valuation.head_fact v q; required };
+             raise Exit
+           end
+         end)
+   with Exit -> ());
+  !result
+
+(* PC1: every *minimal* valuation over the universe meets at some node
+   (Proposition 4.6). *)
+let saturates policy q =
+  let universe = universe_exn policy in
+  let images = Minimal.minimal_images q ~universe in
+  let rec go = function
+    | [] -> Ok ()
+    | (head, required) :: rest ->
+      if meets policy required then go rest else Error { head; required }
+  in
+  go images

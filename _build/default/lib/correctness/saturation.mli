@@ -1,0 +1,33 @@
+(** Saturation of queries by distribution policies (Definition 4.7).
+
+    A policy [P] {e strongly saturates} a query [Q] when every valuation
+    over the policy's universe finds its required facts together on some
+    node (Condition PC0) and {e saturates} [Q] when every {e minimal}
+    valuation does (Condition PC1). PC1 characterizes
+    parallel-correctness for CQs (Proposition 4.6); PC0 is sufficient but
+    not necessary (Example 4.3).
+
+    Both checks realize the paper's Πᵖ₂ decision procedures for policies
+    with a finite universe and therefore run in time exponential in the
+    number of query variables. Queries may carry inequalities; CQ¬ is
+    handled in [Negation]. *)
+
+open Lamp_relational
+open Lamp_cq
+open Lamp_distribution
+
+type violation = {
+  head : Fact.t;  (** The fact the uncovered valuation derives. *)
+  required : Instance.t;  (** Its required facts, meeting at no node. *)
+}
+
+val pp_violation : violation Fmt.t
+
+val strongly_saturates : Policy.t -> Ast.t -> (unit, violation) result
+(** Condition (PC0).
+    @raise Invalid_argument when the policy lacks a finite universe. *)
+
+val saturates : Policy.t -> Ast.t -> (unit, violation) result
+(** Condition (PC1).
+    @raise Invalid_argument when the policy lacks a finite universe, or
+    on CQ¬ (minimal valuations are a CQ notion). *)

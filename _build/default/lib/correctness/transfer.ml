@@ -1,0 +1,185 @@
+open Lamp_relational
+open Lamp_cq
+
+type violation = {
+  head : Fact.t;
+  required : Instance.t;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf
+    "minimal valuation of the target deriving %a from %a is covered by no \
+     minimal valuation of the source"
+    Fact.pp v.head Instance.pp v.required
+
+(* Fresh values for canonical universes; the prefix cannot clash with
+   parser-produced constants. *)
+let fresh_values n = List.init n (fun i -> Value.str (Fmt.str "\002f%d" i))
+
+let check_cq what q =
+  if Ast.has_negation q then
+    invalid_arg
+      (Fmt.str "Transfer.%s: defined for CQs (with inequalities), not CQ¬" what)
+
+(* covers (Definition 4.12): for every minimal valuation V' for [target]
+   there is a minimal valuation V for [source] with
+   V'(body_target) ⊆ V(body_source).
+
+   Both quantifiers range over all of dom, but the property is invariant
+   under injective renamings fixing the constants of both queries, so it
+   suffices to let V' range over the constants plus |vars target| fresh
+   values, and V over adom(V'(body)) plus the constants plus
+   |vars source| more fresh values. This realizes the Πᵖ₃ procedure of
+   Theorem 4.14. *)
+let covers_result source target =
+  check_cq "covers" source;
+  check_cq "covers" target;
+  let constants =
+    Value.Set.union (Ast.constants source) (Ast.constants target)
+  in
+  let target_universe =
+    Value.Set.elements constants
+    @ fresh_values (List.length (Ast.vars target))
+  in
+  let extra =
+    (* Values beyond the target image that V may use, disjoint from
+       target_universe by construction of fresh_values counts. *)
+    List.init
+      (List.length (Ast.vars source))
+      (fun i ->
+        Value.str (Fmt.str "\002g%d" i))
+  in
+  let target_images = Minimal.minimal_images target ~universe:target_universe in
+  let covered (_, required') =
+    let source_universe =
+      Value.Set.elements
+        (Value.Set.union (Instance.adom required') constants)
+      @ extra
+    in
+    let exception Found in
+    try
+      Valuation.enumerate ~vars:(Ast.vars source) ~universe:source_universe
+        (fun v ->
+          if
+            Valuation.satisfies_diseq v source
+            && Instance.subset required' (Valuation.body_facts v source)
+            && Minimal.is_minimal source v
+          then raise Found);
+      false
+    with Found -> true
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | ((head, required) as img) :: rest ->
+      if covered img then go rest else Error { head; required }
+  in
+  go target_images
+
+let covers source target =
+  match covers_result source target with Ok () -> true | Error _ -> false
+
+let transfers source target = covers source target
+
+let transfer_matrix queries =
+  List.map
+    (fun source -> List.map (fun target -> transfers source target) queries)
+    queries
+
+(* Transfer for unions of CQs ([15]): the same characterization with the
+   union-aware notion of minimality — a valuation of a disjunct is
+   minimal when no valuation of any disjunct derives the same head fact
+   from strictly fewer facts. *)
+let ucq_covers_result sources targets =
+  List.iter (check_cq "ucq_covers") sources;
+  List.iter (check_cq "ucq_covers") targets;
+  let constants =
+    List.fold_left
+      (fun acc q -> Value.Set.union acc (Ast.constants q))
+      Value.Set.empty (sources @ targets)
+  in
+  let max_target_vars =
+    List.fold_left (fun acc q -> max acc (List.length (Ast.vars q))) 0 targets
+  in
+  let target_universe =
+    Value.Set.elements constants @ fresh_values max_target_vars
+  in
+  let target_images =
+    Parallel_correctness.ucq_minimal_images targets ~universe:target_universe
+  in
+  (* Union-aware minimality of a candidate source valuation: no disjunct
+     derives the same head from strictly fewer of its required facts. *)
+  let source_minimal head required =
+    not
+      (List.exists
+         (fun q ->
+           Eval.fold_valuations q required
+             (fun v acc ->
+               acc
+               || Fact.equal (Valuation.head_fact v q) head
+                  &&
+                  let req' = Valuation.body_facts v q in
+                  Instance.subset req' required
+                  && not (Instance.equal req' required))
+             false)
+         sources)
+  in
+  let covered (_, required') =
+    let exception Found in
+    try
+      List.iter
+        (fun q ->
+          let source_universe =
+            Value.Set.elements
+              (Value.Set.union (Instance.adom required') constants)
+            @ List.init
+                (List.length (Ast.vars q))
+                (fun i -> Value.str (Fmt.str "\002g%d" i))
+          in
+          Valuation.enumerate ~vars:(Ast.vars q) ~universe:source_universe
+            (fun v ->
+              if
+                Valuation.satisfies_diseq v q
+                && Instance.subset required' (Valuation.body_facts v q)
+                && source_minimal (Valuation.head_fact v q)
+                     (Valuation.body_facts v q)
+              then raise Found))
+        sources;
+      false
+    with Found -> true
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | ((head, required) as img) :: rest ->
+      if covered img then go rest else Error { head; required }
+  in
+  go target_images
+
+let ucq_transfers sources targets =
+  match ucq_covers_result sources targets with
+  | Ok () -> true
+  | Error _ -> false
+
+(* Workload planning (the Section 4.2 motivation): given a sequence of
+   queries evaluated in order, each query may reuse the data
+   distribution installed for an earlier query when parallel-correctness
+   transfers from that query; otherwise it needs a fresh reshuffle. The
+   greedy plan reuses the most recent admissible distribution. *)
+type plan_step = {
+  query_index : int;
+  reuse_of : int option;
+}
+
+let plan_workload queries =
+  let arr = Array.of_list queries in
+  List.mapi
+    (fun i q ->
+      let rec find_source j =
+        if j < 0 then None
+        else if transfers arr.(j) q then Some j
+        else find_source (j - 1)
+      in
+      { query_index = i; reuse_of = (if i = 0 then None else find_source (i - 1)) })
+    queries
+
+let reshuffles plan =
+  List.length (List.filter (fun s -> s.reuse_of = None) plan)

@@ -1,0 +1,63 @@
+(** Parallel-correctness transfer (Section 4.2).
+
+    Transfer from [Q] to [Q'] means [Q'] is parallel-correct under every
+    policy under which [Q] is (Definition 4.10) — the static guarantee
+    that lets an optimizer evaluate [Q'] on [Q]'s data distribution
+    without reshuffling. Proposition 4.13 characterizes transfer by the
+    [covers] relation on minimal valuations, which this module decides
+    exactly; the problem is Πᵖ₃-complete (Theorem 4.14), and the
+    implementation is correspondingly exponential in query size. *)
+
+open Lamp_relational
+
+type violation = {
+  head : Fact.t;
+  required : Instance.t;
+      (** Required facts of a minimal valuation of the target covered by
+          no minimal valuation of the source. *)
+}
+
+val pp_violation : violation Fmt.t
+
+val covers_result : Lamp_cq.Ast.t -> Lamp_cq.Ast.t -> (unit, violation) result
+(** [covers_result source target] decides Definition 4.12: every minimal
+    valuation of [target] is dominated by a minimal valuation of
+    [source].
+    @raise Invalid_argument on CQ¬. *)
+
+val covers : Lamp_cq.Ast.t -> Lamp_cq.Ast.t -> bool
+
+val transfers : Lamp_cq.Ast.t -> Lamp_cq.Ast.t -> bool
+(** [transfers q q'] iff parallel-correctness transfers from [q] to
+    [q'], i.e. [covers q q'] (Proposition 4.13). *)
+
+val transfer_matrix : Lamp_cq.Ast.t list -> bool list list
+(** [transfer_matrix qs] tabulates [transfers qi qj] — row [i], column
+    [j] — reproducing Figure 1(a) when applied to the queries of Example
+    4.11. *)
+
+val ucq_covers_result :
+  Lamp_cq.Ast.t list -> Lamp_cq.Ast.t list -> (unit, violation) result
+(** Transfer between unions of CQs ([15]): the covers characterization
+    with the union-aware minimal valuations — a target disjunct's
+    valuation dominated by another disjunct does not need covering,
+    which can make transfer to a union hold where transfer to a member
+    fails. *)
+
+val ucq_transfers : Lamp_cq.Ast.t list -> Lamp_cq.Ast.t list -> bool
+
+type plan_step = {
+  query_index : int;
+  reuse_of : int option;
+      (** Index of the earlier query whose distribution this one can
+          reuse; [None] means a fresh reshuffle is needed. *)
+}
+
+val plan_workload : Lamp_cq.Ast.t list -> plan_step list
+(** The multi-query scenario motivating Section 4.2: for each query of a
+    workload (in evaluation order), find the most recent earlier query
+    from which parallel-correctness transfers — its distribution can be
+    reused, skipping the reshuffle. *)
+
+val reshuffles : plan_step list -> int
+(** Number of reshuffles the planned workload performs. *)

@@ -1,0 +1,1 @@
+lib/cq/ast.ml: Fmt Lamp_relational List Schema Set String Value

@@ -1,0 +1,1 @@
+lib/cq/ast.mli: Fmt Lamp_relational Schema Value

@@ -1,0 +1,1 @@
+lib/cq/containment.ml: Array Ast Eval Fact Fmt Instance Int Lamp_relational List Schema Value

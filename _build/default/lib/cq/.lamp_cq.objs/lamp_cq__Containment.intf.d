@@ -1,0 +1,1 @@
+lib/cq/containment.mli: Ast Fact Instance Lamp_relational Value

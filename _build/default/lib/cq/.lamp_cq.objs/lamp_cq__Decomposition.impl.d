@@ -1,0 +1,1 @@
+lib/cq/decomposition.ml: Array Ast Fmt Hashtbl Hypergraph List Option String

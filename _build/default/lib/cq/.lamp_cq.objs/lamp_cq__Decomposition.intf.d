@@ -1,0 +1,1 @@
+lib/cq/decomposition.mli: Ast Fmt Hypergraph

@@ -1,0 +1,1 @@
+lib/cq/eval.ml: Array Ast Fact Index Instance Lamp_relational List Set String Tuple Valuation Value

@@ -1,0 +1,1 @@
+lib/cq/eval.mli: Ast Fact Index Instance Lamp_relational Valuation

@@ -1,0 +1,1 @@
+lib/cq/examples.mli: Ast

@@ -1,0 +1,1 @@
+lib/cq/generic_join.ml: Array Ast Index Instance Int Lamp_relational List Set String Tuple Valuation Value

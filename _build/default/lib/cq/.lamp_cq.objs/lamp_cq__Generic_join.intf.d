@@ -1,0 +1,1 @@
+lib/cq/generic_join.mli: Ast Index Instance Lamp_relational Valuation

@@ -1,0 +1,1 @@
+lib/cq/hypergraph.ml: Array Ast Hashtbl Int Lamp_lp List Option Packing Set String

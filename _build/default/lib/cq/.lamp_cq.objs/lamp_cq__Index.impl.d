@@ -1,0 +1,1 @@
+lib/cq/index.ml: Array Instance Int Lamp_relational Map Option String Tuple Value

@@ -1,0 +1,1 @@
+lib/cq/index.mli: Instance Lamp_relational Tuple Value

@@ -1,0 +1,1 @@
+lib/cq/minimal.ml: Ast Eval Fact Instance Lamp_relational List Set Valuation

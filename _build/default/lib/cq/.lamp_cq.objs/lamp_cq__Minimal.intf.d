@@ -1,0 +1,1 @@
+lib/cq/minimal.mli: Ast Fact Instance Lamp_relational Valuation Value

@@ -1,0 +1,1 @@
+lib/cq/parser.ml: Ast Fmt Lamp_relational List String Value

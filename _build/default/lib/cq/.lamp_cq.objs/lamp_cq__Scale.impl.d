@@ -1,0 +1,1 @@
+lib/cq/scale.ml: Array Ast Hashtbl Index Instance Int Lamp_relational List Option Set String Tuple Valuation Value

@@ -1,0 +1,1 @@
+lib/cq/scale.mli: Ast Instance Lamp_relational

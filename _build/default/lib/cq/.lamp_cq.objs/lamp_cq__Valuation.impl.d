@@ -1,0 +1,1 @@
+lib/cq/valuation.ml: Array Ast Fact Fmt Instance Lamp_relational List Map String Value

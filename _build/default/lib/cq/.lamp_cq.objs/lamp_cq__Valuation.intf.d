@@ -1,0 +1,1 @@
+lib/cq/valuation.mli: Ast Fact Fmt Instance Lamp_relational Value

@@ -1,0 +1,176 @@
+open Lamp_relational
+
+type term =
+  | Var of string
+  | Const of Value.t
+
+let term_compare t1 t2 =
+  match t1, t2 with
+  | Var v1, Var v2 -> String.compare v1 v2
+  | Const c1, Const c2 -> Value.compare c1 c2
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let term_equal t1 t2 = term_compare t1 t2 = 0
+
+let pp_term ppf = function
+  | Var v -> Fmt.string ppf v
+  | Const (Value.Int i) -> Fmt.int ppf i
+  | Const (Value.Str s) -> Fmt.pf ppf "'%s'" s
+
+type atom = {
+  rel : string;
+  terms : term list;
+}
+
+let atom rel terms = { rel; terms }
+
+let atom_vars a =
+  List.filter_map (function Var v -> Some v | Const _ -> None) a.terms
+
+let atom_compare a1 a2 =
+  let c = String.compare a1.rel a2.rel in
+  if c <> 0 then c else List.compare term_compare a1.terms a2.terms
+
+let atom_equal a1 a2 = atom_compare a1 a2 = 0
+
+let pp_atom ppf a =
+  Fmt.pf ppf "%s(%a)" a.rel Fmt.(list ~sep:(any ",") pp_term) a.terms
+
+type t = {
+  head : atom;
+  body : atom list;
+  negated : atom list;
+  diseq : (term * term) list;
+}
+
+exception Unsafe of string
+
+let check_safe q =
+  let module Sset = Set.Make (String) in
+  let body_vars =
+    List.fold_left
+      (fun acc a -> Sset.union acc (Sset.of_list (atom_vars a)))
+      Sset.empty q.body
+  in
+  let check_covered what vars =
+    List.iter
+      (fun v ->
+        if not (Sset.mem v body_vars) then
+          raise
+            (Unsafe
+               (Fmt.str "variable %s of %s does not occur in a positive body atom"
+                  v what)))
+      vars
+  in
+  check_covered "the head" (atom_vars q.head);
+  List.iter (fun a -> check_covered "a negated atom" (atom_vars a)) q.negated;
+  List.iter
+    (fun (t1, t2) ->
+      check_covered "an inequality"
+        (List.filter_map (function Var v -> Some v | Const _ -> None) [ t1; t2 ]))
+    q.diseq
+
+let make ?(negated = []) ?(diseq = []) ~head ~body () =
+  let q = { head; body; negated; diseq } in
+  check_safe q;
+  q
+
+let head q = q.head
+let body q = q.body
+let negated q = q.negated
+let diseq q = q.diseq
+
+let is_positive q = q.negated = [] && q.diseq = []
+let has_negation q = q.negated <> []
+
+let vars q =
+  let module Sset = Set.Make (String) in
+  let add_atom acc a = Sset.union acc (Sset.of_list (atom_vars a)) in
+  let acc = List.fold_left add_atom Sset.empty (q.head :: q.body) in
+  let acc = List.fold_left add_atom acc q.negated in
+  let acc =
+    List.fold_left
+      (fun acc (t1, t2) ->
+        List.fold_left
+          (fun acc t -> match t with Var v -> Sset.add v acc | Const _ -> acc)
+          acc [ t1; t2 ])
+      acc q.diseq
+  in
+  Sset.elements acc
+
+let body_vars q =
+  let module Sset = Set.Make (String) in
+  List.fold_left
+    (fun acc a -> Sset.union acc (Sset.of_list (atom_vars a)))
+    Sset.empty q.body
+  |> Sset.elements
+
+let constants q =
+  let add_atom acc a =
+    List.fold_left
+      (fun acc t -> match t with Const c -> Value.Set.add c acc | Var _ -> acc)
+      acc a.terms
+  in
+  let acc = List.fold_left add_atom Value.Set.empty (q.head :: q.body) in
+  let acc = List.fold_left add_atom acc q.negated in
+  List.fold_left
+    (fun acc (t1, t2) ->
+      List.fold_left
+        (fun acc t -> match t with Const c -> Value.Set.add c acc | Var _ -> acc)
+        acc [ t1; t2 ])
+    acc q.diseq
+
+let is_full q =
+  let module Sset = Set.Make (String) in
+  let head_vars = Sset.of_list (atom_vars q.head) in
+  Sset.equal head_vars (Sset.of_list (body_vars q))
+
+let has_self_join q =
+  let rels = List.map (fun a -> a.rel) q.body in
+  List.length rels <> List.length (List.sort_uniq String.compare rels)
+
+let is_boolean q = q.head.terms = []
+
+let body_schema q =
+  List.fold_left
+    (fun acc a ->
+      let arity = List.length a.terms in
+      match Schema.arity acc a.rel with
+      | Some a' when a' = arity -> acc
+      | Some _ ->
+        invalid_arg
+          (Fmt.str "Ast.body_schema: %s used with two different arities" a.rel)
+      | None -> Schema.add a.rel ~arity acc)
+    Schema.empty (q.body @ q.negated)
+
+let pp ppf q =
+  let pp_body ppf () =
+    let items =
+      List.map (fun a -> Fmt.str "%a" pp_atom a) q.body
+      @ List.map (fun a -> Fmt.str "!%a" pp_atom a) q.negated
+      @ List.map (fun (t1, t2) -> Fmt.str "%a != %a" pp_term t1 pp_term t2) q.diseq
+    in
+    Fmt.string ppf (String.concat ", " items)
+  in
+  Fmt.pf ppf "%a <- %a" pp_atom q.head pp_body ()
+
+let to_string q = Fmt.str "%a" pp q
+
+let compare q1 q2 =
+  let c = atom_compare q1.head q2.head in
+  if c <> 0 then c
+  else
+    let c = List.compare atom_compare q1.body q2.body in
+    if c <> 0 then c
+    else
+      let c = List.compare atom_compare q1.negated q2.negated in
+      if c <> 0 then c
+      else
+        List.compare
+          (fun (a1, b1) (a2, b2) ->
+            let c = term_compare a1 a2 in
+            if c <> 0 then c else term_compare b1 b2)
+          q1.diseq q2.diseq
+
+let equal q1 q2 = compare q1 q2 = 0

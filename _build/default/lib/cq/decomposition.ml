@@ -1,0 +1,264 @@
+module Sset = Hypergraph.Sset
+
+type bag = {
+  vars : Sset.t;
+  atoms : Ast.atom list;
+}
+
+type t = {
+  bag : bag;
+  children : t list;
+}
+
+let rec bags t = t.bag :: List.concat_map bags t.children
+
+let rec depth t =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children
+
+let width forest =
+  List.fold_left
+    (fun acc t ->
+      List.fold_left
+        (fun acc b -> max acc (List.length b.atoms))
+        acc (bags t))
+    0 forest
+
+let rec atoms_of t =
+  t.bag.atoms @ List.concat_map atoms_of t.children
+
+(* Validity of a (generalized hypertree-style) decomposition:
+   1. every positive body atom occurs in some bag whose vars cover it;
+   2. every bag's atoms are covered by the bag's variables;
+   3. running intersection: for every variable, the bags containing it
+      form a connected subtree. *)
+let validate q forest =
+  let all_bags = List.concat_map bags forest in
+  let covered (a : Ast.atom) =
+    List.exists
+      (fun b ->
+        List.exists (Ast.atom_equal a) b.atoms
+        && Sset.subset (Sset.of_list (Ast.atom_vars a)) b.vars)
+      all_bags
+  in
+  let missing = List.filter (fun a -> not (covered a)) (Ast.body q) in
+  if missing <> [] then
+    Error
+      (Fmt.str "atoms not covered by any bag: %a"
+         Fmt.(list ~sep:(any ", ") Ast.pp_atom)
+         missing)
+  else begin
+    let ill_formed =
+      List.exists
+        (fun b ->
+          List.exists
+            (fun a -> not (Sset.subset (Sset.of_list (Ast.atom_vars a)) b.vars))
+            b.atoms)
+        all_bags
+    in
+    if ill_formed then Error "some bag contains an atom outside its variables"
+    else begin
+      (* Running intersection: for each variable, the bags containing it
+         must form one connected region, counted by DFS. *)
+      let region_count v t =
+        let rec go t inside =
+          let here = Sset.mem v t.bag.vars in
+          let new_region = here && not inside in
+          List.fold_left
+            (fun acc c -> acc + go c here)
+            (if new_region then 1 else 0)
+            t.children
+        in
+        go t false
+      in
+      let vars_of_forest =
+        List.fold_left
+          (fun acc t ->
+            List.fold_left (fun acc b -> Sset.union acc b.vars) acc (bags t))
+          Sset.empty forest
+      in
+      let violating =
+        Sset.filter
+          (fun v ->
+            let regions =
+              List.fold_left (fun acc t -> acc + region_count v t) 0 forest
+            in
+            regions > 1)
+          vars_of_forest
+      in
+      if Sset.is_empty violating then Ok ()
+      else
+        Error
+          (Fmt.str "running intersection violated for: %s"
+             (String.concat ", " (Sset.elements violating)))
+    end
+  end
+
+(* The trivial decomposition: one bag holding the whole body. *)
+let singleton q =
+  [
+    {
+      bag =
+        {
+          vars = Sset.of_list (Ast.body_vars q);
+          atoms = Ast.body q;
+        };
+      children = [];
+    };
+  ]
+
+(* Decomposition of an acyclic query from its GYO join forest: one bag
+   per atom. *)
+let of_join_forest forest =
+  let rec conv (t : Hypergraph.join_tree) =
+    {
+      bag = { vars = t.Hypergraph.vars; atoms = [ t.Hypergraph.atom ] };
+      children = List.map conv t.Hypergraph.children;
+    }
+  in
+  List.map conv forest
+
+(* Tree decomposition by variable elimination with the min-fill
+   heuristic on the primal graph, then atoms assigned to every bag
+   covering them, and atomless bags contracted into their parents. *)
+let min_fill q =
+  let body = Ast.body q in
+  let vars = Ast.body_vars q in
+  if vars = [] then singleton q
+  else begin
+    (* Primal graph as adjacency sets. *)
+    let adj = Hashtbl.create 16 in
+    let ensure v =
+      if not (Hashtbl.mem adj v) then Hashtbl.add adj v Sset.empty
+    in
+    List.iter ensure vars;
+    let connect v1 v2 =
+      if v1 <> v2 then begin
+        Hashtbl.replace adj v1 (Sset.add v2 (Hashtbl.find adj v1));
+        Hashtbl.replace adj v2 (Sset.add v1 (Hashtbl.find adj v2))
+      end
+    in
+    List.iter
+      (fun a ->
+        let avs = List.sort_uniq String.compare (Ast.atom_vars a) in
+        List.iter (fun v1 -> List.iter (connect v1) avs) avs)
+      body;
+    let alive = ref (Sset.of_list vars) in
+    let neighbors v = Sset.inter (Hashtbl.find adj v) !alive in
+    let fill_cost v =
+      let ns = Sset.elements (neighbors v) in
+      let missing = ref 0 in
+      List.iter
+        (fun n1 ->
+          List.iter
+            (fun n2 ->
+              if String.compare n1 n2 < 0 && not (Sset.mem n2 (Hashtbl.find adj n1))
+              then incr missing)
+            ns)
+        ns;
+      !missing
+    in
+    (* Eliminate all variables, recording (eliminated var, bag vars). *)
+    let order = ref [] in
+    while not (Sset.is_empty !alive) do
+      let v =
+        Sset.fold
+          (fun v best ->
+            match best with
+            | None -> Some v
+            | Some b -> if fill_cost v < fill_cost b then Some v else best)
+          !alive None
+        |> Option.get
+      in
+      let bag_vars = Sset.add v (neighbors v) in
+      order := (v, bag_vars) :: !order;
+      let ns = Sset.elements (neighbors v) in
+      List.iter (fun n1 -> List.iter (fun n2 -> connect n1 n2) ns) ns;
+      alive := Sset.remove v !alive
+    done;
+    let order = List.rev !order in
+    (* Build the tree: the parent of bag_i is the bag of the earliest
+       variable of bag_i \ {v_i} eliminated after v_i. *)
+    let n = List.length order in
+    let arr = Array.of_list order in
+    let index_of v =
+      let rec go i = if fst arr.(i) = v then i else go (i + 1) in
+      go 0
+    in
+    let parent = Array.make n (-1) in
+    Array.iteri
+      (fun i (v, bag_vars) ->
+        let rest = Sset.remove v bag_vars in
+        if not (Sset.is_empty rest) then begin
+          let j =
+            Sset.fold (fun u acc -> min acc (index_of u)) rest max_int
+          in
+          if j > i && j < n then parent.(i) <- j
+        end)
+      arr;
+    (* Assign every atom to every bag covering it (maximal filtering
+       keeps bag joins as selective as possible). *)
+    let bag_atoms i =
+      let _, bag_vars = arr.(i) in
+      List.filter
+        (fun a -> Sset.subset (Sset.of_list (Ast.atom_vars a)) bag_vars)
+        body
+    in
+    let children = Array.make n [] in
+    Array.iteri
+      (fun i p -> if p >= 0 then children.(p) <- i :: children.(p))
+      parent;
+    let rec build i =
+      {
+        bag = { vars = snd arr.(i); atoms = bag_atoms i };
+        children = List.map build children.(i);
+      }
+    in
+    let roots =
+      List.filteri (fun i _ -> parent.(i) < 0) (Array.to_list arr)
+      |> List.map (fun (v, _) -> build (index_of v))
+    in
+    (* Contract atomless bags into their parents: the parent absorbs the
+       child's variables and adopts its children. Running intersection
+       is preserved because an absorbed child's region becomes part of
+       the parent's. *)
+    let rec contract t =
+      let children = List.map contract t.children in
+      let absorbed, kept = List.partition (fun c -> c.bag.atoms = []) children in
+      let vars =
+        List.fold_left
+          (fun acc c -> Sset.union acc c.bag.vars)
+          t.bag.vars absorbed
+      in
+      {
+        bag = { t.bag with vars };
+        children = kept @ List.concat_map (fun c -> c.children) absorbed;
+      }
+    in
+    (* An atomless root is merged with its first child (merging adjacent
+       bags preserves running intersection). *)
+    let rec fix_root t =
+      if t.bag.atoms <> [] then t
+      else
+        match t.children with
+        | [] -> t
+        | c :: rest ->
+          fix_root
+            {
+              bag = { c.bag with vars = Sset.union c.bag.vars t.bag.vars };
+              children = c.children @ rest;
+            }
+    in
+    let roots = List.map (fun t -> fix_root (contract t)) roots in
+    List.filter (fun t -> atoms_of t <> []) roots
+  end
+
+let pp_bag ppf b =
+  Fmt.pf ppf "{%s | %a}"
+    (String.concat "," (Sset.elements b.vars))
+    Fmt.(list ~sep:(any ", ") Ast.pp_atom)
+    b.atoms
+
+let rec pp ppf t =
+  if t.children = [] then pp_bag ppf t.bag
+  else
+    Fmt.pf ppf "%a -> [%a]" pp_bag t.bag Fmt.(list ~sep:(any "; ") pp) t.children

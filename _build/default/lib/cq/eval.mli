@@ -1,0 +1,37 @@
+(** Evaluation of conjunctive queries (with optional negation and
+    inequalities) over instances.
+
+    The evaluator enumerates satisfying valuations by backtracking over a
+    greedily ordered body, probing lazy hash indexes ({!Index}) on bound
+    positions. Negated atoms and inequalities are checked once all body
+    variables are bound (safety guarantees they are). *)
+
+open Lamp_relational
+
+val fold_valuations :
+  Ast.t -> Instance.t -> (Valuation.t -> 'a -> 'a) -> 'a -> 'a
+(** Folds over all satisfying valuations of the query. *)
+
+val fold_valuations_idx :
+  Ast.t -> Index.t -> (Valuation.t -> 'a -> 'a) -> 'a -> 'a
+(** As {!fold_valuations} over a pre-built index, allowing index reuse
+    across queries on the same instance. *)
+
+val valuations : Ast.t -> Instance.t -> Valuation.t list
+(** All satisfying valuations of [q] on the instance. *)
+
+val eval : Ast.t -> Instance.t -> Instance.t
+(** [eval q i] is [Q(I)]: the set of facts derived by satisfying
+    valuations. *)
+
+val eval_idx : Ast.t -> Index.t -> Instance.t
+
+val eval_ucq : Ast.t list -> Instance.t -> Instance.t
+(** Union of the results of the disjuncts. *)
+
+val holds : Ast.t -> Instance.t -> bool
+(** Whether at least one satisfying valuation exists (boolean-query
+    semantics). *)
+
+val derives : Ast.t -> Instance.t -> Fact.t -> bool
+(** Whether the given head fact is derived on the instance. *)

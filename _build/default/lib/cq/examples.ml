@@ -1,0 +1,22 @@
+let q1_join = Parser.query "H(x,y,z) <- R(x,y), S(y,z)"
+
+let q2_triangle = Parser.query "H(x,y,z) <- R(x,y), S(y,z), T(z,x)"
+
+let qe_example_4_1 = Parser.query "H(x1,x3) <- R(x1,x2), R(x2,x3), S(x3,x1)"
+
+let q_example_4_3 = Parser.query "H(x,z) <- R(x,y), R(y,z), R(x,x)"
+
+let q1_example_4_11 = Parser.query "H() <- S(x), R(x,x), T(x)"
+let q2_example_4_11 = Parser.query "H() <- R(x,x), T(x)"
+let q3_example_4_11 = Parser.query "H() <- S(x), R(x,y), T(y)"
+let q4_example_4_11 = Parser.query "H() <- R(x,y), T(y)"
+
+let triangles_distinct =
+  Parser.query
+    "H(x,y,z) <- E(x,y), E(y,z), E(z,x), x != y, y != z, z != x"
+
+let open_triangle = Parser.query "H(x,y,z) <- E(x,y), E(y,z), !E(z,x)"
+
+let two_path = Parser.query "H(x,z) <- E(x,y), E(y,z)"
+
+let full_triangle_e = Parser.query "H(x,y,z) <- E(x,y), E(y,z), E(z,x)"

@@ -1,0 +1,73 @@
+open Lamp_relational
+
+let check_supported q =
+  if Ast.has_negation q then
+    invalid_arg
+      "Minimal: minimal valuations are defined for CQs (possibly with \
+       inequalities), not for CQ¬"
+
+(* V is minimal iff no valuation V' deriving the same head fact requires
+   a strict subset of V's body facts (Definition 4.4). Any such V' maps
+   the body into V(body_Q), so enumerating the satisfying valuations of Q
+   on the instance V(body_Q) is exhaustive.
+
+   Fast path: for a full CQ the head fact determines the whole
+   valuation, so no distinct competitor can derive the same head — every
+   valuation is minimal. This is what drops the complexity of the
+   Section 4 problems for full queries (the NP cases of [14, 15]). *)
+let is_minimal q v =
+  check_supported q;
+  if Ast.is_full q then true
+  else
+  let required = Valuation.body_facts v q in
+  let head = Valuation.head_fact v q in
+  let exception Smaller in
+  try
+    Eval.fold_valuations q required
+      (fun v' () ->
+        let required' = Valuation.body_facts v' q in
+        if
+          Fact.equal (Valuation.head_fact v' q) head
+          && Instance.subset required' required
+          && not (Instance.equal required' required)
+        then raise Smaller)
+      ();
+    true
+  with Smaller -> false
+
+let fold_valuations_over q ~universe f init =
+  check_supported q;
+  let acc = ref init in
+  Valuation.enumerate ~vars:(Ast.vars q) ~universe (fun v ->
+      if Valuation.satisfies_diseq v q then acc := f v !acc);
+  !acc
+
+let minimal_valuations q ~universe =
+  fold_valuations_over q ~universe
+    (fun v acc -> if is_minimal q v then v :: acc else acc)
+    []
+  |> List.rev
+
+(* For the parallel-correctness tests only the pair (head fact, required
+   facts) of a minimal valuation matters; deduplicating those images cuts
+   the node checks sharply. *)
+module Image = struct
+  type t = Fact.t * Instance.t
+
+  let compare (h1, b1) (h2, b2) =
+    let c = Fact.compare h1 h2 in
+    if c <> 0 then c else Instance.compare b1 b2
+end
+
+module Image_set = Set.Make (Image)
+
+let minimal_images q ~universe =
+  let images =
+    fold_valuations_over q ~universe
+      (fun v acc ->
+        if is_minimal q v then
+          Image_set.add (Valuation.head_fact v q, Valuation.body_facts v q) acc
+        else acc)
+      Image_set.empty
+  in
+  Image_set.elements images

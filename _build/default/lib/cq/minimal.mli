@@ -1,0 +1,30 @@
+(** Minimal valuations (Definition 4.4 of the paper).
+
+    A valuation [V] for a CQ [Q] is minimal when no valuation [V'] derives
+    the same head fact from a strict subset of [V]'s required facts.
+    Minimal valuations characterize parallel-correctness (Proposition
+    4.6); the functions here are the Σᵖ₂-flavoured enumeration kernels
+    behind the checks in [Lamp_correctness].
+
+    All functions support plain CQs and CQs with inequalities (where a
+    candidate [V'] must itself satisfy the inequalities, following the
+    journal version of the work), and reject CQ¬.
+    @raise Invalid_argument on queries with negated atoms. *)
+
+open Lamp_relational
+
+val is_minimal : Ast.t -> Valuation.t -> bool
+(** Whether the valuation is minimal for the query. Decidable without
+    reference to a wider universe: any dominating valuation maps into the
+    active domain of [V(body_Q)]. *)
+
+val minimal_valuations : Ast.t -> universe:Value.t list -> Valuation.t list
+(** All minimal valuations of the query's variables over the universe
+    (filtered to those satisfying the query's inequalities). *)
+
+val minimal_images :
+  Ast.t -> universe:Value.t list -> (Fact.t * Instance.t) list
+(** Deduplicated images [(V(head_Q), V(body_Q))] of the minimal
+    valuations over the universe. Two valuations with equal images are
+    interchangeable for parallel-correctness, so consumers iterate over
+    this smaller list. *)

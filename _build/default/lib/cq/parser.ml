@@ -1,0 +1,228 @@
+open Lamp_relational
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Arrow
+  | Bang
+  | Neq
+  | Eof
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' | '.' -> go (i + 1)
+      | '(' ->
+        push Lparen;
+        go (i + 1)
+      | ')' ->
+        push Rparen;
+        go (i + 1)
+      | ',' ->
+        push Comma;
+        go (i + 1)
+      | '<' when i + 1 < n && s.[i + 1] = '-' ->
+        push Arrow;
+        go (i + 2)
+      | ':' when i + 1 < n && s.[i + 1] = '-' ->
+        push Arrow;
+        go (i + 2)
+      | '!' when i + 1 < n && s.[i + 1] = '=' ->
+        push Neq;
+        go (i + 2)
+      | '!' ->
+        push Bang;
+        go (i + 1)
+      | '\'' ->
+        let close =
+          match String.index_from_opt s (i + 1) '\'' with
+          | Some j -> j
+          | None -> fail "unterminated quote at offset %d" i
+        in
+        push (Quoted (String.sub s (i + 1) (close - i - 1)));
+        go (close + 1)
+      | '-' | '0' .. '9' ->
+        let j = ref (i + 1) in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+          incr j
+        done;
+        let lit = String.sub s i (!j - i) in
+        (match int_of_string_opt lit with
+        | Some v -> push (Int_lit v)
+        | None -> fail "malformed number %S" lit);
+        go !j
+      | c when is_ident_char c ->
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        push (Ident (String.sub s i (!j - i)));
+        go !j
+      | c -> fail "unexpected character %C at offset %d" c i
+  in
+  go 0;
+  List.rev (Eof :: !toks)
+
+(* Recursive-descent parser over the token list. Variables are plain
+   identifiers; constants are integer literals or quoted symbols. *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Eof | t :: _ -> t
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st else fail "expected %s" what
+
+let parse_term st =
+  match peek st with
+  | Ident v ->
+    advance st;
+    Ast.Var v
+  | Int_lit i ->
+    advance st;
+    Ast.Const (Value.int i)
+  | Quoted q ->
+    advance st;
+    Ast.Const (Value.str q)
+  | _ -> fail "expected a term"
+
+let parse_atom_with_name st name =
+  expect st Lparen "'('";
+  let rec terms acc =
+    match peek st with
+    | Rparen ->
+      advance st;
+      List.rev acc
+    | _ ->
+      let t = parse_term st in
+      (match peek st with
+      | Comma ->
+        advance st;
+        terms (t :: acc)
+      | Rparen ->
+        advance st;
+        List.rev (t :: acc)
+      | _ -> fail "expected ',' or ')' in atom %s" name)
+  in
+  Ast.atom name (terms [])
+
+let parse_atom st =
+  match peek st with
+  | Ident name ->
+    advance st;
+    parse_atom_with_name st name
+  | _ -> fail "expected an atom"
+
+type body_item =
+  | Positive of Ast.atom
+  | Negative of Ast.atom
+  | Inequality of Ast.term * Ast.term
+
+let parse_body_item st =
+  match peek st with
+  | Bang ->
+    advance st;
+    Negative (parse_atom st)
+  | Ident "not" ->
+    (* "not" is a keyword only when followed by an atom opening. *)
+    (match st.toks with
+    | Ident "not" :: Ident _ :: Lparen :: _ ->
+      advance st;
+      Negative (parse_atom st)
+    | _ ->
+      let t = parse_term st in
+      (match peek st with
+      | Neq ->
+        advance st;
+        Inequality (t, parse_term st)
+      | _ -> fail "expected '!=' after bare term"))
+  | Ident name -> (
+    advance st;
+    match peek st with
+    | Lparen -> Positive (parse_atom_with_name st name)
+    | Neq ->
+      advance st;
+      Inequality (Ast.Var name, parse_term st)
+    | _ -> fail "expected '(' or '!=' after %s" name)
+  | Int_lit _ | Quoted _ ->
+    let t = parse_term st in
+    expect st Neq "'!='";
+    Inequality (t, parse_term st)
+  | _ -> fail "expected a body item"
+
+type clause = {
+  head : Ast.atom;
+  body : Ast.atom list;
+  negated : Ast.atom list;
+  diseq : (Ast.term * Ast.term) list;
+}
+
+let clause s =
+  let st = { toks = tokenize s } in
+  let head = parse_atom st in
+  expect st Arrow "'<-'";
+  let rec items acc =
+    let item = parse_body_item st in
+    match peek st with
+    | Comma ->
+      advance st;
+      items (item :: acc)
+    | Eof -> List.rev (item :: acc)
+    | _ -> fail "expected ',' or end of input"
+  in
+  let all =
+    match peek st with
+    | Eof -> []
+    | _ -> items []
+  in
+  let body =
+    List.filter_map (function Positive a -> Some a | _ -> None) all
+  and negated =
+    List.filter_map (function Negative a -> Some a | _ -> None) all
+  and diseq =
+    List.filter_map (function Inequality (a, b) -> Some (a, b) | _ -> None) all
+  in
+  { head; body; negated; diseq }
+
+let atom s =
+  let st = { toks = tokenize s } in
+  let a = parse_atom st in
+  match peek st with
+  | Eof -> a
+  | _ -> fail "trailing input after atom"
+
+let query s =
+  let { head; body; negated; diseq } = clause s in
+  try Ast.make ~negated ~diseq ~head ~body ()
+  with Ast.Unsafe msg -> fail "unsafe query: %s" msg
+
+let ucq s =
+  s
+  |> String.split_on_char ';'
+  |> List.map String.trim
+  |> List.filter (fun part -> part <> "")
+  |> List.map query

@@ -1,0 +1,39 @@
+(** Textual syntax for conjunctive queries.
+
+    Grammar (whitespace-insensitive):
+    {v
+      query  ::= atom '<-' item (',' item)*    (':-' also accepted)
+      item   ::= atom                          positive atom
+               | '!' atom | 'not' atom         negated atom
+               | term '!=' term                inequality
+      atom   ::= name '(' term (',' term)* ')' | name '(' ')'
+      term   ::= identifier                    a variable
+               | integer | 'quoted'            a constant
+    v}
+
+    Example: ["H(x,z) <- R(x,y), R(y,z), S(z,x), x != y, !T(z)"]. *)
+
+exception Parse_error of string
+
+val query : string -> Ast.t
+(** @raise Parse_error on malformed or unsafe input. *)
+
+type clause = {
+  head : Ast.atom;
+  body : Ast.atom list;
+  negated : Ast.atom list;
+  diseq : (Ast.term * Ast.term) list;
+}
+
+val clause : string -> clause
+(** Parses a rule without the safety check — the entry point for
+    formalisms with relaxed safety, like value invention (wILOG).
+    @raise Parse_error on malformed input. *)
+
+val atom : string -> Ast.atom
+(** Parses a single atom.
+    @raise Parse_error on malformed input. *)
+
+val ucq : string -> Ast.t list
+(** Parses a union of conjunctive queries: disjuncts separated by
+    [';']. *)

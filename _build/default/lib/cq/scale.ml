@@ -1,0 +1,175 @@
+open Lamp_relational
+module Sset = Set.Make (String)
+
+type access = {
+  rel : string;
+  inputs : int list;
+  bound : int;
+}
+
+let access ~rel ~inputs ~bound =
+  if bound < 0 then invalid_arg "Scale.access: negative bound";
+  if List.exists (fun i -> i < 0) inputs then
+    invalid_arg "Scale.access: negative position";
+  { rel; inputs = List.sort_uniq Int.compare inputs; bound }
+
+(* Does the instance respect an access constraint? For every binding of
+   the input positions, at most [bound] tuples match. *)
+let satisfies instance a =
+  let counts = Hashtbl.create 64 in
+  Tuple.Set.iter
+    (fun tup ->
+      if List.for_all (fun i -> i < Tuple.arity tup) a.inputs then begin
+        let key = List.map (fun i -> tup.(i)) a.inputs in
+        Hashtbl.replace counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      end)
+    (Instance.tuples instance a.rel);
+  Hashtbl.fold (fun _ c acc -> acc && c <= a.bound) counts true
+
+let violations instance accesses =
+  List.filter (fun a -> not (satisfies instance a)) accesses
+
+type plan = {
+  query : Ast.t;
+  order : (Ast.atom * access) list;
+}
+
+(* An atom is fetchable when some access constraint on its relation has
+   all input positions held by constants or already-bound variables. *)
+let fetchable bound_vars accesses (a : Ast.atom) =
+  List.find_opt
+    (fun acc ->
+      acc.rel = a.Ast.rel
+      && List.for_all
+           (fun i ->
+             match List.nth_opt a.Ast.terms i with
+             | Some (Ast.Const _) -> true
+             | Some (Ast.Var v) -> Sset.mem v bound_vars
+             | None -> false)
+           acc.inputs)
+    accesses
+
+(* Backtracking search for an executable atom order: the "covered"
+   condition under which the query is boundedly evaluable — every atom
+   reached through an access whose inputs are already known, so the
+   total number of facts touched is bounded by the access bounds alone,
+   independently of the instance size (scale independence, [31]). *)
+let plan ~accesses q =
+  if not (Ast.is_positive q) then
+    invalid_arg "Scale.plan: defined for positive CQs";
+  let rec search bound_vars remaining acc_order =
+    match remaining with
+    | [] -> Some { query = q; order = List.rev acc_order }
+    | _ ->
+      let candidates =
+        List.filter_map
+          (fun a ->
+            match fetchable bound_vars accesses a with
+            | Some access -> Some (a, access)
+            | None -> None)
+          remaining
+      in
+      let rec try_candidates = function
+        | [] -> None
+        | (a, access) :: rest -> (
+          let bound_vars' =
+            List.fold_left
+              (fun s v -> Sset.add v s)
+              bound_vars (Ast.atom_vars a)
+          in
+          let remaining' = List.filter (fun b -> b != a) remaining in
+          match search bound_vars' remaining' ((a, access) :: acc_order) with
+          | Some p -> Some p
+          | None -> try_candidates rest)
+      in
+      try_candidates candidates
+  in
+  search Sset.empty (Ast.body q) []
+
+let is_boundedly_evaluable ~accesses q = Option.is_some (plan ~accesses q)
+
+(* Data-independent cap on the number of facts fetched: at stage k there
+   are at most Π_{i<k} bound_i partial valuations, each fetching at most
+   bound_k tuples. *)
+let fetch_cap p =
+  let _, total =
+    List.fold_left
+      (fun (prefix, total) (_, access) ->
+        (prefix * access.bound, total + (prefix * access.bound)))
+      (1, 0) p.order
+  in
+  total
+
+exception Schema_violation of access
+
+(* Index-nested-loop execution along the plan, counting fetched facts.
+   Matches the semantics of the full evaluator on schema-conforming
+   instances, touching at most [fetch_cap] facts. *)
+let eval ?(enforce = true) p instance =
+  let idx = Index.create instance in
+  let fetched = ref 0 in
+  let candidates valuation ((a : Ast.atom), access) =
+    let bound_positions =
+      List.filter_map
+        (fun i ->
+          match List.nth_opt a.Ast.terms i with
+          | Some (Ast.Const c) -> Some (i, c)
+          | Some (Ast.Var v) -> (
+            match Valuation.find v valuation with
+            | Some value -> Some (i, value)
+            | None -> None)
+          | None -> None)
+        access.inputs
+    in
+    let initial =
+      match bound_positions with
+      | [] -> Index.all idx ~rel:a.Ast.rel
+      | (pos, value) :: _ -> Index.lookup idx ~rel:a.Ast.rel ~pos ~value
+    in
+    let matching =
+      List.filter
+        (fun tup ->
+          List.for_all
+            (fun (i, v) -> i < Tuple.arity tup && Value.equal tup.(i) v)
+            bound_positions)
+        initial
+    in
+    if enforce && List.length matching > access.bound then
+      raise (Schema_violation access);
+    fetched := !fetched + List.length matching;
+    matching
+  in
+  let match_tuple valuation (a : Ast.atom) tup =
+    if Tuple.arity tup <> List.length a.Ast.terms then None
+    else
+      let rec go i terms valuation =
+        match terms with
+        | [] -> Some valuation
+        | Ast.Const c :: rest ->
+          if Value.equal c tup.(i) then go (i + 1) rest valuation else None
+        | Ast.Var v :: rest -> (
+          match Valuation.find v valuation with
+          | Some value ->
+            if Value.equal value tup.(i) then go (i + 1) rest valuation else None
+          | None -> go (i + 1) rest (Valuation.bind v tup.(i) valuation))
+      in
+      go 0 a.Ast.terms valuation
+  in
+  let rec go valuation order acc =
+    match order with
+    | [] ->
+      if Valuation.satisfies_diseq valuation p.query then
+        Instance.add (Valuation.head_fact valuation p.query) acc
+      else acc
+    | ((a, _) as step) :: rest ->
+      List.fold_left
+        (fun acc tup ->
+          match match_tuple valuation a tup with
+          | Some valuation -> go valuation rest acc
+          | None -> acc)
+        acc
+        (candidates valuation step)
+  in
+  let result = go Valuation.empty p.order Instance.empty in
+  (result, !fetched)

@@ -1,0 +1,53 @@
+(** Scale independence / bounded query evaluation (Section 6 of the
+    paper; Fan–Geerts–Libkin [31] and the bounded-CQ line [25, 29, 30,
+    32]).
+
+    An access constraint [(rel, inputs, N)] promises that for every
+    binding of the input positions at most [N] tuples of [rel] match,
+    and that they can be fetched by index. A CQ is {e boundedly
+    evaluable} (in the "covered" sense implemented here) when its atoms
+    admit an ordering in which each atom is reached through an access
+    whose inputs are already bound — then the answer is computable
+    touching a number of facts bounded by the access constants alone,
+    independent of the instance size. *)
+
+open Lamp_relational
+
+type access = private {
+  rel : string;
+  inputs : int list;
+  bound : int;
+}
+
+val access : rel:string -> inputs:int list -> bound:int -> access
+(** @raise Invalid_argument on negative bounds or positions. *)
+
+val satisfies : Instance.t -> access -> bool
+(** Whether the instance respects the constraint. *)
+
+val violations : Instance.t -> access list -> access list
+
+type plan = private {
+  query : Ast.t;
+  order : (Ast.atom * access) list;
+}
+
+val plan : accesses:access list -> Ast.t -> plan option
+(** An executable atom ordering, when one exists.
+    @raise Invalid_argument on non-positive queries. *)
+
+val is_boundedly_evaluable : accesses:access list -> Ast.t -> bool
+
+val fetch_cap : plan -> int
+(** Data-independent upper bound on the number of facts {!eval}
+    touches — the essence of scale independence. *)
+
+exception Schema_violation of access
+
+val eval : ?enforce:bool -> plan -> Instance.t -> Instance.t * int
+(** Index-nested-loop execution of the plan; returns the query answer
+    and the number of facts actually fetched (≤ {!fetch_cap} on
+    conforming instances). With [enforce] (default), an access returning
+    more than its bound raises {!Schema_violation}; with
+    [enforce:false] the evaluation proceeds (useful for measuring how
+    non-conforming data degrades). *)

@@ -1,0 +1,64 @@
+open Lamp_relational
+module Smap = Map.Make (String)
+
+type t = Value.t Smap.t
+
+let empty = Smap.empty
+let bind var value t = Smap.add var value t
+let find var t = Smap.find_opt var t
+let mem var t = Smap.mem var t
+let of_list l = List.fold_left (fun t (v, value) -> bind v value t) empty l
+let to_list t = Smap.bindings t
+
+exception Unbound of string
+
+let term t = function
+  | Ast.Const c -> c
+  | Ast.Var v -> (
+    match find v t with
+    | Some value -> value
+    | None -> raise (Unbound v))
+
+let atom t (a : Ast.atom) =
+  Fact.of_list a.Ast.rel (List.map (term t) a.Ast.terms)
+
+let body_facts t q =
+  List.fold_left (fun acc a -> Instance.add (atom t a) acc) Instance.empty
+    (Ast.body q)
+
+let head_fact t q = atom t (Ast.head q)
+
+let satisfies_diseq t q =
+  List.for_all
+    (fun (t1, t2) -> not (Value.equal (term t t1) (term t t2)))
+    (Ast.diseq q)
+
+let satisfies_negation t q instance =
+  List.for_all (fun a -> not (Instance.mem (atom t a) instance)) (Ast.negated q)
+
+let satisfies t q instance =
+  (try Instance.subset (body_facts t q) instance
+   with Unbound _ -> false)
+  && satisfies_diseq t q
+  && satisfies_negation t q instance
+
+let compare = Smap.compare Value.compare
+let equal t1 t2 = compare t1 t2 = 0
+
+let pp ppf t =
+  let pp_binding ppf (v, value) = Fmt.pf ppf "%s↦%a" v Value.pp value in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_binding) (Smap.bindings t)
+
+let enumerate ~vars ~universe f =
+  let universe = Array.of_list universe in
+  let n = Array.length universe in
+  if n = 0 then (if vars = [] then f empty)
+  else
+    let rec go acc = function
+      | [] -> f acc
+      | v :: rest ->
+        for i = 0 to n - 1 do
+          go (bind v universe.(i) acc) rest
+        done
+    in
+    go empty vars

@@ -1,0 +1,48 @@
+(** Valuations: total functions from query variables to domain values
+    (Section 2 of the paper). *)
+
+open Lamp_relational
+
+type t
+
+val empty : t
+val bind : string -> Value.t -> t -> t
+val find : string -> t -> Value.t option
+val mem : string -> t -> bool
+val of_list : (string * Value.t) list -> t
+val to_list : t -> (string * Value.t) list
+
+exception Unbound of string
+
+val term : t -> Ast.term -> Value.t
+(** @raise Unbound when the term is a variable outside the valuation's
+    domain. *)
+
+val atom : t -> Ast.atom -> Fact.t
+(** Applies the valuation to an atom, producing a fact.
+    @raise Unbound as {!term}. *)
+
+val body_facts : t -> Ast.t -> Instance.t
+(** [body_facts v q] is [V(body_Q)]: the facts required by [v]. *)
+
+val head_fact : t -> Ast.t -> Fact.t
+(** The fact derived by the valuation. *)
+
+val satisfies_diseq : t -> Ast.t -> bool
+val satisfies_negation : t -> Ast.t -> Instance.t -> bool
+
+val satisfies : t -> Ast.t -> Instance.t -> bool
+(** [satisfies v q i]: all required facts are in [i], no negated atom is
+    in [i], and all inequalities hold. Returns [false] (rather than
+    raising) when [v] does not bind all body variables. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val enumerate :
+  vars:string list -> universe:Value.t list -> (t -> unit) -> unit
+(** Calls the continuation on every total valuation of [vars] into
+    [universe] — the brute-force enumeration at the heart of the Πᵖ₂
+    checks of Section 4. With an empty universe and nonempty [vars],
+    there is no valuation and the continuation is never called. *)

@@ -1,0 +1,1 @@
+lib/datalog/canned.ml: Program

@@ -1,0 +1,1 @@
+lib/datalog/canned.mli: Program

@@ -1,0 +1,1 @@
+lib/datalog/classify.ml: Adom Eval Generate Instance Lamp_cq Lamp_relational List Wellfounded

@@ -1,0 +1,1 @@
+lib/datalog/classify.mli: Instance Lamp_cq Lamp_relational Program Random Schema

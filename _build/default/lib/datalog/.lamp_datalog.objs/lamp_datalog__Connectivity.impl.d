@@ -1,0 +1,1 @@
+lib/datalog/connectivity.ml: Ast Lamp_cq List Program Set Stratify String

@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Ast Eval Fact Instance Lamp_cq Lamp_relational List Program Set Stratify String Value

@@ -1,0 +1,1 @@
+lib/datalog/eval.mli: Instance Lamp_relational Program

@@ -1,0 +1,1 @@
+lib/datalog/invention.ml: Ast Connectivity Eval Fact Fmt Instance Lamp_cq Lamp_relational List Map Option Parser Set Stratify String Valuation Value

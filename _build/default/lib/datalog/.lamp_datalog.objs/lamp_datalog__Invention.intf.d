@@ -1,0 +1,1 @@
+lib/datalog/invention.mli: Ast Instance Lamp_cq Lamp_relational Value

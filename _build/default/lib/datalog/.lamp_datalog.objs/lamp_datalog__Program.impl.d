@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Ast Fmt Lamp_cq List Parser Set String

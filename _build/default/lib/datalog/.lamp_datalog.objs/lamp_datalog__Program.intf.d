@@ -1,0 +1,1 @@
+lib/datalog/program.mli: Fmt Lamp_cq

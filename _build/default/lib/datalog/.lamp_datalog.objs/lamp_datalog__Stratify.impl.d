@@ -1,0 +1,1 @@
+lib/datalog/stratify.ml: Ast Fmt Lamp_cq List Map Option Program Set String

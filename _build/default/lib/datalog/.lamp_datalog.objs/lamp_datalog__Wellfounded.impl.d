@@ -1,0 +1,1 @@
+lib/datalog/wellfounded.ml: Ast Eval Fact Instance Lamp_cq Lamp_relational List Program Set String

@@ -1,0 +1,1 @@
+lib/datalog/wellfounded.mli: Instance Lamp_relational Program

@@ -1,0 +1,36 @@
+let transitive_closure =
+  Program.parse
+    "TC(x,y) <- E(x,y)\n\
+     TC(x,y) <- TC(x,z), TC(z,y)"
+
+(* Example 5.13: the complement of transitive closure — semi-connected
+   stratified (the OUT rule is disconnected, but it is the last
+   stratum). *)
+let complement_tc =
+  Program.parse
+    "TC(x,y) <- E(x,y)\n\
+     TC(x,y) <- TC(x,z), TC(z,y)\n\
+     OUT(x,y) <- ADom(x), ADom(y), !TC(x,y)"
+
+(* Example 5.13, second program: QNT returns the edge relation when the
+   graph has no (pairwise-distinct) triangle. The S rule is disconnected
+   and sits below the last stratum, so the program is NOT
+   semi-connected. *)
+let no_triangle =
+  Program.parse
+    "T(x,y,z) <- E(x,y), E(y,z), E(z,x), y != x, y != z, x != z\n\
+     S(x) <- ADom(x), T(u,v,w)\n\
+     OUT(x,y) <- E(x,y), !S(x)"
+
+(* Win–move (Section 5.3 / [59]): a position wins when some move leads
+   to a lost position. Not stratifiable; evaluated under the
+   well-founded semantics. Connected. *)
+let win_move = Program.parse "Win(x) <- Move(x,y), !Win(y)"
+
+(* Semi-positive: negation over the EDB only. *)
+let non_edges = Program.parse "OUT(x,y) <- ADom(x), ADom(y), !E(x,y)"
+
+let same_generation =
+  Program.parse
+    "SG(x,y) <- Flat(x,y)\n\
+     SG(x,y) <- Up(x,u), SG(u,v), Down(v,y)"

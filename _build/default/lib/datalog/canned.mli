@@ -1,0 +1,24 @@
+(** The Datalog programs discussed in the paper, ready to run. *)
+
+val transitive_closure : Program.t
+(** Positive TC over an edge relation [E]; output [TC]. *)
+
+val complement_tc : Program.t
+(** Example 5.13: Q¬TC — the complement of transitive closure; output
+    [OUT]. Semi-connected stratified, hence in Mdisjoint (Figure 2). *)
+
+val no_triangle : Program.t
+(** Example 5.13: QNT — returns [E] when the graph has no three-node
+    triangle; output [OUT]. Stratified but {e not} semi-connected (the
+    [S] rule is disconnected below the top stratum); not in
+    Mdisjoint. *)
+
+val win_move : Program.t
+(** Win–move under the well-founded semantics; output [Win]. *)
+
+val non_edges : Program.t
+(** Semi-positive example: the complement of [E] on the active domain;
+    output [OUT]. In Mdistinct. *)
+
+val same_generation : Program.t
+(** Classic recursive benchmark over [Flat]/[Up]/[Down]; output [SG]. *)

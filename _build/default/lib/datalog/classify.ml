@@ -1,0 +1,76 @@
+open Lamp_relational
+
+type query = {
+  name : string;
+  eval : Instance.t -> Instance.t;
+}
+
+let of_cq ?name cq =
+  {
+    name = (match name with Some n -> n | None -> Lamp_cq.Ast.to_string cq);
+    eval = Lamp_cq.Eval.eval cq;
+  }
+
+let of_program ~name ~output program =
+  { name; eval = (fun i -> Eval.query program ~output i) }
+
+let of_wellfounded ~name ~output program =
+  { name; eval = (fun i -> fst (Wellfounded.query program ~output i)) }
+
+(* One observation of (a failure of) a monotonicity property. *)
+type refutation = {
+  base : Instance.t;
+  extension : Instance.t;
+  lost : Instance.t;
+}
+
+let check_pair q (i, j) =
+  let before = q.eval i and after = q.eval (Instance.union i j) in
+  if Instance.subset before after then Ok ()
+  else Error { base = i; extension = j; lost = Instance.diff before after }
+
+let monotone_on q pairs =
+  let rec go = function
+    | [] -> Ok ()
+    | pair :: rest -> (
+      match check_pair q pair with
+      | Ok () -> go rest
+      | Error r -> Error r)
+  in
+  go pairs
+
+let distinct_monotone_on q pairs =
+  monotone_on q
+    (List.filter (fun (i, j) -> Adom.domain_distinct_from j i) pairs)
+
+let disjoint_monotone_on q pairs =
+  monotone_on q
+    (List.filter (fun (i, j) -> Adom.domain_disjoint_from j i) pairs)
+
+type verdict = {
+  monotone : (unit, refutation) result;
+  distinct_monotone : (unit, refutation) result;
+  disjoint_monotone : (unit, refutation) result;
+}
+
+let classify q ~pairs =
+  {
+    monotone = monotone_on q pairs;
+    distinct_monotone = distinct_monotone_on q pairs;
+    disjoint_monotone = disjoint_monotone_on q pairs;
+  }
+
+let random_pairs ~rng ~schema ~count ~size ~domain =
+  List.init count (fun _ ->
+      let i = Generate.random_instance ~rng ~schema ~size ~domain () in
+      let j =
+        Generate.random_instance ~rng ~schema ~size ~domain:(2 * domain) ()
+      in
+      (i, j))
+
+let class_name v =
+  match v.monotone, v.distinct_monotone, v.disjoint_monotone with
+  | Ok (), _, _ -> "M"
+  | Error _, Ok (), _ -> "Mdistinct \\ M"
+  | Error _, Error _, Ok () -> "Mdisjoint \\ Mdistinct"
+  | Error _, Error _, Error _ -> "not Mdisjoint"

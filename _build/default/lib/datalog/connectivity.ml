@@ -1,0 +1,42 @@
+open Lamp_cq
+module Sset = Set.Make (String)
+
+(* Connectedness of a rule: the graph whose nodes are the positive body
+   atoms, with an edge between atoms sharing a variable, is connected. *)
+let rule_connected r =
+  match Ast.body r with
+  | [] -> true
+  | first :: _ as atoms ->
+    let vars a = Sset.of_list (Ast.atom_vars a) in
+    let rec reach seen frontier =
+      let next =
+        List.filter
+          (fun a ->
+            (not (List.memq a seen))
+            && List.exists
+                 (fun b -> not (Sset.disjoint (vars a) (vars b)))
+                 frontier)
+          atoms
+      in
+      if next = [] then seen else reach (next @ seen) next
+    in
+    let reached = reach [ first ] [ first ] in
+    List.length reached = List.length atoms
+
+let program_connected program =
+  List.for_all rule_connected (Program.rules program)
+
+(* Semi-connected (Section 5.3): stratified, and every stratum except
+   possibly the last consists of connected rules. *)
+let is_semi_connected program =
+  match Stratify.layers program with
+  | exception Stratify.Not_stratifiable _ -> false
+  | layers ->
+    let rec check = function
+      | [] | [ _ ] -> true
+      | layer :: rest -> List.for_all rule_connected layer && check rest
+    in
+    check layers
+
+let disconnected_rules program =
+  List.filter (fun r -> not (rule_connected r)) (Program.rules program)

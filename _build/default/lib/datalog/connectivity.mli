@@ -1,0 +1,19 @@
+(** Connectedness analysis (Section 5.3 / Figure 2).
+
+    A rule is connected when the graph formed by its positive body atoms
+    (sharing a variable = an edge) is connected; a stratified program is
+    semi-connected when every stratum except possibly the last consists
+    of connected rules. Semi-connected stratified Datalog captures the
+    domain-disjoint-monotone queries, so this syntactic test is the
+    membership check for the paper's largest coordination-free class. *)
+
+val rule_connected : Program.rule -> bool
+
+val program_connected : Program.t -> bool
+(** All rules connected. *)
+
+val is_semi_connected : Program.t -> bool
+(** Stratifiable and connected in all strata but the last. Returns
+    [false] (rather than raising) on non-stratifiable programs. *)
+
+val disconnected_rules : Program.t -> Program.rule list

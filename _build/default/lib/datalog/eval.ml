@@ -1,0 +1,114 @@
+open Lamp_relational
+open Lamp_cq
+module Sset = Set.Make (String)
+
+let delta_prefix = "\003delta_"
+
+let materialize_adom instance =
+  Value.Set.fold
+    (fun v acc -> Instance.add (Fact.of_list "ADom" [ v ]) acc)
+    (Instance.adom instance)
+    instance
+
+(* One naive fixpoint over a set of rules evaluated jointly: suitable
+   for a single stratum (negation in these rules must refer to relations
+   not defined by them, which stratification guarantees). *)
+let naive_fixpoint rules db =
+  let rec iterate db =
+    let additions =
+      List.fold_left
+        (fun acc r -> Instance.union acc (Eval.eval r db))
+        Instance.empty rules
+    in
+    if Instance.subset additions db then db
+    else iterate (Instance.union db additions)
+  in
+  iterate db
+
+(* Semi-naive fixpoint: each iteration evaluates, for every rule and
+   every occurrence of a recursive predicate in its positive body, a
+   variant where that occurrence reads only the last iteration's delta.
+   Deltas are materialized under reserved relation names. *)
+let seminaive_fixpoint rules db =
+  let recursive =
+    List.fold_left
+      (fun acc r -> Sset.add (Ast.head r).Ast.rel acc)
+      Sset.empty rules
+  in
+  let variants r =
+    let body = Ast.body r in
+    let rec_positions =
+      List.filteri
+        (fun _ (a : Ast.atom) -> Sset.mem a.Ast.rel recursive)
+        body
+      |> List.length
+    in
+    if rec_positions = 0 then []
+    else
+      List.concat
+        (List.mapi
+           (fun i (a : Ast.atom) ->
+             if not (Sset.mem a.Ast.rel recursive) then []
+             else
+               [
+                 Ast.make ~negated:(Ast.negated r) ~diseq:(Ast.diseq r)
+                   ~head:(Ast.head r)
+                   ~body:
+                     (List.mapi
+                        (fun j (b : Ast.atom) ->
+                          if i = j then
+                            Ast.atom (delta_prefix ^ b.Ast.rel) b.Ast.terms
+                          else b)
+                        body)
+                   ();
+               ])
+           body)
+  in
+  let rule_variants = List.map (fun r -> (r, variants r)) rules in
+  let rename_delta delta =
+    Instance.fold
+      (fun f acc ->
+        Instance.add (Fact.make (delta_prefix ^ Fact.rel f) (Fact.args f)) acc)
+      delta Instance.empty
+  in
+  (* First iteration: full evaluation. *)
+  let initial =
+    List.fold_left
+      (fun acc r -> Instance.union acc (Eval.eval r db))
+      Instance.empty rules
+  in
+  let rec iterate total delta =
+    if Instance.is_empty delta then total
+    else begin
+      let view = Instance.union total (rename_delta delta) in
+      let additions =
+        List.fold_left
+          (fun acc (_, vs) ->
+            List.fold_left
+              (fun acc v -> Instance.union acc (Eval.eval v view))
+              acc vs)
+          Instance.empty rule_variants
+      in
+      let fresh = Instance.diff additions total in
+      iterate (Instance.union total fresh) fresh
+    end
+  in
+  iterate (Instance.union db initial) (Instance.diff initial db)
+
+type strategy =
+  | Naive
+  | Seminaive
+
+let run ?(strategy = Seminaive) program instance =
+  let db = if Program.uses_adom program then materialize_adom instance else instance in
+  let layers = Stratify.layers program in
+  let fixpoint =
+    match strategy with
+    | Naive -> naive_fixpoint
+    | Seminaive -> seminaive_fixpoint
+  in
+  List.fold_left (fun db rules -> fixpoint rules db) db layers
+
+let query ?strategy program ~output instance =
+  let db = run ?strategy program instance in
+  Instance.filter (fun f -> Fact.rel f = output) db

@@ -1,0 +1,28 @@
+(** Evaluation of stratified Datalog programs.
+
+    Programs are evaluated stratum by stratum (negation always refers to
+    already-computed layers), each stratum by a naive or a semi-naive
+    fixpoint. The semi-naive strategy only re-derives from facts that
+    are new since the previous iteration; both strategies compute the
+    same model, which the test suite checks by property. *)
+
+open Lamp_relational
+
+val materialize_adom : Instance.t -> Instance.t
+(** Adds [ADom(v)] for every active-domain value — the predicate the
+    paper's Q¬TC program reads. Applied automatically by {!run} when the
+    program mentions [ADom]. *)
+
+type strategy =
+  | Naive
+  | Seminaive
+
+val run : ?strategy:strategy -> Program.t -> Instance.t -> Instance.t
+(** The program's perfect model: the input plus all derived IDB facts
+    (plus [ADom] when used).
+    @raise Stratify.Not_stratifiable on programs with negative cycles —
+    use [Wellfounded] for those. *)
+
+val query :
+  ?strategy:strategy -> Program.t -> output:string -> Instance.t -> Instance.t
+(** [run] restricted to one output relation. *)

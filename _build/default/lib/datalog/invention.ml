@@ -1,0 +1,229 @@
+open Lamp_relational
+module Datalog_eval = Eval
+open Lamp_cq
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+type rule = {
+  head : Ast.atom;
+  body : Ast.atom list;
+  negated : Ast.atom list;
+  diseq : (Ast.term * Ast.term) list;
+  invented : string list;
+  tag : string;
+}
+
+exception Unsafe of string
+
+let rule ?(negated = []) ?(diseq = []) ~tag ~head ~body () =
+  let body_vars =
+    List.fold_left
+      (fun acc a -> Sset.union acc (Sset.of_list (Ast.atom_vars a)))
+      Sset.empty body
+  in
+  let check_covered what atoms =
+    List.iter
+      (fun (a : Ast.atom) ->
+        List.iter
+          (fun v ->
+            if not (Sset.mem v body_vars) then
+              raise
+                (Unsafe
+                   (Fmt.str "variable %s of %s not bound by a positive atom" v
+                      what)))
+          (Ast.atom_vars a))
+      atoms
+  in
+  check_covered "a negated atom" negated;
+  List.iter
+    (fun (t1, t2) ->
+      List.iter
+        (function
+          | Ast.Var v when not (Sset.mem v body_vars) ->
+            raise (Unsafe (Fmt.str "inequality variable %s unbound" v))
+          | _ -> ())
+        [ t1; t2 ])
+    diseq;
+  let invented =
+    List.filter
+      (fun v -> not (Sset.mem v body_vars))
+      (List.sort_uniq String.compare (Ast.atom_vars head))
+  in
+  { head; body; negated; diseq; invented; tag }
+
+type t = {
+  rules : rule list;
+}
+
+let make rules =
+  if rules = [] then invalid_arg "Invention.make: empty program";
+  { rules }
+
+let rules t = t.rules
+
+let parse text =
+  let lines =
+    text
+    |> String.split_on_char '\n'
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  make
+    (List.mapi
+       (fun i l ->
+         let c = Parser.clause l in
+         rule ~negated:c.Parser.negated ~diseq:c.Parser.diseq
+           ~tag:(Fmt.str "r%d" i) ~head:c.Parser.head ~body:c.Parser.body ())
+       lines)
+
+let idb t =
+  List.fold_left
+    (fun acc r -> Sset.add r.head.Ast.rel acc)
+    Sset.empty t.rules
+  |> Sset.elements
+
+let edb t =
+  let idb_set = Sset.of_list (idb t) in
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc (a : Ast.atom) ->
+          if Sset.mem a.Ast.rel idb_set then acc else Sset.add a.Ast.rel acc)
+        acc (r.body @ r.negated))
+    Sset.empty t.rules
+  |> Sset.elements
+
+let has_invention t = List.exists (fun r -> r.invented <> []) t.rules
+
+let is_semi_positive t =
+  let idb_set = Sset.of_list (idb t) in
+  List.for_all
+    (fun r ->
+      List.for_all
+        (fun (a : Ast.atom) -> not (Sset.mem a.Ast.rel idb_set))
+        r.negated)
+    t.rules
+
+let rule_connected r =
+  match r.body with
+  | [] -> true
+  | _ ->
+    (* Reuse the CQ connectivity check through a safe proxy rule. *)
+    Connectivity.rule_connected
+      (Ast.make ~head:(Ast.atom "H" []) ~body:r.body ())
+
+let program_connected t = List.for_all rule_connected t.rules
+
+(* Invented values are Skolem terms: deterministic in the rule tag, the
+   invented variable, and the body valuation — the functional semantics
+   of ILOG, under which re-deriving the same body does not mint a new
+   value, which is what makes fixpoints meaningful. *)
+let invention_prefix = "\007"
+
+let skolem ~tag ~var binding =
+  Value.str
+    (Fmt.str "%s%s.%s(%s)" invention_prefix tag var
+       (String.concat ","
+          (List.map
+             (fun (v, value) -> v ^ "=" ^ Value.to_string value)
+             binding)))
+
+let is_invented_value = function
+  | Value.Str s -> String.length s > 0 && s.[0] = '\007'
+  | Value.Int _ -> false
+
+exception Diverged of string
+
+(* One application of a rule: all satisfying valuations of the body
+   (negation checked against [db]), extended with Skolem values for the
+   invented head variables. *)
+let apply_rule db r =
+  let body_vars =
+    List.fold_left
+      (fun acc a -> Sset.union acc (Sset.of_list (Ast.atom_vars a)))
+      Sset.empty r.body
+    |> Sset.elements
+  in
+  let proxy =
+    Ast.make ~negated:r.negated ~diseq:r.diseq
+      ~head:(Ast.atom "\007proxy" (List.map (fun v -> Ast.Var v) body_vars))
+      ~body:r.body ()
+  in
+  Eval.fold_valuations proxy db
+    (fun valuation acc ->
+      let binding =
+        List.map
+          (fun v -> (v, Option.get (Valuation.find v valuation)))
+          body_vars
+      in
+      let extended =
+        List.fold_left
+          (fun val_acc var ->
+            Valuation.bind var (skolem ~tag:r.tag ~var binding) val_acc)
+          valuation r.invented
+      in
+      Instance.add (Valuation.atom extended r.head) acc)
+    Instance.empty
+
+(* Naive stratified fixpoint with a divergence guard: invention can
+   produce infinitely many values (wILOG expresses non-terminating
+   computations), so the evaluation is capped. *)
+let run ?(max_facts = 100_000) ?(max_rounds = 10_000) t instance =
+  let instance =
+    if List.mem "ADom" (edb t) then Datalog_eval.materialize_adom instance
+    else instance
+  in
+  (* Stratify on the predicate level, as for plain Datalog. *)
+  let idb_set = Sset.of_list (idb t) in
+  let n = Sset.cardinal idb_set in
+  let stratum = ref Smap.empty in
+  let get p = Option.value ~default:0 (Smap.find_opt p !stratum) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        let bump target =
+          if target > get r.head.Ast.rel then begin
+            if target > n then
+              raise (Stratify.Not_stratifiable r.head.Ast.rel);
+            stratum := Smap.add r.head.Ast.rel target !stratum;
+            changed := true
+          end
+        in
+        List.iter
+          (fun (a : Ast.atom) ->
+            if Sset.mem a.Ast.rel idb_set then bump (get a.Ast.rel))
+          r.body;
+        List.iter
+          (fun (a : Ast.atom) ->
+            if Sset.mem a.Ast.rel idb_set then bump (get a.Ast.rel + 1))
+          r.negated)
+      t.rules
+  done;
+  let max_stratum = Smap.fold (fun _ s acc -> max s acc) !stratum 0 in
+  let layers =
+    List.init (max_stratum + 1) (fun level ->
+        List.filter (fun r -> get r.head.Ast.rel = level) t.rules)
+  in
+  let eval_layer db rules =
+    let rec iterate db round =
+      if round > max_rounds then raise (Diverged "round limit exceeded");
+      if Instance.cardinal db > max_facts then
+        raise (Diverged "fact limit exceeded");
+      let additions =
+        List.fold_left
+          (fun acc r -> Instance.union acc (apply_rule db r))
+          Instance.empty rules
+      in
+      if Instance.subset additions db then db
+      else iterate (Instance.union db additions) (round + 1)
+    in
+    iterate db 0
+  in
+  List.fold_left eval_layer instance layers
+
+let query ?max_facts ?max_rounds t ~output instance =
+  Instance.filter
+    (fun f -> Fact.rel f = output)
+    (run ?max_facts ?max_rounds t instance)

@@ -1,0 +1,70 @@
+(** Datalog with value invention — the wILOG family of Figure 2.
+
+    A rule may use head variables that do not occur in its body; each
+    such variable denotes an {e invented} value, functional in the rule
+    and the body valuation (ILOG semantics: re-deriving the same body
+    re-uses the same value). Cabibbo showed Datalog(≠) with invention
+    captures the monotone queries, semi-positive wILOG captures
+    Mdistinct, and [18] that semi-connected wILOG captures Mdisjoint —
+    the three left-column entries of Figure 2.
+
+    Invention makes programs Turing-expressive, so evaluation is capped
+    and raises {!Diverged} past the limits. *)
+
+open Lamp_relational
+open Lamp_cq
+
+type rule = private {
+  head : Ast.atom;
+  body : Ast.atom list;
+  negated : Ast.atom list;
+  diseq : (Ast.term * Ast.term) list;
+  invented : string list;  (** Head variables not bound by the body. *)
+  tag : string;  (** Skolem tag; distinct per rule. *)
+}
+
+exception Unsafe of string
+
+val rule :
+  ?negated:Ast.atom list ->
+  ?diseq:(Ast.term * Ast.term) list ->
+  tag:string ->
+  head:Ast.atom ->
+  body:Ast.atom list ->
+  unit ->
+  rule
+(** Safety here only requires negated atoms and inequalities to be
+    bound by the positive body; unbound {e head} variables become
+    invented.
+    @raise Unsafe otherwise. *)
+
+type t
+
+val make : rule list -> t
+val parse : string -> t
+(** Same line-based syntax as [Program.parse], safety relaxed to allow
+    invention. *)
+
+val rules : t -> rule list
+val idb : t -> string list
+val edb : t -> string list
+val has_invention : t -> bool
+val is_semi_positive : t -> bool
+val rule_connected : rule -> bool
+val program_connected : t -> bool
+
+val is_invented_value : Value.t -> bool
+(** Whether a value was minted by invention (Skolem values live in a
+    reserved namespace). *)
+
+exception Diverged of string
+
+val run : ?max_facts:int -> ?max_rounds:int -> t -> Instance.t -> Instance.t
+(** Stratified naive fixpoint with functional invention.
+    @raise Diverged past the caps (defaults: 100000 facts, 10000
+    rounds).
+    @raise Stratify.Not_stratifiable on negative cycles. *)
+
+val query :
+  ?max_facts:int -> ?max_rounds:int -> t -> output:string -> Instance.t ->
+  Instance.t

@@ -1,0 +1,64 @@
+open Lamp_cq
+
+(* A Datalog rule is exactly a safe CQ with optional negated atoms and
+   inequalities, so rules reuse the CQ AST and its parser. *)
+type rule = Ast.t
+
+type t = {
+  rules : rule list;
+}
+
+module Sset = Set.Make (String)
+
+let make rules =
+  if rules = [] then invalid_arg "Program.make: empty program";
+  { rules }
+
+let rules t = t.rules
+
+let parse text =
+  let lines =
+    text
+    |> String.split_on_char '\n'
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l >= 1 && l.[0] = '#'))
+  in
+  make (List.map Parser.query lines)
+
+let idb t =
+  List.fold_left
+    (fun acc r -> Sset.add (Ast.head r).Ast.rel acc)
+    Sset.empty t.rules
+  |> Sset.elements
+
+let edb t =
+  let idb_set = Sset.of_list (idb t) in
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc (a : Ast.atom) ->
+          if Sset.mem a.Ast.rel idb_set then acc else Sset.add a.Ast.rel acc)
+        acc
+        (Ast.body r @ Ast.negated r))
+    Sset.empty t.rules
+  |> Sset.elements
+
+let uses_adom t = List.mem "ADom" (edb t)
+
+let has_negation t = List.exists Ast.has_negation t.rules
+
+let is_positive t =
+  List.for_all (fun r -> Ast.negated r = []) t.rules
+
+(* Semi-positive: negation only over EDB relations. *)
+let is_semi_positive t =
+  let idb_set = Sset.of_list (idb t) in
+  List.for_all
+    (fun r ->
+      List.for_all
+        (fun (a : Ast.atom) -> not (Sset.mem a.Ast.rel idb_set))
+        (Ast.negated r))
+    t.rules
+
+let pp ppf t =
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@.") Ast.pp) t.rules

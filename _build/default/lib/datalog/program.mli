@@ -1,0 +1,45 @@
+(** Datalog programs (Section 5.3 of the paper).
+
+    A rule is a safe conjunctive query — possibly with negated atoms and
+    inequalities — whose head relation becomes intensional (IDB). The
+    textual format is one rule per line, in the CQ syntax of
+    [Lamp_cq.Parser]:
+    {v
+      TC(x,y) <- E(x,y)
+      TC(x,y) <- TC(x,z), TC(z,y)
+      OUT(x,y) <- ADom(x), ADom(y), !TC(x,y)
+    v}
+    The distinguished EDB relation [ADom] (the active domain) is
+    materialized automatically by the evaluator when a program mentions
+    it. *)
+
+type rule = Lamp_cq.Ast.t
+
+type t
+
+val make : rule list -> t
+(** @raise Invalid_argument on the empty program. *)
+
+val rules : t -> rule list
+
+val parse : string -> t
+(** One rule per line; blank lines and lines starting with ['#'] are
+    skipped.
+    @raise Lamp_cq.Parser.Parse_error on malformed rules. *)
+
+val idb : t -> string list
+(** Relations defined by some rule head, sorted. *)
+
+val edb : t -> string list
+(** Relations read but never defined, sorted (includes [ADom] when
+    used). *)
+
+val uses_adom : t -> bool
+val has_negation : t -> bool
+val is_positive : t -> bool
+
+val is_semi_positive : t -> bool
+(** Negation applies to EDB relations only — the fragment shown in [4]
+    to be domain-distinct-monotone (Figure 2). *)
+
+val pp : t Fmt.t

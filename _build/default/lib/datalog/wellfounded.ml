@@ -1,0 +1,84 @@
+open Lamp_relational
+module Datalog_eval = Eval
+open Lamp_cq
+module Sset = Set.Make (String)
+
+let neg_prefix = "\004assumed_"
+
+type result = {
+  true_facts : Instance.t;
+  undefined : Instance.t;
+}
+
+(* Least fixpoint of the program where every negated IDB atom ¬R(t̄) is
+   tested against a fixed assumed set: ¬R(t̄) holds iff R(t̄) ∉ assumed.
+   Negations over EDB relations keep their usual meaning. With the
+   assumed set fixed, the transformed program is monotone in its IDB, so
+   the naive fixpoint applies. *)
+let lfp_against program instance assumed =
+  let idb = Sset.of_list (Program.idb program) in
+  let transform r =
+    let negated_idb, negated_edb =
+      List.partition
+        (fun (a : Ast.atom) -> Sset.mem a.Ast.rel idb)
+        (Ast.negated r)
+    in
+    let renamed =
+      List.map
+        (fun (a : Ast.atom) -> Ast.atom (neg_prefix ^ a.Ast.rel) a.Ast.terms)
+        negated_idb
+    in
+    Ast.make
+      ~negated:(negated_edb @ renamed)
+      ~diseq:(Ast.diseq r) ~head:(Ast.head r) ~body:(Ast.body r) ()
+  in
+  let rules = List.map transform (Program.rules program) in
+  let assumed_renamed =
+    Instance.fold
+      (fun f acc ->
+        if Sset.mem (Fact.rel f) idb then
+          Instance.add (Fact.make (neg_prefix ^ Fact.rel f) (Fact.args f)) acc
+        else acc)
+      assumed Instance.empty
+  in
+  let db = Instance.union instance assumed_renamed in
+  let rec iterate db =
+    let additions =
+      List.fold_left
+        (fun acc r -> Instance.union acc (Lamp_cq.Eval.eval r db))
+        Instance.empty rules
+    in
+    if Instance.subset additions db then db
+    else iterate (Instance.union db additions)
+  in
+  let final = iterate db in
+  (* Keep only genuine facts: drop the assumed-set bookkeeping. *)
+  Instance.filter
+    (fun f -> not (String.length (Fact.rel f) > 0 && (Fact.rel f).[0] = '\004'))
+    final
+
+(* Alternating fixpoint: underestimates and overestimates converge to
+   the well-founded model. *)
+let well_founded program instance =
+  let instance =
+    if Program.uses_adom program then Datalog_eval.materialize_adom instance
+    else instance
+  in
+  let idb = Sset.of_list (Program.idb program) in
+  let idb_part i = Instance.filter (fun f -> Sset.mem (Fact.rel f) idb) i in
+  let rec alternate under =
+    let over = lfp_against program instance under in
+    let under' = lfp_against program instance over in
+    if Instance.equal (idb_part under') (idb_part under) then (under', over)
+    else alternate under'
+  in
+  let under, over = alternate Instance.empty in
+  {
+    true_facts = under;
+    undefined = Instance.diff (idb_part over) (idb_part under);
+  }
+
+let query program ~output instance =
+  let r = well_founded program instance in
+  ( Instance.filter (fun f -> Fact.rel f = output) r.true_facts,
+    Instance.filter (fun f -> Fact.rel f = output) r.undefined )

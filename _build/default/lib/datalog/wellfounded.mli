@@ -1,0 +1,23 @@
+(** Well-founded semantics by the alternating fixpoint.
+
+    For programs whose negation is not stratified — the paper's win–move
+    game [Win(x) ← Move(x,y), ¬Win(y)] is the canonical example — the
+    well-founded model assigns each fact one of three values: true,
+    false, or undefined (e.g. positions in a drawn cycle). Ameloot et
+    al. [17] show semi-connected programs stay domain-disjoint-monotone
+    under this semantics, which is how win–move lands in F2 (Section
+    5.3). *)
+
+open Lamp_relational
+
+type result = {
+  true_facts : Instance.t;  (** Input, derived, and [ADom] facts. *)
+  undefined : Instance.t;  (** IDB facts with undefined truth value. *)
+}
+
+val well_founded : Program.t -> Instance.t -> result
+(** Computes the well-founded model by alternating under- and
+    overestimates; always terminates. *)
+
+val query : Program.t -> output:string -> Instance.t -> Instance.t * Instance.t
+(** [(true, undefined)] facts of one output relation. *)

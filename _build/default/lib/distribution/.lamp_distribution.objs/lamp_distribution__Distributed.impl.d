@@ -1,0 +1,1 @@
+lib/distribution/distributed.ml: Eval Instance Lamp_cq Lamp_relational List Policy

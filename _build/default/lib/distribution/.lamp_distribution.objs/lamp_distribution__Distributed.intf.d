@@ -1,0 +1,1 @@
+lib/distribution/distributed.mli: Ast Instance Lamp_cq Lamp_relational Node Policy

@@ -1,0 +1,1 @@
+lib/distribution/grid.mli:

@@ -1,0 +1,1 @@
+lib/distribution/node.ml: Fmt Hashtbl Int List Map Set

@@ -1,0 +1,1 @@
+lib/distribution/node.mli: Fmt Map Set

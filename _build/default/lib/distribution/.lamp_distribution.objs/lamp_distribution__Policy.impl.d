@@ -1,0 +1,1 @@
+lib/distribution/policy.ml: Array Ast Fact Fmt Grid Hashtbl Instance Lamp_cq Lamp_relational List Node Option Value

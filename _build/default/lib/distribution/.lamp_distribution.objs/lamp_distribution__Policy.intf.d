@@ -1,0 +1,1 @@
+lib/distribution/policy.mli: Ast Fact Fmt Grid Instance Lamp_cq Lamp_relational Node Value

@@ -1,0 +1,12 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+
+let pp ppf n = Fmt.pf ppf "κ%d" n
+
+let range p = List.init p (fun i -> i)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

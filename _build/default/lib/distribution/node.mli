@@ -1,0 +1,18 @@
+(** Network nodes. A network is a nonempty finite set of node names
+    (Section 4.1); nodes are dense integers so they double as MPC server
+    identifiers. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : t Fmt.t
+(** Prints as the paper's κ-notation, e.g. [κ0]. *)
+
+val range : int -> t list
+(** [range p] is the network [{κ0, …, κ(p-1)}]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/lp/packing.ml: Array Int List Simplex

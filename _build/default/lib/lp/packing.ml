@@ -1,0 +1,119 @@
+type result = {
+  value : float;
+  weights : float array;
+}
+
+let check_edges ~vertices edges =
+  List.iter
+    (fun e ->
+      if e = [] then invalid_arg "Packing: empty hyperedge";
+      List.iter
+        (fun v ->
+          if v < 0 || v >= vertices then
+            invalid_arg "Packing: vertex index out of range")
+        e)
+    edges
+
+let incidence ~vertices edges =
+  let nedges = List.length edges in
+  let inc = Array.make_matrix vertices nedges 0.0 in
+  List.iteri
+    (fun j e -> List.iter (fun v -> inc.(v).(j) <- 1.0) (List.sort_uniq Int.compare e))
+    edges;
+  inc
+
+let edge_packing ~vertices ~edges =
+  check_edges ~vertices edges;
+  let nedges = List.length edges in
+  if nedges = 0 then { value = 0.0; weights = [||] }
+  else begin
+    let inc = incidence ~vertices edges in
+    let constraints =
+      List.init vertices (fun v -> (inc.(v), 1.0))
+    in
+    let problem =
+      Simplex.make ~objective:(Array.make nedges 1.0) ~constraints
+    in
+    let s = Simplex.maximize_exn problem in
+    { value = s.Simplex.value; weights = s.Simplex.primal }
+  end
+
+let edge_cover ~vertices ~edges =
+  check_edges ~vertices edges;
+  let nedges = List.length edges in
+  let covered = Array.make vertices false in
+  List.iter (fun e -> List.iter (fun v -> covered.(v) <- true) e) edges;
+  if Array.exists not covered then
+    invalid_arg "Packing.edge_cover: some vertex lies in no edge";
+  if vertices = 0 then { value = 0.0; weights = Array.make nedges 0.0 }
+  else begin
+    (* Solve the dual program max Σ x_v s.t. Σ_{v∈e} x_v ≤ 1 per edge;
+       its optimal value is ρ* and the duals of the edge rows are the
+       cover weights. *)
+    let rows =
+      List.map
+        (fun e ->
+          let row = Array.make vertices 0.0 in
+          List.iter (fun v -> row.(v) <- 1.0) e;
+          (row, 1.0))
+        edges
+    in
+    let problem =
+      Simplex.make ~objective:(Array.make vertices 1.0) ~constraints:rows
+    in
+    let s = Simplex.maximize_exn problem in
+    { value = s.Simplex.value; weights = s.Simplex.dual }
+  end
+
+let vertex_cover ~vertices ~edges =
+  check_edges ~vertices edges;
+  if vertices = 0 then { value = 0.0; weights = [||] }
+  else begin
+    (* The dual of the edge-packing program: its optimal value is τ* and
+       the duals of the vertex rows are the vertex-cover weights. *)
+    let nedges = List.length edges in
+    if nedges = 0 then { value = 0.0; weights = Array.make vertices 0.0 }
+    else begin
+      let inc = incidence ~vertices edges in
+      let constraints = List.init vertices (fun v -> (inc.(v), 1.0)) in
+      let problem =
+        Simplex.make ~objective:(Array.make nedges 1.0) ~constraints
+      in
+      let s = Simplex.maximize_exn problem in
+      { value = s.Simplex.value; weights = s.Simplex.dual }
+    end
+  end
+
+let hypercube_exponents ~vertices ~edges =
+  check_edges ~vertices edges;
+  if vertices = 0 || edges = [] then (1.0, Array.make vertices 0.0)
+  else begin
+    (* Variables: e_0 .. e_{vertices-1}, then t.
+       maximize t
+       s.t.  t - Σ_{v ∈ edge} e_v ≤ 0   for every edge
+             Σ_v e_v ≤ 1. *)
+    let n = vertices + 1 in
+    let objective = Array.make n 0.0 in
+    objective.(vertices) <- 1.0;
+    let edge_rows =
+      List.map
+        (fun e ->
+          let row = Array.make n 0.0 in
+          List.iter (fun v -> row.(v) <- -1.0) (List.sort_uniq Int.compare e);
+          row.(vertices) <- 1.0;
+          (row, 0.0))
+        edges
+    in
+    let budget =
+      let row = Array.make n 0.0 in
+      for v = 0 to vertices - 1 do
+        row.(v) <- 1.0
+      done;
+      (row, 1.0)
+    in
+    let problem =
+      Simplex.make ~objective ~constraints:(edge_rows @ [ budget ])
+    in
+    let s = Simplex.maximize_exn problem in
+    (s.Simplex.value, Array.sub s.Simplex.primal 0 vertices)
+  end

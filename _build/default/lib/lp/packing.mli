@@ -1,0 +1,34 @@
+(** Fractional packings and covers of hypergraphs.
+
+    A hypergraph is given by a vertex count and a list of hyperedges,
+    each a list of vertex indices in [0, vertices). These programs drive
+    the HyperCube algorithm: the optimal fractional edge packing value
+    τ* determines the skew-free load bound [m / p**(1/tau)] of
+    Beame–Koutris–Suciu, and the dual exponents are the HyperCube
+    shares. *)
+
+type result = {
+  value : float;  (** Optimal objective value. *)
+  weights : float array;  (** Optimal weights (per edge or per vertex). *)
+}
+
+val edge_packing : vertices:int -> edges:int list list -> result
+(** Maximum fractional edge packing: maximize Σ yₑ subject to
+    Σ_{e ∋ v} yₑ ≤ 1 for every vertex. [result.value] is τ*. *)
+
+val edge_cover : vertices:int -> edges:int list list -> result
+(** Minimum fractional edge cover: minimize Σ yₑ subject to
+    Σ_{e ∋ v} yₑ ≥ 1 for every vertex; solved through its LP dual.
+    [result.value] is ρ* (the AGM exponent).
+    @raise Invalid_argument when some vertex lies in no edge. *)
+
+val vertex_cover : vertices:int -> edges:int list list -> result
+(** Minimum fractional vertex cover, the LP dual of {!edge_packing};
+    its value equals τ*. *)
+
+val hypercube_exponents : vertices:int -> edges:int list list -> float * float array
+(** [hypercube_exponents ~vertices ~edges] maximizes [t] such that every
+    hyperedge satisfies Σ_{v ∈ e} xᵥ ≥ t with Σ xᵥ ≤ 1, x ≥ 0. The
+    optimal [t] equals 1/τ* and the xᵥ are the share exponents: giving
+    variable [v] the share [p^xᵥ] yields per-atom load [m/p^t] on
+    skew-free data. *)

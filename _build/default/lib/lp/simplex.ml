@@ -1,0 +1,118 @@
+type problem = {
+  objective : float array;
+  constraints : (float array * float) list;
+}
+
+type solution = {
+  value : float;
+  primal : float array;
+  dual : float array;
+}
+
+type outcome =
+  | Optimal of solution
+  | Unbounded
+
+let epsilon = 1e-9
+
+let make ~objective ~constraints =
+  let n = Array.length objective in
+  List.iter
+    (fun (row, b) ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.make: constraint row of wrong dimension";
+      if b < -.epsilon then
+        invalid_arg "Simplex.make: negative right-hand side unsupported")
+    constraints;
+  { objective; constraints }
+
+(* Dense tableau simplex, phase II only. The origin is feasible because
+   every right-hand side is nonnegative. Bland's rule guarantees
+   termination. Tableau layout: m rows of [n structural | m slack | rhs],
+   plus an objective row storing reduced costs (negated, so we pivot
+   while some entry is < -eps). *)
+let maximize problem =
+  let n = Array.length problem.objective in
+  let rows = Array.of_list problem.constraints in
+  let m = Array.length rows in
+  let width = n + m + 1 in
+  let tab = Array.make_matrix (m + 1) width 0.0 in
+  Array.iteri
+    (fun i (row, b) ->
+      Array.blit row 0 tab.(i) 0 n;
+      tab.(i).(n + i) <- 1.0;
+      tab.(i).(width - 1) <- b)
+    rows;
+  for j = 0 to n - 1 do
+    tab.(m).(j) <- -.problem.objective.(j)
+  done;
+  let basis = Array.init m (fun i -> n + i) in
+  let rec iterate () =
+    (* Bland: entering variable = smallest index with negative reduced
+       cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to n + m - 1 do
+         if tab.(m).(j) < -.epsilon then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let e = !entering in
+      (* Leaving variable: minimum ratio, ties broken by smallest basis
+         index (Bland). *)
+      let leaving = ref (-1) in
+      let best = ref infinity in
+      for i = 0 to m - 1 do
+        if tab.(i).(e) > epsilon then begin
+          let ratio = tab.(i).(width - 1) /. tab.(i).(e) in
+          if
+            ratio < !best -. epsilon
+            || (ratio < !best +. epsilon
+               && (!leaving < 0 || basis.(i) < basis.(!leaving)))
+          then begin
+            best := ratio;
+            leaving := i
+          end
+        end
+      done;
+      if !leaving < 0 then `Unbounded
+      else begin
+        let l = !leaving in
+        let pivot = tab.(l).(e) in
+        for j = 0 to width - 1 do
+          tab.(l).(j) <- tab.(l).(j) /. pivot
+        done;
+        for i = 0 to m do
+          if i <> l then begin
+            let factor = tab.(i).(e) in
+            if Float.abs factor > 0.0 then
+              for j = 0 to width - 1 do
+                tab.(i).(j) <- tab.(i).(j) -. (factor *. tab.(l).(j))
+              done
+          end
+        done;
+        basis.(l) <- e;
+        iterate ()
+      end
+    end
+  in
+  match iterate () with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+    let primal = Array.make n 0.0 in
+    Array.iteri
+      (fun i v -> if v < n then primal.(v) <- tab.(i).(width - 1))
+      basis;
+    (* The dual value of constraint i is the reduced cost of its slack
+       column in the final tableau. *)
+    let dual = Array.init m (fun i -> tab.(m).(n + i)) in
+    Optimal { value = tab.(m).(width - 1); primal; dual }
+
+let maximize_exn problem =
+  match maximize problem with
+  | Optimal s -> s
+  | Unbounded -> invalid_arg "Simplex.maximize_exn: unbounded problem"

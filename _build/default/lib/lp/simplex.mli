@@ -1,0 +1,34 @@
+(** A small dense simplex solver.
+
+    Solves [maximize c·x subject to A x ≤ b, x ≥ 0] with [b ≥ 0], which
+    makes the origin feasible and removes the need for a phase-I
+    procedure. Every linear program in this repository (fractional edge
+    packings and covers via duality, HyperCube share exponents) has this
+    shape. Bland's anti-cycling rule is used, so the solver terminates on
+    all inputs. *)
+
+type problem
+
+type solution = {
+  value : float;  (** Optimal objective value. *)
+  primal : float array;  (** Optimal assignment of the variables. *)
+  dual : float array;
+      (** Optimal dual values, one per constraint; used to read off
+          fractional edge covers from vertex-packing programs. *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Unbounded
+
+val make :
+  objective:float array -> constraints:(float array * float) list -> problem
+(** [make ~objective ~constraints] builds the program
+    [maximize objective·x s.t. row·x ≤ b for each (row, b), x ≥ 0].
+    @raise Invalid_argument on dimension mismatch or a negative
+    right-hand side. *)
+
+val maximize : problem -> outcome
+
+val maximize_exn : problem -> solution
+(** @raise Invalid_argument when the program is unbounded. *)

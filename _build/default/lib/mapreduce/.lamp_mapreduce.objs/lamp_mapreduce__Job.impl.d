@@ -1,0 +1,1 @@
+lib/mapreduce/job.ml: Array Fact Hashtbl Instance Lamp_mpc Lamp_relational List Map Option String Value

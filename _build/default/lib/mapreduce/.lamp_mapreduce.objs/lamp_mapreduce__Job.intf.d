@@ -1,0 +1,1 @@
+lib/mapreduce/job.mli: Fact Instance Lamp_mpc Lamp_relational Value

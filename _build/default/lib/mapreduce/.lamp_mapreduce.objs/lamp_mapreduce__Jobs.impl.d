@@ -1,0 +1,1 @@
+lib/mapreduce/jobs.ml: Array Fact Instance Job Lamp_cq Lamp_relational Value

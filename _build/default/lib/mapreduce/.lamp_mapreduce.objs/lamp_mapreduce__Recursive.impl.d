@@ -1,0 +1,1 @@
+lib/mapreduce/recursive.ml: Array Fact Instance Job Lamp_relational Value

@@ -1,0 +1,1 @@
+lib/mapreduce/recursive.mli: Instance Lamp_relational

@@ -1,0 +1,77 @@
+open Lamp_relational
+
+(* The repartition join (Example 3.1(1a)) as a single MapReduce job:
+   R(a,b) maps to ⟨b : R(a,b)⟩, S(c,d) to ⟨c : S(c,d)⟩; each reducer
+   joins its group. *)
+let repartition_join =
+  {
+    Job.map =
+      (fun f ->
+        let args = Fact.args f in
+        match Fact.rel f with
+        | "R" when Array.length args = 2 -> [ ([ args.(1) ], f) ]
+        | "S" when Array.length args = 2 -> [ ([ args.(0) ], f) ]
+        | _ -> []);
+    reduce =
+      (fun _key group ->
+        Instance.facts (Lamp_cq.Eval.eval Lamp_cq.Examples.q1_join group));
+  }
+
+(* The two-round triangle (Example 3.1(2)) as a two-job program: job 1
+   joins R and S on y into K and forwards T untouched (mapped to a key
+   private to each T fact so it passes through); job 2 joins K and T on
+   the pair (x, z). *)
+let triangle_program =
+  let job1 =
+    {
+      Job.map =
+        (fun f ->
+          let args = Fact.args f in
+          match Fact.rel f with
+          | "R" -> [ ([ args.(1) ], f) ]
+          | "S" -> [ ([ args.(0) ], f) ]
+          | "T" -> [ (Value.str "t" :: Array.to_list args, f) ]
+          | _ -> []);
+      reduce =
+        (fun _key group ->
+          Instance.facts
+            (Lamp_cq.Eval.eval
+               (Lamp_cq.Parser.query "K(x,y,z) <- R(x,y), S(y,z)")
+               group)
+          @ Instance.facts (Instance.filter (fun f -> Fact.rel f = "T") group));
+    }
+  in
+  let job2 =
+    {
+      Job.map =
+        (fun f ->
+          let args = Fact.args f in
+          match Fact.rel f with
+          | "K" -> [ ([ args.(0); args.(2) ], f) ]
+          | "T" -> [ ([ args.(1); args.(0) ], f) ]
+          | _ -> []);
+      reduce =
+        (fun _key group ->
+          Instance.facts
+            (Lamp_cq.Eval.eval
+               (Lamp_cq.Parser.query "H(x,y,z) <- K(x,y,z), T(z,x)")
+               group));
+    }
+  in
+  [ job1; job2 ]
+
+(* Per-value frequency of a column — the heavy-hitter detector as a
+   MapReduce job. *)
+let degree_count ~rel ~pos =
+  {
+    Job.map =
+      (fun f ->
+        if Fact.rel f = rel && pos < Fact.arity f then
+          [ ([ (Fact.args f).(pos) ], f) ]
+        else []);
+    reduce =
+      (fun key group ->
+        match key with
+        | [ v ] -> [ Fact.of_list "Degree" [ v; Value.int (Instance.cardinal group) ] ]
+        | _ -> []);
+  }

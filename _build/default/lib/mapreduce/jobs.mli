@@ -1,0 +1,13 @@
+(** Ready-made MapReduce jobs for the paper's examples. *)
+
+val repartition_join : Job.t
+(** Example 3.1(1a) as one job: both relations keyed on the join
+    attribute, each reducer joins its group. *)
+
+val triangle_program : Job.program
+(** Example 3.1(2) as a two-job program computing the triangle query by
+    a cascade of binary joins (output relation [H]). *)
+
+val degree_count : rel:string -> pos:int -> Job.t
+(** Emits [Degree(v, n)] for every value [v] occurring [n] times in the
+    given column — the distributed heavy-hitter detector. *)

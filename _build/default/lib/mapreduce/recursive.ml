@@ -1,0 +1,98 @@
+open Lamp_relational
+
+(* Transitive closure in MapReduce (Afrati–Ullman [5, 10], cited in
+   Section 3.2): each iteration is a join job plus the union with the
+   previous closure. The naive (linear) iteration joins the closure with
+   the base edges and needs as many jobs as the longest path; recursive
+   doubling joins the closure with itself, halving the rounds to
+   ⌈log₂ diameter⌉ — the round/communication trade-off the paper's
+   multi-round discussion is about. *)
+
+let join_closure_job ~with_rel =
+  (* TC(x,y), with_rel(y,z) → TC(x,z), keyed on y; TC facts also pass
+     through so the closure accumulates. *)
+  {
+    Job.map =
+      (fun f ->
+        let args = Fact.args f in
+        match Fact.rel f with
+        | "TC" ->
+          (* Left operand keyed on its second column; in the doubling
+             strategy the same closure also serves as the right operand,
+             keyed on its first column. *)
+          ([ Value.str "j"; args.(1) ], f)
+          :: ([ Value.str "id"; args.(0); args.(1) ], f)
+          ::
+          (if with_rel = "TC" then [ ([ Value.str "j"; args.(0) ], f) ] else [])
+        | r when r = with_rel && with_rel <> "TC" ->
+          [ ([ Value.str "j"; args.(0) ], f) ]
+        | _ -> []);
+    reduce =
+      (fun key group ->
+        match key with
+        | Value.Str "id" :: _ -> Instance.facts group
+        | Value.Str "j" :: _ ->
+          let tc = Instance.filter (fun f -> Fact.rel f = "TC") group in
+          let right =
+            if with_rel = "TC" then tc
+            else Instance.filter (fun f -> Fact.rel f = with_rel) group
+          in
+          Instance.fold
+            (fun f1 acc ->
+              Instance.fold
+                (fun f2 acc ->
+                  (* f1 = TC(x,y); f2 = rel(y,z): key guarantees
+                     f1.(1) = f2.(0) only for the join side, so check. *)
+                  if Value.equal (Fact.args f1).(1) (Fact.args f2).(0) then
+                    Fact.of_list "TC"
+                      [ (Fact.args f1).(0); (Fact.args f2).(1) ]
+                    :: acc
+                  else acc)
+                right acc)
+            tc []
+          @ Instance.facts tc
+        | _ -> [])
+  }
+
+let seed_job ~edges =
+  {
+    Job.map =
+      (fun f ->
+        if Fact.rel f = edges && Fact.arity f = 2 then
+          [ (Value.str "s" :: Array.to_list (Fact.args f), f) ]
+        else []);
+    reduce =
+      (fun _ group ->
+        Instance.fold
+          (fun f acc -> Fact.make "TC" (Fact.args f) :: acc)
+          group []);
+  }
+
+type strategy =
+  | Linear  (** TC ← TC ⋈ E each round: diameter-many joins. *)
+  | Doubling  (** TC ← TC ⋈ TC each round: ⌈log₂ diameter⌉ joins. *)
+
+let transitive_closure ?(strategy = Doubling) ?(max_jobs = 64) ~edges instance =
+  let tc_of i = Instance.filter (fun f -> Fact.rel f = "TC") i in
+  let state = ref (Job.run_job (seed_job ~edges) instance) in
+  (* The edge relation must stay visible to the linear iteration. *)
+  let base = Instance.filter (fun f -> Fact.rel f = edges) instance in
+  let jobs = ref 1 in
+  let rec iterate () =
+    if !jobs > max_jobs then
+      invalid_arg "Recursive.transitive_closure: job limit exceeded";
+    let join =
+      match strategy with
+      | Linear -> join_closure_job ~with_rel:edges
+      | Doubling -> join_closure_job ~with_rel:"TC"
+    in
+    let next = Job.run_job join (Instance.union !state base) in
+    incr jobs;
+    if Instance.subset (tc_of next) (tc_of !state) then ()
+    else begin
+      state := next;
+      iterate ()
+    end
+  in
+  iterate ();
+  (tc_of !state, !jobs)

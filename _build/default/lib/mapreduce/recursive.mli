@@ -1,0 +1,25 @@
+(** Recursive queries in MapReduce: transitive closure (Afrati–Ullman
+    [5, 10], cited in Section 3.2).
+
+    Each iteration is one MapReduce job (hence one MPC round). The
+    linear strategy joins the growing closure with the base edges and
+    needs about diameter-many jobs; recursive doubling joins the closure
+    with itself and converges in about ⌈log₂ diameter⌉ + 1 jobs at the
+    price of larger intermediate joins — a rounds-vs-work trade-off in
+    the spirit of the paper's multi-round discussion. *)
+
+open Lamp_relational
+
+type strategy =
+  | Linear
+  | Doubling
+
+val transitive_closure :
+  ?strategy:strategy ->
+  ?max_jobs:int ->
+  edges:string ->
+  Instance.t ->
+  Instance.t * int
+(** [(closure, jobs)] of the binary relation [edges]; [jobs] counts the
+    MapReduce jobs executed (seed job included).
+    @raise Invalid_argument past [max_jobs] (default 64). *)

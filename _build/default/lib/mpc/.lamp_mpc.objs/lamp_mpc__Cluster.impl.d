@@ -1,0 +1,1 @@
+lib/mpc/cluster.ml: Array Fact Fmt Instance Lamp_cq Lamp_relational List Stats

@@ -1,0 +1,1 @@
+lib/mpc/cluster.mli: Fact Instance Lamp_cq Lamp_relational Stats

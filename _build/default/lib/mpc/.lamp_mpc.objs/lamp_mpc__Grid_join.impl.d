@@ -1,0 +1,1 @@
+lib/mpc/grid_join.ml: Cluster Fact Hashtbl Instance Lamp_cq Lamp_relational List

@@ -1,0 +1,1 @@
+lib/mpc/grid_join.mli: Instance Lamp_cq Lamp_relational Stats

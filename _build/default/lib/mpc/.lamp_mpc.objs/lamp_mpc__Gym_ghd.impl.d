@@ -1,0 +1,1 @@
+lib/mpc/gym_ghd.ml: Array Ast Decomposition Fmt Hypercube Hypergraph Instance Lamp_cq Lamp_relational List Shares Stats Tuple Yannakakis

@@ -1,0 +1,1 @@
+lib/mpc/gym_ghd.mli: Instance Lamp_cq Lamp_relational Stats

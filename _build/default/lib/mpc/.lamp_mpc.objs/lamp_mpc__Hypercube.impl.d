@@ -1,0 +1,1 @@
+lib/mpc/hypercube.ml: Ast Cluster Grid Instance Lamp_cq Lamp_distribution Lamp_relational Policy Shares Tuple

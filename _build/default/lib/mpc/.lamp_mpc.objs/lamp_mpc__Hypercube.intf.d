@@ -1,0 +1,1 @@
+lib/mpc/hypercube.mli: Instance Lamp_cq Lamp_relational Stats

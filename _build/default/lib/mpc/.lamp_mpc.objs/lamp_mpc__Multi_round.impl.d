@@ -1,0 +1,1 @@
+lib/mpc/multi_round.ml: Array Ast Cluster Eval Examples Fact Float Instance Lamp_cq Lamp_distribution Lamp_relational List Parser Policy Shares Skew Tuple Value

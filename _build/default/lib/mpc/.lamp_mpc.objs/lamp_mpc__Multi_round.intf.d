@@ -1,0 +1,1 @@
+lib/mpc/multi_round.mli: Instance Lamp_relational Stats

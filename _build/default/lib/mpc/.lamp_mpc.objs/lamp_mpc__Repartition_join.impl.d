@@ -1,0 +1,1 @@
+lib/mpc/repartition_join.ml: Array Cluster Fact Instance Lamp_cq Lamp_distribution Lamp_relational Policy

@@ -1,0 +1,1 @@
+lib/mpc/shares.ml: Array Ast Float Hypergraph Lamp_cq List String

@@ -1,0 +1,1 @@
+lib/mpc/shares.mli: Ast Lamp_cq

@@ -1,0 +1,1 @@
+lib/mpc/skew.ml: Array Fact Instance Lamp_relational Option Tuple Value

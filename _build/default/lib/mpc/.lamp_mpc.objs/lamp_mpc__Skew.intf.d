@@ -1,0 +1,1 @@
+lib/mpc/skew.mli: Instance Lamp_relational Value

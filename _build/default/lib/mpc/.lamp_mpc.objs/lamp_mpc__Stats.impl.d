@@ -1,0 +1,1 @@
+lib/mpc/stats.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/mpc/workload.ml: Fact Generate Instance Lamp_relational List Random

@@ -1,0 +1,1 @@
+lib/mpc/workload.mli: Instance Lamp_relational Random

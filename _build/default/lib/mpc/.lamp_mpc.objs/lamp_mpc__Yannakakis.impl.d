@@ -1,0 +1,1 @@
+lib/mpc/yannakakis.ml: Array Ast Fact Fmt Hashtbl Hypergraph Instance Lamp_cq Lamp_relational List Option Stats String Tuple Value

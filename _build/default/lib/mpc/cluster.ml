@@ -1,0 +1,90 @@
+open Lamp_relational
+
+type t = {
+  p : int;
+  mutable locals : Instance.t array;
+  mutable round_stats : Stats.round_stats list;
+  initial_max : int;
+}
+
+type round = {
+  communicate : int -> Instance.t -> (int * Fact.t) list;
+  compute : int -> received:Instance.t -> previous:Instance.t -> Instance.t;
+}
+
+let check_p p = if p < 1 then invalid_arg "Cluster: p must be >= 1"
+
+let create_with locals =
+  check_p (Array.length locals);
+  let initial_max =
+    Array.fold_left (fun acc i -> max acc (Instance.cardinal i)) 0 locals
+  in
+  {
+    p = Array.length locals;
+    locals = Array.copy locals;
+    round_stats = [];
+    initial_max;
+  }
+
+(* Round-robin partitioning: every server receives ⌈m/p⌉ or ⌊m/p⌋ facts,
+   the model's "1/p-th of the data" assumption. *)
+let create ~p instance =
+  check_p p;
+  let locals = Array.make p Instance.empty in
+  List.iteri
+    (fun k f -> locals.(k mod p) <- Instance.add f locals.(k mod p))
+    (Instance.facts instance);
+  create_with locals
+
+let p t = t.p
+let locals t = Array.copy t.locals
+let local t i = t.locals.(i)
+
+let union_all t =
+  Array.fold_left Instance.union Instance.empty t.locals
+
+let run_round t round =
+  let inboxes = Array.make t.p [] in
+  Array.iteri
+    (fun src local ->
+      List.iter
+        (fun (dst, fact) ->
+          if dst < 0 || dst >= t.p then
+            invalid_arg (Fmt.str "Cluster.run_round: destination %d out of range" dst)
+          else inboxes.(dst) <- fact :: inboxes.(dst))
+        (round.communicate src local))
+    t.locals;
+  let received = Array.map Instance.of_facts inboxes in
+  let max_received =
+    Array.fold_left (fun acc i -> max acc (Instance.cardinal i)) 0 received
+  in
+  let total_received =
+    Array.fold_left (fun acc i -> acc + Instance.cardinal i) 0 received
+  in
+  t.round_stats <-
+    { Stats.max_received; total_received } :: t.round_stats;
+  t.locals <-
+    Array.mapi
+      (fun i prev -> round.compute i ~received:received.(i) ~previous:prev)
+      t.locals
+
+let stats t =
+  {
+    Stats.p = t.p;
+    initial_max = t.initial_max;
+    rounds = List.rev t.round_stats;
+  }
+
+(* Common communication phases. *)
+
+let route_by f = fun _src local ->
+  Instance.fold
+    (fun fact acc ->
+      List.fold_left (fun acc dst -> (dst, fact) :: acc) acc (f fact))
+    local []
+
+(* Common computation phases. *)
+
+let keep_received = fun _ ~received ~previous:_ -> received
+
+let eval_query q = fun _ ~received ~previous:_ -> Lamp_cq.Eval.eval q received

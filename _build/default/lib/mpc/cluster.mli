@@ -1,0 +1,57 @@
+(** The MPC cluster simulator (Section 3 of the paper).
+
+    Computation proceeds in rounds, each a communication phase — every
+    server emits (destination, fact) messages from its local data —
+    followed by a computation phase local to each server. The simulator
+    delivers all messages, records per-round load statistics, and updates
+    the servers' local instances. At the end of an execution, the output
+    is the union of the servers' local data. *)
+
+open Lamp_relational
+
+type t
+
+type round = {
+  communicate : int -> Instance.t -> (int * Fact.t) list;
+      (** [communicate src local]: the messages server [src] sends. *)
+  compute : int -> received:Instance.t -> previous:Instance.t -> Instance.t;
+      (** [compute i ~received ~previous]: server [i]'s new local
+          instance from what it received this round and what it held
+          before. *)
+}
+
+val create : p:int -> Instance.t -> t
+(** Round-robin initial partitioning: every server holds 1/p-th of the
+    input, matching the model's assumption-free initial distribution. *)
+
+val create_with : Instance.t array -> t
+(** Start from an explicit initial partitioning (one instance per
+    server). *)
+
+val p : t -> int
+val locals : t -> Instance.t array
+val local : t -> int -> Instance.t
+
+val union_all : t -> Instance.t
+(** The output of the algorithm: the union over all servers. *)
+
+val run_round : t -> round -> unit
+(** Executes one round and records its load.
+    @raise Invalid_argument on a message to a nonexistent server. *)
+
+val stats : t -> Stats.t
+
+(** {1 Phase combinators} *)
+
+val route_by : (Fact.t -> int list) -> int -> Instance.t -> (int * Fact.t) list
+(** Communication phase sending every local fact to the servers chosen
+    by the routing function (possibly several: replication). *)
+
+val keep_received : int -> received:Instance.t -> previous:Instance.t -> Instance.t
+(** Computation phase that replaces local data with the received facts —
+    a pure reshuffle. *)
+
+val eval_query :
+  Lamp_cq.Ast.t -> int -> received:Instance.t -> previous:Instance.t -> Instance.t
+(** Computation phase evaluating a query over the received facts; the
+    local instance becomes the local result. *)

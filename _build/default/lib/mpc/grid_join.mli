@@ -1,0 +1,14 @@
+(** The grid ("drug interaction") join of Example 3.1(1b).
+
+    R and S are divided into ⌊√p⌋ groups each by tuple position — not by
+    value — and every pair of groups is joined on its own server. Each
+    R-group is replicated across a row of the server grid and each
+    S-group across a column, so the load is O(m/√p) {e independently of
+    skew}. The price is replication: total communication is
+    Θ(m·√p). *)
+
+open Lamp_relational
+
+val query : Lamp_cq.Ast.t
+
+val run : ?materialize:bool -> p:int -> Instance.t -> Instance.t * Stats.t

@@ -1,0 +1,102 @@
+open Lamp_relational
+open Lamp_cq
+module Sset = Decomposition.Sset
+
+(* GYM over a tree decomposition (Section 3.2 / [6]): phase 1 evaluates
+   every bag's join with one round of HyperCube on its own slice of the
+   cluster; phase 2 runs the distributed Yannakakis passes over the bag
+   results, whose tree is acyclic by the running-intersection
+   property. *)
+
+let bag_rel i = Fmt.str "\006bag%d" i
+
+let bag_pseudo_atom i (b : Decomposition.bag) =
+  Ast.atom (bag_rel i) (List.map (fun v -> Ast.Var v) (Sset.elements b.vars))
+
+let bag_query i (b : Decomposition.bag) =
+  Ast.make ~head:(bag_pseudo_atom i b) ~body:b.Decomposition.atoms ()
+
+let run ?(seed = 0) ?decomposition ~p q instance =
+  if not (Ast.is_positive q) then
+    invalid_arg "Gym_ghd.run: defined for positive CQs";
+  let decomposition =
+    match decomposition with
+    | Some d -> d
+    | None -> (
+      match Hypergraph.gyo q with
+      | Some forest -> Decomposition.of_join_forest forest
+      | None -> Decomposition.min_fill q)
+  in
+  (match Decomposition.validate q decomposition with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Fmt.str "Gym_ghd.run: invalid decomposition: %s" msg));
+  (* Number the bags and remember the tree shape. *)
+  let module Numbered = struct
+    type t = {
+      id : int;
+      bag : Decomposition.bag;
+      kids : t list;
+    }
+  end in
+  let counter = ref 0 in
+  let rec number (t : Decomposition.t) =
+    let id = !counter in
+    incr counter;
+    let kids = List.map number t.Decomposition.children in
+    { Numbered.id; bag = t.Decomposition.bag; kids }
+  in
+  let numbered = List.map number decomposition in
+  let nbags = !counter in
+  let p_bag = max 1 (p / nbags) in
+  (* Phase 1: per-bag HyperCube joins on disjoint server groups. *)
+  let bag_results = Array.make nbags Instance.empty in
+  let phase1 =
+    ref { Stats.max_received = 0; total_received = 0 }
+  in
+  let rec eval_bags { Numbered.id = i; bag; kids } =
+    let bq = bag_query i bag in
+    let shares, _ =
+      Shares.optimize ~objective:Shares.Max_load ~p:p_bag
+        ~sizes:(fun (a : Ast.atom) ->
+          Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel))
+        bq
+    in
+    let result, stats = Hypercube.run_with_shares ~seed ~shares bq instance in
+    bag_results.(i) <- result;
+    (match stats.Stats.rounds with
+    | [ r ] ->
+      phase1 :=
+        {
+          Stats.max_received = max !phase1.Stats.max_received r.Stats.max_received;
+          total_received = !phase1.Stats.total_received + r.Stats.total_received;
+        }
+    | _ -> assert false);
+    List.iter eval_bags kids
+  in
+  List.iter eval_bags numbered;
+  (* Phase 2: Yannakakis over the bag relations. *)
+  let bag_instance =
+    Array.fold_left Instance.union Instance.empty bag_results
+  in
+  let rec pseudo_tree { Numbered.id = i; bag; kids } =
+    {
+      Hypergraph.atom = bag_pseudo_atom i bag;
+      vars = bag.Decomposition.vars;
+      children = List.map pseudo_tree kids;
+    }
+  in
+  let forest = List.map pseudo_tree numbered in
+  let body = List.map (fun t -> t.Hypergraph.atom) (
+    let rec flatten t = t :: List.concat_map flatten t.Hypergraph.children in
+    List.concat_map flatten forest)
+  in
+  let q2 = Ast.make ~head:(Ast.head q) ~body () in
+  let result, stats2 = Yannakakis.gym ~seed ~forest ~p q2 bag_instance in
+  let stats =
+    {
+      Stats.p;
+      initial_max = (Instance.cardinal instance + p - 1) / p;
+      rounds = !phase1 :: stats2.Stats.rounds;
+    }
+  in
+  (result, stats, Decomposition.width decomposition)

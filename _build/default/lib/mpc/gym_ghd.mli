@@ -1,0 +1,25 @@
+(** GYM on possibly cyclic queries via tree decompositions
+    (Section 3.2 / [6]).
+
+    Phase 1 evaluates each bag of the decomposition — a join of the
+    atoms grouped there — with one round of HyperCube on a dedicated
+    slice of the cluster; phase 2 runs the distributed Yannakakis
+    semi-join and join passes over the bag results, which form an
+    acyclic query by the running-intersection property. The depth of the
+    decomposition governs the number of rounds; the bag width governs
+    the phase-1 cost — the trade-off the paper highlights. *)
+
+open Lamp_relational
+
+val run :
+  ?seed:int ->
+  ?decomposition:Lamp_cq.Decomposition.t list ->
+  p:int ->
+  Lamp_cq.Ast.t ->
+  Instance.t ->
+  Instance.t * Stats.t * int
+(** [(result, stats, width)]. Without an explicit decomposition, acyclic
+    queries use their GYO forest (one atom per bag) and cyclic queries
+    the min-fill heuristic.
+    @raise Invalid_argument on non-positive queries or an invalid
+    decomposition. *)

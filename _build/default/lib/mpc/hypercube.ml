@@ -1,0 +1,35 @@
+open Lamp_relational
+open Lamp_distribution
+open Lamp_cq
+
+let run_with_shares ?(seed = 0) ?(materialize = true) ~shares query instance =
+  let policy, grid = Policy.hypercube ~seed ~name:"hypercube" ~query ~shares () in
+  let cluster = Cluster.create ~p:(Grid.size grid) instance in
+  Cluster.run_round cluster
+    {
+      Cluster.communicate =
+        Cluster.route_by (fun f -> Policy.responsible_nodes policy f);
+      compute =
+        (if materialize then Cluster.eval_query query
+         else fun _ ~received:_ ~previous:_ -> Instance.empty);
+    };
+  (Cluster.union_all cluster, Cluster.stats cluster)
+
+let sizes_of_instance instance (a : Ast.atom) =
+  Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel)
+
+let run ?(seed = 0) ?(materialize = true) ?shares ~p query instance =
+  if not (Ast.is_positive query) then
+    invalid_arg "Hypercube.run: defined for positive CQs";
+  let shares =
+    match shares with
+    | Some s -> s
+    | None ->
+      let s, _ =
+        Shares.optimize ~objective:Shares.Max_load ~p
+          ~sizes:(sizes_of_instance instance) query
+      in
+      s
+  in
+  let result, stats = run_with_shares ~seed ~materialize ~shares query instance in
+  (result, stats, shares)

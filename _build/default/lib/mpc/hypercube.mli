@@ -1,0 +1,36 @@
+(** The HyperCube algorithm (Example 3.2 / Section 3.1).
+
+    Servers form a grid with one dimension per query variable; every
+    fact is replicated to all grid cells compatible with the hashes of
+    the variables it pins, and every server evaluates the query on what
+    it receives. Correct by construction — the induced policy strongly
+    saturates the query — with skew-free maximum load O(m/p^(1/tau))
+    when the shares follow the fractional edge packing exponents. *)
+
+open Lamp_relational
+
+val run_with_shares :
+  ?seed:int ->
+  ?materialize:bool ->
+  shares:(string * int) list ->
+  Lamp_cq.Ast.t ->
+  Instance.t ->
+  Instance.t * Stats.t
+(** One-round HyperCube with explicit shares. The number of servers is
+    the product of the shares. [materialize:false] skips the local
+    evaluation (the result is empty): load experiments on skewed inputs
+    use it to avoid materializing quadratic outputs, since the load is
+    determined entirely by the communication phase. *)
+
+val run :
+  ?seed:int ->
+  ?materialize:bool ->
+  ?shares:(string * int) list ->
+  p:int ->
+  Lamp_cq.Ast.t ->
+  Instance.t ->
+  Instance.t * Stats.t * (string * int) list
+(** As {!run_with_shares}, choosing load-optimal integer shares for [p]
+    servers when none are given (via {!Shares.optimize} with the actual
+    relation sizes). Returns the shares used.
+    @raise Invalid_argument on non-positive queries. *)

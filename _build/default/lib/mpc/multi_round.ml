@@ -1,0 +1,170 @@
+open Lamp_relational
+open Lamp_distribution
+open Lamp_cq
+
+let h ~seed ~p v = Policy.hash_value ~seed ~buckets:p v
+
+(* Example 3.1(2): the triangle by a cascade of two repartition joins.
+   Round 1 joins R and S on y into K; round 2 joins K with T on the
+   pair (x, z). T rides along at its initial servers during round 1. *)
+let cascade_triangle ?(seed = 0) ~p instance =
+  let k_query = Parser.query "K(x,y,z) <- R(x,y), S(y,z)" in
+  let finish = Parser.query "H(x,y,z) <- K(x,y,z), T(z,x)" in
+  let cluster = Cluster.create ~p instance in
+  let round1_route src fact =
+    let args = Fact.args fact in
+    match Fact.rel fact with
+    | "R" -> [ h ~seed ~p args.(1) ]
+    | "S" -> [ h ~seed ~p args.(0) ]
+    | "T" -> [ src ]
+    | _ -> []
+  in
+  Cluster.run_round cluster
+    {
+      Cluster.communicate =
+        (fun src local ->
+          Instance.fold
+            (fun fact acc ->
+              List.fold_left
+                (fun acc dst -> (dst, fact) :: acc)
+                acc (round1_route src fact))
+            local []);
+      compute =
+        (fun _ ~received ~previous:_ ->
+          Instance.union
+            (Eval.eval k_query received)
+            (Instance.filter (fun f -> Fact.rel f = "T") received));
+    };
+  let pair_hash args i j =
+    h ~seed:(seed + 7919) ~p
+      (Value.str (Value.to_string args.(i) ^ "\000" ^ Value.to_string args.(j)))
+  in
+  Cluster.run_round cluster
+    {
+      Cluster.communicate =
+        Cluster.route_by (fun fact ->
+            let args = Fact.args fact in
+            match Fact.rel fact with
+            | "K" -> [ pair_hash args 0 2 ]
+            | "T" -> [ pair_hash args 1 0 ]
+            | _ -> []);
+      compute = Cluster.eval_query finish;
+    };
+  (Cluster.union_all cluster, Cluster.stats cluster)
+
+(* Two-round triangle resilient to join-attribute skew (Section 3.2):
+   tuples whose y-value is heavy are taken out of the one-round
+   HyperCube (which handles the light part at load ~ m/p^(2/3)) and
+   processed by a semi-join plan anchored at T, whose routing keys x and
+   z are assumed light — the paper's canonical heavy-hitter scenario.
+
+   Round 1: light part → HyperCube cells; heavy R and a copy of T → h(x);
+            heavy S → h(z) where it waits for round 2.
+   Round 2: partial matches K(z,x,y) = Tc(z,x) ⋈ Rh(x,y) → h(z), meeting
+            the heavy S there. *)
+let skew_resilient_triangle ?(seed = 0) ?threshold ~p instance =
+  let m_rel =
+    List.fold_left
+      (fun acc rel -> max acc (Tuple.Set.cardinal (Instance.tuples instance rel)))
+      1 [ "R"; "S"; "T" ]
+  in
+  (* Values above this degree would alone exceed the m/p^(2/3) load
+     target of a HyperCube cell, so they are exactly the ones to take
+     out of the one-round plan. *)
+  let threshold =
+    match threshold with
+    | Some t -> t
+    | None ->
+      max 1
+        (int_of_float
+           (float_of_int m_rel /. Float.pow (float_of_int p) (2.0 /. 3.0)))
+  in
+  let heavy =
+    Value.Set.union
+      (Skew.heavy_hitters instance ~rel:"R" ~pos:1 ~threshold)
+      (Skew.heavy_hitters instance ~rel:"S" ~pos:0 ~threshold)
+  in
+  let is_heavy_fact f =
+    let args = Fact.args f in
+    match Fact.rel f with
+    | "R" -> Value.Set.mem args.(1) heavy
+    | "S" -> Value.Set.mem args.(0) heavy
+    | _ -> false
+  in
+  let triangle = Examples.q2_triangle in
+  let shares, _ =
+    Shares.optimize ~objective:Shares.Max_load ~p
+      ~sizes:(fun a -> Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel))
+      triangle
+  in
+  let policy, _ = Policy.hypercube ~seed ~name:"light" ~query:triangle ~shares () in
+  let k_query = Parser.query "K(z,x,y) <- Tc(z,x), Rh(x,y)" in
+  let finish = Parser.query "H(x,y,z) <- K(z,x,y), Sh(y,z)" in
+  let rename rel f = Fact.make rel (Fact.args f) in
+  let hz = h ~seed:(seed + 104729) ~p in
+  let cluster = Cluster.create ~p instance in
+  Cluster.run_round cluster
+    {
+      Cluster.communicate =
+        Cluster.route_by (fun fact ->
+            let args = Fact.args fact in
+            if is_heavy_fact fact then
+              match Fact.rel fact with
+              | "R" -> [ h ~seed ~p args.(0) ]
+              | "S" -> [ hz args.(1) ]
+              | _ -> []
+            else
+              let cells = Policy.responsible_nodes policy fact in
+              (* The heavy plan additionally needs T(z,x) at h(x). *)
+              if Fact.rel fact = "T" && not (Value.Set.is_empty heavy) then
+                h ~seed ~p args.(1) :: cells
+              else cells);
+      compute =
+        (fun _ ~received ~previous:_ ->
+          (* Received heavy facts keep their original names; give them
+             their plan-local names before the local joins. *)
+          let heavy_renamed =
+            Instance.fold
+              (fun f acc ->
+                if is_heavy_fact f then
+                  match Fact.rel f with
+                  | "R" -> Instance.add (rename "Rh" f) acc
+                  | "S" -> Instance.add (rename "Sh" f) acc
+                  | _ -> acc
+                else acc)
+              received Instance.empty
+          in
+          let t_copy =
+            Instance.fold
+              (fun f acc ->
+                if Fact.rel f = "T" then Instance.add (rename "Tc" f) acc
+                else acc)
+              received Instance.empty
+          in
+          let light_only = Instance.filter (fun f -> not (is_heavy_fact f)) received in
+          let k = Eval.eval k_query (Instance.union heavy_renamed t_copy) in
+          Instance.union
+            (Eval.eval triangle light_only)
+            (Instance.union k
+               (Instance.filter (fun f -> Fact.rel f = "Sh") heavy_renamed)));
+    };
+  Cluster.run_round cluster
+    {
+      Cluster.communicate =
+        (fun src local ->
+          Instance.fold
+            (fun fact acc ->
+              let args = Fact.args fact in
+              match Fact.rel fact with
+              | "H" -> (src, fact) :: acc
+              | "K" -> (hz args.(0), fact) :: acc
+              | "Sh" -> (src, fact) :: acc
+              | _ -> acc)
+            local []);
+      compute =
+        (fun _ ~received ~previous:_ ->
+          Instance.union
+            (Instance.filter (fun f -> Fact.rel f = "H") received)
+            (Eval.eval finish received));
+    };
+  (Cluster.union_all cluster, Cluster.stats cluster, Value.Set.cardinal heavy)

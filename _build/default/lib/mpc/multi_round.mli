@@ -1,0 +1,26 @@
+(** Multi-round MPC algorithms (Example 3.1(2) and Section 3.2).
+
+    The triangle query admits a two-round evaluation by cascading binary
+    joins, whose intermediate result K = R ⋈ S can far exceed the input;
+    and a skew-resilient two-round evaluation that restores the
+    skew-free load m/p^(2/3) that a single round cannot achieve on
+    skewed data (where it is stuck at m/√p). *)
+
+open Lamp_relational
+
+val cascade_triangle :
+  ?seed:int -> p:int -> Instance.t -> Instance.t * Stats.t
+(** Two-round cascade: round 1 repartitions R and S on y and joins them
+    into K; round 2 repartitions K and T on the pair (z, x) and joins.
+    Correct, but the load includes the intermediate |R ⋈ S|. *)
+
+val skew_resilient_triangle :
+  ?seed:int -> ?threshold:int -> p:int -> Instance.t ->
+  Instance.t * Stats.t * int
+(** Heavy/light two-round triangle for skew concentrated in the join
+    attribute y (the paper's heavy-hitter scenario): light tuples run
+    through the one-round HyperCube; tuples with a heavy y follow a
+    semi-join plan anchored at T, routed on the light attributes x and
+    z across the two rounds. Returns the result, the load statistics and
+    the number of heavy hitters detected. The default threshold is
+    m/p^(1/3). *)

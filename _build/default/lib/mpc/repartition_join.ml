@@ -1,0 +1,29 @@
+open Lamp_relational
+open Lamp_distribution
+
+(* Example 3.1(1a): the repartition join. R(a,b) is sent to server
+   h(b), S(c,d) to server h(c); every server then joins its received
+   fragments. Optimal load m/p without skew; a heavy hitter in the join
+   column drags its whole degree to one server. *)
+
+let query = Lamp_cq.Examples.q1_join
+
+let run ?(seed = 0) ?(materialize = true) ~p instance =
+  let cluster = Cluster.create ~p instance in
+  let route fact =
+    let args = Fact.args fact in
+    match Fact.rel fact with
+    | "R" when Array.length args = 2 ->
+      [ Policy.hash_value ~seed ~buckets:p args.(1) ]
+    | "S" when Array.length args = 2 ->
+      [ Policy.hash_value ~seed ~buckets:p args.(0) ]
+    | _ -> []
+  in
+  Cluster.run_round cluster
+    {
+      Cluster.communicate = Cluster.route_by route;
+      compute =
+        (if materialize then Cluster.eval_query query
+         else fun _ ~received:_ ~previous:_ -> Instance.empty);
+    };
+  (Cluster.union_all cluster, Cluster.stats cluster)

@@ -1,0 +1,16 @@
+(** The repartition join of Example 3.1(1a).
+
+    Single-round MPC join of [R(x,y)] and [S(y,z)]: both relations are
+    hashed on the join attribute, then joined locally. Without skew the
+    maximum load is O(m/p); a heavy hitter in the join column
+    concentrates its entire degree on one server. *)
+
+open Lamp_relational
+
+val query : Lamp_cq.Ast.t
+(** [H(x,y,z) ← R(x,y), S(y,z)]. *)
+
+val run :
+  ?seed:int -> ?materialize:bool -> p:int -> Instance.t -> Instance.t * Stats.t
+(** Runs the join on [p] servers; returns the join result and the load
+    statistics. *)

@@ -1,0 +1,117 @@
+open Lamp_cq
+
+(* Enumerates all integer share vectors (one share >= 1 per variable)
+   whose product is at most p, calling [f] on each. Exponential in the
+   number of variables but cheap for the query sizes of the paper. *)
+let enumerate_share_vectors ~p vars f =
+  let n = List.length vars in
+  let shares = Array.make n 1 in
+  let rec go i budget =
+    if i >= n then f (List.combine vars (Array.to_list shares))
+    else
+      let rec each s =
+        if s > budget then ()
+        else begin
+          shares.(i) <- s;
+          go (i + 1) (budget / s);
+          each (s + 1)
+        end
+      in
+      each 1
+  in
+  if n = 0 then f [] else go 0 p
+
+let product shares = List.fold_left (fun acc (_, s) -> acc * s) 1 shares
+
+let atom_replication ~shares (a : Ast.atom) =
+  let atom_vars = List.sort_uniq String.compare (Ast.atom_vars a) in
+  List.fold_left
+    (fun acc (v, s) -> if List.mem v atom_vars then acc else acc * s)
+    1 shares
+
+let atom_load ~shares ~size (a : Ast.atom) =
+  let atom_vars = List.sort_uniq String.compare (Ast.atom_vars a) in
+  let denom =
+    List.fold_left
+      (fun acc (v, s) -> if List.mem v atom_vars then acc * s else acc)
+      1 shares
+  in
+  float_of_int size /. float_of_int denom
+
+(* Predicted communication cost (the objective of Afrati–Ullman Shares):
+   every atom's relation is replicated once per grid cell of the
+   dimensions it does not pin. *)
+let communication_cost ~shares ~sizes q =
+  List.fold_left
+    (fun acc a -> acc +. float_of_int (sizes a * atom_replication ~shares a))
+    0.0 (Ast.body q)
+
+(* Predicted maximum per-server load (the objective of HyperCube /
+   Beame–Koutris–Suciu): the skew-free expectation of the largest
+   per-atom delivery. *)
+let predicted_max_load ~shares ~sizes q =
+  List.fold_left
+    (fun acc a -> acc +. atom_load ~shares ~size:(sizes a) a)
+    0.0 (Ast.body q)
+
+type objective =
+  | Total_communication
+  | Max_load
+
+let optimize ?(objective = Max_load) ~p ~sizes q =
+  if not (Ast.is_positive q) then
+    invalid_arg "Shares.optimize: defined for positive CQs";
+  let vars = Ast.body_vars q in
+  let cost shares =
+    match objective with
+    | Total_communication -> communication_cost ~shares ~sizes q
+    | Max_load -> predicted_max_load ~shares ~sizes q
+  in
+  (* Minimizing communication with a slack budget degenerates to a
+     single server (replication 1); Afrati–Ullman fix the number of
+     reducers, so that objective requires the budget to be spent
+     exactly. Load minimization only improves with more servers, so any
+     product ≤ p is admissible there. *)
+  let admissible shares =
+    match objective with
+    | Total_communication -> product shares = p
+    | Max_load -> true
+  in
+  let best = ref None in
+  enumerate_share_vectors ~p vars (fun shares ->
+      if admissible shares then begin
+        let c = cost shares in
+        match !best with
+        | Some (_, c') when c' <= c -> ()
+        | _ -> best := Some (shares, c)
+      end);
+  match !best with
+  | Some (shares, cost) -> (shares, cost)
+  | None -> ([], 0.0)
+
+(* LP-guided rounding: start from the fractional exponents p^e_v and
+   repair the integer vector to respect the budget. *)
+let lp_rounded ~p q =
+  if p < 1 then invalid_arg "Shares.lp_rounded: p < 1";
+  let _, exponents = Hypergraph.share_exponents q in
+  let shares =
+    List.map
+      (fun (v, e) ->
+        (v, max 1 (int_of_float (Float.round (Float.pow (float_of_int p) e)))))
+      exponents
+  in
+  (* Shrink the largest share while over budget. *)
+  let rec repair shares =
+    if product shares <= p then shares
+    else
+      let vmax, smax =
+        List.fold_left
+          (fun (bv, bs) (v, s) -> if s > bs then (v, s) else (bv, bs))
+          ("", 1) shares
+      in
+      if smax <= 1 then shares
+      else
+        repair
+          (List.map (fun (v, s) -> if v = vmax then (v, s - 1) else (v, s)) shares)
+  in
+  repair shares

@@ -1,0 +1,32 @@
+open Lamp_relational
+
+let degrees instance ~rel ~pos =
+  Tuple.Set.fold
+    (fun tup acc ->
+      if pos >= Tuple.arity tup then acc
+      else
+        let v = tup.(pos) in
+        let d = Option.value ~default:0 (Value.Map.find_opt v acc) in
+        Value.Map.add v (d + 1) acc)
+    (Instance.tuples instance rel)
+    Value.Map.empty
+
+let heavy_hitters instance ~rel ~pos ~threshold =
+  Value.Map.fold
+    (fun v d acc -> if d > threshold then Value.Set.add v acc else acc)
+    (degrees instance ~rel ~pos)
+    Value.Set.empty
+
+let max_degree instance ~rel ~pos =
+  Value.Map.fold (fun _ d acc -> max acc d) (degrees instance ~rel ~pos) 0
+
+let split instance ~rel ~pos ~heavy =
+  let is_heavy f =
+    Fact.rel f = rel
+    && pos < Fact.arity f
+    && Value.Set.mem (Fact.args f).(pos) heavy
+  in
+  ( Instance.filter (fun f -> not (is_heavy f)) instance,
+    Instance.filter is_heavy instance )
+
+let default_threshold ~m ~p = max 1 (m / p)

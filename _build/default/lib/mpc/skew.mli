@@ -1,0 +1,28 @@
+(** Heavy hitters (Section 3 of the paper).
+
+    Skew refers to values whose frequency in a column greatly exceeds a
+    threshold; the paper's one-round lower bounds worsen exactly when
+    such heavy hitters exist, and the skew-resilient algorithms start by
+    splitting the data around them. *)
+
+open Lamp_relational
+
+val degrees : Instance.t -> rel:string -> pos:int -> int Value.Map.t
+(** Frequency of every value in the given column. *)
+
+val heavy_hitters :
+  Instance.t -> rel:string -> pos:int -> threshold:int -> Value.Set.t
+(** Values with frequency strictly above the threshold. *)
+
+val max_degree : Instance.t -> rel:string -> pos:int -> int
+
+val split :
+  Instance.t -> rel:string -> pos:int -> heavy:Value.Set.t ->
+  Instance.t * Instance.t
+(** [(light, heavy_part)]: facts of [rel] carrying a heavy value at
+    [pos] go to the second component; everything else stays in the
+    first. *)
+
+val default_threshold : m:int -> p:int -> int
+(** The customary [m/p] threshold: above it a single value's tuples
+    already exceed a server's fair share. *)

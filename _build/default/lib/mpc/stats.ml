@@ -1,0 +1,34 @@
+type round_stats = {
+  max_received : int;
+  total_received : int;
+}
+
+type t = {
+  p : int;
+  initial_max : int;
+  rounds : round_stats list;
+}
+
+let rounds t = List.length t.rounds
+
+let max_load t =
+  List.fold_left (fun acc r -> max acc r.max_received) t.initial_max t.rounds
+
+let total_communication t =
+  List.fold_left (fun acc r -> acc + r.total_received) 0 t.rounds
+
+let replication_rate ~m t =
+  if m = 0 then 0.0 else float_of_int (total_communication t) /. float_of_int m
+
+(* The ε of the paper's load form L = m / p^(1-ε): 0 means perfectly
+   balanced, 1 means one server holds everything. *)
+let epsilon ~m t =
+  let load = max_load t in
+  if m = 0 || load = 0 || t.p = 1 then 0.0
+  else
+    let ratio = float_of_int m /. float_of_int load in
+    1.0 -. (log ratio /. log (float_of_int t.p))
+
+let pp ppf t =
+  Fmt.pf ppf "p=%d rounds=%d max_load=%d total_comm=%d" t.p (rounds t)
+    (max_load t) (total_communication t)

@@ -1,0 +1,38 @@
+(** Load accounting for MPC executions.
+
+    The MPC model measures algorithms by the {e load}: the number of
+    facts a server receives during a round (Section 3). These statistics
+    are what every experiment in this repository reports. *)
+
+type round_stats = {
+  max_received : int;  (** Largest per-server delivery this round. *)
+  total_received : int;  (** Sum over servers (communication cost). *)
+}
+
+type t = {
+  p : int;
+  initial_max : int;  (** Largest initial partition (before round 1). *)
+  rounds : round_stats list;
+}
+
+val rounds : t -> int
+(** Number of communication rounds (synchronization barriers). *)
+
+val max_load : t -> int
+(** Maximum per-server load over all rounds, including the initial
+    partitioning. *)
+
+val total_communication : t -> int
+(** Total number of facts shipped over all rounds. *)
+
+val replication_rate : m:int -> t -> float
+(** Total communication divided by the input size [m] — the replication
+    rate of the Shares literature. *)
+
+val epsilon : m:int -> t -> float
+(** The ε for which the measured max load equals [m / p^(1-ε)]: 0 is a
+    perfect partitioning, 1 means some server saw all the data. The
+    paper's bounds correspond to ε = 0 for a skew-free join, 1/3 for the
+    one-round triangle, 1/2 for the grid join. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,66 @@
+open Lamp_relational
+
+let rename_relation ~from_rel ~to_rel instance =
+  Instance.fold
+    (fun f acc ->
+      if Fact.rel f = from_rel then Instance.add (Fact.make to_rel (Fact.args f)) acc
+      else Instance.add f acc)
+    instance Instance.empty
+
+let join_skew_free ~m =
+  (* R(i, m+i) and S(m+i, 2m+i): every value occurs once; the join has
+     exactly m results. *)
+  Instance.union
+    (Generate.matching ~rel:"R" ~size:m ~offset:0 ())
+    (Instance.of_facts
+       (List.init m (fun i -> Fact.of_ints "S" [ m + i; (2 * m) + i ])))
+
+let join_skewed ~m =
+  (* All R tuples end in the hub 0 and all S tuples start there: the
+     classic heavy hitter. *)
+  Instance.union
+    (Instance.of_facts (List.init m (fun i -> Fact.of_ints "R" [ i + 1; 0 ])))
+    (Instance.of_facts
+       (List.init m (fun i -> Fact.of_ints "S" [ 0; m + i + 1 ])))
+
+let triangle_skew_free ~rng ~m ~domain =
+  let mk rel =
+    Generate.random_relation ~rng ~rel ~arity:2 ~size:m ~domain ()
+  in
+  Instance.union (mk "R") (Instance.union (mk "S") (mk "T"))
+
+let triangle_from_graph graph =
+  List.fold_left
+    (fun acc rel -> Instance.union acc (rename_relation ~from_rel:"E" ~to_rel:rel graph))
+    Instance.empty [ "R"; "S"; "T" ]
+
+let triangle_y_skew ~rng ~m ~domain ~heavy_fraction =
+  if heavy_fraction < 0.0 || heavy_fraction > 1.0 then
+    invalid_arg "Workload.triangle_y_skew: fraction out of [0,1]";
+  let heavy_m = int_of_float (float_of_int m *. heavy_fraction) in
+  let light_m = m - heavy_m in
+  let hub = domain in
+  (* Heavy part: y pinned to the hub value; x and z stay uniform. *)
+  let heavy_r =
+    Instance.of_facts
+      (List.init heavy_m (fun _ ->
+           Fact.of_ints "R" [ Random.State.int rng domain; hub ]))
+  and heavy_s =
+    Instance.of_facts
+      (List.init heavy_m (fun _ ->
+           Fact.of_ints "S" [ hub; Random.State.int rng domain ]))
+  in
+  let light rel =
+    Generate.random_relation ~rng ~rel ~arity:2 ~size:light_m ~domain ()
+  in
+  let t = Generate.random_relation ~rng ~rel:"T" ~arity:2 ~size:m ~domain () in
+  Instance.union
+    (Instance.union heavy_r (light "R"))
+    (Instance.union (Instance.union heavy_s (light "S")) t)
+
+let acyclic_chain ~rng ~m ~domain ~rels =
+  List.fold_left
+    (fun acc rel ->
+      Instance.union acc
+        (Generate.random_relation ~rng ~rel ~arity:2 ~size:m ~domain ()))
+    Instance.empty rels

@@ -1,0 +1,41 @@
+(** Synthetic MPC workloads, parameterized the way the paper's load
+    bounds are: input size m, skew presence, and domain size.
+
+    These stand in for the cluster workloads of the cited experimental
+    work; see DESIGN.md for the substitution argument. *)
+
+open Lamp_relational
+
+val rename_relation :
+  from_rel:string -> to_rel:string -> Instance.t -> Instance.t
+
+val join_skew_free : m:int -> Instance.t
+(** R and S of m tuples each where every domain value occurs exactly
+    once — the paper's "absence of skew" assumption in Example
+    3.1(1a). *)
+
+val join_skewed : m:int -> Instance.t
+(** Worst-case join skew: a single join value carries all 2m tuples. *)
+
+val triangle_skew_free :
+  rng:Random.State.t -> m:int -> domain:int -> Instance.t
+(** R, S, T uniform over a domain sized to keep every degree near m /
+    domain — skew-free in the sense of the HyperCube analysis when the
+    domain is large. *)
+
+val triangle_from_graph : Instance.t -> Instance.t
+(** Copies an edge relation E into R, S and T, so the triangle query
+    over three relations counts the directed triangles of the graph. *)
+
+val triangle_y_skew :
+  rng:Random.State.t -> m:int -> domain:int -> heavy_fraction:float ->
+  Instance.t
+(** Triangle input with a heavy hitter in the join attribute y: a
+    [heavy_fraction] of R's y-values and S's y-values collapse onto one
+    hub value, while x and z stay uniform — the scenario of the paper's
+    Section 3.2 skew discussion. *)
+
+val acyclic_chain :
+  rng:Random.State.t -> m:int -> domain:int -> rels:string list -> Instance.t
+(** One uniform binary relation per name, for chain queries
+    [H(...) ← R1(x0,x1), R2(x1,x2), …]. *)

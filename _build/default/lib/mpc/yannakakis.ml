@@ -1,0 +1,361 @@
+open Lamp_relational
+open Lamp_cq
+
+(* Named-column relations: the working representation of the Yannakakis
+   passes. Columns are variable names; rows are value tuples. *)
+module Rel = struct
+  type t = {
+    cols : string list;
+    rows : Tuple.Set.t;
+  }
+
+  let cardinal r = Tuple.Set.cardinal r.rows
+
+  let positions r cols =
+    List.map
+      (fun c ->
+        match List.find_index (String.equal c) r.cols with
+        | Some i -> i
+        | None -> invalid_arg (Fmt.str "Yannakakis: unknown column %s" c))
+      cols
+
+  let key_of_row positions row = List.map (fun i -> row.(i)) positions
+
+  let semijoin r1 r2 =
+    let shared = List.filter (fun c -> List.mem c r2.cols) r1.cols in
+    if shared = [] then if Tuple.Set.is_empty r2.rows then { r1 with rows = Tuple.Set.empty } else r1
+    else begin
+      let pos1 = positions r1 shared and pos2 = positions r2 shared in
+      let keys = Hashtbl.create 64 in
+      Tuple.Set.iter
+        (fun row -> Hashtbl.replace keys (key_of_row pos2 row) ())
+        r2.rows;
+      {
+        r1 with
+        rows =
+          Tuple.Set.filter
+            (fun row -> Hashtbl.mem keys (key_of_row pos1 row))
+            r1.rows;
+      }
+    end
+
+  let join r1 r2 =
+    let shared = List.filter (fun c -> List.mem c r2.cols) r1.cols in
+    let extra = List.filter (fun c -> not (List.mem c r1.cols)) r2.cols in
+    let pos1 = positions r1 shared
+    and pos2 = positions r2 shared
+    and pos_extra = positions r2 extra in
+    let index = Hashtbl.create 64 in
+    Tuple.Set.iter
+      (fun row ->
+        let key = key_of_row pos2 row in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt index key) in
+        Hashtbl.replace index key (row :: prev))
+      r2.rows;
+    let rows =
+      Tuple.Set.fold
+        (fun row1 acc ->
+          match Hashtbl.find_opt index (key_of_row pos1 row1) with
+          | None -> acc
+          | Some matches ->
+            List.fold_left
+              (fun acc row2 ->
+                let combined =
+                  Array.append row1
+                    (Array.of_list (key_of_row pos_extra row2))
+                in
+                Tuple.Set.add combined acc)
+              acc matches)
+        r1.rows Tuple.Set.empty
+    in
+    { cols = r1.cols @ extra; rows }
+end
+
+(* The relation of a body atom: tuples of the atom's relation that match
+   its constants and repeated variables, projected onto its distinct
+   variables (in first-occurrence order). *)
+let atom_relation instance (a : Ast.atom) =
+  let cols =
+    List.fold_left
+      (fun acc t ->
+        match t with
+        | Ast.Var v when not (List.mem v acc) -> v :: acc
+        | _ -> acc)
+      [] a.Ast.terms
+    |> List.rev
+  in
+  let rows =
+    Tuple.Set.fold
+      (fun tup acc ->
+        if Tuple.arity tup <> List.length a.Ast.terms then acc
+        else begin
+          let binding = Hashtbl.create 4 in
+          let ok = ref true in
+          List.iteri
+            (fun i t ->
+              match t with
+              | Ast.Const c -> if not (Value.equal c tup.(i)) then ok := false
+              | Ast.Var v -> (
+                match Hashtbl.find_opt binding v with
+                | Some prev -> if not (Value.equal prev tup.(i)) then ok := false
+                | None -> Hashtbl.add binding v tup.(i)))
+            a.Ast.terms;
+          if !ok then
+            Tuple.Set.add
+              (Array.of_list (List.map (Hashtbl.find binding) cols))
+              acc
+          else acc
+        end)
+      (Instance.tuples instance a.Ast.rel)
+      Tuple.Set.empty
+  in
+  { Rel.cols; rows }
+
+type reduced_tree = {
+  atom : Ast.atom;
+  mutable rel : Rel.t;
+  children : reduced_tree list;
+}
+
+let rec of_join_tree instance (t : Hypergraph.join_tree) =
+  {
+    atom = t.Hypergraph.atom;
+    rel = atom_relation instance t.Hypergraph.atom;
+    children = List.map (of_join_tree instance) t.Hypergraph.children;
+  }
+
+(* Bottom-up then top-down semi-join passes: afterwards no relation
+   contains a dangling tuple (the "full reducer"). *)
+let rec reduce_up node =
+  List.iter reduce_up node.children;
+  List.iter
+    (fun child -> node.rel <- Rel.semijoin node.rel child.rel)
+    node.children
+
+let rec reduce_down node =
+  List.iter
+    (fun child ->
+      child.rel <- Rel.semijoin child.rel node.rel;
+      reduce_down child)
+    node.children
+
+let full_reduce node =
+  reduce_up node;
+  reduce_down node
+
+let rec join_up node =
+  List.fold_left
+    (fun acc child -> Rel.join acc (join_up child))
+    node.rel node.children
+
+exception Cyclic
+
+let eval_acyclic q instance =
+  if not (Ast.is_positive q) then
+    invalid_arg "Yannakakis.eval_acyclic: defined for positive CQs";
+  match Hypergraph.gyo q with
+  | None -> raise Cyclic
+  | Some forest ->
+    let trees = List.map (of_join_tree instance) forest in
+    List.iter full_reduce trees;
+    let joined =
+      match trees with
+      | [] -> { Rel.cols = []; rows = Tuple.Set.singleton [||] }
+      | first :: rest ->
+        List.fold_left
+          (fun acc tree -> Rel.join acc (join_up tree))
+          (join_up first) rest
+    in
+    let head = Ast.head q in
+    let make_fact row =
+      let value_of = function
+        | Ast.Const c -> c
+        | Ast.Var v ->
+          let i =
+            match List.find_index (String.equal v) joined.Rel.cols with
+            | Some i -> i
+            | None -> assert false
+          in
+          row.(i)
+      in
+      Fact.of_list head.Ast.rel (List.map value_of head.Ast.terms)
+    in
+    Tuple.Set.fold
+      (fun row acc -> Instance.add (make_fact row) acc)
+      joined.Rel.rows Instance.empty
+
+(* Sizes before/after full reduction, per atom — the quantity behind
+   Yannakakis' guarantee that intermediate results stay bounded. *)
+let reduction_report q instance =
+  match Hypergraph.gyo q with
+  | None -> raise Cyclic
+  | Some forest ->
+    let trees = List.map (of_join_tree instance) forest in
+    let before =
+      let rec sizes node =
+        (node.atom, Rel.cardinal node.rel)
+        :: List.concat_map sizes node.children
+      in
+      List.concat_map sizes trees
+    in
+    List.iter full_reduce trees;
+    let after =
+      let rec sizes node =
+        (node.atom, Rel.cardinal node.rel)
+        :: List.concat_map sizes node.children
+      in
+      List.concat_map sizes trees
+    in
+    List.map2 (fun (a, b) (_, c) -> (a, b, c)) before after
+
+(* ------------------------------------------------------------------ *)
+(* GYM: Yannakakis in MPC (Section 3.2 / [6]).                         *)
+
+(* Load accounting for one repartition of two column-relations on their
+   shared columns over p servers. *)
+let repartition_stats ~seed ~p (r1 : Rel.t) (r2 : Rel.t) shared =
+  let received = Array.make p 0 in
+  let account (r : Rel.t) =
+    let pos = Rel.positions r shared in
+    Tuple.Set.iter
+      (fun row ->
+        let key =
+          String.concat "\000"
+            (List.map (fun i -> Value.to_string row.(i)) pos)
+        in
+        let dst = Hashtbl.seeded_hash (seed land max_int) key mod p in
+        received.(dst) <- received.(dst) + 1)
+      r.rows
+  in
+  account r1;
+  account r2;
+  let max_received = Array.fold_left max 0 received in
+  let total_received = Array.fold_left ( + ) 0 received in
+  { Stats.max_received; total_received }
+
+let gym ?(seed = 0) ?forest ~p q instance =
+  if p < 1 then invalid_arg "Yannakakis.gym: p < 1";
+  let forest =
+    match forest with
+    | Some f -> Some f
+    | None -> Hypergraph.gyo q
+  in
+  match forest with
+  | None -> raise Cyclic
+  | Some forest ->
+    let trees = List.map (of_join_tree instance) forest in
+    let rounds = ref [] in
+    let push stats_list =
+      (* Semi-joins at the same tree level run in the same round: their
+         loads add per server only if they hash to the same servers; we
+         conservatively merge by summing totals and taking the max of
+         maxima (each operation uses its own hash seed, spreading
+         load). *)
+      match stats_list with
+      | [] -> ()
+      | _ ->
+        let merged =
+          List.fold_left
+            (fun acc s ->
+              {
+                Stats.max_received = max acc.Stats.max_received s.Stats.max_received;
+                total_received = acc.Stats.total_received + s.Stats.total_received;
+              })
+            { Stats.max_received = 0; total_received = 0 }
+            stats_list
+        in
+        rounds := merged :: !rounds
+    in
+    let shared_cols (a : Rel.t) (b : Rel.t) =
+      List.filter (fun c -> List.mem c b.Rel.cols) a.Rel.cols
+    in
+    (* Bottom-up semi-join rounds, one per level, deepest first. *)
+    let rec depth node =
+      1 + List.fold_left (fun acc c -> max acc (depth c)) 0 node.children
+    in
+    let max_depth = List.fold_left (fun acc t -> max acc (depth t)) 0 trees in
+    for level = max_depth - 1 downto 1 do
+      let ops = ref [] in
+      let rec visit d node =
+        if d = level then
+          List.iter
+            (fun child ->
+              ops :=
+                repartition_stats ~seed:(seed + (level * 31)) ~p node.rel
+                  child.rel
+                  (shared_cols node.rel child.rel)
+                :: !ops;
+              node.rel <- Rel.semijoin node.rel child.rel)
+            node.children
+        else List.iter (visit (d + 1)) node.children
+      in
+      List.iter (visit 1) trees;
+      push !ops
+    done;
+    (* Top-down semi-join rounds. *)
+    for level = 1 to max_depth - 1 do
+      let ops = ref [] in
+      let rec visit d node =
+        if d = level then
+          List.iter
+            (fun child ->
+              ops :=
+                repartition_stats ~seed:(seed + 1000 + (level * 31)) ~p
+                  child.rel node.rel
+                  (shared_cols child.rel node.rel)
+                :: !ops;
+              child.rel <- Rel.semijoin child.rel node.rel)
+            node.children
+        else List.iter (visit (d + 1)) node.children
+      in
+      List.iter (visit 1) trees;
+      push !ops
+    done;
+    (* Bottom-up join rounds. *)
+    let rec join_levels node =
+      let results = List.map join_levels node.children in
+      let acc = ref node.rel in
+      List.iter
+        (fun child_rel ->
+          push
+            [
+              repartition_stats ~seed:(seed + 2000) ~p !acc child_rel
+                (shared_cols !acc child_rel);
+            ];
+          acc := Rel.join !acc child_rel)
+        results;
+      !acc
+    in
+    let joined =
+      match trees with
+      | [] -> { Rel.cols = []; rows = Tuple.Set.singleton [||] }
+      | first :: rest ->
+        List.fold_left
+          (fun acc tree -> Rel.join acc (join_levels tree))
+          (join_levels first) rest
+    in
+    let head = Ast.head q in
+    let result =
+      Tuple.Set.fold
+        (fun row acc ->
+          let value_of = function
+            | Ast.Const c -> c
+            | Ast.Var v ->
+              let i =
+                match List.find_index (String.equal v) joined.Rel.cols with
+                | Some i -> i
+                | None -> assert false
+              in
+              row.(i)
+          in
+          Instance.add (Fact.of_list head.Ast.rel (List.map value_of head.Ast.terms)) acc)
+        joined.Rel.rows Instance.empty
+    in
+    let stats =
+      {
+        Stats.p;
+        initial_max = (Instance.cardinal instance + p - 1) / p;
+        rounds = List.rev !rounds;
+      }
+    in
+    (result, stats)

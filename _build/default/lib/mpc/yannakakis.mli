@@ -1,0 +1,40 @@
+(** Yannakakis' algorithm for acyclic CQs and its MPC version GYM
+    (Section 3.2 of the paper).
+
+    The sequential algorithm runs a full reducer (bottom-up and top-down
+    semi-join passes over a join tree) eliminating all dangling tuples,
+    then joins bottom-up; after reduction no intermediate join result
+    exceeds what is needed for the final output. GYM executes the same
+    passes as MPC rounds — semi-joins of the same tree level share a
+    round — so the round count grows with the tree depth while the
+    per-round load stays near m/p. *)
+
+open Lamp_relational
+
+exception Cyclic
+
+val eval_acyclic : Lamp_cq.Ast.t -> Instance.t -> Instance.t
+(** Sequential Yannakakis. Agrees with [Eval.eval] on every acyclic
+    positive CQ.
+    @raise Cyclic when the query is not acyclic.
+    @raise Invalid_argument on non-positive queries. *)
+
+val reduction_report :
+  Lamp_cq.Ast.t -> Instance.t -> (Lamp_cq.Ast.atom * int * int) list
+(** Per-atom relation sizes before and after the full reducer — the
+    dangling-tuple elimination the algorithm is named for.
+    @raise Cyclic when the query is not acyclic. *)
+
+val gym :
+  ?seed:int ->
+  ?forest:Lamp_cq.Hypergraph.join_tree list ->
+  p:int ->
+  Lamp_cq.Ast.t ->
+  Instance.t ->
+  Instance.t * Stats.t
+(** GYM: the reducer and join passes executed as repartition rounds on
+    [p] servers, with per-round load accounting. An explicit join forest
+    overrides the GYO-constructed one — the shape (in particular depth)
+    of the tree is GYM's round/communication trade-off knob.
+    @raise Cyclic when the query is not acyclic and no forest is
+    given. *)

@@ -1,0 +1,1 @@
+lib/ra/algebra.ml: Fmt List Relation String

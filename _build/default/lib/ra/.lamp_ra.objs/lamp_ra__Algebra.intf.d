@@ -1,0 +1,1 @@
+lib/ra/algebra.mli: Fmt Instance Lamp_relational Relation

@@ -1,0 +1,1 @@
+lib/ra/relation.ml: Array Fact Fmt Hashtbl Instance Lamp_relational List Option String Tuple Value

@@ -1,0 +1,1 @@
+lib/ra/relation.mli: Fmt Instance Lamp_relational Tuple Value

@@ -1,0 +1,1 @@
+lib/ra/to_mapreduce.ml: Algebra Array Fact Fmt Instance Job Lamp_mapreduce Lamp_relational List Relation String Value

@@ -1,0 +1,1 @@
+lib/ra/to_mapreduce.mli: Algebra Instance Lamp_mapreduce Lamp_relational Relation

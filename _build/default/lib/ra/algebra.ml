@@ -1,0 +1,71 @@
+type expr =
+  | Base of string * string list
+  | Select of Relation.pred * expr
+  | Project of string list * expr
+  | Rename of (string * string) list * expr
+  | Join of expr * expr
+  | Semijoin of expr * expr
+  | Antijoin of expr * expr
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Product of expr * expr
+
+let rec eval instance = function
+  | Base (rel, cols) -> Relation.of_instance instance ~rel ~cols
+  | Select (p, e) -> Relation.select p (eval instance e)
+  | Project (cols, e) -> Relation.project cols (eval instance e)
+  | Rename (mapping, e) -> Relation.rename mapping (eval instance e)
+  | Join (e1, e2) -> Relation.join (eval instance e1) (eval instance e2)
+  | Semijoin (e1, e2) -> Relation.semijoin (eval instance e1) (eval instance e2)
+  | Antijoin (e1, e2) -> Relation.antijoin (eval instance e1) (eval instance e2)
+  | Union (e1, e2) -> Relation.union (eval instance e1) (eval instance e2)
+  | Diff (e1, e2) -> Relation.diff (eval instance e1) (eval instance e2)
+  | Product (e1, e2) -> Relation.product (eval instance e1) (eval instance e2)
+
+(* Static column signature of an expression. *)
+let rec signature = function
+  | Base (_, cols) -> cols
+  | Select (_, e) -> signature e
+  | Project (cols, _) -> cols
+  | Rename (mapping, e) ->
+    List.map
+      (fun c -> match List.assoc_opt c mapping with Some c' -> c' | None -> c)
+      (signature e)
+  | Join (e1, e2) ->
+    let c1 = signature e1 in
+    c1 @ List.filter (fun c -> not (List.mem c c1)) (signature e2)
+  | Semijoin (e, _) | Antijoin (e, _) -> signature e
+  | Union (e, _) | Diff (e, _) -> signature e
+  | Product (e1, e2) -> signature e1 @ signature e2
+
+(* Membership in the semi-join algebra: no operator that can grow a
+   tuple beyond a base relation's — the fragment of [47] expressible by
+   MapReduce with bounded-memory reducers. *)
+let rec in_semijoin_algebra = function
+  | Base _ -> true
+  | Select (_, e) | Project (_, e) | Rename (_, e) -> in_semijoin_algebra e
+  | Semijoin (e1, e2) | Antijoin (e1, e2) | Union (e1, e2) | Diff (e1, e2) ->
+    in_semijoin_algebra e1 && in_semijoin_algebra e2
+  | Join _ | Product _ -> false
+
+let rec size = function
+  | Base _ -> 1
+  | Select (_, e) | Project (_, e) | Rename (_, e) -> 1 + size e
+  | Join (e1, e2)
+  | Semijoin (e1, e2)
+  | Antijoin (e1, e2)
+  | Union (e1, e2)
+  | Diff (e1, e2)
+  | Product (e1, e2) -> 1 + size e1 + size e2
+
+let rec pp ppf = function
+  | Base (r, cols) -> Fmt.pf ppf "%s(%s)" r (String.concat "," cols)
+  | Select (_, e) -> Fmt.pf ppf "σ(%a)" pp e
+  | Project (cols, e) -> Fmt.pf ppf "π_%s(%a)" (String.concat "," cols) pp e
+  | Rename (_, e) -> Fmt.pf ppf "ρ(%a)" pp e
+  | Join (e1, e2) -> Fmt.pf ppf "(%a ⋈ %a)" pp e1 pp e2
+  | Semijoin (e1, e2) -> Fmt.pf ppf "(%a ⋉ %a)" pp e1 pp e2
+  | Antijoin (e1, e2) -> Fmt.pf ppf "(%a ▷ %a)" pp e1 pp e2
+  | Union (e1, e2) -> Fmt.pf ppf "(%a ∪ %a)" pp e1 pp e2
+  | Diff (e1, e2) -> Fmt.pf ppf "(%a − %a)" pp e1 pp e2
+  | Product (e1, e2) -> Fmt.pf ppf "(%a × %a)" pp e1 pp e2

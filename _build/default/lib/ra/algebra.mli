@@ -1,0 +1,38 @@
+(** The relational algebra over named-column relations.
+
+    The paper (Section 3.2, [47]) discusses MapReduce fragments
+    expressing the semi-join algebra and the complete relational
+    algebra; this module supplies the algebra itself — expressions, a
+    direct evaluator, and the semi-join-fragment test — and
+    [To_mapreduce] compiles expressions to MapReduce programs. *)
+
+open Lamp_relational
+
+type expr =
+  | Base of string * string list
+      (** Base relation with positional column names. *)
+  | Select of Relation.pred * expr
+  | Project of string list * expr
+  | Rename of (string * string) list * expr
+  | Join of expr * expr  (** Natural join. *)
+  | Semijoin of expr * expr
+  | Antijoin of expr * expr
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Product of expr * expr
+
+val eval : Instance.t -> expr -> Relation.t
+(** Direct (single-site) evaluation.
+    @raise Invalid_argument on ill-typed expressions (column clashes,
+    arity mismatches). *)
+
+val signature : expr -> string list
+(** The expression's output columns. *)
+
+val in_semijoin_algebra : expr -> bool
+(** Whether the expression avoids tuple-growing operators (joins and
+    products) — the fragment computable with bounded-memory reducers
+    per [47]. *)
+
+val size : expr -> int
+val pp : expr Fmt.t

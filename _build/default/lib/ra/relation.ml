@@ -1,0 +1,204 @@
+open Lamp_relational
+
+type t = {
+  cols : string list;
+  rows : Tuple.Set.t;
+}
+
+let cols t = t.cols
+let cardinal t = Tuple.Set.cardinal t.rows
+let rows t = Tuple.Set.elements t.rows
+
+let check_arity cols row =
+  if Array.length row <> List.length cols then
+    invalid_arg "Relation: row arity does not match columns"
+
+let create ~cols rows =
+  if List.length (List.sort_uniq String.compare cols) <> List.length cols then
+    invalid_arg "Relation.create: duplicate column names";
+  List.iter (check_arity cols) rows;
+  { cols; rows = Tuple.Set.of_list rows }
+
+let empty ~cols = create ~cols []
+
+let of_instance instance ~rel ~cols =
+  let rows =
+    Tuple.Set.filter
+      (fun tup -> Tuple.arity tup = List.length cols)
+      (Instance.tuples instance rel)
+  in
+  { cols; rows }
+
+let to_instance t ~rel =
+  Tuple.Set.fold
+    (fun row acc -> Instance.add (Fact.make rel row) acc)
+    t.rows Instance.empty
+
+let position t c =
+  match List.find_index (String.equal c) t.cols with
+  | Some i -> i
+  | None -> invalid_arg (Fmt.str "Relation: unknown column %s" c)
+
+let equal t1 t2 =
+  (* Equality up to column order. *)
+  List.sort String.compare t1.cols = List.sort String.compare t2.cols
+  &&
+  let perm = List.map (position t1) t2.cols in
+  Tuple.Set.equal
+    (Tuple.Set.map
+       (fun row -> Array.of_list (List.map (fun i -> row.(i)) perm))
+       t1.rows)
+    t2.rows
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+
+type operand =
+  | Col of string
+  | Const of Value.t
+
+type pred =
+  | Eq of operand * operand
+  | Neq of operand * operand
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+let rec eval_pred t row = function
+  | Eq (o1, o2) -> Value.equal (operand t row o1) (operand t row o2)
+  | Neq (o1, o2) -> not (Value.equal (operand t row o1) (operand t row o2))
+  | And (p1, p2) -> eval_pred t row p1 && eval_pred t row p2
+  | Or (p1, p2) -> eval_pred t row p1 || eval_pred t row p2
+  | Not p -> not (eval_pred t row p)
+
+and operand t row = function
+  | Col c -> row.(position t c)
+  | Const v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+
+let select pred t = { t with rows = Tuple.Set.filter (fun r -> eval_pred t r pred) t.rows }
+
+let project cols t =
+  let positions = List.map (position t) cols in
+  {
+    cols;
+    rows =
+      Tuple.Set.map
+        (fun row -> Array.of_list (List.map (fun i -> row.(i)) positions))
+        t.rows;
+  }
+
+let rename mapping t =
+  let rename_col c =
+    match List.assoc_opt c mapping with Some c' -> c' | None -> c
+  in
+  let cols = List.map rename_col t.cols in
+  if List.length (List.sort_uniq String.compare cols) <> List.length cols then
+    invalid_arg "Relation.rename: renaming creates duplicate columns";
+  { t with cols }
+
+let reorder_like t1 t2 =
+  (* Rows of t2 permuted into t1's column order. *)
+  let perm = List.map (position t2) t1.cols in
+  Tuple.Set.map
+    (fun row -> Array.of_list (List.map (fun i -> row.(i)) perm))
+    t2.rows
+
+let same_cols what t1 t2 =
+  if List.sort String.compare t1.cols <> List.sort String.compare t2.cols then
+    invalid_arg (Fmt.str "Relation.%s: incompatible columns" what)
+
+let union t1 t2 =
+  same_cols "union" t1 t2;
+  { t1 with rows = Tuple.Set.union t1.rows (reorder_like t1 t2) }
+
+let diff t1 t2 =
+  same_cols "diff" t1 t2;
+  { t1 with rows = Tuple.Set.diff t1.rows (reorder_like t1 t2) }
+
+let inter t1 t2 =
+  same_cols "inter" t1 t2;
+  { t1 with rows = Tuple.Set.inter t1.rows (reorder_like t1 t2) }
+
+let shared_cols t1 t2 = List.filter (fun c -> List.mem c t2.cols) t1.cols
+
+let key_of positions row = List.map (fun i -> row.(i)) positions
+
+let join t1 t2 =
+  let shared = shared_cols t1 t2 in
+  let extra = List.filter (fun c -> not (List.mem c t1.cols)) t2.cols in
+  let pos1 = List.map (position t1) shared in
+  let pos2 = List.map (position t2) shared in
+  let pos_extra = List.map (position t2) extra in
+  let index = Hashtbl.create 64 in
+  Tuple.Set.iter
+    (fun row ->
+      let key = key_of pos2 row in
+      Hashtbl.replace index key
+        (row :: Option.value ~default:[] (Hashtbl.find_opt index key)))
+    t2.rows;
+  let rows =
+    Tuple.Set.fold
+      (fun row1 acc ->
+        match Hashtbl.find_opt index (key_of pos1 row1) with
+        | None -> acc
+        | Some matches ->
+          List.fold_left
+            (fun acc row2 ->
+              Tuple.Set.add
+                (Array.append row1 (Array.of_list (key_of pos_extra row2)))
+                acc)
+            acc matches)
+      t1.rows Tuple.Set.empty
+  in
+  { cols = t1.cols @ extra; rows }
+
+let semijoin t1 t2 =
+  let shared = shared_cols t1 t2 in
+  let pos1 = List.map (position t1) shared in
+  let pos2 = List.map (position t2) shared in
+  let keys = Hashtbl.create 64 in
+  Tuple.Set.iter (fun row -> Hashtbl.replace keys (key_of pos2 row) ()) t2.rows;
+  if shared = [] then
+    (* Degenerate: semijoin against a nonempty relation keeps all. *)
+    { t1 with rows = (if Tuple.Set.is_empty t2.rows then Tuple.Set.empty else t1.rows) }
+  else
+    { t1 with rows = Tuple.Set.filter (fun r -> Hashtbl.mem keys (key_of pos1 r)) t1.rows }
+
+let antijoin t1 t2 =
+  let shared = shared_cols t1 t2 in
+  let pos1 = List.map (position t1) shared in
+  let pos2 = List.map (position t2) shared in
+  let keys = Hashtbl.create 64 in
+  Tuple.Set.iter (fun row -> Hashtbl.replace keys (key_of pos2 row) ()) t2.rows;
+  if shared = [] then
+    { t1 with rows = (if Tuple.Set.is_empty t2.rows then t1.rows else Tuple.Set.empty) }
+  else
+    {
+      t1 with
+      rows = Tuple.Set.filter (fun r -> not (Hashtbl.mem keys (key_of pos1 r))) t1.rows;
+    }
+
+let product t1 t2 =
+  List.iter
+    (fun c ->
+      if List.mem c t2.cols then
+        invalid_arg (Fmt.str "Relation.product: shared column %s" c))
+    t1.cols;
+  let rows =
+    Tuple.Set.fold
+      (fun r1 acc ->
+        Tuple.Set.fold
+          (fun r2 acc -> Tuple.Set.add (Array.append r1 r2) acc)
+          t2.rows acc)
+      t1.rows Tuple.Set.empty
+  in
+  { cols = t1.cols @ t2.cols; rows }
+
+let pp ppf t =
+  Fmt.pf ppf "%s:{%a}"
+    (String.concat "," t.cols)
+    Fmt.(list ~sep:(any "; ") Tuple.pp)
+    (Tuple.Set.elements t.rows)

@@ -1,0 +1,62 @@
+(** Named-column relations: the carrier of the relational algebra.
+
+    Columns are attribute names; equality is up to column order. *)
+
+open Lamp_relational
+
+type t
+
+val create : cols:string list -> Tuple.t list -> t
+(** @raise Invalid_argument on duplicate columns or arity mismatch. *)
+
+val empty : cols:string list -> t
+val cols : t -> string list
+val cardinal : t -> int
+val rows : t -> Tuple.t list
+
+val of_instance : Instance.t -> rel:string -> cols:string list -> t
+(** Tuples of the relation whose arity matches [cols]; columns are
+    positional. *)
+
+val to_instance : t -> rel:string -> Instance.t
+
+val equal : t -> t -> bool
+(** Up to column order.
+    @raise Invalid_argument when the column sets differ. *)
+
+type operand =
+  | Col of string
+  | Const of Value.t
+
+type pred =
+  | Eq of operand * operand
+  | Neq of operand * operand
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+val select : pred -> t -> t
+val project : string list -> t -> t
+(** @raise Invalid_argument on unknown columns. *)
+
+val rename : (string * string) list -> t -> t
+(** [(old, new)] pairs; unmentioned columns keep their names. *)
+
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+(** @raise Invalid_argument when column sets differ. *)
+
+val join : t -> t -> t
+(** Natural join on the shared columns (cartesian product when none). *)
+
+val semijoin : t -> t -> t
+(** [semijoin r s] = tuples of [r] joining with some tuple of [s]. *)
+
+val antijoin : t -> t -> t
+(** [antijoin r s] = tuples of [r] joining with no tuple of [s]. *)
+
+val product : t -> t -> t
+(** @raise Invalid_argument on shared columns. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,229 @@
+open Lamp_relational
+open Lamp_mapreduce
+
+(* Compilation of relational algebra expressions to MapReduce programs:
+   one job per operator, evaluated bottom-up. Every job forwards all
+   facts it does not consume (under a singleton key), so base relations
+   and earlier intermediates remain available to later operators; the
+   operator itself groups its operands' facts by the appropriate key and
+   lets the reducer emit the result under a fresh intermediate relation
+   name. *)
+
+let tmp i = Fmt.str "\010t%d" i
+
+let fwd_key f =
+  Value.str "f" :: Value.str (Fact.rel f) :: Array.to_list (Fact.args f)
+
+let forward f = (fwd_key f, f)
+
+let positions cols sub =
+  List.map
+    (fun c ->
+      match List.find_index (String.equal c) cols with
+      | Some i -> i
+      | None -> invalid_arg (Fmt.str "To_mapreduce: unknown column %s" c))
+    sub
+
+let key_values positions (f : Fact.t) =
+  List.map (fun i -> (Fact.args f).(i)) positions
+
+(* A generic operator job: group the facts of the sources by [key_of]
+   (everything else is forwarded) and produce the outputs of a group
+   with [combine]. *)
+let op_job ~sources ~key_of ~combine =
+  {
+    Job.map =
+      (fun f ->
+        let base = [ forward f ] in
+        if List.mem (Fact.rel f) sources then
+          (Value.str "o" :: key_of f, f) :: base
+        else base);
+    reduce =
+      (fun key group ->
+        match key with
+        | Value.Str "o" :: _ -> combine group
+        | _ -> Instance.facts group);
+  }
+
+(* Map-only transformations (select, project, rename, union arms) are
+   expressed as jobs whose map emits the transformed fact under a
+   forward key. *)
+let map_job ~transform =
+  {
+    Job.map =
+      (fun f ->
+        let extra =
+          match transform f with
+          | Some f' -> [ forward f' ]
+          | None -> []
+        in
+        forward f :: extra);
+    reduce = (fun _ group -> Instance.facts group);
+  }
+
+let rec compile counter expr =
+  let fresh () =
+    let i = !counter in
+    incr counter;
+    tmp i
+  in
+  match expr with
+  | Algebra.Base (rel, cols) ->
+    (* Leaves are copied to a fresh name so that two occurrences of the
+       same base relation (a self-join under different column names)
+       stay distinguishable in downstream reducers. *)
+    let dst = fresh () in
+    let arity = List.length cols in
+    let job =
+      map_job ~transform:(fun f ->
+          if Fact.rel f = rel && Fact.arity f = arity then
+            Some (Fact.make dst (Fact.args f))
+          else None)
+    in
+    (dst, cols, [ job ])
+  | Algebra.Select (pred, e) ->
+    let src, cols, jobs = compile counter e in
+    let dst = fresh () in
+    let relation_view row = Relation.create ~cols [ row ] in
+    let job =
+      map_job ~transform:(fun f ->
+          if Fact.rel f = src then begin
+            let r = relation_view (Fact.args f) in
+            if Relation.cardinal (Relation.select pred r) = 1 then
+              Some (Fact.make dst (Fact.args f))
+            else None
+          end
+          else None)
+    in
+    (dst, cols, jobs @ [ job ])
+  | Algebra.Project (sub, e) ->
+    let src, cols, jobs = compile counter e in
+    let dst = fresh () in
+    let pos = positions cols sub in
+    let job =
+      map_job ~transform:(fun f ->
+          if Fact.rel f = src then
+            Some (Fact.of_list dst (key_values pos f))
+          else None)
+    in
+    (dst, sub, jobs @ [ job ])
+  | Algebra.Rename (mapping, e) ->
+    let src, cols, jobs = compile counter e in
+    let dst = fresh () in
+    let cols' =
+      List.map
+        (fun c -> match List.assoc_opt c mapping with Some c' -> c' | None -> c)
+        cols
+    in
+    let job =
+      map_job ~transform:(fun f ->
+          if Fact.rel f = src then Some (Fact.make dst (Fact.args f)) else None)
+    in
+    (dst, cols', jobs @ [ job ])
+  | Algebra.Union (e1, e2) ->
+    let src1, cols1, jobs1 = compile counter e1 in
+    let src2, cols2, jobs2 = compile counter e2 in
+    let dst = fresh () in
+    let perm = positions cols2 cols1 in
+    let job =
+      map_job ~transform:(fun f ->
+          if Fact.rel f = src1 then Some (Fact.make dst (Fact.args f))
+          else if Fact.rel f = src2 then
+            Some (Fact.of_list dst (key_values perm f))
+          else None)
+    in
+    (dst, cols1, jobs1 @ jobs2 @ [ job ])
+  | Algebra.Diff (e1, e2) ->
+    let src1, cols1, jobs1 = compile counter e1 in
+    let src2, cols2, jobs2 = compile counter e2 in
+    let dst = fresh () in
+    let perm = positions cols2 cols1 in
+    let key_of f =
+      if Fact.rel f = src1 then Array.to_list (Fact.args f)
+      else key_values perm f
+    in
+    let combine group =
+      let left =
+        Instance.facts (Instance.filter (fun f -> Fact.rel f = src1) group)
+      in
+      let right_present =
+        not (Instance.is_empty (Instance.filter (fun f -> Fact.rel f = src2) group))
+      in
+      if right_present then []
+      else List.map (fun f -> Fact.make dst (Fact.args f)) left
+    in
+    (dst, cols1, jobs1 @ jobs2 @ [ op_job ~sources:[ src1; src2 ] ~key_of ~combine ])
+  | Algebra.Join (e1, e2) | Algebra.Product (e1, e2) ->
+    let src1, cols1, jobs1 = compile counter e1 in
+    let src2, cols2, jobs2 = compile counter e2 in
+    let dst = fresh () in
+    let shared = List.filter (fun c -> List.mem c cols2) cols1 in
+    (match expr with
+    | Algebra.Product _ when shared <> [] ->
+      invalid_arg "To_mapreduce: product with shared columns"
+    | _ -> ());
+    let extra = List.filter (fun c -> not (List.mem c cols1)) cols2 in
+    let pos1 = positions cols1 shared
+    and pos2 = positions cols2 shared
+    and pos_extra = positions cols2 extra in
+    let key_of f =
+      if Fact.rel f = src1 then key_values pos1 f else key_values pos2 f
+    in
+    let combine group =
+      let left = Instance.filter (fun f -> Fact.rel f = src1) group in
+      let right = Instance.filter (fun f -> Fact.rel f = src2) group in
+      Instance.fold
+        (fun f1 acc ->
+          Instance.fold
+            (fun f2 acc ->
+              Fact.of_list dst
+                (Array.to_list (Fact.args f1) @ key_values pos_extra f2)
+              :: acc)
+            right acc)
+        left []
+    in
+    ( dst,
+      cols1 @ extra,
+      jobs1 @ jobs2 @ [ op_job ~sources:[ src1; src2 ] ~key_of ~combine ] )
+  | Algebra.Semijoin (e1, e2) | Algebra.Antijoin (e1, e2) ->
+    let src1, cols1, jobs1 = compile counter e1 in
+    let src2, cols2, jobs2 = compile counter e2 in
+    let dst = fresh () in
+    let shared = List.filter (fun c -> List.mem c cols2) cols1 in
+    let pos1 = positions cols1 shared and pos2 = positions cols2 shared in
+    let key_of f =
+      if Fact.rel f = src1 then key_values pos1 f else key_values pos2 f
+    in
+    let keep_if_present =
+      match expr with Algebra.Semijoin _ -> true | _ -> false
+    in
+    let combine group =
+      let left = Instance.filter (fun f -> Fact.rel f = src1) group in
+      let right_present =
+        not (Instance.is_empty (Instance.filter (fun f -> Fact.rel f = src2) group))
+      in
+      if right_present = keep_if_present then
+        List.map (fun f -> Fact.make dst (Fact.args f)) (Instance.facts left)
+      else []
+    in
+    ( dst,
+      cols1,
+      jobs1 @ jobs2 @ [ op_job ~sources:[ src1; src2 ] ~key_of ~combine ] )
+
+let compile expr =
+  let counter = ref 0 in
+  let name, cols, jobs = compile counter expr in
+  (jobs, name, cols)
+
+let run ?p instance expr =
+  let program, name, cols = compile expr in
+  let output =
+    match p with
+    | None -> Job.run program instance
+    | Some p -> fst (Job.run_mpc ~p program instance)
+  in
+  Relation.of_instance output ~rel:name ~cols
+
+let job_count expr =
+  let program, _, _ = compile expr in
+  List.length program

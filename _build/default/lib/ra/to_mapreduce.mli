@@ -1,0 +1,24 @@
+(** Compilation of relational algebra to MapReduce programs.
+
+    One job per operator: map-only jobs for selections, projections,
+    renamings and unions; a grouping job for joins, semi-joins,
+    anti-joins and differences (the operands meet at the reducer of
+    their key). Every job forwards the facts it does not consume, so
+    base relations stay available to later operators. The translation
+    realizes the observation of Section 3.1 — MapReduce programs are
+    MPC algorithms — together with the relational-algebra fragment
+    results of [47]: the compiled program computes the same relation as
+    the direct evaluator on every instance, which the test suite checks
+    by property, both sequentially and through the MPC execution. *)
+
+open Lamp_relational
+
+val compile : Algebra.expr -> Lamp_mapreduce.Job.program * string * string list
+(** [(program, result_relation, columns)]. *)
+
+val run : ?p:int -> Instance.t -> Algebra.expr -> Relation.t
+(** Executes the compiled program — sequentially, or on a simulated
+    [p]-server MPC cluster when [p] is given — and reads the result. *)
+
+val job_count : Algebra.expr -> int
+(** Number of jobs (= MPC rounds) of the compiled program. *)

@@ -1,0 +1,1 @@
+lib/relational/adom.ml: Fact Hashtbl Instance List Value

@@ -1,0 +1,1 @@
+lib/relational/adom.mli: Fact Instance

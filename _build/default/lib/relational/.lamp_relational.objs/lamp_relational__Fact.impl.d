@@ -1,0 +1,1 @@
+lib/relational/fact.ml: Array Fmt Hashtbl List Map Set String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/fact.mli: Fmt Map Set Tuple Value

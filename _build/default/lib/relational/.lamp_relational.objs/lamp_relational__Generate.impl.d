@@ -1,0 +1,1 @@
+lib/relational/generate.ml: Array Fact Float Instance List Random Schema

@@ -1,0 +1,1 @@
+lib/relational/generate.mli: Instance Random Schema

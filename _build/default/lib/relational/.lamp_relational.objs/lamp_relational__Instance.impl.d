@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Buffer Fact Fmt List Map Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Fact Fmt Schema Tuple Value

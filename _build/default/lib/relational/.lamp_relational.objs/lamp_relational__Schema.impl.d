@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Fact Fmt List Map String

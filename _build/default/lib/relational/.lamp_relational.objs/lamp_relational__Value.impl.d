@@ -1,0 +1,1 @@
+lib/relational/value.ml: Fmt Hashtbl Int Map Set String

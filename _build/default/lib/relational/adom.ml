@@ -1,0 +1,75 @@
+let fact_domain_distinct_from fact instance =
+  not (Value.Set.subset (Fact.adom fact) (Instance.adom instance))
+
+let domain_distinct_from j i =
+  let adom_i = Instance.adom i in
+  Instance.facts j
+  |> List.for_all (fun f ->
+         not (Value.Set.subset (Fact.adom f) adom_i))
+
+let fact_domain_disjoint_from fact instance =
+  Value.Set.disjoint (Fact.adom fact) (Instance.adom instance)
+
+let domain_disjoint_from j i =
+  let adom_i = Instance.adom i in
+  Instance.facts j
+  |> List.for_all (fun f -> Value.Set.disjoint (Fact.adom f) adom_i)
+
+(* Union-find over the active domain; two values are linked when they
+   co-occur in a fact, so classes are the connected components. *)
+module Uf = struct
+  type t = (Value.t, Value.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find t v =
+    match Hashtbl.find_opt t v with
+    | None ->
+      Hashtbl.add t v v;
+      v
+    | Some p when Value.equal p v -> v
+    | Some p ->
+      let r = find t p in
+      Hashtbl.replace t v r;
+      r
+
+  let union t v1 v2 =
+    let r1 = find t v1 and r2 = find t v2 in
+    if not (Value.equal r1 r2) then Hashtbl.replace t r1 r2
+end
+
+let components instance =
+  let uf = Uf.create () in
+  Instance.iter
+    (fun f ->
+      let vs = Value.Set.elements (Fact.adom f) in
+      match vs with
+      | [] -> ()
+      | v0 :: rest ->
+        ignore (Uf.find uf v0);
+        List.iter (fun v -> Uf.union uf v0 v) rest)
+    instance;
+  let by_root = Hashtbl.create 16 in
+  Instance.iter
+    (fun f ->
+      match Value.Set.choose_opt (Fact.adom f) with
+      | None ->
+        (* Nullary facts have no domain values: each forms a component of
+           its own per the minimality clause of the definition. *)
+        Hashtbl.add by_root (Value.str (Fact.to_string f)) (Instance.singleton f)
+      | Some v ->
+        let root = Uf.find uf v in
+        let prev =
+          match Hashtbl.find_opt by_root root with
+          | Some i -> i
+          | None -> Instance.empty
+        in
+        Hashtbl.replace by_root root (Instance.add f prev))
+    instance;
+  Hashtbl.fold (fun _ comp acc -> comp :: acc) by_root []
+  |> List.sort Instance.compare
+
+let is_component j i =
+  (not (Instance.is_empty j))
+  && Instance.subset j i
+  && List.exists (Instance.equal j) (components i)

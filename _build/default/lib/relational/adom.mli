@@ -1,0 +1,28 @@
+(** Active-domain relations between facts and instances (Section 5.2 of
+    the paper): domain distinctness, domain disjointness, and connected
+    components. *)
+
+val fact_domain_distinct_from : Fact.t -> Instance.t -> bool
+(** [fact_domain_distinct_from f i] holds when [adom f \ adom i ≠ ∅],
+    i.e. [f] contains at least one value not occurring in [i]. *)
+
+val domain_distinct_from : Instance.t -> Instance.t -> bool
+(** [domain_distinct_from j i]: every fact of [j] is domain distinct from
+    [i]. Used to define the class [Mdistinct]. *)
+
+val fact_domain_disjoint_from : Fact.t -> Instance.t -> bool
+(** [fact_domain_disjoint_from f i] holds when [adom f ∩ adom i = ∅]. *)
+
+val domain_disjoint_from : Instance.t -> Instance.t -> bool
+(** [domain_disjoint_from j i]: every fact of [j] is domain disjoint from
+    [i]. Used to define the class [Mdisjoint]. *)
+
+val components : Instance.t -> Instance.t list
+(** The connected components of an instance: minimal nonempty
+    subinstances [J ⊆ I] with [adom J ∩ adom (I \ J) = ∅]. Facts are
+    connected when they share a domain value. Nullary facts form
+    singleton components. The result partitions the instance and is
+    sorted for determinism. *)
+
+val is_component : Instance.t -> Instance.t -> bool
+(** [is_component j i] holds when [j] is one of [components i]. *)

@@ -1,0 +1,58 @@
+type t = {
+  rel : string;
+  args : Tuple.t;
+}
+
+let make rel args = { rel; args }
+let of_list rel args = { rel; args = Tuple.of_list args }
+let of_ints rel is = { rel; args = Tuple.of_ints is }
+
+let rel f = f.rel
+let args f = f.args
+let arity f = Tuple.arity f.args
+
+let compare f1 f2 =
+  let c = String.compare f1.rel f2.rel in
+  if c <> 0 then c else Tuple.compare f1.args f2.args
+
+let equal f1 f2 = compare f1 f2 = 0
+let hash f = Hashtbl.hash f.rel + (31 * Tuple.hash f.args)
+
+let adom f =
+  Array.fold_left (fun acc v -> Value.Set.add v acc) Value.Set.empty f.args
+
+let pp ppf f =
+  Fmt.pf ppf "%s(%a)" f.rel Fmt.(array ~sep:(any ",") Value.pp) f.args
+
+let to_string f = Fmt.str "%a" pp f
+
+(* Textual format: R(a, 1, b). Whitespace around arguments is ignored. *)
+let of_string s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None -> invalid_arg (Fmt.str "Fact.of_string: missing '(' in %S" s)
+  | Some i ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      invalid_arg (Fmt.str "Fact.of_string: missing ')' in %S" s)
+    else
+      let rel = String.trim (String.sub s 0 i) in
+      let inner = String.sub s (i + 1) (String.length s - i - 2) in
+      let parts =
+        if String.trim inner = "" then []
+        else String.split_on_char ',' inner
+      in
+      let args = List.map (fun p -> Value.of_string (String.trim p)) parts in
+      if rel = "" then invalid_arg "Fact.of_string: empty relation name"
+      else of_list rel args
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let pp_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp) (Set.elements s)

@@ -1,0 +1,38 @@
+(** Facts: a relation name applied to a tuple of domain values.
+
+    A database instance is a finite set of facts (Section 2 of the
+    paper). *)
+
+type t = private {
+  rel : string;
+  args : Tuple.t;
+}
+
+val make : string -> Tuple.t -> t
+val of_list : string -> Value.t list -> t
+
+val of_ints : string -> int list -> t
+(** [of_ints "R" [1; 2]] is the fact [R(1,2)]. *)
+
+val rel : t -> string
+val args : t -> Tuple.t
+val arity : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val adom : t -> Value.Set.t
+(** [adom f] is the set of domain values occurring in [f]. *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parses the textual format [R(a,1,b)].
+    @raise Invalid_argument on malformed input. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val pp_set : Set.t Fmt.t

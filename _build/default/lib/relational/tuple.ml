@@ -1,0 +1,35 @@
+type t = Value.t array
+
+let compare t1 t2 =
+  let len1 = Array.length t1 and len2 = Array.length t2 in
+  if len1 <> len2 then Int.compare len1 len2
+  else
+    let rec go i =
+      if i >= len1 then 0
+      else
+        let c = Value.compare t1.(i) t2.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let arity = Array.length
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let of_ints is = Array.of_list (List.map Value.int is)
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ",") Value.pp) t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

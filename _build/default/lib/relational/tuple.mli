@@ -1,0 +1,26 @@
+(** Tuples of domain values.
+
+    A tuple is an immutable array of {!Value.t}; callers must not mutate
+    tuples handed to the instance structures. *)
+
+type t = Value.t array
+
+val compare : t -> t -> int
+(** Shorter tuples precede longer ones; same-length tuples compare
+    lexicographically. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val arity : t -> int
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+val of_ints : int list -> t
+(** [of_ints [1; 2]] is the tuple [(Int 1, Int 2)]; convenient in tests
+    and workload generators. *)
+
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

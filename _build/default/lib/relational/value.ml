@@ -1,0 +1,46 @@
+type t =
+  | Int of int
+  | Str of string
+
+let compare v1 v2 =
+  match v1, v2 with
+  | Int i1, Int i2 -> Int.compare i1 i2
+  | Str s1, Str s2 -> String.compare s1 s2
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let equal v1 v2 = compare v1 v2 = 0
+
+let hash = function
+  | Int i -> Hashtbl.hash (0, i)
+  | Str s -> Hashtbl.hash (1, s)
+
+let int i = Int i
+let str s = Str s
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Str s -> s
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+(* Parses an integer literal when possible, a symbol otherwise; the
+   textual formats of facts and queries rely on this. *)
+let of_string s =
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> Str s
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let set_of_list vs = Set.of_list vs
+
+let pp_set ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp) (Set.elements s)

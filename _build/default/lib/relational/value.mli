@@ -1,0 +1,36 @@
+(** Domain values.
+
+    The infinite domain [dom] of the paper is represented by the disjoint
+    union of integers and strings. Integers give cheap dense domains for
+    generated workloads; strings give readable constants in examples and
+    parsed programs. *)
+
+type t =
+  | Int of int
+  | Str of string
+
+val compare : t -> t -> int
+(** Total order: all [Int] values precede all [Str] values. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val int : int -> t
+(** [int i] is the domain value [Int i]. *)
+
+val str : string -> t
+(** [str s] is the domain value [Str s]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** [of_string s] parses an integer literal when possible and falls back
+    to a string symbol otherwise. *)
+
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Set.t Fmt.t

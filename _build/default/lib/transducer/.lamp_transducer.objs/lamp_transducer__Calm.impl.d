@@ -1,0 +1,1 @@
+lib/transducer/calm.ml: Fmt Instance Lamp_relational Scheduler

@@ -1,0 +1,1 @@
+lib/transducer/calm.mli: Fmt Instance Lamp_relational Network Scheduler

@@ -1,0 +1,1 @@
+lib/transducer/horizontal.ml: Array Instance Lamp_distribution Lamp_relational List Policy Random

@@ -1,0 +1,1 @@
+lib/transducer/horizontal.mli: Instance Lamp_distribution Lamp_relational Policy Random

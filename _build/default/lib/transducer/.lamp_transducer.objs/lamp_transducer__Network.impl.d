@@ -1,0 +1,1 @@
+lib/transducer/network.ml: Array Fact Fmt Instance Lamp_distribution Lamp_relational List Node Option Policy Program

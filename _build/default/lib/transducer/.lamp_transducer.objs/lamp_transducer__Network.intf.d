@@ -1,0 +1,1 @@
+lib/transducer/network.mli: Fact Instance Lamp_distribution Lamp_relational Node Policy Program Value

@@ -1,0 +1,1 @@
+lib/transducer/program.ml: Fact Instance Lamp_distribution Lamp_relational Node String Value

@@ -1,0 +1,1 @@
+lib/transducer/programs.ml: Adom Array Fact Hashtbl Instance Lamp_cq Lamp_relational List Option Program Schema String Value

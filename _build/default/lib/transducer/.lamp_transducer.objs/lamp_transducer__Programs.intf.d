@@ -1,0 +1,1 @@
+lib/transducer/programs.mli: Instance Lamp_cq Lamp_relational Program Schema

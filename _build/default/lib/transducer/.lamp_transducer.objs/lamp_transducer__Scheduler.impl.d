@@ -1,0 +1,1 @@
+lib/transducer/scheduler.ml: Array Instance Lamp_relational List Network Random

@@ -1,0 +1,1 @@
+lib/transducer/scheduler.mli: Instance Lamp_relational Network

@@ -1,0 +1,63 @@
+open Lamp_relational
+
+type failure = {
+  description : string;
+  got : Instance.t;
+  expected : Instance.t;
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%s: got %a, expected %a" f.description Instance.pp f.got
+    Instance.pp f.expected
+
+let default_schedules =
+  [
+    Scheduler.Random_fair 1;
+    Scheduler.Random_fair 2;
+    Scheduler.Random_fair 42;
+    Scheduler.Fifo;
+    Scheduler.Lifo;
+  ]
+
+let schedule_name = function
+  | Scheduler.Random_fair s -> Fmt.str "random(%d)" s
+  | Scheduler.Fifo -> "fifo"
+  | Scheduler.Lifo -> "lifo"
+
+(* Eventual consistency over a family of runs: every schedule and every
+   supplied distribution must end with exactly the expected output. *)
+let consistent ?(schedules = default_schedules) ~make ~expected distributions =
+  let check_one dist_idx dist schedule =
+    let net = make dist in
+    let got = Scheduler.drain ~schedule net in
+    if Instance.equal got expected then Ok ()
+    else
+      Error
+        {
+          description =
+            Fmt.str "distribution %d under %s" dist_idx (schedule_name schedule);
+          got;
+          expected;
+        }
+  in
+  let rec over_dists i = function
+    | [] -> Ok ()
+    | dist :: rest ->
+      let rec over_schedules = function
+        | [] -> over_dists (i + 1) rest
+        | s :: more -> (
+          match check_one i dist s with
+          | Ok () -> over_schedules more
+          | Error f -> Error f)
+      in
+      over_schedules schedules
+  in
+  over_dists 0 distributions
+
+(* Coordination-freeness witness: on the ideal distribution the program
+   must compute the query without reading a single message. *)
+let coordination_free ~make ~expected ideal =
+  let net = make ideal in
+  let got = Scheduler.run_silent net in
+  if Instance.equal got expected then Ok ()
+  else Error { description = "silent run on ideal distribution"; got; expected }

@@ -1,0 +1,36 @@
+(** Harness for the CALM properties of Section 5.2.
+
+    A transducer network computes a query when {e every} run on {e
+    every} network and horizontal distribution outputs exactly the query
+    answer (eventual consistency); it is coordination-free when some
+    ideal distribution lets it do so without reading any messages. These
+    checks drive the Figure 2 reproduction. *)
+
+open Lamp_relational
+
+type failure = {
+  description : string;
+  got : Instance.t;
+  expected : Instance.t;
+}
+
+val pp_failure : failure Fmt.t
+
+val default_schedules : Scheduler.schedule list
+
+val consistent :
+  ?schedules:Scheduler.schedule list ->
+  make:(Instance.t array -> Network.t) ->
+  expected:Instance.t ->
+  Instance.t array list ->
+  (unit, failure) result
+(** Checks that every (distribution, schedule) combination quiesces with
+    exactly the expected output. *)
+
+val coordination_free :
+  make:(Instance.t array -> Network.t) ->
+  expected:Instance.t ->
+  Instance.t array ->
+  (unit, failure) result
+(** Checks the defining property on a given ideal distribution
+    (typically {!Horizontal.full_replication}). *)

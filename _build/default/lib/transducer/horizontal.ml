@@ -1,0 +1,36 @@
+open Lamp_relational
+open Lamp_distribution
+
+let round_robin ~p instance =
+  if p < 1 then invalid_arg "Horizontal.round_robin: p < 1";
+  let locals = Array.make p Instance.empty in
+  List.iteri
+    (fun k f -> locals.(k mod p) <- Instance.add f locals.(k mod p))
+    (Instance.facts instance);
+  locals
+
+let full_replication ~p instance =
+  if p < 1 then invalid_arg "Horizontal.full_replication: p < 1";
+  Array.make p instance
+
+let random_split ~rng ~p instance =
+  if p < 1 then invalid_arg "Horizontal.random_split: p < 1";
+  let locals = Array.make p Instance.empty in
+  Instance.iter
+    (fun f ->
+      let i = Random.State.int rng p in
+      locals.(i) <- Instance.add f locals.(i))
+    instance;
+  locals
+
+let by_policy policy instance =
+  let nodes = Policy.nodes policy in
+  let locals =
+    Array.of_list (List.map (Policy.loc_inst policy instance) nodes)
+  in
+  let union = Array.fold_left Instance.union Instance.empty locals in
+  if not (Instance.equal union instance) then
+    invalid_arg
+      "Horizontal.by_policy: the policy does not cover the instance (some \
+       fact belongs to no node)";
+  locals

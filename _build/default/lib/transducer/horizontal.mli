@@ -1,0 +1,16 @@
+(** Horizontal distributions: assignments of the global database to the
+    nodes whose union recovers the whole input (Section 5.1). *)
+
+open Lamp_relational
+open Lamp_distribution
+
+val round_robin : p:int -> Instance.t -> Instance.t array
+val full_replication : p:int -> Instance.t -> Instance.t array
+(** The "ideal" distribution used in the coordination-freeness proofs. *)
+
+val random_split : rng:Random.State.t -> p:int -> Instance.t -> Instance.t array
+
+val by_policy : Policy.t -> Instance.t -> Instance.t array
+(** The distribution induced by a policy's responsibility function.
+    @raise Invalid_argument when some fact of the instance belongs to no
+    node (a horizontal distribution must cover the input). *)

@@ -1,0 +1,101 @@
+open Lamp_relational
+open Lamp_distribution
+
+type node_state = {
+  ctx : Program.context;
+  local : Instance.t;
+  mutable memory : Instance.t;
+  mutable output : Instance.t;
+  mutable inbox : Fact.t list;
+}
+
+type t = {
+  program : Program.t;
+  nodes : node_state array;
+  mutable deliveries : int;
+  mutable data_deliveries : int;
+  mutable heartbeats : int;
+}
+
+let create ?policy ?assignment ?(oblivious = false) program locals =
+  let p = Array.length locals in
+  if p = 0 then invalid_arg "Network.create: empty network";
+  if program.Program.needs_all && oblivious then
+    invalid_arg
+      (Fmt.str "Network.create: program %s needs the All relation"
+         program.Program.name);
+  let make_node i =
+    let ctx =
+      {
+        Program.self = i;
+        all = (if oblivious then None else Some (Node.range p));
+        responsible =
+          Option.map (fun pol -> fun f -> Policy.responsible pol i f) policy;
+        responsible_value =
+          Option.map (fun a -> fun v -> Node.Set.mem i (a v)) assignment;
+      }
+    in
+    {
+      ctx;
+      local = locals.(i);
+      memory = program.Program.init ctx locals.(i);
+      output = Instance.empty;
+      inbox = [];
+    }
+  in
+  {
+    program;
+    nodes = Array.init p make_node;
+    deliveries = 0;
+    data_deliveries = 0;
+    heartbeats = 0;
+  }
+
+let size t = Array.length t.nodes
+let node t i = t.nodes.(i)
+
+let output t =
+  Array.fold_left
+    (fun acc n -> Instance.union acc n.output)
+    Instance.empty t.nodes
+
+let messages_in_flight t =
+  Array.fold_left (fun acc n -> acc + List.length n.inbox) 0 t.nodes
+
+let deliveries t = t.deliveries
+let data_deliveries t = t.data_deliveries
+let heartbeats t = t.heartbeats
+
+let apply t i event =
+  let n = t.nodes.(i) in
+  let action =
+    t.program.Program.step n.ctx ~local:n.local ~memory:n.memory event
+  in
+  n.memory <- action.Program.memory;
+  n.output <-
+    List.fold_left (fun acc f -> Instance.add f acc) n.output
+      action.Program.output;
+  if action.Program.broadcast <> [] then
+    Array.iteri
+      (fun j other ->
+        if j <> i then
+          other.inbox <- other.inbox @ action.Program.broadcast)
+      t.nodes;
+  (match event with
+  | Program.Message m ->
+    t.deliveries <- t.deliveries + 1;
+    if not (Program.is_meta m) then
+      t.data_deliveries <- t.data_deliveries + 1
+  | Program.Heartbeat -> t.heartbeats <- t.heartbeats + 1)
+
+(* Deliver the [k]-th buffered message of node [i] (arbitrary-delay
+   semantics: the scheduler chooses any buffered message). *)
+let deliver t i k =
+  let n = t.nodes.(i) in
+  match List.nth_opt n.inbox k with
+  | None -> invalid_arg "Network.deliver: no such message"
+  | Some msg ->
+    n.inbox <- List.filteri (fun j _ -> j <> k) n.inbox;
+    apply t i (Program.Message msg)
+
+let heartbeat t i = apply t i Program.Heartbeat

@@ -1,0 +1,57 @@
+(** Relational transducer networks (Section 5.1 of the paper).
+
+    Every node runs the same program over its share of a horizontally
+    distributed database, holds a working memory and a write-only output
+    relation, and communicates by broadcasting facts whose delivery may
+    be delayed arbitrarily (modelled by letting the scheduler pick any
+    buffered message). Messages are never lost. *)
+
+open Lamp_relational
+open Lamp_distribution
+
+type node_state = {
+  ctx : Program.context;
+  local : Instance.t;  (** The node's share of the input (immutable). *)
+  mutable memory : Instance.t;
+  mutable output : Instance.t;  (** Write-only: only ever grows. *)
+  mutable inbox : Fact.t list;
+}
+
+type t
+
+val create :
+  ?policy:Policy.t ->
+  ?assignment:(Value.t -> Node.Set.t) ->
+  ?oblivious:bool ->
+  Program.t ->
+  Instance.t array ->
+  t
+(** A network with one node per element of the distribution array.
+    [policy] enables policy-aware contexts (F1), [assignment] enables
+    domain-guided value queries (F2), and [oblivious:true] removes the
+    [All] relation (the classes A0/A1/A2).
+    @raise Invalid_argument when an [All]-dependent program is run
+    obliviously, or on an empty network. *)
+
+val size : t -> int
+val node : t -> int -> node_state
+
+val output : t -> Instance.t
+(** The union of all nodes' outputs — the network's (partial) answer. *)
+
+val messages_in_flight : t -> int
+val deliveries : t -> int
+
+val data_deliveries : t -> int
+(** Deliveries of plain data facts, excluding the programs' bookkeeping
+    (protocol) messages — the transmission metric of the economical
+    broadcasting comparison. *)
+
+val heartbeats : t -> int
+
+val deliver : t -> int -> int -> unit
+(** [deliver t i k] lets node [i] read the [k]-th message in its buffer
+    (the scheduler's choice models arbitrary delay). *)
+
+val heartbeat : t -> int -> unit
+(** A transition in which the node reads no message. *)

@@ -1,0 +1,47 @@
+open Lamp_relational
+open Lamp_distribution
+
+type context = {
+  self : Node.t;  (** This node's name. *)
+  all : Node.t list option;
+      (** The [All] relation: names of every node in the network; [None]
+          for oblivious networks (the classes A0/A1/A2). *)
+  responsible : (Fact.t -> bool) option;
+      (** Policy-awareness: whether this node is responsible for a fact
+          under the distribution policy; [None] for policy-oblivious
+          networks (F0). *)
+  responsible_value : (Value.t -> bool) option;
+      (** Domain-guided policy-awareness: whether this node is in α(a)
+          for a value (F2 networks). *)
+}
+
+type event =
+  | Message of Fact.t
+  | Heartbeat
+
+type action = {
+  memory : Instance.t;  (** Replaces the node's working memory. *)
+  output : Fact.t list;  (** Appended to the write-only output. *)
+  broadcast : Fact.t list;  (** Sent to every other node's buffer. *)
+}
+
+type t = {
+  name : string;
+  needs_all : bool;
+      (** Whether the program reads the [All] relation; programs with
+          [needs_all = false] witness membership in the oblivious
+          classes. *)
+  init : context -> Instance.t -> Instance.t;
+      (** Initial memory from the local database. *)
+  step : context -> local:Instance.t -> memory:Instance.t -> event -> action;
+}
+
+(* Reserved relation prefix for bookkeeping facts a program stores in
+   its memory or sends as protocol messages; they are never part of a
+   query's input or output. *)
+let meta_prefix = "\005"
+
+let is_meta f = String.length (Fact.rel f) > 0 && (Fact.rel f).[0] = '\005'
+let data_part i = Instance.filter (fun f -> not (is_meta f)) i
+let meta rel args = Fact.of_list (meta_prefix ^ rel) args
+let is_meta_rel rel f = Fact.rel f = meta_prefix ^ rel

@@ -1,0 +1,399 @@
+open Lamp_relational
+
+let sent_marker = Program.meta "sent" []
+
+let with_message memory = function
+  | Program.Message f -> Instance.add f memory
+  | Program.Heartbeat -> memory
+
+(* Broadcast the local database once, then raise nothing but outputs.
+   Shared first phase of most strategies below. *)
+let broadcast_local_once ~local ~memory =
+  if Instance.mem sent_marker memory then (memory, [])
+  else
+    (Instance.add sent_marker memory, Instance.facts (Program.data_part local))
+
+(* Example 5.1(1): the naive broadcast strategy, correct exactly for
+   monotone queries (Theorem 5.3): output Q over everything known so
+   far; new facts can only extend the output. *)
+let monotone_broadcast ~name ~eval =
+  {
+    Program.name;
+    needs_all = false;
+    init = (fun _ local -> local);
+    step =
+      (fun _ ~local ~memory event ->
+        let memory = with_message memory event in
+        let memory, broadcast = broadcast_local_once ~local ~memory in
+        let output = Instance.facts (eval (Program.data_part memory)) in
+        { Program.memory; output; broadcast });
+  }
+
+(* Example 5.1(2): a coordination protocol for arbitrary queries. Every
+   node broadcasts its data tagged with its name plus a count; a node
+   that has, for every network node, as many tagged facts as announced
+   knows the complete database and outputs Q(I). Requires All. *)
+let coordinated ~name ~eval =
+  let data_tag = "data" and done_tag = "done" in
+  let encode self f =
+    Program.meta data_tag
+      (Value.int self :: Value.str (Fact.rel f) :: Array.to_list (Fact.args f))
+  in
+  let decode f =
+    match Array.to_list (Fact.args f) with
+    | _ :: Value.Str rel :: args -> Fact.of_list rel args
+    | _ -> invalid_arg "coordinated: malformed data message"
+  in
+  {
+    Program.name;
+    needs_all = true;
+    init = (fun _ local -> local);
+    step =
+      (fun ctx ~local ~memory event ->
+        let memory = with_message memory event in
+        let memory, broadcast =
+          if Instance.mem sent_marker memory then (memory, [])
+          else
+            let data = Instance.facts (Program.data_part local) in
+            ( Instance.add sent_marker memory,
+              List.map (encode ctx.Program.self) data
+              @ [
+                  Program.meta done_tag
+                    [ Value.int ctx.Program.self; Value.int (List.length data) ];
+                ] )
+        in
+        let all = Option.value ~default:[] ctx.Program.all in
+        let counts = Hashtbl.create 8 in
+        let announced = Hashtbl.create 8 in
+        Instance.iter
+          (fun f ->
+            if Program.is_meta_rel data_tag f then begin
+              match (Fact.args f).(0) with
+              | Value.Int sender ->
+                Hashtbl.replace counts sender
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts sender))
+              | Value.Str _ -> ()
+            end
+            else if Program.is_meta_rel done_tag f then begin
+              match (Fact.args f).(0), (Fact.args f).(1) with
+              | Value.Int sender, Value.Int n -> Hashtbl.replace announced sender n
+              | _ -> ()
+            end)
+          memory;
+        let complete =
+          List.for_all
+            (fun k ->
+              k = ctx.Program.self
+              ||
+              match Hashtbl.find_opt announced k with
+              | Some n -> Option.value ~default:0 (Hashtbl.find_opt counts k) = n
+              | None -> false)
+            all
+        in
+        let output =
+          if complete then begin
+            let global =
+              Instance.fold
+                (fun f acc ->
+                  if Program.is_meta_rel data_tag f then Instance.add (decode f) acc
+                  else acc)
+                memory
+                (Program.data_part local)
+            in
+            Instance.facts (eval global)
+          end
+          else []
+        in
+        { Program.memory; output; broadcast });
+  }
+
+(* The generic Mdistinct strategy (Theorem 5.8): policy-aware nodes can
+   decide membership of any fact over their known values that they are
+   responsible for, so they output Q restricted to a distinct-complete
+   value set: one where every candidate fact over the set is either
+   known present or known absent. *)
+let policy_aware_distinct ~name ~schema ~eval =
+  let candidate_facts values =
+    let values = Value.Set.elements values in
+    let rec tuples arity =
+      if arity = 0 then [ [] ]
+      else
+        let rest = tuples (arity - 1) in
+        List.concat_map (fun v -> List.map (fun t -> v :: t) rest) values
+    in
+    List.concat_map
+      (fun (rel, arity) -> List.map (Fact.of_list rel) (tuples arity))
+      (Schema.to_list schema)
+  in
+  let largest_complete_set ~known ~responsible =
+    let status f =
+      if Instance.mem f known then `Present
+      else if responsible f then `Absent
+      else `Unknown
+    in
+    let rec shrink values =
+      let unknown =
+        List.find_opt
+          (fun f -> status f = `Unknown)
+          (candidate_facts values)
+      in
+      match unknown with
+      | None -> values
+      | Some f -> (
+        match Value.Set.max_elt_opt (Fact.adom f) with
+        | Some v -> shrink (Value.Set.remove v values)
+        | None -> values)
+    in
+    shrink (Instance.adom known)
+  in
+  {
+    Program.name;
+    needs_all = false;
+    init = (fun _ local -> local);
+    step =
+      (fun ctx ~local ~memory event ->
+        let memory = with_message memory event in
+        let memory, broadcast = broadcast_local_once ~local ~memory in
+        let responsible =
+          Option.value ~default:(fun _ -> false) ctx.Program.responsible
+        in
+        let known = Program.data_part memory in
+        let c = largest_complete_set ~known ~responsible in
+        let output = Instance.facts (eval (Instance.restrict c known)) in
+        { Program.memory; output; broadcast });
+  }
+
+(* Example 5.4: the open-triangle query on a policy-aware network.
+   Unlike the generic distinct-complete strategy, this per-query program
+   is complete under any covering policy: the node responsible for the
+   would-be closing edge E(c,a) certifies its absence. *)
+let open_triangle_policy_aware ~name =
+  let q = Lamp_cq.Parser.query "H2(x,y,z) <- E(x,y), E(y,z)" in
+  {
+    Program.name;
+    needs_all = false;
+    init = (fun _ local -> local);
+    step =
+      (fun ctx ~local ~memory event ->
+        let memory = with_message memory event in
+        let memory, broadcast = broadcast_local_once ~local ~memory in
+        let responsible =
+          Option.value ~default:(fun _ -> false) ctx.Program.responsible
+        in
+        let known = Program.data_part memory in
+        let output =
+          Instance.fold
+            (fun f acc ->
+              let args = Fact.args f in
+              let closing = Fact.of_list "E" [ args.(2); args.(0) ] in
+              (* κ ∈ P_H(E(c,a)) means E(c,a) ∈ I iff it is local. *)
+              if responsible closing && not (Instance.mem closing local) then
+                Fact.of_list "H" (Array.to_list args) :: acc
+              else acc)
+            (Lamp_cq.Eval.eval q known)
+            []
+        in
+        { Program.memory; output; broadcast });
+  }
+
+(* Economical broadcasting for full CQs without self-joins
+   (Ketsman–Neven [37], Section 6): instead of shipping all data, nodes
+   first broadcast only the join-variable projections of their facts,
+   and then ship a full fact only when every other atom of the query has
+   a compatible projection somewhere in the network. Facts that cannot
+   participate in any valuation are never transmitted.
+
+   Correct for monotone evaluation: if a valuation V is satisfied by the
+   global instance, each of its facts sees compatible projections of the
+   others, so all of V's facts are eventually broadcast and every node
+   derives V's head. *)
+let semijoin_broadcast ~name ~query =
+  if not (Lamp_cq.Ast.is_positive query) then
+    invalid_arg "semijoin_broadcast: defined for positive CQs";
+  if Lamp_cq.Ast.has_self_join query then
+    invalid_arg "semijoin_broadcast: defined for queries without self-joins";
+  let atoms = Array.of_list (Lamp_cq.Ast.body query) in
+  let atom_vars i =
+    List.sort_uniq String.compare (Lamp_cq.Ast.atom_vars atoms.(i))
+  in
+  let shared i j =
+    List.filter (fun v -> List.mem v (atom_vars j)) (atom_vars i)
+  in
+  (* Match a fact against atom i, returning the variable binding. *)
+  let match_atom i f =
+    let a = atoms.(i) in
+    if a.Lamp_cq.Ast.rel <> Fact.rel f then None
+    else if List.length a.Lamp_cq.Ast.terms <> Fact.arity f then None
+    else begin
+      let args = Fact.args f in
+      let binding = Hashtbl.create 4 in
+      let ok = ref true in
+      List.iteri
+        (fun k term ->
+          match term with
+          | Lamp_cq.Ast.Const c ->
+            if not (Value.equal c args.(k)) then ok := false
+          | Lamp_cq.Ast.Var v -> (
+            match Hashtbl.find_opt binding v with
+            | Some prev -> if not (Value.equal prev args.(k)) then ok := false
+            | None -> Hashtbl.add binding v args.(k)))
+        a.Lamp_cq.Ast.terms;
+      if !ok then Some binding else None
+    end
+  in
+  (* Projection message of atom i's fact onto its variables, in sorted
+     variable order. *)
+  let projection i binding =
+    Program.meta "proj"
+      (Value.int i :: List.map (Hashtbl.find binding) (atom_vars i))
+  in
+  let sent_fact f =
+    Program.meta "shipped" (Value.str (Fact.rel f) :: Array.to_list (Fact.args f))
+  in
+  {
+    Program.name;
+    needs_all = false;
+    init = (fun _ local -> local);
+    step =
+      (fun _ ~local ~memory event ->
+        let memory = with_message memory event in
+        (* Phase 1: projections of all local facts, once. *)
+        let memory, phase1 =
+          if Instance.mem sent_marker memory then (memory, [])
+          else
+            ( Instance.add sent_marker memory,
+              Instance.fold
+                (fun f acc ->
+                  List.concat
+                    (List.init (Array.length atoms) (fun i ->
+                         match match_atom i f with
+                         | Some binding -> [ projection i binding ]
+                         | None -> []))
+                  @ acc)
+                (Program.data_part local) [] )
+        in
+        (* A node's own projections count as known: store them in memory
+           alongside the received ones. *)
+        let memory =
+          List.fold_left (fun m p -> Instance.add p m) memory phase1
+        in
+        (* Phase 2: ship a local fact for atom i once every other atom
+           has a compatible projection among the known ones. *)
+        let projections i =
+          Instance.fold
+            (fun f acc ->
+              if
+                Program.is_meta_rel "proj" f
+                && Value.equal (Fact.args f).(0) (Value.int i)
+              then Array.to_list (Array.sub (Fact.args f) 1 (Fact.arity f - 1)) :: acc
+              else acc)
+            memory []
+        in
+        let compatible i binding j =
+          (* Some projection of atom j agrees with atom i's binding on
+             their shared variables. *)
+          let vars_j = atom_vars j in
+          List.exists
+            (fun proj ->
+              List.for_all2
+                (fun v value ->
+                  if List.mem v (shared i j) then
+                    Value.equal value (Hashtbl.find binding v)
+                  else true)
+                vars_j proj)
+            (projections j)
+        in
+        let to_ship = ref [] in
+        let memory = ref memory in
+        Instance.iter
+          (fun f ->
+            if not (Instance.mem (sent_fact f) !memory) then begin
+              let ship =
+                List.exists
+                  (fun i ->
+                    match match_atom i f with
+                    | None -> false
+                    | Some binding ->
+                      List.for_all
+                        (fun j -> j = i || compatible i binding j)
+                        (List.init (Array.length atoms) (fun j -> j)))
+                  (List.init (Array.length atoms) (fun i -> i))
+              in
+              if ship then begin
+                to_ship := f :: !to_ship;
+                memory := Instance.add (sent_fact f) !memory
+              end
+            end)
+          (Program.data_part local);
+        let known = Program.data_part !memory in
+        let output = Instance.facts (Lamp_cq.Eval.eval query known) in
+        { Program.memory = !memory; output; broadcast = phase1 @ !to_ship });
+  }
+
+(* The Mdisjoint strategy for domain-guided distributions (Theorem
+   5.12): a node of α(a) holds every fact containing a, announces a as
+   complete, and ships those facts. A connected component of the known
+   facts all of whose values are complete is a true component of the
+   global instance; Q may be evaluated on unions of settled
+   components. *)
+let domain_guided_disjoint ~name ~eval =
+  let complete_tag = "complete" in
+  {
+    Program.name;
+    needs_all = false;
+    init = (fun _ local -> local);
+    step =
+      (fun ctx ~local ~memory event ->
+        let memory = with_message memory event in
+        let responsible_value =
+          Option.value ~default:(fun _ -> false) ctx.Program.responsible_value
+        in
+        let facts_containing i v =
+          Instance.filter (fun f -> Value.Set.mem v (Fact.adom f)) i
+        in
+        let memory, broadcast =
+          if Instance.mem sent_marker memory then (memory, [])
+          else begin
+            let data = Instance.facts (Program.data_part local) in
+            (* The marker carries the number of facts containing the
+               value: a receiver may only treat the value as complete
+               once that many facts have actually arrived, since the
+               marker can overtake the data under arbitrary delay. *)
+            let markers =
+              Value.Set.fold
+                (fun v acc ->
+                  if responsible_value v then
+                    Program.meta complete_tag
+                      [
+                        v;
+                        Value.int
+                          (Instance.cardinal
+                             (facts_containing (Program.data_part local) v));
+                      ]
+                    :: acc
+                  else acc)
+                (Instance.adom (Program.data_part local))
+                []
+            in
+            (Instance.add sent_marker memory, data @ markers)
+          end
+        in
+        let known = Program.data_part memory in
+        let complete v =
+          responsible_value v
+          || Instance.mem
+               (Program.meta complete_tag
+                  [ v; Value.int (Instance.cardinal (facts_containing known v)) ])
+               memory
+        in
+        let settled =
+          List.filter
+            (fun comp -> Value.Set.for_all complete (Instance.adom comp))
+            (Adom.components known)
+        in
+        let settled_union =
+          List.fold_left Instance.union Instance.empty settled
+        in
+        let output = Instance.facts (eval settled_union) in
+        { Program.memory; output; broadcast });
+  }

@@ -1,0 +1,60 @@
+(** The transducer programs of Section 5, one per class of the CALM
+    hierarchy.
+
+    Each program is parameterized by the query it computes, supplied as
+    a generic evaluation function [Instance.t -> Instance.t] — the model
+    allows arbitrary computable, generic local computation. *)
+
+open Lamp_relational
+
+val monotone_broadcast :
+  name:string -> eval:(Instance.t -> Instance.t) -> Program.t
+(** Example 5.1(1): broadcast the local data once and output the query
+    over everything known. Computes exactly the monotone queries
+    (Theorem 5.3, F0 = A0 = M); needs neither [All] nor the policy. *)
+
+val coordinated : name:string -> eval:(Instance.t -> Instance.t) -> Program.t
+(** Example 5.1(2): a coordination protocol correct for {e any} query —
+    nodes announce how many facts they will send and everyone waits for
+    full counts from every network member before outputting. Needs
+    [All]; deliberately {e not} coordination-free. *)
+
+val policy_aware_distinct :
+  name:string -> schema:Schema.t -> eval:(Instance.t -> Instance.t) ->
+  Program.t
+(** The generic strategy for domain-distinct-monotone queries on
+    policy-aware networks (Theorem 5.8, F1 = A1 = Mdistinct): output the
+    query restricted to a distinct-complete set of values — one over
+    which every candidate fact of [schema] is either known present or,
+    by responsibility, known absent.
+
+    Always sound; complete when the policy co-locates value
+    neighbourhoods (e.g. one node responsible for all facts over a value
+    set, or full responsibility everywhere). Under policies scattering
+    absent-fact responsibility, no single node accumulates a useful
+    distinct-complete set and per-query programs such as
+    {!open_triangle_policy_aware} — the route taken by the full proof of
+    Theorem 5.8 — are needed. *)
+
+val open_triangle_policy_aware : name:string -> Program.t
+(** Example 5.4 verbatim: outputs H(a,b,c) when E(a,b) and E(b,c) are
+    known and this node is responsible for the absent closing edge
+    E(c,a). Complete under every covering policy; coordination-free. *)
+
+val semijoin_broadcast : name:string -> query:Lamp_cq.Ast.t -> Program.t
+(** Economical broadcasting for full CQs without self-joins
+    (Ketsman–Neven [37], discussed in Section 6): nodes first broadcast
+    only join-variable projections of their facts and ship a full fact
+    only once every other atom of the query has a compatible projection
+    in the network — facts that cannot join are never transmitted.
+    Computes the query like {!monotone_broadcast} but with fewer data
+    messages on selective inputs.
+    @raise Invalid_argument on non-positive queries or self-joins. *)
+
+val domain_guided_disjoint :
+  name:string -> eval:(Instance.t -> Instance.t) -> Program.t
+(** The strategy for domain-disjoint-monotone queries under
+    domain-guided distributions (Theorem 5.12, F2 = A2 = Mdisjoint):
+    nodes announce the values they are responsible for as complete and
+    ship their facts; the query runs on unions of settled connected
+    components. *)

@@ -1,0 +1,123 @@
+open Lamp_relational
+
+type schedule =
+  | Random_fair of int  (** Seeded random node and message choice. *)
+  | Fifo  (** Round-robin nodes, oldest message first. *)
+  | Lifo  (** Round-robin nodes, newest message first. *)
+
+(* One heartbeat to every node; reports whether anything changed
+   (memory, output, or new messages). *)
+let heartbeat_sweep net =
+  let before_out = Network.output net in
+  let before_mem =
+    Array.to_list
+      (Array.init (Network.size net) (fun i -> (Network.node net i).Network.memory))
+  in
+  let before_msgs = Network.messages_in_flight net in
+  for i = 0 to Network.size net - 1 do
+    Network.heartbeat net i
+  done;
+  let changed_mem =
+    List.exists2
+      (fun before i -> not (Instance.equal before i.Network.memory))
+      before_mem
+      (Array.to_list
+         (Array.init (Network.size net) (fun i -> Network.node net i)))
+  in
+  (not (Instance.equal before_out (Network.output net)))
+  || changed_mem
+  || Network.messages_in_flight net <> before_msgs
+
+exception Did_not_quiesce
+
+(* A fair run to quiescence: messages are delivered according to the
+   schedule (heartbeats interleaved), and the run ends when no messages
+   are in flight and a final heartbeat sweep changes nothing. *)
+let drain ?(schedule = Random_fair 0) ?(max_transitions = 200_000) net =
+  let rng =
+    match schedule with
+    | Random_fair seed -> Some (Random.State.make [| seed |])
+    | Fifo | Lifo -> None
+  in
+  let transitions = ref 0 in
+  let tick () =
+    incr transitions;
+    if !transitions > max_transitions then raise Did_not_quiesce
+  in
+  (* Initial heartbeats trigger the programs' first broadcasts. *)
+  let rec initial () =
+    tick ();
+    if heartbeat_sweep net then initial ()
+  in
+  initial ();
+  let nodes_with_mail () =
+    List.filter
+      (fun i -> (Network.node net i).Network.inbox <> [])
+      (List.init (Network.size net) (fun i -> i))
+  in
+  let rec deliver_all robin =
+    match nodes_with_mail () with
+    | [] -> ()
+    | candidates ->
+      tick ();
+      (match rng with
+      | Some rng ->
+        let i = List.nth candidates (Random.State.int rng (List.length candidates)) in
+        let n = Network.node net i in
+        let k = Random.State.int rng (List.length n.Network.inbox) in
+        Network.deliver net i k;
+        (* Occasional spontaneous heartbeats keep runs fair. *)
+        if Random.State.int rng 4 = 0 then
+          Network.heartbeat net (Random.State.int rng (Network.size net))
+      | None ->
+        let i = List.nth candidates (robin mod List.length candidates) in
+        let n = Network.node net i in
+        let k =
+          match schedule with
+          | Lifo -> List.length n.Network.inbox - 1
+          | _ -> 0
+        in
+        Network.deliver net i k);
+      deliver_all (robin + 1)
+  in
+  let rec settle () =
+    deliver_all 0;
+    (* Quiescence: buffers empty; heartbeats may still produce work
+       (e.g. trigger late broadcasts), in which case we keep going. *)
+    tick ();
+    let changed = heartbeat_sweep net in
+    if changed || Network.messages_in_flight net > 0 then settle ()
+  in
+  settle ();
+  Network.output net
+
+(* Like heartbeat_sweep, but ignores message-count changes: unread
+   buffers are irrelevant to silent quiescence. *)
+let heartbeat_sweep_no_mail net =
+  let before_out = Network.output net in
+  let before_mem =
+    Array.to_list
+      (Array.init (Network.size net) (fun i -> (Network.node net i).Network.memory))
+  in
+  for i = 0 to Network.size net - 1 do
+    Network.heartbeat net i
+  done;
+  let changed_mem =
+    List.exists2
+      (fun before i -> not (Instance.equal before i.Network.memory))
+      before_mem
+      (Array.to_list
+         (Array.init (Network.size net) (fun i -> Network.node net i)))
+  in
+  (not (Instance.equal before_out (Network.output net))) || changed_mem
+
+(* A run in which no node ever reads a message: the defining experiment
+   of coordination-freeness. Nodes may broadcast (the messages pile up
+   unread) and act on heartbeats only. *)
+let run_silent ?(max_sweeps = 1000) net =
+  let rec go n =
+    if n > max_sweeps then raise Did_not_quiesce;
+    if heartbeat_sweep_no_mail net then go (n + 1)
+  in
+  go 0;
+  Network.output net

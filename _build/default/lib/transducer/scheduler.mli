@@ -1,0 +1,32 @@
+(** Schedulers for transducer networks.
+
+    A run is an infinite fair sequence of transitions; finitely many of
+    them matter because computations are generic and inputs finite, so
+    the schedulers below run to {e quiescence}: no messages in flight
+    and a full heartbeat sweep changing nothing. Randomized and
+    adversarial (FIFO/LIFO) message orders realize the model's arbitrary
+    message delay. *)
+
+open Lamp_relational
+
+type schedule =
+  | Random_fair of int  (** Seeded random node and message choice. *)
+  | Fifo  (** Round-robin nodes, oldest message first. *)
+  | Lifo  (** Round-robin nodes, newest message first. *)
+
+exception Did_not_quiesce
+
+val heartbeat_sweep : Network.t -> bool
+(** Heartbeats every node once; true when any memory, output, or buffer
+    changed. *)
+
+val drain :
+  ?schedule:schedule -> ?max_transitions:int -> Network.t -> Instance.t
+(** Runs the network to quiescence and returns the union of outputs —
+    the eventually consistent answer of the run.
+    @raise Did_not_quiesce beyond [max_transitions] (default 200000). *)
+
+val run_silent : ?max_sweeps:int -> Network.t -> Instance.t
+(** Heartbeat-only run: no node ever reads its buffer. The
+    coordination-freeness witness: a program is coordination-free on an
+    ideal distribution when this equals the query answer. *)

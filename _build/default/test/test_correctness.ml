@@ -1,0 +1,553 @@
+open Lamp_relational
+open Lamp_cq
+open Lamp_distribution
+open Lamp_correctness
+
+let inst = Instance.of_string
+let parse = Parser.query
+let va = Value.str "a"
+let vb = Value.str "b"
+let universe_ab = Value.set_of_list [ va; vb ]
+
+let check_ok msg = function
+  | Ok () -> ()
+  | Error _ -> Alcotest.failf "%s: expected Ok" msg
+
+let check_error msg = function
+  | Ok () -> Alcotest.failf "%s: expected Error" msg
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Example 4.3: PC0 fails, PC1 holds                                   *)
+
+(* κ0 is responsible for every fact except R(a,b); κ1 for every fact
+   except R(b,a). *)
+let policy_4_3 =
+  Policy.make ~universe:universe_ab ~name:"example 4.3" ~nodes:[ 0; 1 ]
+    (fun node f ->
+      match node with
+      | 0 -> not (Fact.equal f (Fact.of_list "R" [ va; vb ]))
+      | _ -> not (Fact.equal f (Fact.of_list "R" [ vb; va ])))
+
+let q_4_3 = Examples.q_example_4_3
+
+let test_example_4_3_pc0_fails () =
+  check_error "PC0" (Saturation.strongly_saturates policy_4_3 q_4_3)
+
+let test_example_4_3_pc1_holds () =
+  check_ok "PC1" (Saturation.saturates policy_4_3 q_4_3)
+
+let test_example_4_3_decide () =
+  check_ok "decide" (Parallel_correctness.decide q_4_3 policy_4_3)
+
+let test_example_4_3_search_agrees () =
+  match Parallel_correctness.decide_by_search q_4_3 policy_4_3 with
+  | Ok () -> ()
+  | Error i -> Alcotest.failf "unexpected counterexample %s" (Fmt.str "%a" Instance.pp i)
+
+(* ------------------------------------------------------------------ *)
+(* Example 4.1 policies                                                *)
+
+let qe = Examples.qe_example_4_1
+let universe_abc = Value.set_of_list [ va; vb; Value.str "c" ]
+
+let p1 =
+  Policy.make ~universe:universe_abc ~name:"P1" ~nodes:[ 0; 1 ] (fun node f ->
+      match Fact.rel f with
+      | "R" -> true
+      | "S" ->
+        let args = Fact.args f in
+        if Value.equal args.(0) args.(1) then node = 0 else node = 1
+      | _ -> false)
+
+let p2 =
+  Policy.make ~universe:universe_abc ~name:"P2" ~nodes:[ 0; 1 ] (fun node f ->
+      match Fact.rel f with "R" -> node = 0 | "S" -> node = 1 | _ -> false)
+
+let test_p1_parallel_correct () =
+  check_ok "P1 saturates Qe" (Parallel_correctness.decide qe p1)
+
+let test_p2_not_parallel_correct () =
+  check_error "P2 violates PC" (Parallel_correctness.decide qe p2);
+  (* And the violation is real: the brute-force oracle finds a
+     counterexample instance. *)
+  match Parallel_correctness.decide_by_search ~max_facts:20 qe p2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "oracle disagrees with decide"
+
+let test_pci_example () =
+  let ie = inst "R(a,b). R(b,a). R(b,c). S(a,a). S(c,a)" in
+  check_ok "P1 on Ie" (Parallel_correctness.on_instance qe p1 ie);
+  match Parallel_correctness.on_instance qe p2 ie with
+  | Ok () -> Alcotest.fail "P2 must fail on Ie"
+  | Error v ->
+    Alcotest.(check int) "two facts missing" 2
+      (Instance.cardinal v.Parallel_correctness.missing);
+    Alcotest.(check int) "nothing extra" 0
+      (Instance.cardinal v.Parallel_correctness.extra)
+
+(* ------------------------------------------------------------------ *)
+(* HyperCube strongly saturates                                        *)
+
+let test_hypercube_strongly_saturates () =
+  let universe = Value.set_of_list (List.init 3 Value.int) in
+  List.iter
+    (fun seed ->
+      let policy, _ =
+        Policy.hypercube ~seed ~universe ~name:"hc" ~query:Examples.q2_triangle
+          ~shares:[ ("x", 2); ("y", 2); ("z", 2) ] ()
+      in
+      check_ok
+        (Printf.sprintf "hypercube seed %d" seed)
+        (Saturation.strongly_saturates policy Examples.q2_triangle))
+    [ 0; 1; 17; 123 ]
+
+let test_hypercube_saturates_self_join () =
+  let universe = Value.set_of_list (List.init 3 Value.int) in
+  let policy, _ =
+    Policy.hypercube ~universe ~name:"hc" ~query:Examples.full_triangle_e
+      ~shares:[ ("x", 2); ("y", 2); ("z", 2) ] ()
+  in
+  check_ok "self-join hypercube PC0"
+    (Saturation.strongly_saturates policy Examples.full_triangle_e);
+  check_ok "decide" (Parallel_correctness.decide Examples.full_triangle_e policy)
+
+(* ------------------------------------------------------------------ *)
+(* Queries with inequalities                                           *)
+
+let test_diseq_pc () =
+  (* Only off-diagonal R facts are assigned anywhere; the diagonal is
+     irrelevant to the query thanks to x != y. *)
+  let q = parse "H(x,y) <- R(x,y), x != y" in
+  let policy =
+    Policy.make ~universe:universe_ab ~name:"offdiag" ~nodes:[ 0 ]
+      (fun _ f ->
+        let args = Fact.args f in
+        Fact.rel f = "R" && not (Value.equal args.(0) args.(1)))
+  in
+  check_ok "diseq PC" (Parallel_correctness.decide q policy);
+  (* Dropping the inequality makes the diagonal matter. *)
+  let q' = parse "H(x,y) <- R(x,y)" in
+  check_error "without diseq" (Parallel_correctness.decide q' policy)
+
+(* ------------------------------------------------------------------ *)
+(* UCQ                                                                 *)
+
+let test_ucq_minimality () =
+  (* In the union [H() ← R(x,y)] ∪ [H() ← R(x,x)], a valuation of the
+     first disjunct touching the diagonal is dominated by the second
+     disjunct's singleton requirement. *)
+  let qs = Parser.ucq "H() <- R(x,y); H() <- R(x,x)" in
+  let images =
+    Parallel_correctness.ucq_minimal_images qs ~universe:[ va; vb ]
+  in
+  List.iter
+    (fun (_, required) ->
+      Alcotest.(check int) "singleton requirements" 1 (Instance.cardinal required))
+    images
+
+let test_ucq_decide () =
+  (* Each disjunct reads a different relation; a policy scattering them
+     across nodes is still parallel-correct for the union. *)
+  let qs = Parser.ucq "H(x) <- R(x,y); H(x) <- T(x)" in
+  let policy =
+    Policy.make ~universe:universe_ab ~name:"split" ~nodes:[ 0; 1 ]
+      (fun node f ->
+        match Fact.rel f with "R" -> node = 0 | "T" -> node = 1 | _ -> false)
+  in
+  check_ok "ucq split" (Parallel_correctness.ucq_decide qs policy);
+  (* Breaking R across nodes per-fact loses joint valuations? R-atoms
+     are single: still fine. But hiding R entirely is not. *)
+  let blind =
+    Policy.make ~universe:universe_ab ~name:"blind" ~nodes:[ 0 ]
+      (fun _ f -> Fact.rel f = "T")
+  in
+  check_error "missing R" (Parallel_correctness.ucq_decide qs blind)
+
+(* ------------------------------------------------------------------ *)
+(* Transfer: Figure 1(a)                                               *)
+
+let q1 = Examples.q1_example_4_11
+let q2 = Examples.q2_example_4_11
+let q3 = Examples.q3_example_4_11
+let q4 = Examples.q4_example_4_11
+
+let test_figure_1a () =
+  let expected =
+    (* rows = source, cols = target, order Q1 Q2 Q3 Q4 *)
+    [
+      [ true; true; false; false ];
+      [ false; true; false; false ];
+      [ true; true; true; true ];
+      [ false; true; false; true ];
+    ]
+  in
+  let actual = Transfer.transfer_matrix [ q1; q2; q3; q4 ] in
+  List.iteri
+    (fun i row ->
+      List.iteri
+        (fun j cell ->
+          Alcotest.(check bool)
+            (Printf.sprintf "transfer Q%d -> Q%d" (i + 1) (j + 1))
+            (List.nth (List.nth expected i) j)
+            cell)
+        row)
+    actual
+
+let test_transfer_orthogonal_to_containment () =
+  (* The paper's Figure 1 point: Q3 → Q2 transfers but Q3 ⊄ Q2, while
+     Q1 ⊆ Q4 holds but transfer Q1 → Q4 fails. *)
+  Alcotest.(check bool) "Q3 pc-> Q2" true (Transfer.transfers q3 q2);
+  Alcotest.(check bool) "Q3 ⊄ Q2" false (Containment.contained q3 q2);
+  Alcotest.(check bool) "Q1 ⊆ Q4" true (Containment.contained q1 q4);
+  Alcotest.(check bool) "no transfer Q1 -> Q4" false (Transfer.transfers q1 q4)
+
+let test_transfer_reflexive () =
+  List.iter
+    (fun q -> Alcotest.(check bool) "reflexive" true (Transfer.transfers q q))
+    [ q1; q2; q3; q4; Examples.q2_triangle; Examples.q_example_4_3 ]
+
+let test_covers_violation_witness () =
+  match Transfer.covers_result q1 q3 with
+  | Ok () -> Alcotest.fail "Q1 must not cover Q3"
+  | Error v ->
+    (* The witness is a minimal valuation image of Q3 that Q1 cannot
+       dominate: it contains an off-diagonal R fact. *)
+    Alcotest.(check bool) "witness has R fact" true
+      (Instance.facts v.Transfer.required
+      |> List.exists (fun f -> Fact.rel f = "R"))
+
+(* ------------------------------------------------------------------ *)
+(* Workload reshuffling plan (Section 4.2 motivation)                  *)
+
+let test_plan_workload () =
+  (* Q3 transfers to everything (Figure 1a): evaluating Q3 first lets
+     the whole workload reuse one distribution. *)
+  let plan = Transfer.plan_workload [ q3; q1; q2; q4 ] in
+  Alcotest.(check int) "one reshuffle" 1 (Transfer.reshuffles plan);
+  List.iteri
+    (fun i step ->
+      if i > 0 then
+        Alcotest.(check bool) "reuses an earlier distribution" true
+          (step.Transfer.reuse_of <> None))
+    plan;
+  (* The reverse order cannot reuse anything except Q2 after Q1/Q4. *)
+  let plan' = Transfer.plan_workload [ q4; q3; q2; q1 ] in
+  Alcotest.(check bool) "more reshuffles in a bad order" true
+    (Transfer.reshuffles plan' > 1)
+
+(* ------------------------------------------------------------------ *)
+(* UCQ transfer ([15])                                                 *)
+
+let test_ucq_transfer_union_helps () =
+  (* Q2 does not transfer to Q1 alone, but transfers to the union
+     {Q1; Q2}: Q1's minimal valuations are dominated by Q2's inside the
+     union, so nothing of Q1 needs covering. *)
+  Alcotest.(check bool) "no pairwise transfer" false (Transfer.transfers q2 q1);
+  Alcotest.(check bool) "transfer to the union" true
+    (Transfer.ucq_transfers [ q2 ] [ q1; q2 ])
+
+let test_ucq_transfer_violation () =
+  match Transfer.ucq_covers_result [ q2 ] [ q3 ] with
+  | Ok () -> Alcotest.fail "Q2 must not cover Q3"
+  | Error v ->
+    Alcotest.(check bool) "S fact uncovered" true
+      (Instance.facts v.Transfer.required
+      |> List.exists (fun f -> Fact.rel f = "S"))
+
+let prop_ucq_transfer_generalizes_cq =
+  (* On singleton unions the UCQ decision agrees with the CQ one. *)
+  QCheck.Test.make ~name:"singleton UCQ transfer = CQ transfer" ~count:30
+    (QCheck.pair
+       (QCheck.make (QCheck.Gen.oneofl [ q1; q2; q3; q4 ]))
+       (QCheck.make (QCheck.Gen.oneofl [ q1; q2; q3; q4 ])))
+    (fun (a, b) ->
+      Bool.equal (Transfer.transfers a b) (Transfer.ucq_transfers [ a ] [ b ]))
+
+(* ------------------------------------------------------------------ *)
+(* Negation                                                            *)
+
+let test_negation_broadcast_correct () =
+  let q = parse "H(x) <- R(x), !S(x)" in
+  let bc = Policy.broadcast_all ~universe:universe_ab ~name:"bc" ~p:2 () in
+  let v = Negation.decide q bc in
+  Alcotest.(check bool) "broadcast correct" true (Negation.is_correct v)
+
+let test_negation_split_unsound () =
+  (* R on κ0, S on κ1: κ0 never sees S(a) and wrongly derives H(a). *)
+  let q = parse "H(x) <- R(x), !S(x)" in
+  let split =
+    Policy.make ~universe:universe_ab ~name:"split" ~nodes:[ 0; 1 ]
+      (fun node f ->
+        match Fact.rel f with "R" -> node = 0 | "S" -> node = 1 | _ -> false)
+  in
+  let v = Negation.decide q split in
+  (match v.Negation.sound with
+  | Error i ->
+    (* The counterexample indeed breaks soundness. *)
+    let local = Distributed.eval q split i and global = Eval.eval q i in
+    Alcotest.(check bool) "witness is real" false (Instance.subset local global)
+  | Ok () -> Alcotest.fail "expected unsoundness");
+  Alcotest.(check bool) "not correct" false (Negation.is_correct v)
+
+let test_negation_incomplete () =
+  (* Nobody is responsible for R facts: completeness fails, soundness
+     holds (local evaluation sees nothing). *)
+  let q = parse "H(x) <- R(x), !S(x)" in
+  let empty_policy =
+    Policy.make ~universe:universe_ab ~name:"empty" ~nodes:[ 0 ]
+      (fun _ _ -> false)
+  in
+  let v = Negation.decide q empty_policy in
+  check_ok "sound" v.Negation.sound;
+  check_error "incomplete" v.Negation.complete
+
+let test_ucq_negation () =
+  (* UCQ¬: union of a positive and a negated disjunct. Broadcast is
+     correct; splitting the relations breaks soundness of the negated
+     disjunct. *)
+  let qs = Parser.ucq "H(x) <- R(x), !S(x); H(x) <- T(x)" in
+  let bc = Policy.broadcast_all ~universe:universe_ab ~name:"bc" ~p:2 () in
+  Alcotest.(check bool) "broadcast correct" true
+    (Negation.is_correct (Negation.ucq_decide qs bc));
+  let split =
+    Policy.make ~universe:universe_ab ~name:"split" ~nodes:[ 0; 1 ]
+      (fun node f ->
+        match Fact.rel f with
+        | "R" -> node = 0
+        | "S" -> node = 1
+        | "T" -> node = 0
+        | _ -> false)
+  in
+  let v = Negation.ucq_decide qs split in
+  check_error "unsound when S is hidden from R's node" v.Negation.sound
+
+let test_negation_cap () =
+  let q = parse "H(x) <- R(x,y,z), !S(x)" in
+  let policy =
+    Policy.broadcast_all
+      ~universe:(Value.set_of_list (List.init 4 Value.int))
+      ~name:"bc" ~p:2 ()
+  in
+  Alcotest.check_raises "fact space too large" (Invalid_argument "")
+    (fun () ->
+      try ignore (Negation.decide q policy)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Properties: decide vs brute-force oracle                            *)
+
+let queries_for_props =
+  [
+    parse "H(x) <- R(x,y)";
+    parse "H(x,z) <- R(x,y), R(y,z)";
+    Examples.q_example_4_3;
+    parse "H() <- R(x,x), S(x)";
+    parse "H(x,y) <- R(x,y), x != y";
+    parse "H(x) <- R(x,y), S(y)";
+  ]
+
+(* Random explicit policy over universe {a, b} for schema R/2, S/1. *)
+let policy_gen =
+  let open QCheck.Gen in
+  let all_facts =
+    List.concat_map
+      (fun v1 ->
+        Fact.of_list "S" [ v1 ]
+        :: List.map (fun v2 -> Fact.of_list "R" [ v1; v2 ]) [ va; vb ])
+      [ va; vb ]
+  in
+  let* assignments =
+    list_repeat (List.length all_facts) (int_range 0 3)
+  in
+  let node_facts node =
+    List.filteri
+      (fun i _ ->
+        let a = List.nth assignments i in
+        (* 0: κ0 only, 1: κ1 only, 2: both, 3: neither *)
+        match node with
+        | 0 -> a = 0 || a = 2
+        | _ -> a = 1 || a = 2)
+      all_facts
+  in
+  return
+    (Policy.explicit ~universe:universe_ab ~name:"random"
+       [ (0, node_facts 0); (1, node_facts 1) ])
+
+let policy_arb =
+  QCheck.make
+    ~print:(fun p ->
+      String.concat "; "
+        (List.map
+           (fun n ->
+             Fmt.str "κ%d: %a" n Instance.pp
+               (Policy.loc_inst p
+                  (inst "R(a,a). R(a,b). R(b,a). R(b,b). S(a). S(b)")
+                  n))
+           (Policy.nodes p)))
+    policy_gen
+
+let prop_decide_matches_oracle =
+  QCheck.Test.make ~name:"Proposition 4.6: PC1 iff parallel-correct" ~count:60
+    (QCheck.pair policy_arb (QCheck.make (QCheck.Gen.oneofl queries_for_props)))
+    (fun (policy, q) ->
+      let by_saturation = Result.is_ok (Parallel_correctness.decide q policy) in
+      let by_search =
+        Result.is_ok (Parallel_correctness.decide_by_search q policy)
+      in
+      Bool.equal by_saturation by_search)
+
+let prop_transfer_sound =
+  QCheck.Test.make
+    ~name:"transfer: target PC under every policy making source PC" ~count:40
+    policy_arb
+    (fun policy ->
+      (* Over the R/2, S/1 vocabulary. *)
+      let source = parse "H(x) <- R(x,y), S(y)" in
+      let targets =
+        [ parse "H(x) <- R(x,x), S(x)"; parse "H() <- R(x,y), S(y)" ]
+      in
+      List.for_all
+        (fun target ->
+          (not (Transfer.transfers source target))
+          || (not (Result.is_ok (Parallel_correctness.decide source policy)))
+          || Result.is_ok (Parallel_correctness.decide target policy))
+        targets)
+
+let prop_strong_saturation_implies_saturation =
+  QCheck.Test.make ~name:"PC0 implies PC1" ~count:60
+    (QCheck.pair policy_arb (QCheck.make (QCheck.Gen.oneofl queries_for_props)))
+    (fun (policy, q) ->
+      (not (Result.is_ok (Saturation.strongly_saturates policy q)))
+      || Result.is_ok (Saturation.saturates policy q))
+
+let prop_pc_implies_pci =
+  QCheck.Test.make ~name:"PC implies PCI on random instances" ~count:60
+    (QCheck.triple policy_arb
+       (QCheck.make (QCheck.Gen.oneofl queries_for_props))
+       (QCheck.make
+          QCheck.Gen.(
+            let fact_gen =
+              oneof
+                [
+                  (let* v1 = oneofl [ va; vb ] and* v2 = oneofl [ va; vb ] in
+                   return (Fact.of_list "R" [ v1; v2 ]));
+                  (let* v = oneofl [ va; vb ] in
+                   return (Fact.of_list "S" [ v ]));
+                ]
+            in
+            map Instance.of_facts (list_size (int_range 0 6) fact_gen))))
+    (fun (policy, q, i) ->
+      (not (Result.is_ok (Parallel_correctness.decide q policy)))
+      || Result.is_ok (Parallel_correctness.on_instance q policy i))
+
+(* Random small full CQs over R/2, S/1 with random shares: every
+   HyperCube policy strongly saturates its query, whatever the shares
+   and seed (the remark after Definition 4.7). *)
+let full_cq_gen =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let atom_gen =
+    oneof
+      [
+        (let* v1 = var and* v2 = var in
+         return (Ast.atom "R" [ Ast.Var v1; Ast.Var v2 ]));
+        (let* v = var in
+         return (Ast.atom "S" [ Ast.Var v ]));
+      ]
+  in
+  let* body = list_size (int_range 1 3) atom_gen in
+  let body_vars =
+    List.concat_map Ast.atom_vars body |> List.sort_uniq String.compare
+  in
+  return
+    (Ast.make
+       ~head:(Ast.atom "H" (List.map (fun v -> Ast.Var v) body_vars))
+       ~body ())
+
+let prop_hypercube_strongly_saturates_random =
+  QCheck.Test.make ~name:"every HyperCube policy strongly saturates its query"
+    ~count:40
+    (QCheck.triple
+       (QCheck.make ~print:Ast.to_string full_cq_gen)
+       (QCheck.make QCheck.Gen.(int_range 0 500))
+       (QCheck.make QCheck.Gen.(int_range 1 3)))
+    (fun (q, seed, share) ->
+      let shares = List.map (fun v -> (v, share)) (Ast.body_vars q) in
+      let policy, _ =
+        Policy.hypercube ~seed ~universe:universe_ab ~name:"hc" ~query:q
+          ~shares ()
+      in
+      Result.is_ok (Saturation.strongly_saturates policy q))
+
+let prop_negation_module_agrees_on_positive =
+  (* For plain CQs, the exhaustive soundness/completeness decision of the
+     Negation module coincides with the minimal-valuation decision. *)
+  QCheck.Test.make ~name:"Negation.decide = decide on positive CQs" ~count:30
+    (QCheck.pair policy_arb (QCheck.make (QCheck.Gen.oneofl queries_for_props)))
+    (fun (policy, q) ->
+      let via_negation = Negation.is_correct (Negation.decide q policy) in
+      let via_minimal = Result.is_ok (Parallel_correctness.decide q policy) in
+      Bool.equal via_negation via_minimal)
+
+let () =
+  Alcotest.run "lamp_correctness"
+    [
+      ( "example 4.3",
+        [
+          Alcotest.test_case "PC0 fails" `Quick test_example_4_3_pc0_fails;
+          Alcotest.test_case "PC1 holds" `Quick test_example_4_3_pc1_holds;
+          Alcotest.test_case "decide" `Quick test_example_4_3_decide;
+          Alcotest.test_case "oracle agrees" `Quick test_example_4_3_search_agrees;
+        ] );
+      ( "example 4.1",
+        [
+          Alcotest.test_case "P1 correct" `Quick test_p1_parallel_correct;
+          Alcotest.test_case "P2 incorrect" `Quick test_p2_not_parallel_correct;
+          Alcotest.test_case "PCI on Ie" `Quick test_pci_example;
+        ] );
+      ( "hypercube",
+        [
+          Alcotest.test_case "strongly saturates" `Quick
+            test_hypercube_strongly_saturates;
+          Alcotest.test_case "self join" `Quick test_hypercube_saturates_self_join;
+        ] );
+      ( "inequalities",
+        [ Alcotest.test_case "diseq-aware PC" `Quick test_diseq_pc ] );
+      ( "ucq",
+        [
+          Alcotest.test_case "union minimality" `Quick test_ucq_minimality;
+          Alcotest.test_case "decide" `Quick test_ucq_decide;
+        ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "figure 1(a)" `Quick test_figure_1a;
+          Alcotest.test_case "orthogonal to containment" `Quick
+            test_transfer_orthogonal_to_containment;
+          Alcotest.test_case "reflexive" `Quick test_transfer_reflexive;
+          Alcotest.test_case "violation witness" `Quick test_covers_violation_witness;
+          Alcotest.test_case "workload plan" `Quick test_plan_workload;
+          Alcotest.test_case "ucq: union helps" `Quick test_ucq_transfer_union_helps;
+          Alcotest.test_case "ucq: violation" `Quick test_ucq_transfer_violation;
+        ] );
+      ( "negation",
+        [
+          Alcotest.test_case "broadcast correct" `Quick
+            test_negation_broadcast_correct;
+          Alcotest.test_case "split unsound" `Quick test_negation_split_unsound;
+          Alcotest.test_case "incomplete" `Quick test_negation_incomplete;
+          Alcotest.test_case "ucq negation" `Quick test_ucq_negation;
+          Alcotest.test_case "cap" `Quick test_negation_cap;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_decide_matches_oracle;
+            prop_transfer_sound;
+            prop_strong_saturation_implies_saturation;
+            prop_ucq_transfer_generalizes_cq;
+            prop_hypercube_strongly_saturates_random;
+            prop_negation_module_agrees_on_positive;
+            prop_pc_implies_pci;
+          ] );
+    ]

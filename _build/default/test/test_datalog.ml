@@ -1,0 +1,378 @@
+open Lamp_relational
+open Lamp_datalog
+
+let instance = Alcotest.testable Instance.pp Instance.equal
+let inst = Instance.of_string
+
+(* Renames every fact of an instance to the given relation. *)
+let rename_all to_rel i =
+  Instance.fold
+    (fun f acc -> Instance.add (Fact.make to_rel (Fact.args f)) acc)
+    i Instance.empty
+
+(* ------------------------------------------------------------------ *)
+(* Program structure                                                   *)
+
+let test_parse_program () =
+  let p = Canned.complement_tc in
+  Alcotest.(check (list string)) "idb" [ "OUT"; "TC" ] (Program.idb p);
+  Alcotest.(check (list string)) "edb" [ "ADom"; "E" ] (Program.edb p);
+  Alcotest.(check bool) "uses adom" true (Program.uses_adom p);
+  Alcotest.(check bool) "has negation" true (Program.has_negation p)
+
+let test_semi_positive () =
+  Alcotest.(check bool) "non_edges semi-positive" true
+    (Program.is_semi_positive Canned.non_edges);
+  Alcotest.(check bool) "complement_tc negates IDB" false
+    (Program.is_semi_positive Canned.complement_tc);
+  Alcotest.(check bool) "TC positive" true (Program.is_positive Canned.transitive_closure)
+
+let test_parse_comments () =
+  let p = Program.parse "# transitive closure\nTC(x,y) <- E(x,y)\n\nTC(x,y) <- TC(x,z), E(z,y)" in
+  Alcotest.(check int) "two rules" 2 (List.length (Program.rules p))
+
+(* ------------------------------------------------------------------ *)
+(* Stratification                                                      *)
+
+let test_strata () =
+  let s = Stratify.strata Canned.complement_tc in
+  Alcotest.(check (option int)) "TC stratum 0" (Some 0)
+    (Stratify.Smap.find_opt "TC" s);
+  Alcotest.(check (option int)) "OUT stratum 1" (Some 1)
+    (Stratify.Smap.find_opt "OUT" s)
+
+let test_not_stratifiable () =
+  Alcotest.(check bool) "win-move not stratifiable" false
+    (Stratify.is_stratifiable Canned.win_move);
+  Alcotest.(check bool) "TC stratifiable" true
+    (Stratify.is_stratifiable Canned.transitive_closure)
+
+let test_layers () =
+  let layers = Stratify.layers Canned.complement_tc in
+  Alcotest.(check int) "two layers" 2 (List.length layers)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+let path_graph n =
+  Instance.of_facts (List.init n (fun i -> Fact.of_ints "E" [ i; i + 1 ]))
+
+let test_tc_path () =
+  let i = path_graph 4 in
+  let tc = Eval.query Canned.transitive_closure ~output:"TC" i in
+  (* Pairs (i,j) with i < j <= 4: 10 of them. *)
+  Alcotest.(check int) "closure size" 10 (Instance.cardinal tc);
+  Alcotest.(check bool) "0 reaches 4" true
+    (Instance.mem (Fact.of_ints "TC" [ 0; 4 ]) tc)
+
+let test_tc_cycle () =
+  let i = inst "E(0,1). E(1,2). E(2,0)" in
+  let tc = Eval.query Canned.transitive_closure ~output:"TC" i in
+  Alcotest.(check int) "full closure" 9 (Instance.cardinal tc)
+
+let test_complement_tc () =
+  let i = inst "E(a,b). E(c,c)" in
+  let out = Eval.query Canned.complement_tc ~output:"OUT" i in
+  (* Not reachable: everything except a->b and c->c. 9 pairs - 2. *)
+  Alcotest.(check int) "complement size" 7 (Instance.cardinal out);
+  Alcotest.(check bool) "b cannot reach a" true
+    (Instance.mem (Fact.of_string "OUT(b,a)") out);
+  Alcotest.(check bool) "a reaches b" false
+    (Instance.mem (Fact.of_string "OUT(a,b)") out)
+
+let test_no_triangle () =
+  let no_tri = inst "E(a,b). E(b,a)" in
+  Alcotest.check instance "returns E" (rename_all "OUT" no_tri)
+    (Eval.query Canned.no_triangle ~output:"OUT" no_tri);
+  let with_tri = inst "E(a,b). E(b,c). E(c,a)" in
+  Alcotest.check instance "empty when a triangle exists" Instance.empty
+    (Eval.query Canned.no_triangle ~output:"OUT" with_tri)
+
+let test_same_generation () =
+  let i = inst "Up(a,u). Up(b,u). Flat(u,u). Down(u,x). Down(u,y)" in
+  let sg = Eval.query Canned.same_generation ~output:"SG" i in
+  (* One Flat fact plus the four {a,b} × {x,y} combinations. *)
+  Alcotest.check instance "same generation"
+    (inst "SG(u,u). SG(a,x). SG(a,y). SG(b,x). SG(b,y)")
+    sg
+
+let test_semi_positive_eval () =
+  let i = inst "E(a,b)" in
+  let out = Eval.query Canned.non_edges ~output:"OUT" i in
+  Alcotest.check instance "complement of E"
+    (inst "OUT(a,a). OUT(b,a). OUT(b,b)")
+    out
+
+let test_naive_equals_seminaive_canned () =
+  let i = path_graph 6 in
+  List.iter
+    (fun p ->
+      Alcotest.check instance "strategies agree"
+        (Eval.run ~strategy:Eval.Naive p i)
+        (Eval.run ~strategy:Eval.Seminaive p i))
+    [ Canned.transitive_closure; Canned.complement_tc ]
+
+(* ------------------------------------------------------------------ *)
+(* Well-founded semantics                                              *)
+
+let test_win_move_chain () =
+  (* a -> b -> c: c lost (no moves), b wins (move to the lost c), a lost
+     (its only move reaches the winning b). *)
+  let i = inst "Move(a,b). Move(b,c)" in
+  let true_facts, undefined = Wellfounded.query Canned.win_move ~output:"Win" i in
+  Alcotest.check instance "wins" (inst "Win(b)") true_facts;
+  Alcotest.check instance "no undefined" Instance.empty undefined
+
+let test_win_move_cycle () =
+  (* a -> b -> a: both positions drawn (undefined). *)
+  let i = inst "Move(a,b). Move(b,a)" in
+  let true_facts, undefined = Wellfounded.query Canned.win_move ~output:"Win" i in
+  Alcotest.check instance "no definite win" Instance.empty true_facts;
+  Alcotest.check instance "both drawn" (inst "Win(a). Win(b)") undefined
+
+let test_win_move_mixed () =
+  (* Cycle a<->b plus an escape b -> c (c lost): b can win by moving to
+     c; a's only move goes to the winning b, so a is lost. *)
+  let i = inst "Move(a,b). Move(b,a). Move(b,c)" in
+  let true_facts, undefined = Wellfounded.query Canned.win_move ~output:"Win" i in
+  Alcotest.check instance "b wins" (inst "Win(b)") true_facts;
+  Alcotest.check instance "nothing drawn" Instance.empty undefined
+
+let test_wellfounded_agrees_on_stratified () =
+  (* On stratified programs the well-founded model is total and agrees
+     with the stratified evaluation. *)
+  let i = inst "E(a,b). E(b,c)" in
+  let wf_true, wf_undef =
+    Wellfounded.query Canned.complement_tc ~output:"OUT" i
+  in
+  Alcotest.check instance "wf = stratified"
+    (Eval.query Canned.complement_tc ~output:"OUT" i)
+    wf_true;
+  Alcotest.check instance "total" Instance.empty wf_undef
+
+(* ------------------------------------------------------------------ *)
+(* Connectivity                                                        *)
+
+let test_connectivity () =
+  Alcotest.(check bool) "complement_tc semi-connected" true
+    (Connectivity.is_semi_connected Canned.complement_tc);
+  Alcotest.(check bool) "no_triangle not semi-connected" false
+    (Connectivity.is_semi_connected Canned.no_triangle);
+  Alcotest.(check bool) "win_move connected" true
+    (Connectivity.program_connected Canned.win_move);
+  Alcotest.(check int) "one disconnected rule" 1
+    (List.length (Connectivity.disconnected_rules Canned.no_triangle))
+
+let test_rule_connected () =
+  Alcotest.(check bool) "triangle rule" true
+    (Connectivity.rule_connected Lamp_cq.Examples.q2_triangle);
+  Alcotest.(check bool) "cartesian rule" false
+    (Connectivity.rule_connected (Lamp_cq.Parser.query "H(x,y) <- R(x), S(y)"))
+
+(* ------------------------------------------------------------------ *)
+(* Monotonicity classes (Examples 5.6, 5.10)                           *)
+
+let open_triangle_q = Classify.of_cq ~name:"open triangle" Lamp_cq.Examples.open_triangle
+let comp_tc_q = Classify.of_program ~name:"¬TC" ~output:"OUT" Canned.complement_tc
+let no_tri_q = Classify.of_program ~name:"QNT" ~output:"OUT" Canned.no_triangle
+let triangle_q = Classify.of_cq ~name:"triangles" Lamp_cq.Examples.triangles_distinct
+
+let test_open_triangle_not_monotone () =
+  let i = inst "E(1,2). E(2,3)" and j = inst "E(3,1)" in
+  match Classify.check_pair open_triangle_q (i, j) with
+  | Error r -> Alcotest.(check int) "loses the open triangle" 1 (Instance.cardinal r.Classify.lost)
+  | Ok () -> Alcotest.fail "expected refutation"
+
+let test_open_triangle_distinct_monotone_example () =
+  (* Example 5.6: extensions that are domain distinct cannot close an
+     open triangle. *)
+  let i = inst "E(1,2). E(2,3)" in
+  let j = inst "E(3,4). E(4,1)" in
+  Alcotest.(check bool) "domain distinct" true (Adom.domain_distinct_from j i);
+  match Classify.check_pair open_triangle_q (i, j) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "distinct extension must preserve output"
+
+let test_comp_tc_not_distinct_monotone () =
+  (* Example 5.6: ¬TC is not domain-distinct-monotone. *)
+  let i = inst "E(a,a). E(b,b)" in
+  let j = inst "E(a,c). E(c,b)" in
+  Alcotest.(check bool) "distinct" true (Adom.domain_distinct_from j i);
+  (match Classify.check_pair comp_tc_q (i, j) with
+  | Error r ->
+    Alcotest.(check bool) "loses OUT(a,b)" true
+      (Instance.mem (Fact.of_string "OUT(a,b)") r.Classify.lost)
+  | Ok () -> Alcotest.fail "expected refutation")
+
+let test_comp_tc_disjoint_monotone_example () =
+  (* Example 5.10: domain-disjoint extensions preserve ¬TC. *)
+  let i = inst "E(a,a). E(b,b)" in
+  let j = inst "E(c,d). E(d,c)" in
+  Alcotest.(check bool) "disjoint" true (Adom.domain_disjoint_from j i);
+  match Classify.check_pair comp_tc_q (i, j) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "disjoint extension must preserve ¬TC"
+
+let test_qnt_not_disjoint_monotone () =
+  (* Example 5.10: QNT loses everything when a disjoint triangle
+     appears. *)
+  let i = inst "E(a,a). E(b,b)" in
+  let j = inst "E(c,d). E(d,e). E(e,c)" in
+  Alcotest.(check bool) "disjoint" true (Adom.domain_disjoint_from j i);
+  match Classify.check_pair no_tri_q (i, j) with
+  | Error r -> Alcotest.(check int) "loses both edges" 2 (Instance.cardinal r.Classify.lost)
+  | Ok () -> Alcotest.fail "expected refutation"
+
+let test_class_names () =
+  let rng = Random.State.make [| 5 |] in
+  let schema = Schema.of_list [ ("E", 2) ] in
+  let pairs =
+    Classify.random_pairs ~rng ~schema ~count:60 ~size:6 ~domain:4
+    @ [
+        (inst "E(1,2). E(2,3)", inst "E(3,1)");
+        (inst "E(a,a). E(b,b)", inst "E(a,c). E(c,b)");
+        (inst "E(a,a). E(b,b)", inst "E(c,d). E(d,e). E(e,c)");
+      ]
+  in
+  Alcotest.(check string) "triangles in M" "M"
+    (Classify.class_name (Classify.classify triangle_q ~pairs));
+  Alcotest.(check string) "open triangle in Mdistinct \\ M" "Mdistinct \\ M"
+    (Classify.class_name (Classify.classify open_triangle_q ~pairs));
+  Alcotest.(check string) "¬TC in Mdisjoint \\ Mdistinct" "Mdisjoint \\ Mdistinct"
+    (Classify.class_name (Classify.classify comp_tc_q ~pairs));
+  Alcotest.(check string) "QNT outside Mdisjoint" "not Mdisjoint"
+    (Classify.class_name (Classify.classify no_tri_q ~pairs))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let graph_arb =
+  QCheck.make
+    ~print:(Fmt.str "%a" Instance.pp)
+    QCheck.Gen.(
+      let* seed = int_range 0 100_000 in
+      let rng = Random.State.make [| seed |] in
+      let* edges = int_range 0 15 in
+      return (Generate.random_graph ~rng ~nodes:6 ~edges ()))
+
+let prop_naive_equals_seminaive =
+  QCheck.Test.make ~name:"naive = semi-naive" ~count:60 graph_arb
+    (fun g ->
+      List.for_all
+        (fun p ->
+          Instance.equal
+            (Eval.run ~strategy:Eval.Naive p g)
+            (Eval.run ~strategy:Eval.Seminaive p g))
+        [ Canned.transitive_closure; Canned.complement_tc ])
+
+let prop_tc_is_transitive =
+  QCheck.Test.make ~name:"TC is transitively closed" ~count:60 graph_arb
+    (fun g ->
+      let tc = Eval.query Canned.transitive_closure ~output:"TC" g in
+      Instance.fold
+        (fun f1 acc ->
+          acc
+          && Instance.fold
+               (fun f2 acc ->
+                 acc
+                 &&
+                 let a1 = Fact.args f1 and a2 = Fact.args f2 in
+                 (not (Value.equal a1.(1) a2.(0)))
+                 || Instance.mem (Fact.of_list "TC" [ a1.(0); a2.(1) ]) tc)
+               tc true)
+        tc true)
+
+let prop_datalog_monotone =
+  QCheck.Test.make ~name:"positive Datalog is monotone" ~count:60
+    (QCheck.pair graph_arb graph_arb)
+    (fun (g1, g2) ->
+      let q = Classify.of_program ~name:"tc" ~output:"TC" Canned.transitive_closure in
+      Result.is_ok (Classify.check_pair q (g1, g2)))
+
+let prop_wellfounded_three_valued =
+  QCheck.Test.make ~name:"win-move partitions positions" ~count:60
+    (QCheck.make
+       ~print:(Fmt.str "%a" Instance.pp)
+       QCheck.Gen.(
+         let* seed = int_range 0 100_000 in
+         let rng = Random.State.make [| seed |] in
+         let* edges = int_range 0 12 in
+         return
+           (rename_all "Move" (Generate.random_graph ~rng ~nodes:5 ~edges ()))))
+    (fun g ->
+      let true_facts, undefined = Wellfounded.query Canned.win_move ~output:"Win" g in
+      (* True and undefined are disjoint, and a position with no moves
+         is never winning. *)
+      Instance.is_empty (Instance.inter true_facts undefined)
+      &&
+      let sources =
+        Instance.fold
+          (fun f acc -> Value.Set.add (Fact.args f).(0) acc)
+          g Value.Set.empty
+      in
+      Instance.fold
+        (fun f acc ->
+          acc && Value.Set.mem (Fact.args f).(0) sources)
+        true_facts true)
+
+let () =
+  Alcotest.run "lamp_datalog"
+    [
+      ( "program",
+        [
+          Alcotest.test_case "parse" `Quick test_parse_program;
+          Alcotest.test_case "semi-positive" `Quick test_semi_positive;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+        ] );
+      ( "stratify",
+        [
+          Alcotest.test_case "strata" `Quick test_strata;
+          Alcotest.test_case "not stratifiable" `Quick test_not_stratifiable;
+          Alcotest.test_case "layers" `Quick test_layers;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "tc path" `Quick test_tc_path;
+          Alcotest.test_case "tc cycle" `Quick test_tc_cycle;
+          Alcotest.test_case "complement tc" `Quick test_complement_tc;
+          Alcotest.test_case "no triangle" `Quick test_no_triangle;
+          Alcotest.test_case "same generation" `Quick test_same_generation;
+          Alcotest.test_case "semi-positive" `Quick test_semi_positive_eval;
+          Alcotest.test_case "strategies agree" `Quick test_naive_equals_seminaive_canned;
+        ] );
+      ( "well-founded",
+        [
+          Alcotest.test_case "chain" `Quick test_win_move_chain;
+          Alcotest.test_case "cycle" `Quick test_win_move_cycle;
+          Alcotest.test_case "mixed" `Quick test_win_move_mixed;
+          Alcotest.test_case "stratified agreement" `Quick
+            test_wellfounded_agrees_on_stratified;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "programs" `Quick test_connectivity;
+          Alcotest.test_case "rules" `Quick test_rule_connected;
+        ] );
+      ( "classes",
+        [
+          Alcotest.test_case "open triangle not monotone" `Quick
+            test_open_triangle_not_monotone;
+          Alcotest.test_case "open triangle distinct-monotone" `Quick
+            test_open_triangle_distinct_monotone_example;
+          Alcotest.test_case "¬TC not distinct-monotone" `Quick
+            test_comp_tc_not_distinct_monotone;
+          Alcotest.test_case "¬TC disjoint-monotone" `Quick
+            test_comp_tc_disjoint_monotone_example;
+          Alcotest.test_case "QNT not disjoint-monotone" `Quick
+            test_qnt_not_disjoint_monotone;
+          Alcotest.test_case "class names" `Quick test_class_names;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_naive_equals_seminaive;
+            prop_tc_is_transitive;
+            prop_datalog_monotone;
+            prop_wellfounded_three_valued;
+          ] );
+    ]

@@ -1,0 +1,170 @@
+open Lamp_relational
+open Lamp_datalog
+
+let instance = Alcotest.testable Instance.pp Instance.equal
+let inst = Instance.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and structure                                               *)
+
+let test_parse_invention () =
+  let p = Invention.parse "P(n,x,y) <- E(x,y)" in
+  Alcotest.(check bool) "has invention" true (Invention.has_invention p);
+  match Invention.rules p with
+  | [ r ] -> Alcotest.(check (list string)) "invented n" [ "n" ] r.Invention.invented
+  | _ -> Alcotest.fail "one rule expected"
+
+let test_parse_plain_rule () =
+  let p = Invention.parse "TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), E(z,y)" in
+  Alcotest.(check bool) "no invention" false (Invention.has_invention p);
+  Alcotest.(check (list string)) "idb" [ "TC" ] (Invention.idb p)
+
+let test_unsafe_negation_rejected () =
+  Alcotest.check_raises "unsafe negated var" (Invention.Unsafe "")
+    (fun () ->
+      try ignore (Invention.parse "H(x) <- E(x,x), !F(y)")
+      with Invention.Unsafe _ -> raise (Invention.Unsafe ""))
+
+(* ------------------------------------------------------------------ *)
+(* Semantics of invention                                              *)
+
+let test_fresh_value_per_edge () =
+  let p = Invention.parse "P(n,x,y) <- E(x,y)" in
+  let out = Invention.query p ~output:"P" (inst "E(1,2). E(3,4)") in
+  Alcotest.(check int) "one P fact per edge" 2 (Instance.cardinal out);
+  let invented =
+    Instance.fold
+      (fun f acc -> Value.Set.add (Fact.args f).(0) acc)
+      out Value.Set.empty
+  in
+  Alcotest.(check int) "two distinct invented values" 2
+    (Value.Set.cardinal invented);
+  Value.Set.iter
+    (fun v ->
+      Alcotest.(check bool) "marked as invented" true
+        (Invention.is_invented_value v))
+    invented
+
+let test_invention_functional () =
+  (* Two rules deriving P from the same body valuation: ILOG semantics
+     reuses the Skolem value inside one rule, and the fixpoint
+     terminates even though P feeds itself. *)
+  let p = Invention.parse "P(n,x) <- E(x,y)\nQ(n,x) <- P(n,x)" in
+  let out1 = Invention.query p ~output:"P" (inst "E(1,2)") in
+  let out2 = Invention.query p ~output:"Q" (inst "E(1,2)") in
+  Alcotest.(check int) "single P" 1 (Instance.cardinal out1);
+  Alcotest.(check int) "single Q" 1 (Instance.cardinal out2);
+  (* Q carries the same invented value. *)
+  let v1 = (Fact.args (List.hd (Instance.facts out1))).(0) in
+  let v2 = (Fact.args (List.hd (Instance.facts out2))).(0) in
+  Alcotest.(check bool) "same Skolem value" true (Value.equal v1 v2)
+
+let test_divergence_guard () =
+  (* Nat(n) <- Nat(x): every round invents a value from the new fact —
+     the classic non-terminating wILOG program. *)
+  let p = Invention.parse "Nat(n) <- Nat(x)" in
+  Alcotest.check_raises "diverges" (Invention.Diverged "")
+    (fun () ->
+      try
+        ignore
+          (Invention.run ~max_facts:500 ~max_rounds:200 p (inst "Nat(0)"))
+      with Invention.Diverged _ -> raise (Invention.Diverged ""))
+
+let test_plain_program_agrees_with_datalog () =
+  let text = "TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), E(z,y)" in
+  let via_invention = Invention.parse text in
+  let via_datalog = Program.parse text in
+  let g = inst "E(1,2). E(2,3). E(3,4)" in
+  Alcotest.check instance "same closure"
+    (Eval.query via_datalog ~output:"TC" g)
+    (Invention.query via_invention ~output:"TC" g)
+
+let test_semi_positive_invention () =
+  (* SP-wILOG: negation on EDB only, plus invention: tag each non-edge
+     with a fresh witness value. *)
+  let p = Invention.parse "W(n,x,y) <- ADom(x), ADom(y), !E(x,y)" in
+  Alcotest.(check bool) "semi-positive" true (Invention.is_semi_positive p);
+  let out = Invention.query p ~output:"W" (inst "E(a,b)") in
+  (* Non-edges over {a,b}: (a,a), (b,a), (b,b). *)
+  Alcotest.(check int) "three witnesses" 3 (Instance.cardinal out)
+
+let test_stratified_invention () =
+  let p =
+    Invention.parse
+      "P(n,x) <- E(x,y)\nBig(x) <- E(x,y), !Small(x)\nSmall(x) <- E(x,x)"
+  in
+  let out = Invention.query p ~output:"Big" (inst "E(1,2). E(3,3)") in
+  Alcotest.check instance "stratified negation with invention"
+    (inst "Big(1)") out
+
+let test_connectivity () =
+  let connected = Invention.parse "P(n,x,y) <- E(x,y), F(y,z)" in
+  let disconnected = Invention.parse "P(n,x,y) <- E(x,x), F(y,y)" in
+  Alcotest.(check bool) "connected" true (Invention.program_connected connected);
+  Alcotest.(check bool) "disconnected" false
+    (Invention.program_connected disconnected)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let graph_arb =
+  QCheck.make
+    ~print:(Fmt.str "%a" Instance.pp)
+    QCheck.Gen.(
+      let* seed = int_range 0 100_000 in
+      let rng = Random.State.make [| seed |] in
+      let* edges = int_range 0 10 in
+      return (Generate.random_graph ~rng ~nodes:5 ~edges ()))
+
+let prop_invention_count =
+  QCheck.Test.make ~name:"one invented value per derivation" ~count:50
+    graph_arb
+    (fun g ->
+      let p = Invention.parse "P(n,x,y) <- E(x,y)" in
+      Instance.cardinal (Invention.query p ~output:"P" g) = Instance.cardinal g)
+
+let prop_invention_deterministic =
+  QCheck.Test.make ~name:"invention is deterministic" ~count:50 graph_arb
+    (fun g ->
+      let p = Invention.parse "P(n,x,y) <- E(x,y)" in
+      Instance.equal
+        (Invention.query p ~output:"P" g)
+        (Invention.query p ~output:"P" g))
+
+let prop_plain_rules_agree =
+  QCheck.Test.make ~name:"invention-free programs = Datalog" ~count:50
+    graph_arb
+    (fun g ->
+      let text = "TC(x,y) <- E(x,y)\nTC(x,y) <- TC(x,z), TC(z,y)" in
+      Instance.equal
+        (Eval.query (Program.parse text) ~output:"TC" g)
+        (Invention.query (Invention.parse text) ~output:"TC" g))
+
+let () =
+  Alcotest.run "lamp_invention"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "parse invention" `Quick test_parse_invention;
+          Alcotest.test_case "plain rules" `Quick test_parse_plain_rule;
+          Alcotest.test_case "unsafe negation" `Quick test_unsafe_negation_rejected;
+          Alcotest.test_case "connectivity" `Quick test_connectivity;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "fresh per edge" `Quick test_fresh_value_per_edge;
+          Alcotest.test_case "functional" `Quick test_invention_functional;
+          Alcotest.test_case "divergence guard" `Quick test_divergence_guard;
+          Alcotest.test_case "agrees with Datalog" `Quick
+            test_plain_program_agrees_with_datalog;
+          Alcotest.test_case "SP-wILOG" `Quick test_semi_positive_invention;
+          Alcotest.test_case "stratified" `Quick test_stratified_invention;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_invention_count;
+            prop_invention_deterministic;
+            prop_plain_rules_agree;
+          ] );
+    ]

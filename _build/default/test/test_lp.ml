@@ -1,0 +1,238 @@
+open Lamp_lp
+
+let close ?(eps = 1e-6) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %f, got %f)" msg expected actual)
+    true
+    (Float.abs (expected -. actual) < eps)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+
+let test_simplex_basic () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: classic optimum
+     36 at (2, 6). *)
+  let p =
+    Simplex.make ~objective:[| 3.0; 5.0 |]
+      ~constraints:
+        [
+          ([| 1.0; 0.0 |], 4.0);
+          ([| 0.0; 2.0 |], 12.0);
+          ([| 3.0; 2.0 |], 18.0);
+        ]
+  in
+  let s = Simplex.maximize_exn p in
+  close "objective" 36.0 s.Simplex.value;
+  close "x" 2.0 s.Simplex.primal.(0);
+  close "y" 6.0 s.Simplex.primal.(1)
+
+let test_simplex_unbounded () =
+  let p = Simplex.make ~objective:[| 1.0 |] ~constraints:[ ([| -1.0 |], 1.0) ] in
+  match Simplex.maximize p with
+  | Simplex.Unbounded -> ()
+  | Simplex.Optimal _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex (b = 0 rows); Bland's rule must still terminate. *)
+  let p =
+    Simplex.make ~objective:[| 1.0; 1.0 |]
+      ~constraints:
+        [
+          ([| 1.0; -1.0 |], 0.0);
+          ([| -1.0; 1.0 |], 0.0);
+          ([| 1.0; 1.0 |], 2.0);
+        ]
+  in
+  let s = Simplex.maximize_exn p in
+  close "objective" 2.0 s.Simplex.value
+
+let test_simplex_duals () =
+  (* Strong duality: c·x* = b·y*. *)
+  let constraints =
+    [ ([| 2.0; 1.0 |], 10.0); ([| 1.0; 3.0 |], 15.0) ]
+  in
+  let p = Simplex.make ~objective:[| 4.0; 5.0 |] ~constraints in
+  let s = Simplex.maximize_exn p in
+  let dual_value =
+    List.fold_left2
+      (fun acc (_, b) y -> acc +. (b *. y))
+      0.0 constraints
+      (Array.to_list s.Simplex.dual)
+  in
+  close "strong duality" s.Simplex.value dual_value
+
+let test_simplex_rejects_negative_rhs () =
+  Alcotest.check_raises "negative rhs" (Invalid_argument "")
+    (fun () ->
+      try ignore (Simplex.make ~objective:[| 1.0 |] ~constraints:[ ([| 1.0 |], -1.0) ])
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Packings: the paper's worked values                                 *)
+
+(* Triangle query Q2: vars x,y,z; edges R(x,y), S(y,z), T(z,x). *)
+let triangle = [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ]
+
+let test_triangle_tau () =
+  let r = Packing.edge_packing ~vertices:3 ~edges:triangle in
+  (* τ* = 3/2 for the triangle (Section 3.1 of the paper). *)
+  close "tau* = 3/2" 1.5 r.Packing.value
+
+let test_triangle_exponents () =
+  let t, e = Packing.hypercube_exponents ~vertices:3 ~edges:triangle in
+  (* 1/τ* = 2/3, shares p^(1/3) each: the load bound m/p^(2/3). *)
+  close "t = 2/3" (2.0 /. 3.0) t;
+  Array.iter (fun ev -> close "share exponent 1/3" (1.0 /. 3.0) ev) e
+
+let test_binary_join_tau () =
+  (* Q1: R(x,y), S(y,z). τ* = 1 because y is in both atoms... in fact
+     packing y: R + S ≤ 1 on y; optimum picks both edges at weight 1/2
+     on y? No: R covers {x,y}, S covers {y,z}; constraint on y is
+     y_R + y_S ≤ 1, on x is y_R ≤ 1, on z is y_S ≤ 1, so max total = 1.
+     Load m/p^(1/1) = m/p: a join of two relations is maximally
+     parallelizable without skew. *)
+  let r = Packing.edge_packing ~vertices:3 ~edges:[ [ 0; 1 ]; [ 1; 2 ] ] in
+  close "tau* = 1" 1.0 r.Packing.value
+
+let test_cartesian_product_tau () =
+  (* R(x), S(y): disjoint edges pack independently, τ* = 2, load
+     m/p^(1/2) — the grid join of Example 3.1(1b). *)
+  let r = Packing.edge_packing ~vertices:2 ~edges:[ [ 0 ]; [ 1 ] ] in
+  close "tau* = 2" 2.0 r.Packing.value;
+  let t, e = Packing.hypercube_exponents ~vertices:2 ~edges:[ [ 0 ]; [ 1 ] ] in
+  close "t = 1/2" 0.5 t;
+  close "ex = 1/2" 0.5 e.(0);
+  close "ey = 1/2" 0.5 e.(1)
+
+let test_star_query_tau () =
+  (* Star: R1(x0,x1), R2(x0,x2), R3(x0,x3); center x0 limits packing of
+     any two edges but leaves ends free: τ* = ... each edge uses x0, so
+     Σ y_i ≤ 1 from x0: τ* = 1. *)
+  let r =
+    Packing.edge_packing ~vertices:4 ~edges:[ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] ]
+  in
+  close "tau* = 1" 1.0 r.Packing.value
+
+let test_path4_tau () =
+  (* Path of 4 vars / 3 edges: edges 1 and 3 are disjoint → τ* = 2. *)
+  let r =
+    Packing.edge_packing ~vertices:4 ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ]
+  in
+  close "tau* = 2" 2.0 r.Packing.value
+
+let test_triangle_edge_cover () =
+  (* Fractional edge cover of the triangle: ρ* = 3/2 (AGM bound
+     m^(3/2) for triangle counting). *)
+  let r = Packing.edge_cover ~vertices:3 ~edges:triangle in
+  close "rho* = 3/2" 1.5 r.Packing.value;
+  (* The weights are a valid cover: every vertex covered to >= 1. *)
+  List.iteri
+    (fun v _ ->
+      let total =
+        List.fold_left2
+          (fun acc e w -> if List.mem v e then acc +. w else acc)
+          0.0 triangle
+          (Array.to_list r.Packing.weights)
+      in
+      Alcotest.(check bool) "covered" true (total >= 1.0 -. 1e-6))
+    [ 0; 1; 2 ]
+
+let test_vertex_cover_equals_packing () =
+  let p = Packing.edge_packing ~vertices:3 ~edges:triangle in
+  let c = Packing.vertex_cover ~vertices:3 ~edges:triangle in
+  close "LP duality" p.Packing.value c.Packing.value
+
+let test_edge_cover_uncovered_vertex () =
+  Alcotest.check_raises "uncovered vertex" (Invalid_argument "")
+    (fun () ->
+      try ignore (Packing.edge_cover ~vertices:2 ~edges:[ [ 0 ] ])
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let hypergraph_gen =
+  let open QCheck.Gen in
+  let* vertices = int_range 1 6 in
+  let* nedges = int_range 1 6 in
+  let* edges =
+    list_repeat nedges
+      (let* size = int_range 1 (min 3 vertices) in
+       list_repeat size (int_range 0 (vertices - 1)))
+  in
+  return (vertices, edges)
+
+let hypergraph_arb =
+  QCheck.make
+    ~print:(fun (v, es) ->
+      Printf.sprintf "vertices=%d edges=%s" v
+        (String.concat ";"
+           (List.map (fun e -> String.concat "," (List.map string_of_int e)) es)))
+    hypergraph_gen
+
+let prop_packing_feasible =
+  QCheck.Test.make ~name:"edge packing weights are feasible" ~count:200
+    hypergraph_arb
+    (fun (vertices, edges) ->
+      let r = Packing.edge_packing ~vertices ~edges in
+      let ok = ref true in
+      for v = 0 to vertices - 1 do
+        let total =
+          List.fold_left2
+            (fun acc e w ->
+              if List.mem v (List.sort_uniq Int.compare e) then acc +. w
+              else acc)
+            0.0 edges
+            (Array.to_list r.Packing.weights)
+        in
+        if total > 1.0 +. 1e-6 then ok := false
+      done;
+      !ok && r.Packing.value >= -.1e-9)
+
+let prop_duality =
+  QCheck.Test.make ~name:"packing value = vertex cover value (duality)"
+    ~count:200 hypergraph_arb
+    (fun (vertices, edges) ->
+      let p = Packing.edge_packing ~vertices ~edges in
+      let c = Packing.vertex_cover ~vertices ~edges in
+      Float.abs (p.Packing.value -. c.Packing.value) < 1e-6)
+
+let prop_hypercube_t_vs_tau =
+  QCheck.Test.make ~name:"hypercube exponent t = 1/tau*" ~count:200
+    hypergraph_arb
+    (fun (vertices, edges) ->
+      let p = Packing.edge_packing ~vertices ~edges in
+      let t, _ = Packing.hypercube_exponents ~vertices ~edges in
+      p.Packing.value < 1e-9 || Float.abs (t -. (1.0 /. p.Packing.value)) < 1e-6)
+
+let () =
+  Alcotest.run "lamp_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "textbook optimum" `Quick test_simplex_basic;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "strong duality" `Quick test_simplex_duals;
+          Alcotest.test_case "rejects negative rhs" `Quick
+            test_simplex_rejects_negative_rhs;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "triangle tau*" `Quick test_triangle_tau;
+          Alcotest.test_case "triangle exponents" `Quick test_triangle_exponents;
+          Alcotest.test_case "binary join tau*" `Quick test_binary_join_tau;
+          Alcotest.test_case "cartesian product tau*" `Quick
+            test_cartesian_product_tau;
+          Alcotest.test_case "star tau*" `Quick test_star_query_tau;
+          Alcotest.test_case "path tau*" `Quick test_path4_tau;
+          Alcotest.test_case "triangle edge cover" `Quick test_triangle_edge_cover;
+          Alcotest.test_case "cover = packing (duality)" `Quick
+            test_vertex_cover_equals_packing;
+          Alcotest.test_case "uncovered vertex rejected" `Quick
+            test_edge_cover_uncovered_vertex;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_packing_feasible; prop_duality; prop_hypercube_t_vs_tau ] );
+    ]

@@ -1,0 +1,163 @@
+open Lamp_relational
+open Lamp_cq
+open Lamp_mpc
+open Lamp_mapreduce
+
+let instance = Alcotest.testable Instance.pp Instance.equal
+let inst = Instance.of_string
+let rng () = Random.State.make [| 99 |]
+
+let test_encode_decode () =
+  let pair = ([ Value.int 3; Value.str "k" ], Fact.of_ints "R" [ 1; 2 ]) in
+  let k, v = Job.decode_pair (Job.encode_pair pair) in
+  Alcotest.(check bool) "key" true (List.equal Value.equal (fst pair) k);
+  Alcotest.(check bool) "value" true (Fact.equal (snd pair) v)
+
+let test_encode_decode_nullary () =
+  let pair = ([], Fact.of_list "H" []) in
+  let k, v = Job.decode_pair (Job.encode_pair pair) in
+  Alcotest.(check int) "empty key" 0 (List.length k);
+  Alcotest.(check int) "nullary fact" 0 (Fact.arity v)
+
+let test_join_job () =
+  let i = inst "R(1,2). R(3,4). S(2,5). S(4,6). S(9,9)" in
+  Alcotest.check instance "join via MR"
+    (Eval.eval Examples.q1_join i)
+    (Job.run_job Jobs.repartition_join i)
+
+let test_triangle_program () =
+  let i = Workload.triangle_skew_free ~rng:(rng ()) ~m:60 ~domain:12 in
+  let expected =
+    Workload.rename_relation ~from_rel:"K" ~to_rel:"H"
+      (Eval.eval Examples.q2_triangle i)
+  in
+  Alcotest.check instance "triangle via MR program" expected
+    (Job.run Jobs.triangle_program i)
+
+let test_degree_count () =
+  let i = inst "R(1,7). R(2,7). R(3,8)" in
+  let result = Job.run_job (Jobs.degree_count ~rel:"R" ~pos:1) i in
+  Alcotest.check instance "degrees" (inst "Degree(7,2). Degree(8,1)") result
+
+let test_mpc_translation_matches () =
+  let i = Workload.triangle_skew_free ~rng:(rng ()) ~m:50 ~domain:10 in
+  let sequential = Job.run Jobs.triangle_program i in
+  let distributed, stats = Job.run_mpc ~p:5 Jobs.triangle_program i in
+  Alcotest.check instance "MPC = sequential" sequential distributed;
+  Alcotest.(check int) "one round per job" 2 (Stats.rounds stats)
+
+let test_mpc_join_loads () =
+  let i = Workload.join_skew_free ~m:200 in
+  let _, stats = Job.run_mpc ~p:8 [ Jobs.repartition_join ] i in
+  (* No replication: the shuffle ships each fact once. *)
+  Alcotest.(check int) "total = m" (Instance.cardinal i)
+    (Stats.total_communication stats)
+
+(* ------------------------------------------------------------------ *)
+(* Recursive Datalog in MapReduce ([5, 10])                            *)
+
+let path_graph n =
+  Instance.of_facts (List.init n (fun i -> Fact.of_ints "E" [ i; i + 1 ]))
+
+let test_tc_linear () =
+  let g = path_graph 8 in
+  let closure, jobs = Recursive.transitive_closure ~strategy:Recursive.Linear ~edges:"E" g in
+  (* Path of length 8: 8·9/2 = 36 closure pairs; linear needs ~diameter
+     jobs. *)
+  Alcotest.(check int) "closure size" 36 (Instance.cardinal closure);
+  Alcotest.(check bool) "about diameter many jobs" true (jobs >= 8)
+
+let test_tc_doubling () =
+  let g = path_graph 8 in
+  let closure, jobs =
+    Recursive.transitive_closure ~strategy:Recursive.Doubling ~edges:"E" g
+  in
+  Alcotest.(check int) "closure size" 36 (Instance.cardinal closure);
+  (* Doubling converges in ~log2(8) + verification = far fewer jobs. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "log-many jobs (%d)" jobs)
+    true (jobs <= 6)
+
+let test_tc_matches_datalog_cycle () =
+  let g = Instance.of_string "E(0,1). E(1,2). E(2,0). E(5,6)" in
+  let closure, _ = Recursive.transitive_closure ~edges:"E" g in
+  Alcotest.(check int) "cycle closure" 10 (Instance.cardinal closure);
+  Alcotest.(check bool) "0 reaches itself" true
+    (Instance.mem (Fact.of_ints "TC" [ 0; 0 ]) closure)
+
+let prop_tc_strategies_agree =
+  QCheck.Test.make ~name:"linear TC = doubling TC" ~count:40
+    (QCheck.make
+       ~print:(Fmt.str "%a" Instance.pp)
+       QCheck.Gen.(
+         let* seed = int_range 0 100_000 in
+         let rng = Random.State.make [| seed |] in
+         let* edges = int_range 0 12 in
+         return (Generate.random_graph ~rng ~rel:"E" ~nodes:6 ~edges ())))
+    (fun g ->
+      let c1, _ = Recursive.transitive_closure ~strategy:Recursive.Linear ~edges:"E" g in
+      let c2, _ = Recursive.transitive_closure ~strategy:Recursive.Doubling ~edges:"E" g in
+      Instance.equal c1 c2)
+
+let prop_mpc_equals_sequential =
+  QCheck.Test.make ~name:"MPC translation = sequential semantics" ~count:40
+    (QCheck.pair
+       (QCheck.make
+          QCheck.Gen.(
+            let* seed = int_range 0 100_000 in
+            let rng = Random.State.make [| seed |] in
+            return (Workload.triangle_skew_free ~rng ~m:30 ~domain:8)))
+       (QCheck.make QCheck.Gen.(int_range 1 12)))
+    (fun (i, p) ->
+      let sequential = Job.run Jobs.triangle_program i in
+      let distributed, _ = Job.run_mpc ~p Jobs.triangle_program i in
+      Instance.equal sequential distributed)
+
+let prop_degree_job_matches_skew_module =
+  QCheck.Test.make ~name:"degree job agrees with Skew.degrees" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         let* seed = int_range 0 100_000 in
+         let rng = Random.State.make [| seed |] in
+         return (Generate.random_relation ~rng ~rel:"R" ~arity:2 ~size:30 ~domain:6 ())))
+    (fun i ->
+      let via_job = Job.run_job (Jobs.degree_count ~rel:"R" ~pos:0) i in
+      let via_skew = Skew.degrees i ~rel:"R" ~pos:0 in
+      Value.Map.for_all
+        (fun v d -> Instance.mem (Fact.of_list "Degree" [ v; Value.int d ]) via_job)
+        via_skew
+      && Instance.cardinal via_job = Value.Map.cardinal via_skew)
+
+let () =
+  Alcotest.run "lamp_mapreduce"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_encode_decode;
+          Alcotest.test_case "nullary" `Quick test_encode_decode_nullary;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "join" `Quick test_join_job;
+          Alcotest.test_case "triangle program" `Quick test_triangle_program;
+          Alcotest.test_case "degree count" `Quick test_degree_count;
+        ] );
+      ( "recursive",
+        [
+          Alcotest.test_case "linear TC" `Quick test_tc_linear;
+          Alcotest.test_case "doubling TC" `Quick test_tc_doubling;
+          Alcotest.test_case "cycle" `Quick test_tc_matches_datalog_cycle;
+        ] );
+      ( "mpc translation",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_mpc_translation_matches;
+          Alcotest.test_case "join loads" `Quick test_mpc_join_loads;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mpc_equals_sequential;
+            prop_degree_job_matches_skew_module;
+            prop_tc_strategies_agree;
+          ] );
+    ]

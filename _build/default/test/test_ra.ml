@@ -1,0 +1,265 @@
+open Lamp_relational
+open Lamp_ra
+
+let inst = Instance.of_string
+let relation = Alcotest.testable Relation.pp Relation.equal
+
+let r_ab rows = Relation.create ~cols:[ "a"; "b" ] (List.map Tuple.of_ints rows)
+
+(* ------------------------------------------------------------------ *)
+(* Relation operators                                                  *)
+
+let test_select () =
+  let r = r_ab [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 2 ] ] in
+  Alcotest.check relation "diagonal"
+    (r_ab [ [ 1; 1 ]; [ 2; 2 ] ])
+    (Relation.select (Relation.Eq (Relation.Col "a", Relation.Col "b")) r);
+  Alcotest.check relation "constant"
+    (r_ab [ [ 1; 1 ]; [ 1; 2 ] ])
+    (Relation.select (Relation.Eq (Relation.Col "a", Relation.Const (Value.int 1))) r)
+
+let test_select_boolean_preds () =
+  let r = r_ab [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ] ] in
+  let p =
+    Relation.And
+      ( Relation.Neq (Relation.Col "a", Relation.Col "b"),
+        Relation.Not (Relation.Eq (Relation.Col "a", Relation.Const (Value.int 2))) )
+  in
+  Alcotest.check relation "and/not" (r_ab [ [ 1; 2 ] ]) (Relation.select p r)
+
+let test_project () =
+  let r = r_ab [ [ 1; 2 ]; [ 1; 3 ] ] in
+  let p = Relation.project [ "a" ] r in
+  Alcotest.(check int) "dedup" 1 (Relation.cardinal p);
+  Alcotest.(check (list string)) "cols" [ "a" ] (Relation.cols p)
+
+let test_rename () =
+  let r = r_ab [ [ 1; 2 ] ] in
+  let r' = Relation.rename [ ("b", "c") ] r in
+  Alcotest.(check (list string)) "renamed" [ "a"; "c" ] (Relation.cols r');
+  Alcotest.check_raises "clash" (Invalid_argument "")
+    (fun () ->
+      try ignore (Relation.rename [ ("b", "a") ] r)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_union_column_order () =
+  let r1 = r_ab [ [ 1; 2 ] ] in
+  let r2 =
+    Relation.create ~cols:[ "b"; "a" ] [ Tuple.of_ints [ 9; 8 ] ]
+  in
+  (* Union reorders r2 into (a,b) order: (8,9). *)
+  Alcotest.check relation "reordered union"
+    (r_ab [ [ 1; 2 ]; [ 8; 9 ] ])
+    (Relation.union r1 r2)
+
+let test_join () =
+  let r = Relation.create ~cols:[ "a"; "b" ] [ Tuple.of_ints [ 1; 2 ]; Tuple.of_ints [ 5; 6 ] ] in
+  let s = Relation.create ~cols:[ "b"; "c" ] [ Tuple.of_ints [ 2; 3 ]; Tuple.of_ints [ 2; 4 ] ] in
+  let j = Relation.join r s in
+  Alcotest.(check (list string)) "cols" [ "a"; "b"; "c" ] (Relation.cols j);
+  Alcotest.(check int) "two results" 2 (Relation.cardinal j)
+
+let test_semijoin_antijoin () =
+  let r = Relation.create ~cols:[ "a"; "b" ] [ Tuple.of_ints [ 1; 2 ]; Tuple.of_ints [ 5; 6 ] ] in
+  let s = Relation.create ~cols:[ "b"; "c" ] [ Tuple.of_ints [ 2; 3 ] ] in
+  Alcotest.check relation "semijoin" (r_ab [ [ 1; 2 ] ]) (Relation.semijoin r s);
+  Alcotest.check relation "antijoin" (r_ab [ [ 5; 6 ] ]) (Relation.antijoin r s)
+
+let test_product () =
+  let r = Relation.create ~cols:[ "a" ] [ Tuple.of_ints [ 1 ]; Tuple.of_ints [ 2 ] ] in
+  let s = Relation.create ~cols:[ "b" ] [ Tuple.of_ints [ 3 ] ] in
+  Alcotest.(check int) "2x1" 2 (Relation.cardinal (Relation.product r s));
+  Alcotest.check_raises "shared col" (Invalid_argument "")
+    (fun () ->
+      try ignore (Relation.product r r)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_instance_roundtrip () =
+  let i = inst "R(1,2). R(3,4)" in
+  let r = Relation.of_instance i ~rel:"R" ~cols:[ "a"; "b" ] in
+  Alcotest.(check bool) "roundtrip" true
+    (Instance.equal i (Relation.to_instance r ~rel:"R"))
+
+(* ------------------------------------------------------------------ *)
+(* Algebra expressions                                                 *)
+
+let base_r = Algebra.Base ("R", [ "a"; "b" ])
+let base_s = Algebra.Base ("S", [ "b"; "c" ])
+
+let test_eval_join_expr () =
+  let i = inst "R(1,2). R(5,6). S(2,3). S(2,4)" in
+  let j = Algebra.eval i (Algebra.Join (base_r, base_s)) in
+  Alcotest.(check int) "join size" 2 (Relation.cardinal j)
+
+let test_signature () =
+  Alcotest.(check (list string)) "join signature" [ "a"; "b"; "c" ]
+    (Algebra.signature (Algebra.Join (base_r, base_s)));
+  Alcotest.(check (list string)) "project signature" [ "c" ]
+    (Algebra.signature (Algebra.Project ([ "c" ], Algebra.Join (base_r, base_s))))
+
+let test_semijoin_fragment () =
+  Alcotest.(check bool) "semijoin algebra" true
+    (Algebra.in_semijoin_algebra
+       (Algebra.Antijoin (Algebra.Semijoin (base_r, base_s), base_s)));
+  Alcotest.(check bool) "join escapes fragment" false
+    (Algebra.in_semijoin_algebra (Algebra.Join (base_r, base_s)))
+
+(* Semi-join algebra identities (classical): R ⋉ S = π_R(R ⋈ S) and
+   R ▷ S = R − (R ⋉ S). *)
+let test_semijoin_identities () =
+  let i = inst "R(1,2). R(5,6). R(7,2). S(2,3). S(9,9)" in
+  let semi = Algebra.eval i (Algebra.Semijoin (base_r, base_s)) in
+  let via_join =
+    Algebra.eval i (Algebra.Project ([ "a"; "b" ], Algebra.Join (base_r, base_s)))
+  in
+  Alcotest.check relation "semijoin = project join" via_join semi;
+  let anti = Algebra.eval i (Algebra.Antijoin (base_r, base_s)) in
+  let via_diff =
+    Algebra.eval i (Algebra.Diff (base_r, Algebra.Semijoin (base_r, base_s)))
+  in
+  Alcotest.check relation "antijoin = diff semijoin" via_diff anti
+
+(* ------------------------------------------------------------------ *)
+(* MapReduce translation                                               *)
+
+let exprs_under_test =
+  [
+    ("base", base_r);
+    ("select", Algebra.Select (Relation.Eq (Relation.Col "a", Relation.Col "b"), base_r));
+    ("project", Algebra.Project ([ "b" ], base_r));
+    ("rename-join",
+     Algebra.Join (base_r, Algebra.Rename ([ ("a", "b"); ("b", "c") ], base_r)));
+    ("join", Algebra.Join (base_r, base_s));
+    ("semijoin", Algebra.Semijoin (base_r, base_s));
+    ("antijoin", Algebra.Antijoin (base_r, base_s));
+    ("union",
+     Algebra.Union (base_r, Algebra.Rename ([ ("b", "a"); ("c", "b") ], base_s)));
+    ("diff",
+     Algebra.Diff (base_r, Algebra.Rename ([ ("b", "a"); ("c", "b") ], base_s)));
+    ("product",
+     Algebra.Product (Algebra.Project ([ "a" ], base_r), Algebra.Project ([ "c" ], base_s)));
+    ("nested",
+     Algebra.Project
+       ( [ "a" ],
+         Algebra.Antijoin
+           ( Algebra.Join (base_r, base_s),
+             Algebra.Select
+               (Relation.Eq (Relation.Col "c", Relation.Const (Value.int 3)), base_s) ) ));
+  ]
+
+let mk_instance seed =
+  let rng = Random.State.make [| seed |] in
+  Instance.union
+    (Generate.random_relation ~rng ~rel:"R" ~arity:2 ~size:25 ~domain:6 ())
+    (Generate.random_relation ~rng ~rel:"S" ~arity:2 ~size:25 ~domain:6 ())
+
+let test_mr_matches_direct () =
+  let i = mk_instance 42 in
+  List.iter
+    (fun (name, e) ->
+      let direct = Algebra.eval i e in
+      let via_mr = To_mapreduce.run i e in
+      Alcotest.check relation (name ^ " sequential MR") direct via_mr;
+      let via_mpc = To_mapreduce.run ~p:4 i e in
+      Alcotest.check relation (name ^ " MPC MR") direct via_mpc)
+    exprs_under_test
+
+let test_job_counts () =
+  (* One job per operator node (leaves included). *)
+  Alcotest.(check int) "base" 1 (To_mapreduce.job_count base_r);
+  Alcotest.(check int) "join" 3
+    (To_mapreduce.job_count (Algebra.Join (base_r, base_s)));
+  (* Project + Antijoin + Join + three leaf copies. *)
+  Alcotest.(check int) "nested" 6
+    (To_mapreduce.job_count
+       (Algebra.Project
+          ([ "a" ], Algebra.Antijoin (Algebra.Join (base_r, base_s), base_s))))
+
+let test_self_join_distinct_roles () =
+  (* E ⋈ (E renamed): the two leaf copies must not be conflated. *)
+  let e1 = Algebra.Base ("E", [ "x"; "y" ]) in
+  let e2 = Algebra.Rename ([ ("x", "y"); ("y", "z") ], Algebra.Base ("E", [ "x"; "y" ])) in
+  let expr = Algebra.Join (e1, e2) in
+  let i = inst "E(1,2). E(2,3). E(3,4)" in
+  Alcotest.check relation "two-hop paths" (Algebra.eval i expr)
+    (To_mapreduce.run i expr)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let instance_arb =
+  QCheck.make
+    ~print:(Fmt.str "%a" Instance.pp)
+    QCheck.Gen.(map mk_instance (int_range 0 100_000))
+
+let expr_arb =
+  QCheck.make
+    ~print:(fun (n, _) -> n)
+    QCheck.Gen.(oneofl exprs_under_test)
+
+let prop_mr_equals_direct =
+  QCheck.Test.make ~name:"MapReduce translation = direct evaluation" ~count:60
+    (QCheck.pair instance_arb expr_arb)
+    (fun (i, (_, e)) -> Relation.equal (Algebra.eval i e) (To_mapreduce.run i e))
+
+let prop_mpc_equals_direct =
+  QCheck.Test.make ~name:"MR-on-MPC = direct evaluation" ~count:30
+    (QCheck.triple instance_arb expr_arb (QCheck.make QCheck.Gen.(int_range 1 8)))
+    (fun (i, (_, e), p) ->
+      Relation.equal (Algebra.eval i e) (To_mapreduce.run ~p i e))
+
+let prop_select_distributes_union =
+  QCheck.Test.make ~name:"σ(R ∪ R') = σR ∪ σR'" ~count:60 instance_arb
+    (fun i ->
+      let r' = Algebra.Rename ([ ("b", "a"); ("c", "b") ], base_s) in
+      let p = Relation.Eq (Relation.Col "a", Relation.Col "b") in
+      Relation.equal
+        (Algebra.eval i (Algebra.Select (p, Algebra.Union (base_r, r'))))
+        (Algebra.eval i
+           (Algebra.Union (Algebra.Select (p, base_r), Algebra.Select (p, r')))))
+
+let prop_join_commutes =
+  QCheck.Test.make ~name:"R ⋈ S = S ⋈ R (up to column order)" ~count:60
+    instance_arb
+    (fun i ->
+      Relation.equal
+        (Algebra.eval i (Algebra.Join (base_r, base_s)))
+        (Algebra.eval i (Algebra.Join (base_s, base_r))))
+
+let () =
+  Alcotest.run "lamp_ra"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "boolean predicates" `Quick test_select_boolean_preds;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "union order" `Quick test_union_column_order;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "semi/anti join" `Quick test_semijoin_antijoin;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "instance roundtrip" `Quick test_instance_roundtrip;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "join expr" `Quick test_eval_join_expr;
+          Alcotest.test_case "signature" `Quick test_signature;
+          Alcotest.test_case "semijoin fragment" `Quick test_semijoin_fragment;
+          Alcotest.test_case "semijoin identities" `Quick test_semijoin_identities;
+        ] );
+      ( "mapreduce",
+        [
+          Alcotest.test_case "matches direct" `Quick test_mr_matches_direct;
+          Alcotest.test_case "job counts" `Quick test_job_counts;
+          Alcotest.test_case "self join" `Quick test_self_join_distinct_roles;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mr_equals_direct;
+            prop_mpc_equals_direct;
+            prop_select_distributes_union;
+            prop_join_commutes;
+          ] );
+    ]

@@ -1,0 +1,312 @@
+open Lamp_relational
+
+let value = Alcotest.testable Value.pp Value.equal
+let instance = Alcotest.testable Instance.pp Instance.equal
+let fact = Alcotest.testable Fact.pp Fact.equal
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+
+let test_value_order () =
+  Alcotest.(check bool) "Int < Str" true (Value.compare (Value.int 5) (Value.str "a") < 0);
+  Alcotest.(check bool) "Int order" true (Value.compare (Value.int 1) (Value.int 2) < 0);
+  Alcotest.(check bool) "Str order" true (Value.compare (Value.str "a") (Value.str "b") < 0);
+  Alcotest.(check int) "refl" 0 (Value.compare (Value.str "x") (Value.str "x"))
+
+let test_value_of_string () =
+  Alcotest.check value "int literal" (Value.int 42) (Value.of_string "42");
+  Alcotest.check value "negative int" (Value.int (-7)) (Value.of_string "-7");
+  Alcotest.check value "symbol" (Value.str "abc") (Value.of_string "abc")
+
+let test_value_roundtrip () =
+  let vs = [ Value.int 0; Value.int (-3); Value.str "hello" ] in
+  List.iter
+    (fun v -> Alcotest.check value "roundtrip" v (Value.of_string (Value.to_string v)))
+    vs
+
+(* ------------------------------------------------------------------ *)
+(* Tuple                                                               *)
+
+let test_tuple_compare () =
+  let t1 = Tuple.of_ints [ 1; 2 ] and t2 = Tuple.of_ints [ 1; 3 ] in
+  Alcotest.(check bool) "lex" true (Tuple.compare t1 t2 < 0);
+  Alcotest.(check bool) "length first" true
+    (Tuple.compare (Tuple.of_ints [ 9 ]) (Tuple.of_ints [ 1; 1 ]) < 0);
+  Alcotest.(check int) "equal" 0 (Tuple.compare t1 (Tuple.of_ints [ 1; 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Fact                                                                *)
+
+let test_fact_parse () =
+  let f = Fact.of_string "R(a, 1, b)" in
+  Alcotest.(check string) "rel" "R" (Fact.rel f);
+  Alcotest.(check int) "arity" 3 (Fact.arity f);
+  Alcotest.check fact "value" (Fact.of_list "R" [ Value.str "a"; Value.int 1; Value.str "b" ]) f
+
+let test_fact_parse_nullary () =
+  let f = Fact.of_string "H()" in
+  Alcotest.(check int) "arity 0" 0 (Fact.arity f)
+
+let test_fact_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises ("malformed " ^ s) (Invalid_argument "")
+        (fun () ->
+          try ignore (Fact.of_string s)
+          with Invalid_argument _ -> raise (Invalid_argument "")))
+    [ "R(a"; "Rab"; "(a,b)" ]
+
+let test_fact_adom () =
+  let f = Fact.of_string "R(a,b,a)" in
+  Alcotest.(check int) "two distinct values" 2 (Value.Set.cardinal (Fact.adom f))
+
+let test_fact_roundtrip () =
+  let f = Fact.of_ints "Edge" [ 3; 4 ] in
+  Alcotest.check fact "roundtrip" f (Fact.of_string (Fact.to_string f))
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+let test_schema_basic () =
+  let s = Schema.of_list [ ("R", 2); ("S", 3) ] in
+  Alcotest.(check (option int)) "R arity" (Some 2) (Schema.arity s "R");
+  Alcotest.(check (option int)) "missing" None (Schema.arity s "T");
+  Alcotest.(check bool) "conforms" true (Schema.conforms s (Fact.of_ints "R" [ 1; 2 ]));
+  Alcotest.(check bool) "wrong arity" false (Schema.conforms s (Fact.of_ints "R" [ 1 ]))
+
+let test_schema_conflict () =
+  Alcotest.check_raises "arity conflict" (Invalid_argument "")
+    (fun () ->
+      try ignore (Schema.of_list [ ("R", 2); ("R", 3) ])
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+
+let inst_e = Instance.of_string "R(a,b). R(b,a). R(b,c). S(a,a). S(c,a)"
+
+let test_instance_parse () =
+  Alcotest.(check int) "5 facts" 5 (Instance.cardinal inst_e);
+  Alcotest.(check (list string)) "relations" [ "R"; "S" ] (Instance.relations inst_e);
+  Alcotest.(check bool) "mem" true (Instance.mem (Fact.of_string "S(c,a)") inst_e)
+
+let test_instance_dedup () =
+  let i = Instance.of_string "R(1,2). R(1,2). R(1,2)" in
+  Alcotest.(check int) "set semantics" 1 (Instance.cardinal i)
+
+let test_instance_set_ops () =
+  let i1 = Instance.of_string "R(1,2). R(2,3)"
+  and i2 = Instance.of_string "R(2,3). R(3,4)" in
+  Alcotest.(check int) "union" 3 (Instance.cardinal (Instance.union i1 i2));
+  Alcotest.(check int) "inter" 1 (Instance.cardinal (Instance.inter i1 i2));
+  Alcotest.(check int) "diff" 1 (Instance.cardinal (Instance.diff i1 i2));
+  Alcotest.(check bool) "subset" true (Instance.subset (Instance.inter i1 i2) i1)
+
+let test_instance_remove () =
+  let f = Fact.of_string "R(a,b)" in
+  let i = Instance.remove f inst_e in
+  Alcotest.(check int) "one less" 4 (Instance.cardinal i);
+  Alcotest.(check bool) "gone" false (Instance.mem f i);
+  Alcotest.check instance "remove absent is id" inst_e
+    (Instance.remove (Fact.of_string "T(1)") inst_e)
+
+let test_instance_adom () =
+  let expected = Value.set_of_list [ Value.str "a"; Value.str "b"; Value.str "c" ] in
+  Alcotest.(check bool) "adom" true (Value.Set.equal expected (Instance.adom inst_e))
+
+let test_instance_restrict () =
+  let c = Value.set_of_list [ Value.str "a"; Value.str "b" ] in
+  let r = Instance.restrict c inst_e in
+  Alcotest.check instance "restrict" (Instance.of_string "R(a,b). R(b,a). S(a,a)") r
+
+let test_instance_schema () =
+  let s = Instance.schema inst_e in
+  Alcotest.(check (option int)) "R/2" (Some 2) (Schema.arity s "R")
+
+(* ------------------------------------------------------------------ *)
+(* Adom: distinctness, disjointness, components                        *)
+
+let test_domain_distinct () =
+  let i = Instance.of_string "E(a,b)" in
+  Alcotest.(check bool) "distinct" true
+    (Adom.fact_domain_distinct_from (Fact.of_string "E(b,c)") i);
+  Alcotest.(check bool) "not distinct" false
+    (Adom.fact_domain_distinct_from (Fact.of_string "E(b,a)") i)
+
+let test_domain_disjoint () =
+  let i = Instance.of_string "E(a,b)" in
+  Alcotest.(check bool) "disjoint" true
+    (Adom.fact_domain_disjoint_from (Fact.of_string "E(c,d)") i);
+  Alcotest.(check bool) "shares b" false
+    (Adom.fact_domain_disjoint_from (Fact.of_string "E(b,c)") i);
+  Alcotest.(check bool) "instance disjoint" true
+    (Adom.domain_disjoint_from (Instance.of_string "E(c,d). E(d,c)") i)
+
+let test_components () =
+  let i = Instance.of_string "E(a,b). E(b,c). E(x,y). F(z,z)" in
+  let comps = Adom.components i in
+  Alcotest.(check int) "three components" 3 (List.length comps);
+  List.iter
+    (fun c -> Alcotest.(check bool) "component of i" true (Adom.is_component c i))
+    comps;
+  let union = List.fold_left Instance.union Instance.empty comps in
+  Alcotest.check instance "partition" i union
+
+let test_components_single () =
+  let i = Instance.of_string "E(a,b). E(b,c). E(c,a)" in
+  Alcotest.(check int) "connected" 1 (List.length (Adom.components i))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let test_matching_skew_free () =
+  let i = Generate.matching ~size:100 ~offset:0 () in
+  Alcotest.(check int) "size" 100 (Instance.cardinal i);
+  (* Every domain value occurs exactly once. *)
+  let counts = Hashtbl.create 64 in
+  Instance.iter
+    (fun f ->
+      Array.iter
+        (fun v ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt counts v) in
+          Hashtbl.replace counts v (c + 1))
+        (Fact.args f))
+    i;
+  Hashtbl.iter (fun _ c -> Alcotest.(check int) "occurs once" 1 c) counts
+
+let test_skewed_star () =
+  let i = Generate.skewed_star ~hub:0 ~size:50 ~offset:1 () in
+  Alcotest.(check int) "size" 50 (Instance.cardinal i);
+  Instance.iter
+    (fun f -> Alcotest.check value "hub first" (Value.int 0) (Fact.args f).(0))
+    i
+
+let test_zipf_sampler_heavy () =
+  let rng = Random.State.make [| 7 |] in
+  let sample = Generate.zipf_sampler ~rng ~n:1000 ~s:1.2 in
+  let n = 10_000 in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    if sample () = 1 then incr ones
+  done;
+  (* Rank 1 of Zipf(1.2) over 1000 values carries >10% of the mass. *)
+  Alcotest.(check bool) "rank 1 is heavy" true (!ones > n / 10)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let fact_gen =
+  let open QCheck.Gen in
+  let value_gen =
+    oneof [ map Value.int (int_range 0 5); map Value.str (oneofl [ "a"; "b"; "c" ]) ]
+  in
+  let* rel = oneofl [ "R"; "S"; "T" ] in
+  let* args = list_size (int_range 1 3) value_gen in
+  return (Fact.of_list rel args)
+
+let instance_gen =
+  QCheck.Gen.(map Instance.of_facts (list_size (int_range 0 12) fact_gen))
+
+let instance_arb = QCheck.make ~print:(Fmt.str "%a" Instance.pp) instance_gen
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"instance union commutes" ~count:200
+    (QCheck.pair instance_arb instance_arb)
+    (fun (i1, i2) -> Instance.equal (Instance.union i1 i2) (Instance.union i2 i1))
+
+let prop_diff_union =
+  QCheck.Test.make ~name:"(i1 - i2) ∪ (i1 ∩ i2) = i1" ~count:200
+    (QCheck.pair instance_arb instance_arb)
+    (fun (i1, i2) ->
+      Instance.equal
+        (Instance.union (Instance.diff i1 i2) (Instance.inter i1 i2))
+        i1)
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the instance" ~count:200
+    instance_arb
+    (fun i ->
+      let comps = Adom.components i in
+      let union = List.fold_left Instance.union Instance.empty comps in
+      Instance.equal union i
+      && List.for_all
+           (fun c ->
+             Adom.domain_disjoint_from c (Instance.diff i c)
+             && not (Instance.is_empty c))
+           comps)
+
+let prop_restrict_subset =
+  QCheck.Test.make ~name:"restrict yields a subinstance" ~count:200
+    instance_arb
+    (fun i ->
+      let c =
+        Value.Set.filter
+          (fun v -> Value.hash v mod 2 = 0)
+          (Instance.adom i)
+      in
+      Instance.subset (Instance.restrict c i) i)
+
+let prop_parse_roundtrip =
+  QCheck.Test.make ~name:"instance pp/parse roundtrip" ~count:200 instance_arb
+    (fun i ->
+      let s =
+        String.concat ". " (List.map Fact.to_string (Instance.facts i))
+      in
+      Instance.equal i (Instance.of_string s))
+
+let () =
+  Alcotest.run "lamp_relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "order" `Quick test_value_order;
+          Alcotest.test_case "of_string" `Quick test_value_of_string;
+          Alcotest.test_case "roundtrip" `Quick test_value_roundtrip;
+        ] );
+      ("tuple", [ Alcotest.test_case "compare" `Quick test_tuple_compare ]);
+      ( "fact",
+        [
+          Alcotest.test_case "parse" `Quick test_fact_parse;
+          Alcotest.test_case "parse nullary" `Quick test_fact_parse_nullary;
+          Alcotest.test_case "parse errors" `Quick test_fact_parse_errors;
+          Alcotest.test_case "adom" `Quick test_fact_adom;
+          Alcotest.test_case "roundtrip" `Quick test_fact_roundtrip;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basic" `Quick test_schema_basic;
+          Alcotest.test_case "conflict" `Quick test_schema_conflict;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "parse" `Quick test_instance_parse;
+          Alcotest.test_case "dedup" `Quick test_instance_dedup;
+          Alcotest.test_case "set ops" `Quick test_instance_set_ops;
+          Alcotest.test_case "remove" `Quick test_instance_remove;
+          Alcotest.test_case "adom" `Quick test_instance_adom;
+          Alcotest.test_case "restrict" `Quick test_instance_restrict;
+          Alcotest.test_case "schema" `Quick test_instance_schema;
+        ] );
+      ( "adom",
+        [
+          Alcotest.test_case "domain distinct" `Quick test_domain_distinct;
+          Alcotest.test_case "domain disjoint" `Quick test_domain_disjoint;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "connected graph" `Quick test_components_single;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "matching is skew free" `Quick test_matching_skew_free;
+          Alcotest.test_case "skewed star" `Quick test_skewed_star;
+          Alcotest.test_case "zipf heavy hitter" `Quick test_zipf_sampler_heavy;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_union_commutative;
+            prop_diff_union;
+            prop_components_partition;
+            prop_restrict_subset;
+            prop_parse_roundtrip;
+          ] );
+    ]

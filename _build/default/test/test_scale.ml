@@ -1,0 +1,163 @@
+open Lamp_relational
+open Lamp_cq
+
+let instance = Alcotest.testable Instance.pp Instance.equal
+let inst = Instance.of_string
+let parse = Parser.query
+
+(* Follows(x,y): each user follows at most 3 others (access on input
+   position 0). Profile(x,p): key access on position 0. *)
+let follows_access = Scale.access ~rel:"Follows" ~inputs:[ 0 ] ~bound:3
+let profile_access = Scale.access ~rel:"Profile" ~inputs:[ 0 ] ~bound:1
+let accesses = [ follows_access; profile_access ]
+
+let test_satisfies () =
+  let ok = inst "Follows(1,2). Follows(1,3). Follows(2,1)" in
+  Alcotest.(check bool) "conforming" true (Scale.satisfies ok follows_access);
+  let bad = inst "Follows(1,2). Follows(1,3). Follows(1,4). Follows(1,5)" in
+  Alcotest.(check bool) "violating" false (Scale.satisfies bad follows_access);
+  Alcotest.(check int) "violations listed" 1
+    (List.length (Scale.violations bad accesses))
+
+let test_plan_exists_with_constant () =
+  (* Friends-of-friends of a fixed user: every atom reachable through
+     the bounded accesses. *)
+  let q = parse "H(z,p) <- Follows(1,y), Follows(y,z), Profile(z,p)" in
+  (match Scale.plan ~accesses q with
+  | Some p ->
+    Alcotest.(check int) "three steps" 3 (List.length p.Scale.order);
+    (* Cap: 3 + 3·3 + 9·1 = 21 facts, whatever the instance size. *)
+    Alcotest.(check int) "fetch cap" 21 (Scale.fetch_cap p)
+  | None -> Alcotest.fail "expected a plan")
+
+let test_plan_missing_seed () =
+  (* Without a constant seed, no access has its inputs bound. *)
+  let q = parse "H(x,z) <- Follows(x,y), Follows(y,z)" in
+  Alcotest.(check bool) "not boundedly evaluable" false
+    (Scale.is_boundedly_evaluable ~accesses q)
+
+let test_plan_wrong_direction () =
+  (* Only forward accesses exist: a query needing reverse lookup on
+     Follows' second column is not covered. *)
+  let q = parse "H(x) <- Follows(x, 1)" in
+  Alcotest.(check bool) "reverse lookup not covered" false
+    (Scale.is_boundedly_evaluable ~accesses q);
+  (* Adding a reverse access makes it covered. *)
+  let with_reverse =
+    Scale.access ~rel:"Follows" ~inputs:[ 1 ] ~bound:5 :: accesses
+  in
+  Alcotest.(check bool) "covered with reverse access" true
+    (Scale.is_boundedly_evaluable ~accesses:with_reverse q)
+
+let social_instance ~users =
+  (* Everyone follows their 2 successors; one profile per user. *)
+  let follows =
+    List.concat_map
+      (fun u ->
+        [
+          Fact.of_ints "Follows" [ u; (u + 1) mod users ];
+          Fact.of_ints "Follows" [ u; (u + 2) mod users ];
+        ])
+      (List.init users (fun u -> u))
+  in
+  let profiles =
+    List.map (fun u -> Fact.of_ints "Profile" [ u; u + 1000 ]) (List.init users (fun u -> u))
+  in
+  Instance.of_facts (follows @ profiles)
+
+let test_eval_matches_full_evaluation () =
+  let q = parse "H(z,p) <- Follows(1,y), Follows(y,z), Profile(z,p)" in
+  let i = social_instance ~users:50 in
+  match Scale.plan ~accesses q with
+  | None -> Alcotest.fail "plan expected"
+  | Some p ->
+    let result, fetched = Scale.eval p i in
+    Alcotest.check instance "same answer" (Eval.eval q i) result;
+    Alcotest.(check bool) "fetched within cap" true
+      (fetched <= Scale.fetch_cap p)
+
+let test_scale_independence () =
+  (* The fetched-fact count does not grow with the instance. *)
+  let q = parse "H(z,p) <- Follows(1,y), Follows(y,z), Profile(z,p)" in
+  match Scale.plan ~accesses q with
+  | None -> Alcotest.fail "plan expected"
+  | Some p ->
+    let _, fetched_small = Scale.eval p (social_instance ~users:20) in
+    let _, fetched_large = Scale.eval p (social_instance ~users:2000) in
+    Alcotest.(check int) "identical access cost" fetched_small fetched_large;
+    Alcotest.(check bool) "touches a tiny fraction" true
+      (fetched_large * 20 < Instance.cardinal (social_instance ~users:2000))
+
+let test_enforcement () =
+  let q = parse "H(y) <- Follows(1,y)" in
+  let violating =
+    Instance.of_facts
+      (List.init 10 (fun k -> Fact.of_ints "Follows" [ 1; k + 2 ]))
+  in
+  match Scale.plan ~accesses q with
+  | None -> Alcotest.fail "plan expected"
+  | Some p ->
+    Alcotest.check_raises "schema violation" (Invalid_argument "")
+      (fun () ->
+        try ignore (Scale.eval p violating)
+        with Scale.Schema_violation _ -> raise (Invalid_argument ""));
+    let result, _ = Scale.eval ~enforce:false p violating in
+    Alcotest.check instance "unenforced still correct" (Eval.eval q violating) result
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let social_arb =
+  QCheck.make
+    ~print:(Fmt.str "%a" Instance.pp)
+    QCheck.Gen.(
+      let* users = int_range 3 40 in
+      return (social_instance ~users))
+
+let bounded_queries =
+  [
+    parse "H(y) <- Follows(1,y)";
+    parse "H(z) <- Follows(0,y), Follows(y,z)";
+    parse "H(z,p) <- Follows(1,y), Follows(y,z), Profile(z,p)";
+    parse "H(p) <- Profile(2,p)";
+  ]
+
+let prop_bounded_eval_correct =
+  QCheck.Test.make ~name:"bounded plans compute Q(I)" ~count:60
+    (QCheck.pair social_arb (QCheck.make (QCheck.Gen.oneofl bounded_queries)))
+    (fun (i, q) ->
+      match Scale.plan ~accesses q with
+      | None -> false
+      | Some p ->
+        let result, fetched = Scale.eval p i in
+        Instance.equal result (Eval.eval q i) && fetched <= Scale.fetch_cap p)
+
+let prop_conforming_generator =
+  QCheck.Test.make ~name:"social workload respects the access schema"
+    ~count:60 social_arb
+    (fun i -> Scale.violations i accesses = [])
+
+let () =
+  Alcotest.run "lamp_scale"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+          Alcotest.test_case "enforcement" `Quick test_enforcement;
+        ] );
+      ( "planning",
+        [
+          Alcotest.test_case "constant seed" `Quick test_plan_exists_with_constant;
+          Alcotest.test_case "missing seed" `Quick test_plan_missing_seed;
+          Alcotest.test_case "access direction" `Quick test_plan_wrong_direction;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "matches full evaluation" `Quick
+            test_eval_matches_full_evaluation;
+          Alcotest.test_case "scale independence" `Quick test_scale_independence;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_bounded_eval_correct; prop_conforming_generator ] );
+    ]

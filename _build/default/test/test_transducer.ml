@@ -1,0 +1,485 @@
+open Lamp_relational
+open Lamp_cq
+open Lamp_distribution
+open Lamp_transducer
+
+let inst = Instance.of_string
+
+let check_ok what = function
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "%s: %s" what (Fmt.str "%a" Calm.pp_failure f)
+
+let check_error what = function
+  | Ok () -> Alcotest.failf "%s: expected a failure" what
+  | Error _ -> ()
+
+let triangles_eval = Eval.eval Examples.triangles_distinct
+let open_triangle_eval = Eval.eval Examples.open_triangle
+
+let graph =
+  inst "E(1,2). E(2,3). E(3,1). E(3,4). E(4,5). E(5,3). E(1,4)"
+
+let distributions p i =
+  [
+    Horizontal.round_robin ~p i;
+    Horizontal.full_replication ~p i;
+    Horizontal.random_split ~rng:(Random.State.make [| 3 |]) ~p i;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Network mechanics                                                   *)
+
+let test_network_basics () =
+  let program = Programs.monotone_broadcast ~name:"tri" ~eval:triangles_eval in
+  let net = Network.create program (Horizontal.round_robin ~p:3 graph) in
+  Alcotest.(check int) "3 nodes" 3 (Network.size net);
+  Alcotest.(check int) "no messages yet" 0 (Network.messages_in_flight net);
+  (* First heartbeat triggers the broadcast to the other two nodes. *)
+  Network.heartbeat net 0;
+  let sent = Instance.cardinal (Network.node net 0).Network.local in
+  Alcotest.(check int) "local facts broadcast twice" (2 * sent)
+    (Network.messages_in_flight net)
+
+let test_oblivious_rejects_all_dependent () =
+  let program = Programs.coordinated ~name:"coord" ~eval:triangles_eval in
+  Alcotest.check_raises "needs All" (Invalid_argument "")
+    (fun () ->
+      try
+        ignore
+          (Network.create ~oblivious:true program
+             (Horizontal.round_robin ~p:2 graph))
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_silent_run_reads_nothing () =
+  let program = Programs.monotone_broadcast ~name:"tri" ~eval:triangles_eval in
+  let net = Network.create program (Horizontal.full_replication ~p:3 graph) in
+  ignore (Scheduler.run_silent net);
+  Alcotest.(check int) "no deliveries" 0 (Network.deliveries net)
+
+let test_by_policy_coverage () =
+  let policy =
+    Policy.make ~name:"r-only" ~nodes:[ 0; 1 ] (fun _ f -> Fact.rel f = "R")
+  in
+  Alcotest.check_raises "uncovered facts" (Invalid_argument "")
+    (fun () ->
+      try ignore (Horizontal.by_policy policy (inst "R(1,2). S(3,4)"))
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.3: monotone queries, broadcast strategy                   *)
+
+let test_monotone_broadcast_consistent () =
+  let program = Programs.monotone_broadcast ~name:"tri" ~eval:triangles_eval in
+  check_ok "triangles eventually consistent"
+    (Calm.consistent
+       ~make:(fun dist -> Network.create program dist)
+       ~expected:(triangles_eval graph)
+       (distributions 3 graph))
+
+let test_monotone_broadcast_coordination_free () =
+  let program = Programs.monotone_broadcast ~name:"tri" ~eval:triangles_eval in
+  check_ok "coordination-free on full replication"
+    (Calm.coordination_free
+       ~make:(fun dist -> Network.create program dist)
+       ~expected:(triangles_eval graph)
+       (Horizontal.full_replication ~p:3 graph))
+
+let test_monotone_broadcast_wrong_for_nonmonotone () =
+  (* Example 5.1(2): the naive strategy is unsound for open triangles —
+     a node outputs an open triangle that the full database closes. *)
+  let program =
+    Programs.monotone_broadcast ~name:"open" ~eval:open_triangle_eval
+  in
+  check_error "open triangles break the naive strategy"
+    (Calm.consistent
+       ~make:(fun dist -> Network.create program dist)
+       ~expected:(open_triangle_eval graph)
+       [ Horizontal.round_robin ~p:3 graph ])
+
+(* ------------------------------------------------------------------ *)
+(* Example 5.1(2): coordination computes everything                    *)
+
+let test_coordinated_computes_open_triangles () =
+  let program = Programs.coordinated ~name:"open" ~eval:open_triangle_eval in
+  check_ok "coordination handles non-monotone queries"
+    (Calm.consistent
+       ~make:(fun dist -> Network.create program dist)
+       ~expected:(open_triangle_eval graph)
+       (distributions 3 graph))
+
+let test_coordinated_not_coordination_free () =
+  let program = Programs.coordinated ~name:"open" ~eval:open_triangle_eval in
+  check_error "silent run cannot know completion"
+    (Calm.coordination_free
+       ~make:(fun dist -> Network.create program dist)
+       ~expected:(open_triangle_eval graph)
+       (Horizontal.full_replication ~p:3 graph))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.8: policy-aware networks and Mdistinct                    *)
+
+let e_schema = Schema.of_list [ ("E", 2) ]
+
+let covering_policy p universe =
+  (* Every fact the responsibility of exactly one node, via hashing. *)
+  Policy.make ~universe ~name:"hash-facts" ~nodes:(Node.range p) (fun n f ->
+      Fact.hash f mod p = n)
+
+let test_policy_aware_open_triangles () =
+  (* Example 5.4: the per-query program is complete under any covering
+     policy. *)
+  let program = Programs.open_triangle_policy_aware ~name:"open" in
+  let policy = covering_policy 3 (Instance.adom graph) in
+  check_ok "Example 5.4: open triangles, policy-aware"
+    (Calm.consistent
+       ~make:(fun dist -> Network.create ~policy program dist)
+       ~expected:(open_triangle_eval graph)
+       [ Horizontal.by_policy policy graph; Horizontal.full_replication ~p:3 graph ])
+
+let test_generic_distinct_strategy () =
+  (* The generic distinct-complete strategy completes when one node is
+     responsible for every fact (value neighbourhoods co-located). *)
+  let program =
+    Programs.policy_aware_distinct ~name:"open" ~schema:e_schema
+      ~eval:open_triangle_eval
+  in
+  let policy =
+    Policy.make ~universe:(Instance.adom graph) ~name:"owner0" ~nodes:[ 0; 1; 2 ]
+      (fun n _ -> n = 0)
+  in
+  check_ok "single-owner policy"
+    (Calm.consistent
+       ~make:(fun dist -> Network.create ~policy program dist)
+       ~expected:(open_triangle_eval graph)
+       [ Horizontal.by_policy policy graph ])
+
+let test_policy_aware_coordination_free () =
+  (* Ideal distribution: everyone holds everything and the broadcast-all
+     policy makes everyone responsible for everything. Both the
+     per-query program and the generic strategy are coordination-free. *)
+  let ideal_policy =
+    Policy.broadcast_all ~universe:(Instance.adom graph) ~name:"bc" ~p:3 ()
+  in
+  List.iter
+    (fun program ->
+      check_ok "F1 witness"
+        (Calm.coordination_free
+           ~make:(fun dist -> Network.create ~policy:ideal_policy program dist)
+           ~expected:(open_triangle_eval graph)
+           (Horizontal.full_replication ~p:3 graph)))
+    [
+      Programs.open_triangle_policy_aware ~name:"open";
+      Programs.policy_aware_distinct ~name:"open-generic" ~schema:e_schema
+        ~eval:open_triangle_eval;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.12: domain-guided networks and Mdisjoint                  *)
+
+let comp_tc_eval i =
+  Lamp_datalog.Eval.query Lamp_datalog.Canned.complement_tc ~output:"OUT" i
+
+let two_components = inst "E(a,b). E(b,c). E(x,y). E(y,x)"
+
+let assignment_hash p v = Node.Set.singleton (Value.hash v mod p)
+
+let test_domain_guided_comp_tc () =
+  let program = Programs.domain_guided_disjoint ~name:"¬TC" ~eval:comp_tc_eval in
+  let p = 3 in
+  let assignment = assignment_hash p in
+  let policy =
+    Policy.domain_guided ~universe:(Instance.adom two_components)
+      ~name:"dg" ~nodes:(Node.range p) assignment
+  in
+  check_ok "¬TC on domain-guided network"
+    (Calm.consistent
+       ~make:(fun dist -> Network.create ~assignment program dist)
+       ~expected:(comp_tc_eval two_components)
+       [
+         Horizontal.by_policy policy two_components;
+         Horizontal.full_replication ~p two_components;
+       ])
+
+let test_domain_guided_coordination_free () =
+  let program = Programs.domain_guided_disjoint ~name:"¬TC" ~eval:comp_tc_eval in
+  let all_nodes = Node.Set.of_list [ 0; 1; 2 ] in
+  check_ok "F2 witness"
+    (Calm.coordination_free
+       ~make:(fun dist ->
+         Network.create ~assignment:(fun _ -> all_nodes) program dist)
+       ~expected:(comp_tc_eval two_components)
+       (Horizontal.full_replication ~p:3 two_components))
+
+let test_win_move_domain_guided () =
+  (* Win–move distributes over components (Section 5.3 / [59, 17]): the
+     true facts of its well-founded model are computed coordination-free
+     on domain-guided networks. *)
+  let eval i =
+    fst (Lamp_datalog.Wellfounded.query Lamp_datalog.Canned.win_move ~output:"Win" i)
+  in
+  let game = inst "Move(a,b). Move(b,a). Move(b,c). Move(x,y)" in
+  let program = Programs.domain_guided_disjoint ~name:"win-move" ~eval in
+  let p = 2 in
+  let assignment = assignment_hash p in
+  let policy =
+    Policy.domain_guided ~universe:(Instance.adom game) ~name:"dg"
+      ~nodes:(Node.range p) assignment
+  in
+  check_ok "win-move eventually consistent"
+    (Calm.consistent
+       ~make:(fun dist -> Network.create ~assignment program dist)
+       ~expected:(eval game)
+       [ Horizontal.by_policy policy game; Horizontal.full_replication ~p game ]);
+  let all_nodes = Node.Set.of_list [ 0; 1 ] in
+  check_ok "win-move coordination-free"
+    (Calm.coordination_free
+       ~make:(fun dist ->
+         Network.create ~assignment:(fun _ -> all_nodes) program dist)
+       ~expected:(eval game)
+       (Horizontal.full_replication ~p game))
+
+(* ------------------------------------------------------------------ *)
+(* Oblivious networks: the A-classes (Figure 2's Ai = Fi)              *)
+
+let test_oblivious_f0 () =
+  (* The F0/F1/F2 programs never read All, so they run unchanged on
+     oblivious networks — the content of A0 = F0 etc. *)
+  let program = Programs.monotone_broadcast ~name:"tri" ~eval:triangles_eval in
+  check_ok "A0: oblivious broadcast"
+    (Calm.consistent
+       ~make:(fun d -> Network.create ~oblivious:true program d)
+       ~expected:(triangles_eval graph)
+       (distributions 3 graph))
+
+let test_oblivious_f1 () =
+  let program = Programs.open_triangle_policy_aware ~name:"open" in
+  let policy = covering_policy 3 (Instance.adom graph) in
+  check_ok "A1: oblivious policy-aware"
+    (Calm.consistent
+       ~make:(fun d -> Network.create ~oblivious:true ~policy program d)
+       ~expected:(open_triangle_eval graph)
+       [ Horizontal.by_policy policy graph ])
+
+let test_oblivious_f2 () =
+  let program = Programs.domain_guided_disjoint ~name:"nTC" ~eval:comp_tc_eval in
+  let p = 3 in
+  let assignment = assignment_hash p in
+  let policy =
+    Policy.domain_guided ~universe:(Instance.adom two_components) ~name:"dg"
+      ~nodes:(Node.range p) assignment
+  in
+  check_ok "A2: oblivious domain-guided"
+    (Calm.consistent
+       ~make:(fun d -> Network.create ~oblivious:true ~assignment program d)
+       ~expected:(comp_tc_eval two_components)
+       [ Horizontal.by_policy policy two_components ])
+
+(* ------------------------------------------------------------------ *)
+(* Economical broadcasting ([37])                                      *)
+
+let triangle_rst = Examples.q2_triangle
+let triangle_rst_eval = Eval.eval triangle_rst
+
+let rst_instance =
+  (* One real triangle and many facts that join with nothing. *)
+  inst
+    "R(1,2). S(2,3). T(3,1). R(10,11). R(12,13). S(20,21). S(22,23). T(30,31). \
+     T(32,33). R(14,15). S(24,25). T(34,35)"
+
+let test_semijoin_broadcast_correct () =
+  let program =
+    Programs.semijoin_broadcast ~name:"econ" ~query:triangle_rst
+  in
+  check_ok "economical broadcast computes the triangle query"
+    (Calm.consistent
+       ~make:(fun d -> Network.create program d)
+       ~expected:(triangle_rst_eval rst_instance)
+       [
+         Horizontal.round_robin ~p:3 rst_instance;
+         Horizontal.random_split ~rng:(Random.State.make [| 4 |]) ~p:3 rst_instance;
+       ])
+
+let test_semijoin_broadcast_coordination_free () =
+  let program = Programs.semijoin_broadcast ~name:"econ" ~query:triangle_rst in
+  check_ok "economical broadcast is coordination-free"
+    (Calm.coordination_free
+       ~make:(fun d -> Network.create program d)
+       ~expected:(triangle_rst_eval rst_instance)
+       (Horizontal.full_replication ~p:3 rst_instance))
+
+let test_semijoin_broadcast_economical () =
+  let run program =
+    let net =
+      Network.create program (Horizontal.round_robin ~p:3 rst_instance)
+    in
+    ignore (Scheduler.drain ~schedule:Scheduler.Fifo net);
+    (Network.data_deliveries net, Network.output net)
+  in
+  let naive_deliveries, naive_out =
+    run (Programs.monotone_broadcast ~name:"naive" ~eval:triangle_rst_eval)
+  in
+  let econ_deliveries, econ_out =
+    run (Programs.semijoin_broadcast ~name:"econ" ~query:triangle_rst)
+  in
+  Alcotest.(check bool) "same output" true (Instance.equal naive_out econ_out);
+  (* Of the 12 facts only the 3 forming the triangle are ever shipped as
+     data; the projection control messages carry join keys only. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "economical %d < naive %d data messages" econ_deliveries
+       naive_deliveries)
+    true
+    (econ_deliveries * 2 <= naive_deliveries)
+
+let test_semijoin_broadcast_rejects () =
+  Alcotest.check_raises "self-join rejected" (Invalid_argument "")
+    (fun () ->
+      try
+        ignore
+          (Programs.semijoin_broadcast ~name:"x" ~query:Examples.full_triangle_e)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let graph_arb =
+  QCheck.make
+    ~print:(Fmt.str "%a" Instance.pp)
+    QCheck.Gen.(
+      let* seed = int_range 0 100_000 in
+      let rng = Random.State.make [| seed |] in
+      let* edges = int_range 0 10 in
+      return (Generate.random_graph ~rng ~nodes:5 ~edges ()))
+
+let prop_monotone_broadcast_schedule_independent =
+  QCheck.Test.make
+    ~name:"broadcast output independent of schedule and distribution"
+    ~count:25
+    (QCheck.pair graph_arb (QCheck.make QCheck.Gen.(int_range 1 4)))
+    (fun (g, p) ->
+      let program = Programs.monotone_broadcast ~name:"tri" ~eval:triangles_eval in
+      Result.is_ok
+        (Calm.consistent
+           ~make:(fun dist -> Network.create program dist)
+           ~expected:(triangles_eval g)
+           (distributions p g)))
+
+let prop_coordinated_any_query =
+  QCheck.Test.make ~name:"coordination computes open triangles everywhere"
+    ~count:20
+    (QCheck.pair graph_arb (QCheck.make QCheck.Gen.(int_range 1 3)))
+    (fun (g, p) ->
+      let program = Programs.coordinated ~name:"open" ~eval:open_triangle_eval in
+      Result.is_ok
+        (Calm.consistent
+           ~schedules:[ Scheduler.Random_fair 7; Scheduler.Lifo ]
+           ~make:(fun dist -> Network.create program dist)
+           ~expected:(open_triangle_eval g)
+           [ Horizontal.round_robin ~p g ]))
+
+let prop_domain_guided_comp_tc =
+  QCheck.Test.make ~name:"¬TC under random domain-guided distributions"
+    ~count:15 graph_arb
+    (fun g ->
+      let p = 2 in
+      let assignment = assignment_hash p in
+      let policy =
+        Policy.domain_guided ~universe:(Instance.adom g) ~name:"dg"
+          ~nodes:(Node.range p) assignment
+      in
+      let program = Programs.domain_guided_disjoint ~name:"¬TC" ~eval:comp_tc_eval in
+      Result.is_ok
+        (Calm.consistent
+           ~schedules:[ Scheduler.Random_fair 11; Scheduler.Fifo ]
+           ~make:(fun dist -> Network.create ~assignment program dist)
+           ~expected:(comp_tc_eval g)
+           [ Horizontal.by_policy policy g ]))
+
+let prop_semijoin_broadcast_correct =
+  QCheck.Test.make ~name:"economical broadcast = naive on random workloads"
+    ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         let* seed = int_range 0 100_000 in
+         let rng = Random.State.make [| seed |] in
+         return
+           (Instance.union
+              (Generate.random_relation ~rng ~rel:"R" ~arity:2 ~size:12 ~domain:6 ())
+              (Instance.union
+                 (Generate.random_relation ~rng ~rel:"S" ~arity:2 ~size:12
+                    ~domain:6 ())
+                 (Generate.random_relation ~rng ~rel:"T" ~arity:2 ~size:12
+                    ~domain:6 ())))))
+    (fun i ->
+      let program = Programs.semijoin_broadcast ~name:"econ" ~query:triangle_rst in
+      Result.is_ok
+        (Calm.consistent
+           ~schedules:[ Scheduler.Random_fair 3; Scheduler.Lifo ]
+           ~make:(fun d -> Network.create program d)
+           ~expected:(triangle_rst_eval i)
+           [ Horizontal.round_robin ~p:3 i ]))
+
+let () =
+  Alcotest.run "lamp_transducer"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "basics" `Quick test_network_basics;
+          Alcotest.test_case "oblivious rejects All" `Quick
+            test_oblivious_rejects_all_dependent;
+          Alcotest.test_case "silent run" `Quick test_silent_run_reads_nothing;
+          Alcotest.test_case "policy coverage" `Quick test_by_policy_coverage;
+        ] );
+      ( "theorem 5.3 (M)",
+        [
+          Alcotest.test_case "consistent" `Quick test_monotone_broadcast_consistent;
+          Alcotest.test_case "coordination-free" `Quick
+            test_monotone_broadcast_coordination_free;
+          Alcotest.test_case "unsound beyond M" `Quick
+            test_monotone_broadcast_wrong_for_nonmonotone;
+        ] );
+      ( "example 5.1(2) (coordination)",
+        [
+          Alcotest.test_case "computes open triangles" `Quick
+            test_coordinated_computes_open_triangles;
+          Alcotest.test_case "not coordination-free" `Quick
+            test_coordinated_not_coordination_free;
+        ] );
+      ( "theorem 5.8 (Mdistinct)",
+        [
+          Alcotest.test_case "open triangles" `Quick test_policy_aware_open_triangles;
+          Alcotest.test_case "generic strategy" `Quick test_generic_distinct_strategy;
+          Alcotest.test_case "coordination-free" `Quick
+            test_policy_aware_coordination_free;
+        ] );
+      ( "theorem 5.12 (Mdisjoint)",
+        [
+          Alcotest.test_case "¬TC" `Quick test_domain_guided_comp_tc;
+          Alcotest.test_case "coordination-free" `Quick
+            test_domain_guided_coordination_free;
+          Alcotest.test_case "win-move" `Quick test_win_move_domain_guided;
+        ] );
+      ( "oblivious (A-classes)",
+        [
+          Alcotest.test_case "A0" `Quick test_oblivious_f0;
+          Alcotest.test_case "A1" `Quick test_oblivious_f1;
+          Alcotest.test_case "A2" `Quick test_oblivious_f2;
+        ] );
+      ( "economical broadcast",
+        [
+          Alcotest.test_case "correct" `Quick test_semijoin_broadcast_correct;
+          Alcotest.test_case "coordination-free" `Quick
+            test_semijoin_broadcast_coordination_free;
+          Alcotest.test_case "fewer deliveries" `Quick
+            test_semijoin_broadcast_economical;
+          Alcotest.test_case "rejects self-joins" `Quick
+            test_semijoin_broadcast_rejects;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_monotone_broadcast_schedule_independent;
+            prop_coordinated_any_query;
+            prop_domain_guided_comp_tc;
+            prop_semijoin_broadcast_correct;
+          ] );
+    ]
