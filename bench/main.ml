@@ -8,6 +8,13 @@
      dune exec bench/main.exe -- fig1 e3      run selected experiments
      dune exec bench/main.exe -- --timings    also run Bechamel timings
 
+   The MPC simulator's execution backend is selectable:
+
+     --backend=seq|pool    sequential (default) or the lamp.runtime
+                           domain pool — load statistics are identical
+                           either way, only wall-clock changes
+     --domains=N           pool size (default: recommended domain count)
+
    Experiments print the rows/series the paper's claims are about;
    absolute constants differ from the authors' testbeds (the substrate
    here is a simulator) but the shapes — who wins, by what exponent,
@@ -17,6 +24,11 @@ open Lamp
 
 let line fmt = Fmt.pr (fmt ^^ "@.")
 let section title = line "@.=== %s ===" title
+
+(* Execution backend for the MPC simulator, set from the command line
+   before any experiment runs. *)
+let executor = ref Runtime.Executor.sequential
+let exec () = !executor
 
 let check label ok =
   line "  %-62s %s" label (if ok then "MATCH" else "MISMATCH")
@@ -334,8 +346,8 @@ let e1 () =
     (fun p ->
       let free = Mpc.Workload.join_skew_free ~m in
       let skew = Mpc.Workload.join_skewed ~m in
-      let _, s_free = Mpc.Repartition_join.run ~materialize:false ~p free in
-      let _, s_skew = Mpc.Repartition_join.run ~materialize:false ~p skew in
+      let _, s_free = Mpc.Repartition_join.run ~materialize:false ~executor:(exec ()) ~p free in
+      let _, s_skew = Mpc.Repartition_join.run ~materialize:false ~executor:(exec ()) ~p skew in
       line "  %-6d %-12d %-12d %-8.2f %-12d" p
         (Mpc.Stats.max_load s_free)
         (2 * m / p)
@@ -357,8 +369,8 @@ let e2 () =
     (fun p ->
       let free = Mpc.Workload.join_skew_free ~m in
       let skew = Mpc.Workload.join_skewed ~m in
-      let _, s_free = Mpc.Grid_join.run ~materialize:false ~p free in
-      let _, s_skew = Mpc.Grid_join.run ~materialize:false ~p skew in
+      let _, s_free = Mpc.Grid_join.run ~materialize:false ~executor:(exec ()) ~p free in
+      let _, s_skew = Mpc.Grid_join.run ~materialize:false ~executor:(exec ()) ~p skew in
       line "  %-6d %-12d %-12d %-14.0f %-12.1f" p
         (Mpc.Stats.max_load s_free)
         (Mpc.Stats.max_load s_skew)
@@ -382,7 +394,7 @@ let e3 () =
   List.iter
     (fun p ->
       let _, stats, shares =
-        Mpc.Hypercube.run ~materialize:false ~p Cq.Examples.q2_triangle free
+        Mpc.Hypercube.run ~materialize:false ~executor:(exec ()) ~p Cq.Examples.q2_triangle free
       in
       line "  %-6d %-18s %-12d %-14.0f %-8.2f" p
         (String.concat ","
@@ -392,9 +404,9 @@ let e3 () =
         (Mpc.Stats.epsilon ~m:total stats))
     [ 8; 27; 64 ];
   let p = 27 in
-  let _, casc = Mpc.Multi_round.cascade_triangle ~p free in
+  let _, casc = Mpc.Multi_round.cascade_triangle ~executor:(exec ()) ~p free in
   let _, hc, _ =
-    Mpc.Hypercube.run ~materialize:false ~p Cq.Examples.q2_triangle free
+    Mpc.Hypercube.run ~materialize:false ~executor:(exec ()) ~p Cq.Examples.q2_triangle free
   in
   line "  at p = %d: cascade (2 rounds) max load %d, total comm %d" p
     (Mpc.Stats.max_load casc)
@@ -423,10 +435,10 @@ let e4 () =
         Mpc.Workload.triangle_y_skew ~rng ~m ~domain:m ~heavy_fraction:fraction
       in
       let _, one_round, _ =
-        Mpc.Hypercube.run ~materialize:false ~p Cq.Examples.q2_triangle skewed
+        Mpc.Hypercube.run ~materialize:false ~executor:(exec ()) ~p Cq.Examples.q2_triangle skewed
       in
       let _, two_round, heavy =
-        Mpc.Multi_round.skew_resilient_triangle ~p skewed
+        Mpc.Multi_round.skew_resilient_triangle ~executor:(exec ()) ~p skewed
       in
       line "  %-10.1f %-16d %-16d %-10d" fraction
         (Mpc.Stats.max_load one_round)
@@ -441,8 +453,8 @@ let e4 () =
   line "  binary join under worst-case skew (the m/sqrt(p) floor holds for";
   line "  any number of rounds — Section 3.2):";
   let skewj = Mpc.Workload.join_skewed ~m in
-  let _, rep = Mpc.Repartition_join.run ~materialize:false ~p skewj in
-  let _, grid = Mpc.Grid_join.run ~materialize:false ~p skewj in
+  let _, rep = Mpc.Repartition_join.run ~materialize:false ~executor:(exec ()) ~p skewj in
+  let _, grid = Mpc.Grid_join.run ~materialize:false ~executor:(exec ()) ~p skewj in
   line "  repartition: %d;  grid: %d;  2m/sqrt(p) = %.0f"
     (Mpc.Stats.max_load rep) (Mpc.Stats.max_load grid)
     (2.0 *. float_of_int m /. sqrt (float_of_int p))
@@ -503,7 +515,7 @@ let e5 () =
   List.iter
     (fun p ->
       let _, stats, _ =
-        Mpc.Hypercube.run ~materialize:false ~p Cq.Examples.q2_triangle free
+        Mpc.Hypercube.run ~materialize:false ~executor:(exec ()) ~p Cq.Examples.q2_triangle free
       in
       line "  %-6d %-14d %-16.2f" p
         (Mpc.Stats.max_load stats)
@@ -551,7 +563,9 @@ let e6 () =
     "|output|";
   List.iter
     (fun (name, q, forest) ->
-      let result, stats = Mpc.Yannakakis.gym ?forest ~p:16 q i in
+      let result, stats =
+        Mpc.Yannakakis.gym ?forest ~executor:(exec ()) ~p:16 q i
+      in
       line "  %-26s %-8d %-12d %-12d %d" name
         (Mpc.Stats.rounds stats)
         (Mpc.Stats.max_load stats)
@@ -577,7 +591,9 @@ let e6 () =
              ~size:(m / 2) ~domain:(m / 4) ()))
       Relational.Instance.empty [ "R"; "S"; "T"; "U" ]
   in
-  let result, stats, width = Mpc.Gym_ghd.run ~p:16 four_cycle cyc_input in
+  let result, stats, width =
+    Mpc.Gym_ghd.run ~executor:(exec ()) ~p:16 four_cycle cyc_input
+  in
   line "";
   line "  cyclic 4-cycle query via GHD (min-fill, width %d bags):" width;
   line "  %-26s %-8d %-12d %-12d %d" "GYM over decomposition"
@@ -802,9 +818,9 @@ let e10 () =
       let intermediate =
         Relational.Instance.cardinal (Cq.Eval.eval k_query i)
       in
-      let out, casc = Mpc.Multi_round.cascade_triangle ~p i in
+      let out, casc = Mpc.Multi_round.cascade_triangle ~executor:(exec ()) ~p i in
       let _, hc, _ =
-        Mpc.Hypercube.run ~materialize:false ~p Cq.Examples.q2_triangle i
+        Mpc.Hypercube.run ~materialize:false ~executor:(exec ()) ~p Cq.Examples.q2_triangle i
       in
       let c_comm = Mpc.Stats.total_communication casc
       and h_comm = Mpc.Stats.total_communication hc in
@@ -877,8 +893,8 @@ let e11 () =
           (Printf.sprintf "H(x0,x%d) <- %s" k (String.concat ", " body))
       in
       let tau = Cq.Hypergraph.tau_star q in
-      let _, hc, _ = Mpc.Hypercube.run ~materialize:false ~p q i in
-      let _, gym = Mpc.Yannakakis.gym ~p q i in
+      let _, hc, _ = Mpc.Hypercube.run ~materialize:false ~executor:(exec ()) ~p q i in
+      let _, gym = Mpc.Yannakakis.gym ~executor:(exec ()) ~p q i in
       let total = Relational.Instance.cardinal i in
       line "  %-10d %-8.1f %-14d %-10d %-14d %-16.0f" k tau
         (Mpc.Stats.max_load hc)
@@ -940,20 +956,23 @@ let timings () =
         Test.make ~name:"e1/repartition-join"
           (Staged.stage (fun () ->
                ignore
-                 (Mpc.Repartition_join.run ~p:8
+                 (Mpc.Repartition_join.run ~executor:(exec ()) ~p:8
                     (Mpc.Workload.join_skew_free ~m:500))));
         Test.make ~name:"e2/grid-join"
           (Staged.stage (fun () ->
                ignore
-                 (Mpc.Grid_join.run ~p:16 (Mpc.Workload.join_skew_free ~m:500))));
+                 (Mpc.Grid_join.run ~executor:(exec ()) ~p:16
+                    (Mpc.Workload.join_skew_free ~m:500))));
         Test.make ~name:"e3/hypercube-triangle"
           (Staged.stage (fun () ->
                ignore
-                 (Mpc.Hypercube.run ~p:8 Cq.Examples.q2_triangle tri_workload)));
+                 (Mpc.Hypercube.run ~executor:(exec ()) ~p:8
+                    Cq.Examples.q2_triangle tri_workload)));
         Test.make ~name:"e4/skew-resilient-triangle"
           (Staged.stage (fun () ->
                ignore
-                 (Mpc.Multi_round.skew_resilient_triangle ~p:8 tri_workload)));
+                 (Mpc.Multi_round.skew_resilient_triangle ~executor:(exec ())
+                    ~p:8 tri_workload)));
         Test.make ~name:"e5/share-optimizer"
           (Staged.stage (fun () ->
                ignore
@@ -1024,9 +1043,40 @@ let experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_timings = List.mem "--timings" args in
+  let backend = ref "seq" in
+  let domains = ref None in
   let selected =
-    List.filter (fun a -> a <> "--timings" && a <> "--") args
+    List.filter
+      (fun a ->
+        if String.starts_with ~prefix:"--backend=" a then begin
+          backend := String.sub a 10 (String.length a - 10);
+          false
+        end
+        else if String.starts_with ~prefix:"--domains=" a then begin
+          (match int_of_string_opt (String.sub a 10 (String.length a - 10)) with
+          | Some n -> domains := Some n
+          | None -> line "ignoring malformed %S" a);
+          false
+        end
+        else a <> "--timings" && a <> "--")
+      args
   in
+  let pool =
+    match !backend with
+    | "seq" -> None
+    | "pool" ->
+      let pool = Runtime.Pool.create ?domains:!domains () in
+      executor := Runtime.Executor.pool pool;
+      Some pool
+    | other ->
+      line "unknown backend %S (expected seq or pool)" other;
+      exit 2
+  in
+  line "backend: %s (%d worker%s)"
+    (Runtime.Executor.backend_name (exec ()))
+    (Runtime.Executor.workers (exec ()))
+    (if Runtime.Executor.workers (exec ()) = 1 then "" else "s");
+  Runtime.Metrics.set_enabled want_timings;
   let to_run =
     if selected = [] then experiments
     else
@@ -1040,6 +1090,17 @@ let () =
             None)
         selected
   in
-  List.iter (fun (_, f) -> f ()) to_run;
+  List.iter
+    (fun (name, f) ->
+      Runtime.Metrics.reset ();
+      let t0 = Runtime.Metrics.now () in
+      f ();
+      if want_timings then
+        line "  [%s wall %.0f ms; engine: %a]" name
+          (1000.0 *. (Runtime.Metrics.now () -. t0))
+          Runtime.Metrics.pp_summary
+          (Runtime.Metrics.summary ()))
+    to_run;
   if want_timings then timings ();
+  Option.iter Runtime.Pool.shutdown pool;
   line ""

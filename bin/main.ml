@@ -48,6 +48,29 @@ let seed_arg =
   let doc = "Hash seed." in
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let backend_arg =
+  let doc =
+    "Execution backend for the simulator: $(b,seq) (sequential) or $(b,pool) \
+     (lamp.runtime domain pool). Load statistics are identical either way."
+  in
+  Arg.(value & opt string "seq" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let domains_arg =
+  let doc = "Domain-pool size for --backend=pool (default: recommended)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* Builds the executor and runs [f] with it, tearing the pool down
+   afterwards even on error. *)
+let with_executor backend domains f =
+  match backend with
+  | "seq" -> f Runtime.Executor.sequential
+  | "pool" ->
+    let pool = Runtime.Pool.create ?domains () in
+    Fun.protect
+      ~finally:(fun () -> Runtime.Pool.shutdown pool)
+      (fun () -> f (Runtime.Executor.pool pool))
+  | other -> invalid_arg (Fmt.str "unknown backend %S (seq or pool)" other)
+
 let wrap f =
   try f (); 0
   with
@@ -239,11 +262,14 @@ let transfer_cmd =
 (* hypercube                                                           *)
 
 let hypercube_cmd =
-  let run query inline file p seed =
+  let run query inline file p seed backend domains =
     wrap (fun () ->
         let q = Cq.Parser.query query in
         let i = load_instance inline file in
-        let result, stats, shares = Mpc.Hypercube.run ~seed ~p q i in
+        let result, stats, shares =
+          with_executor backend domains (fun executor ->
+              Mpc.Hypercube.run ~seed ~executor ~p q i)
+        in
         Fmt.pr "shares: %a@."
           Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
           shares;
@@ -255,17 +281,22 @@ let hypercube_cmd =
   in
   let doc = "Run the one-round HyperCube algorithm and report loads." in
   Cmd.v (Cmd.info "hypercube" ~doc)
-    Term.(const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg $ seed_arg)
+    Term.(
+      const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
+      $ seed_arg $ backend_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gym                                                                 *)
 
 let gym_cmd =
-  let run query inline file p =
+  let run query inline file p backend domains =
     wrap (fun () ->
         let q = Cq.Parser.query query in
         let i = load_instance inline file in
-        let result, stats, width = Mpc.Gym_ghd.run ~p q i in
+        let result, stats, width =
+          with_executor backend domains (fun executor ->
+              Mpc.Gym_ghd.run ~executor ~p q i)
+        in
         Fmt.pr "decomposition width: %d bag atoms@." width;
         Fmt.pr "result: %a@." Relational.Instance.pp result;
         Fmt.pr "stats:  %a@." Mpc.Stats.pp stats)
@@ -275,7 +306,9 @@ let gym_cmd =
      queries)."
   in
   Cmd.v (Cmd.info "gym" ~doc)
-    Term.(const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg)
+    Term.(
+      const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
+      $ backend_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)

@@ -4,6 +4,8 @@
     Umbrella module re-exporting every subsystem of the reproduction of
     Neven, PODS 2016. The layering mirrors the paper:
 
+    - {!Runtime}: the multicore execution engine — domain pool,
+      work-stealing deques, the executor the simulators run on;
     - {!Relational}: facts, instances, active domains (Section 2);
     - {!Lp}: the simplex solver behind fractional edge packings;
     - {!Cq}: conjunctive queries, minimal valuations, containment,
@@ -20,6 +22,13 @@
       monotonicity classes (Section 5.3);
     - {!Transducer}: relational transducer networks and the CALM
       hierarchy (Sections 5.1–5.2). *)
+
+module Runtime = struct
+  module Deque = Lamp_runtime.Deque
+  module Pool = Lamp_runtime.Pool
+  module Executor = Lamp_runtime.Executor
+  module Metrics = Lamp_runtime.Metrics
+end
 
 module Relational = struct
   module Value = Lamp_relational.Value

@@ -1,7 +1,10 @@
 open Lamp_relational
+module Executor = Lamp_runtime.Executor
+module Metrics = Lamp_runtime.Metrics
 
 type t = {
   p : int;
+  executor : Executor.t;
   mutable locals : Instance.t array;
   mutable round_stats : Stats.round_stats list;
   initial_max : int;
@@ -14,13 +17,14 @@ type round = {
 
 let check_p p = if p < 1 then invalid_arg "Cluster: p must be >= 1"
 
-let create_with locals =
+let create_with ?(executor = Executor.sequential) locals =
   check_p (Array.length locals);
   let initial_max =
     Array.fold_left (fun acc i -> max acc (Instance.cardinal i)) 0 locals
   in
   {
     p = Array.length locals;
+    executor;
     locals = Array.copy locals;
     round_stats = [];
     initial_max;
@@ -28,33 +32,74 @@ let create_with locals =
 
 (* Round-robin partitioning: every server receives ⌈m/p⌉ or ⌊m/p⌋ facts,
    the model's "1/p-th of the data" assumption. *)
-let create ~p instance =
+let create ?executor ~p instance =
   check_p p;
   let locals = Array.make p Instance.empty in
   List.iteri
     (fun k f -> locals.(k mod p) <- Instance.add f locals.(k mod p))
     (Instance.facts instance);
-  create_with locals
+  create_with ?executor locals
 
 let p t = t.p
+let executor t = t.executor
 let locals t = Array.copy t.locals
 let local t i = t.locals.(i)
 
 let union_all t =
   Array.fold_left Instance.union Instance.empty t.locals
 
+(* One round = three executor phases, each deterministic per index:
+
+   1. communicate — one task per source server; messages land in the
+      executing worker's private outbox (one bucket per destination),
+      so no lock is shared across sources. Destination ranges are
+      validated here, per source, and the error is deferred so the
+      offending source reported is always the smallest one, whatever
+      worker raced ahead.
+   2. merge — one task per destination server; bucket w of every
+      worker outbox is appended into the destination's inbox instance.
+      Instances are persistent sets, so inbox contents — and with them
+      [Stats.t] — are independent of which worker handled which source.
+   3. compute — one task per server over its merged inbox.
+
+   The sequential backend runs the same three phases inline, hence
+   bit-identical statistics between backends. *)
 let run_round t round =
-  let inboxes = Array.make t.p [] in
-  Array.iteri
-    (fun src local ->
+  let before = Executor.counters t.executor in
+  let t0 = if Metrics.is_enabled () then Metrics.now () else 0.0 in
+  let nw = Executor.workers t.executor in
+  let outboxes =
+    Array.init nw (fun _ -> Array.make t.p ([] : Fact.t list))
+  in
+  let bad_dest = Array.make t.p None in
+  Executor.parallel_for t.executor ~n:t.p (fun ~worker src ->
+      let buckets = outboxes.(worker) in
       List.iter
         (fun (dst, fact) ->
-          if dst < 0 || dst >= t.p then
-            invalid_arg (Fmt.str "Cluster.run_round: destination %d out of range" dst)
-          else inboxes.(dst) <- fact :: inboxes.(dst))
-        (round.communicate src local))
-    t.locals;
-  let received = Array.map Instance.of_facts inboxes in
+          if dst < 0 || dst >= t.p then begin
+            if bad_dest.(src) = None then bad_dest.(src) <- Some dst
+          end
+          else buckets.(dst) <- fact :: buckets.(dst))
+        (round.communicate src t.locals.(src)));
+  Array.iteri
+    (fun src bad ->
+      match bad with
+      | Some dst ->
+        invalid_arg
+          (Fmt.str
+             "Cluster.run_round: server %d sent a message to destination %d, \
+              out of range for p = %d"
+             src dst t.p)
+      | None -> ())
+    bad_dest;
+  let received =
+    Executor.map_array t.executor ~n:t.p (fun dst ->
+        let facts = ref [] in
+        for w = nw - 1 downto 0 do
+          facts := List.rev_append outboxes.(w).(dst) !facts
+        done;
+        Instance.of_facts !facts)
+  in
   let max_received =
     Array.fold_left (fun acc i -> max acc (Instance.cardinal i)) 0 received
   in
@@ -64,9 +109,18 @@ let run_round t round =
   t.round_stats <-
     { Stats.max_received; total_received } :: t.round_stats;
   t.locals <-
-    Array.mapi
-      (fun i prev -> round.compute i ~received:received.(i) ~previous:prev)
-      t.locals
+    Executor.map_array t.executor ~n:t.p (fun i ->
+        round.compute i ~received:received.(i) ~previous:t.locals.(i));
+  if Metrics.is_enabled () then begin
+    let after = Executor.counters t.executor in
+    Metrics.record
+      {
+        Metrics.label = Fmt.str "round %d/p=%d" (List.length t.round_stats) t.p;
+        wall_s = Metrics.now () -. t0;
+        tasks = after.Executor.tasks - before.Executor.tasks;
+        steals = after.Executor.steals - before.Executor.steals;
+      }
+  end
 
 let stats t =
   {

@@ -5,7 +5,15 @@
     followed by a computation phase local to each server. The simulator
     delivers all messages, records per-round load statistics, and updates
     the servers' local instances. At the end of an execution, the output
-    is the union of the servers' local data. *)
+    is the union of the servers' local data.
+
+    Execution is delegated to a {!Lamp_runtime.Executor}: the
+    communication phase fans out one task per source server into
+    per-worker outboxes, merged into per-destination inboxes without a
+    global lock, and the computation phase runs one task per server.
+    Local instances are persistent sets, so {!stats} and {!union_all}
+    are bit-identical across backends — the pool changes wall-clock,
+    never the model. *)
 
 open Lamp_relational
 
@@ -20,15 +28,18 @@ type round = {
           before. *)
 }
 
-val create : p:int -> Instance.t -> t
+val create : ?executor:Lamp_runtime.Executor.t -> p:int -> Instance.t -> t
 (** Round-robin initial partitioning: every server holds 1/p-th of the
-    input, matching the model's assumption-free initial distribution. *)
+    input, matching the model's assumption-free initial distribution.
+    [executor] (default {!Lamp_runtime.Executor.sequential}) runs the
+    rounds. *)
 
-val create_with : Instance.t array -> t
+val create_with : ?executor:Lamp_runtime.Executor.t -> Instance.t array -> t
 (** Start from an explicit initial partitioning (one instance per
     server). *)
 
 val p : t -> int
+val executor : t -> Lamp_runtime.Executor.t
 val locals : t -> Instance.t array
 val local : t -> int -> Instance.t
 
@@ -36,8 +47,11 @@ val union_all : t -> Instance.t
 (** The output of the algorithm: the union over all servers. *)
 
 val run_round : t -> round -> unit
-(** Executes one round and records its load.
-    @raise Invalid_argument on a message to a nonexistent server. *)
+(** Executes one round and records its load. Destinations are validated
+    during the outbox fan-out: a message outside [0 .. p - 1] aborts the
+    round before any state or statistic is updated.
+    @raise Invalid_argument on a message to a nonexistent server, naming
+    the smallest offending source server and its destination. *)
 
 val stats : t -> Stats.t
 

@@ -11,4 +11,9 @@ open Lamp_relational
 
 val query : Lamp_cq.Ast.t
 
-val run : ?materialize:bool -> p:int -> Instance.t -> Instance.t * Stats.t
+val run :
+  ?materialize:bool ->
+  ?executor:Lamp_runtime.Executor.t ->
+  p:int ->
+  Instance.t ->
+  Instance.t * Stats.t

@@ -16,7 +16,7 @@ let bag_pseudo_atom i (b : Decomposition.bag) =
 let bag_query i (b : Decomposition.bag) =
   Ast.make ~head:(bag_pseudo_atom i b) ~body:b.Decomposition.atoms ()
 
-let run ?(seed = 0) ?decomposition ~p q instance =
+let run ?(seed = 0) ?decomposition ?executor ~p q instance =
   if not (Ast.is_positive q) then
     invalid_arg "Gym_ghd.run: defined for positive CQs";
   let decomposition =
@@ -61,7 +61,9 @@ let run ?(seed = 0) ?decomposition ~p q instance =
           Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel))
         bq
     in
-    let result, stats = Hypercube.run_with_shares ~seed ~shares bq instance in
+    let result, stats =
+      Hypercube.run_with_shares ~seed ?executor ~shares bq instance
+    in
     bag_results.(i) <- result;
     (match stats.Stats.rounds with
     | [ r ] ->
@@ -91,7 +93,7 @@ let run ?(seed = 0) ?decomposition ~p q instance =
     List.concat_map flatten forest)
   in
   let q2 = Ast.make ~head:(Ast.head q) ~body () in
-  let result, stats2 = Yannakakis.gym ~seed ~forest ~p q2 bag_instance in
+  let result, stats2 = Yannakakis.gym ~seed ~forest ?executor ~p q2 bag_instance in
   let stats =
     {
       Stats.p;

@@ -14,6 +14,7 @@ open Lamp_relational
 val run :
   ?seed:int ->
   ?decomposition:Lamp_cq.Decomposition.t list ->
+  ?executor:Lamp_runtime.Executor.t ->
   p:int ->
   Lamp_cq.Ast.t ->
   Instance.t ->

@@ -2,9 +2,10 @@ open Lamp_relational
 open Lamp_distribution
 open Lamp_cq
 
-let run_with_shares ?(seed = 0) ?(materialize = true) ~shares query instance =
+let run_with_shares ?(seed = 0) ?(materialize = true) ?executor ~shares query
+    instance =
   let policy, grid = Policy.hypercube ~seed ~name:"hypercube" ~query ~shares () in
-  let cluster = Cluster.create ~p:(Grid.size grid) instance in
+  let cluster = Cluster.create ?executor ~p:(Grid.size grid) instance in
   Cluster.run_round cluster
     {
       Cluster.communicate =
@@ -18,7 +19,7 @@ let run_with_shares ?(seed = 0) ?(materialize = true) ~shares query instance =
 let sizes_of_instance instance (a : Ast.atom) =
   Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel)
 
-let run ?(seed = 0) ?(materialize = true) ?shares ~p query instance =
+let run ?(seed = 0) ?(materialize = true) ?executor ?shares ~p query instance =
   if not (Ast.is_positive query) then
     invalid_arg "Hypercube.run: defined for positive CQs";
   let shares =
@@ -31,5 +32,7 @@ let run ?(seed = 0) ?(materialize = true) ?shares ~p query instance =
       in
       s
   in
-  let result, stats = run_with_shares ~seed ~materialize ~shares query instance in
+  let result, stats =
+    run_with_shares ~seed ~materialize ?executor ~shares query instance
+  in
   (result, stats, shares)

@@ -12,6 +12,7 @@ open Lamp_relational
 val run_with_shares :
   ?seed:int ->
   ?materialize:bool ->
+  ?executor:Lamp_runtime.Executor.t ->
   shares:(string * int) list ->
   Lamp_cq.Ast.t ->
   Instance.t ->
@@ -25,6 +26,7 @@ val run_with_shares :
 val run :
   ?seed:int ->
   ?materialize:bool ->
+  ?executor:Lamp_runtime.Executor.t ->
   ?shares:(string * int) list ->
   p:int ->
   Lamp_cq.Ast.t ->

@@ -9,13 +9,21 @@
 open Lamp_relational
 
 val cascade_triangle :
-  ?seed:int -> p:int -> Instance.t -> Instance.t * Stats.t
+  ?seed:int ->
+  ?executor:Lamp_runtime.Executor.t ->
+  p:int ->
+  Instance.t ->
+  Instance.t * Stats.t
 (** Two-round cascade: round 1 repartitions R and S on y and joins them
     into K; round 2 repartitions K and T on the pair (z, x) and joins.
     Correct, but the load includes the intermediate |R ⋈ S|. *)
 
 val skew_resilient_triangle :
-  ?seed:int -> ?threshold:int -> p:int -> Instance.t ->
+  ?seed:int ->
+  ?threshold:int ->
+  ?executor:Lamp_runtime.Executor.t ->
+  p:int ->
+  Instance.t ->
   Instance.t * Stats.t * int
 (** Heavy/light two-round triangle for skew concentrated in the join
     attribute y (the paper's heavy-hitter scenario): light tuples run

@@ -11,6 +11,12 @@ val query : Lamp_cq.Ast.t
 (** [H(x,y,z) ← R(x,y), S(y,z)]. *)
 
 val run :
-  ?seed:int -> ?materialize:bool -> p:int -> Instance.t -> Instance.t * Stats.t
+  ?seed:int ->
+  ?materialize:bool ->
+  ?executor:Lamp_runtime.Executor.t ->
+  p:int ->
+  Instance.t ->
+  Instance.t * Stats.t
 (** Runs the join on [p] servers; returns the join result and the load
-    statistics. *)
+    statistics. [executor] selects the execution backend; the
+    statistics do not depend on it. *)

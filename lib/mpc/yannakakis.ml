@@ -212,28 +212,38 @@ let reduction_report q instance =
 (* GYM: Yannakakis in MPC (Section 3.2 / [6]).                         *)
 
 (* Load accounting for one repartition of two column-relations on their
-   shared columns over p servers. *)
-let repartition_stats ~seed ~p (r1 : Rel.t) (r2 : Rel.t) shared =
-  let received = Array.make p 0 in
+   shared columns over p servers. The rows fan out over the executor
+   into per-worker count vectors, summed afterwards — integer addition
+   commutes, so the counts are backend-independent. *)
+let repartition_stats ?(executor = Lamp_runtime.Executor.sequential) ~seed ~p
+    (r1 : Rel.t) (r2 : Rel.t) shared =
+  let module Executor = Lamp_runtime.Executor in
+  let nw = Executor.workers executor in
+  let per_worker = Array.init nw (fun _ -> Array.make p 0) in
   let account (r : Rel.t) =
     let pos = Rel.positions r shared in
-    Tuple.Set.iter
-      (fun row ->
+    let rows = Array.of_seq (Tuple.Set.to_seq r.rows) in
+    Executor.parallel_for executor ~n:(Array.length rows) (fun ~worker i ->
+        let row = rows.(i) in
         let key =
           String.concat "\000"
-            (List.map (fun i -> Value.to_string row.(i)) pos)
+            (List.map (fun j -> Value.to_string row.(j)) pos)
         in
         let dst = Hashtbl.seeded_hash (seed land max_int) key mod p in
-        received.(dst) <- received.(dst) + 1)
-      r.rows
+        let counts = per_worker.(worker) in
+        counts.(dst) <- counts.(dst) + 1)
   in
   account r1;
   account r2;
+  let received = Array.make p 0 in
+  Array.iter
+    (Array.iteri (fun dst k -> received.(dst) <- received.(dst) + k))
+    per_worker;
   let max_received = Array.fold_left max 0 received in
   let total_received = Array.fold_left ( + ) 0 received in
   { Stats.max_received; total_received }
 
-let gym ?(seed = 0) ?forest ~p q instance =
+let gym ?(seed = 0) ?forest ?executor ~p q instance =
   if p < 1 then invalid_arg "Yannakakis.gym: p < 1";
   let forest =
     match forest with
@@ -281,7 +291,8 @@ let gym ?(seed = 0) ?forest ~p q instance =
           List.iter
             (fun child ->
               ops :=
-                repartition_stats ~seed:(seed + (level * 31)) ~p node.rel
+                repartition_stats ?executor ~seed:(seed + (level * 31)) ~p
+                  node.rel
                   child.rel
                   (shared_cols node.rel child.rel)
                 :: !ops;
@@ -300,7 +311,8 @@ let gym ?(seed = 0) ?forest ~p q instance =
           List.iter
             (fun child ->
               ops :=
-                repartition_stats ~seed:(seed + 1000 + (level * 31)) ~p
+                repartition_stats ?executor ~seed:(seed + 1000 + (level * 31))
+                  ~p
                   child.rel node.rel
                   (shared_cols child.rel node.rel)
                 :: !ops;
@@ -319,7 +331,7 @@ let gym ?(seed = 0) ?forest ~p q instance =
         (fun child_rel ->
           push
             [
-              repartition_stats ~seed:(seed + 2000) ~p !acc child_rel
+              repartition_stats ?executor ~seed:(seed + 2000) ~p !acc child_rel
                 (shared_cols !acc child_rel);
             ];
           acc := Rel.join !acc child_rel)

@@ -28,6 +28,7 @@ val reduction_report :
 val gym :
   ?seed:int ->
   ?forest:Lamp_cq.Hypergraph.join_tree list ->
+  ?executor:Lamp_runtime.Executor.t ->
   p:int ->
   Lamp_cq.Ast.t ->
   Instance.t ->

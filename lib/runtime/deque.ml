@@ -1,0 +1,62 @@
+(* Two-stack deque under a per-deque mutex: [top] holds the oldest
+   items head-first (steal end), [bottom] the newest head-first (owner
+   end). An empty end borrows the whole other stack, reversed — the
+   classic amortized-O(1) rotation. A lock per deque is all the
+   scalability the pool needs: the owner almost always finds its lock
+   uncontended, and thieves only touch a victim's lock, never a global
+   one. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  mutable top : 'a list;
+  mutable bottom : 'a list;
+  mutable len : int;
+}
+
+let create () = { mutex = Mutex.create (); top = []; bottom = []; len = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  let r = f () in
+  Mutex.unlock t.mutex;
+  r
+
+let push t x =
+  with_lock t (fun () ->
+      t.bottom <- x :: t.bottom;
+      t.len <- t.len + 1)
+
+let pop t =
+  with_lock t (fun () ->
+      match t.bottom with
+      | x :: rest ->
+        t.bottom <- rest;
+        t.len <- t.len - 1;
+        Some x
+      | [] -> (
+        match List.rev t.top with
+        | x :: rest ->
+          t.top <- [];
+          t.bottom <- rest;
+          t.len <- t.len - 1;
+          Some x
+        | [] -> None))
+
+let steal t =
+  with_lock t (fun () ->
+      match t.top with
+      | x :: rest ->
+        t.top <- rest;
+        t.len <- t.len - 1;
+        Some x
+      | [] -> (
+        match List.rev t.bottom with
+        | x :: rest ->
+          t.bottom <- [];
+          t.top <- rest;
+          t.len <- t.len - 1;
+          Some x
+        | [] -> None))
+
+let length t = with_lock t (fun () -> t.len)
+let is_empty t = length t = 0

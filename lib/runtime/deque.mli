@@ -1,0 +1,23 @@
+(** A work-stealing double-ended queue.
+
+    One domain — the owner — pushes and pops at the bottom (LIFO, for
+    locality); any other domain steals from the top (FIFO, taking the
+    oldest and typically largest-grained task). Every operation is
+    protected by the deque's own mutex, so contention is local to one
+    worker's queue and never global to the pool. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner operation: enqueue at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner operation: dequeue the most recently pushed item. *)
+
+val steal : 'a t -> 'a option
+(** Thief operation: dequeue the oldest item. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

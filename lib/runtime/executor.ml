@@ -1,0 +1,85 @@
+type backend =
+  | Sequential of int ref  (* inline task counter *)
+  | Pool_backend of Pool.t
+
+type t = {
+  backend : backend;
+  chunk : int option;
+}
+
+let sequential = { backend = Sequential (ref 0); chunk = None }
+let pool ?chunk p = { backend = Pool_backend p; chunk }
+
+let workers t =
+  match t.backend with Sequential _ -> 1 | Pool_backend p -> Pool.size p
+
+let backend_name t =
+  match t.backend with Sequential _ -> "seq" | Pool_backend _ -> "pool"
+
+(* At most 4 chunks per worker: enough slack for stealing to rebalance
+   skewed per-index costs, few enough that per-task locking stays
+   negligible. *)
+let chunk_size t ~chunk ~n =
+  match chunk, t.chunk with
+  | Some c, _ | None, Some c ->
+    if c < 1 then invalid_arg "Executor: chunk must be >= 1";
+    c
+  | None, None -> max 1 ((n + (4 * workers t) - 1) / (4 * workers t))
+
+let parallel_for t ?chunk ~n f =
+  if n > 0 then
+    match t.backend with
+    | Sequential count ->
+      count := !count + 1;
+      for i = 0 to n - 1 do
+        f ~worker:0 i
+      done
+    | Pool_backend p ->
+      let c = chunk_size t ~chunk ~n in
+      let tasks = (n + c - 1) / c in
+      Pool.run p ~tasks (fun ~worker k ->
+          let hi = min n ((k + 1) * c) in
+          for i = k * c to hi - 1 do
+            f ~worker i
+          done)
+
+let map_array t ?chunk ~n f =
+  let out = Array.make n None in
+  parallel_for t ?chunk ~n (fun ~worker:_ i -> out.(i) <- Some (f i));
+  Array.map (function Some x -> x | None -> assert false) out
+
+let map_reduce t ?chunk ~n ~map ~combine init =
+  if n <= 0 then init
+  else begin
+    let c = chunk_size t ~chunk ~n in
+    let tasks = (n + c - 1) / c in
+    let fold_range k =
+      let hi = min n ((k + 1) * c) in
+      let acc = ref (map (k * c)) in
+      for i = (k * c) + 1 to hi - 1 do
+        acc := combine !acc (map i)
+      done;
+      !acc
+    in
+    let partials =
+      match t.backend with
+      | Sequential count ->
+        count := !count + 1;
+        Array.init tasks fold_range
+      | Pool_backend p ->
+        let out = Array.make tasks None in
+        Pool.run p ~tasks (fun ~worker:_ k -> out.(k) <- Some (fold_range k));
+        Array.map (function Some x -> x | None -> assert false) out
+    in
+    Array.fold_left combine init partials
+  end
+
+type counters = {
+  tasks : int;
+  steals : int;
+}
+
+let counters t =
+  match t.backend with
+  | Sequential count -> { tasks = !count; steals = 0 }
+  | Pool_backend p -> { tasks = Pool.tasks_run p; steals = Pool.steals p }

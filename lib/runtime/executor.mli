@@ -1,0 +1,52 @@
+(** The execution backend of the simulator: where per-server work runs.
+
+    An executor is either [Sequential] — everything on the calling
+    domain, the seed behaviour — or a {!Pool} of domains. The
+    combinators below are deterministic across backends: results are
+    assembled in index order, so any computation whose per-index work is
+    pure (and, for {!map_reduce}, whose [combine] is associative)
+    produces identical values on both. The MPC simulator relies on this
+    to keep its load statistics bit-identical whatever the backend. *)
+
+type t
+
+val sequential : t
+(** Runs every combinator inline on the calling domain. *)
+
+val pool : ?chunk:int -> Pool.t -> t
+(** Runs combinators on the pool. [chunk] fixes the number of
+    consecutive indices grouped into one pool task; by default a batch
+    of [n] indices is cut into at most [4 × workers] chunks. *)
+
+val workers : t -> int
+(** 1 for {!sequential}, the pool size otherwise. *)
+
+val backend_name : t -> string
+(** ["seq"] or ["pool"]. *)
+
+val parallel_for : t -> ?chunk:int -> n:int -> (worker:int -> int -> unit) -> unit
+(** [parallel_for e ~n f] runs [f ~worker i] for [i = 0 .. n - 1].
+    [worker < workers e] identifies the executing worker, for
+    per-worker accumulators. Blocks until all indices are done;
+    re-raises the first task exception. *)
+
+val map_array : t -> ?chunk:int -> n:int -> (int -> 'a) -> 'a array
+(** [map_array e ~n f] is [| f 0; …; f (n - 1) |], computed across the
+    backend. *)
+
+val map_reduce :
+  t -> ?chunk:int -> n:int -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) ->
+  'a -> 'a
+(** [map_reduce e ~n ~map ~combine init] folds [combine] over
+    [map 0 … map (n - 1)] starting from [init], always associating in
+    index order. [combine] must be associative for the result to be
+    chunking-independent. *)
+
+type counters = {
+  tasks : int;  (** tasks executed since the executor was created *)
+  steals : int;  (** work-stealing events (0 on [Sequential]) *)
+}
+
+val counters : t -> counters
+(** Cumulative instrumentation counters; subtract two snapshots to
+    meter a region. *)

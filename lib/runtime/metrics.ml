@@ -1,0 +1,47 @@
+(* Lightweight, opt-in instrumentation. The simulator's load statistics
+   are part of the model (deterministic, backend-independent); these
+   are about the engine itself — wall-clock, tasks, steals — and are
+   collected globally so call sites deep in the algorithms need no
+   extra plumbing. Recording is main-domain only (rounds are submitted
+   from one domain), so plain refs suffice. *)
+
+type round = {
+  label : string;
+  wall_s : float;
+  tasks : int;
+  steals : int;
+}
+
+type summary = {
+  rounds : int;
+  total_wall_s : float;
+  total_tasks : int;
+  total_steals : int;
+}
+
+let enabled = ref false
+let recorded = ref []
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+let reset () = recorded := []
+let record r = if !enabled then recorded := r :: !recorded
+let rounds () = List.rev !recorded
+
+let summary () =
+  List.fold_left
+    (fun acc r ->
+      {
+        rounds = acc.rounds + 1;
+        total_wall_s = acc.total_wall_s +. r.wall_s;
+        total_tasks = acc.total_tasks + r.tasks;
+        total_steals = acc.total_steals + r.steals;
+      })
+    { rounds = 0; total_wall_s = 0.0; total_tasks = 0; total_steals = 0 }
+    !recorded
+
+let now () = Unix.gettimeofday ()
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d rounds, %.1f ms in the engine, %d tasks, %d steals"
+    s.rounds (1000.0 *. s.total_wall_s) s.total_tasks s.total_steals

@@ -1,0 +1,34 @@
+(** Opt-in engine instrumentation: per-round wall-clock, tasks executed
+    and steals, recorded next to (never inside) the model's load
+    statistics. Disabled by default so the simulator's hot path pays a
+    single ref read. All functions are main-domain only. *)
+
+type round = {
+  label : string;
+  wall_s : float;
+  tasks : int;
+  steals : int;
+}
+
+type summary = {
+  rounds : int;
+  total_wall_s : float;
+  total_tasks : int;
+  total_steals : int;
+}
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+val reset : unit -> unit
+
+val record : round -> unit
+(** No-op unless enabled. *)
+
+val rounds : unit -> round list
+(** Recorded rounds, oldest first. *)
+
+val summary : unit -> summary
+val now : unit -> float
+(** Wall-clock seconds (for metering regions). *)
+
+val pp_summary : summary Fmt.t

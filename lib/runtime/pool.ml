@@ -1,0 +1,179 @@
+(* One deque per worker; the submitting domain is worker 0 and helps
+   drain its own batch. All batch bookkeeping (epoch, remaining count,
+   first failure) lives behind one mutex, but the task queues do not:
+   workers touch only their own deque's lock, or a victim's when
+   stealing.
+
+   Publication safety: [run] writes [batch_fn] before pushing any task,
+   and every task reaches a worker through a deque mutex, so the
+   lock-free read of [batch_fn] in [exec] is ordered after the write by
+   the deque's lock — a worker can never observe a task of the new
+   batch paired with the function of an old one. *)
+
+type t = {
+  size : int;
+  deques : int Deque.t array;
+  mutex : Mutex.t;
+  work : Condition.t;
+  done_ : Condition.t;
+  mutable epoch : int;
+  mutable remaining : int;
+  mutable batch_fn : (worker:int -> int -> unit) option;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stopped : bool;
+  executed : int Atomic.t array;
+  stolen : int Atomic.t array;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+let take_task t w =
+  match Deque.pop t.deques.(w) with
+  | Some _ as r -> r
+  | None ->
+    let rec try_steal k =
+      if k >= t.size then None
+      else
+        let victim = (w + k) mod t.size in
+        match Deque.steal t.deques.(victim) with
+        | Some _ as r ->
+          Atomic.incr t.stolen.(w);
+          r
+        | None -> try_steal (k + 1)
+    in
+    try_steal 1
+
+let exec t w k =
+  Mutex.lock t.mutex;
+  let skip = t.failure <> None in
+  let fn = t.batch_fn in
+  Mutex.unlock t.mutex;
+  (if not skip then
+     match fn with
+     | None -> ()
+     | Some f -> (
+       try
+         f ~worker:w k;
+         Atomic.incr t.executed.(w)
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if t.failure = None then t.failure <- Some (e, bt);
+         Mutex.unlock t.mutex));
+  Mutex.lock t.mutex;
+  t.remaining <- t.remaining - 1;
+  if t.remaining = 0 then Condition.broadcast t.done_;
+  Mutex.unlock t.mutex
+
+let rec worker_loop t w seen_epoch =
+  match take_task t w with
+  | Some k ->
+    exec t w k;
+    worker_loop t w seen_epoch
+  | None ->
+    Mutex.lock t.mutex;
+    if t.stopped then Mutex.unlock t.mutex
+    else if t.epoch <> seen_epoch then begin
+      let e = t.epoch in
+      Mutex.unlock t.mutex;
+      worker_loop t w e
+    end
+    else begin
+      Condition.wait t.work t.mutex;
+      let e = t.epoch in
+      Mutex.unlock t.mutex;
+      worker_loop t w e
+    end
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  if n < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if n > 128 then invalid_arg "Pool.create: more than 128 domains";
+  let t =
+    {
+      size = n;
+      deques = Array.init n (fun _ -> Deque.create ());
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      epoch = 0;
+      remaining = 0;
+      batch_fn = None;
+      failure = None;
+      stopped = false;
+      executed = Array.init n (fun _ -> Atomic.make 0);
+      stolen = Array.init n (fun _ -> Atomic.make 0);
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (n - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1) t.epoch));
+  t
+
+let run t ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.run: negative task count";
+  if tasks = 0 then ()
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool has been shut down"
+    end;
+    if t.batch_fn <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: a batch is already in flight"
+    end;
+    t.batch_fn <- Some f;
+    t.failure <- None;
+    t.remaining <- tasks;
+    t.epoch <- t.epoch + 1;
+    Mutex.unlock t.mutex;
+    for k = 0 to tasks - 1 do
+      Deque.push t.deques.(k mod t.size) k
+    done;
+    Mutex.lock t.mutex;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* The submitter is worker 0: drain what it can reach, then wait for
+       the in-flight remainder. *)
+    let rec help () =
+      match take_task t 0 with
+      | Some k ->
+        exec t 0 k;
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.done_ t.mutex
+    done;
+    let failure = t.failure in
+    t.batch_fn <- None;
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let sum counters = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counters
+let tasks_run t = sum t.executed
+let steals t = sum t.stolen
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end

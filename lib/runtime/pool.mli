@@ -1,0 +1,43 @@
+(** A fixed pool of domains executing batches of indexed tasks.
+
+    [create ~domains:n ()] builds a pool of [n] workers: the calling
+    domain participates as worker 0 and [n - 1] further domains are
+    spawned. Each worker owns a {!Deque}; idle workers steal from the
+    others, so imbalanced batches (e.g. servers with very different
+    local loads) still spread across the pool.
+
+    Batches are synchronous: {!run} returns only once every task has
+    finished. If any task raises, the first exception (in completion
+    order) is re-raised by {!run} after the batch has drained; remaining
+    tasks of a failing batch are skipped, not run. Only one batch can be
+    in flight at a time, and only from the domain that created the
+    pool — tasks must not themselves call {!run}. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [domains] defaults to [Domain.recommended_domain_count ()]. It is
+    clamped below by 1; values above [128] are refused (the OCaml
+    runtime degrades badly there).
+    @raise Invalid_argument on [domains < 1] or [domains > 128]. *)
+
+val size : t -> int
+(** Number of workers, including the calling domain. *)
+
+val run : t -> tasks:int -> (worker:int -> int -> unit) -> unit
+(** [run pool ~tasks f] executes [f ~worker k] for every
+    [k = 0 .. tasks - 1] across the pool and waits for completion.
+    [worker] is the index (in [0 .. size - 1]) of the worker executing
+    the task.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val tasks_run : t -> int
+(** Cumulative number of tasks executed since creation. *)
+
+val steals : t -> int
+(** Cumulative number of tasks a worker took from another worker's
+    deque. *)
+
+val shutdown : t -> unit
+(** Terminates and joins every spawned domain. Idempotent. After
+    shutdown, {!run} raises. *)
