@@ -32,6 +32,7 @@ end
 
 module Relational = struct
   module Value = Lamp_relational.Value
+  module Intern = Lamp_relational.Intern
   module Tuple = Lamp_relational.Tuple
   module Fact = Lamp_relational.Fact
   module Schema = Lamp_relational.Schema
@@ -49,6 +50,7 @@ module Cq = struct
   module Ast = Lamp_cq.Ast
   module Parser = Lamp_cq.Parser
   module Valuation = Lamp_cq.Valuation
+  module Plan = Lamp_cq.Plan
   module Index = Lamp_cq.Index
   module Eval = Lamp_cq.Eval
   module Generic_join = Lamp_cq.Generic_join

@@ -1,10 +1,13 @@
 (** Evaluation of conjunctive queries (with optional negation and
     inequalities) over instances.
 
-    The evaluator enumerates satisfying valuations by backtracking over a
-    greedily ordered body, probing lazy hash indexes ({!Index}) on bound
-    positions. Negated atoms and inequalities are checked once all body
-    variables are bound (safety guarantees they are). *)
+    The evaluator compiles the query to a {!Plan} — variables as
+    integer slots, interned-tuple match programs, statically chosen
+    index probes — and backtracks over the greedily ordered body with
+    integer comparisons only. Negated atoms and inequalities are
+    checked once all body variables are bound (safety guarantees they
+    are). The pre-compilation evaluator survives as {!Reference}, the
+    oracle for equivalence tests and old-vs-new benchmarks. *)
 
 open Lamp_relational
 
@@ -35,3 +38,18 @@ val holds : Ast.t -> Instance.t -> bool
 
 val derives : Ast.t -> Instance.t -> Fact.t -> bool
 (** Whether the given head fact is derived on the instance. *)
+
+(** The pre-compiled-plan backtracking evaluator over {!Valuation.t}
+    maps and {!Index} columns, kept as the reference oracle: the
+    randomized equivalence suite asserts [Reference.eval ≡ eval], and
+    the e12 benchmark measures the speedup against it. *)
+module Reference : sig
+  val fold_valuations :
+    Ast.t -> Instance.t -> (Valuation.t -> 'a -> 'a) -> 'a -> 'a
+
+  val fold_valuations_idx :
+    Ast.t -> Index.t -> (Valuation.t -> 'a -> 'a) -> 'a -> 'a
+
+  val eval : Ast.t -> Instance.t -> Instance.t
+  val eval_idx : Ast.t -> Index.t -> Instance.t
+end

@@ -8,6 +8,10 @@ type t
 val create : Instance.t -> t
 val instance : t -> Instance.t
 
+val db : t -> Plan.Db.t
+(** The interned-tuple view of the same instance, built on first use
+    and cached — the compiled-plan engine ({!Eval}) runs on it. *)
+
 val lookup : t -> rel:string -> pos:int -> value:Value.t -> Tuple.t list
 (** Tuples of [rel] whose column [pos] holds [value]. Builds the column
     index on first use. *)

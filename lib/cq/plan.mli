@@ -1,0 +1,73 @@
+(** Compiled CQ plans over interned tuples.
+
+    A query compiles once into integer slots and per-atom match
+    programs over [int array] tuples (dense {!Lamp_relational.Intern}
+    ids); every comparison in the inner join loop is an integer
+    operation. The probe position of each atom is chosen statically —
+    the bound-slot set at any point of the join order is known at
+    compile time. The evaluator in {!Eval} and the Datalog fixpoint
+    engine both run on these plans. *)
+
+open Lamp_relational
+
+(** Mutable interned-tuple database: per-relation extents (append-only
+    arrays of interned tuples with O(1) duplicate detection) and lazy
+    per-column hash indexes that are extended incrementally as deltas
+    are appended — never rebuilt. *)
+module Db : sig
+  type t
+
+  val create : unit -> t
+  val of_instance : Instance.t -> t
+
+  val add : t -> rel:string -> int array -> bool
+  (** Appends an interned tuple; [false] if it was already present. *)
+
+  val mem : t -> rel:string -> int array -> bool
+  val count : t -> string -> int
+
+  val probe : t -> rel:string -> pos:int -> key:int -> int array list
+  (** Tuples of [rel] whose column [pos] holds value id [key]. Builds
+      or extends the column index as needed. *)
+
+  val fold_extent : t -> string -> ('a -> int array -> 'a) -> 'a -> 'a
+
+  val replace : t -> rel:string -> int array list -> unit
+  (** Replaces a relation's whole extent (used for per-round delta
+      relations); its indexes are dropped and rebuilt lazily. *)
+
+  val to_instance : ?keep:(string -> bool) -> t -> Instance.t
+end
+
+type t
+
+val make : ?counts:(string -> int) -> Ast.t -> t
+(** Compiles [q], ordering body atoms greedily by [counts] (relation
+    cardinality estimates; default all zero). Duplicate body atoms —
+    even physically shared ones — each keep their own join step. *)
+
+val atom_count : t -> int
+(** Number of join steps (= body atoms) in the compiled plan. *)
+
+val head_rel : t -> string
+
+val fold : t -> Db.t -> (int array -> 'a -> 'a) -> 'a -> 'a
+(** Folds over all satisfying assignments. The [int array] of value
+    ids per slot passed to the callback is reused between calls — copy
+    it (or convert via {!head_tuple} / {!valuation}) before
+    retaining. Disequalities and negated atoms are checked against
+    [db] at the leaves. *)
+
+val head_tuple : t -> int array -> int array
+(** The interned head tuple derived by a register assignment. *)
+
+val derive : t -> Db.t -> int array list
+(** Evaluates the plan, adding every derived head tuple to [db]'s
+    head relation as it is found, and returns the genuinely new
+    tuples. Duplicate derivations allocate nothing: the head is
+    resolved into a scratch buffer and checked against the extent's
+    duplicate table before being copied. *)
+
+val valuation : t -> int array -> Valuation.t
+(** The {!Valuation.t} a register assignment denotes (conversion at
+    the leaves — the engine never manipulates valuation maps). *)

@@ -4,7 +4,13 @@
     already-computed layers), each stratum by a naive or a semi-naive
     fixpoint. The semi-naive strategy only re-derives from facts that
     are new since the previous iteration; both strategies compute the
-    same model, which the test suite checks by property. *)
+    same model, which the test suite checks by property.
+
+    Both strategies run on one interned {!Lamp_cq.Plan.Db} that
+    persists across rounds and strata: each round's delta is appended
+    and the hash indexes extend incrementally instead of being rebuilt
+    per rule per iteration. The previous instance-based engine is kept
+    as {!run_reference} for equivalence tests and benchmarks. *)
 
 open Lamp_relational
 
@@ -26,3 +32,9 @@ val run : ?strategy:strategy -> Program.t -> Instance.t -> Instance.t
 val query :
   ?strategy:strategy -> Program.t -> output:string -> Instance.t -> Instance.t
 (** [run] restricted to one output relation. *)
+
+val run_reference : ?strategy:strategy -> Program.t -> Instance.t -> Instance.t
+(** The pre-interning engine (a fresh index of the whole database per
+    rule per iteration, over {!Lamp_cq.Eval.Reference}): computes the
+    same model as {!run}; kept as the oracle for equivalence tests and
+    the old-vs-new e12 benchmark. *)

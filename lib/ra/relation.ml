@@ -29,10 +29,7 @@ let of_instance instance ~rel ~cols =
   in
   { cols; rows }
 
-let to_instance t ~rel =
-  Tuple.Set.fold
-    (fun row acc -> Instance.add (Fact.make rel row) acc)
-    t.rows Instance.empty
+let to_instance t ~rel = Instance.of_tuple_set rel t.rows
 
 let position t c =
   match List.find_index (String.equal c) t.cols with
@@ -124,7 +121,12 @@ let inter t1 t2 =
 
 let shared_cols t1 t2 = List.filter (fun c -> List.mem c t2.cols) t1.cols
 
-let key_of positions row = List.map (fun i -> row.(i)) positions
+(* Join keys are interned value ids: hashing and equality on the
+   Hashtbl keys below are integer operations, not structural ones over
+   boxed values. *)
+let key_of positions row = List.map (fun i -> Intern.id row.(i)) positions
+
+let values_of positions row = List.map (fun i -> row.(i)) positions
 
 let join t1 t2 =
   let shared = shared_cols t1 t2 in
@@ -148,7 +150,7 @@ let join t1 t2 =
           List.fold_left
             (fun acc row2 ->
               Tuple.Set.add
-                (Array.append row1 (Array.of_list (key_of pos_extra row2)))
+                (Array.append row1 (Array.of_list (values_of pos_extra row2)))
                 acc)
             acc matches)
       t1.rows Tuple.Set.empty

@@ -28,8 +28,41 @@ let mem fact t =
   | Some ts -> Tuple.Set.mem (Fact.args fact) ts
 
 let singleton fact = add fact empty
-let of_facts facts = List.fold_left (fun t f -> add f t) empty facts
+
+(* Bulk construction fast path: bucket tuples per relation first, then
+   build each relation's set in one sort + dedup pass instead of one
+   tree insertion per fact. This is the constructor on the MPC merge
+   phase's hot path (Cluster.run_round builds every server's inbox with
+   it each round). *)
+let of_facts facts =
+  match facts with
+  | [] -> empty
+  | _ ->
+    let buckets : (string, Tuple.t list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        let rel = Fact.rel f in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt buckets rel) in
+        Hashtbl.replace buckets rel (Fact.args f :: prev))
+      facts;
+    Hashtbl.fold
+      (fun rel tups acc -> Smap.add rel (Tuple.Set.of_list tups) acc)
+      buckets Smap.empty
+
 let of_list = of_facts
+
+let of_tuple_set rel ts =
+  if Tuple.Set.is_empty ts then empty else Smap.singleton rel ts
+
+let add_tuple_set rel ts t =
+  if Tuple.Set.is_empty ts then t
+  else
+    let prev =
+      match Smap.find_opt rel t with
+      | Some prev -> prev
+      | None -> Tuple.Set.empty
+    in
+    Smap.add rel (Tuple.Set.union prev ts) t
 
 let tuples t rel =
   match Smap.find_opt rel t with

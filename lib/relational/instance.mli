@@ -14,7 +14,18 @@ val mem : Fact.t -> t -> bool
 val singleton : Fact.t -> t
 
 val of_facts : Fact.t list -> t
+(** Bulk constructor: buckets per relation, then one sort-and-dedup
+    pass per relation — much faster than repeated {!add} on large
+    batches (the MPC merge phase builds every inbox with it). *)
+
 val of_list : Fact.t list -> t
+
+val of_tuple_set : string -> Tuple.Set.t -> t
+(** [of_tuple_set rel ts] is the instance holding exactly the tuples
+    [ts] under [rel] — O(1), the set is shared, not copied. *)
+
+val add_tuple_set : string -> Tuple.Set.t -> t -> t
+(** Bulk union of a whole tuple set into one relation. *)
 
 val tuples : t -> string -> Tuple.Set.t
 (** All tuples of the given relation; empty set when absent. *)

@@ -1,0 +1,146 @@
+(* Global value interner: every Value.t maps to a dense int id, so the
+   engine layers (compiled CQ plans, the Datalog fixpoint database) can
+   compare, hash and join on plain integers.
+
+   Domain safety under the pool backend: the table and the id counter
+   are only touched under [mutex]. The id -> value direction is a
+   two-level chunked store whose cells are written exactly once, under
+   the mutex, before the id is published; a domain holding an id
+   obtained it either by interning (synchronising on [mutex]) or from
+   data handed over by the executor (synchronising on its batch
+   mutexes), so the happens-before edge guarantees it observes the
+   chunk pointer and the cell write. Chunks are never resized — growth
+   allocates new chunks and, rarely, a wider directory whose prefix is
+   copied verbatim — so lock-free readers never see a partially built
+   cell for a published id. *)
+
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits
+
+let mutex = Mutex.create ()
+let table : (Value.t, int) Hashtbl.t = Hashtbl.create 4096
+let placeholder = Value.Int 0
+let chunks : Value.t array array ref = ref [||]
+let count = ref 0
+
+(* Int values — the bulk of every workload — get their own
+   open-addressing int → id map instead of the polymorphic [table]:
+   no boxing on lookup, one flat probe sequence instead of a hash
+   C-call plus a bucket chase. [ivals.(i) = -1] marks an empty slot
+   (ids are non-negative), so any key int is storable. Guarded by
+   [mutex] like [table]. *)
+let ikeys = ref (Array.make 4096 0)
+let ivals = ref (Array.make 4096 (-1))
+let imask = ref 4095
+
+(* All of the functions below assume [mutex] is held. *)
+
+let ihash k mask =
+  let h = (k lxor (k lsr 33)) * 0x9E3779B97F4A7C1 in
+  (h lxor (h lsr 29)) land mask
+
+(* Slot of [k], or [-(free slot) - 1] when absent. *)
+let iprobe k =
+  let keys = !ikeys and vals = !ivals and mask = !imask in
+  let rec go i =
+    if vals.(i) = -1 then -i - 1
+    else if keys.(i) = k then i
+    else go ((i + 1) land mask)
+  in
+  go (ihash k mask)
+
+let igrow () =
+  let okeys = !ikeys and ovals = !ivals in
+  let mask = (2 * (!imask + 1)) - 1 in
+  ikeys := Array.make (mask + 1) 0;
+  ivals := Array.make (mask + 1) (-1);
+  imask := mask;
+  Array.iteri
+    (fun i id ->
+      if id <> -1 then begin
+        let j = -iprobe okeys.(i) - 1 in
+        !ikeys.(j) <- okeys.(i);
+        !ivals.(j) <- id
+      end)
+    ovals
+
+let ensure_capacity i =
+  let chunk = i lsr chunk_bits in
+  let dir = !chunks in
+  let dir =
+    if chunk < Array.length dir then dir
+    else begin
+      let wider = Array.make (max 8 (2 * (chunk + 1))) [||] in
+      Array.blit dir 0 wider 0 (Array.length dir);
+      chunks := wider;
+      wider
+    end
+  in
+  if Array.length dir.(chunk) = 0 then
+    dir.(chunk) <- Array.make chunk_size placeholder
+
+let publish i v =
+  ensure_capacity i;
+  (!chunks).(i lsr chunk_bits).(i land (chunk_size - 1)) <- v;
+  count := i + 1
+
+let id_locked v =
+  match v with
+  | Value.Int n ->
+    let j = iprobe n in
+    if j >= 0 then !ivals.(j)
+    else begin
+      let i = !count in
+      publish i v;
+      let j = -j - 1 in
+      !ikeys.(j) <- n;
+      !ivals.(j) <- i;
+      (* Load factor 1/2: [count] tracks ints and strings together, so
+         grow on the conservative side. *)
+      if 2 * !count > !imask then igrow ();
+      i
+    end
+  | Value.Str _ -> (
+    match Hashtbl.find_opt table v with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      publish i v;
+      Hashtbl.add table v i;
+      i)
+
+let id v =
+  Mutex.lock mutex;
+  let i = id_locked v in
+  Mutex.unlock mutex;
+  i
+
+let find v =
+  Mutex.lock mutex;
+  let r =
+    match v with
+    | Value.Int n ->
+      let j = iprobe n in
+      if j >= 0 then Some !ivals.(j) else None
+    | Value.Str _ -> Hashtbl.find_opt table v
+  in
+  Mutex.unlock mutex;
+  r
+
+let size () =
+  Mutex.lock mutex;
+  let n = !count in
+  Mutex.unlock mutex;
+  n
+
+(* Lock-free by design: see the header comment for the publication
+   argument. *)
+let value i = (!chunks).(i lsr chunk_bits).(i land (chunk_size - 1))
+
+let tuple (t : Tuple.t) =
+  Mutex.lock mutex;
+  let r = Array.map id_locked t in
+  Mutex.unlock mutex;
+  r
+
+let untuple (ids : int array) : Tuple.t = Array.map value ids

@@ -1,0 +1,33 @@
+(** Global, domain-safe value interner.
+
+    Maps every {!Value.t} to a dense integer id, so that equality,
+    comparison and hashing of values — and of the tuples and facts
+    built from them — become integer operations in the engine layers
+    (compiled CQ plans, the Datalog fixpoint database). The mapping is
+    process-global and append-only: ids are never reused, and a value's
+    id is stable for the lifetime of the process, which is what lets
+    compiled plans bake constant ids in and databases exchange interned
+    tuples freely.
+
+    All operations are safe to call concurrently from multiple domains
+    (the pool backend evaluates queries on worker domains). *)
+
+val id : Value.t -> int
+(** The id of [v], interning it first if it is new. O(1) amortized. *)
+
+val find : Value.t -> int option
+(** The id of [v] if it has been interned, without interning it. *)
+
+val value : int -> Value.t
+(** The value with the given id.
+    Unspecified behaviour on ids never returned by {!id}. *)
+
+val size : unit -> int
+(** Number of distinct values interned so far. *)
+
+val tuple : Tuple.t -> int array
+(** Interns every component, taking the lock once for the whole
+    tuple. *)
+
+val untuple : int array -> Tuple.t
+(** Inverse of {!tuple} on valid ids. *)
