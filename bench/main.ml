@@ -45,33 +45,24 @@ let metric key value =
   | Some cell -> cell := (key, value) :: !cell
   | None -> ()
 
+(* Every recorded per-p load comes with the model's two derived
+   quantities, so the JSON results file carries the paper's axes
+   directly: ε (load exponent) and the replication rate. *)
+let metric_stats prefix ~m stats =
+  metric (prefix ^ "_max_load") (float_of_int (Mpc.Stats.max_load stats));
+  metric (prefix ^ "_epsilon") (Mpc.Stats.epsilon ~m stats);
+  metric (prefix ^ "_replication_rate") (Mpc.Stats.replication_rate ~m stats)
+
 let write_json path =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"backend\": \"%s\",\n  \"workers\": %d,\n"
-       (Runtime.Executor.backend_name (exec ()))
-       (Runtime.Executor.workers (exec ())));
-  Buffer.add_string buf
-    (Printf.sprintf "  \"smoke\": %b,\n  \"experiments\": {\n" !smoke);
-  let exps = List.rev !recorded in
-  List.iteri
-    (fun i (name, cell) ->
-      Buffer.add_string buf (Printf.sprintf "    %S: {\n" name);
-      let ms = List.rev !cell in
-      List.iteri
-        (fun j (k, v) ->
-          Buffer.add_string buf
-            (Printf.sprintf "      %S: %.3f%s\n" k v
-               (if j = List.length ms - 1 then "" else ",")))
-        ms;
-      Buffer.add_string buf
-        (Printf.sprintf "    }%s\n" (if i = List.length exps - 1 then "" else ",")))
-    exps;
-  Buffer.add_string buf "  }\n}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  Obs.Export.write_metrics_json path
+    ~meta:
+      [
+        ("backend", Obs.Export.Mstr (Runtime.Executor.backend_name (exec ())));
+        ("workers", Obs.Export.Mint (Runtime.Executor.workers (exec ())));
+        ("smoke", Obs.Export.Mbool !smoke);
+      ]
+    ~groups:
+      (List.rev !recorded |> List.map (fun (name, cell) -> (name, List.rev !cell)));
   line "wrote %s" path
 
 let check label ok =
@@ -398,6 +389,8 @@ let e1 () =
       metric
         (Printf.sprintf "load_skew_p%d" p)
         (float_of_int (Mpc.Stats.max_load s_skew));
+      metric_stats (Printf.sprintf "free_p%d" p) ~m:(2 * m) s_free;
+      metric_stats (Printf.sprintf "skew_p%d" p) ~m:(2 * m) s_skew;
       line "  %-6d %-12d %-12d %-8.2f %-12d" p
         (Mpc.Stats.max_load s_free)
         (2 * m / p)
@@ -421,6 +414,8 @@ let e2 () =
       let skew = Mpc.Workload.join_skewed ~m in
       let _, s_free = Mpc.Grid_join.run ~materialize:false ~executor:(exec ()) ~p free in
       let _, s_skew = Mpc.Grid_join.run ~materialize:false ~executor:(exec ()) ~p skew in
+      metric_stats (Printf.sprintf "free_p%d" p) ~m:(2 * m) s_free;
+      metric_stats (Printf.sprintf "skew_p%d" p) ~m:(2 * m) s_skew;
       line "  %-6d %-12d %-12d %-14.0f %-12.1f" p
         (Mpc.Stats.max_load s_free)
         (Mpc.Stats.max_load s_skew)
@@ -449,6 +444,7 @@ let e3 () =
       metric
         (Printf.sprintf "load_p%d" p)
         (float_of_int (Mpc.Stats.max_load stats));
+      metric_stats (Printf.sprintf "p%d" p) ~m:total stats;
       line "  %-6d %-18s %-12d %-14.0f %-8.2f" p
         (String.concat ","
            (List.map (fun (v, s) -> Printf.sprintf "%s=%d" v s) shares))
@@ -1212,34 +1208,47 @@ let experiments =
     ("e12", e12);
   ]
 
+(* One parser for every [--key=value] flag: the key names its handler
+   below, so adding a flag is one table row, not another hand-counted
+   [String.sub]. *)
+let kv_flag key a =
+  let prefix = "--" ^ key ^ "=" in
+  if String.starts_with ~prefix a then
+    Some (String.sub a (String.length prefix) (String.length a - String.length prefix))
+  else None
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_timings = List.mem "--timings" args in
   let backend = ref "seq" in
   let domains = ref None in
   let json = ref None in
+  let trace_out = ref None in
+  let jsonl_out = ref None in
+  let flags =
+    [
+      ("backend", fun v -> backend := v);
+      ( "domains",
+        fun v ->
+          match int_of_string_opt v with
+          | Some n -> domains := Some n
+          | None -> line "ignoring malformed --domains=%s" v );
+      ("json", fun v -> json := Some v);
+      ("trace", fun v -> trace_out := Some v);
+      ("jsonl", fun v -> jsonl_out := Some v);
+    ]
+  in
   let selected =
     List.filter
       (fun a ->
-        if String.starts_with ~prefix:"--backend=" a then begin
-          backend := String.sub a 10 (String.length a - 10);
-          false
-        end
-        else if String.starts_with ~prefix:"--domains=" a then begin
-          (match int_of_string_opt (String.sub a 10 (String.length a - 10)) with
-          | Some n -> domains := Some n
-          | None -> line "ignoring malformed %S" a);
-          false
-        end
-        else if String.starts_with ~prefix:"--json=" a then begin
-          json := Some (String.sub a 7 (String.length a - 7));
-          false
-        end
-        else if a = "--smoke" then begin
-          smoke := true;
-          false
-        end
-        else a <> "--timings" && a <> "--")
+        match List.find_map (fun (k, set) -> Option.map set (kv_flag k a)) flags with
+        | Some () -> false
+        | None ->
+          if a = "--smoke" then begin
+            smoke := true;
+            false
+          end
+          else a <> "--timings" && a <> "--")
       args
   in
   let pool =
@@ -1258,6 +1267,7 @@ let () =
     (Runtime.Executor.workers (exec ()))
     (if Runtime.Executor.workers (exec ()) = 1 then "" else "s");
   Runtime.Metrics.set_enabled want_timings;
+  if !trace_out <> None || !jsonl_out <> None then Obs.Trace.set_enabled true;
   let to_run =
     if selected = [] then experiments
     else
@@ -1277,7 +1287,7 @@ let () =
       current_exp := name;
       recorded := (name, ref []) :: !recorded;
       let t0 = Runtime.Metrics.now () in
-      f ();
+      Obs.Trace.span ~cat:"bench" name f;
       let wall = 1000.0 *. (Runtime.Metrics.now () -. t0) in
       metric "wall_ms" wall;
       current_exp := "";
@@ -1289,4 +1299,14 @@ let () =
   if want_timings then timings ();
   Option.iter Runtime.Pool.shutdown pool;
   Option.iter write_json !json;
+  Option.iter
+    (fun path ->
+      Obs.Export.write_chrome path;
+      line "wrote %s" path)
+    !trace_out;
+  Option.iter
+    (fun path ->
+      Obs.Export.write_jsonl path;
+      line "wrote %s" path)
+    !jsonl_out;
   line ""

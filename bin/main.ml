@@ -59,6 +59,40 @@ let domains_arg =
   let doc = "Domain-pool size for --backend=pool (default: recommended)." in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event file of the run (load it in Perfetto or \
+     chrome://tracing): MPC phase spans, per-server deliveries, engine \
+     counters."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Print an aggregated profile (spans by name, counters, histograms) after \
+     the command."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print the per-round load breakdown, not just the totals." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+(* Enables the collector when either export was asked for, runs [f],
+   then writes/prints them — also on error, so a failed run still
+   leaves its partial trace. *)
+let with_obs trace profile f =
+  if trace <> None || profile then Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          Obs.Export.write_chrome path;
+          Fmt.epr "wrote %s@." path)
+        trace;
+      if profile then Fmt.pr "%a" Obs.Export.pp_report ())
+    f
+
 (* Builds the executor and runs [f] with it, tearing the pool down
    afterwards even on error. *)
 let with_executor backend domains f =
@@ -171,17 +205,20 @@ let resolve_universe universe instance =
 (* eval                                                                *)
 
 let eval_cmd =
-  let run query inline file =
+  let run query inline file trace profile =
     wrap (fun () ->
-        let q = Cq.Parser.query query in
-        let i = load_instance inline file in
-        let result = Cq.Eval.eval q i in
-        Fmt.pr "%a@." Relational.Instance.pp result;
-        Fmt.pr "(%d facts)@." (Relational.Instance.cardinal result))
+        with_obs trace profile (fun () ->
+            let q = Cq.Parser.query query in
+            let i = load_instance inline file in
+            let result = Cq.Eval.eval q i in
+            Fmt.pr "%a@." Relational.Instance.pp result;
+            Fmt.pr "(%d facts)@." (Relational.Instance.cardinal result)))
   in
   let doc = "Evaluate a conjunctive query (with !negation and != allowed)." in
   Cmd.v (Cmd.info "eval" ~doc)
-    Term.(const run $ query_arg $ instance_arg $ instance_file_arg)
+    Term.(
+      const run $ query_arg $ instance_arg $ instance_file_arg $ trace_arg
+      $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pc                                                                  *)
@@ -262,44 +299,49 @@ let transfer_cmd =
 (* hypercube                                                           *)
 
 let hypercube_cmd =
-  let run query inline file p seed backend domains =
+  let run query inline file p seed backend domains trace profile verbose =
     wrap (fun () ->
-        let q = Cq.Parser.query query in
-        let i = load_instance inline file in
-        let result, stats, shares =
-          with_executor backend domains (fun executor ->
-              Mpc.Hypercube.run ~seed ~executor ~p q i)
-        in
-        Fmt.pr "shares: %a@."
-          Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
-          shares;
-        Fmt.pr "result: %a@." Relational.Instance.pp result;
-        Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
-        Fmt.pr "tau* = %.3f, load exponent eps = %.3f@."
-          (Cq.Hypergraph.tau_star q)
-          (Mpc.Stats.epsilon ~m:(Relational.Instance.cardinal i) stats))
+        with_obs trace profile (fun () ->
+            let q = Cq.Parser.query query in
+            let i = load_instance inline file in
+            let result, stats, shares =
+              with_executor backend domains (fun executor ->
+                  Mpc.Hypercube.run ~seed ~executor ~p q i)
+            in
+            Fmt.pr "shares: %a@."
+              Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
+              shares;
+            Fmt.pr "result: %a@." Relational.Instance.pp result;
+            Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
+            if verbose then Fmt.pr "%a" Mpc.Stats.pp_rounds stats;
+            Fmt.pr "tau* = %.3f, load exponent eps = %.3f@."
+              (Cq.Hypergraph.tau_star q)
+              (Mpc.Stats.epsilon ~m:(Relational.Instance.cardinal i) stats)))
   in
   let doc = "Run the one-round HyperCube algorithm and report loads." in
   Cmd.v (Cmd.info "hypercube" ~doc)
     Term.(
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
-      $ seed_arg $ backend_arg $ domains_arg)
+      $ seed_arg $ backend_arg $ domains_arg $ trace_arg $ profile_arg
+      $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gym                                                                 *)
 
 let gym_cmd =
-  let run query inline file p backend domains =
+  let run query inline file p backend domains trace profile verbose =
     wrap (fun () ->
-        let q = Cq.Parser.query query in
-        let i = load_instance inline file in
-        let result, stats, width =
-          with_executor backend domains (fun executor ->
-              Mpc.Gym_ghd.run ~executor ~p q i)
-        in
-        Fmt.pr "decomposition width: %d bag atoms@." width;
-        Fmt.pr "result: %a@." Relational.Instance.pp result;
-        Fmt.pr "stats:  %a@." Mpc.Stats.pp stats)
+        with_obs trace profile (fun () ->
+            let q = Cq.Parser.query query in
+            let i = load_instance inline file in
+            let result, stats, width =
+              with_executor backend domains (fun executor ->
+                  Mpc.Gym_ghd.run ~executor ~p q i)
+            in
+            Fmt.pr "decomposition width: %d bag atoms@." width;
+            Fmt.pr "result: %a@." Relational.Instance.pp result;
+            Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
+            if verbose then Fmt.pr "%a" Mpc.Stats.pp_rounds stats))
   in
   let doc =
     "Run GYM (Yannakakis in MPC over a tree decomposition; handles cyclic \
@@ -308,7 +350,7 @@ let gym_cmd =
   Cmd.v (Cmd.info "gym" ~doc)
     Term.(
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
-      $ backend_arg $ domains_arg)
+      $ backend_arg $ domains_arg $ trace_arg $ profile_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -357,8 +399,9 @@ let datalog_cmd =
     let doc = "Use the well-founded semantics (for non-stratifiable programs)." in
     Arg.(value & flag & info [ "well-founded"; "wf" ] ~doc)
   in
-  let run program_file output wf inline file =
+  let run program_file output wf inline file trace profile =
     wrap (fun () ->
+        with_obs trace profile @@ fun () ->
         let program = Datalog.Program.parse (read_file program_file) in
         let i = load_instance inline file in
         Fmt.pr "idb: %s;  edb: %s@."
@@ -402,7 +445,7 @@ let datalog_cmd =
   Cmd.v (Cmd.info "datalog" ~doc)
     Term.(
       const run $ program_arg $ output_arg $ wf_arg $ instance_arg
-      $ instance_file_arg)
+      $ instance_file_arg $ trace_arg $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                            *)

@@ -4,6 +4,8 @@
     Umbrella module re-exporting every subsystem of the reproduction of
     Neven, PODS 2016. The layering mirrors the paper:
 
+    - {!Obs}: tracing, counters and exporters — the observability layer
+      everything else reports into (zero-cost when disabled);
     - {!Runtime}: the multicore execution engine — domain pool,
       work-stealing deques, the executor the simulators run on;
     - {!Relational}: facts, instances, active domains (Section 2);
@@ -22,6 +24,11 @@
       monotonicity classes (Section 5.3);
     - {!Transducer}: relational transducer networks and the CALM
       hierarchy (Sections 5.1–5.2). *)
+
+module Obs = struct
+  module Trace = Lamp_obs.Trace
+  module Export = Lamp_obs.Export
+end
 
 module Runtime = struct
   module Deque = Lamp_runtime.Deque

@@ -1,4 +1,18 @@
 open Lamp_relational
+module Trace = Lamp_obs.Trace
+
+(* Profiling counters (lamp.obs): all increments either go through
+   [Trace.incr] (a single gated atomic) on cold paths, or are guarded
+   by a [Trace.is_enabled] flag hoisted out of the loop on hot ones —
+   evaluation with tracing off runs the exact same instruction stream
+   as before the counters existed. *)
+let cnt_probes = Trace.counter "cq.probes"
+let cnt_probe_misses = Trace.counter "cq.probe_misses"
+let cnt_scans = Trace.counter "cq.scans"
+let cnt_index_builds = Trace.counter "cq.index_builds"
+let cnt_index_extends = Trace.counter "cq.index_extends"
+let cnt_dedup_fresh = Trace.counter "cq.dedup_fresh"
+let cnt_dedup_hits = Trace.counter "cq.dedup_hits"
 
 (* Compiled CQ plans over interned tuples.
 
@@ -385,8 +399,11 @@ module Db = struct
     end;
     let c =
       match s.cols.(pos) with
-      | Some c -> c
+      | Some c ->
+        if c.upto < s.n then Trace.incr cnt_index_extends;
+        c
       | None ->
+        Trace.incr cnt_index_builds;
         let c = { tbl = Hashtbl.create 64; upto = 0 } in
         s.cols.(pos) <- Some c;
         c
@@ -653,6 +670,9 @@ let make ?counts q =
    chained statically — the inner loop allocates nothing, reads bucket
    records sequentially, and every comparison is on immediate ints. *)
 let fold plan db f init =
+  (* Hoisted once per fold: with tracing off the step closures below
+     contain no counter code at all. *)
+  let tracing = Trace.is_enabled () in
   let regs = Array.make (max 1 plan.nslots) (-1) in
   let resolve = function
     | Nslot s -> regs.(s)
@@ -714,9 +734,12 @@ let fold plan db f init =
             | Kconst cst -> cst
             | Kslot sl -> regs.(sl)
           in
+          if tracing then Trace.incr cnt_probes;
           if c.Db.upto < s.Db.n then ignore (Db.col s pos);
           (match Hashtbl.find_opt c.Db.tbl key with
-          | None -> acc
+          | None ->
+            if tracing then Trace.incr cnt_probe_misses;
+            acc
           | Some b ->
             (* Snapshot: recursive steps may append to this bucket (the
                Datalog engine adds derivations in-round); the captured
@@ -732,6 +755,7 @@ let fold plan db f init =
             walk 0 acc)
       | None ->
         fun acc ->
+          if tracing then Trace.incr cnt_scans;
           let tuples = s.Db.tuples and sn = s.Db.n in
           let rec walk i acc =
             if i >= sn then acc
@@ -753,6 +777,7 @@ let head_tuple plan regs = Array.map (function
    reused scratch buffer that is only copied when fresh, so duplicate
    derivations — the common case near a fixpoint — allocate nothing. *)
 let derive plan db =
+  let tracing = Trace.is_enabled () in
   let s = Db.store db plan.head_rel in
   let ht = plan.head_terms in
   let buf = Array.make (Array.length ht) 0 in
@@ -762,8 +787,12 @@ let derive plan db =
         buf.(i) <- (match ht.(i) with Nslot sl -> regs.(sl) | Nconst c -> c)
       done;
       match Db.add_copy s buf with
-      | Some tup -> tup :: fresh
-      | None -> fresh)
+      | Some tup ->
+        if tracing then Trace.incr cnt_dedup_fresh;
+        tup :: fresh
+      | None ->
+        if tracing then Trace.incr cnt_dedup_hits;
+        fresh)
     []
 
 let valuation plan regs =

@@ -1,6 +1,25 @@
 open Lamp_relational
 open Lamp_cq
 module Sset = Set.Make (String)
+module Trace = Lamp_obs.Trace
+
+let cnt_iterations = Trace.counter "datalog.iterations"
+let delta_hist = Trace.histogram "datalog.delta"
+
+(* Per-iteration instrumentation: delta size as both a sampled series
+   (plots as a curve in the trace viewer — the shrinking frontier of a
+   converging fixpoint) and a histogram. Read-only on [fresh]; guarded
+   so the disabled path never computes [List.length]. *)
+let note_iteration ~iteration fresh =
+  if Trace.is_enabled () then begin
+    let n = List.length fresh in
+    Trace.incr cnt_iterations;
+    Trace.observe delta_hist n;
+    Trace.instant ~cat:"datalog"
+      ~args:[ ("iteration", Trace.Int iteration); ("delta", Trace.Int n) ]
+      "datalog.iteration";
+    Trace.sample ~cat:"datalog" "datalog.delta" (float_of_int n)
+  end
 
 let delta_prefix = "\003delta_"
 
@@ -69,12 +88,14 @@ let derive_fresh db rules =
     [] rules
 
 let naive_fixpoint_db db rules =
-  let rec round () =
+  let rec round i =
     match derive_fresh db rules with
     | [] -> ()
-    | _ :: _ -> round ()
+    | fresh ->
+      note_iteration ~iteration:i fresh;
+      round (i + 1)
   in
-  round ()
+  round 1
 
 let seminaive_fixpoint_db db rules =
   let recursive = recursive_heads rules in
@@ -93,15 +114,16 @@ let seminaive_fixpoint_db db rules =
           (Option.value ~default:[] (Hashtbl.find_opt by_rel rel)))
       rec_rels
   in
-  let rec iterate fresh =
+  let rec iterate i fresh =
     match fresh with
     | [] -> ()
     | _ :: _ ->
+      note_iteration ~iteration:i fresh;
       set_deltas fresh;
-      iterate (derive_fresh db rule_variants)
+      iterate (i + 1) (derive_fresh db rule_variants)
   in
   (* First iteration: full evaluation; then delta-driven rounds. *)
-  iterate (derive_fresh db rules);
+  iterate 1 (derive_fresh db rules);
   (* The reserved delta relations never leak into the result. *)
   List.iter (fun rel -> Plan.Db.replace db ~rel:(delta_prefix ^ rel) []) rec_rels
 
@@ -120,7 +142,14 @@ let run ?(strategy = Seminaive) program instance =
     | Naive -> naive_fixpoint_db
     | Seminaive -> seminaive_fixpoint_db
   in
-  List.iter (fun rules -> fixpoint db rules) layers;
+  List.iteri
+    (fun i rules ->
+      Trace.span ~cat:"datalog"
+        ~args:
+          [ ("stratum", Trace.Int i); ("rules", Trace.Int (List.length rules)) ]
+        "datalog.stratum"
+        (fun () -> fixpoint db rules))
+    layers;
   Plan.Db.to_instance
     ~keep:(fun rel -> not (String.starts_with ~prefix:delta_prefix rel))
     db

@@ -1,6 +1,7 @@
 open Lamp_relational
 module Executor = Lamp_runtime.Executor
 module Metrics = Lamp_runtime.Metrics
+module Trace = Lamp_obs.Trace
 
 type t = {
   p : int;
@@ -8,6 +9,7 @@ type t = {
   mutable locals : Instance.t array;
   mutable round_stats : Stats.round_stats list;
   initial_max : int;
+  initial_total : int; (* m of the paper's bounds, for per-round ε *)
 }
 
 type round = {
@@ -22,12 +24,16 @@ let create_with ?(executor = Executor.sequential) locals =
   let initial_max =
     Array.fold_left (fun acc i -> max acc (Instance.cardinal i)) 0 locals
   in
+  let initial_total =
+    Array.fold_left (fun acc i -> acc + Instance.cardinal i) 0 locals
+  in
   {
     p = Array.length locals;
     executor;
     locals = Array.copy locals;
     round_stats = [];
     initial_max;
+    initial_total;
   }
 
 (* Round-robin partitioning: every server receives ⌈m/p⌉ or ⌊m/p⌋ facts,
@@ -48,6 +54,86 @@ let local t i = t.locals.(i)
 let union_all t =
   Array.fold_left Instance.union Instance.empty t.locals
 
+(* ------------------------------------------------------------------ *)
+(* Trace emission (all read-only on the round's data; nothing below
+   may touch [locals], [received] contents or [round_stats])           *)
+
+let load_hist = Trace.histogram "mpc.load"
+
+(* Top-k most frequent values across the round's deliveries: the
+   concrete join keys a skewed round hammers. *)
+let heavy_keys ~k received =
+  let counts : (Value.t, int ref) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun inst ->
+      Instance.iter
+        (fun f ->
+          Array.iter
+            (fun v ->
+              match Hashtbl.find_opt counts v with
+              | Some r -> incr r
+              | None -> Hashtbl.add counts v (ref 1))
+            (Fact.args f))
+        inst)
+    received;
+  let all = Hashtbl.fold (fun v r acc -> (v, !r) :: acc) counts [] in
+  let sorted =
+    List.sort
+      (fun (v1, c1) (v2, c2) ->
+        match compare c2 c1 with 0 -> Value.compare v1 v2 | c -> c)
+      all
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+(* Per-round, per-server delivery events plus round-level aggregates:
+   the fact-granular record behind the §3 load claims — who shipped
+   what to whom, and which keys made a server heavy. *)
+let emit_round_trace t ~round_no ~sent ~shipped ~received ~max_received
+    ~total_received =
+  for i = 0 to t.p - 1 do
+    let recv = Instance.cardinal received.(i) in
+    Trace.observe load_hist recv;
+    Trace.instant ~cat:"mpc"
+      ~args:
+        [
+          ("round", Trace.Int round_no);
+          ("server", Trace.Int i);
+          ("sent", Trace.Int sent.(i));
+          ("shipped", Trace.Int shipped.(i));
+          ("received", Trace.Int recv);
+        ]
+      "mpc.server"
+  done;
+  let m = t.initial_total in
+  Trace.sample ~cat:"mpc" "mpc.max_load" (float_of_int max_received);
+  Trace.sample ~cat:"mpc" "mpc.total_received" (float_of_int total_received);
+  if m > 0 then begin
+    Trace.sample ~cat:"mpc" "mpc.replication_rate"
+      (float_of_int total_received /. float_of_int m);
+    if max_received > 0 && t.p > 1 then
+      Trace.sample ~cat:"mpc" "mpc.epsilon"
+        (1.0
+        -. log (float_of_int m /. float_of_int max_received)
+           /. log (float_of_int t.p))
+  end;
+  match heavy_keys ~k:5 received with
+  | [] -> ()
+  | keys ->
+    Trace.instant ~cat:"mpc"
+      ~args:
+        (("round", Trace.Int round_no)
+        :: List.concat
+             (List.mapi
+                (fun i (v, c) ->
+                  [
+                    (Printf.sprintf "key%d" i, Trace.Str (Value.to_string v));
+                    (Printf.sprintf "count%d" i, Trace.Int c);
+                  ])
+                keys))
+      "mpc.heavy_keys"
+
+(* ------------------------------------------------------------------ *)
+
 (* One round = three executor phases, each deterministic per index:
 
    1. communicate — one task per source server; messages land in the
@@ -63,24 +149,35 @@ let union_all t =
    3. compute — one task per server over its merged inbox.
 
    The sequential backend runs the same three phases inline, hence
-   bit-identical statistics between backends. *)
+   bit-identical statistics between backends. Tracing, when on, only
+   reads what the phases produced — the invariant is that a traced run
+   and an untraced one yield bit-identical [Stats.t] and locals. *)
 let run_round t round =
+  let tracing = Trace.is_enabled () in
+  let metering = Metrics.is_enabled () in
+  let round_no = List.length t.round_stats + 1 in
   let before = Executor.counters t.executor in
-  let t0 = if Metrics.is_enabled () then Metrics.now () else 0.0 in
+  let t0 = if metering then Metrics.now () else 0.0 in
   let nw = Executor.workers t.executor in
   let outboxes =
     Array.init nw (fun _ -> Array.make t.p ([] : Fact.t list))
   in
   let bad_dest = Array.make t.p None in
-  Executor.parallel_for t.executor ~n:t.p (fun ~worker src ->
-      let buckets = outboxes.(worker) in
-      List.iter
-        (fun (dst, fact) ->
-          if dst < 0 || dst >= t.p then begin
-            if bad_dest.(src) = None then bad_dest.(src) <- Some dst
-          end
-          else buckets.(dst) <- fact :: buckets.(dst))
-        (round.communicate src t.locals.(src)));
+  let sent = if tracing then Array.make t.p 0 else [||] in
+  Trace.span ~cat:"mpc"
+    ~args:[ ("round", Trace.Int round_no); ("p", Trace.Int t.p) ]
+    "mpc.communicate" (fun () ->
+      Executor.parallel_for t.executor ~n:t.p (fun ~worker src ->
+          let buckets = outboxes.(worker) in
+          let msgs = round.communicate src t.locals.(src) in
+          if tracing then sent.(src) <- List.length msgs;
+          List.iter
+            (fun (dst, fact) ->
+              if dst < 0 || dst >= t.p then begin
+                if bad_dest.(src) = None then bad_dest.(src) <- Some dst
+              end
+              else buckets.(dst) <- fact :: buckets.(dst))
+            msgs));
   Array.iteri
     (fun src bad ->
       match bad with
@@ -93,12 +190,15 @@ let run_round t round =
       | None -> ())
     bad_dest;
   let received =
-    Executor.map_array t.executor ~n:t.p (fun dst ->
-        let facts = ref [] in
-        for w = nw - 1 downto 0 do
-          facts := List.rev_append outboxes.(w).(dst) !facts
-        done;
-        Instance.of_facts !facts)
+    Trace.span ~cat:"mpc"
+      ~args:[ ("round", Trace.Int round_no) ]
+      "mpc.merge" (fun () ->
+        Executor.map_array t.executor ~n:t.p (fun dst ->
+            let facts = ref [] in
+            for w = nw - 1 downto 0 do
+              facts := List.rev_append outboxes.(w).(dst) !facts
+            done;
+            Instance.of_facts !facts))
   in
   let max_received =
     Array.fold_left (fun acc i -> max acc (Instance.cardinal i)) 0 received
@@ -108,14 +208,30 @@ let run_round t round =
   in
   t.round_stats <-
     { Stats.max_received; total_received } :: t.round_stats;
+  if tracing then begin
+    (* Messages shipped to each destination, duplicates included —
+       [received] counts distinct facts after the inbox set union. *)
+    let shipped = Array.make t.p 0 in
+    Array.iter
+      (fun buckets ->
+        Array.iteri
+          (fun dst msgs -> shipped.(dst) <- shipped.(dst) + List.length msgs)
+          buckets)
+      outboxes;
+    emit_round_trace t ~round_no ~sent ~shipped ~received ~max_received
+      ~total_received
+  end;
   t.locals <-
-    Executor.map_array t.executor ~n:t.p (fun i ->
-        round.compute i ~received:received.(i) ~previous:t.locals.(i));
-  if Metrics.is_enabled () then begin
+    Trace.span ~cat:"mpc"
+      ~args:[ ("round", Trace.Int round_no) ]
+      "mpc.compute" (fun () ->
+        Executor.map_array t.executor ~n:t.p (fun i ->
+            round.compute i ~received:received.(i) ~previous:t.locals.(i)));
+  if metering then begin
     let after = Executor.counters t.executor in
-    Metrics.record
+    Metrics.record ~t0
       {
-        Metrics.label = Fmt.str "round %d/p=%d" (List.length t.round_stats) t.p;
+        Metrics.label = Fmt.str "round %d/p=%d" round_no t.p;
         wall_s = Metrics.now () -. t0;
         tasks = after.Executor.tasks - before.Executor.tasks;
         steals = after.Executor.steals - before.Executor.steals;

@@ -32,3 +32,11 @@ let epsilon ~m t =
 let pp ppf t =
   Fmt.pf ppf "p=%d rounds=%d max_load=%d total_comm=%d" t.p (rounds t)
     (max_load t) (total_communication t)
+
+let pp_rounds ppf t =
+  Fmt.pf ppf "initial partition: max=%d@." t.initial_max;
+  List.iteri
+    (fun i r ->
+      Fmt.pf ppf "round %d: max_received=%d total_received=%d@." (i + 1)
+        r.max_received r.total_received)
+    t.rounds

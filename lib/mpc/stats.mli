@@ -36,3 +36,8 @@ val epsilon : m:int -> t -> float
     one-round triangle, 1/2 for the grid join. *)
 
 val pp : t Fmt.t
+
+val pp_rounds : t Fmt.t
+(** Per-round breakdown: one line per communication round with that
+    round's max and total delivery, preceded by the initial partition's
+    max. For verbose CLI output; {!pp} stays the one-line form. *)

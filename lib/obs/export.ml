@@ -1,0 +1,292 @@
+(* Serialization of Trace's collected state. All JSON is emitted
+   through the small helpers below — one escaping routine, one number
+   formatter — so every exporter agrees on the details. *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no infinities or NaN; clamp to null-ish sentinels. *)
+let add_json_float buf f =
+  if Float.is_nan f then Buffer.add_string buf "0"
+  else if f = Float.infinity then Buffer.add_string buf "1e308"
+  else if f = Float.neg_infinity then Buffer.add_string buf "-1e308"
+  else Buffer.add_string buf (Printf.sprintf "%.3f" f)
+
+let add_arg buf (k, v) =
+  add_json_string buf k;
+  Buffer.add_char buf ':';
+  match v with
+  | Trace.Int i -> Buffer.add_string buf (string_of_int i)
+  | Trace.Float f -> add_json_float buf f
+  | Trace.Str s -> add_json_string buf s
+
+let add_args buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_arg buf a)
+    args;
+  Buffer.add_char buf '}'
+
+let us t = 1e6 *. t
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event format                                           *)
+
+let chrome_event buf e =
+  (match e with
+  | Trace.Span { name; cat; tid; t; dur; args } ->
+    Buffer.add_string buf "{\"name\":";
+    add_json_string buf name;
+    Buffer.add_string buf ",\"cat\":";
+    add_json_string buf (if cat = "" then "lamp" else cat);
+    Buffer.add_string buf ",\"ph\":\"X\",\"ts\":";
+    add_json_float buf (us t);
+    Buffer.add_string buf ",\"dur\":";
+    add_json_float buf (us dur);
+    Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" tid);
+    if args <> [] then begin
+      Buffer.add_string buf ",\"args\":";
+      add_args buf args
+    end
+  | Trace.Instant { name; cat; tid; t; args } ->
+    Buffer.add_string buf "{\"name\":";
+    add_json_string buf name;
+    Buffer.add_string buf ",\"cat\":";
+    add_json_string buf (if cat = "" then "lamp" else cat);
+    Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    add_json_float buf (us t);
+    Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" tid);
+    if args <> [] then begin
+      Buffer.add_string buf ",\"args\":";
+      add_args buf args
+    end
+  | Trace.Sample { name; cat; tid = _; t; value } ->
+    Buffer.add_string buf "{\"name\":";
+    add_json_string buf name;
+    Buffer.add_string buf ",\"cat\":";
+    add_json_string buf (if cat = "" then "lamp" else cat);
+    Buffer.add_string buf ",\"ph\":\"C\",\"ts\":";
+    add_json_float buf (us t);
+    Buffer.add_string buf ",\"pid\":1,\"args\":{\"value\":";
+    add_json_float buf value;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let chrome_buffer () =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit e =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    chrome_event buf e
+  in
+  let events = Trace.events () in
+  List.iter emit events;
+  (* Final counter and histogram values, as counter points at the end
+     of the trace so they render as flat tracks with the totals. *)
+  let t_end =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Trace.Span { t; dur; _ } -> Float.max acc (t +. dur)
+        | Trace.Instant { t; _ } | Trace.Sample { t; _ } -> Float.max acc t)
+      0.0 events
+  in
+  List.iter
+    (fun (name, v) ->
+      emit
+        (Trace.Sample
+           { name; cat = "counter"; tid = 0; t = t_end; value = float_of_int v }))
+    (Trace.counters ());
+  List.iter
+    (fun (name, (s : Trace.histogram_snapshot)) ->
+      emit
+        (Trace.Instant
+           {
+             name;
+             cat = "histogram";
+             tid = 0;
+             t = t_end;
+             args =
+               [
+                 ("count", Trace.Int s.count);
+                 ("sum", Trace.Int s.sum);
+                 ("max", Trace.Int s.max_value);
+               ]
+               @ List.map
+                   (fun (ub, c) -> ("le_" ^ string_of_int ub, Trace.Int c))
+                   s.buckets;
+           }))
+    (Trace.histograms ());
+  Buffer.add_string buf "]}\n";
+  buf
+
+let write_chrome path =
+  with_out path (fun oc -> Buffer.output_buffer oc (chrome_buffer ()))
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+
+let jsonl_line buf e =
+  (match e with
+  | Trace.Span { name; cat; tid; t; dur; args } ->
+    Buffer.add_string buf "{\"type\":\"span\",\"name\":";
+    add_json_string buf name;
+    Buffer.add_string buf ",\"cat\":";
+    add_json_string buf cat;
+    Buffer.add_string buf (Printf.sprintf ",\"tid\":%d,\"ts_us\":" tid);
+    add_json_float buf (us t);
+    Buffer.add_string buf ",\"dur_us\":";
+    add_json_float buf (us dur);
+    Buffer.add_string buf ",\"args\":";
+    add_args buf args
+  | Trace.Instant { name; cat; tid; t; args } ->
+    Buffer.add_string buf "{\"type\":\"instant\",\"name\":";
+    add_json_string buf name;
+    Buffer.add_string buf ",\"cat\":";
+    add_json_string buf cat;
+    Buffer.add_string buf (Printf.sprintf ",\"tid\":%d,\"ts_us\":" tid);
+    add_json_float buf (us t);
+    Buffer.add_string buf ",\"args\":";
+    add_args buf args
+  | Trace.Sample { name; cat; tid; t; value } ->
+    Buffer.add_string buf "{\"type\":\"sample\",\"name\":";
+    add_json_string buf name;
+    Buffer.add_string buf ",\"cat\":";
+    add_json_string buf cat;
+    Buffer.add_string buf (Printf.sprintf ",\"tid\":%d,\"ts_us\":" tid);
+    add_json_float buf (us t);
+    Buffer.add_string buf ",\"value\":";
+    add_json_float buf value);
+  Buffer.add_string buf "}\n"
+
+let write_jsonl path =
+  with_out path (fun oc ->
+      let buf = Buffer.create 65536 in
+      List.iter (jsonl_line buf) (Trace.events ());
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string buf "{\"type\":\"counter\",\"name\":";
+          add_json_string buf name;
+          Buffer.add_string buf (Printf.sprintf ",\"value\":%d}\n" v))
+        (Trace.counters ());
+      List.iter
+        (fun (name, (s : Trace.histogram_snapshot)) ->
+          Buffer.add_string buf "{\"type\":\"histogram\",\"name\":";
+          add_json_string buf name;
+          Buffer.add_string buf
+            (Printf.sprintf ",\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":["
+               s.count s.sum s.max_value);
+          List.iteri
+            (fun i (ub, c) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf (Printf.sprintf "[%d,%d]" ub c))
+            s.buckets;
+          Buffer.add_string buf "]}\n")
+        (Trace.histograms ());
+      Buffer.output_buffer oc buf)
+
+(* ------------------------------------------------------------------ *)
+(* Console report                                                      *)
+
+let pp_report ppf () =
+  let spans = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (function
+      | Trace.Span { name; dur; _ } ->
+        (match Hashtbl.find_opt spans name with
+        | Some (n, total) -> Hashtbl.replace spans name (n + 1, total +. dur)
+        | None ->
+          order := name :: !order;
+          Hashtbl.add spans name (1, dur))
+      | _ -> ())
+    (Trace.events ());
+  if !order <> [] then begin
+    Fmt.pf ppf "spans (aggregated by name):@.";
+    List.iter
+      (fun name ->
+        let n, total = Hashtbl.find spans name in
+        Fmt.pf ppf "  %-40s %8d calls %12.2f ms total %10.3f ms/call@." name n
+          (1000.0 *. total)
+          (1000.0 *. total /. float_of_int n))
+      (List.rev !order)
+  end;
+  (match Trace.counters () with
+  | [] -> ()
+  | cs ->
+    Fmt.pf ppf "counters:@.";
+    List.iter (fun (name, v) -> Fmt.pf ppf "  %-40s %12d@." name v) cs);
+  match Trace.histograms () with
+  | [] -> ()
+  | hs ->
+    Fmt.pf ppf "histograms:@.";
+    List.iter
+      (fun (name, (s : Trace.histogram_snapshot)) ->
+        Fmt.pf ppf "  %-40s count %8d mean %10.1f max %10d@." name s.count
+          (if s.count = 0 then 0.0
+           else float_of_int s.sum /. float_of_int s.count)
+          s.max_value)
+      hs
+
+(* ------------------------------------------------------------------ *)
+(* Metrics JSON (bench results file)                                   *)
+
+type meta =
+  | Mstr of string
+  | Mint of int
+  | Mbool of bool
+
+let write_metrics_json path ~meta ~groups =
+  with_out path (fun oc ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\n";
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf "  ";
+          add_json_string buf k;
+          Buffer.add_string buf ": ";
+          (match v with
+          | Mstr s -> add_json_string buf s
+          | Mint i -> Buffer.add_string buf (string_of_int i)
+          | Mbool b -> Buffer.add_string buf (string_of_bool b));
+          Buffer.add_string buf ",\n")
+        meta;
+      Buffer.add_string buf "  \"experiments\": {\n";
+      List.iteri
+        (fun i (name, metrics) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf "    ";
+          add_json_string buf name;
+          Buffer.add_string buf ": {\n";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_string buf ",\n";
+              Buffer.add_string buf "      ";
+              add_json_string buf k;
+              Buffer.add_string buf ": ";
+              add_json_float buf v)
+            metrics;
+          Buffer.add_string buf "\n    }")
+        groups;
+      Buffer.add_string buf "\n  }\n}\n";
+      Buffer.output_buffer oc buf)

@@ -1,0 +1,40 @@
+(** Exporters for the state collected by {!Trace}.
+
+    Three formats:
+
+    - {e Chrome [trace_event]} ([write_chrome]): a JSON object with a
+      [traceEvents] array — load it at [ui.perfetto.dev] (or
+      [chrome://tracing]). Spans become ["X"] complete events on the
+      recording domain's track, instants become ["i"] events, samples
+      and final counter values become ["C"] counter tracks.
+    - {e JSONL} ([write_jsonl]): one self-describing JSON object per
+      line — every line has ["type"] and ["name"] fields — for ad-hoc
+      [jq]/pandas analysis and for CI schema validation.
+    - {e console} ([pp_report]): spans aggregated by name, counters,
+      histograms; the [--profile] output of the CLI. *)
+
+val write_chrome : string -> unit
+(** Write the full collected state to [path] in Chrome trace-event
+    format. Timestamps are microseconds since the trace clock anchor. *)
+
+val write_jsonl : string -> unit
+
+val pp_report : Format.formatter -> unit -> unit
+
+(** {1 Metrics JSON}
+
+    The bench harness's machine-readable results file: experiment
+    groups of named numbers plus a flat metadata header. Lives here so
+    the JSON rendering (escaping, layout) is shared with the trace
+    exporters instead of hand-rolled at the call site. *)
+
+type meta =
+  | Mstr of string
+  | Mint of int
+  | Mbool of bool
+
+val write_metrics_json :
+  string ->
+  meta:(string * meta) list ->
+  groups:(string * (string * float) list) list ->
+  unit

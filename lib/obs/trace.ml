@@ -1,0 +1,223 @@
+(* The collector. Design constraints, in order:
+
+   1. Off-path cost: every public recording function begins with one
+      [Atomic.get] of [enabled] and returns on [false] — no clock
+      read, no allocation, no lock. Call sites in engine hot loops
+      additionally hoist that check out of their inner loops (see
+      Cq.Plan.fold), so the disabled cost there is literally zero.
+   2. Multi-domain safety: counters and histogram buckets are plain
+      atomics (worker domains of the pool backend record concurrently);
+      the event buffer takes a mutex per append — events are emitted at
+      phase/round granularity, far off any hot path.
+   3. Read-only: nothing here reaches back into the instrumented
+      structures; recording can never perturb results. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      tid : int;
+      t : float;
+      dur : float;
+      args : (string * arg) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      tid : int;
+      t : float;
+      args : (string * arg) list;
+    }
+  | Sample of {
+      name : string;
+      cat : string;
+      tid : int;
+      t : float;
+      value : float;
+    }
+
+let enabled = Atomic.make false
+let is_enabled () = Atomic.get enabled
+
+let now () = Unix.gettimeofday ()
+
+(* Trace clock anchor: timestamps are seconds since the last
+   [set_enabled true] / [reset], so exported traces start near 0. *)
+let t_zero = Atomic.make 0.0
+
+let mutex = Mutex.create ()
+let recorded : event list ref = ref []
+
+let tid () = (Domain.self () :> int)
+
+let push e = Mutex.protect mutex (fun () -> recorded := e :: !recorded)
+
+let rel t = t -. Atomic.get t_zero
+
+let set_enabled b =
+  if b && not (Atomic.get enabled) then Atomic.set t_zero (now ());
+  Atomic.set enabled b
+
+let emit_span ?(cat = "") ?(args = []) ~name ~t0 ~dur () =
+  if is_enabled () then
+    push (Span { name; cat; tid = tid (); t = rel t0; dur; args })
+
+let span ?(cat = "") ?(args = []) name f =
+  if not (is_enabled ()) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        push
+          (Span
+             { name; cat; tid = tid (); t = rel t0; dur = now () -. t0; args }))
+      f
+  end
+
+let instant ?(cat = "") ?(args = []) name =
+  if is_enabled () then
+    push (Instant { name; cat; tid = tid (); t = rel (now ()); args })
+
+let sample ?(cat = "") name value =
+  if is_enabled () then
+    push (Sample { name; cat; tid = tid (); t = rel (now ()); value })
+
+let events () = Mutex.protect mutex (fun () -> List.rev !recorded)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+type counter = {
+  c_name : string;
+  c : int Atomic.t;
+}
+
+let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt counter_registry name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; c = Atomic.make 0 } in
+        Hashtbl.add counter_registry name c;
+        c)
+
+let add c n = if is_enabled () then ignore (Atomic.fetch_and_add c.c n)
+let incr c = add c 1
+let value c = Atomic.get c.c
+
+let counters () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.fold
+        (fun name c acc ->
+          let v = Atomic.get c.c in
+          if v = 0 then acc else (name, v) :: acc)
+        counter_registry [])
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+(* Bucket i holds values v with 2^(i-1) <= v < 2^i (bucket 0: v = 0),
+   i.e. the bucket index is the bit length of the value. 64 buckets
+   cover every OCaml int. *)
+let nbuckets = 64
+
+type histogram = {
+  h_name : string;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+  h_buckets : int Atomic.t array;
+}
+
+let histogram_registry : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt histogram_registry name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            h_name = name;
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0;
+            h_max = Atomic.make 0;
+            h_buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+          }
+        in
+        Hashtbl.add histogram_registry name h;
+        h)
+
+let bit_length v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let observe h v =
+  if is_enabled () then begin
+    let v = max 0 v in
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    ignore (Atomic.fetch_and_add h.h_sum v);
+    atomic_max h.h_max v;
+    ignore (Atomic.fetch_and_add h.h_buckets.(bit_length v) 1)
+  end
+
+type histogram_snapshot = {
+  count : int;
+  sum : int;
+  max_value : int;
+  buckets : (int * int) list;
+}
+
+let histogram_snapshot h =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    let c = Atomic.get h.h_buckets.(i) in
+    if c > 0 then
+      (* Inclusive upper bound of bucket i: 2^i - 1 (bucket 0 holds
+         only 0). *)
+      buckets := ((1 lsl i) - 1, c) :: !buckets
+  done;
+  {
+    count = Atomic.get h.h_count;
+    sum = Atomic.get h.h_sum;
+    max_value = Atomic.get h.h_max;
+    buckets = !buckets;
+  }
+
+let histograms () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.fold
+        (fun name h acc ->
+          if Atomic.get h.h_count = 0 then acc
+          else (name, histogram_snapshot h) :: acc)
+        histogram_registry [])
+  |> List.sort compare
+
+let reset () =
+  Mutex.protect mutex (fun () ->
+      recorded := [];
+      Hashtbl.iter (fun _ c -> Atomic.set c.c 0) counter_registry;
+      Hashtbl.iter
+        (fun _ h ->
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0;
+          Atomic.set h.h_max 0;
+          Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+        histogram_registry);
+  Atomic.set t_zero (now ())
+
+(* Silence unused-field warnings: names are read by Export via the
+   registries, not through the records. *)
+let _ = fun (c : counter) (h : histogram) -> (c.c_name, h.h_name)

@@ -1,0 +1,124 @@
+(** lamp.obs — zero-cost-when-off observability.
+
+    One process-wide collector gathers three kinds of signal:
+
+    - {e events}: wall-clock {!span}s, point-in-time {!instant}s and
+      numeric {!sample} series, appended to a mutex-protected buffer
+      with the recording domain's id attached;
+    - {e counters}: named monotone integers backed by a single atomic
+      each, so worker domains of the [pool] backend can record without
+      a lock;
+    - {e histograms}: power-of-two-bucketed value distributions, every
+      bucket an atomic.
+
+    Everything is gated on one flag: while {!is_enabled} is [false],
+    every recording entry point is a single atomic load and a branch —
+    no allocation, no lock, no time-stamping. Instrumentation must be
+    read-only on the instrumented program: enabling tracing never
+    changes query outputs or [Mpc.Stats.t] (the determinism suite in
+    [test/test_obs.ml] enforces this).
+
+    Exporters for the collected state — Chrome [trace_event] JSON for
+    Perfetto, JSONL, console report — live in {!Export}. *)
+
+(** {1 Master switch} *)
+
+val set_enabled : bool -> unit
+(** Turning tracing on also (re)anchors the trace clock: timestamps of
+    later events are relative to this moment. *)
+
+val is_enabled : unit -> bool
+val reset : unit -> unit
+(** Drops all recorded events and zeroes every counter and histogram
+    (the registries keep their entries). Safe from any domain. *)
+
+val now : unit -> float
+(** Wall-clock seconds (for metering regions by hand). *)
+
+(** {1 Events} *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      tid : int;  (** recording domain id *)
+      t : float;  (** seconds since the trace clock anchor *)
+      dur : float;  (** seconds *)
+      args : (string * arg) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      tid : int;
+      t : float;
+      args : (string * arg) list;
+    }
+  | Sample of {
+      name : string;
+      cat : string;
+      tid : int;
+      t : float;
+      value : float;  (** rendered as a Perfetto counter track *)
+    }
+
+val span : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; when enabled, records how long it took.
+    The span is recorded even when [f] raises. When disabled this is
+    [f ()] plus one atomic load. *)
+
+val emit_span :
+  ?cat:string -> ?args:(string * arg) list -> name:string -> t0:float ->
+  dur:float -> unit -> unit
+(** Record an already-measured span ([t0] in {!now}'s clock). No-op
+    when disabled. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+val sample : ?cat:string -> string -> float -> unit
+
+val events : unit -> event list
+(** Recorded events, oldest first. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Get-or-create by name; creation is synchronized, the returned
+    handle is shared. *)
+
+val incr : counter -> unit
+(** No-op while disabled; one atomic add otherwise. *)
+
+val add : counter -> int -> unit
+val value : counter -> int
+val counters : unit -> (string * int) list
+(** All registered counters with a non-zero value, sorted by name. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Get-or-create by name, same registry discipline as {!counter}. *)
+
+val observe : histogram -> int -> unit
+(** Record a (non-negative) value into its power-of-two bucket. No-op
+    while disabled. *)
+
+type histogram_snapshot = {
+  count : int;
+  sum : int;
+  max_value : int;
+  buckets : (int * int) list;
+      (** (inclusive upper bound, count) for each non-empty bucket,
+          smallest bound first. *)
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+val histograms : unit -> (string * histogram_snapshot) list
+(** All registered histograms with at least one observation, sorted. *)

@@ -1,9 +1,13 @@
-(* Lightweight, opt-in instrumentation. The simulator's load statistics
-   are part of the model (deterministic, backend-independent); these
-   are about the engine itself — wall-clock, tasks, steals — and are
-   collected globally so call sites deep in the algorithms need no
-   extra plumbing. Recording is main-domain only (rounds are submitted
-   from one domain), so plain refs suffice. *)
+(* Engine instrumentation, now a shim over lamp.obs. The simulator's
+   load statistics are part of the model (deterministic,
+   backend-independent); these are about the engine itself —
+   wall-clock, tasks, steals. The store is an atomic flag plus a
+   mutex-protected list, so recording is safe from any domain (the
+   pre-obs version was main-domain only); when full tracing is on,
+   every round is additionally forwarded to the trace as a span on the
+   "runtime" category, whether or not the summary store is enabled. *)
+
+module Trace = Lamp_obs.Trace
 
 type round = {
   label : string;
@@ -19,14 +23,29 @@ type summary = {
   total_steals : int;
 }
 
-let enabled = ref false
+let enabled = Atomic.make false
+let mutex = Mutex.create ()
 let recorded = ref []
 
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
-let reset () = recorded := []
-let record r = if !enabled then recorded := r :: !recorded
-let rounds () = List.rev !recorded
+let set_enabled b = Atomic.set enabled b
+
+(* Round recording is wanted either for the summary (--timings) or for
+   the trace (--trace/--profile); call sites gate their bookkeeping on
+   this. *)
+let is_enabled () = Atomic.get enabled || Trace.is_enabled ()
+
+let reset () = Mutex.protect mutex (fun () -> recorded := [])
+
+let record ?t0 r =
+  if Atomic.get enabled then
+    Mutex.protect mutex (fun () -> recorded := r :: !recorded);
+  if Trace.is_enabled () then
+    let t0 = match t0 with Some t -> t | None -> Trace.now () -. r.wall_s in
+    Trace.emit_span ~cat:"runtime"
+      ~args:[ ("tasks", Trace.Int r.tasks); ("steals", Trace.Int r.steals) ]
+      ~name:r.label ~t0 ~dur:r.wall_s ()
+
+let rounds () = Mutex.protect mutex (fun () -> List.rev !recorded)
 
 let summary () =
   List.fold_left
@@ -38,9 +57,9 @@ let summary () =
         total_steals = acc.total_steals + r.steals;
       })
     { rounds = 0; total_wall_s = 0.0; total_tasks = 0; total_steals = 0 }
-    !recorded
+    (rounds ())
 
-let now () = Unix.gettimeofday ()
+let now () = Trace.now ()
 
 let pp_summary ppf s =
   Fmt.pf ppf "%d rounds, %.1f ms in the engine, %d tasks, %d steals"

@@ -1,7 +1,10 @@
 (** Opt-in engine instrumentation: per-round wall-clock, tasks executed
     and steals, recorded next to (never inside) the model's load
-    statistics. Disabled by default so the simulator's hot path pays a
-    single ref read. All functions are main-domain only. *)
+    statistics. A thin shim over [lamp.obs]: the summary store here
+    serves the [--timings] output, and every recorded round is also
+    forwarded to the obs trace (category ["runtime"]) when tracing is
+    on. Disabled by default so the simulator's hot path pays a single
+    atomic read. All functions are safe from any domain. *)
 
 type round = {
   label : string;
@@ -18,11 +21,18 @@ type summary = {
 }
 
 val set_enabled : bool -> unit
+(** Enables the summary store. The obs trace has its own switch
+    ({!Lamp_obs.Trace.set_enabled}); {!is_enabled} reports either. *)
+
 val is_enabled : unit -> bool
+(** True when round records are wanted — for the summary store, the
+    trace, or both. *)
+
 val reset : unit -> unit
 
-val record : round -> unit
-(** No-op unless enabled. *)
+val record : ?t0:float -> round -> unit
+(** No-op unless enabled. [t0] (in {!now}'s clock) positions the round
+    in the trace; it defaults to [now () - wall_s]. *)
 
 val rounds : unit -> round list
 (** Recorded rounds, oldest first. *)

@@ -1,0 +1,299 @@
+open Lamp_relational
+open Lamp_runtime
+module Trace = Lamp_obs.Trace
+module Export = Lamp_obs.Export
+
+let instance = Alcotest.testable Instance.pp Instance.equal
+
+(* Every test starts from a quiet collector and leaves it disabled, so
+   test order never matters. *)
+let clean f () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+
+let span_names () =
+  List.filter_map
+    (function Trace.Span { name; _ } -> Some name | _ -> None)
+    (Trace.events ())
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let test_span_disabled_is_silent () =
+  let r = Trace.span "quiet" (fun () -> 41 + 1) in
+  Alcotest.(check int) "result through" 42 r;
+  Alcotest.(check (list string)) "no events" [] (span_names ())
+
+let test_span_nesting () =
+  Trace.set_enabled true;
+  let r =
+    Trace.span "outer" (fun () ->
+        Trace.span "inner" (fun () -> Unix.sleepf 0.002) |> ignore;
+        Trace.span "inner" (fun () -> ()) |> ignore;
+        7)
+  in
+  Alcotest.(check int) "result through" 7 r;
+  (* Completion order: both inners close before the outer. *)
+  Alcotest.(check (list string))
+    "nesting recorded" [ "inner"; "inner"; "outer" ] (span_names ());
+  let find name =
+    List.find_map
+      (function
+        | Trace.Span { name = n; t; dur; _ } when n = name -> Some (t, dur)
+        | _ -> None)
+      (Trace.events ())
+  in
+  match (find "outer", find "inner") with
+  | Some (t_out, d_out), Some (t_in, d_in) ->
+    Alcotest.(check bool) "outer starts first" true (t_out <= t_in);
+    Alcotest.(check bool) "outer covers inner" true (d_out >= d_in);
+    Alcotest.(check bool) "inner slept" true (d_in >= 0.002)
+  | _ -> Alcotest.fail "spans missing"
+
+let test_span_records_on_raise () =
+  Trace.set_enabled true;
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      Trace.span "doomed" (fun () -> failwith "boom"));
+  Alcotest.(check (list string)) "span still recorded" [ "doomed" ] (span_names ())
+
+(* ------------------------------------------------------------------ *)
+(* Counters and histograms under the pool backend                      *)
+
+let test_counter_disabled_is_noop () =
+  let c = Trace.counter "test.off" in
+  Trace.incr c;
+  Trace.add c 10;
+  Alcotest.(check int) "stays zero while disabled" 0 (Trace.value c)
+
+let test_counter_pool_aggregation () =
+  Trace.set_enabled true;
+  let c = Trace.counter "test.pool" in
+  let h = Trace.histogram "test.pool_hist" in
+  let pool = Pool.create ~domains:4 () in
+  let ex = Executor.pool pool in
+  Executor.parallel_for ex ~n:64 (fun ~worker:_ k ->
+      for _ = 1 to 1000 do
+        Trace.incr c
+      done;
+      Trace.observe h k);
+  Pool.shutdown pool;
+  Alcotest.(check int) "no increment lost across domains" 64_000 (Trace.value c);
+  let s = Trace.histogram_snapshot h in
+  Alcotest.(check int) "observations" 64 s.Trace.count;
+  Alcotest.(check int) "sum 0..63" (63 * 64 / 2) s.Trace.sum;
+  Alcotest.(check int) "max" 63 s.Trace.max_value
+
+let test_histogram_buckets () =
+  Trace.set_enabled true;
+  let h = Trace.histogram "test.buckets" in
+  List.iter (Trace.observe h) [ 0; 1; 2; 3; 8 ];
+  let s = Trace.histogram_snapshot h in
+  Alcotest.(check int) "count" 5 s.Trace.count;
+  Alcotest.(check int) "sum" 14 s.Trace.sum;
+  Alcotest.(check int) "max" 8 s.Trace.max_value;
+  (* Power-of-two buckets, inclusive upper bounds: 0 -> [0], 1 -> [1],
+     {2,3} -> [3], 8 -> [15]. *)
+  Alcotest.(check (list (pair int int)))
+    "buckets" [ (0, 1); (1, 1); (3, 2); (15, 1) ] s.Trace.buckets
+
+let test_reset_clears () =
+  Trace.set_enabled true;
+  let c = Trace.counter "test.reset" in
+  Trace.incr c;
+  Trace.instant "blip";
+  Trace.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Trace.value c);
+  Alcotest.(check int) "events cleared" 0 (List.length (Trace.events ()));
+  (* The handle stays live after a reset. *)
+  Trace.incr c;
+  Alcotest.(check int) "handle survives reset" 1 (Trace.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics shim                                                        *)
+
+let test_metrics_multidomain () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    (fun () ->
+      let pool = Pool.create ~domains:4 () in
+      let ex = Executor.pool pool in
+      Executor.parallel_for ex ~n:32 (fun ~worker:_ k ->
+          Metrics.record
+            {
+              Metrics.label = Printf.sprintf "t%d" k;
+              wall_s = 0.001;
+              tasks = 1;
+              steals = 0;
+            });
+      Pool.shutdown pool;
+      let s = Metrics.summary () in
+      Alcotest.(check int) "records from worker domains kept" 32 s.Metrics.rounds;
+      Alcotest.(check int) "tasks summed" 32 s.Metrics.total_tasks)
+
+let test_metrics_forwards_to_trace () =
+  Trace.set_enabled true;
+  Alcotest.(check bool)
+    "tracing alone turns metering on" true (Metrics.is_enabled ());
+  Metrics.record
+    { Metrics.label = "fwd"; wall_s = 0.001; tasks = 3; steals = 1 };
+  Alcotest.(check (list string)) "forwarded as a span" [ "fwd" ] (span_names ());
+  Alcotest.(check int)
+    "summary store untouched (own flag off)" 0 (Metrics.summary ()).Metrics.rounds
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: tracing may never change results or statistics         *)
+
+let tri_workload () =
+  let rng = Random.State.make [| 42 |] in
+  Lamp_mpc.Workload.triangle_skew_free ~rng ~m:300 ~domain:200
+
+let run_hc executor =
+  let r, s, _ =
+    Lamp_mpc.Hypercube.run ~executor ~p:8 Lamp_cq.Examples.q2_triangle
+      (tri_workload ())
+  in
+  (r, s)
+
+let check_trace_invariance run =
+  let r_off, s_off = run () in
+  Trace.set_enabled true;
+  let r_on, s_on = run () in
+  Trace.set_enabled false;
+  Alcotest.check instance "results identical with tracing on" r_off r_on;
+  Alcotest.(check bool) "stats bit-identical with tracing on" true (s_off = s_on);
+  Alcotest.(check bool) "trace captured events" true (Trace.events () <> [])
+
+let test_determinism_seq () =
+  check_trace_invariance (fun () -> run_hc Executor.sequential)
+
+let test_determinism_pool () =
+  check_trace_invariance (fun () ->
+      let pool = Pool.create ~domains:4 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> run_hc (Executor.pool pool)))
+
+let test_determinism_datalog () =
+  let rng = Random.State.make [| 7 |] in
+  let graph = Generate.random_graph ~rng ~nodes:60 ~edges:150 () in
+  let tc = Lamp_datalog.Canned.transitive_closure in
+  let run () = Lamp_datalog.Eval.run tc graph in
+  let off = run () in
+  Trace.set_enabled true;
+  let on = run () in
+  Trace.set_enabled false;
+  Alcotest.check instance "datalog result identical with tracing on" off on;
+  Alcotest.(check bool)
+    "stratum spans and iteration events present" true
+    (List.mem "datalog.stratum" (span_names ())
+    && List.exists
+         (function
+           | Trace.Instant { name = "datalog.iteration"; _ } -> true
+           | _ -> false)
+         (Trace.events ()))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_export_jsonl () =
+  Trace.set_enabled true;
+  ignore (run_hc Executor.sequential);
+  Trace.set_enabled false;
+  let path = Filename.temp_file "lamp_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.write_jsonl path;
+      let lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check bool) "non-empty" true (lines <> []);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "line is a JSON object" true
+            (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}');
+          Alcotest.(check bool) "has type field" true (contains l "\"type\"");
+          Alcotest.(check bool) "has name field" true (contains l "\"name\""))
+        lines;
+      Alcotest.(check bool) "mpc events present" true
+        (List.exists (fun l -> contains l "mpc.server") lines);
+      Alcotest.(check bool) "counter lines present" true
+        (List.exists (fun l -> contains l "\"type\":\"counter\"") lines))
+
+let test_export_chrome () =
+  Trace.set_enabled true;
+  ignore (run_hc Executor.sequential);
+  Trace.set_enabled false;
+  let path = Filename.temp_file "lamp_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.write_chrome path;
+      let s = read_file path in
+      Alcotest.(check bool) "trace_event envelope" true
+        (String.starts_with ~prefix:"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[" s);
+      Alcotest.(check bool) "complete spans" true (contains s "\"ph\":\"X\"");
+      Alcotest.(check bool) "instants" true (contains s "\"ph\":\"i\"");
+      Alcotest.(check bool) "counter tracks" true (contains s "\"ph\":\"C\"");
+      Alcotest.(check bool) "closed envelope" true
+        (String.length s >= 3 && String.sub s (String.length s - 3) 3 = "]}\n"))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "disabled is silent" `Quick
+            (clean test_span_disabled_is_silent);
+          Alcotest.test_case "nesting and overlap" `Quick (clean test_span_nesting);
+          Alcotest.test_case "records on raise" `Quick
+            (clean test_span_records_on_raise);
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "disabled is no-op" `Quick
+            (clean test_counter_disabled_is_noop);
+          Alcotest.test_case "pool aggregation" `Quick
+            (clean test_counter_pool_aggregation);
+          Alcotest.test_case "histogram buckets" `Quick
+            (clean test_histogram_buckets);
+          Alcotest.test_case "reset" `Quick (clean test_reset_clears);
+        ] );
+      ( "metrics-shim",
+        [
+          Alcotest.test_case "multi-domain records" `Quick
+            (clean test_metrics_multidomain);
+          Alcotest.test_case "forwards to trace" `Quick
+            (clean test_metrics_forwards_to_trace);
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "hypercube seq" `Quick (clean test_determinism_seq);
+          Alcotest.test_case "hypercube pool" `Quick (clean test_determinism_pool);
+          Alcotest.test_case "datalog" `Quick (clean test_determinism_datalog);
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl" `Quick (clean test_export_jsonl);
+          Alcotest.test_case "chrome" `Quick (clean test_export_chrome);
+        ] );
+    ]
