@@ -15,6 +15,13 @@
                            either way, only wall-clock changes
      --domains=N           pool size (default: recommended domain count)
 
+   Fault injection (e13):
+
+     --fault-seed=N        seed for e13's deterministic fault plans
+     --faults=SPEC         the chaos-row plan of e13 (lamp.faults spec,
+                           e.g. crash=0.1,drop=0.05,reorder; default
+                           "chaos")
+
    Experiments print the rows/series the paper's claims are about;
    absolute constants differ from the authors' testbeds (the substrate
    here is a simulator) but the shapes — who wins, by what exponent,
@@ -1076,6 +1083,157 @@ let e12 () =
     \  landing near parity end-to-end."
 
 (* ------------------------------------------------------------------ *)
+(* E13: recovery overhead under deterministic fault plans              *)
+
+(* Seed and spec for the chaos row of e13, settable from the command
+   line so CI can sweep seeds (--fault-seed=N, --faults=SPEC). *)
+let fault_seed = ref 1
+let faults_spec = ref "chaos"
+
+let e13 () =
+  section "E13: checkpoint/replay recovery overhead under fault plans";
+  let scale n = if !smoke then max 10 (n / 10) else n in
+  let seed = !fault_seed in
+  let rng () = Random.State.make [| 13 |] in
+  let join_i = Mpc.Workload.join_skew_free ~m:(scale 2000) in
+  let tri_i =
+    Mpc.Workload.triangle_skew_free ~rng:(rng ()) ~m:(scale 1200)
+      ~domain:(scale 400)
+  in
+  let skew_i =
+    Mpc.Workload.triangle_y_skew ~rng:(rng ()) ~m:(scale 1200)
+      ~domain:(scale 400) ~heavy_fraction:0.3
+  in
+  let chain_q = Cq.Parser.query "H(x0,x3) <- R1(x0,x1), R2(x1,x2), R3(x2,x3)" in
+  let chain_i =
+    Mpc.Workload.acyclic_chain ~rng:(rng ()) ~m:(scale 1500) ~domain:(scale 500)
+      ~rels:[ "R1"; "R2"; "R3" ]
+  in
+  let algorithms =
+    [
+      ( "repartition",
+        join_i,
+        fun ~faults ->
+          Mpc.Repartition_join.run ~executor:(exec ()) ~faults ~p:16 join_i );
+      ( "grid",
+        join_i,
+        fun ~faults -> Mpc.Grid_join.run ~executor:(exec ()) ~faults ~p:16 join_i
+      );
+      ( "hypercube",
+        tri_i,
+        fun ~faults ->
+          let r, s, _ =
+            Mpc.Hypercube.run ~executor:(exec ()) ~faults ~p:8
+              Cq.Examples.q2_triangle tri_i
+          in
+          (r, s) );
+      ( "cascade",
+        tri_i,
+        fun ~faults ->
+          Mpc.Multi_round.cascade_triangle ~executor:(exec ()) ~faults ~p:8 tri_i
+      );
+      ( "skew-resilient",
+        skew_i,
+        fun ~faults ->
+          let r, s, _ =
+            Mpc.Multi_round.skew_resilient_triangle ~executor:(exec ()) ~faults
+              ~p:8 skew_i
+          in
+          (r, s) );
+      ( "gym",
+        chain_i,
+        fun ~faults ->
+          Mpc.Yannakakis.gym ~executor:(exec ()) ~faults ~p:8 chain_q chain_i );
+      ( "gym-ghd",
+        tri_i,
+        fun ~faults ->
+          let r, s, _ =
+            Mpc.Gym_ghd.run ~executor:(exec ()) ~faults ~p:8
+              Cq.Examples.q2_triangle tri_i
+          in
+          (r, s) );
+    ]
+  in
+  let crash_rates = [ 0.05; 0.1; 0.2 ] in
+  let chaos_plan =
+    try Faults.Plan.of_string ~seed !faults_spec
+    with Invalid_argument msg ->
+      line "  bad --faults spec (%s); falling back to chaos" msg;
+      Faults.Plan.make ~seed Faults.Plan.chaos
+  in
+  let chaos_plan =
+    if Faults.Plan.is_none chaos_plan then Faults.Plan.make ~seed Faults.Plan.chaos
+    else chaos_plan
+  in
+  line "  fault seed %d; plans: zero, crash rates {%s} (+transient), %a" seed
+    (String.concat ", " (List.map (Printf.sprintf "%.2f") crash_rates))
+    Faults.Plan.pp chaos_plan;
+  List.iter
+    (fun (name, input, run) ->
+      let m = Relational.Instance.cardinal input in
+      let clean_out, clean_stats = run ~faults:Faults.Plan.none in
+      metric_stats (name ^ "_clean") ~m clean_stats;
+      line "  %-14s p=%d rounds=%d max_load=%d total_comm=%d (clean)" name
+        clean_stats.Mpc.Stats.p
+        (Mpc.Stats.rounds clean_stats)
+        (Mpc.Stats.max_load clean_stats)
+        (Mpc.Stats.total_communication clean_stats);
+      (* The faulty code path with a zero spec must be a byte-identical
+         no-op: fault injection that is off costs nothing. *)
+      let zero_out, zero_stats = run ~faults:(Faults.Plan.make ~seed Faults.Plan.zero) in
+      check
+        (Printf.sprintf "%s: zero-fault plan output and stats byte-identical"
+           name)
+        (Relational.Instance.equal clean_out zero_out
+        && Fmt.str "%a" Mpc.Stats.pp zero_stats
+           = Fmt.str "%a" Mpc.Stats.pp clean_stats);
+      let faulty key label plan =
+        let out, stats = run ~faults:plan in
+        check
+          (Printf.sprintf "%s under %s: output and clean loads bit-identical"
+             name label)
+          (Relational.Instance.equal clean_out out
+          && stats.Mpc.Stats.rounds = clean_stats.Mpc.Stats.rounds);
+        let total = Mpc.Stats.total_communication stats in
+        let rload = Mpc.Stats.recovery_load stats in
+        let overhead =
+          if total = 0 then 1.0
+          else float_of_int (total + rload) /. float_of_int total
+        in
+        line
+          "    %-10s recovery: rounds=%d/%d load=%d crashes=%d retries=%d  \
+           comm overhead %.2fx"
+          label
+          (Mpc.Stats.recovery_rounds stats)
+          (Mpc.Stats.rounds stats) rload (Mpc.Stats.crashes stats)
+          (Mpc.Stats.retries stats) overhead;
+        metric (Printf.sprintf "%s_%s_recovery_rounds" name key)
+          (float_of_int (Mpc.Stats.recovery_rounds stats));
+        metric (Printf.sprintf "%s_%s_recovery_load" name key)
+          (float_of_int rload);
+        metric (Printf.sprintf "%s_%s_crashes" name key)
+          (float_of_int (Mpc.Stats.crashes stats));
+        metric (Printf.sprintf "%s_%s_retries" name key)
+          (float_of_int (Mpc.Stats.retries stats));
+        metric (Printf.sprintf "%s_%s_comm_overhead" name key) overhead
+      in
+      List.iteri
+        (fun i rate ->
+          faulty
+            (Printf.sprintf "crash%02d" (int_of_float ((rate *. 100.0) +. 0.5)))
+            (Printf.sprintf "crash=%.2f" rate)
+            (Faults.Plan.make ~seed
+               { Faults.Plan.zero with crash = rate; transient = rate });
+          ignore i)
+        crash_rates;
+      faulty "chaos" "chaos" chaos_plan)
+    algorithms;
+  line
+    "  shape: recovered outputs and per-round loads match the clean run\n\
+    \  exactly; repair traffic grows with the crash rate and with the\n\
+    \  number of rounds exposed to it (multi-round plans replay more)."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches (one per experiment family)                 *)
 
 let timings () =
@@ -1206,6 +1364,7 @@ let experiments =
     ("e10", e10);
     ("e11", e11);
     ("e12", e12);
+    ("e13", e13);
   ]
 
 (* One parser for every [--key=value] flag: the key names its handler
@@ -1234,6 +1393,12 @@ let () =
           | Some n -> domains := Some n
           | None -> line "ignoring malformed --domains=%s" v );
       ("json", fun v -> json := Some v);
+      ( "fault-seed",
+        fun v ->
+          match int_of_string_opt v with
+          | Some n -> fault_seed := n
+          | None -> line "ignoring malformed --fault-seed=%s" v );
+      ("faults", fun v -> faults_spec := v);
       ("trace", fun v -> trace_out := Some v);
       ("jsonl", fun v -> jsonl_out := Some v);
     ]

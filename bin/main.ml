@@ -59,6 +59,28 @@ let domains_arg =
   let doc = "Domain-pool size for --backend=pool (default: recommended)." in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let faults_arg =
+  let doc =
+    "Deterministic fault plan for the simulator: comma-separated key=value \
+     fields among $(b,crash), $(b,drop), $(b,dup), $(b,delay), \
+     $(b,straggle), $(b,transient) (probabilities) plus the bare flag \
+     $(b,reorder); or the presets $(b,none) and $(b,chaos). Example: \
+     --faults=crash=0.1,drop=0.05,reorder. Faults are injected and \
+     recovered within each round; the output and per-round loads are \
+     bit-identical to the fault-free run, with recovery work reported \
+     separately."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the fault plan (decisions are pure functions of it)." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let parse_faults spec seed =
+  match spec with
+  | None -> Faults.Plan.none
+  | Some s -> Faults.Plan.of_string ~seed s
+
 let trace_arg =
   let doc =
     "Write a Chrome trace_event file of the run (load it in Perfetto or \
@@ -116,6 +138,12 @@ let wrap f =
     1
   | Cq.Ast.Unsafe msg ->
     Fmt.epr "unsafe query: %s@." msg;
+    1
+  | Transducer.Scheduler.Did_not_quiesce { transitions; in_flight } ->
+    Fmt.epr
+      "error: network did not quiesce within %d transitions (%d messages \
+       still in flight); raise --max-transitions or suspect divergence@."
+      transitions in_flight;
     1
 
 (* ------------------------------------------------------------------ *)
@@ -299,14 +327,18 @@ let transfer_cmd =
 (* hypercube                                                           *)
 
 let hypercube_cmd =
-  let run query inline file p seed backend domains trace profile verbose =
+  let run query inline file p seed backend domains faults_spec fault_seed trace
+      profile verbose =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             let q = Cq.Parser.query query in
             let i = load_instance inline file in
+            let faults = parse_faults faults_spec fault_seed in
+            if not (Faults.Plan.is_none faults) then
+              Fmt.pr "faults: %a@." Faults.Plan.pp faults;
             let result, stats, shares =
               with_executor backend domains (fun executor ->
-                  Mpc.Hypercube.run ~seed ~executor ~p q i)
+                  Mpc.Hypercube.run ~seed ~executor ~faults ~p q i)
             in
             Fmt.pr "shares: %a@."
               Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
@@ -322,21 +354,25 @@ let hypercube_cmd =
   Cmd.v (Cmd.info "hypercube" ~doc)
     Term.(
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
-      $ seed_arg $ backend_arg $ domains_arg $ trace_arg $ profile_arg
-      $ verbose_arg)
+      $ seed_arg $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg
+      $ trace_arg $ profile_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gym                                                                 *)
 
 let gym_cmd =
-  let run query inline file p backend domains trace profile verbose =
+  let run query inline file p backend domains faults_spec fault_seed trace
+      profile verbose =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             let q = Cq.Parser.query query in
             let i = load_instance inline file in
+            let faults = parse_faults faults_spec fault_seed in
+            if not (Faults.Plan.is_none faults) then
+              Fmt.pr "faults: %a@." Faults.Plan.pp faults;
             let result, stats, width =
               with_executor backend domains (fun executor ->
-                  Mpc.Gym_ghd.run ~executor ~p q i)
+                  Mpc.Gym_ghd.run ~executor ~faults ~p q i)
             in
             Fmt.pr "decomposition width: %d bag atoms@." width;
             Fmt.pr "result: %a@." Relational.Instance.pp result;
@@ -350,7 +386,74 @@ let gym_cmd =
   Cmd.v (Cmd.info "gym" ~doc)
     Term.(
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
-      $ backend_arg $ domains_arg $ trace_arg $ profile_arg $ verbose_arg)
+      $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg $ trace_arg
+      $ profile_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* calm                                                                *)
+
+let calm_cmd =
+  let max_transitions_arg =
+    let doc =
+      "Transition budget for each run before it is abandoned with a \
+       Did_not_quiesce diagnostic. The default (200000) is the \
+       Scheduler.drain default; raise it for large instances, lower it to \
+       catch divergence early."
+    in
+    Arg.(value & opt int 200_000 & info [ "max-transitions" ] ~docv:"N" ~doc)
+  in
+  let run query inline file p max_transitions faults_spec fault_seed =
+    wrap (fun () ->
+        let q = Cq.Parser.query query in
+        let i = load_instance inline file in
+        let expected = Cq.Eval.eval q i in
+        let program =
+          Transducer.Programs.monotone_broadcast ~name:"calm"
+            ~eval:(Cq.Eval.eval q)
+        in
+        let make dist = Transducer.Network.create program dist in
+        let dist = Transducer.Horizontal.round_robin ~p i in
+        let adversary =
+          match parse_faults faults_spec fault_seed with
+          | plan when Faults.Plan.is_none plan ->
+            Transducer.Scheduler.adversary fault_seed
+          | plan -> Transducer.Scheduler.Adversary plan
+        in
+        let schedules = Transducer.Calm.default_schedules @ [ adversary ] in
+        let ok = ref true in
+        List.iter
+          (fun schedule ->
+            let net = make dist in
+            let got = Transducer.Scheduler.drain ~schedule ~max_transitions net in
+            let agrees = Relational.Instance.equal got expected in
+            if not agrees then ok := false;
+            Fmt.pr "%-14s %s (%d facts)@."
+              (Transducer.Calm.schedule_name schedule)
+              (if agrees then "agrees" else "DIVERGES")
+              (Relational.Instance.cardinal got))
+          schedules;
+        (match
+           Transducer.Calm.coordination_free ~make ~expected
+             (Transducer.Horizontal.full_replication ~p i)
+         with
+        | Ok () ->
+          Fmt.pr "coordination-free: silent run on the ideal distribution \
+                  computes the query@."
+        | Error f ->
+          Fmt.pr "flagged: requires coordination (%a)@."
+            Transducer.Calm.pp_failure f);
+        if not !ok then
+          invalid_arg "some schedule diverged from the expected output")
+  in
+  let doc =
+    "Run a broadcasting transducer network for a query under every schedule \
+     — random, FIFO, LIFO and the duplicating/reordering delivery adversary \
+     — and check they agree (the CALM eventual-consistency property)."
+  in
+  Cmd.v (Cmd.info "calm" ~doc)
+    Term.(
+      const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
+      $ max_transitions_arg $ faults_arg $ fault_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -497,6 +600,7 @@ let main_cmd =
       transfer_cmd;
       hypercube_cmd;
       gym_cmd;
+      calm_cmd;
       analyze_cmd;
       datalog_cmd;
       classify_cmd;

@@ -6,6 +6,9 @@
 
     - {!Obs}: tracing, counters and exporters — the observability layer
       everything else reports into (zero-cost when disabled);
+    - {!Faults}: seeded deterministic fault plans — crash-stop, message
+      drop/duplication/reordering, stragglers, transient task faults —
+      injected into the simulators below (zero-cost when off);
     - {!Runtime}: the multicore execution engine — domain pool,
       work-stealing deques, the executor the simulators run on;
     - {!Relational}: facts, instances, active domains (Section 2);
@@ -28,6 +31,10 @@
 module Obs = struct
   module Trace = Lamp_obs.Trace
   module Export = Lamp_obs.Export
+end
+
+module Faults = struct
+  module Plan = Lamp_faults.Plan
 end
 
 module Runtime = struct

@@ -1,0 +1,251 @@
+type spec = {
+  crash : float;
+  drop : float;
+  duplicate : float;
+  delay : float;
+  reorder : bool;
+  straggle : float;
+  transient : float;
+}
+
+let zero =
+  {
+    crash = 0.0;
+    drop = 0.0;
+    duplicate = 0.0;
+    delay = 0.0;
+    reorder = false;
+    straggle = 0.0;
+    transient = 0.0;
+  }
+
+let chaos =
+  {
+    crash = 0.15;
+    drop = 0.05;
+    duplicate = 0.05;
+    delay = 0.05;
+    reorder = true;
+    straggle = 0.05;
+    transient = 0.1;
+  }
+
+type t =
+  | Off
+  | On of {
+      seed : int;
+      spec : spec;
+    }
+
+let none = Off
+let is_none = function Off -> true | On _ -> false
+
+let make ?(seed = 0) spec =
+  let prob name v =
+    if v < 0.0 || v > 1.0 then
+      invalid_arg (Fmt.str "Faults.Plan.make: %s = %g not in [0, 1]" name v)
+  in
+  prob "crash" spec.crash;
+  prob "drop" spec.drop;
+  prob "duplicate" spec.duplicate;
+  prob "delay" spec.delay;
+  prob "straggle" spec.straggle;
+  prob "transient" spec.transient;
+  if spec.drop +. spec.duplicate +. spec.delay > 1.0 then
+    invalid_arg "Faults.Plan.make: drop + duplicate + delay > 1";
+  On { seed; spec }
+
+let seed = function Off -> 0 | On p -> p.seed
+let spec = function Off -> zero | On p -> p.spec
+
+(* ------------------------------------------------------------------ *)
+(* Hashing: a splitmix64-style mixer folded over (seed, label,
+   coordinates). Pure integer arithmetic — identical on every backend,
+   platform and call order. Each decision kind gets its own label so
+   e.g. crash and straggle draws at the same coordinates stay
+   independent. *)
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash ~seed ~label a b c =
+  let fold h x =
+    mix (Int64.add (Int64.mul h 0x9e3779b97f4a7c15L) (Int64.of_int x))
+  in
+  let h = mix (Int64.logxor (Int64.of_int seed) 0x7c15d3a3f0e1b529L) in
+  fold (fold (fold (fold h label) a) b) c
+
+(* Top 53 bits as a float in [0, 1). *)
+let unit_float h =
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let draw ~seed ~label a b c = unit_float (hash ~seed ~label a b c)
+
+let crash_label = 1
+and fate_label = 2
+and reorder_label = 3
+and transient_label = 4
+and straggle_label = 5
+and straggle_len_label = 6
+
+(* ------------------------------------------------------------------ *)
+
+type phase = Communicate | Merge | Compute
+
+let phase_name = function
+  | Communicate -> "communicate"
+  | Merge -> "merge"
+  | Compute -> "compute"
+
+let phase_code = function Communicate -> 1 | Merge -> 2 | Compute -> 3
+
+type fate = Deliver | Drop | Duplicate | Delay
+
+let crashes t ~round ~server =
+  match t with
+  | Off -> false
+  | On { seed; spec } ->
+    spec.crash > 0.0
+    && draw ~seed ~label:crash_label round server 0 < spec.crash
+
+let fate t ~round ~src ~index =
+  match t with
+  | Off -> Deliver
+  | On { seed; spec } ->
+    if spec.drop = 0.0 && spec.duplicate = 0.0 && spec.delay = 0.0 then
+      Deliver
+    else begin
+      let u = draw ~seed ~label:fate_label round src index in
+      if u < spec.drop then Drop
+      else if u < spec.drop +. spec.duplicate then Duplicate
+      else if u < spec.drop +. spec.duplicate +. spec.delay then Delay
+      else Deliver
+    end
+
+let permute t ~round ~lane xs =
+  match t with
+  | Off -> xs
+  | On { spec; _ } when not spec.reorder -> xs
+  | On { seed; _ } -> (
+    match xs with
+    | [] | [ _ ] -> xs
+    | _ ->
+      (* Fisher–Yates with hash-derived indices: the same (seed, round,
+         lane) always yields the same permutation of equal-length
+         batches. *)
+      let a = Array.of_list xs in
+      for i = Array.length a - 1 downto 1 do
+        let h = hash ~seed ~label:reorder_label round lane i in
+        let j =
+          Int64.to_int
+            (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int (i + 1)))
+        in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done;
+      Array.to_list a)
+
+exception Transient of string
+
+let is_transient = function Transient _ -> true | _ -> false
+let max_attempts = 4
+
+let transient_failures t ~round ~phase ~task =
+  match t with
+  | Off -> 0
+  | On { seed; spec } ->
+    if spec.transient <= 0.0 then 0
+    else begin
+      let u = draw ~seed ~label:transient_label round (phase_code phase) task in
+      (* P(≥1 failure) = transient, P(2 failures) = transient²; never
+         more than max_attempts - 2, so retries always succeed. *)
+      if u < spec.transient *. spec.transient then 2
+      else if u < spec.transient then 1
+      else 0
+    end
+
+let inject t ~round ~phase ~task ~attempt =
+  if attempt <= transient_failures t ~round ~phase ~task then
+    raise
+      (Transient
+         (Fmt.str "injected transient fault (round %d, %s, task %d, attempt %d)"
+            round (phase_name phase) task attempt))
+
+let straggle t ~round ~phase ~task =
+  match t with
+  | Off -> ()
+  | On { seed; spec } ->
+    if
+      spec.straggle > 0.0
+      && draw ~seed ~label:straggle_label round (phase_code phase) task
+         < spec.straggle
+    then
+      Unix.sleepf
+        (0.0001
+        +. 0.0009
+           *. draw ~seed ~label:straggle_len_label round (phase_code phase)
+                task)
+
+(* ------------------------------------------------------------------ *)
+
+let of_string ?(seed = 0) s =
+  match String.trim s with
+  | "" | "none" -> none
+  | "chaos" -> make ~seed chaos
+  | s ->
+    let parse_field spec field =
+      let fail () =
+        invalid_arg
+          (Fmt.str
+             "Faults.Plan.of_string: bad field %S (expected key=float among \
+              crash/drop/dup/delay/straggle/transient, or the flag reorder)"
+             field)
+      in
+      match String.trim field with
+      | "" -> spec
+      | "reorder" -> { spec with reorder = true }
+      | field -> (
+        match String.index_opt field '=' with
+        | None -> fail ()
+        | Some i ->
+          let key = String.trim (String.sub field 0 i) in
+          let v =
+            String.trim (String.sub field (i + 1) (String.length field - i - 1))
+          in
+          let f = match float_of_string_opt v with Some f -> f | None -> fail () in
+          (match key with
+          | "crash" -> { spec with crash = f }
+          | "drop" -> { spec with drop = f }
+          | "dup" | "duplicate" -> { spec with duplicate = f }
+          | "delay" -> { spec with delay = f }
+          | "straggle" -> { spec with straggle = f }
+          | "transient" -> { spec with transient = f }
+          | _ -> fail ()))
+    in
+    let spec =
+      List.fold_left parse_field zero (String.split_on_char ',' s)
+    in
+    make ~seed spec
+
+let pp ppf = function
+  | Off -> Fmt.string ppf "none"
+  | On { seed; spec } ->
+    let fields =
+      List.filter_map
+        (fun (k, v) -> if v > 0.0 then Some (Fmt.str "%s=%g" k v) else None)
+        [
+          ("crash", spec.crash);
+          ("drop", spec.drop);
+          ("dup", spec.duplicate);
+          ("delay", spec.delay);
+          ("straggle", spec.straggle);
+          ("transient", spec.transient);
+        ]
+      @ (if spec.reorder then [ "reorder" ] else [])
+    in
+    let body = match fields with [] -> "none" | _ -> String.concat "," fields in
+    Fmt.pf ppf "%s@@seed=%d" body seed

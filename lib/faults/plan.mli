@@ -1,0 +1,105 @@
+(** Seeded, deterministic fault plans.
+
+    A plan decides, for every coordinate of a simulated execution —
+    (round, server) for crashes, (round, source, message index) for
+    message fates, (round, phase, task) for task faults — whether a
+    fault fires. Decisions are pure functions of the plan's seed and
+    those coordinates, {e never} of call order or wall-clock time, so a
+    faulty run is reproducible bit-for-bit on any backend: the pool
+    executor may interleave tasks arbitrarily and every task still draws
+    the same faults as the sequential one.
+
+    [none] is the distinguished empty plan: consumers test {!is_none}
+    and dispatch to their untouched fault-free code path, so fault
+    injection that is off costs nothing. *)
+
+type spec = {
+  crash : float;  (** Per-round, per-server crash-stop probability. *)
+  drop : float;  (** Per-message drop probability. *)
+  duplicate : float;  (** Per-message duplication probability. *)
+  delay : float;
+      (** Per-message straggler probability: the message misses the
+          round's main wave and arrives with the recovery traffic. *)
+  reorder : bool;  (** Deterministically shuffle each source's messages. *)
+  straggle : float;
+      (** Per-task straggler probability: the task sleeps briefly,
+          perturbing real scheduling without changing any result. *)
+  transient : float;
+      (** Per-task transient-fault probability. An affected task raises
+          {!Transient} on its first (with probability [transient²] also
+          its second) attempt; always fewer than [max_attempts - 1]
+          failures, so retried tasks always eventually succeed. *)
+}
+
+val zero : spec
+(** All probabilities 0, [reorder = false]. *)
+
+val chaos : spec
+(** A kitchen-sink preset: crashes, message faults, reordering,
+    stragglers and transient faults all enabled at moderate rates. *)
+
+type t
+
+val none : t
+(** The empty plan: no decision ever fires; {!is_none} holds. *)
+
+val is_none : t -> bool
+
+val make : ?seed:int -> spec -> t
+(** @raise Invalid_argument when a probability is outside [0, 1] or
+    [drop + duplicate + delay > 1]. *)
+
+val seed : t -> int
+val spec : t -> spec
+
+val of_string : ?seed:int -> string -> t
+(** Parses a CLI fault spec: comma-separated [key=value] fields among
+    [crash], [drop], [dup], [delay], [straggle], [transient] (floats)
+    and the bare flag [reorder]; ["none"] or [""] is {!none} and
+    ["chaos"] is the {!chaos} preset.
+    @raise Invalid_argument on malformed input. *)
+
+val pp : t Fmt.t
+(** Canonical form accepted by {!of_string}, plus the seed. *)
+
+(** {1 Deterministic decisions} *)
+
+type phase = Communicate | Merge | Compute
+
+val phase_name : phase -> string
+
+type fate =
+  | Deliver
+  | Drop  (** Lost in the main wave; retransmitted during recovery. *)
+  | Duplicate  (** Shipped twice (set-union merge absorbs the copy). *)
+  | Delay  (** Held back; delivered with the recovery traffic. *)
+
+val crashes : t -> round:int -> server:int -> bool
+(** Whether the server crash-stops during this round. *)
+
+val fate : t -> round:int -> src:int -> index:int -> fate
+(** Fate of source [src]'s [index]-th message of the round. *)
+
+val permute : t -> round:int -> lane:int -> 'a list -> 'a list
+(** Deterministic shuffle of a message batch when [reorder] is set;
+    identity otherwise. [lane] disambiguates batches within a round
+    (typically the source server). *)
+
+exception Transient of string
+(** The injected transient task fault. *)
+
+val is_transient : exn -> bool
+
+val max_attempts : int
+(** Retry budget sufficient for any plan's transient faults (4). *)
+
+val transient_failures : t -> round:int -> phase:phase -> task:int -> int
+(** How many leading attempts of this task fail (0, 1 or 2). *)
+
+val inject : t -> round:int -> phase:phase -> task:int -> attempt:int -> unit
+(** Raises {!Transient} iff [attempt <= transient_failures] (attempts
+    are 1-based). Call at the top of a retryable task body. *)
+
+val straggle : t -> round:int -> phase:phase -> task:int -> unit
+(** Sleeps 0.1–1 ms when the task is selected as a straggler. Perturbs
+    real parallel scheduling; never changes a result. *)

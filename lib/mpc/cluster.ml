@@ -2,12 +2,15 @@ open Lamp_relational
 module Executor = Lamp_runtime.Executor
 module Metrics = Lamp_runtime.Metrics
 module Trace = Lamp_obs.Trace
+module Plan = Lamp_faults.Plan
 
 type t = {
   p : int;
   executor : Executor.t;
+  faults : Plan.t;
   mutable locals : Instance.t array;
   mutable round_stats : Stats.round_stats list;
+  mutable recoveries : Stats.recovery list;
   initial_max : int;
   initial_total : int; (* m of the paper's bounds, for per-round ε *)
 }
@@ -19,7 +22,7 @@ type round = {
 
 let check_p p = if p < 1 then invalid_arg "Cluster: p must be >= 1"
 
-let create_with ?(executor = Executor.sequential) locals =
+let create_with ?(executor = Executor.sequential) ?(faults = Plan.none) locals =
   check_p (Array.length locals);
   let initial_max =
     Array.fold_left (fun acc i -> max acc (Instance.cardinal i)) 0 locals
@@ -30,24 +33,27 @@ let create_with ?(executor = Executor.sequential) locals =
   {
     p = Array.length locals;
     executor;
+    faults;
     locals = Array.copy locals;
     round_stats = [];
+    recoveries = [];
     initial_max;
     initial_total;
   }
 
 (* Round-robin partitioning: every server receives ⌈m/p⌉ or ⌊m/p⌋ facts,
    the model's "1/p-th of the data" assumption. *)
-let create ?executor ~p instance =
+let create ?executor ?faults ~p instance =
   check_p p;
   let locals = Array.make p Instance.empty in
   List.iteri
     (fun k f -> locals.(k mod p) <- Instance.add f locals.(k mod p))
     (Instance.facts instance);
-  create_with ?executor locals
+  create_with ?executor ?faults locals
 
 let p t = t.p
 let executor t = t.executor
+let faults t = t.faults
 let locals t = Array.copy t.locals
 let local t i = t.locals.(i)
 
@@ -134,6 +140,13 @@ let emit_round_trace t ~round_no ~sent ~shipped ~received ~max_received
 
 (* ------------------------------------------------------------------ *)
 
+let bad_destination ~p ~src ~dst fact =
+  Invalid_argument
+    (Fmt.str
+       "Cluster.run_round: server %d sent %a to destination %d, out of range \
+        for p = %d"
+       src Fact.pp fact dst p)
+
 (* One round = three executor phases, each deterministic per index:
 
    1. communicate — one task per source server; messages land in the
@@ -152,7 +165,7 @@ let emit_round_trace t ~round_no ~sent ~shipped ~received ~max_received
    bit-identical statistics between backends. Tracing, when on, only
    reads what the phases produced — the invariant is that a traced run
    and an untraced one yield bit-identical [Stats.t] and locals. *)
-let run_round t round =
+let run_round_clean t round =
   let tracing = Trace.is_enabled () in
   let metering = Metrics.is_enabled () in
   let round_no = List.length t.round_stats + 1 in
@@ -174,19 +187,14 @@ let run_round t round =
           List.iter
             (fun (dst, fact) ->
               if dst < 0 || dst >= t.p then begin
-                if bad_dest.(src) = None then bad_dest.(src) <- Some dst
+                if bad_dest.(src) = None then bad_dest.(src) <- Some (dst, fact)
               end
               else buckets.(dst) <- fact :: buckets.(dst))
             msgs));
   Array.iteri
     (fun src bad ->
       match bad with
-      | Some dst ->
-        invalid_arg
-          (Fmt.str
-             "Cluster.run_round: server %d sent a message to destination %d, \
-              out of range for p = %d"
-             src dst t.p)
+      | Some (dst, fact) -> raise (bad_destination ~p:t.p ~src ~dst fact)
       | None -> ())
     bad_dest;
   let received =
@@ -238,11 +246,247 @@ let run_round t round =
       }
   end
 
+(* ------------------------------------------------------------------ *)
+(* The faulty round. Same three phases, but the plan may crash-stop
+   servers for the round, drop/duplicate/delay/reorder messages, stall
+   tasks and make them transiently fail. Recovery restores the clean
+   round's outcome within the same round:
+
+   - [checkpoint] snapshots every server's local at the round start
+     (instances are persistent, so a shallow array copy suffices) —
+     the durable state a replacement server restarts from.
+   - A crashed server sends nothing in the main wave; the recovery wave
+     replays its communicate phase from the checkpoint. Its inbox is
+     redelivered to the replacement, and its compute runs from the
+     checkpointed previous state.
+   - Dropped and delayed messages are retransmitted in the recovery
+     wave; duplicated copies are absorbed by the merge's set union.
+   - Transient task faults raise {!Plan.Transient} at the top of the
+     task body (before any mutation) and are absorbed by
+     {!Executor.with_retry}; plans inject fewer failures than the
+     retry budget, so tasks always eventually succeed.
+
+   Every clean-run message therefore reaches the final merged inbox at
+   least once and nothing else does, so [received] — and with it
+   [Stats.rounds], the computed locals and the final output — is
+   bit-identical to the fault-free run. All repair traffic is accounted
+   separately in [Stats.recoveries]. Fault decisions are pure functions
+   of (seed, coordinates), so the pool backend draws exactly the same
+   faults as the sequential one. *)
+let run_round_faulty t plan round =
+  let tracing = Trace.is_enabled () in
+  let metering = Metrics.is_enabled () in
+  let round_no = List.length t.round_stats + 1 in
+  let before = Executor.counters t.executor in
+  let t0 = if metering then Metrics.now () else 0.0 in
+  let nw = Executor.workers t.executor in
+  let checkpoint = Array.copy t.locals in
+  let crashed =
+    Array.init t.p (fun s -> Plan.crashes plan ~round:round_no ~server:s)
+  in
+  let n_crashed =
+    Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 crashed
+  in
+  if tracing then
+    Array.iteri
+      (fun s c ->
+        if c then
+          Trace.instant ~cat:"fault"
+            ~args:[ ("round", Trace.Int round_no); ("server", Trace.Int s) ]
+            "fault.crash")
+      crashed;
+  let outboxes =
+    Array.init nw (fun _ -> Array.make t.p ([] : Fact.t list))
+  in
+  let bad_dest = Array.make t.p None in
+  (* Per-source message casualties of the main wave, repaired below.
+     Indexed by source, so concurrent communicate tasks never share a
+     slot. *)
+  let lost = Array.make t.p ([] : (int * Fact.t) list) in
+  let dup_shipped = Array.make t.p 0 in
+  let sent = if tracing then Array.make t.p 0 else [||] in
+  let retry ~phase ~task body =
+    Executor.with_retry ~max_attempts:Plan.max_attempts
+      ~retryable:Plan.is_transient (fun ~attempt ->
+        Plan.inject plan ~round:round_no ~phase ~task ~attempt;
+        Plan.straggle plan ~round:round_no ~phase ~task;
+        body ())
+  in
+  Trace.span ~cat:"mpc"
+    ~args:[ ("round", Trace.Int round_no); ("p", Trace.Int t.p) ]
+    "mpc.communicate" (fun () ->
+      Executor.parallel_for t.executor ~n:t.p (fun ~worker src ->
+          if not crashed.(src) then
+            retry ~phase:Plan.Communicate ~task:src (fun () ->
+                let buckets = outboxes.(worker) in
+                let msgs =
+                  Plan.permute plan ~round:round_no ~lane:src
+                    (round.communicate src t.locals.(src))
+                in
+                if tracing then sent.(src) <- List.length msgs;
+                let casualties = ref [] in
+                let dups = ref 0 in
+                List.iteri
+                  (fun index (dst, fact) ->
+                    if dst < 0 || dst >= t.p then begin
+                      if bad_dest.(src) = None then
+                        bad_dest.(src) <- Some (dst, fact)
+                    end
+                    else
+                      match Plan.fate plan ~round:round_no ~src ~index with
+                      | Plan.Deliver -> buckets.(dst) <- fact :: buckets.(dst)
+                      | Plan.Duplicate ->
+                        buckets.(dst) <- fact :: fact :: buckets.(dst);
+                        incr dups
+                      | Plan.Drop | Plan.Delay ->
+                        casualties := (dst, fact) :: !casualties)
+                  msgs;
+                lost.(src) <- !casualties;
+                dup_shipped.(src) <- !dups)));
+  Array.iteri
+    (fun src bad ->
+      match bad with
+      | Some (dst, fact) -> raise (bad_destination ~p:t.p ~src ~dst fact)
+      | None -> ())
+    bad_dest;
+  (* Recovery wave, part 1: before the merge barrier completes, crashed
+     servers' sends are replayed from their checkpoints and the main
+     wave's dropped/delayed messages are retransmitted. Runs on the
+     coordinating domain — repair is rare and determinism is free. *)
+  let recovery_inbox = Array.make t.p ([] : Fact.t list) in
+  let replayed = ref 0 in
+  let retransmitted = ref 0 in
+  Array.iteri
+    (fun src is_crashed ->
+      if is_crashed then begin
+        let msgs = round.communicate src checkpoint.(src) in
+        if tracing then sent.(src) <- List.length msgs;
+        List.iter
+          (fun (dst, fact) ->
+            if dst < 0 || dst >= t.p then
+              raise (bad_destination ~p:t.p ~src ~dst fact)
+            else begin
+              recovery_inbox.(dst) <- fact :: recovery_inbox.(dst);
+              incr replayed
+            end)
+          msgs
+      end)
+    crashed;
+  Array.iter
+    (List.iter (fun (dst, fact) ->
+         recovery_inbox.(dst) <- fact :: recovery_inbox.(dst);
+         incr retransmitted))
+    lost;
+  let received =
+    Trace.span ~cat:"mpc"
+      ~args:[ ("round", Trace.Int round_no) ]
+      "mpc.merge" (fun () ->
+        Executor.map_array t.executor ~n:t.p (fun dst ->
+            retry ~phase:Plan.Merge ~task:dst (fun () ->
+                let facts = ref recovery_inbox.(dst) in
+                for w = nw - 1 downto 0 do
+                  facts := List.rev_append outboxes.(w).(dst) !facts
+                done;
+                Instance.of_facts !facts)))
+  in
+  (* Recovery wave, part 2: a crashed destination lost its inbox with
+     it; the merged inbox is redelivered to the replacement server. *)
+  Array.iteri
+    (fun dst c -> if c then replayed := !replayed + Instance.cardinal received.(dst))
+    crashed;
+  let max_received =
+    Array.fold_left (fun acc i -> max acc (Instance.cardinal i)) 0 received
+  in
+  let total_received =
+    Array.fold_left (fun acc i -> acc + Instance.cardinal i) 0 received
+  in
+  t.round_stats <-
+    { Stats.max_received; total_received } :: t.round_stats;
+  let retries = ref 0 in
+  for s = 0 to t.p - 1 do
+    let failures phase =
+      Plan.transient_failures plan ~round:round_no ~phase ~task:s
+    in
+    if not crashed.(s) then retries := !retries + failures Plan.Communicate;
+    retries := !retries + failures Plan.Merge + failures Plan.Compute
+  done;
+  let duplicates = Array.fold_left ( + ) 0 dup_shipped in
+  if
+    n_crashed > 0 || !replayed > 0 || !retransmitted > 0 || duplicates > 0
+    || !retries > 0
+  then begin
+    t.recoveries <-
+      {
+        Stats.round = round_no;
+        crashed = n_crashed;
+        replayed = !replayed;
+        retransmitted = !retransmitted;
+        duplicates;
+        retries = !retries;
+      }
+      :: t.recoveries;
+    Trace.instant ~cat:"fault"
+      ~args:
+        [
+          ("round", Trace.Int round_no);
+          ("crashed", Trace.Int n_crashed);
+          ("replayed", Trace.Int !replayed);
+          ("retransmitted", Trace.Int !retransmitted);
+          ("duplicates", Trace.Int duplicates);
+          ("retries", Trace.Int !retries);
+        ]
+      "mpc.recovery"
+  end;
+  if tracing then begin
+    let shipped = Array.make t.p 0 in
+    Array.iter
+      (fun buckets ->
+        Array.iteri
+          (fun dst msgs -> shipped.(dst) <- shipped.(dst) + List.length msgs)
+          buckets)
+      outboxes;
+    Array.iteri
+      (fun dst msgs -> shipped.(dst) <- shipped.(dst) + List.length msgs)
+      recovery_inbox;
+    emit_round_trace t ~round_no ~sent ~shipped ~received ~max_received
+      ~total_received
+  end;
+  t.locals <-
+    Trace.span ~cat:"mpc"
+      ~args:[ ("round", Trace.Int round_no) ]
+      "mpc.compute" (fun () ->
+        Executor.map_array t.executor ~n:t.p (fun i ->
+            retry ~phase:Plan.Compute ~task:i (fun () ->
+                (* A crashed server's in-memory state died with it; the
+                   replacement restarts from the checkpoint (equal to
+                   the round-start local by construction). *)
+                let previous =
+                  if crashed.(i) then checkpoint.(i) else t.locals.(i)
+                in
+                round.compute i ~received:received.(i) ~previous)));
+  if metering then begin
+    let after = Executor.counters t.executor in
+    Metrics.record ~t0
+      {
+        Metrics.label = Fmt.str "round %d/p=%d (faulty)" round_no t.p;
+        wall_s = Metrics.now () -. t0;
+        tasks = after.Executor.tasks - before.Executor.tasks;
+        steals = after.Executor.steals - before.Executor.steals;
+      }
+  end
+
+(* Fault injection off costs nothing: the clean path above is exactly
+   the pre-faults code. *)
+let run_round t round =
+  if Plan.is_none t.faults then run_round_clean t round
+  else run_round_faulty t t.faults round
+
 let stats t =
   {
     Stats.p = t.p;
     initial_max = t.initial_max;
     rounds = List.rev t.round_stats;
+    recoveries = List.rev t.recoveries;
   }
 
 (* Common communication phases. *)

@@ -28,18 +28,33 @@ type round = {
           before. *)
 }
 
-val create : ?executor:Lamp_runtime.Executor.t -> p:int -> Instance.t -> t
+val create :
+  ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
+  p:int ->
+  Instance.t ->
+  t
 (** Round-robin initial partitioning: every server holds 1/p-th of the
     input, matching the model's assumption-free initial distribution.
     [executor] (default {!Lamp_runtime.Executor.sequential}) runs the
-    rounds. *)
+    rounds. [faults] (default {!Lamp_faults.Plan.none}) injects a
+    deterministic fault plan into every round; see {!run_round}. *)
 
-val create_with : ?executor:Lamp_runtime.Executor.t -> Instance.t array -> t
+val create_with :
+  ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
+  Instance.t array ->
+  t
 (** Start from an explicit initial partitioning (one instance per
     server). *)
 
 val p : t -> int
 val executor : t -> Lamp_runtime.Executor.t
+
+val faults : t -> Lamp_faults.Plan.t
+(** The fault plan rounds run under ({!Lamp_faults.Plan.none} by
+    default). *)
+
 val locals : t -> Instance.t array
 val local : t -> int -> Instance.t
 
@@ -50,8 +65,19 @@ val run_round : t -> round -> unit
 (** Executes one round and records its load. Destinations are validated
     during the outbox fan-out: a message outside [0 .. p - 1] aborts the
     round before any state or statistic is updated.
+
+    Under a fault plan, the round additionally checkpoints every
+    server's local at the round start, crash-stops the plan's chosen
+    servers, applies per-message fates, stalls and transiently fails
+    tasks (absorbed by bounded retry), then recovers within the round:
+    crashed servers' sends are replayed from the checkpoint, dropped and
+    delayed messages retransmitted, and crashed destinations' inboxes
+    redelivered to their replacements. The recovered round's loads,
+    locals and output are bit-identical to a fault-free run; all repair
+    traffic is accounted separately in [Stats.recoveries].
     @raise Invalid_argument on a message to a nonexistent server, naming
-    the smallest offending source server and its destination. *)
+    the smallest offending source server, the offending fact, and its
+    destination. *)
 
 val stats : t -> Stats.t
 

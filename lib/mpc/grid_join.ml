@@ -9,10 +9,10 @@ open Lamp_relational
 
 let query = Lamp_cq.Examples.q1_join
 
-let run ?(materialize = true) ?executor ~p instance =
+let run ?(materialize = true) ?executor ?faults ~p instance =
   if p < 1 then invalid_arg "Grid_join.run: p < 1";
   let g = max 1 (int_of_float (sqrt (float_of_int p))) in
-  let cluster = Cluster.create ?executor ~p instance in
+  let cluster = Cluster.create ?executor ?faults ~p instance in
   (* Stable per-fact group numbers: hash of the fact itself modulo g
      keeps groups balanced in expectation and independent of any value
      frequency; exact balance is achieved by numbering the facts. *)

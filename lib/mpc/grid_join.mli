@@ -14,6 +14,7 @@ val query : Lamp_cq.Ast.t
 val run :
   ?materialize:bool ->
   ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
   p:int ->
   Instance.t ->
   Instance.t * Stats.t

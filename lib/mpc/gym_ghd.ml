@@ -16,7 +16,8 @@ let bag_pseudo_atom i (b : Decomposition.bag) =
 let bag_query i (b : Decomposition.bag) =
   Ast.make ~head:(bag_pseudo_atom i b) ~body:b.Decomposition.atoms ()
 
-let run ?(seed = 0) ?decomposition ?executor ~p q instance =
+let run ?(seed = 0) ?decomposition ?executor ?(faults = Lamp_faults.Plan.none)
+    ~p q instance =
   if not (Ast.is_positive q) then
     invalid_arg "Gym_ghd.run: defined for positive CQs";
   let decomposition =
@@ -53,6 +54,19 @@ let run ?(seed = 0) ?decomposition ?executor ~p q instance =
   let phase1 =
     ref { Stats.max_received = 0; total_received = 0 }
   in
+  (* Bag runs all belong to phase 1 — their recovery work is merged
+     into a single round-1 record. *)
+  let phase1_recovery =
+    ref
+      {
+        Stats.round = 1;
+        crashed = 0;
+        replayed = 0;
+        retransmitted = 0;
+        duplicates = 0;
+        retries = 0;
+      }
+  in
   let rec eval_bags { Numbered.id = i; bag; kids } =
     let bq = bag_query i bag in
     let shares, _ =
@@ -62,7 +76,7 @@ let run ?(seed = 0) ?decomposition ?executor ~p q instance =
         bq
     in
     let result, stats =
-      Hypercube.run_with_shares ~seed ?executor ~shares bq instance
+      Hypercube.run_with_shares ~seed ?executor ~faults ~shares bq instance
     in
     bag_results.(i) <- result;
     (match stats.Stats.rounds with
@@ -73,6 +87,19 @@ let run ?(seed = 0) ?decomposition ?executor ~p q instance =
           total_received = !phase1.Stats.total_received + r.Stats.total_received;
         }
     | _ -> assert false);
+    List.iter
+      (fun (r : Stats.recovery) ->
+        let acc = !phase1_recovery in
+        phase1_recovery :=
+          {
+            acc with
+            Stats.crashed = acc.Stats.crashed + r.Stats.crashed;
+            replayed = acc.replayed + r.replayed;
+            retransmitted = acc.retransmitted + r.retransmitted;
+            duplicates = acc.duplicates + r.duplicates;
+            retries = acc.retries + r.retries;
+          })
+      stats.Stats.recoveries;
     List.iter eval_bags kids
   in
   List.iter eval_bags numbered;
@@ -93,12 +120,31 @@ let run ?(seed = 0) ?decomposition ?executor ~p q instance =
     List.concat_map flatten forest)
   in
   let q2 = Ast.make ~head:(Ast.head q) ~body () in
-  let result, stats2 = Yannakakis.gym ~seed ~forest ?executor ~p q2 bag_instance in
+  let result, stats2 =
+    Yannakakis.gym ~seed ~forest ?executor ~faults ~p q2 bag_instance
+  in
+  let recoveries =
+    let r1 = !phase1_recovery in
+    let phase1_recoveries =
+      if
+        r1.Stats.crashed > 0 || r1.Stats.replayed > 0
+        || r1.Stats.retransmitted > 0 || r1.Stats.duplicates > 0
+        || r1.Stats.retries > 0
+      then [ r1 ]
+      else []
+    in
+    (* Phase-2 rounds follow the single phase-1 round. *)
+    phase1_recoveries
+    @ List.map
+        (fun (r : Stats.recovery) -> { r with Stats.round = r.Stats.round + 1 })
+        stats2.Stats.recoveries
+  in
   let stats =
     {
       Stats.p;
       initial_max = (Instance.cardinal instance + p - 1) / p;
       rounds = !phase1 :: stats2.Stats.rounds;
+      recoveries;
     }
   in
   (result, stats, Decomposition.width decomposition)

@@ -15,6 +15,7 @@ val run :
   ?seed:int ->
   ?decomposition:Lamp_cq.Decomposition.t list ->
   ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
   p:int ->
   Lamp_cq.Ast.t ->
   Instance.t ->

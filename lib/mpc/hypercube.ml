@@ -2,10 +2,10 @@ open Lamp_relational
 open Lamp_distribution
 open Lamp_cq
 
-let run_with_shares ?(seed = 0) ?(materialize = true) ?executor ~shares query
-    instance =
+let run_with_shares ?(seed = 0) ?(materialize = true) ?executor ?faults
+    ~shares query instance =
   let policy, grid = Policy.hypercube ~seed ~name:"hypercube" ~query ~shares () in
-  let cluster = Cluster.create ?executor ~p:(Grid.size grid) instance in
+  let cluster = Cluster.create ?executor ?faults ~p:(Grid.size grid) instance in
   Cluster.run_round cluster
     {
       Cluster.communicate =
@@ -19,7 +19,8 @@ let run_with_shares ?(seed = 0) ?(materialize = true) ?executor ~shares query
 let sizes_of_instance instance (a : Ast.atom) =
   Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel)
 
-let run ?(seed = 0) ?(materialize = true) ?executor ?shares ~p query instance =
+let run ?(seed = 0) ?(materialize = true) ?executor ?faults ?shares ~p query
+    instance =
   if not (Ast.is_positive query) then
     invalid_arg "Hypercube.run: defined for positive CQs";
   let shares =
@@ -33,6 +34,6 @@ let run ?(seed = 0) ?(materialize = true) ?executor ?shares ~p query instance =
       s
   in
   let result, stats =
-    run_with_shares ~seed ~materialize ?executor ~shares query instance
+    run_with_shares ~seed ~materialize ?executor ?faults ~shares query instance
   in
   (result, stats, shares)

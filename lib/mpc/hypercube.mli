@@ -13,6 +13,7 @@ val run_with_shares :
   ?seed:int ->
   ?materialize:bool ->
   ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
   shares:(string * int) list ->
   Lamp_cq.Ast.t ->
   Instance.t ->
@@ -27,6 +28,7 @@ val run :
   ?seed:int ->
   ?materialize:bool ->
   ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
   ?shares:(string * int) list ->
   p:int ->
   Lamp_cq.Ast.t ->

@@ -7,10 +7,10 @@ let h ~seed ~p v = Policy.hash_value ~seed ~buckets:p v
 (* Example 3.1(2): the triangle by a cascade of two repartition joins.
    Round 1 joins R and S on y into K; round 2 joins K with T on the
    pair (x, z). T rides along at its initial servers during round 1. *)
-let cascade_triangle ?(seed = 0) ?executor ~p instance =
+let cascade_triangle ?(seed = 0) ?executor ?faults ~p instance =
   let k_query = Parser.query "K(x,y,z) <- R(x,y), S(y,z)" in
   let finish = Parser.query "H(x,y,z) <- K(x,y,z), T(z,x)" in
-  let cluster = Cluster.create ?executor ~p instance in
+  let cluster = Cluster.create ?executor ?faults ~p instance in
   let round1_route src fact =
     let args = Fact.args fact in
     match Fact.rel fact with
@@ -62,7 +62,8 @@ let cascade_triangle ?(seed = 0) ?executor ~p instance =
             heavy S → h(z) where it waits for round 2.
    Round 2: partial matches K(z,x,y) = Tc(z,x) ⋈ Rh(x,y) → h(z), meeting
             the heavy S there. *)
-let skew_resilient_triangle ?(seed = 0) ?threshold ?executor ~p instance =
+let skew_resilient_triangle ?(seed = 0) ?threshold ?executor ?faults ~p
+    instance =
   let m_rel =
     List.fold_left
       (fun acc rel -> max acc (Tuple.Set.cardinal (Instance.tuples instance rel)))
@@ -102,7 +103,7 @@ let skew_resilient_triangle ?(seed = 0) ?threshold ?executor ~p instance =
   let finish = Parser.query "H(x,y,z) <- K(z,x,y), Sh(y,z)" in
   let rename rel f = Fact.make rel (Fact.args f) in
   let hz = h ~seed:(seed + 104729) ~p in
-  let cluster = Cluster.create ?executor ~p instance in
+  let cluster = Cluster.create ?executor ?faults ~p instance in
   Cluster.run_round cluster
     {
       Cluster.communicate =

@@ -11,6 +11,7 @@ open Lamp_relational
 val cascade_triangle :
   ?seed:int ->
   ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
   p:int ->
   Instance.t ->
   Instance.t * Stats.t
@@ -22,6 +23,7 @@ val skew_resilient_triangle :
   ?seed:int ->
   ?threshold:int ->
   ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
   p:int ->
   Instance.t ->
   Instance.t * Stats.t * int

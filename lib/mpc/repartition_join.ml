@@ -8,8 +8,8 @@ open Lamp_distribution
 
 let query = Lamp_cq.Examples.q1_join
 
-let run ?(seed = 0) ?(materialize = true) ?executor ~p instance =
-  let cluster = Cluster.create ?executor ~p instance in
+let run ?(seed = 0) ?(materialize = true) ?executor ?faults ~p instance =
+  let cluster = Cluster.create ?executor ?faults ~p instance in
   let route fact =
     let args = Fact.args fact in
     match Fact.rel fact with

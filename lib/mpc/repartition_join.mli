@@ -14,6 +14,7 @@ val run :
   ?seed:int ->
   ?materialize:bool ->
   ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
   p:int ->
   Instance.t ->
   Instance.t * Stats.t

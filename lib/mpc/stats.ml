@@ -3,13 +3,33 @@ type round_stats = {
   total_received : int;
 }
 
+type recovery = {
+  round : int;
+  crashed : int;
+  replayed : int;
+  retransmitted : int;
+  duplicates : int;
+  retries : int;
+}
+
 type t = {
   p : int;
   initial_max : int;
   rounds : round_stats list;
+  recoveries : recovery list;
 }
 
 let rounds t = List.length t.rounds
+
+let recovery_rounds t = List.length t.recoveries
+
+let recovery_load t =
+  List.fold_left
+    (fun acc r -> acc + r.replayed + r.retransmitted + r.duplicates)
+    0 t.recoveries
+
+let crashes t = List.fold_left (fun acc r -> acc + r.crashed) 0 t.recoveries
+let retries t = List.fold_left (fun acc r -> acc + r.retries) 0 t.recoveries
 
 let max_load t =
   List.fold_left (fun acc r -> max acc r.max_received) t.initial_max t.rounds
@@ -29,9 +49,15 @@ let epsilon ~m t =
     let ratio = float_of_int m /. float_of_int load in
     1.0 -. (log ratio /. log (float_of_int t.p))
 
+(* The one-line and per-round forms print exactly as before on a
+   fault-free run: the recovery segment appears only when a recovery
+   actually happened, keeping zero-fault output byte-identical. *)
 let pp ppf t =
   Fmt.pf ppf "p=%d rounds=%d max_load=%d total_comm=%d" t.p (rounds t)
-    (max_load t) (total_communication t)
+    (max_load t) (total_communication t);
+  if t.recoveries <> [] then
+    Fmt.pf ppf " recovery: rounds=%d load=%d crashes=%d retries=%d"
+      (recovery_rounds t) (recovery_load t) (crashes t) (retries t)
 
 let pp_rounds ppf t =
   Fmt.pf ppf "initial partition: max=%d@." t.initial_max;
@@ -39,4 +65,11 @@ let pp_rounds ppf t =
     (fun i r ->
       Fmt.pf ppf "round %d: max_received=%d total_received=%d@." (i + 1)
         r.max_received r.total_received)
-    t.rounds
+    t.rounds;
+  List.iter
+    (fun r ->
+      Fmt.pf ppf
+        "round %d recovery: crashed=%d replayed=%d retransmitted=%d \
+         duplicates=%d retries=%d@."
+        r.round r.crashed r.replayed r.retransmitted r.duplicates r.retries)
+    t.recoveries

@@ -9,14 +9,43 @@ type round_stats = {
   total_received : int;  (** Sum over servers (communication cost). *)
 }
 
+type recovery = {
+  round : int;  (** The communication round the faults hit (1-based). *)
+  crashed : int;  (** Servers that crash-stopped during the round. *)
+  replayed : int;
+      (** Facts re-shipped by replaying crashed servers' sends from
+          their checkpoints, plus inbox facts redelivered to their
+          replacements. *)
+  retransmitted : int;  (** Dropped or delayed messages resent. *)
+  duplicates : int;  (** Extra message copies shipped (merge dedups). *)
+  retries : int;  (** Transient task faults absorbed by retry. *)
+}
+(** Repair work for one faulty round. Recovery traffic is accounted
+    here, {e separately} from {!round_stats}: the per-round loads of the
+    fault-free portion stay identical to a clean run's. *)
+
 type t = {
   p : int;
   initial_max : int;  (** Largest initial partition (before round 1). *)
   rounds : round_stats list;
+  recoveries : recovery list;  (** Empty on a fault-free run. *)
 }
 
 val rounds : t -> int
 (** Number of communication rounds (synchronization barriers). *)
+
+val recovery_rounds : t -> int
+(** Rounds that needed any repair work. *)
+
+val recovery_load : t -> int
+(** Total facts shipped by recovery (replays + retransmissions +
+    duplicate copies) — the overhead on top of {!total_communication}. *)
+
+val crashes : t -> int
+(** Total crash-stop failures over the run. *)
+
+val retries : t -> int
+(** Total transient task faults absorbed by retry. *)
 
 val max_load : t -> int
 (** Maximum per-server load over all rounds, including the initial

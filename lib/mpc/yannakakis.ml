@@ -241,9 +241,10 @@ let repartition_stats ?(executor = Lamp_runtime.Executor.sequential) ~seed ~p
     per_worker;
   let max_received = Array.fold_left max 0 received in
   let total_received = Array.fold_left ( + ) 0 received in
-  { Stats.max_received; total_received }
+  ({ Stats.max_received; total_received }, received)
 
-let gym ?(seed = 0) ?forest ?executor ~p q instance =
+let gym ?(seed = 0) ?forest ?executor ?(faults = Lamp_faults.Plan.none) ~p q
+    instance =
   if p < 1 then invalid_arg "Yannakakis.gym: p < 1";
   let forest =
     match forest with
@@ -260,13 +261,15 @@ let gym ?(seed = 0) ?forest ?executor ~p q instance =
          loads add per server only if they hash to the same servers; we
          conservatively merge by summing totals and taking the max of
          maxima (each operation uses its own hash seed, spreading
-         load). *)
+         load). The per-server delivery counts sum element-wise — the
+         fault accounting below needs to know what a crashed server
+         would have to re-fetch. *)
       match stats_list with
       | [] -> ()
       | _ ->
         let merged =
           List.fold_left
-            (fun acc s ->
+            (fun acc (s, _) ->
               {
                 Stats.max_received = max acc.Stats.max_received s.Stats.max_received;
                 total_received = acc.Stats.total_received + s.Stats.total_received;
@@ -274,7 +277,14 @@ let gym ?(seed = 0) ?forest ?executor ~p q instance =
             { Stats.max_received = 0; total_received = 0 }
             stats_list
         in
-        rounds := merged :: !rounds
+        let merged_received = Array.make p 0 in
+        List.iter
+          (fun (_, received) ->
+            Array.iteri
+              (fun i k -> merged_received.(i) <- merged_received.(i) + k)
+              received)
+          stats_list;
+        rounds := (merged, merged_received) :: !rounds
     in
     let shared_cols (a : Rel.t) (b : Rel.t) =
       List.filter (fun c -> List.mem c b.Rel.cols) a.Rel.cols
@@ -363,11 +373,57 @@ let gym ?(seed = 0) ?forest ?executor ~p q instance =
           Instance.add (Fact.of_list head.Ast.rel (List.map value_of head.Ast.terms)) acc)
         joined.Rel.rows Instance.empty
     in
+    let rounds_in_order = List.rev !rounds in
+    (* Crash recovery, modelled analytically (GYM's data path runs on
+       the coordinator — only loads are simulated per server): a server
+       crashing during round r has the facts repartitioned to it that
+       round re-shipped to its replacement; transient compute faults
+       cost a retry each. *)
+    let recoveries =
+      let module Plan = Lamp_faults.Plan in
+      if Plan.is_none faults then []
+      else begin
+        let _, acc =
+          List.fold_left
+            (fun (round, acc) ((_ : Stats.round_stats), received) ->
+              let crashed = ref 0 in
+              let replayed = ref 0 in
+              let retries = ref 0 in
+              for s = 0 to p - 1 do
+                if Plan.crashes faults ~round ~server:s then begin
+                  incr crashed;
+                  replayed := !replayed + received.(s)
+                end;
+                retries :=
+                  !retries
+                  + Plan.transient_failures faults ~round ~phase:Plan.Compute
+                      ~task:s
+              done;
+              let acc =
+                if !crashed > 0 || !retries > 0 then
+                  {
+                    Stats.round;
+                    crashed = !crashed;
+                    replayed = !replayed;
+                    retransmitted = 0;
+                    duplicates = 0;
+                    retries = !retries;
+                  }
+                  :: acc
+                else acc
+              in
+              (round + 1, acc))
+            (1, []) rounds_in_order
+        in
+        List.rev acc
+      end
+    in
     let stats =
       {
         Stats.p;
         initial_max = (Instance.cardinal instance + p - 1) / p;
-        rounds = List.rev !rounds;
+        rounds = List.map fst rounds_in_order;
+        recoveries;
       }
     in
     (result, stats)

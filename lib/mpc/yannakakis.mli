@@ -29,6 +29,7 @@ val gym :
   ?seed:int ->
   ?forest:Lamp_cq.Hypergraph.join_tree list ->
   ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
   p:int ->
   Lamp_cq.Ast.t ->
   Instance.t ->
@@ -37,5 +38,11 @@ val gym :
     [p] servers, with per-round load accounting. An explicit join forest
     overrides the GYO-constructed one — the shape (in particular depth)
     of the tree is GYM's round/communication trade-off knob.
+
+    GYM's data path runs on the coordinator (only loads are simulated
+    per server), so a fault plan cannot perturb its output; crashes and
+    transient faults are accounted analytically: a server that crashes
+    during a round has the facts repartitioned to it that round
+    re-shipped to its replacement, recorded in [Stats.recoveries].
     @raise Cyclic when the query is not acyclic and no forest is
     given. *)

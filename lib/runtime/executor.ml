@@ -74,6 +74,19 @@ let map_reduce t ?chunk ~n ~map ~combine init =
     Array.fold_left combine init partials
   end
 
+let retry_counter = Lamp_obs.Trace.counter "runtime.retries"
+
+let with_retry ?(max_attempts = 4) ?(backoff = ignore) ~retryable f =
+  if max_attempts < 1 then invalid_arg "Executor.with_retry: max_attempts < 1";
+  let rec go attempt =
+    try f ~attempt
+    with e when retryable e && attempt < max_attempts ->
+      Lamp_obs.Trace.incr retry_counter;
+      backoff attempt;
+      go (attempt + 1)
+  in
+  go 1
+
 type counters = {
   tasks : int;
   steals : int;

@@ -42,6 +42,22 @@ val map_reduce :
     index order. [combine] must be associative for the result to be
     chunking-independent. *)
 
+val with_retry :
+  ?max_attempts:int ->
+  ?backoff:(int -> unit) ->
+  retryable:(exn -> bool) ->
+  (attempt:int -> 'a) ->
+  'a
+(** [with_retry ~retryable f] runs [f ~attempt:1]; when it raises an
+    exception accepted by [retryable] it is retried — [backoff] (called
+    with the failed attempt number; default none) then [f ~attempt:k] —
+    up to [max_attempts] (default 4) total attempts, after which the
+    exception propagates. Non-retryable exceptions propagate
+    immediately. Retries bump the ["runtime.retries"] trace counter.
+    Deterministic as long as [f] and [backoff] are: no clocks or
+    randomness are involved. Use inside a pool task to absorb transient
+    faults without poisoning the batch. *)
+
 type counters = {
   tasks : int;  (** tasks executed since the executor was created *)
   steals : int;  (** work-stealing events (0 on [Sequential]) *)

@@ -23,6 +23,8 @@ let schedule_name = function
   | Scheduler.Random_fair s -> Fmt.str "random(%d)" s
   | Scheduler.Fifo -> "fifo"
   | Scheduler.Lifo -> "lifo"
+  | Scheduler.Adversary plan ->
+    Fmt.str "adversary(%d)" (Lamp_faults.Plan.seed plan)
 
 (* Eventual consistency over a family of runs: every schedule and every
    supplied distribution must end with exactly the expected output. *)

@@ -18,6 +18,9 @@ val pp_failure : failure Fmt.t
 
 val default_schedules : Scheduler.schedule list
 
+val schedule_name : Scheduler.schedule -> string
+(** Short display name ("random(1)", "fifo", "adversary(7)", …). *)
+
 val consistent :
   ?schedules:Scheduler.schedule list ->
   make:(Instance.t array -> Network.t) ->

@@ -1,9 +1,18 @@
 open Lamp_relational
+module Plan = Lamp_faults.Plan
 
 type schedule =
   | Random_fair of int  (** Seeded random node and message choice. *)
   | Fifo  (** Round-robin nodes, oldest message first. *)
   | Lifo  (** Round-robin nodes, newest message first. *)
+  | Adversary of Plan.t
+      (** Seeded delivery adversary: duplicates and reorders buffered
+          messages (never drops — eventual delivery is the model's one
+          guarantee). *)
+
+let adversary seed =
+  Adversary
+    (Plan.make ~seed { Plan.zero with duplicate = 0.3; delay = 0.2; reorder = true })
 
 (* One heartbeat to every node; reports whether anything changed
    (memory, output, or new messages). *)
@@ -28,7 +37,20 @@ let heartbeat_sweep net =
   || changed_mem
   || Network.messages_in_flight net <> before_msgs
 
-exception Did_not_quiesce
+exception
+  Did_not_quiesce of {
+    transitions : int;
+    in_flight : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Did_not_quiesce { transitions; in_flight } ->
+      Some
+        (Fmt.str
+           "Did_not_quiesce { transitions = %d; in_flight = %d }" transitions
+           in_flight)
+    | _ -> None)
 
 (* A fair run to quiescence: messages are delivered according to the
    schedule (heartbeats interleaved), and the run ends when no messages
@@ -37,12 +59,26 @@ let drain ?(schedule = Random_fair 0) ?(max_transitions = 200_000) net =
   let rng =
     match schedule with
     | Random_fair seed -> Some (Random.State.make [| seed |])
+    | Adversary plan -> Some (Random.State.make [| Plan.seed plan; 0xade |])
     | Fifo | Lifo -> None
+  in
+  (* The adversary's duplication budget: termination needs the number of
+     injected copies bounded — each delivery consumes one message, so
+     in-flight counts strictly decrease once the budget is spent. *)
+  let dup_budget = ref (match schedule with Adversary _ -> 128 | _ -> 0) in
+  let dup_p =
+    match schedule with Adversary plan -> (Plan.spec plan).Plan.duplicate | _ -> 0.0
   in
   let transitions = ref 0 in
   let tick () =
     incr transitions;
-    if !transitions > max_transitions then raise Did_not_quiesce
+    if !transitions > max_transitions then
+      raise
+        (Did_not_quiesce
+           {
+             transitions = !transitions - 1;
+             in_flight = Network.messages_in_flight net;
+           })
   in
   (* Initial heartbeats trigger the programs' first broadcasts. *)
   let rec initial () =
@@ -64,7 +100,22 @@ let drain ?(schedule = Random_fair 0) ?(max_transitions = 200_000) net =
       | Some rng ->
         let i = List.nth candidates (Random.State.int rng (List.length candidates)) in
         let n = Network.node net i in
-        let k = Random.State.int rng (List.length n.Network.inbox) in
+        let len = List.length n.Network.inbox in
+        let k =
+          match schedule with
+          | Adversary _ ->
+            (* Adversarial delay/reorder: half the time pick the newest
+               buffered message (starving the oldest), otherwise any. *)
+            if Random.State.bool rng then len - 1 else Random.State.int rng len
+          | _ -> Random.State.int rng len
+        in
+        (* Duplication: re-enqueue a copy of the chosen message before
+           delivering it — the copy arrives again, later and possibly
+           interleaved differently. Appending leaves index [k] valid. *)
+        if !dup_budget > 0 && Random.State.float rng 1.0 < dup_p then begin
+          decr dup_budget;
+          n.Network.inbox <- n.Network.inbox @ [ List.nth n.Network.inbox k ]
+        end;
         Network.deliver net i k;
         (* Occasional spontaneous heartbeats keep runs fair. *)
         if Random.State.int rng 4 = 0 then
@@ -116,7 +167,10 @@ let heartbeat_sweep_no_mail net =
    unread) and act on heartbeats only. *)
 let run_silent ?(max_sweeps = 1000) net =
   let rec go n =
-    if n > max_sweeps then raise Did_not_quiesce;
+    if n > max_sweeps then
+      raise
+        (Did_not_quiesce
+           { transitions = n - 1; in_flight = Network.messages_in_flight net });
     if heartbeat_sweep_no_mail net then go (n + 1)
   in
   go 0;

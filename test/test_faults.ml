@@ -1,0 +1,417 @@
+(* Deterministic fault injection and checkpoint/replay recovery.
+
+   The headline property under test: under any seeded fault plan, every
+   MPC algorithm recovers output and fault-free-portion statistics
+   bit-identical to a clean run — on the sequential and pool backends
+   alike — with all repair traffic accounted separately in
+   [Stats.recoveries]. *)
+
+open Lamp_relational
+open Lamp_cq
+open Lamp_mpc
+module Plan = Lamp_faults.Plan
+module Executor = Lamp_runtime.Executor
+module Pool = Lamp_runtime.Pool
+
+let instance = Alcotest.testable Instance.pp Instance.equal
+let rng () = Random.State.make [| 2026 |]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Plan: decisions are pure functions of (seed, coordinates)            *)
+
+let test_plan_determinism () =
+  let a = Plan.make ~seed:42 Plan.chaos in
+  let b = Plan.make ~seed:42 Plan.chaos in
+  for round = 1 to 5 do
+    for server = 0 to 15 do
+      Alcotest.(check bool) "same crash decision"
+        (Plan.crashes a ~round ~server)
+        (Plan.crashes b ~round ~server);
+      for index = 0 to 3 do
+        Alcotest.(check bool) "same message fate" true
+          (Plan.fate a ~round ~src:server ~index
+          = Plan.fate b ~round ~src:server ~index)
+      done;
+      Alcotest.(check int) "same transient count"
+        (Plan.transient_failures a ~round ~phase:Plan.Compute ~task:server)
+        (Plan.transient_failures b ~round ~phase:Plan.Compute ~task:server)
+    done
+  done
+
+let test_plan_seed_sensitivity () =
+  let a = Plan.make ~seed:1 { Plan.zero with crash = 0.5 } in
+  let b = Plan.make ~seed:2 { Plan.zero with crash = 0.5 } in
+  let differs = ref false in
+  for round = 1 to 10 do
+    for server = 0 to 19 do
+      if Plan.crashes a ~round ~server <> Plan.crashes b ~round ~server then
+        differs := true
+    done
+  done;
+  Alcotest.(check bool) "different seeds decide differently" true !differs
+
+let test_plan_extreme_fates () =
+  let check_all spec expected name =
+    let plan = Plan.make ~seed:3 spec in
+    for round = 1 to 3 do
+      for src = 0 to 3 do
+        for index = 0 to 5 do
+          Alcotest.(check bool) name true
+            (Plan.fate plan ~round ~src ~index = expected)
+        done
+      done
+    done
+  in
+  check_all { Plan.zero with drop = 1.0 } Plan.Drop "drop=1 always drops";
+  check_all
+    { Plan.zero with duplicate = 1.0 }
+    Plan.Duplicate "dup=1 always duplicates";
+  check_all { Plan.zero with delay = 1.0 } Plan.Delay "delay=1 always delays";
+  check_all Plan.zero Plan.Deliver "zero spec always delivers";
+  Alcotest.(check bool) "the empty plan never crashes anyone" false
+    (Plan.crashes Plan.none ~round:1 ~server:0)
+
+let test_plan_permute () =
+  let l = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let id = Plan.permute (Plan.make ~seed:5 Plan.zero) ~round:1 ~lane:0 l in
+  Alcotest.(check (list int)) "no reorder: identity" l id;
+  let plan = Plan.make ~seed:5 { Plan.zero with reorder = true } in
+  let p1 = Plan.permute plan ~round:1 ~lane:0 l in
+  let p2 = Plan.permute plan ~round:1 ~lane:0 l in
+  Alcotest.(check (list int)) "deterministic shuffle" p1 p2;
+  Alcotest.(check (list int)) "a permutation" l (List.sort compare p1)
+
+let test_plan_parse () =
+  Alcotest.(check bool) "none" true (Plan.is_none (Plan.of_string "none"));
+  Alcotest.(check bool) "empty" true (Plan.is_none (Plan.of_string ""));
+  let chaos = Plan.of_string ~seed:9 "chaos" in
+  Alcotest.(check bool) "chaos preset" true (Plan.spec chaos = Plan.chaos);
+  Alcotest.(check int) "seed kept" 9 (Plan.seed chaos);
+  let p = Plan.of_string "crash=0.25,dup=0.1,reorder" in
+  let s = Plan.spec p in
+  Alcotest.(check (float 1e-9)) "crash" 0.25 s.Plan.crash;
+  Alcotest.(check (float 1e-9)) "dup" 0.1 s.Plan.duplicate;
+  Alcotest.(check bool) "reorder" true s.Plan.reorder;
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises ("rejects " ^ bad) (Invalid_argument "") (fun () ->
+          try ignore (Plan.of_string bad)
+          with Invalid_argument _ -> raise (Invalid_argument "")))
+    [ "crash=1.5"; "drop=0.5,dup=0.4,delay=0.3"; "bogus=1"; "crash=x" ]
+
+let test_plan_transients_bounded () =
+  let plan = Plan.make ~seed:11 { Plan.zero with transient = 0.9 } in
+  let saw_failure = ref false in
+  for task = 0 to 49 do
+    let n = Plan.transient_failures plan ~round:1 ~phase:Plan.Compute ~task in
+    Alcotest.(check bool) "0 <= failures < max_attempts" true
+      (n >= 0 && n < Plan.max_attempts);
+    if n > 0 then saw_failure := true;
+    for attempt = 1 to Plan.max_attempts do
+      let raised =
+        try
+          Plan.inject plan ~round:1 ~phase:Plan.Compute ~task ~attempt;
+          false
+        with Plan.Transient _ -> true
+      in
+      Alcotest.(check bool) "inject raises exactly on failing attempts"
+        (attempt <= n) raised
+    done
+  done;
+  Alcotest.(check bool) "a 0.9 rate does fail somewhere" true !saw_failure
+
+(* ------------------------------------------------------------------ *)
+(* Executor.with_retry                                                  *)
+
+let test_with_retry_absorbs () =
+  let calls = ref 0 in
+  let v =
+    Executor.with_retry ~retryable:Plan.is_transient (fun ~attempt ->
+        incr calls;
+        if attempt <= 2 then raise (Plan.Transient "flaky");
+        attempt)
+  in
+  Alcotest.(check int) "succeeded on the third attempt" 3 v;
+  Alcotest.(check int) "three calls" 3 !calls
+
+let test_with_retry_exhausts () =
+  let calls = ref 0 in
+  Alcotest.check_raises "exhausted budget propagates" (Plan.Transient "always")
+    (fun () ->
+      Executor.with_retry ~max_attempts:3 ~retryable:Plan.is_transient
+        (fun ~attempt:_ ->
+          incr calls;
+          raise (Plan.Transient "always")));
+  Alcotest.(check int) "tried exactly max_attempts times" 3 !calls
+
+let test_with_retry_nonretryable () =
+  let calls = ref 0 in
+  Alcotest.check_raises "non-retryable propagates immediately" Exit (fun () ->
+      Executor.with_retry ~retryable:Plan.is_transient (fun ~attempt:_ ->
+          incr calls;
+          raise Exit));
+  Alcotest.(check int) "not retried" 1 !calls;
+  Alcotest.check_raises "max_attempts must be positive" (Invalid_argument "")
+    (fun () ->
+      try
+        ignore
+          (Executor.with_retry ~max_attempts:0 ~retryable:Plan.is_transient
+             (fun ~attempt -> attempt))
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_with_retry_backoff () =
+  let seen = ref [] in
+  Executor.with_retry
+    ~backoff:(fun k -> seen := k :: !seen)
+    ~retryable:Plan.is_transient
+    (fun ~attempt -> if attempt <= 2 then raise (Plan.Transient "x"));
+  Alcotest.(check (list int)) "backoff called with each failed attempt" [ 2; 1 ]
+    !seen
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: destination validation names the offending fact             *)
+
+let bad_round =
+  {
+    Cluster.communicate = Cluster.route_by (fun _ -> [ 7 ]);
+    compute = Cluster.keep_received;
+  }
+
+let check_bad_destination_message c =
+  match Cluster.run_round c bad_round with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    List.iter
+      (fun sub ->
+        Alcotest.(check bool)
+          (Fmt.str "error %S mentions %S" msg sub)
+          true (contains ~sub msg))
+      [ "R(1,2)"; "destination 7"; "p = 2" ]
+
+let test_bad_destination_names_fact () =
+  check_bad_destination_message (Cluster.create ~p:2 (Instance.of_string "R(1,2)"))
+
+let test_bad_destination_names_fact_faulty_path () =
+  check_bad_destination_message
+    (Cluster.create
+       ~faults:(Plan.make ~seed:1 Plan.zero)
+       ~p:2
+       (Instance.of_string "R(1,2)"))
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identical recovery: every algorithm, several plans, both
+   backends                                                             *)
+
+let plans =
+  [
+    ("chaos@1", Plan.make ~seed:1 Plan.chaos);
+    ("chaos@2", Plan.make ~seed:2 Plan.chaos);
+    ("crashy@5", Plan.make ~seed:5 { Plan.zero with crash = 0.4 });
+    ( "lossy@9",
+      Plan.make ~seed:9
+        { Plan.zero with drop = 0.2; duplicate = 0.2; delay = 0.2; reorder = true }
+    );
+    ("flaky@3", Plan.make ~seed:3 { Plan.zero with transient = 0.5 });
+  ]
+
+let chain3 = Parser.query "H(x0,x3) <- R1(x0,x1), R2(x1,x2), R3(x2,x3)"
+
+let algorithms =
+  [
+    ( "repartition",
+      fun ~executor ~faults ->
+        Repartition_join.run ~executor ~faults ~p:8 (Workload.join_skew_free ~m:120)
+    );
+    ( "grid",
+      fun ~executor ~faults ->
+        Grid_join.run ~executor ~faults ~p:9 (Workload.join_skew_free ~m:120) );
+    ( "hypercube",
+      fun ~executor ~faults ->
+        let i = Workload.triangle_skew_free ~rng:(rng ()) ~m:120 ~domain:30 in
+        let r, s, _ =
+          Hypercube.run ~executor ~faults ~p:8 Examples.q2_triangle i
+        in
+        (r, s) );
+    ( "cascade",
+      fun ~executor ~faults ->
+        let i = Workload.triangle_skew_free ~rng:(rng ()) ~m:90 ~domain:25 in
+        Multi_round.cascade_triangle ~executor ~faults ~p:8 i );
+    ( "skew-resilient",
+      fun ~executor ~faults ->
+        let i =
+          Workload.triangle_y_skew ~rng:(rng ()) ~m:120 ~domain:40
+            ~heavy_fraction:0.4
+        in
+        let r, s, _ =
+          Multi_round.skew_resilient_triangle ~executor ~faults ~p:8 i
+        in
+        (r, s) );
+    ( "gym",
+      fun ~executor ~faults ->
+        let i =
+          Workload.acyclic_chain ~rng:(rng ()) ~m:100 ~domain:25
+            ~rels:[ "R1"; "R2"; "R3" ]
+        in
+        Yannakakis.gym ~executor ~faults ~p:6 chain3 i );
+    ( "gym-ghd",
+      fun ~executor ~faults ->
+        let i = Workload.triangle_skew_free ~rng:(rng ()) ~m:90 ~domain:25 in
+        let r, s, _ = Gym_ghd.run ~executor ~faults ~p:8 Examples.q2_triangle i in
+        (r, s) );
+  ]
+
+let same_clean_portion name pname clean stats =
+  Alcotest.(check bool)
+    (Fmt.str "%s fault-free portion identical under %s" name pname)
+    true
+    (stats.Stats.rounds = clean.Stats.rounds
+    && stats.Stats.p = clean.Stats.p
+    && stats.Stats.initial_max = clean.Stats.initial_max)
+
+let check_recovery name run =
+  let clean_out, clean_stats =
+    run ~executor:Executor.sequential ~faults:Plan.none
+  in
+  Alcotest.(check bool) "clean run records no recoveries" true
+    (clean_stats.Stats.recoveries = []);
+  List.iter
+    (fun (pname, plan) ->
+      let out, stats = run ~executor:Executor.sequential ~faults:plan in
+      Alcotest.check instance
+        (Fmt.str "%s output bit-identical under %s" name pname)
+        clean_out out;
+      same_clean_portion name pname clean_stats stats)
+    plans
+
+let pool_plans = [ List.nth plans 0; List.nth plans 3; List.nth plans 4 ]
+
+let test_recovery_pool () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let executor = Executor.pool pool in
+      List.iter
+        (fun (name, run) ->
+          let clean_out, clean_stats =
+            run ~executor:Executor.sequential ~faults:Plan.none
+          in
+          List.iter
+            (fun (pname, plan) ->
+              let _, seq_stats =
+                run ~executor:Executor.sequential ~faults:plan
+              in
+              let pool_out, pool_stats = run ~executor ~faults:plan in
+              Alcotest.check instance
+                (Fmt.str "%s pool output = clean output under %s" name pname)
+                clean_out pool_out;
+              (* The pool draws the same faults and hence the same
+                 recoveries: statistics are bit-identical across
+                 backends, fault plan or not. *)
+              Alcotest.(check bool)
+                (Fmt.str "%s pool stats = seq stats under %s" name pname)
+                true (pool_stats = seq_stats);
+              same_clean_portion name pname clean_stats pool_stats)
+            pool_plans)
+        algorithms)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-fault plans cost nothing; total crashes still recover           *)
+
+let test_zero_fault_plan_noop () =
+  let i = Workload.join_skew_free ~m:80 in
+  let clean_out, clean_stats = Repartition_join.run ~p:4 i in
+  let out, stats =
+    Repartition_join.run ~faults:(Plan.make ~seed:123 Plan.zero) ~p:4 i
+  in
+  Alcotest.check instance "output identical" clean_out out;
+  Alcotest.(check bool) "stats structurally identical" true (stats = clean_stats);
+  Alcotest.(check string) "rendered stats byte-identical"
+    (Fmt.str "%a" Stats.pp clean_stats)
+    (Fmt.str "%a" Stats.pp stats);
+  Alcotest.(check bool) "no recoveries recorded" true
+    (stats.Stats.recoveries = [])
+
+let test_total_crash_recovers () =
+  let plan = Plan.make ~seed:4 { Plan.zero with crash = 1.0 } in
+  let i = Workload.join_skew_free ~m:60 in
+  let clean_out, clean_stats = Repartition_join.run ~p:4 i in
+  let out, stats = Repartition_join.run ~faults:plan ~p:4 i in
+  Alcotest.check instance "all servers crashing still recovers" clean_out out;
+  same_clean_portion "repartition" "crash=1" clean_stats stats;
+  Alcotest.(check int) "every server crashed every round"
+    (4 * Stats.rounds stats) (Stats.crashes stats);
+  Alcotest.(check bool) "recovery load accounted" true
+    (Stats.recovery_load stats > 0);
+  Alcotest.(check int) "every round needed repair" (Stats.rounds stats)
+    (Stats.recovery_rounds stats)
+
+let test_gym_analytic_crash_accounting () =
+  let i =
+    Workload.acyclic_chain ~rng:(rng ()) ~m:60 ~domain:20
+      ~rels:[ "R1"; "R2"; "R3" ]
+  in
+  let clean_out, clean_stats = Yannakakis.gym ~p:4 chain3 i in
+  let plan = Plan.make ~seed:6 { Plan.zero with crash = 1.0 } in
+  let out, stats = Yannakakis.gym ~faults:plan ~p:4 chain3 i in
+  Alcotest.check instance "gym output unchanged" clean_out out;
+  same_clean_portion "gym" "crash=1" clean_stats stats;
+  Alcotest.(check int) "analytic crash accounting" (4 * Stats.rounds stats)
+    (Stats.crashes stats);
+  Alcotest.(check bool) "replayed load accounted" true
+    (Stats.recovery_load stats > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lamp_faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "deterministic decisions" `Quick
+            test_plan_determinism;
+          Alcotest.test_case "seed-sensitive" `Quick test_plan_seed_sensitivity;
+          Alcotest.test_case "extreme fates" `Quick test_plan_extreme_fates;
+          Alcotest.test_case "permute" `Quick test_plan_permute;
+          Alcotest.test_case "of_string" `Quick test_plan_parse;
+          Alcotest.test_case "transients bounded by retry budget" `Quick
+            test_plan_transients_bounded;
+        ] );
+      ( "with_retry",
+        [
+          Alcotest.test_case "absorbs transient faults" `Quick
+            test_with_retry_absorbs;
+          Alcotest.test_case "exhausts its budget" `Quick test_with_retry_exhausts;
+          Alcotest.test_case "non-retryable propagates" `Quick
+            test_with_retry_nonretryable;
+          Alcotest.test_case "backoff hook" `Quick test_with_retry_backoff;
+        ] );
+      ( "cluster errors",
+        [
+          Alcotest.test_case "bad destination names the fact" `Quick
+            test_bad_destination_names_fact;
+          Alcotest.test_case "bad destination (faulty path)" `Quick
+            test_bad_destination_names_fact_faulty_path;
+        ] );
+      ( "bit-identical recovery (seq)",
+        List.map
+          (fun (name, run) ->
+            Alcotest.test_case name `Quick (fun () -> check_recovery name run))
+          algorithms );
+      ( "bit-identical recovery (pool)",
+        [ Alcotest.test_case "pool = seq = clean" `Quick test_recovery_pool ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "zero-fault plan is a no-op" `Quick
+            test_zero_fault_plan_noop;
+          Alcotest.test_case "total crash recovers" `Quick
+            test_total_crash_recovers;
+          Alcotest.test_case "gym analytic crashes" `Quick
+            test_gym_analytic_crash_accounting;
+        ] );
+    ]

@@ -57,6 +57,7 @@ let test_stats_epsilon () =
       Stats.p = 16;
       initial_max = 0;
       rounds = [ { Stats.max_received = 64; total_received = 1024 } ];
+      recoveries = [];
     }
   in
   (* m = 1024, load 64 = m/p: ε = 0. *)

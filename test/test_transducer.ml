@@ -339,6 +339,94 @@ let test_semijoin_broadcast_rejects () =
       with Invalid_argument _ -> raise (Invalid_argument ""))
 
 (* ------------------------------------------------------------------ *)
+(* The delivery adversary: duplication + adversarial reordering         *)
+
+(* Every coordination-free program must agree across Random_fair, Fifo,
+   Lifo AND the duplicating/reordering adversary: the adversary never
+   drops a message, so it stays within the model's nondeterminism — the
+   exact envelope the CALM theorem quantifies over. *)
+let adversarial_schedules =
+  Calm.default_schedules @ [ Scheduler.adversary 7; Scheduler.adversary 13 ]
+
+let test_adversary_monotone_broadcast () =
+  let program = Programs.monotone_broadcast ~name:"tri" ~eval:triangles_eval in
+  check_ok "broadcast agrees under duplication and reordering"
+    (Calm.consistent ~schedules:adversarial_schedules
+       ~make:(fun dist -> Network.create program dist)
+       ~expected:(triangles_eval graph)
+       (distributions 3 graph))
+
+let test_adversary_policy_aware () =
+  let program = Programs.open_triangle_policy_aware ~name:"open" in
+  let policy = covering_policy 3 (Instance.adom graph) in
+  check_ok "policy-aware program agrees under the adversary"
+    (Calm.consistent ~schedules:adversarial_schedules
+       ~make:(fun dist -> Network.create ~policy program dist)
+       ~expected:(open_triangle_eval graph)
+       [ Horizontal.by_policy policy graph; Horizontal.full_replication ~p:3 graph ])
+
+let test_adversary_generic_distinct () =
+  let program =
+    Programs.policy_aware_distinct ~name:"open" ~schema:e_schema
+      ~eval:open_triangle_eval
+  in
+  let policy =
+    Policy.make ~universe:(Instance.adom graph) ~name:"owner0" ~nodes:[ 0; 1; 2 ]
+      (fun n _ -> n = 0)
+  in
+  check_ok "generic distinct strategy agrees under the adversary"
+    (Calm.consistent ~schedules:adversarial_schedules
+       ~make:(fun dist -> Network.create ~policy program dist)
+       ~expected:(open_triangle_eval graph)
+       [ Horizontal.by_policy policy graph ])
+
+let test_adversary_domain_guided () =
+  let program = Programs.domain_guided_disjoint ~name:"¬TC" ~eval:comp_tc_eval in
+  let p = 3 in
+  let assignment = assignment_hash p in
+  let policy =
+    Policy.domain_guided ~universe:(Instance.adom two_components) ~name:"dg"
+      ~nodes:(Node.range p) assignment
+  in
+  check_ok "¬TC agrees under the adversary"
+    (Calm.consistent ~schedules:adversarial_schedules
+       ~make:(fun dist -> Network.create ~assignment program dist)
+       ~expected:(comp_tc_eval two_components)
+       [
+         Horizontal.by_policy policy two_components;
+         Horizontal.full_replication ~p two_components;
+       ])
+
+let test_adversary_semijoin_broadcast () =
+  let program = Programs.semijoin_broadcast ~name:"econ" ~query:triangle_rst in
+  check_ok "economical broadcast agrees under the adversary"
+    (Calm.consistent ~schedules:adversarial_schedules
+       ~make:(fun d -> Network.create program d)
+       ~expected:(triangle_rst_eval rst_instance)
+       [ Horizontal.round_robin ~p:3 rst_instance ])
+
+let test_adversary_coordinated () =
+  (* Coordination also survives the adversary — eventual delivery still
+     holds — it just is not coordination-free, which
+     test_coordinated_not_coordination_free flags above. *)
+  let program = Programs.coordinated ~name:"open" ~eval:open_triangle_eval in
+  check_ok "coordinated program still computes under the adversary"
+    (Calm.consistent
+       ~schedules:[ Scheduler.adversary 7 ]
+       ~make:(fun dist -> Network.create program dist)
+       ~expected:(open_triangle_eval graph)
+       (distributions 3 graph))
+
+let test_did_not_quiesce_structured () =
+  let program = Programs.monotone_broadcast ~name:"tri" ~eval:triangles_eval in
+  let net = Network.create program (Horizontal.round_robin ~p:3 graph) in
+  match Scheduler.drain ~max_transitions:2 net with
+  | _ -> Alcotest.fail "expected Did_not_quiesce"
+  | exception Scheduler.Did_not_quiesce { transitions; in_flight } ->
+    Alcotest.(check int) "transition budget consumed" 2 transitions;
+    Alcotest.(check bool) "in-flight messages reported" true (in_flight > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 
 let graph_arb =
@@ -473,6 +561,21 @@ let () =
             test_semijoin_broadcast_economical;
           Alcotest.test_case "rejects self-joins" `Quick
             test_semijoin_broadcast_rejects;
+        ] );
+      ( "delivery adversary",
+        [
+          Alcotest.test_case "monotone broadcast" `Quick
+            test_adversary_monotone_broadcast;
+          Alcotest.test_case "policy-aware" `Quick test_adversary_policy_aware;
+          Alcotest.test_case "generic distinct" `Quick
+            test_adversary_generic_distinct;
+          Alcotest.test_case "domain-guided" `Quick test_adversary_domain_guided;
+          Alcotest.test_case "economical broadcast" `Quick
+            test_adversary_semijoin_broadcast;
+          Alcotest.test_case "coordinated still computes" `Quick
+            test_adversary_coordinated;
+          Alcotest.test_case "structured Did_not_quiesce" `Quick
+            test_did_not_quiesce_structured;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
