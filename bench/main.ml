@@ -1234,6 +1234,174 @@ let e13 () =
     \  number of rounds exposed to it (multi-round plans replay more)."
 
 (* ------------------------------------------------------------------ *)
+
+(* E14: job-level recovery — what a durable cross-round checkpoint
+   costs (none vs in-memory vs on-disk store), and what speculative
+   straggler re-execution saves at increasing straggle rates. *)
+
+type e14_algo =
+  ?job:Jobs.Supervisor.t ->
+  faults:Faults.Plan.t ->
+  unit ->
+  Relational.Instance.t * Mpc.Stats.t
+
+let e14 () =
+  section "E14: checkpoint overhead and speculative straggler mitigation";
+  let scale n = if !smoke then max 10 (n / 10) else n in
+  let seed = !fault_seed in
+  let rng () = Random.State.make [| 14 |] in
+  let tri_i =
+    Mpc.Workload.triangle_skew_free ~rng:(rng ()) ~m:(scale 1200)
+      ~domain:(scale 400)
+  in
+  let chain_q = Cq.Parser.query "H(x0,x3) <- R1(x0,x1), R2(x1,x2), R3(x2,x3)" in
+  let chain_i =
+    Mpc.Workload.acyclic_chain ~rng:(rng ()) ~m:(scale 1500) ~domain:(scale 500)
+      ~rels:[ "R1"; "R2"; "R3" ]
+  in
+  let reps = if !smoke then 1 else 3 in
+  (* Median wall clock over [reps] runs, in milliseconds; one untimed
+     warm-up first so page faults and GC growth don't land on whichever
+     variant happens to run first. *)
+  let timed f =
+    let once () =
+      let t0 = Runtime.Metrics.now () in
+      let v = f () in
+      (v, 1000.0 *. (Runtime.Metrics.now () -. t0))
+    in
+    ignore (f ());
+    let runs = List.init reps (fun _ -> once ()) in
+    let ts = List.sort compare (List.map snd runs) in
+    (fst (List.hd runs), List.nth ts (reps / 2))
+  in
+  let algorithms : (string * e14_algo) list =
+    [
+      ( "cascade",
+        fun ?job ~faults () ->
+          Mpc.Multi_round.cascade_triangle ~executor:(exec ()) ~faults ?job
+            ~p:8 tri_i );
+      ( "gym",
+        fun ?job ~faults () ->
+          Mpc.Yannakakis.gym ~executor:(exec ()) ~faults ?job ~p:8 chain_q
+            chain_i );
+      ( "hypercube",
+        fun ?job ~faults () ->
+          let r, s, _ =
+            Mpc.Hypercube.run ~executor:(exec ()) ~faults ?job ~p:8
+              Cq.Examples.q2_triangle tri_i
+          in
+          (r, s) );
+    ]
+  in
+  (* -- Checkpoint overhead: none vs in-memory vs on-disk store. ----- *)
+  let ckpt_dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "lamp_bench_e14_ckpt"
+  in
+  (try Sys.mkdir ckpt_dir 0o755 with Sys_error _ -> ());
+  line "  checkpoint stores: none, in-memory, on-disk (%s); median of %d"
+    ckpt_dir reps;
+  List.iter
+    (fun (name, (run : e14_algo)) ->
+      let (clean_out, _), t_none = timed (fun () -> run ~faults:Faults.Plan.none ()) in
+      let with_store store =
+        (* A fresh job per repetition: each run checkpoints from round 0
+           and the last job's counters describe exactly one run. *)
+        let last = ref None in
+        let (out, _), t =
+          timed (fun () ->
+              let job = Jobs.Supervisor.create ~store name in
+              last := Some job;
+              run ~job ~faults:Faults.Plan.none ())
+        in
+        (out, t, Option.get !last)
+      in
+      let mem_out, t_mem, mem_job = with_store (Jobs.Store.in_memory ()) in
+      let disk_store = Jobs.Store.on_disk ckpt_dir in
+      let disk_out, t_disk, disk_job = with_store disk_store in
+      Jobs.Store.clear disk_store ~job:name;
+      check
+        (Printf.sprintf "%s: checkpointed outputs bit-identical" name)
+        (Relational.Instance.equal clean_out mem_out
+        && Relational.Instance.equal clean_out disk_out);
+      let pct base t = 100.0 *. ((t /. base) -. 1.0) in
+      line
+        "  %-10s none %6.1f ms   mem %6.1f ms (%+5.1f%%)   disk %6.1f ms \
+         (%+5.1f%%)   %d ckpts, %d B"
+        name t_none t_mem (pct t_none t_mem) t_disk (pct t_none t_disk)
+        disk_job.Jobs.Supervisor.checkpoints
+        disk_job.Jobs.Supervisor.checkpoint_bytes;
+      metric (name ^ "_ckpt_none_ms") t_none;
+      metric (name ^ "_ckpt_mem_ms") t_mem;
+      metric (name ^ "_ckpt_disk_ms") t_disk;
+      metric (name ^ "_ckpt_bytes")
+        (float_of_int mem_job.Jobs.Supervisor.checkpoint_bytes);
+      metric (name ^ "_ckpt_rounds")
+        (float_of_int disk_job.Jobs.Supervisor.checkpoints))
+    algorithms;
+  (* -- Speculation win at increasing straggle rates. ----------------- *)
+  let straggle_rates = [ 0.05; 0.1; 0.2 ] in
+  let budget = 0.0002 in
+  line "  speculation budget %.1f ms; straggle rates {%s}" (budget *. 1000.0)
+    (String.concat ", " (List.map (Printf.sprintf "%.2f") straggle_rates));
+  (* p=16: enough per-round tasks that the stragglers' sleeps dominate
+     scheduler noise on both backends. *)
+  let clean_out, _ =
+    Mpc.Multi_round.cascade_triangle ~executor:(exec ()) ~p:16 tri_i
+  in
+  List.iter
+    (fun rate ->
+      let key = Printf.sprintf "spec_rate%02d" (int_of_float ((rate *. 100.0) +. 0.5)) in
+      let run faults () =
+        Mpc.Multi_round.cascade_triangle ~executor:(exec ()) ~faults ~p:16 tri_i
+      in
+      let unmitigated =
+        Faults.Plan.make ~seed { Faults.Plan.zero with straggle = rate }
+      in
+      let mitigated =
+        Faults.Plan.make ~seed
+          { Faults.Plan.zero with straggle = rate; speculate = budget }
+      in
+      (* Minimum over the repetitions, not the median: the injected
+         sleeps are deterministic and scheduler noise is strictly
+         additive, so the minimum isolates the stall difference. *)
+      let timed_min f =
+        let once () =
+          let t0 = Runtime.Metrics.now () in
+          let v = f () in
+          (v, 1000.0 *. (Runtime.Metrics.now () -. t0))
+        in
+        ignore (f ());
+        let runs = List.init (max reps 5) (fun _ -> once ()) in
+        (fst (List.hd runs), List.fold_left min infinity (List.map snd runs))
+      in
+      let (slow_out, _), t_slow = timed_min (run unmitigated) in
+      let ((fast_out, fast_stats), t_fast) = timed_min (run mitigated) in
+      check
+        (Printf.sprintf "straggle=%.2f: outputs bit-identical with and \
+                         without speculation" rate)
+        (Relational.Instance.equal clean_out slow_out
+        && Relational.Instance.equal clean_out fast_out);
+      let saved_pct =
+        if t_slow > 0.0 then 100.0 *. (t_slow -. t_fast) /. t_slow else 0.0
+      in
+      line
+        "    straggle=%.2f  unmitigated %6.1f ms   speculated %6.1f ms   \
+         saved %5.1f%%   backups won %d"
+        rate t_slow t_fast saved_pct
+        (Mpc.Stats.speculations fast_stats);
+      metric (key ^ "_unmitigated_ms") t_slow;
+      metric (key ^ "_mitigated_ms") t_fast;
+      metric (key ^ "_saved_pct") saved_pct;
+      metric (key ^ "_speculations")
+        (float_of_int (Mpc.Stats.speculations fast_stats)))
+    straggle_rates;
+  line
+    "  shape: checkpoints cost single-digit percent (the snapshot is one\n\
+    \  linear serialization per round; the disk store adds an atomic\n\
+    \  rename); speculation's saving grows with the straggle rate as more\n\
+    \  long stalls are cut to the budget."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches (one per experiment family)                 *)
 
 let timings () =
@@ -1365,6 +1533,7 @@ let experiments =
     ("e11", e11);
     ("e12", e12);
     ("e13", e13);
+    ("e14", e14);
   ]
 
 (* One parser for every [--key=value] flag: the key names its handler

@@ -63,8 +63,12 @@ let faults_arg =
   let doc =
     "Deterministic fault plan for the simulator: comma-separated key=value \
      fields among $(b,crash), $(b,drop), $(b,dup), $(b,delay), \
-     $(b,straggle), $(b,transient) (probabilities) plus the bare flag \
-     $(b,reorder); or the presets $(b,none) and $(b,chaos). Example: \
+     $(b,straggle), $(b,transient) (probabilities), $(b,speculate) \
+     (straggler speculation budget in seconds), $(b,kill)=ROUND (process \
+     death after that round's checkpoint; needs --checkpoint), \
+     $(b,perma)=ROUND:SERVER (permanent crash-stop, rebalanced onto the \
+     survivors; needs --checkpoint) plus the bare flag $(b,reorder); or \
+     the presets $(b,none) and $(b,chaos). Example: \
      --faults=crash=0.1,drop=0.05,reorder. Faults are injected and \
      recovered within each round; the output and per-round loads are \
      bit-identical to the fault-free run, with recovery work reported \
@@ -80,6 +84,57 @@ let parse_faults spec seed =
   match spec with
   | None -> Faults.Plan.none
   | Some s -> Faults.Plan.of_string ~seed s
+
+let checkpoint_arg =
+  let doc =
+    "Directory for durable job checkpoints: the run becomes a supervised \
+     job, checkpointed after every round. Combine with --resume to continue \
+     a killed run and --kill-after-round to simulate the death."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the checkpoint in --checkpoint=DIR instead of starting \
+     over. The resumed run must use the same algorithm, fault plan and \
+     configuration (checkpoints are fingerprinted); its output and stats \
+     are bit-identical to an uninterrupted run."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let kill_after_arg =
+  let doc =
+    "Simulate a process death immediately after the round-$(docv) \
+     checkpoint is persisted (0 = before any work). The command exits \
+     cleanly; rerun with --resume to continue."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill-after-round" ] ~docv:"K" ~doc)
+
+(* Builds the job control block when --checkpoint was given and runs
+   [f] under it, turning the simulated death into a clean exit with a
+   hint instead of a crash. *)
+let with_job ~name checkpoint resume kill_after f =
+  match checkpoint with
+  | None ->
+    if resume then invalid_arg "--resume requires --checkpoint=DIR";
+    if kill_after <> None then
+      invalid_arg "--kill-after-round requires --checkpoint=DIR";
+    f None
+  | Some dir ->
+    let store = Jobs.Store.on_disk dir in
+    let job =
+      Jobs.Supervisor.create ?kill_after_round:kill_after ~resume ~store name
+    in
+    (try
+       f (Some job);
+       Fmt.pr "job:    %a@." Jobs.Supervisor.pp_outcome job
+     with Jobs.Supervisor.Killed { job = j; round } ->
+       Fmt.pr "job %s killed after its round-%d checkpoint; rerun with \
+               --resume to continue@."
+         j round)
 
 let trace_arg =
   let doc =
@@ -327,8 +382,8 @@ let transfer_cmd =
 (* hypercube                                                           *)
 
 let hypercube_cmd =
-  let run query inline file p seed backend domains faults_spec fault_seed trace
-      profile verbose =
+  let run query inline file p seed backend domains faults_spec fault_seed
+      checkpoint resume kill_after trace profile verbose =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             let q = Cq.Parser.query query in
@@ -336,33 +391,36 @@ let hypercube_cmd =
             let faults = parse_faults faults_spec fault_seed in
             if not (Faults.Plan.is_none faults) then
               Fmt.pr "faults: %a@." Faults.Plan.pp faults;
-            let result, stats, shares =
-              with_executor backend domains (fun executor ->
-                  Mpc.Hypercube.run ~seed ~executor ~faults ~p q i)
-            in
-            Fmt.pr "shares: %a@."
-              Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
-              shares;
-            Fmt.pr "result: %a@." Relational.Instance.pp result;
-            Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
-            if verbose then Fmt.pr "%a" Mpc.Stats.pp_rounds stats;
-            Fmt.pr "tau* = %.3f, load exponent eps = %.3f@."
-              (Cq.Hypergraph.tau_star q)
-              (Mpc.Stats.epsilon ~m:(Relational.Instance.cardinal i) stats)))
+            with_job ~name:"hypercube" checkpoint resume kill_after
+              (fun job ->
+                let result, stats, shares =
+                  with_executor backend domains (fun executor ->
+                      Mpc.Hypercube.run ~seed ~executor ~faults ?job ~p q i)
+                in
+                Fmt.pr "shares: %a@."
+                  Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
+                  shares;
+                Fmt.pr "result: %a@." Relational.Instance.pp result;
+                Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
+                if verbose then Fmt.pr "%a" Mpc.Stats.pp_rounds stats;
+                Fmt.pr "tau* = %.3f, load exponent eps = %.3f@."
+                  (Cq.Hypergraph.tau_star q)
+                  (Mpc.Stats.epsilon ~m:(Relational.Instance.cardinal i) stats))))
   in
   let doc = "Run the one-round HyperCube algorithm and report loads." in
   Cmd.v (Cmd.info "hypercube" ~doc)
     Term.(
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
       $ seed_arg $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg
-      $ trace_arg $ profile_arg $ verbose_arg)
+      $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ profile_arg
+      $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gym                                                                 *)
 
 let gym_cmd =
-  let run query inline file p backend domains faults_spec fault_seed trace
-      profile verbose =
+  let run query inline file p backend domains faults_spec fault_seed checkpoint
+      resume kill_after trace profile verbose =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             let q = Cq.Parser.query query in
@@ -370,14 +428,15 @@ let gym_cmd =
             let faults = parse_faults faults_spec fault_seed in
             if not (Faults.Plan.is_none faults) then
               Fmt.pr "faults: %a@." Faults.Plan.pp faults;
-            let result, stats, width =
-              with_executor backend domains (fun executor ->
-                  Mpc.Gym_ghd.run ~executor ~faults ~p q i)
-            in
-            Fmt.pr "decomposition width: %d bag atoms@." width;
-            Fmt.pr "result: %a@." Relational.Instance.pp result;
-            Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
-            if verbose then Fmt.pr "%a" Mpc.Stats.pp_rounds stats))
+            with_job ~name:"gym" checkpoint resume kill_after (fun job ->
+                let result, stats, width =
+                  with_executor backend domains (fun executor ->
+                      Mpc.Gym_ghd.run ~executor ~faults ?job ~p q i)
+                in
+                Fmt.pr "decomposition width: %d bag atoms@." width;
+                Fmt.pr "result: %a@." Relational.Instance.pp result;
+                Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
+                if verbose then Fmt.pr "%a" Mpc.Stats.pp_rounds stats)))
   in
   let doc =
     "Run GYM (Yannakakis in MPC over a tree decomposition; handles cyclic \
@@ -386,8 +445,63 @@ let gym_cmd =
   Cmd.v (Cmd.info "gym" ~doc)
     Term.(
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
-      $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg $ trace_arg
-      $ profile_arg $ verbose_arg)
+      $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg
+      $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ profile_arg
+      $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* triangle                                                            *)
+
+let triangle_cmd =
+  let algo_arg =
+    let doc =
+      "Multi-round plan: $(b,cascade) (two repartition joins; round 2 \
+       carries the intermediate K = R ⋈ S) or $(b,skew) (heavy/light \
+       split: light tuples through one-round HyperCube, heavy ones \
+       through a two-round semi-join plan)."
+    in
+    Arg.(value & opt string "cascade" & info [ "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let run algo inline file p seed backend domains faults_spec fault_seed
+      checkpoint resume kill_after trace profile verbose =
+    wrap (fun () ->
+        with_obs trace profile (fun () ->
+            let i = load_instance inline file in
+            let faults = parse_faults faults_spec fault_seed in
+            if not (Faults.Plan.is_none faults) then
+              Fmt.pr "faults: %a@." Faults.Plan.pp faults;
+            with_job ~name:"triangle" checkpoint resume kill_after (fun job ->
+                let result, stats =
+                  with_executor backend domains (fun executor ->
+                      match algo with
+                      | "cascade" ->
+                        Mpc.Multi_round.cascade_triangle ~seed ~executor
+                          ~faults ?job ~p i
+                      | "skew" ->
+                        let result, stats, heavy =
+                          Mpc.Multi_round.skew_resilient_triangle ~seed
+                            ~executor ~faults ?job ~p i
+                        in
+                        Fmt.pr "heavy hitters: %d@." heavy;
+                        (result, stats)
+                      | other ->
+                        invalid_arg
+                          (Fmt.str "unknown algo %S (cascade or skew)" other))
+                in
+                Fmt.pr "result: %a@." Relational.Instance.pp result;
+                Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
+                if verbose then Fmt.pr "%a" Mpc.Stats.pp_rounds stats)))
+  in
+  let doc =
+    "Run a multi-round triangle plan (H(x,y,z) <- R(x,y), S(y,z), T(z,x)) \
+     over an instance with relations R, S and T."
+  in
+  Cmd.v (Cmd.info "triangle" ~doc)
+    Term.(
+      const run $ algo_arg $ instance_arg $ instance_file_arg $ p_arg
+      $ seed_arg $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg
+      $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ profile_arg
+      $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* calm                                                                *)
@@ -600,6 +714,7 @@ let main_cmd =
       transfer_cmd;
       hypercube_cmd;
       gym_cmd;
+      triangle_cmd;
       calm_cmd;
       analyze_cmd;
       datalog_cmd;

@@ -9,6 +9,9 @@
     - {!Faults}: seeded deterministic fault plans — crash-stop, message
       drop/duplication/reordering, stragglers, transient task faults —
       injected into the simulators below (zero-cost when off);
+    - {!Jobs}: durable checkpoints and round-indexed job supervision —
+      the kill/resume, straggler-speculation and survivor-rebalancing
+      layer every multi-round algorithm runs under;
     - {!Runtime}: the multicore execution engine — domain pool,
       work-stealing deques, the executor the simulators run on;
     - {!Relational}: facts, instances, active domains (Section 2);
@@ -35,6 +38,12 @@ end
 
 module Faults = struct
   module Plan = Lamp_faults.Plan
+end
+
+module Jobs = struct
+  module Codec = Lamp_jobs.Codec
+  module Store = Lamp_jobs.Store
+  module Supervisor = Lamp_jobs.Supervisor
 end
 
 module Runtime = struct

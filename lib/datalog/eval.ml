@@ -97,23 +97,24 @@ let naive_fixpoint_db db rules =
   in
   round 1
 
+let set_deltas db rec_rels fresh =
+  let by_rel = Hashtbl.create 8 in
+  List.iter
+    (fun (rel, tup) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_rel rel) in
+      Hashtbl.replace by_rel rel (tup :: prev))
+    fresh;
+  List.iter
+    (fun rel ->
+      Plan.Db.replace db ~rel:(delta_prefix ^ rel)
+        (Option.value ~default:[] (Hashtbl.find_opt by_rel rel)))
+    rec_rels
+
 let seminaive_fixpoint_db db rules =
   let recursive = recursive_heads rules in
   let rule_variants = List.concat_map (variants recursive) rules in
   let rec_rels = Sset.elements recursive in
-  let set_deltas fresh =
-    let by_rel = Hashtbl.create 8 in
-    List.iter
-      (fun (rel, tup) ->
-        let prev = Option.value ~default:[] (Hashtbl.find_opt by_rel rel) in
-        Hashtbl.replace by_rel rel (tup :: prev))
-      fresh;
-    List.iter
-      (fun rel ->
-        Plan.Db.replace db ~rel:(delta_prefix ^ rel)
-          (Option.value ~default:[] (Hashtbl.find_opt by_rel rel)))
-      rec_rels
-  in
+  let set_deltas fresh = set_deltas db rec_rels fresh in
   let rec iterate i fresh =
     match fresh with
     | [] -> ()
@@ -131,31 +132,96 @@ type strategy =
   | Naive
   | Seminaive
 
-let run ?(strategy = Seminaive) program instance =
+let strategy_name = function Naive -> "naive" | Seminaive -> "seminaive"
+
+(* One supervised step = one fixpoint iteration of the current stratum
+   (the unit between which the engine's state is fully captured by the
+   database: the semi-naive deltas live in reserved relations inside
+   it, so a checkpoint needs nothing else beyond the two cursors). *)
+let run_supervised ~strategy ~layers ~db job =
+  let module Codec = Lamp_jobs.Codec in
+  let module Supervisor = Lamp_jobs.Supervisor in
+  let layers = Array.of_list layers in
+  let stratum = ref 0 in
+  let iter = ref 0 in
+  let step _k =
+    if !stratum >= Array.length layers then `Done
+    else begin
+      let rules = layers.(!stratum) in
+      let recursive = recursive_heads rules in
+      let rec_rels = Sset.elements recursive in
+      let fresh =
+        match strategy with
+        | Naive -> derive_fresh !db rules
+        | Seminaive ->
+          (* First iteration: full evaluation; then delta-driven. *)
+          if !iter = 0 then derive_fresh !db rules
+          else derive_fresh !db (List.concat_map (variants recursive) rules)
+      in
+      match fresh with
+      | [] ->
+        (* Stratum converged: the reserved delta relations never leak
+           into the next stratum or the result. *)
+        if strategy = Seminaive then
+          List.iter
+            (fun rel -> Plan.Db.replace !db ~rel:(delta_prefix ^ rel) [])
+            rec_rels;
+        stratum := !stratum + 1;
+        iter := 0;
+        if !stratum >= Array.length layers then `Done else `Continue
+      | _ :: _ ->
+        note_iteration ~iteration:(!iter + 1) fresh;
+        if strategy = Seminaive then set_deltas !db rec_rels fresh;
+        iter := !iter + 1;
+        `Continue
+    end
+  in
+  job.Supervisor.fingerprint <-
+    Fmt.str "datalog-%s/%d-strata" (strategy_name strategy)
+      (Array.length layers);
+  Supervisor.run job
+    (Supervisor.inline_script ~step
+       ~snapshot:(fun () ->
+         let w = Codec.writer () in
+         Codec.w_int w !stratum;
+         Codec.w_int w !iter;
+         Codec.w_instance w (Plan.Db.to_instance ~keep:(fun _ -> true) !db);
+         Codec.contents w)
+       ~restore:(fun ~round:_ payload ->
+         let r = Codec.reader payload in
+         stratum := Codec.r_int r;
+         iter := Codec.r_int r;
+         db := Plan.Db.of_instance (Codec.r_instance r);
+         Codec.r_end r))
+
+let run ?(strategy = Seminaive) ?job program instance =
   let db0 =
     if Program.uses_adom program then materialize_adom instance else instance
   in
   let layers = Stratify.layers program in
-  let db = Plan.Db.of_instance db0 in
-  let fixpoint =
-    match strategy with
-    | Naive -> naive_fixpoint_db
-    | Seminaive -> seminaive_fixpoint_db
-  in
-  List.iteri
-    (fun i rules ->
-      Trace.span ~cat:"datalog"
-        ~args:
-          [ ("stratum", Trace.Int i); ("rules", Trace.Int (List.length rules)) ]
-        "datalog.stratum"
-        (fun () -> fixpoint db rules))
-    layers;
+  let db = ref (Plan.Db.of_instance db0) in
+  (match job with
+  | Some job -> run_supervised ~strategy ~layers ~db job
+  | None ->
+    let fixpoint =
+      match strategy with
+      | Naive -> naive_fixpoint_db
+      | Seminaive -> seminaive_fixpoint_db
+    in
+    List.iteri
+      (fun i rules ->
+        Trace.span ~cat:"datalog"
+          ~args:
+            [ ("stratum", Trace.Int i); ("rules", Trace.Int (List.length rules)) ]
+          "datalog.stratum"
+          (fun () -> fixpoint !db rules))
+      layers);
   Plan.Db.to_instance
     ~keep:(fun rel -> not (String.starts_with ~prefix:delta_prefix rel))
-    db
+    !db
 
-let query ?strategy program ~output instance =
-  let db = run ?strategy program instance in
+let query ?strategy ?job program ~output instance =
+  let db = run ?strategy ?job program instance in
   Instance.filter (fun f -> Fact.rel f = output) db
 
 (* ------------------------------------------------------------------ *)

@@ -23,14 +23,32 @@ type strategy =
   | Naive
   | Seminaive
 
-val run : ?strategy:strategy -> Program.t -> Instance.t -> Instance.t
+val run :
+  ?strategy:strategy ->
+  ?job:Lamp_jobs.Supervisor.t ->
+  Program.t ->
+  Instance.t ->
+  Instance.t
 (** The program's perfect model: the input plus all derived IDB facts
     (plus [ADom] when used).
+
+    With [job], every fixpoint iteration of every stratum is one
+    supervised, checkpointed step: the checkpoint is the interned
+    database (the semi-naive deltas live in reserved relations inside
+    it) plus the stratum/iteration cursors, so a killed evaluation
+    resumes mid-stratum with a bit-identical model. The fixpoint is
+    coordinator-resident — no servers exist to crash permanently, so
+    no rebalancing applies.
     @raise Stratify.Not_stratifiable on programs with negative cycles —
     use [Wellfounded] for those. *)
 
 val query :
-  ?strategy:strategy -> Program.t -> output:string -> Instance.t -> Instance.t
+  ?strategy:strategy ->
+  ?job:Lamp_jobs.Supervisor.t ->
+  Program.t ->
+  output:string ->
+  Instance.t ->
+  Instance.t
 (** [run] restricted to one output relation. *)
 
 val run_reference : ?strategy:strategy -> Program.t -> Instance.t -> Instance.t

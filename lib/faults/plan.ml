@@ -6,6 +6,9 @@ type spec = {
   reorder : bool;
   straggle : float;
   transient : float;
+  speculate : float;
+  kill_after : int option;
+  perma : (int * int) option;
 }
 
 let zero =
@@ -17,10 +20,14 @@ let zero =
     reorder = false;
     straggle = 0.0;
     transient = 0.0;
+    speculate = 0.0;
+    kill_after = None;
+    perma = None;
   }
 
 let chaos =
   {
+    zero with
     crash = 0.15;
     drop = 0.05;
     duplicate = 0.05;
@@ -53,6 +60,19 @@ let make ?(seed = 0) spec =
   prob "transient" spec.transient;
   if spec.drop +. spec.duplicate +. spec.delay > 1.0 then
     invalid_arg "Faults.Plan.make: drop + duplicate + delay > 1";
+  if spec.speculate < 0.0 then
+    invalid_arg
+      (Fmt.str "Faults.Plan.make: speculate = %g negative" spec.speculate);
+  (match spec.kill_after with
+  | Some k when k < 0 ->
+    invalid_arg (Fmt.str "Faults.Plan.make: kill = %d negative" k)
+  | _ -> ());
+  (match spec.perma with
+  | Some (r, s) when r < 1 || s < 0 ->
+    invalid_arg
+      (Fmt.str "Faults.Plan.make: perma = %d:%d (round must be >= 1, server \
+                >= 0)" r s)
+  | _ -> ());
   On { seed; spec }
 
 let seed = function Off -> 0 | On p -> p.seed
@@ -90,6 +110,7 @@ and reorder_label = 3
 and transient_label = 4
 and straggle_label = 5
 and straggle_len_label = 6
+and tie_label = 7
 
 (* ------------------------------------------------------------------ *)
 
@@ -175,20 +196,43 @@ let inject t ~round ~phase ~task ~attempt =
          (Fmt.str "injected transient fault (round %d, %s, task %d, attempt %d)"
             round (phase_name phase) task attempt))
 
-let straggle t ~round ~phase ~task =
+let straggle_delay t ~round ~phase ~task =
   match t with
-  | Off -> ()
+  | Off -> 0.0
   | On { seed; spec } ->
     if
       spec.straggle > 0.0
       && draw ~seed ~label:straggle_label round (phase_code phase) task
          < spec.straggle
     then
-      Unix.sleepf
-        (0.0001
-        +. 0.0009
-           *. draw ~seed ~label:straggle_len_label round (phase_code phase)
-                task)
+      0.0001
+      +. 0.0009
+         *. draw ~seed ~label:straggle_len_label round (phase_code phase) task
+    else 0.0
+
+let straggle t ~round ~phase ~task =
+  let d = straggle_delay t ~round ~phase ~task in
+  if d > 0.0 then Unix.sleepf d
+
+let speculation_budget = function Off -> 0.0 | On { spec; _ } -> spec.speculate
+
+let speculation_tie t ~round ~phase ~task =
+  match t with
+  | Off -> `Primary
+  | On { seed; _ } ->
+    if draw ~seed ~label:tie_label round (phase_code phase) task < 0.5 then
+      `Primary
+    else `Backup
+
+let kill_after = function Off -> None | On { spec; _ } -> spec.kill_after
+
+let perma_crash t ~round =
+  match t with
+  | Off -> None
+  | On { spec; _ } -> (
+    match spec.perma with
+    | Some (r, s) when r = round -> Some s
+    | _ -> None)
 
 (* ------------------------------------------------------------------ *)
 
@@ -202,7 +246,8 @@ let of_string ?(seed = 0) s =
         invalid_arg
           (Fmt.str
              "Faults.Plan.of_string: bad field %S (expected key=float among \
-              crash/drop/dup/delay/straggle/transient, or the flag reorder)"
+              crash/drop/dup/delay/straggle/transient/speculate, kill=ROUND, \
+              perma=ROUND:SERVER, or the flag reorder)"
              field)
       in
       match String.trim field with
@@ -216,14 +261,30 @@ let of_string ?(seed = 0) s =
           let v =
             String.trim (String.sub field (i + 1) (String.length field - i - 1))
           in
-          let f = match float_of_string_opt v with Some f -> f | None -> fail () in
+          let f () =
+            match float_of_string_opt v with Some f -> f | None -> fail ()
+          in
+          let n () =
+            match int_of_string_opt v with Some n -> n | None -> fail ()
+          in
           (match key with
-          | "crash" -> { spec with crash = f }
-          | "drop" -> { spec with drop = f }
-          | "dup" | "duplicate" -> { spec with duplicate = f }
-          | "delay" -> { spec with delay = f }
-          | "straggle" -> { spec with straggle = f }
-          | "transient" -> { spec with transient = f }
+          | "crash" -> { spec with crash = f () }
+          | "drop" -> { spec with drop = f () }
+          | "dup" | "duplicate" -> { spec with duplicate = f () }
+          | "delay" -> { spec with delay = f () }
+          | "straggle" -> { spec with straggle = f () }
+          | "transient" -> { spec with transient = f () }
+          | "speculate" -> { spec with speculate = f () }
+          | "kill" -> { spec with kill_after = Some (n ()) }
+          | "perma" -> (
+            match String.index_opt v ':' with
+            | None -> fail ()
+            | Some j ->
+              let r = String.sub v 0 j
+              and s = String.sub v (j + 1) (String.length v - j - 1) in
+              (match (int_of_string_opt r, int_of_string_opt s) with
+              | Some r, Some s -> { spec with perma = Some (r, s) }
+              | _ -> fail ()))
           | _ -> fail ()))
     in
     let spec =
@@ -244,7 +305,14 @@ let pp ppf = function
           ("delay", spec.delay);
           ("straggle", spec.straggle);
           ("transient", spec.transient);
+          ("speculate", spec.speculate);
         ]
+      @ (match spec.kill_after with
+        | Some k -> [ Fmt.str "kill=%d" k ]
+        | None -> [])
+      @ (match spec.perma with
+        | Some (r, s) -> [ Fmt.str "perma=%d:%d" r s ]
+        | None -> [])
       @ (if spec.reorder then [ "reorder" ] else [])
     in
     let body = match fields with [] -> "none" | _ -> String.concat "," fields in

@@ -29,6 +29,19 @@ type spec = {
           {!Transient} on its first (with probability [transient²] also
           its second) attempt; always fewer than [max_attempts - 1]
           failures, so retried tasks always eventually succeed. *)
+  speculate : float;
+      (** Speculation budget in seconds; 0 disables mitigation. A task
+          whose straggler delay reaches the budget is re-executed as a
+          deterministic backup copy after waiting only the budget — see
+          [Runtime.Executor.speculate]. *)
+  kill_after : int option;
+      (** Simulated process death: the supervised job raises
+          [Jobs.Supervisor.Killed] right after persisting the
+          checkpoint of this round (0 = before any work). *)
+  perma : (int * int) option;
+      (** [(round, server)]: the server permanently crash-stops before
+          that round (1-indexed); the job supervisor rebalances the
+          survivors. *)
 }
 
 val zero : spec
@@ -54,7 +67,8 @@ val spec : t -> spec
 
 val of_string : ?seed:int -> string -> t
 (** Parses a CLI fault spec: comma-separated [key=value] fields among
-    [crash], [drop], [dup], [delay], [straggle], [transient] (floats)
+    [crash], [drop], [dup], [delay], [straggle], [transient],
+    [speculate] (floats), [kill=ROUND], [perma=ROUND:SERVER] (ints)
     and the bare flag [reorder]; ["none"] or [""] is {!none} and
     ["chaos"] is the {!chaos} preset.
     @raise Invalid_argument on malformed input. *)
@@ -103,3 +117,29 @@ val inject : t -> round:int -> phase:phase -> task:int -> attempt:int -> unit
 val straggle : t -> round:int -> phase:phase -> task:int -> unit
 (** Sleeps 0.1–1 ms when the task is selected as a straggler. Perturbs
     real parallel scheduling; never changes a result. *)
+
+val straggle_delay : t -> round:int -> phase:phase -> task:int -> float
+(** The delay {!straggle} would sleep, without sleeping — pure, so a
+    mitigating scheduler can compare it to its speculation budget
+    before deciding to wait or re-execute. 0 when the task is not a
+    straggler. *)
+
+(** {1 Job-level failures} *)
+
+val speculation_budget : t -> float
+(** The plan's [speculate] field (0 = speculation off). *)
+
+val speculation_tie : t -> round:int -> phase:phase -> task:int ->
+  [ `Primary | `Backup ]
+(** Seed-ordered tie-break between a straggling primary and its backup
+    copy when both would finish at the deadline — a pure draw, so seq
+    and pool backends pick the same winner. *)
+
+val kill_after : t -> int option
+(** The plan's [kill] field: simulated process death after this
+    round's checkpoint. *)
+
+val perma_crash : t -> round:int -> int option
+(** [perma_crash t ~round] is [Some s] iff the plan's [perma] entry
+    names exactly this (1-indexed) round: server [s] is permanently
+    gone before the round starts. *)

@@ -1,0 +1,95 @@
+let magic = "LAMPCKPT"
+let version = 1
+
+type t =
+  | Memory of (string, int * string) Hashtbl.t
+  | Disk of string
+
+let in_memory () = Memory (Hashtbl.create 8)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let on_disk dir =
+  mkdir_p dir;
+  Disk dir
+
+let sanitize job =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    job
+
+let slot_path dir job = Filename.concat dir (sanitize job ^ ".ckpt")
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Codec.Corrupt s)) fmt
+
+let encode_slot ~job ~round payload =
+  let w = Codec.writer () in
+  Codec.w_string w magic;
+  Codec.w_int w version;
+  Codec.w_string w job;
+  Codec.w_int w round;
+  Codec.w_string w payload;
+  Codec.contents w
+
+let decode_slot ~job raw =
+  let r = Codec.reader raw in
+  let m = Codec.r_string r in
+  if m <> magic then corrupt "bad checkpoint magic %S" m;
+  let v = Codec.r_int r in
+  if v <> version then
+    corrupt "checkpoint version %d, this build reads %d" v version;
+  let j = Codec.r_string r in
+  if j <> job then corrupt "checkpoint belongs to job %S, expected %S" j job;
+  let round = Codec.r_int r in
+  let payload = Codec.r_string r in
+  Codec.r_end r;
+  (round, payload)
+
+let save t ~job ~round payload =
+  match t with
+  | Memory tbl -> Hashtbl.replace tbl job (round, payload)
+  | Disk dir ->
+    let path = slot_path dir job in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (encode_slot ~job ~round payload);
+        flush oc);
+    Sys.rename tmp path
+
+let load t ~job =
+  match t with
+  | Memory tbl -> Hashtbl.find_opt tbl job
+  | Disk dir ->
+    let path = slot_path dir job in
+    if not (Sys.file_exists path) then None
+    else begin
+      let ic = open_in_bin path in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Some (decode_slot ~job raw)
+    end
+
+let clear t ~job =
+  match t with
+  | Memory tbl -> Hashtbl.remove tbl job
+  | Disk dir ->
+    let path = slot_path dir job in
+    if Sys.file_exists path then Sys.remove path
+
+let pp ppf = function
+  | Memory _ -> Fmt.string ppf "memory"
+  | Disk dir -> Fmt.pf ppf "disk:%s" dir

@@ -1,0 +1,37 @@
+(** Durable checkpoint store: one latest snapshot per job.
+
+    Each job keeps a single slot — saving round [k+1] supersedes round
+    [k]. A slot holds the completed-round number and an opaque payload
+    (produced by the job's snapshot function, typically via {!Codec}).
+
+    Two backends share the interface: {!in_memory} (a hashtable, for
+    tests and benchmarks) and {!on_disk} (one file per job under a
+    directory). Disk writes are atomic — payloads are written to a
+    temp file and [rename]d over the slot, so a crash mid-write leaves
+    either the previous checkpoint or the new one, never a torn file.
+    Disk slots carry a magic/version/job header; {!load} rejects
+    mismatched versions or a file saved under a different job name. *)
+
+type t
+
+val in_memory : unit -> t
+
+val on_disk : string -> t
+(** [on_disk dir] stores each job's checkpoint as [dir/<job>.ckpt]
+    (job names are sanitized to a filesystem-safe form). Creates
+    [dir] if needed.
+    @raise Sys_error if the directory cannot be created. *)
+
+val save : t -> job:string -> round:int -> string -> unit
+(** [save store ~job ~round payload] atomically replaces [job]'s slot. *)
+
+val load : t -> job:string -> (int * string) option
+(** Latest [(round, payload)] for [job]; [None] if never saved (or
+    cleared).
+    @raise Codec.Corrupt on a damaged or mismatched disk slot. *)
+
+val clear : t -> job:string -> unit
+(** Drops [job]'s slot; starting a fresh (non-resuming) run does this
+    so a stale checkpoint cannot leak into it. *)
+
+val pp : t Fmt.t

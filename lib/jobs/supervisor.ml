@@ -1,0 +1,158 @@
+module Trace = Lamp_obs.Trace
+
+exception Killed of { job : string; round : int }
+
+type outcome = [ `Continue | `Done ]
+
+type script = {
+  step : int -> outcome;
+  snapshot : unit -> string;
+  restore : round:int -> string -> unit;
+  rebalance : round:int -> dead:int -> [ `Continue | `Restart ];
+}
+
+let inline_script ~step ~snapshot ~restore =
+  { step; snapshot; restore; rebalance = (fun ~round:_ ~dead:_ -> `Continue) }
+
+type t = {
+  store : Store.t;
+  job : string;
+  mutable fingerprint : string;
+  mutable kill_after_round : int option;
+  mutable resume : bool;
+  mutable resumed_from : int option;
+  mutable checkpoints : int;
+  mutable checkpoint_bytes : int;
+  mutable rebalanced : (int * int) list;
+}
+
+let create ?(fingerprint = "") ?kill_after_round ?(resume = false) ~store job =
+  {
+    store;
+    job;
+    fingerprint;
+    kill_after_round;
+    resume;
+    resumed_from = None;
+    checkpoints = 0;
+    checkpoint_bytes = 0;
+    rebalanced = [];
+  }
+
+(* The stored slot wraps the script payload in an envelope carrying
+   the run fingerprint (fault plan + configuration, checked on resume)
+   and the rebalances already applied, so a crash-stop repaired before
+   a kill is not repaired again after the resume. *)
+let encode_envelope fingerprint rebalanced payload =
+  let w = Codec.writer () in
+  Codec.w_string w fingerprint;
+  Codec.w_list w
+    (fun w (round, dead) ->
+      Codec.w_int w round;
+      Codec.w_int w dead)
+    rebalanced;
+  Codec.w_string w payload;
+  Codec.contents w
+
+let decode_envelope raw =
+  let r = Codec.reader raw in
+  let fingerprint = Codec.r_string r in
+  let rebalanced =
+    Codec.r_list r (fun r ->
+        let round = Codec.r_int r in
+        let dead = Codec.r_int r in
+        (round, dead))
+  in
+  let payload = Codec.r_string r in
+  Codec.r_end r;
+  (fingerprint, rebalanced, payload)
+
+let run_inline script =
+  let rec go k = match script.step k with `Continue -> go (k + 1) | `Done -> () in
+  go 0
+
+let run ?(perma = fun ~round:_ -> None) t script =
+  let applied = ref [] in
+  let start =
+    if not t.resume then begin
+      Store.clear t.store ~job:t.job;
+      0
+    end
+    else
+      match Store.load t.store ~job:t.job with
+      | None -> 0
+      | Some (round, raw) ->
+        let fingerprint, rebalanced, payload = decode_envelope raw in
+        if fingerprint <> t.fingerprint then
+          invalid_arg
+            (Printf.sprintf
+               "Supervisor.run: checkpoint for job %S was written under \
+                configuration %S, resuming under %S"
+               t.job fingerprint t.fingerprint);
+        applied := rebalanced;
+        t.resumed_from <- Some round;
+        Trace.instant ~cat:"job"
+          ~args:[ ("job", Str t.job); ("round", Int round) ]
+          "job.resume";
+        script.restore ~round payload;
+        round
+  in
+  let save round =
+    let payload =
+      Trace.span ~cat:"job"
+        ~args:[ ("job", Str t.job); ("round", Int round) ]
+        "job.checkpoint" script.snapshot
+    in
+    Store.save t.store ~job:t.job ~round
+      (encode_envelope t.fingerprint !applied payload);
+    t.checkpoints <- t.checkpoints + 1;
+    t.checkpoint_bytes <- t.checkpoint_bytes + String.length payload;
+    if t.kill_after_round = Some round then
+      raise (Killed { job = t.job; round })
+  in
+  if start = 0 && t.kill_after_round = Some 0 then save 0;
+  let rec go k =
+    let k =
+      match perma ~round:(k + 1) with
+      | Some dead when !applied = [] ->
+        applied := [ (k + 1, dead) ];
+        t.rebalanced <- (k + 1, dead) :: t.rebalanced;
+        Trace.instant ~cat:"job"
+          ~args:
+            [ ("job", Str t.job); ("round", Int (k + 1)); ("dead", Int dead) ]
+          "job.rebalance";
+        (match script.rebalance ~round:(k + 1) ~dead with
+        | `Continue ->
+          (* re-checkpoint: the post-rebalance state replaces the slot
+             so a later resume does not see the pre-crash topology *)
+          save k;
+          k
+        | `Restart ->
+          save 0;
+          0)
+      | _ -> k
+    in
+    match script.step k with
+    | `Continue ->
+      save (k + 1);
+      go (k + 1)
+    | `Done -> save (k + 1)
+  in
+  go start
+
+let pp_outcome ppf t =
+  let pp_bytes ppf b =
+    if b >= 1024 then Fmt.pf ppf "%.1f KiB" (float_of_int b /. 1024.)
+    else Fmt.pf ppf "%d B" b
+  in
+  (match t.resumed_from with
+  | Some r -> Fmt.pf ppf "resumed from round %d; " r
+  | None -> ());
+  Fmt.pf ppf "%d checkpoint%s (%a)" t.checkpoints
+    (if t.checkpoints = 1 then "" else "s")
+    pp_bytes t.checkpoint_bytes;
+  List.iter
+    (fun (round, dead) ->
+      Fmt.pf ppf "; rebalanced after crash of server %d before round %d" dead
+        round)
+    (List.rev t.rebalanced)

@@ -1,0 +1,108 @@
+(** Round-indexed job supervision: checkpoint, kill, resume, rebalance.
+
+    A multi-round algorithm exposes itself as a {!script}: [step k]
+    runs round [k+1] given that [k] rounds have completed, [snapshot]
+    serializes the whole job state, [restore] rebuilds it. The
+    supervisor drives the steps and, after each one, writes a durable
+    checkpoint to a {!Store.t}. A run that starts on a store holding a
+    checkpoint for its job (and was asked to resume) restores from it
+    and continues at the next round — producing output and statistics
+    bit-identical to an uninterrupted run, because the checkpoint
+    carries everything the remaining rounds read.
+
+    Failure modeling hooks:
+    - [kill_after_round = Some k] simulates a process death: the
+      supervisor raises {!Killed} immediately after persisting the
+      round-[k] checkpoint ([k = 0] dies before any work, leaving an
+      initial-state checkpoint).
+    - [run ~perma] consults a permanent crash-stop oracle before each
+      round; when it reports a dead server the script's [rebalance]
+      hook decides the recovery policy — [`Continue] (the script has
+      shrunk p→p−1 and redistributed the dead server's checkpointed
+      state onto survivors; resume from the current round) or
+      [`Restart] (the computation rendezvouses across rounds on a
+      p-dependent hash, so the script reset itself to round 0 with the
+      survivor count). The crash fires at most once per job, even
+      across kill/resume boundaries: the applied rebalance is recorded
+      inside the checkpoint envelope.
+
+    Checkpoints are fingerprinted: resuming under a different fault
+    plan (or algorithm configuration) than the checkpoint was written
+    under raises [Invalid_argument] rather than silently mixing
+    incompatible runs. *)
+
+exception Killed of { job : string; round : int }
+(** The simulated process death: the checkpoint for [round] is on the
+    store; rerunning the same job with [resume] continues from it. *)
+
+type outcome = [ `Continue | `Done ]
+
+type script = {
+  step : int -> outcome;
+      (** [step k] runs round [k+1] (0-indexed: [step 0] is the first
+          round). Returns [`Done] when the job is complete — including
+          when [k] is at or past the end, so resuming a finished job
+          is a no-op. *)
+  snapshot : unit -> string;
+      (** Serialized job state after the rounds completed so far. *)
+  restore : round:int -> string -> unit;
+      (** Rebuild the state [snapshot] captured after [round] rounds. *)
+  rebalance : round:int -> dead:int -> [ `Continue | `Restart ];
+      (** Permanent crash-stop of server [dead] detected before round
+          [round]; see the policy discussion above. The script mutates
+          its own state and accounts the rebalance traffic in its
+          statistics. *)
+}
+
+val inline_script :
+  step:(int -> outcome) -> snapshot:(unit -> string) ->
+  restore:(round:int -> string -> unit) -> script
+(** A script whose [rebalance] is [`Continue] with no state change —
+    for jobs that never see a permanent crash. *)
+
+type t = {
+  store : Store.t;
+  job : string;
+  mutable fingerprint : string;
+      (** Overwritten by supervised entry points with a digest of the
+          algorithm name and fault plan before {!run}; hand-written
+          scripts may set their own. *)
+  mutable kill_after_round : int option;
+  mutable resume : bool;
+  mutable resumed_from : int option;  (** Set by {!run} when it restored. *)
+  mutable checkpoints : int;  (** Checkpoints written by this run. *)
+  mutable checkpoint_bytes : int;  (** Total payload bytes written. *)
+  mutable rebalanced : (int * int) list;
+      (** [(round, dead)] crash-stops this run rebalanced around. *)
+}
+
+val create :
+  ?fingerprint:string ->
+  ?kill_after_round:int ->
+  ?resume:bool ->
+  store:Store.t ->
+  string ->
+  t
+(** [create ~store job] — a control block for one job run. [resume]
+    defaults to [false]: a fresh run clears any stale checkpoint for
+    [job] before starting. [fingerprint] (default ["" ]) is stored in
+    every checkpoint and verified on resume. *)
+
+val run : ?perma:(round:int -> int option) -> t -> script -> unit
+(** Drive [script] under supervision: restore if resuming, then
+    step/checkpoint until [`Done]. [perma ~round] reports a server
+    permanently crashed before [round] (rounds are 1-indexed here:
+    [round = k + 1] when [k] rounds have completed).
+    @raise Killed after the configured checkpoint when
+    [kill_after_round] is set.
+    @raise Invalid_argument on a fingerprint mismatch when resuming. *)
+
+val run_inline : script -> unit
+(** Drive the steps with no store, no checkpointing and no failure
+    hooks — the zero-cost path every entry point uses when no
+    supervisor is attached. *)
+
+val pp_outcome : t Fmt.t
+(** One line for CLIs: resumed-from round, checkpoints written and
+    rebalanced crashes, e.g.
+    ["resumed from round 2; 4 checkpoints (1.2 KiB)"]. *)

@@ -305,12 +305,47 @@ let run_round_faulty t plan round =
   let lost = Array.make t.p ([] : (int * Fact.t) list) in
   let dup_shipped = Array.make t.p 0 in
   let sent = if tracing then Array.make t.p 0 else [||] in
+  let budget = Plan.speculation_budget plan in
   let retry ~phase ~task body =
     Executor.with_retry ~max_attempts:Plan.max_attempts
       ~retryable:Plan.is_transient (fun ~attempt ->
         Plan.inject plan ~round:round_no ~phase ~task ~attempt;
-        Plan.straggle plan ~round:round_no ~phase ~task;
-        body ())
+        let stall = Plan.straggle_delay plan ~round:round_no ~phase ~task in
+        if stall > 0.0 then begin
+          if tracing then
+            Trace.sample ~cat:"fault" "fault.straggle_delay_ms"
+              (stall *. 1000.0);
+          if budget > 0.0 then begin
+            (* Straggler mitigation: wait at most the budget, then run
+               a backup copy of the (pure) task body. *)
+            let tie =
+              Plan.speculation_tie plan ~round:round_no ~phase ~task
+            in
+            let s =
+              Executor.speculate ~deadline:budget ~stall ~tie (fun ~cancel:_ ->
+                  body ())
+            in
+            (match s.Executor.winner with
+            | `Backup ->
+              if tracing then
+                Trace.instant ~cat:"fault"
+                  ~args:
+                    [
+                      ("round", Trace.Int round_no);
+                      ("phase", Trace.Str (Plan.phase_name phase));
+                      ("task", Trace.Int task);
+                      ("saved_ms", Trace.Float (s.Executor.saved *. 1000.0));
+                    ]
+                  "fault.speculate"
+            | `Primary -> ());
+            s.Executor.value
+          end
+          else begin
+            Unix.sleepf stall;
+            body ()
+          end
+        end
+        else body ())
   in
   Trace.span ~cat:"mpc"
     ~args:[ ("round", Trace.Int round_no); ("p", Trace.Int t.p) ]
@@ -403,17 +438,40 @@ let run_round_faulty t plan round =
   t.round_stats <-
     { Stats.max_received; total_received } :: t.round_stats;
   let retries = ref 0 in
+  (* Like retries, speculations are counted analytically — both are
+     pure functions of (plan, round, phase, task), and the compute
+     phase (which may also speculate) has not run yet. A task is
+     outrun by its backup iff its stall reaches the budget (ties go by
+     the seeded draw), exactly the decision [retry] makes. *)
+  let speculations = ref 0 in
+  let speculates phase task =
+    if budget <= 0.0 then false
+    else begin
+      let stall = Plan.straggle_delay plan ~round:round_no ~phase ~task in
+      stall > 0.0
+      && (stall > budget
+         || (stall = budget
+            && Plan.speculation_tie plan ~round:round_no ~phase ~task
+               = `Backup))
+    end
+  in
   for s = 0 to t.p - 1 do
     let failures phase =
       Plan.transient_failures plan ~round:round_no ~phase ~task:s
     in
-    if not crashed.(s) then retries := !retries + failures Plan.Communicate;
-    retries := !retries + failures Plan.Merge + failures Plan.Compute
+    if not crashed.(s) then begin
+      retries := !retries + failures Plan.Communicate;
+      if speculates Plan.Communicate s then incr speculations
+    end;
+    retries := !retries + failures Plan.Merge + failures Plan.Compute;
+    if speculates Plan.Merge s then incr speculations;
+    if speculates Plan.Compute s then incr speculations
   done;
   let duplicates = Array.fold_left ( + ) 0 dup_shipped in
+  let speculations = !speculations in
   if
     n_crashed > 0 || !replayed > 0 || !retransmitted > 0 || duplicates > 0
-    || !retries > 0
+    || !retries > 0 || speculations > 0
   then begin
     t.recoveries <-
       {
@@ -423,6 +481,7 @@ let run_round_faulty t plan round =
         retransmitted = !retransmitted;
         duplicates;
         retries = !retries;
+        speculated = speculations;
       }
       :: t.recoveries;
     Trace.instant ~cat:"fault"
@@ -434,6 +493,7 @@ let run_round_faulty t plan round =
           ("retransmitted", Trace.Int !retransmitted);
           ("duplicates", Trace.Int duplicates);
           ("retries", Trace.Int !retries);
+          ("speculated", Trace.Int speculations);
         ]
       "mpc.recovery"
   end;
@@ -488,6 +548,117 @@ let stats t =
     rounds = List.rev t.round_stats;
     recoveries = List.rev t.recoveries;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Job-level checkpointing: the whole cluster — topology, per-server
+   locals and the statistics accumulated so far — serializes through
+   the Jobs codec, so a resumed run stitches its Stats.t onto the
+   checkpointed prefix and the final statistics are indistinguishable
+   from an uninterrupted run's. *)
+
+module Codec = Lamp_jobs.Codec
+
+let snapshot t =
+  let w = Codec.writer () in
+  Codec.w_int w t.p;
+  Codec.w_int w t.initial_max;
+  Codec.w_int w t.initial_total;
+  Codec.w_array w Codec.w_instance t.locals;
+  Codec.w_list w Stats.w_round_stats t.round_stats;
+  Codec.w_list w Stats.w_recovery t.recoveries;
+  Codec.contents w
+
+let restore ?(executor = Executor.sequential) ?(faults = Plan.none) raw =
+  let r = Codec.reader raw in
+  let p = Codec.r_int r in
+  check_p p;
+  let initial_max = Codec.r_int r in
+  let initial_total = Codec.r_int r in
+  let locals = Codec.r_array r Codec.r_instance in
+  if Array.length locals <> p then
+    raise (Codec.Corrupt "Cluster.restore: locals/p mismatch");
+  let round_stats = Codec.r_list r Stats.r_round_stats in
+  let recoveries = Codec.r_list r Stats.r_recovery in
+  Codec.r_end r;
+  {
+    p;
+    executor;
+    faults;
+    locals;
+    round_stats;
+    recoveries;
+    initial_max;
+    initial_total;
+  }
+
+let add_recovery t recovery = t.recoveries <- recovery :: t.recoveries
+
+(* Survivor rebalancing after a permanent crash-stop: the dead
+   server's checkpointed local is rehashed (by Fact.hash, the policy
+   remapping) onto the p−1 survivors; servers above it shift down one
+   slot. Every fact shipped is charged to Stats.recoveries as replay
+   traffic. The caller is responsible for only doing this to
+   computations whose remaining rounds are correct under the new
+   topology (they rehash from scratch each round — coordination-free
+   in the CALM sense); cross-round rendezvous algorithms must restart
+   instead. *)
+let shrink t ~round ~dead =
+  if t.p <= 1 then invalid_arg "Cluster.shrink: cannot shrink below 1 server";
+  if dead < 0 || dead >= t.p then
+    invalid_arg
+      (Fmt.str "Cluster.shrink: dead server %d out of range for p = %d" dead
+         t.p);
+  let p' = t.p - 1 in
+  let survivors =
+    Array.init p' (fun i -> if i < dead then t.locals.(i) else t.locals.(i + 1))
+  in
+  let orphans = Array.make p' [] in
+  Instance.iter
+    (fun f ->
+      let d = Fact.hash f mod p' in
+      orphans.(d) <- f :: orphans.(d))
+    t.locals.(dead);
+  let shipped = Instance.cardinal t.locals.(dead) in
+  Array.iteri
+    (fun i fs ->
+      if fs <> [] then
+        survivors.(i) <- Instance.union survivors.(i) (Instance.of_facts fs))
+    orphans;
+  {
+    t with
+    p = p';
+    locals = survivors;
+    recoveries =
+      {
+        Stats.round;
+        crashed = 1;
+        replayed = shipped;
+        retransmitted = 0;
+        duplicates = 0;
+        retries = 0;
+        speculated = 0;
+      }
+      :: t.recoveries;
+  }
+
+(* Drive a job script: inline (zero cost) without a supervisor,
+   checkpointed under it. The supervisor's fingerprint is derived here
+   from the algorithm name and the fault plan, so a resume under a
+   different plan (different seed, different rates) is rejected
+   instead of silently mixing incompatible runs; the plan's kill and
+   perma entries are merged into the control block. *)
+let supervise ?job ~name ~faults script =
+  let module Supervisor = Lamp_jobs.Supervisor in
+  match job with
+  | None -> Supervisor.run_inline script
+  | Some (ctl : Supervisor.t) ->
+    ctl.Supervisor.fingerprint <- Fmt.str "%s@%a" name Plan.pp faults;
+    (match (Plan.kill_after faults, ctl.Supervisor.kill_after_round) with
+    | Some k, None -> ctl.Supervisor.kill_after_round <- Some k
+    | _ -> ());
+    Supervisor.run ctl
+      ~perma:(fun ~round -> Plan.perma_crash faults ~round)
+      script
 
 (* Common communication phases. *)
 

@@ -81,6 +81,57 @@ val run_round : t -> round -> unit
 
 val stats : t -> Stats.t
 
+(** {1 Job-level checkpointing} *)
+
+val snapshot : t -> string
+(** Versioned binary snapshot (via [Lamp_jobs.Codec]) of the whole
+    cluster: topology ([p], initial partition sizes), every server's
+    local instance and the per-round statistics and recoveries
+    accumulated so far. Equal cluster states snapshot to identical
+    bytes. The executor and fault plan are {e not} captured — they are
+    reattached by {!restore}, so a checkpoint written by a sequential
+    run resumes on the pool (and vice versa) with bit-identical
+    results. *)
+
+val restore :
+  ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
+  string ->
+  t
+(** Rebuild the cluster a {!snapshot} captured; further {!run_round}
+    calls continue exactly where the snapshot left off, and {!stats}
+    stitches the checkpointed rounds with the new ones.
+    @raise Lamp_jobs.Codec.Corrupt on a damaged snapshot. *)
+
+val add_recovery : t -> Stats.recovery -> unit
+(** Account an externally-performed repair (e.g. a job-level restart
+    after a permanent crash) in this cluster's [Stats.recoveries]. *)
+
+val supervise :
+  ?job:Lamp_jobs.Supervisor.t ->
+  name:string ->
+  faults:Lamp_faults.Plan.t ->
+  Lamp_jobs.Supervisor.script ->
+  unit
+(** Drive a job script. Without [job] the steps run inline with zero
+    checkpoint cost. With [job], the control block's fingerprint is set
+    to [name @ fault-plan] (so resuming under a different plan raises),
+    the plan's [kill]/[perma] entries are honoured, and
+    [Lamp_jobs.Supervisor.run] checkpoints after every step. Every
+    multi-round entry point funnels through this. *)
+
+val shrink : t -> round:int -> dead:int -> t
+(** Survivor rebalancing for a permanent crash-stop of server [dead]
+    detected before (1-indexed) [round]: the surviving p−1 servers
+    keep their locals (servers above [dead] shift down one slot) and
+    the dead server's checkpointed local is rehashed onto them by
+    [Fact.hash]. Every rehashed fact is charged as replay traffic in a
+    [Stats.recovery] record for [round]. Only correct for algorithms
+    whose remaining rounds rehash from scratch (no cross-round
+    rendezvous on a p-dependent hash) — others must restart from round
+    0 on the shrunk cluster instead.
+    @raise Invalid_argument when [dead] is out of range or [p = 1]. *)
+
 (** {1 Phase combinators} *)
 
 val route_by : (Fact.t -> int list) -> int -> Instance.t -> (int * Fact.t) list

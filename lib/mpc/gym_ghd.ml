@@ -1,6 +1,7 @@
 open Lamp_relational
 open Lamp_cq
 module Sset = Decomposition.Sset
+module Codec = Lamp_jobs.Codec
 
 (* GYM over a tree decomposition (Section 3.2 / [6]): phase 1 evaluates
    every bag's join with one round of HyperCube on its own slice of the
@@ -16,8 +17,21 @@ let bag_pseudo_atom i (b : Decomposition.bag) =
 let bag_query i (b : Decomposition.bag) =
   Ast.make ~head:(bag_pseudo_atom i b) ~body:b.Decomposition.atoms ()
 
+let zero_round = { Stats.max_received = 0; total_received = 0 }
+
+let zero_recovery =
+  {
+    Stats.round = 1;
+    crashed = 0;
+    replayed = 0;
+    retransmitted = 0;
+    duplicates = 0;
+    retries = 0;
+    speculated = 0;
+  }
+
 let run ?(seed = 0) ?decomposition ?executor ?(faults = Lamp_faults.Plan.none)
-    ~p q instance =
+    ?job ~p q instance =
   if not (Ast.is_positive q) then
     invalid_arg "Gym_ghd.run: defined for positive CQs";
   let decomposition =
@@ -48,65 +62,6 @@ let run ?(seed = 0) ?decomposition ?executor ?(faults = Lamp_faults.Plan.none)
   in
   let numbered = List.map number decomposition in
   let nbags = !counter in
-  let p_bag = max 1 (p / nbags) in
-  (* Phase 1: per-bag HyperCube joins on disjoint server groups. *)
-  let bag_results = Array.make nbags Instance.empty in
-  let phase1 =
-    ref { Stats.max_received = 0; total_received = 0 }
-  in
-  (* Bag runs all belong to phase 1 — their recovery work is merged
-     into a single round-1 record. *)
-  let phase1_recovery =
-    ref
-      {
-        Stats.round = 1;
-        crashed = 0;
-        replayed = 0;
-        retransmitted = 0;
-        duplicates = 0;
-        retries = 0;
-      }
-  in
-  let rec eval_bags { Numbered.id = i; bag; kids } =
-    let bq = bag_query i bag in
-    let shares, _ =
-      Shares.optimize ~objective:Shares.Max_load ~p:p_bag
-        ~sizes:(fun (a : Ast.atom) ->
-          Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel))
-        bq
-    in
-    let result, stats =
-      Hypercube.run_with_shares ~seed ?executor ~faults ~shares bq instance
-    in
-    bag_results.(i) <- result;
-    (match stats.Stats.rounds with
-    | [ r ] ->
-      phase1 :=
-        {
-          Stats.max_received = max !phase1.Stats.max_received r.Stats.max_received;
-          total_received = !phase1.Stats.total_received + r.Stats.total_received;
-        }
-    | _ -> assert false);
-    List.iter
-      (fun (r : Stats.recovery) ->
-        let acc = !phase1_recovery in
-        phase1_recovery :=
-          {
-            acc with
-            Stats.crashed = acc.Stats.crashed + r.Stats.crashed;
-            replayed = acc.replayed + r.replayed;
-            retransmitted = acc.retransmitted + r.retransmitted;
-            duplicates = acc.duplicates + r.duplicates;
-            retries = acc.retries + r.retries;
-          })
-      stats.Stats.recoveries;
-    List.iter eval_bags kids
-  in
-  List.iter eval_bags numbered;
-  (* Phase 2: Yannakakis over the bag relations. *)
-  let bag_instance =
-    Array.fold_left Instance.union Instance.empty bag_results
-  in
   let rec pseudo_tree { Numbered.id = i; bag; kids } =
     {
       Hypergraph.atom = bag_pseudo_atom i bag;
@@ -120,29 +75,169 @@ let run ?(seed = 0) ?decomposition ?executor ?(faults = Lamp_faults.Plan.none)
     List.concat_map flatten forest)
   in
   let q2 = Ast.make ~head:(Ast.head q) ~body () in
-  let result, stats2 =
-    Yannakakis.gym ~seed ~forest ?executor ~faults ~p q2 bag_instance
+  (* Mutable job state: the server count (drops on a restart after a
+     permanent crash), phase-1 results and accounting, the phase-2
+     step-indexed GYM (built lazily once the bag results exist), and
+     the restart records already charged. *)
+  let p0 = p in
+  let initial_max = (Instance.cardinal instance + p0 - 1) / p0 in
+  let p = ref p in
+  let phase1_done = ref false in
+  let bag_results = ref (Array.make nbags Instance.empty) in
+  let phase1 = ref zero_round in
+  (* Bag runs all belong to phase 1 — their recovery work is merged
+     into a single round-1 record. *)
+  let phase1_recovery = ref zero_recovery in
+  let restarts = ref [] in
+  let gym = ref None in
+  let get_gym () =
+    match !gym with
+    | Some g -> g
+    | None ->
+      let bag_instance =
+        Array.fold_left Instance.union Instance.empty !bag_results
+      in
+      let g =
+        Yannakakis.gym_job ~seed ~forest ?executor ~faults ~p:!p q2
+          bag_instance
+      in
+      gym := Some g;
+      g
   in
+  (* Phase 1: per-bag HyperCube joins on disjoint server groups. *)
+  let run_phase1 () =
+    let p_bag = max 1 (!p / nbags) in
+    let rec eval_bags { Numbered.id = i; bag; kids } =
+      let bq = bag_query i bag in
+      let shares, _ =
+        Shares.optimize ~objective:Shares.Max_load ~p:p_bag
+          ~sizes:(fun (a : Ast.atom) ->
+            Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel))
+          bq
+      in
+      let result, stats =
+        Hypercube.run_with_shares ~seed ?executor ~faults ~shares bq instance
+      in
+      !bag_results.(i) <- result;
+      (match stats.Stats.rounds with
+      | [ r ] ->
+        phase1 :=
+          {
+            Stats.max_received = max !phase1.Stats.max_received r.Stats.max_received;
+            total_received = !phase1.Stats.total_received + r.Stats.total_received;
+          }
+      | _ -> assert false);
+      List.iter
+        (fun (r : Stats.recovery) ->
+          let acc = !phase1_recovery in
+          phase1_recovery :=
+            {
+              acc with
+              Stats.crashed = acc.Stats.crashed + r.Stats.crashed;
+              replayed = acc.replayed + r.replayed;
+              retransmitted = acc.retransmitted + r.retransmitted;
+              duplicates = acc.duplicates + r.duplicates;
+              retries = acc.retries + r.retries;
+              speculated = acc.speculated + r.speculated;
+            })
+        stats.Stats.recoveries;
+      List.iter eval_bags kids
+    in
+    List.iter eval_bags numbered;
+    phase1_done := true
+  in
+  Cluster.supervise ?job ~name:"gym_ghd" ~faults
+    {
+      Lamp_jobs.Supervisor.step =
+        (fun k ->
+          (* Round 1 is the whole of phase 1; rounds 2.. are GYM's
+             semi-join and join rounds over the bag results. *)
+          if k = 0 then begin
+            run_phase1 ();
+            `Continue
+          end
+          else begin
+            let g = get_gym () in
+            if k - 1 >= g.Yannakakis.nops then `Done
+            else begin
+              g.Yannakakis.exec (k - 1);
+              if k - 1 = g.Yannakakis.nops - 1 then `Done else `Continue
+            end
+          end);
+      snapshot =
+        (fun () ->
+          let w = Codec.writer () in
+          Codec.w_int w !p;
+          Codec.w_bool w !phase1_done;
+          Codec.w_list w Stats.w_recovery !restarts;
+          if !phase1_done then begin
+            Codec.w_array w Codec.w_instance !bag_results;
+            Stats.w_round_stats w !phase1;
+            Stats.w_recovery w !phase1_recovery;
+            (get_gym ()).Yannakakis.write w
+          end;
+          Codec.contents w);
+      restore =
+        (fun ~round:_ payload ->
+          let r = Codec.reader payload in
+          p := Codec.r_int r;
+          phase1_done := Codec.r_bool r;
+          restarts := Codec.r_list r Stats.r_recovery;
+          if !phase1_done then begin
+            bag_results := Codec.r_array r Codec.r_instance;
+            phase1 := Stats.r_round_stats r;
+            phase1_recovery := Stats.r_recovery r;
+            gym := None;
+            (get_gym ()).Yannakakis.read r
+          end;
+          Codec.r_end r);
+      rebalance =
+        (fun ~round ~dead ->
+          (* Phase 1 carves the cluster into per-bag groups sized by p
+             and phase 2 hashes bag results over all p servers — both
+             placements are functions of p, so losing a server means
+             replanning from scratch on the p−1 survivors. *)
+          if dead < 0 || dead >= !p || !p <= 1 then `Continue
+          else begin
+            let replayed = (Instance.cardinal instance + !p - 1) / !p in
+            restarts :=
+              { zero_recovery with Stats.round; crashed = 1; replayed }
+              :: !restarts;
+            p := !p - 1;
+            phase1_done := false;
+            bag_results := Array.make nbags Instance.empty;
+            phase1 := zero_round;
+            phase1_recovery := zero_recovery;
+            gym := None;
+            `Restart
+          end);
+    };
+  let result, stats2 = (get_gym ()).Yannakakis.finish () in
   let recoveries =
     let r1 = !phase1_recovery in
     let phase1_recoveries =
       if
         r1.Stats.crashed > 0 || r1.Stats.replayed > 0
         || r1.Stats.retransmitted > 0 || r1.Stats.duplicates > 0
-        || r1.Stats.retries > 0
+        || r1.Stats.retries > 0 || r1.Stats.speculated > 0
       then [ r1 ]
       else []
     in
-    (* Phase-2 rounds follow the single phase-1 round. *)
-    phase1_recoveries
-    @ List.map
-        (fun (r : Stats.recovery) -> { r with Stats.round = r.Stats.round + 1 })
-        stats2.Stats.recoveries
+    (* Phase-2 rounds follow the single phase-1 round; job restarts
+       interleave by the round their crash was detected before, ahead
+       of same-round repair work. *)
+    List.stable_sort
+      (fun (a : Stats.recovery) b -> compare a.Stats.round b.Stats.round)
+      (List.rev !restarts
+      @ phase1_recoveries
+      @ List.map
+          (fun (r : Stats.recovery) -> { r with Stats.round = r.Stats.round + 1 })
+          stats2.Stats.recoveries)
   in
   let stats =
     {
-      Stats.p;
-      initial_max = (Instance.cardinal instance + p - 1) / p;
+      Stats.p = !p;
+      initial_max;
       rounds = !phase1 :: stats2.Stats.rounds;
       recoveries;
     }

@@ -16,6 +16,7 @@ val run :
   ?decomposition:Lamp_cq.Decomposition.t list ->
   ?executor:Lamp_runtime.Executor.t ->
   ?faults:Lamp_faults.Plan.t ->
+  ?job:Lamp_jobs.Supervisor.t ->
   p:int ->
   Lamp_cq.Ast.t ->
   Instance.t ->
@@ -23,5 +24,13 @@ val run :
 (** [(result, stats, width)]. Without an explicit decomposition, acyclic
     queries use their GYO forest (one atom per bag) and cyclic queries
     the min-fill heuristic.
+
+    With [job], the run is a supervised job whose round 1 is the whole
+    of phase 1 and whose rounds 2.. are the phase-2 GYM steps
+    (composed via {!Yannakakis.gym_job}); checkpoints carry the bag
+    results, so a kill between the phases resumes without re-running
+    any HyperCube join. Both phases place data by functions of p, so a
+    permanent crash-stop restarts the job from round 0 on the p−1
+    survivors.
     @raise Invalid_argument on non-positive queries or an invalid
     decomposition. *)

@@ -29,6 +29,7 @@ val run :
   ?materialize:bool ->
   ?executor:Lamp_runtime.Executor.t ->
   ?faults:Lamp_faults.Plan.t ->
+  ?job:Lamp_jobs.Supervisor.t ->
   ?shares:(string * int) list ->
   p:int ->
   Lamp_cq.Ast.t ->
@@ -37,4 +38,10 @@ val run :
 (** As {!run_with_shares}, choosing load-optimal integer shares for [p]
     servers when none are given (via {!Shares.optimize} with the actual
     relation sizes). Returns the shares used.
+
+    With [job], the single round runs as a supervised job (checkpoint
+    before and after; [kill=0] dies holding only the initial state). A
+    permanent crash-stop restarts on the p−1 survivors with shares
+    re-optimized for the shrunk grid — the grid is a function of p, so
+    the caller's explicit shares cannot outlive the crash.
     @raise Invalid_argument on non-positive queries. *)

@@ -12,18 +12,25 @@ val cascade_triangle :
   ?seed:int ->
   ?executor:Lamp_runtime.Executor.t ->
   ?faults:Lamp_faults.Plan.t ->
+  ?job:Lamp_jobs.Supervisor.t ->
   p:int ->
   Instance.t ->
   Instance.t * Stats.t
 (** Two-round cascade: round 1 repartitions R and S on y and joins them
     into K; round 2 repartitions K and T on the pair (z, x) and joins.
-    Correct, but the load includes the intermediate |R ⋈ S|. *)
+    Correct, but the load includes the intermediate |R ⋈ S|.
+
+    With [job], runs under {!Cluster.supervise}: checkpointed after
+    every round, resumable, and — because both rounds rehash from
+    scratch — a permanent crash-stop is repaired by shrinking to the
+    survivors and continuing from the last checkpoint. *)
 
 val skew_resilient_triangle :
   ?seed:int ->
   ?threshold:int ->
   ?executor:Lamp_runtime.Executor.t ->
   ?faults:Lamp_faults.Plan.t ->
+  ?job:Lamp_jobs.Supervisor.t ->
   p:int ->
   Instance.t ->
   Instance.t * Stats.t * int
@@ -33,4 +40,11 @@ val skew_resilient_triangle :
     semi-join plan anchored at T, routed on the light attributes x and
     z across the two rounds. Returns the result, the load statistics and
     the number of heavy hitters detected. The default threshold is
-    m/p^(1/3). *)
+    m/p^(1/3).
+
+    With [job], runs under {!Cluster.supervise}. Heavy S parks at
+    h_p(z) in round 1 and is met there by the partial matches in round
+    2 — a cross-round rendezvous on a p-dependent hash — so a
+    permanent crash-stop restarts the job from round 0 on the p−1
+    survivors (with threshold, heavy hitters and shares re-planned for
+    the shrunk topology). *)

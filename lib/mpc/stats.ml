@@ -10,6 +10,7 @@ type recovery = {
   retransmitted : int;
   duplicates : int;
   retries : int;
+  speculated : int;
 }
 
 type t = {
@@ -30,6 +31,43 @@ let recovery_load t =
 
 let crashes t = List.fold_left (fun acc r -> acc + r.crashed) 0 t.recoveries
 let retries t = List.fold_left (fun acc r -> acc + r.retries) 0 t.recoveries
+
+let speculations t =
+  List.fold_left (fun acc r -> acc + r.speculated) 0 t.recoveries
+
+let without_recoveries t = { t with recoveries = [] }
+
+(* Checkpoint codecs, shared by every snapshotting consumer. *)
+
+module Codec = Lamp_jobs.Codec
+
+let w_round_stats w r =
+  Codec.w_int w r.max_received;
+  Codec.w_int w r.total_received
+
+let r_round_stats r =
+  let max_received = Codec.r_int r in
+  let total_received = Codec.r_int r in
+  { max_received; total_received }
+
+let w_recovery w r =
+  Codec.w_int w r.round;
+  Codec.w_int w r.crashed;
+  Codec.w_int w r.replayed;
+  Codec.w_int w r.retransmitted;
+  Codec.w_int w r.duplicates;
+  Codec.w_int w r.retries;
+  Codec.w_int w r.speculated
+
+let r_recovery r =
+  let round = Codec.r_int r in
+  let crashed = Codec.r_int r in
+  let replayed = Codec.r_int r in
+  let retransmitted = Codec.r_int r in
+  let duplicates = Codec.r_int r in
+  let retries = Codec.r_int r in
+  let speculated = Codec.r_int r in
+  { round; crashed; replayed; retransmitted; duplicates; retries; speculated }
 
 let max_load t =
   List.fold_left (fun acc r -> max acc r.max_received) t.initial_max t.rounds
@@ -55,9 +93,11 @@ let epsilon ~m t =
 let pp ppf t =
   Fmt.pf ppf "p=%d rounds=%d max_load=%d total_comm=%d" t.p (rounds t)
     (max_load t) (total_communication t);
-  if t.recoveries <> [] then
+  if t.recoveries <> [] then begin
     Fmt.pf ppf " recovery: rounds=%d load=%d crashes=%d retries=%d"
-      (recovery_rounds t) (recovery_load t) (crashes t) (retries t)
+      (recovery_rounds t) (recovery_load t) (crashes t) (retries t);
+    if speculations t > 0 then Fmt.pf ppf " speculations=%d" (speculations t)
+  end
 
 let pp_rounds ppf t =
   Fmt.pf ppf "initial partition: max=%d@." t.initial_max;
@@ -70,6 +110,7 @@ let pp_rounds ppf t =
     (fun r ->
       Fmt.pf ppf
         "round %d recovery: crashed=%d replayed=%d retransmitted=%d \
-         duplicates=%d retries=%d@."
-        r.round r.crashed r.replayed r.retransmitted r.duplicates r.retries)
+         duplicates=%d retries=%d speculated=%d@."
+        r.round r.crashed r.replayed r.retransmitted r.duplicates r.retries
+        r.speculated)
     t.recoveries

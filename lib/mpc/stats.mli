@@ -19,6 +19,8 @@ type recovery = {
   retransmitted : int;  (** Dropped or delayed messages resent. *)
   duplicates : int;  (** Extra message copies shipped (merge dedups). *)
   retries : int;  (** Transient task faults absorbed by retry. *)
+  speculated : int;
+      (** Straggling tasks outrun by a speculative backup copy. *)
 }
 (** Repair work for one faulty round. Recovery traffic is accounted
     here, {e separately} from {!round_stats}: the per-round loads of the
@@ -47,6 +49,13 @@ val crashes : t -> int
 val retries : t -> int
 (** Total transient task faults absorbed by retry. *)
 
+val speculations : t -> int
+(** Total straggling tasks replaced by a speculative backup copy. *)
+
+val without_recoveries : t -> t
+(** [t] with {!recoveries} emptied — the clean-run portion. Speculation
+    and rebalancing must leave this part bit-identical. *)
+
 val max_load : t -> int
 (** Maximum per-server load over all rounds, including the initial
     partitioning. *)
@@ -70,3 +79,15 @@ val pp_rounds : t Fmt.t
 (** Per-round breakdown: one line per communication round with that
     round's max and total delivery, preceded by the initial partition's
     max. For verbose CLI output; {!pp} stays the one-line form. *)
+
+(** {1 Checkpoint codecs}
+
+    Binary serialization of the statistics records, used by every
+    job-level snapshot ([Cluster.snapshot], the GYM tree state, the
+    Datalog fixpoint) so a resumed run stitches its statistics onto
+    the checkpointed prefix. *)
+
+val w_round_stats : Lamp_jobs.Codec.w -> round_stats -> unit
+val r_round_stats : Lamp_jobs.Codec.r -> round_stats
+val w_recovery : Lamp_jobs.Codec.w -> recovery -> unit
+val r_recovery : Lamp_jobs.Codec.r -> recovery

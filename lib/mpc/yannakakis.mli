@@ -30,6 +30,7 @@ val gym :
   ?forest:Lamp_cq.Hypergraph.join_tree list ->
   ?executor:Lamp_runtime.Executor.t ->
   ?faults:Lamp_faults.Plan.t ->
+  ?job:Lamp_jobs.Supervisor.t ->
   p:int ->
   Lamp_cq.Ast.t ->
   Instance.t ->
@@ -40,9 +41,46 @@ val gym :
     of the tree is GYM's round/communication trade-off knob.
 
     GYM's data path runs on the coordinator (only loads are simulated
-    per server), so a fault plan cannot perturb its output; crashes and
-    transient faults are accounted analytically: a server that crashes
-    during a round has the facts repartitioned to it that round
-    re-shipped to its replacement, recorded in [Stats.recoveries].
+    per server), so a fault plan cannot perturb its output; crashes,
+    transient faults and straggler speculation are accounted
+    analytically: a server that crashes during a round has the facts
+    repartitioned to it that round re-shipped to its replacement,
+    recorded in [Stats.recoveries].
+
+    With [job], each round (a semi-join level or a join edge) is one
+    supervised, checkpointed step; a permanent crash-stop shrinks the
+    server count p→p−1 analytically and continues — every repartition
+    rehashes from scratch, so no cross-round rendezvous breaks.
     @raise Cyclic when the query is not acyclic and no forest is
     given. *)
+
+(** {1 Step-indexed GYM for job composition} *)
+
+type gym_job = {
+  nops : int;  (** Rounds in the plan: one {!exec} step each. *)
+  exec : int -> unit;  (** Run round [k] (0-indexed). *)
+  write : Lamp_jobs.Codec.w -> unit;  (** Serialize the whole job state. *)
+  read : Lamp_jobs.Codec.r -> unit;  (** Restore what {!write} captured. *)
+  finish : unit -> Instance.t * Stats.t;
+      (** Final cross-tree join, result projection and fault
+          accounting; callable once all [nops] steps ran (or were
+          restored as complete). *)
+  shrink : round:int -> dead:int -> unit;
+      (** Analytic survivor rebalancing: charge the dead server's
+          resident share as replay traffic and drop p by one. *)
+}
+(** GYM decomposed into checkpointable single-round steps, so a
+    composite algorithm (e.g. {!Gym_ghd}) can interleave its own
+    supervised steps with GYM's. *)
+
+val gym_job :
+  ?seed:int ->
+  ?forest:Lamp_cq.Hypergraph.join_tree list ->
+  ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
+  p:int ->
+  Lamp_cq.Ast.t ->
+  Instance.t ->
+  gym_job
+(** Build the step-indexed form; {!gym} is [gym_job] driven through
+    {!Cluster.supervise}. *)

@@ -74,18 +74,112 @@ let map_reduce t ?chunk ~n ~map ~combine init =
     Array.fold_left combine init partials
   end
 
-let retry_counter = Lamp_obs.Trace.counter "runtime.retries"
+module Cancel = struct
+  type t = bool Atomic.t
 
-let with_retry ?(max_attempts = 4) ?(backoff = ignore) ~retryable f =
+  exception Cancelled
+
+  let create () = Atomic.make false
+  let cancel t = Atomic.set t true
+  let cancelled = Atomic.get
+  let guard t = if Atomic.get t then raise Cancelled
+end
+
+let retry_counter = Lamp_obs.Trace.counter "runtime.retries"
+let speculation_counter = Lamp_obs.Trace.counter "runtime.speculations"
+
+(* splitmix64-style mixer for the deterministic backoff jitter; local
+   so lamp.runtime does not depend on lamp.faults. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let unit_float ~seed k =
+  let h =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int seed) 0x9e3779b97f4a7c15L)
+         (Int64.of_int k))
+  in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let exponential_backoff ?(base = 0.001) ?(factor = 2.0) ?(max_delay = 0.1)
+    ?(jitter = 0.5) ~seed () =
+  if base < 0.0 || factor < 1.0 || max_delay < 0.0 || jitter < 0.0 then
+    invalid_arg "Executor.exponential_backoff: negative parameter";
+  fun attempt ->
+    let raw = base *. (factor ** float_of_int (attempt - 1)) in
+    let capped = Float.min raw max_delay in
+    capped *. (1.0 +. (jitter *. unit_float ~seed attempt))
+
+let with_retry ?(max_attempts = 4) ?(backoff = ignore) ?delay ?budget
+    ~retryable f =
   if max_attempts < 1 then invalid_arg "Executor.with_retry: max_attempts < 1";
+  (match budget with
+  | Some b when b < 0.0 -> invalid_arg "Executor.with_retry: budget < 0"
+  | _ -> ());
+  let slept = ref 0.0 in
   let rec go attempt =
     try f ~attempt
-    with e when retryable e && attempt < max_attempts ->
+    with
+    | e
+      when retryable e
+           && attempt < max_attempts
+           &&
+           (* a retry whose backoff sleep would exceed the budget is
+              abandoned: the exception propagates instead *)
+           (match (delay, budget) with
+           | Some d, Some b -> !slept +. d attempt <= b
+           | _ -> true)
+    ->
       Lamp_obs.Trace.incr retry_counter;
       backoff attempt;
+      (match delay with
+      | Some d ->
+        let s = d attempt in
+        if s > 0.0 then Unix.sleepf s;
+        slept := !slept +. s
+      | None -> ());
       go (attempt + 1)
   in
   go 1
+
+type 'a speculation = {
+  value : 'a;
+  winner : [ `Primary | `Backup ];
+  waited : float;
+  saved : float;
+}
+
+let speculate ~deadline ~stall ~tie f =
+  if deadline < 0.0 || stall < 0.0 then
+    invalid_arg "Executor.speculate: negative duration";
+  let primary_wins =
+    stall < deadline || (stall = deadline && tie = `Primary)
+  in
+  if primary_wins then begin
+    let cancel = Cancel.create () in
+    if stall > 0.0 then Unix.sleepf stall;
+    { value = f ~cancel; winner = `Primary; waited = stall; saved = 0.0 }
+  end
+  else begin
+    (* The primary passed its deadline: cancel it and run the backup
+       copy. The work itself is deterministic, so the backup computes
+       the same value the primary would have — only sooner. *)
+    let primary = Cancel.create () in
+    Cancel.cancel primary;
+    let cancel = Cancel.create () in
+    if deadline > 0.0 then Unix.sleepf deadline;
+    Lamp_obs.Trace.incr speculation_counter;
+    {
+      value = f ~cancel;
+      winner = `Backup;
+      waited = deadline;
+      saved = stall -. deadline;
+    }
+  end
 
 type counters = {
   tasks : int;

@@ -42,9 +42,51 @@ val map_reduce :
     index order. [combine] must be associative for the result to be
     chunking-independent. *)
 
+(** {1 Cancellation} *)
+
+(** Cooperative cancellation tokens: one atomic flag per token. A
+    cancelled computation is not preempted — it observes the flag at
+    its next {!Cancel.guard} and unwinds with {!Cancel.Cancelled}.
+    Used by {!speculate} to abandon a straggling primary copy. *)
+module Cancel : sig
+  type t
+
+  exception Cancelled
+
+  val create : unit -> t
+  val cancel : t -> unit
+  val cancelled : t -> bool
+
+  val guard : t -> unit
+  (** @raise Cancelled iff the token has been cancelled. *)
+end
+
+(** {1 Retry} *)
+
+val exponential_backoff :
+  ?base:float ->
+  ?factor:float ->
+  ?max_delay:float ->
+  ?jitter:float ->
+  seed:int ->
+  unit ->
+  int ->
+  float
+(** [exponential_backoff ~seed ()] is a delay schedule for
+    {!with_retry}'s [delay]: attempt [k] waits
+    [min (base·factor^(k-1)) max_delay] seconds, inflated by a
+    deterministic jitter in [\[0, jitter)] drawn by hashing
+    [(seed, k)] — the same seed always yields the same delays, so
+    retried runs remain reproducible while distinct seeds decorrelate
+    (no thundering herd). Defaults: [base = 1ms], [factor = 2],
+    [max_delay = 100ms], [jitter = 0.5].
+    @raise Invalid_argument on a negative parameter or [factor < 1]. *)
+
 val with_retry :
   ?max_attempts:int ->
   ?backoff:(int -> unit) ->
+  ?delay:(int -> float) ->
+  ?budget:float ->
   retryable:(exn -> bool) ->
   (attempt:int -> 'a) ->
   'a
@@ -54,9 +96,45 @@ val with_retry :
     up to [max_attempts] (default 4) total attempts, after which the
     exception propagates. Non-retryable exceptions propagate
     immediately. Retries bump the ["runtime.retries"] trace counter.
-    Deterministic as long as [f] and [backoff] are: no clocks or
-    randomness are involved. Use inside a pool task to absorb transient
-    faults without poisoning the batch. *)
+
+    [delay] (e.g. {!exponential_backoff}) is slept between attempts;
+    [budget] caps the {e cumulative} sleep: a retry whose delay would
+    push the total past the budget is abandoned and the exception
+    propagates — a straggling task fails fast instead of blocking its
+    round indefinitely. Without [delay] the budget is ignored.
+
+    Deterministic as long as [f], [backoff] and [delay] are: no clocks
+    or randomness are involved. Use inside a pool task to absorb
+    transient faults without poisoning the batch. *)
+
+(** {1 Speculative execution} *)
+
+type 'a speculation = {
+  value : 'a;
+  winner : [ `Primary | `Backup ];
+  waited : float;  (** seconds actually spent stalled *)
+  saved : float;  (** stall time the backup avoided (0 on [`Primary]) *)
+}
+
+val speculate :
+  deadline:float ->
+  stall:float ->
+  tie:[ `Primary | `Backup ] ->
+  (cancel:Cancel.t -> 'a) ->
+  'a speculation
+(** Deterministic straggler mitigation. The primary copy of a task is
+    known (from the fault plan) to stall for [stall] seconds; the
+    scheduler is only willing to wait [deadline]. If the primary beats
+    the deadline ([stall < deadline], or equality with [tie =
+    `Primary]) it runs after its stall, as without mitigation.
+    Otherwise the primary's cancellation token is cancelled and a
+    backup copy runs after waiting only [deadline] — because the task
+    body is pure, the backup returns the value the primary would have,
+    [stall - deadline] seconds sooner. The winner is decided by
+    comparison and the seed-ordered [tie], never by racing wall
+    clocks, so seq and pool backends agree bit-for-bit. Backup wins
+    bump the ["runtime.speculations"] trace counter.
+    @raise Invalid_argument on a negative duration. *)
 
 type counters = {
   tasks : int;  (** tasks executed since the executor was created *)

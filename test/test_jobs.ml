@@ -1,0 +1,842 @@
+(* Job-level robustness: durable checkpoints, kill/resume, speculative
+   straggler re-execution and survivor rebalancing.
+
+   The headline property: every multi-round algorithm, killed after any
+   round r and resumed from the durable checkpoint, produces output and
+   statistics bit-identical to an uninterrupted run — on the sequential
+   and pool backends alike, under fault plans or not. *)
+
+open Lamp_relational
+open Lamp_cq
+open Lamp_mpc
+module Codec = Lamp_jobs.Codec
+module Store = Lamp_jobs.Store
+module Supervisor = Lamp_jobs.Supervisor
+module Plan = Lamp_faults.Plan
+module Executor = Lamp_runtime.Executor
+module Pool = Lamp_runtime.Pool
+module Trace = Lamp_obs.Trace
+
+let instance = Alcotest.testable Instance.pp Instance.equal
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+
+let test_codec_roundtrip () =
+  let w = Codec.writer () in
+  Codec.w_int w 0;
+  Codec.w_int w (-42);
+  Codec.w_int w max_int;
+  Codec.w_bool w true;
+  Codec.w_bool w false;
+  Codec.w_float w 3.14159;
+  Codec.w_float w (-0.0);
+  Codec.w_float w infinity;
+  Codec.w_string w "";
+  Codec.w_string w "hello\000binary\255";
+  Codec.w_option w Codec.w_int None;
+  Codec.w_option w Codec.w_int (Some 7);
+  Codec.w_list w Codec.w_string [ "a"; "b"; "c" ];
+  Codec.w_array w Codec.w_int [| 1; 2; 3 |];
+  Codec.w_value w (Value.int 99);
+  Codec.w_value w (Value.str "xyz");
+  Codec.w_fact w (Fact.of_list "R" [ Value.int 1; Value.str "two" ]);
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check int) "int 0" 0 (Codec.r_int r);
+  Alcotest.(check int) "negative int" (-42) (Codec.r_int r);
+  Alcotest.(check int) "max_int" max_int (Codec.r_int r);
+  Alcotest.(check bool) "true" true (Codec.r_bool r);
+  Alcotest.(check bool) "false" false (Codec.r_bool r);
+  Alcotest.(check (float 0.0)) "float" 3.14159 (Codec.r_float r);
+  Alcotest.(check bool) "-0.0 sign preserved" true
+    (1.0 /. Codec.r_float r = neg_infinity);
+  Alcotest.(check (float 0.0)) "infinity" infinity (Codec.r_float r);
+  Alcotest.(check string) "empty string" "" (Codec.r_string r);
+  Alcotest.(check string) "binary string" "hello\000binary\255"
+    (Codec.r_string r);
+  Alcotest.(check bool) "None" true (Codec.r_option r Codec.r_int = None);
+  Alcotest.(check bool) "Some" true (Codec.r_option r Codec.r_int = Some 7);
+  Alcotest.(check (list string)) "list" [ "a"; "b"; "c" ]
+    (Codec.r_list r Codec.r_string);
+  Alcotest.(check (array int)) "array" [| 1; 2; 3 |]
+    (Codec.r_array r Codec.r_int);
+  Alcotest.(check bool) "int value" true
+    (Value.equal (Value.int 99) (Codec.r_value r));
+  Alcotest.(check bool) "str value" true
+    (Value.equal (Value.str "xyz") (Codec.r_value r));
+  Alcotest.(check bool) "fact" true
+    (Fact.equal
+       (Fact.of_list "R" [ Value.int 1; Value.str "two" ])
+       (Codec.r_fact r));
+  Codec.r_end r
+
+let test_codec_instance_canonical () =
+  let i1 = Instance.of_string "R(1,2). S(2,3). R(4,5)." in
+  let i2 = Instance.of_string "S(2,3). R(4,5). R(1,2)." in
+  let enc i =
+    let w = Codec.writer () in
+    Codec.w_instance w i;
+    Codec.contents w
+  in
+  Alcotest.(check string) "equal instances encode identically" (enc i1)
+    (enc i2);
+  let r = Codec.reader (enc i1) in
+  Alcotest.check instance "instance round-trips" i1 (Codec.r_instance r);
+  Codec.r_end r
+
+let test_codec_corrupt () =
+  let w = Codec.writer () in
+  Codec.w_string w "payload";
+  let raw = Codec.contents w in
+  let truncated = String.sub raw 0 (String.length raw - 2) in
+  (try
+     ignore (Codec.r_string (Codec.reader truncated));
+     Alcotest.fail "truncated input must raise"
+   with Codec.Corrupt _ -> ());
+  let r = Codec.reader (raw ^ "x") in
+  ignore (Codec.r_string r);
+  (try
+     Codec.r_end r;
+     Alcotest.fail "trailing bytes must raise"
+   with Codec.Corrupt _ -> ());
+  let r = Codec.reader "\000\000\000\000\000\000\000\005bo" in
+  try
+    ignore (Codec.r_string r);
+    Alcotest.fail "overrunning length prefix must raise"
+  with Codec.Corrupt _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Store: memory and disk backends                                     *)
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "lamp_jobs_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    dir
+
+let test_store_memory () =
+  let s = Store.in_memory () in
+  Alcotest.(check bool) "empty store loads nothing" true
+    (Store.load s ~job:"j" = None);
+  Store.save s ~job:"j" ~round:1 "one";
+  Store.save s ~job:"other" ~round:5 "five";
+  Alcotest.(check bool) "latest slot" true
+    (Store.load s ~job:"j" = Some (1, "one"));
+  Store.save s ~job:"j" ~round:2 "two";
+  Alcotest.(check bool) "save supersedes" true
+    (Store.load s ~job:"j" = Some (2, "two"));
+  Alcotest.(check bool) "jobs are independent" true
+    (Store.load s ~job:"other" = Some (5, "five"));
+  Store.clear s ~job:"j";
+  Alcotest.(check bool) "clear drops the slot" true
+    (Store.load s ~job:"j" = None)
+
+let test_store_disk () =
+  let dir = temp_dir () in
+  let s = Store.on_disk dir in
+  Store.save s ~job:"alg/1" ~round:3 "payload\000with\255bytes";
+  Alcotest.(check bool) "disk round-trip" true
+    (Store.load s ~job:"alg/1" = Some (3, "payload\000with\255bytes"));
+  (* A fresh handle on the same directory sees the slot: durability. *)
+  let s2 = Store.on_disk dir in
+  Alcotest.(check bool) "fresh handle reads the slot" true
+    (Store.load s2 ~job:"alg/1" = Some (3, "payload\000with\255bytes"));
+  (* Atomic writes never leave temp files behind. *)
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> not (Filename.check_suffix f ".ckpt"))
+  in
+  Alcotest.(check (list string)) "no temp files left" [] leftovers;
+  Store.clear s ~job:"alg/1";
+  Alcotest.(check bool) "clear removes the file" true
+    (Store.load s2 ~job:"alg/1" = None)
+
+let test_store_disk_rejects_mismatch () =
+  let dir = temp_dir () in
+  let s = Store.on_disk dir in
+  Store.save s ~job:"a" ~round:1 "data";
+  let file j = Filename.concat dir (j ^ ".ckpt") in
+  (* A slot copied under another job's name is rejected. *)
+  let contents =
+    let ic = open_in_bin (file "a") in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin (file "b") in
+  output_string oc contents;
+  close_out oc;
+  (try
+     ignore (Store.load s ~job:"b");
+     Alcotest.fail "job-name mismatch must raise"
+   with Codec.Corrupt _ -> ());
+  (* A corrupted magic header is rejected. *)
+  let oc = open_out_bin (file "a") in
+  output_string oc ("XAMPCKPT" ^ String.sub contents 8 (String.length contents - 8));
+  close_out oc;
+  try
+    ignore (Store.load s ~job:"a");
+    Alcotest.fail "bad magic must raise"
+  with Codec.Corrupt _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cluster snapshot/restore                                            *)
+
+let tri_instance =
+  Instance.of_string
+    "R(1,2). R(2,3). R(4,5). R(7,2). R(8,2). S(2,3). S(3,4). S(5,6). \
+     S(2,9). T(3,1). T(4,2). T(6,4). T(9,7). T(9,8)."
+
+let test_cluster_snapshot_roundtrip () =
+  let c = Cluster.create ~p:4 tri_instance in
+  let snap0 = Cluster.snapshot c in
+  let c' = Cluster.restore snap0 in
+  Alcotest.(check int) "p restored" 4 (Cluster.p c');
+  Alcotest.check instance "locals restored" (Cluster.union_all c)
+    (Cluster.union_all c');
+  Alcotest.(check bool) "equal states snapshot identically" true
+    (Cluster.snapshot c = Cluster.snapshot c');
+  (* Run a round on the original and on the restored copy: both end in
+     the same state with the same stats. *)
+  let round =
+    {
+      Cluster.communicate =
+        Cluster.route_by (fun f ->
+            [ Hashtbl.hash (Fact.rel f, (Fact.args f).(0)) mod 4 ]);
+      compute = Cluster.keep_received;
+    }
+  in
+  Cluster.run_round c round;
+  Cluster.run_round c' round;
+  Alcotest.check instance "same output after a round" (Cluster.union_all c)
+    (Cluster.union_all c');
+  Alcotest.(check bool) "same stats after a round" true
+    (Cluster.stats c = Cluster.stats c');
+  Alcotest.(check bool) "post-round snapshots identical" true
+    (Cluster.snapshot c = Cluster.snapshot c')
+
+let test_cluster_restore_corrupt () =
+  let c = Cluster.create ~p:2 tri_instance in
+  let snap = Cluster.snapshot c in
+  try
+    ignore (Cluster.restore (String.sub snap 0 (String.length snap / 2)));
+    Alcotest.fail "truncated snapshot must raise"
+  with Codec.Corrupt _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Kill-after-every-round / resume: the bit-identity matrix            *)
+
+let path_query = Parser.query "H(x,w) <- R(x,y), S(y,z), T(z,w)"
+let triangle_query = Parser.query "H(x,y,z) <- R(x,y), S(y,z), T(z,x)"
+
+(* Each algorithm as [run ?job ~executor ~faults ()], normalized to the
+   result instance and its full statistics (compared structurally:
+   stitched checkpoint stats must be bit-identical to an uninterrupted
+   run's). *)
+type algo =
+  ?job:Supervisor.t ->
+  executor:Executor.t ->
+  faults:Plan.t ->
+  unit ->
+  Instance.t * Stats.t
+
+let algorithms : (string * algo) list =
+  [
+    ( "cascade_triangle",
+      fun ?job ~executor ~faults () ->
+        let r, s =
+          Multi_round.cascade_triangle ~seed:1 ~executor ~faults ?job ~p:4
+            tri_instance
+        in
+        (r, s) );
+    ( "skew_resilient_triangle",
+      fun ?job ~executor ~faults () ->
+        let r, s, _ =
+          Multi_round.skew_resilient_triangle ~seed:1 ~executor ~faults ?job
+            ~p:4 tri_instance
+        in
+        (r, s) );
+    ( "gym",
+      fun ?job ~executor ~faults () ->
+        Yannakakis.gym ~seed:1 ~executor ~faults ?job ~p:4 path_query
+          tri_instance );
+    ( "gym_ghd",
+      fun ?job ~executor ~faults () ->
+        let r, s, _ =
+          Gym_ghd.run ~seed:1 ~executor ~faults ?job ~p:4 triangle_query
+            tri_instance
+        in
+        (r, s) );
+    ( "hypercube",
+      fun ?job ~executor ~faults () ->
+        let r, s, _ =
+          Hypercube.run ~seed:1 ~executor ~faults ?job ~p:4 triangle_query
+            tri_instance
+        in
+        (r, s) );
+  ]
+
+(* Kill the job after round [r], resume it, and return the final
+   result; [None] when the job finished before round [r] was reached
+   (the kill never fired). *)
+let kill_and_resume ~store ~executor ~faults ~(run : algo) r =
+  let job = Supervisor.create ~kill_after_round:r ~store "t" in
+  match run ~job ~executor ~faults () with
+  | result -> `Finished result
+  | exception Supervisor.Killed { round; _ } ->
+    Alcotest.(check int) "killed at the requested round" r round;
+    let job = Supervisor.create ~resume:true ~store "t" in
+    let result = run ~job ~executor ~faults () in
+    Alcotest.(check bool) "resumed from the kill round" true
+      (job.Supervisor.resumed_from = Some r);
+    `Resumed result
+
+let kill_matrix ~executor ~faults name (run : algo) =
+  let baseline = run ~executor ~faults () in
+  let resumed = ref 0 in
+  let r = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if !r > 50 then Alcotest.fail (name ^ ": kill matrix did not terminate");
+    let store = Store.in_memory () in
+    (match kill_and_resume ~store ~executor ~faults ~run !r with
+    | (`Finished (out, stats) | `Resumed (out, stats)) as tagged ->
+      Alcotest.check instance
+        (Fmt.str "%s kill=%d output bit-identical" name !r)
+        (fst baseline) out;
+      Alcotest.(check bool)
+        (Fmt.str "%s kill=%d stats bit-identical" name !r)
+        true
+        (snd baseline = stats);
+      (match tagged with
+      | `Resumed _ -> incr resumed
+      | `Finished _ -> continue_ := false));
+    incr r
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "%s: at least one kill round actually fired" name)
+    true (!resumed > 0)
+
+let test_kill_resume_seq () =
+  List.iter
+    (fun (name, run) ->
+      kill_matrix ~executor:Executor.sequential ~faults:Plan.none name run)
+    algorithms
+
+let test_kill_resume_pool () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let executor = Executor.pool pool in
+      List.iter
+        (fun (name, run) -> kill_matrix ~executor ~faults:Plan.none name run)
+        algorithms)
+
+(* Under an active fault plan the restored run must draw the same
+   faults for the remaining rounds: round numbering survives the
+   checkpoint. *)
+let test_kill_resume_under_faults () =
+  let faults =
+    Plan.make ~seed:11
+      { Plan.zero with crash = 0.3; transient = 0.3; drop = 0.2 }
+  in
+  List.iter
+    (fun (name, run) ->
+      kill_matrix ~executor:Executor.sequential ~faults name run)
+    algorithms
+
+(* A checkpoint written on one backend resumes on the other with
+   bit-identical results. *)
+let test_resume_across_backends () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let name, run = List.hd algorithms in
+      let baseline = run ~executor:Executor.sequential ~faults:Plan.none () in
+      let store = Store.in_memory () in
+      let job = Supervisor.create ~kill_after_round:1 ~store "t" in
+      (try
+         ignore (run ~job ~executor:Executor.sequential ~faults:Plan.none ())
+       with Supervisor.Killed _ -> ());
+      let job = Supervisor.create ~resume:true ~store "t" in
+      let out, stats =
+        run ~job ~executor:(Executor.pool pool) ~faults:Plan.none ()
+      in
+      Alcotest.check instance
+        (name ^ ": seq checkpoint resumes on pool")
+        (fst baseline) out;
+      Alcotest.(check bool) "stats bit-identical across backends" true
+        (snd baseline = stats))
+
+(* The kill can also come from the fault plan (kill=N in a CLI spec). *)
+let test_kill_from_plan () =
+  let faults = Plan.make ~seed:0 { Plan.zero with kill_after = Some 1 } in
+  let store = Store.in_memory () in
+  let job = Supervisor.create ~store "t" in
+  (try
+     ignore
+       (Multi_round.cascade_triangle ~faults ~job ~p:4 tri_instance);
+     Alcotest.fail "plan kill must fire"
+   with Supervisor.Killed { round; _ } ->
+     Alcotest.(check int) "plan kill round honoured" 1 round);
+  let job = Supervisor.create ~resume:true ~store "t" in
+  let out, _ =
+    Multi_round.cascade_triangle ~faults ~job ~p:4 tri_instance
+  in
+  let clean, _ = Multi_round.cascade_triangle ~p:4 tri_instance in
+  Alcotest.check instance "resume after plan kill" clean out
+
+let test_fingerprint_mismatch () =
+  let store = Store.in_memory () in
+  let faults_a = Plan.make ~seed:1 { Plan.zero with kill_after = Some 1 } in
+  let job = Supervisor.create ~store "t" in
+  (try
+     ignore
+       (Multi_round.cascade_triangle ~faults:faults_a ~job ~p:4 tri_instance)
+   with Supervisor.Killed _ -> ());
+  let faults_b = Plan.make ~seed:2 { Plan.zero with crash = 0.5 } in
+  let job = Supervisor.create ~resume:true ~store "t" in
+  try
+    ignore
+      (Multi_round.cascade_triangle ~faults:faults_b ~job ~p:4 tri_instance);
+    Alcotest.fail "resume under a different plan must raise"
+  with Invalid_argument _ -> ()
+
+(* Resuming a finished job is a no-op returning the same results. *)
+let test_resume_finished_job () =
+  let store = Store.in_memory () in
+  let job = Supervisor.create ~store "t" in
+  let first = Multi_round.cascade_triangle ~job ~p:4 tri_instance in
+  Alcotest.(check int) "one checkpoint per round" 2
+    job.Supervisor.checkpoints;
+  let job = Supervisor.create ~resume:true ~store "t" in
+  let again = Multi_round.cascade_triangle ~job ~p:4 tri_instance in
+  Alcotest.check instance "finished job resumes to the same output"
+    (fst first) (fst again);
+  Alcotest.(check bool) "stats identical" true (snd first = snd again)
+
+(* Datalog: every fixpoint iteration is a checkpointable step. *)
+let test_datalog_kill_resume () =
+  let program =
+    Lamp_datalog.Program.parse
+      "T(x,y) <- E(x,y)\n\
+       T(x,z) <- T(x,y), E(y,z)\n\
+       NT(x,y) <- ADom(x), ADom(y), not T(x,y)"
+  in
+  let edges = Instance.of_string "E(1,2). E(2,3). E(3,4). E(5,1)." in
+  List.iter
+    (fun strategy ->
+      let baseline = Lamp_datalog.Eval.run ~strategy program edges in
+      let r = ref 0 in
+      let continue_ = ref true in
+      let resumed = ref 0 in
+      while !continue_ do
+        if !r > 60 then Alcotest.fail "datalog kill matrix did not terminate";
+        let store = Store.in_memory () in
+        let job = Supervisor.create ~kill_after_round:!r ~store "dl" in
+        (match Lamp_datalog.Eval.run ~strategy ~job program edges with
+        | _ -> continue_ := false
+        | exception Supervisor.Killed _ ->
+          incr resumed;
+          let job = Supervisor.create ~resume:true ~store "dl" in
+          let out = Lamp_datalog.Eval.run ~strategy ~job program edges in
+          Alcotest.check instance
+            (Fmt.str "datalog kill=%d model bit-identical" !r)
+            baseline out);
+        incr r
+      done;
+      Alcotest.(check bool) "datalog kills fired" true (!resumed > 0))
+    [ Lamp_datalog.Eval.Naive; Lamp_datalog.Eval.Seminaive ]
+
+(* Disk-backed end-to-end: kill, reopen the directory, resume. *)
+let test_kill_resume_on_disk () =
+  let dir = temp_dir () in
+  let job =
+    Supervisor.create ~kill_after_round:1 ~store:(Store.on_disk dir) "t"
+  in
+  (try ignore (Multi_round.cascade_triangle ~job ~p:4 tri_instance)
+   with Supervisor.Killed _ -> ());
+  (* A different store handle — as a fresh process would build. *)
+  let job = Supervisor.create ~resume:true ~store:(Store.on_disk dir) "t" in
+  let out, stats = Multi_round.cascade_triangle ~job ~p:4 tri_instance in
+  let clean_out, clean_stats = Multi_round.cascade_triangle ~p:4 tri_instance in
+  Alcotest.check instance "disk resume output" clean_out out;
+  Alcotest.(check bool) "disk resume stats" true (clean_stats = stats)
+
+(* ------------------------------------------------------------------ *)
+(* Survivor rebalancing: permanent crash-stops                         *)
+
+let test_rebalance () =
+  List.iter
+    (fun (name, (run : algo)) ->
+      let clean_out, _ = run ~executor:Executor.sequential ~faults:Plan.none () in
+      let faults = Plan.make ~seed:5 { Plan.zero with perma = Some (2, 1) } in
+      let store = Store.in_memory () in
+      let job = Supervisor.create ~store "t" in
+      let out, stats = run ~job ~executor:Executor.sequential ~faults () in
+      Alcotest.check instance
+        (name ^ ": output survives a permanent crash")
+        clean_out out;
+      Alcotest.(check int)
+        (name ^ ": cluster shrank to the survivors")
+        3 stats.Stats.p;
+      Alcotest.(check bool)
+        (name ^ ": rebalance recorded exactly one crash")
+        true
+        (List.exists
+           (fun (r : Stats.recovery) -> r.Stats.crashed = 1 && r.replayed > 0)
+           stats.Stats.recoveries);
+      Alcotest.(check bool)
+        (name ^ ": supervisor reports the rebalance")
+        true
+        (job.Supervisor.rebalanced <> []))
+    (List.filter (fun (n, _) -> n <> "hypercube") algorithms)
+
+(* Hypercube's grid is a function of p, so its survivor count is the
+   grid size for the re-optimized shares — check output and the crash
+   record, not an exact p. *)
+let test_rebalance_hypercube () =
+  let clean_out, _, _ =
+    Hypercube.run ~seed:1 ~p:4 triangle_query tri_instance
+  in
+  let faults = Plan.make ~seed:5 { Plan.zero with perma = Some (1, 0) } in
+  let job = Supervisor.create ~store:(Store.in_memory ()) "t" in
+  let out, stats, _ =
+    Hypercube.run ~seed:1 ~faults ~job ~p:4 triangle_query tri_instance
+  in
+  Alcotest.check instance "hypercube output survives a permanent crash"
+    clean_out out;
+  Alcotest.(check bool) "crash recorded" true
+    (List.exists
+       (fun (r : Stats.recovery) -> r.Stats.crashed = 1)
+       stats.Stats.recoveries)
+
+(* The crash fires once per job, even across a kill/resume boundary
+   placed right after the rebalance. *)
+let test_rebalance_once_across_resume () =
+  let faults = Plan.make ~seed:5 { Plan.zero with perma = Some (1, 2) } in
+  let store = Store.in_memory () in
+  let job = Supervisor.create ~kill_after_round:1 ~store "t" in
+  (try
+     ignore
+       (Multi_round.cascade_triangle ~faults ~job ~p:4 tri_instance)
+   with Supervisor.Killed _ -> ());
+  let job = Supervisor.create ~resume:true ~store "t" in
+  let out, stats =
+    Multi_round.cascade_triangle ~faults ~job ~p:4 tri_instance
+  in
+  let clean_out, _ = Multi_round.cascade_triangle ~p:4 tri_instance in
+  Alcotest.check instance "output correct" clean_out out;
+  let crashes =
+    List.fold_left
+      (fun acc (r : Stats.recovery) -> acc + r.Stats.crashed)
+      0 stats.Stats.recoveries
+  in
+  Alcotest.(check int) "the permanent crash was rebalanced exactly once" 1
+    crashes
+
+(* Rebalanced runs agree across backends. *)
+let test_rebalance_pool_identical () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let faults = Plan.make ~seed:5 { Plan.zero with perma = Some (2, 0) } in
+      let run executor =
+        let job = Supervisor.create ~store:(Store.in_memory ()) "t" in
+        Multi_round.skew_resilient_triangle ~executor ~faults ~job ~p:4
+          tri_instance
+      in
+      let seq_out, seq_stats, _ = run Executor.sequential in
+      let pool_out, pool_stats, _ = run (Executor.pool pool) in
+      Alcotest.check instance "rebalanced pool output = seq output" seq_out
+        pool_out;
+      Alcotest.(check bool) "rebalanced pool stats = seq stats" true
+        (seq_stats = pool_stats))
+
+(* ------------------------------------------------------------------ *)
+(* Speculative straggler re-execution                                  *)
+
+let test_speculate_primitive () =
+  let calls = ref 0 in
+  let body ~cancel:_ =
+    incr calls;
+    42
+  in
+  let s = Executor.speculate ~deadline:0.002 ~stall:0.001 ~tie:`Backup body in
+  Alcotest.(check bool) "primary beats the deadline" true
+    (s.Executor.winner = `Primary);
+  Alcotest.(check int) "value" 42 s.Executor.value;
+  Alcotest.(check bool) "nothing saved on primary" true
+    (s.Executor.saved = 0.0);
+  let s = Executor.speculate ~deadline:0.001 ~stall:0.003 ~tie:`Primary body in
+  Alcotest.(check bool) "straggler loses to the backup" true
+    (s.Executor.winner = `Backup);
+  Alcotest.(check int) "backup value" 42 s.Executor.value;
+  Alcotest.(check bool) "saved = stall - deadline" true
+    (abs_float (s.Executor.saved -. 0.002) < 1e-9);
+  let tie d = Executor.speculate ~deadline:0.001 ~stall:0.001 ~tie:d body in
+  Alcotest.(check bool) "tie to primary" true
+    ((tie `Primary).Executor.winner = `Primary);
+  Alcotest.(check bool) "tie to backup" true
+    ((tie `Backup).Executor.winner = `Backup)
+
+let straggler_plan =
+  Plan.make ~seed:7 { Plan.zero with straggle = 1.0; speculate = 0.0005 }
+
+let unmitigated_plan = Plan.make ~seed:7 { Plan.zero with straggle = 1.0 }
+
+let test_speculation_bit_identity () =
+  let clean_out, clean_stats =
+    Multi_round.cascade_triangle ~p:4 tri_instance
+  in
+  let out, stats =
+    Multi_round.cascade_triangle ~faults:straggler_plan ~p:4 tri_instance
+  in
+  Alcotest.check instance "speculated output bit-identical" clean_out out;
+  Alcotest.(check bool) "loads unchanged by speculation" true
+    (Stats.without_recoveries stats = clean_stats);
+  Alcotest.(check bool) "speculations recorded" true
+    (Stats.speculations stats > 0)
+
+let test_speculation_pool_identical () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let seq =
+        Multi_round.cascade_triangle ~faults:straggler_plan ~p:4 tri_instance
+      in
+      let pooled =
+        Multi_round.cascade_triangle
+          ~executor:(Executor.pool pool)
+          ~faults:straggler_plan ~p:4 tri_instance
+      in
+      Alcotest.check instance "pool speculation output = seq" (fst seq)
+        (fst pooled);
+      Alcotest.(check bool) "pool speculation stats = seq" true
+        (snd seq = snd pooled))
+
+(* The whole point: mitigation takes the straggler off the critical
+   path. Every task stalls 0.1–1 ms; with a 0.5 ms budget the long
+   stalls are cut to the budget, so wall-clock must drop. *)
+let test_speculation_saves_wallclock () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  (* Median of three to shrug off scheduler noise. *)
+  let median f =
+    let ts = List.sort compare [ time f; time f; time f ] in
+    List.nth ts 1
+  in
+  let run faults () =
+    Multi_round.cascade_triangle ~faults ~p:8 tri_instance
+  in
+  let full = median (run unmitigated_plan) in
+  let mitigated = median (run straggler_plan) in
+  Alcotest.(check bool)
+    (Fmt.str "mitigated %.1fms < unmitigated %.1fms" (mitigated *. 1000.)
+       (full *. 1000.))
+    true
+    (mitigated < full)
+
+(* Satellite: the injected stall is visible in the observability
+   samples, and backup wins are marked. *)
+let test_straggle_surfaces_in_obs () =
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      Trace.reset ();
+      ignore
+        (Multi_round.cascade_triangle ~faults:straggler_plan ~p:4 tri_instance);
+      let events = Trace.events () in
+      let samples =
+        List.filter
+          (function
+            | Trace.Sample { name = "fault.straggle_delay_ms"; value; _ } ->
+              value > 0.0
+            | _ -> false)
+          events
+      in
+      Alcotest.(check bool) "straggle delays sampled" true (samples <> []);
+      let speculated =
+        List.exists
+          (function
+            | Trace.Instant { name = "fault.speculate"; _ } -> true
+            | _ -> false)
+          events
+      in
+      Alcotest.(check bool) "backup wins marked" true speculated)
+
+(* ------------------------------------------------------------------ *)
+(* Retry backoff                                                       *)
+
+let test_exponential_backoff () =
+  let d1 = Executor.exponential_backoff ~seed:3 () in
+  let d2 = Executor.exponential_backoff ~seed:3 () in
+  let d3 = Executor.exponential_backoff ~seed:4 () in
+  let differs = ref false in
+  for k = 1 to 8 do
+    Alcotest.(check (float 0.0))
+      (Fmt.str "same seed, same delay for attempt %d" k)
+      (d1 k) (d2 k);
+    if d1 k <> d3 k then differs := true;
+    Alcotest.(check bool) "delay positive" true (d1 k > 0.0);
+    (* base 1ms, factor 2, cap 100ms, jitter < 0.5 *)
+    Alcotest.(check bool) "delay below jittered cap" true (d1 k <= 0.15)
+  done;
+  Alcotest.(check bool) "different seeds decorrelate" true !differs;
+  Alcotest.(check bool) "growth before the cap" true (d1 3 > d1 1);
+  Alcotest.check_raises "negative base rejected"
+    (Invalid_argument "Executor.exponential_backoff: negative parameter")
+    (fun () ->
+      ignore (Executor.exponential_backoff ~base:(-1.0) ~seed:0 () : int -> float))
+
+exception Boom
+
+let test_with_retry_delay_and_budget () =
+  (* Transient failure absorbed; delays slept between attempts. *)
+  let attempts = ref 0 in
+  let slept = ref [] in
+  let v =
+    Executor.with_retry
+      ~delay:(fun k ->
+        slept := k :: !slept;
+        0.0005)
+      ~retryable:(fun e -> e = Boom)
+      (fun ~attempt ->
+        incr attempts;
+        if attempt < 3 then raise Boom else "ok")
+  in
+  Alcotest.(check string) "eventually succeeds" "ok" v;
+  Alcotest.(check int) "three attempts" 3 !attempts;
+  Alcotest.(check (list int)) "delay consulted per failed attempt" [ 2; 1 ]
+    !slept;
+  (* The budget caps cumulative sleep: the retry whose delay would
+     exceed it is abandoned and the failure propagates. *)
+  let attempts = ref 0 in
+  (try
+     ignore
+       (Executor.with_retry
+          ~delay:(fun _ -> 0.002)
+          ~budget:0.003
+          ~retryable:(fun e -> e = Boom)
+          (fun ~attempt:_ ->
+            incr attempts;
+            raise Boom));
+     Alcotest.fail "budget exhaustion must propagate"
+   with Boom -> ());
+  Alcotest.(check int) "gave up after the budget, before max_attempts" 2
+    !attempts;
+  (* Non-retryable exceptions propagate immediately, no sleeping. *)
+  let attempts = ref 0 in
+  (try
+     ignore
+       (Executor.with_retry
+          ~delay:(fun _ -> 10.0)
+          ~retryable:(fun _ -> false)
+          (fun ~attempt:_ ->
+            incr attempts;
+            raise Boom));
+     Alcotest.fail "non-retryable must propagate"
+   with Boom -> ());
+  Alcotest.(check int) "single attempt" 1 !attempts
+
+(* Transient faults + backoff delays inside a cluster round stay
+   bit-identical to the clean run. *)
+let test_retry_backoff_in_cluster () =
+  let faults = Plan.make ~seed:9 { Plan.zero with transient = 0.5 } in
+  let clean_out, clean_stats = Multi_round.cascade_triangle ~p:4 tri_instance in
+  let out, stats =
+    Multi_round.cascade_triangle ~faults ~p:4 tri_instance
+  in
+  Alcotest.check instance "retried output bit-identical" clean_out out;
+  Alcotest.(check bool) "clean portion unchanged" true
+    (Stats.without_recoveries stats = clean_stats);
+  Alcotest.(check bool) "retries recorded" true (Stats.retries stats > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let open Alcotest in
+  run "lamp.jobs"
+    [
+      ( "codec",
+        [
+          test_case "primitive round-trips" `Quick test_codec_roundtrip;
+          test_case "canonical instances" `Quick test_codec_instance_canonical;
+          test_case "corruption detected" `Quick test_codec_corrupt;
+        ] );
+      ( "store",
+        [
+          test_case "memory backend" `Quick test_store_memory;
+          test_case "disk backend" `Quick test_store_disk;
+          test_case "disk mismatch rejected" `Quick
+            test_store_disk_rejects_mismatch;
+        ] );
+      ( "cluster",
+        [
+          test_case "snapshot/restore round-trip" `Quick
+            test_cluster_snapshot_roundtrip;
+          test_case "corrupt snapshot rejected" `Quick
+            test_cluster_restore_corrupt;
+        ] );
+      ( "kill-resume",
+        [
+          test_case "matrix (seq)" `Quick test_kill_resume_seq;
+          test_case "matrix (pool)" `Quick test_kill_resume_pool;
+          test_case "matrix under faults" `Quick test_kill_resume_under_faults;
+          test_case "across backends" `Quick test_resume_across_backends;
+          test_case "kill from the fault plan" `Quick test_kill_from_plan;
+          test_case "fingerprint mismatch rejected" `Quick
+            test_fingerprint_mismatch;
+          test_case "finished job resumes as no-op" `Quick
+            test_resume_finished_job;
+          test_case "datalog per-iteration" `Quick test_datalog_kill_resume;
+          test_case "disk-backed end to end" `Quick test_kill_resume_on_disk;
+        ] );
+      ( "rebalance",
+        [
+          test_case "survivors produce the clean output" `Quick test_rebalance;
+          test_case "hypercube replans its grid" `Quick
+            test_rebalance_hypercube;
+          test_case "fires once across kill/resume" `Quick
+            test_rebalance_once_across_resume;
+          test_case "backend-independent" `Quick test_rebalance_pool_identical;
+        ] );
+      ( "speculation",
+        [
+          test_case "primitive decides deterministically" `Quick
+            test_speculate_primitive;
+          test_case "bit-identical results" `Quick
+            test_speculation_bit_identity;
+          test_case "backend-independent" `Quick
+            test_speculation_pool_identical;
+          test_case "removes stall from the critical path" `Quick
+            test_speculation_saves_wallclock;
+          test_case "stalls surface in obs" `Quick
+            test_straggle_surfaces_in_obs;
+        ] );
+      ( "retry",
+        [
+          test_case "exponential backoff deterministic" `Quick
+            test_exponential_backoff;
+          test_case "delay schedule and budget" `Quick
+            test_with_retry_delay_and_budget;
+          test_case "bit-identity in cluster rounds" `Quick
+            test_retry_backoff_in_cluster;
+        ] );
+    ]
