@@ -60,6 +60,15 @@ let metric_stats prefix ~m stats =
   metric (prefix ^ "_epsilon") (Mpc.Stats.epsilon ~m stats);
   metric (prefix ^ "_replication_rate") (Mpc.Stats.replication_rate ~m stats)
 
+(* Latency-style summaries: the three tail quantiles every serving
+   benchmark reports, estimated from a lamp.obs power-of-two histogram
+   (within a factor of 2 — the bucket width). e15 uses this for its
+   request latencies; e12–e14 can tag any histogram the same way. *)
+let metric_percentiles prefix (s : Obs.Trace.histogram_snapshot) =
+  metric (prefix ^ "_p50") (Obs.Trace.percentile s 0.50);
+  metric (prefix ^ "_p95") (Obs.Trace.percentile s 0.95);
+  metric (prefix ^ "_p99") (Obs.Trace.percentile s 0.99)
+
 let write_json path =
   Obs.Export.write_metrics_json path
     ~meta:
@@ -1402,6 +1411,214 @@ let e14 () =
     \  long stalls are cut to the budget."
 
 (* ------------------------------------------------------------------ *)
+(* E15: lamp.serve — query service under concurrent loopback load      *)
+
+(* A fleet of client threads, every one holding an open connection at
+   the same time, hammers one server over a Unix socket: ad-hoc
+   executes that all resolve in the prepared-plan cache after the
+   first compile of each query text. Reported: p50/p95/p99 request
+   latency, throughput, cache hit rate, and the two invariants the
+   serving layer promises — responses bit-identical to direct library
+   evaluation, and a drain that leaks neither sessions nor pooled
+   engine handles. *)
+let e15 () =
+  section "E15: query service under concurrent loopback load";
+  let clients = if !smoke then 100 else 1024 in
+  let per_client = if !smoke then 4 else 8 in
+  let rng = Random.State.make [| 15 |] in
+  let inst = Mpc.Workload.triangle_skew_free ~rng ~m:120 ~domain:60 in
+  let queries =
+    [
+      "H(x,y,z) <- R(x,y), S(y,z), T(z,x)";
+      "H(x,y,z) <- R(x,y), S(y,z)";
+      "H(x,z) <- R(x,y), T(y,z)";
+    ]
+  in
+  let sock name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lamp_e15_%s_%d.sock" name (Unix.getpid ()))
+  in
+  let unlink path = try Unix.unlink path with Unix.Unix_error _ -> () in
+  (* connect(2) on a Unix socket fails with EAGAIN/ECONNREFUSED while
+     the listen backlog is full; under a thousand simultaneous opens
+     that is expected, so retry briefly instead of counting it. *)
+  let connect_retry path =
+    let rec go n =
+      match Serve.Client.connect_unix ~path with
+      | c -> c
+      | exception Unix.Unix_error ((EAGAIN | ECONNREFUSED | EINTR), _, _)
+        when n > 0 ->
+        Thread.delay 0.01;
+        go (n - 1)
+    in
+    go 500
+  in
+  let encode i =
+    let w = Jobs.Codec.writer () in
+    Jobs.Codec.w_instance w i;
+    Jobs.Codec.contents w
+  in
+  (* -- Backend bit-identity spot check. ----------------------------- *)
+  (* The same requests through a sequential- and a pool-backed server
+     must yield byte-identical result encodings, and identical MPC
+     statistics for distributed modes. *)
+  let spot name executor =
+    let server = Serve.Server.create ~executor () in
+    Serve.Server.add_instance server ~name:"bench" inst;
+    let path = sock ("spot_" ^ name) in
+    Serve.Server.listen_unix server ~path;
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.stop server;
+        unlink path)
+      (fun () ->
+        let c = Serve.Client.connect_unix ~path in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            let locals =
+              List.map
+                (fun q ->
+                  encode (fst (Serve.Client.execute c ~instance:"bench" (Adhoc q))))
+                queries
+            in
+            let hc, hc_stats =
+              Serve.Client.execute c ~instance:"bench"
+                ~mode:(Hypercube { p = 4 }) (Adhoc (List.hd queries))
+            in
+            (locals, encode hc, hc_stats)))
+  in
+  let pool2 = Runtime.Pool.create ~domains:2 () in
+  let seq_l, seq_hc, seq_st = spot "seq" Runtime.Executor.sequential in
+  let pool_l, pool_hc, pool_st = spot "pool" (Runtime.Executor.pool pool2) in
+  Runtime.Pool.shutdown pool2;
+  check "seq and pool backends serve byte-identical responses"
+    (List.for_all2 String.equal seq_l pool_l
+    && String.equal seq_hc pool_hc
+    && seq_st = pool_st);
+  (* -- Concurrent load. --------------------------------------------- *)
+  let was_enabled = Obs.Trace.is_enabled () in
+  Obs.Trace.set_enabled true;
+  let lat_h = Obs.Trace.histogram "e15.latency_us" in
+  let config =
+    {
+      Serve.Server.default_config with
+      max_sessions = clients + 8;
+      max_inflight = clients;
+      handle_pool = 4;
+    }
+  in
+  let server = Serve.Server.create ~config ~executor:(exec ()) () in
+  Serve.Server.add_instance server ~name:"bench" inst;
+  let path = sock "load" in
+  Serve.Server.listen_unix server ~path;
+  let expected =
+    List.map (fun q -> (q, Cq.Eval.eval (Cq.Parser.query q) inst)) queries
+  in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let connected = ref 0 in
+  let go = ref false in
+  let mismatches = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let client_thread i =
+    match connect_retry path with
+    | exception _ ->
+      Atomic.incr errors;
+      Mutex.protect m (fun () -> incr connected)
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          ignore (Serve.Client.hello ~client:(string_of_int i) c);
+          (* Barrier: every connection is open before any load starts,
+             so the server really holds [clients] concurrent sessions. *)
+          Mutex.lock m;
+          incr connected;
+          while not !go do
+            Condition.wait cv m
+          done;
+          Mutex.unlock m;
+          for r = 0 to per_client - 1 do
+            let q, want = List.nth expected ((i + r) mod List.length expected) in
+            let t0 = Unix.gettimeofday () in
+            match Serve.Client.execute c ~instance:"bench" (Adhoc q) with
+            | got, _ ->
+              Obs.Trace.observe lat_h
+                (int_of_float (1e6 *. (Unix.gettimeofday () -. t0)));
+              if not (Relational.Instance.equal want got) then
+                Atomic.incr mismatches
+            | exception _ -> Atomic.incr errors
+          done)
+  in
+  let threads = List.init clients (fun i -> Thread.create client_thread i) in
+  while Mutex.protect m (fun () -> !connected) < clients do
+    Thread.delay 0.01
+  done;
+  (* A control client confirms peak concurrency over the wire itself. *)
+  let control = connect_retry path in
+  let peak = (Serve.Client.stats control).Serve.Wire.sessions in
+  check
+    (Printf.sprintf "%d clients concurrently connected at the barrier" clients)
+    (peak >= clients);
+  metric "clients" (float_of_int clients);
+  metric "peak_sessions" (float_of_int peak);
+  let t0 = Unix.gettimeofday () in
+  Mutex.lock m;
+  go := true;
+  Condition.broadcast cv;
+  Mutex.unlock m;
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let s = Serve.Client.stats control in
+  Serve.Client.close control;
+  let total = clients * per_client in
+  let hits = s.plan_cache_hits and misses = s.plan_cache_misses in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  check "responses bit-identical to direct evaluation"
+    (Atomic.get mismatches = 0 && Atomic.get errors = 0);
+  check "no request rejected or throttled" (s.rejected = 0 && s.throttled = 0);
+  check "plan-cache hit rate above 99% after warmup" (hit_rate > 0.99);
+  let lat = Obs.Trace.histogram_snapshot lat_h in
+  metric "requests" (float_of_int total);
+  metric "throughput_rps" (float_of_int total /. wall);
+  metric "cache_hit_rate" hit_rate;
+  metric_percentiles "latency_us" lat;
+  let qw =
+    Obs.Trace.histogram_snapshot (Obs.Trace.histogram "serve.queue_wait_us")
+  in
+  metric_percentiles "queue_wait_us" qw;
+  line
+    "  %d clients x %d requests: %.0f req/s   latency p50 %.0f us  p95 %.0f \
+     us  p99 %.0f us"
+    clients per_client
+    (float_of_int total /. wall)
+    (Obs.Trace.percentile lat 0.50)
+    (Obs.Trace.percentile lat 0.95)
+    (Obs.Trace.percentile lat 0.99);
+  line "  plan cache: %d hits / %d misses (%.2f%% hit rate)   engine queue \
+        wait p99 %.0f us"
+    hits misses (100.0 *. hit_rate)
+    (Obs.Trace.percentile qw 0.99);
+  Serve.Server.stop server;
+  let final = Serve.Server.stats server in
+  check "drain: no session or pooled handle survives shutdown"
+    (final.sessions = 0
+    && List.for_all (fun (_, in_use, idle) -> in_use = 0 && idle = 0)
+         final.handle_pools);
+  unlink path;
+  Obs.Trace.set_enabled was_enabled;
+  line
+    "  shape: every execute after the first compile of each query text is a\n\
+    \  cache hit, so the service amortizes planning exactly like a prepared\n\
+    \  statement; the engine serializes evaluation, so tail latency tracks\n\
+    \  queue depth while throughput tracks single-query cost."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches (one per experiment family)                 *)
 
 let timings () =
@@ -1534,6 +1751,7 @@ let experiments =
     ("e12", e12);
     ("e13", e13);
     ("e14", e14);
+    ("e15", e15);
   ]
 
 (* One parser for every [--key=value] flag: the key names its handler

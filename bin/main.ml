@@ -194,6 +194,19 @@ let wrap f =
   | Cq.Ast.Unsafe msg ->
     Fmt.epr "unsafe query: %s@." msg;
     1
+  | Serve.Client.Server_error (code, msg) ->
+    let name =
+      match code with
+      | Serve.Wire.Bad_request -> "bad request"
+      | Rejected -> "rejected"
+      | Throttled -> "throttled"
+      | Failed -> "failed"
+    in
+    Fmt.epr "server error (%s): %s@." name msg;
+    1
+  | Serve.Client.Protocol_error msg ->
+    Fmt.epr "protocol error: %s@." msg;
+    1
   | Transducer.Scheduler.Did_not_quiesce { transitions; in_flight } ->
     Fmt.epr
       "error: network did not quiesce within %d transitions (%d messages \
@@ -700,6 +713,258 @@ let classify_cmd =
   Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ query_arg $ samples_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path for the query service." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "TCP port for the query service (0 picks a free one)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "TCP host to bind or connect to." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let iname_arg =
+  let doc = "Name of the served instance to address." in
+  Arg.(value & opt string "main" & info [ "name"; "n" ] ~docv:"NAME" ~doc)
+
+let serve_cmd =
+  let max_sessions_arg =
+    let doc = "Maximum concurrent client connections." in
+    Arg.(value & opt int 1024 & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc = "Maximum requests admitted into the engine at once; beyond \
+               this the server fast-rejects instead of queueing." in
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let pool_size_arg =
+    let doc = "Pooled engine handles (compiled indexes) per instance." in
+    Arg.(value & opt int 4 & info [ "pool-size" ] ~docv:"N" ~doc)
+  in
+  let plan_cache_arg =
+    let doc = "Prepared-plan cache capacity (LRU beyond it)." in
+    Arg.(value & opt int 128 & info [ "plan-cache" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc = "Facts per streamed result batch." in
+    Arg.(value & opt int 512 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let quota_arg =
+    let doc = "Per-client token-bucket quota RATE:BURST (requests per \
+               second, bucket size). Unset means unlimited." in
+    Arg.(value & opt (some string) None & info [ "quota" ] ~docv:"RATE:BURST" ~doc)
+  in
+  let run socket port host inline file iname max_sessions max_inflight
+      pool_size plan_cache batch quota backend domains trace profile =
+    wrap (fun () ->
+        with_obs trace profile (fun () ->
+            let quota =
+              Option.map
+                (fun s ->
+                  match String.split_on_char ':' s with
+                  | [ rate; burst ] ->
+                    (float_of_string rate, float_of_string burst)
+                  | _ -> invalid_arg "--quota expects RATE:BURST")
+                quota
+            in
+            let config =
+              {
+                Serve.Server.default_config with
+                max_sessions;
+                max_inflight;
+                handle_pool = pool_size;
+                plan_cache;
+                batch;
+                quota;
+              }
+            in
+            with_executor backend domains (fun executor ->
+                let server = Serve.Server.create ~config ~executor () in
+                let data =
+                  match inline, file with
+                  | None, None -> Relational.Instance.empty
+                  | _ -> load_instance inline file
+                in
+                Serve.Server.add_instance server ~name:iname data;
+                (match socket, port with
+                | None, None ->
+                  invalid_arg "give --socket=PATH and/or --port=PORT"
+                | _ -> ());
+                Option.iter
+                  (fun path ->
+                    Serve.Server.listen_unix server ~path;
+                    Fmt.pr "listening on %s@." path)
+                  socket;
+                Option.iter
+                  (fun port ->
+                    let bound = Serve.Server.listen_tcp ~host server ~port in
+                    Fmt.pr "listening on %s:%d@." host bound)
+                  port;
+                Fmt.pr "serving instance %S (%d facts); ^C stops@." iname
+                  (Relational.Instance.cardinal data);
+                (* The handler only flips a flag: Server.stop joins
+                   threads and must not run inside a signal handler. *)
+                let stop = Atomic.make false in
+                let request_stop _ = Atomic.set stop true in
+                ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+                ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+                while not (Atomic.get stop) do
+                  Thread.delay 0.2
+                done;
+                Fmt.pr "draining...@.";
+                Serve.Server.stop server;
+                Option.iter
+                  (fun path ->
+                    try Unix.unlink path with Unix.Unix_error _ -> ())
+                  socket;
+                Fmt.pr "stopped@.")))
+  in
+  let doc =
+    "Serve conjunctive queries over a socket: prepared plans, pooled engine \
+     handles, admission control and per-client quotas."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ instance_arg
+      $ instance_file_arg $ iname_arg $ max_sessions_arg $ max_inflight_arg
+      $ pool_size_arg $ plan_cache_arg $ batch_arg $ quota_arg $ backend_arg
+      $ domains_arg $ trace_arg $ profile_arg)
+
+(* Opens the connection named by --socket/--port, runs [f], closes. *)
+let with_client socket port host f =
+  let c =
+    match socket, port with
+    | Some path, None -> Serve.Client.connect_unix ~path
+    | None, Some port -> Serve.Client.connect_tcp ~host ~port ()
+    | _ -> invalid_arg "give exactly one of --socket or --port"
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      ignore (Serve.Client.hello ~client:"lamp-cli" c);
+      f c)
+
+let mode_arg =
+  let doc =
+    "Evaluation mode: $(b,local) (direct evaluation), or the distributed \
+     simulations $(b,hypercube), $(b,repartition), $(b,grid) (see --p)."
+  in
+  Arg.(value & opt string "local" & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let parse_mode mode p : Serve.Wire.mode =
+  match mode with
+  | "local" -> Local
+  | "hypercube" -> Hypercube { p }
+  | "repartition" -> Repartition { p }
+  | "grid" -> Grid { p }
+  | other ->
+    invalid_arg
+      (Fmt.str "unknown mode %S (local, hypercube, repartition, grid)" other)
+
+let client_cmd =
+  let health =
+    let run socket port host =
+      wrap (fun () ->
+          with_client socket port host (fun c ->
+              if Serve.Client.health c then Fmt.pr "healthy@."
+              else invalid_arg "server reported unhealthy"))
+    in
+    Cmd.v
+      (Cmd.info "health" ~doc:"Ping the service.")
+      Term.(const run $ socket_arg $ port_arg $ host_arg)
+  in
+  let stats =
+    let run socket port host =
+      wrap (fun () ->
+          with_client socket port host (fun c ->
+              let s = Serve.Client.stats c in
+              Fmt.pr
+                "sessions: %d (active requests %d, executor in-flight %d, %d \
+                 workers)@."
+                s.Serve.Wire.sessions s.active_requests s.executor_in_flight
+                s.pool_workers;
+              Fmt.pr "plan cache: %d plans, %d hits, %d misses@."
+                s.plan_cache_size s.plan_cache_hits s.plan_cache_misses;
+              List.iter
+                (fun (name, in_use, idle) ->
+                  Fmt.pr "handles[%s]: %d in use, %d idle@." name in_use idle)
+                s.handle_pools;
+              Fmt.pr "served: %d (%d rejected, %d throttled)@."
+                s.requests_served s.rejected s.throttled))
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Print the server's counters and pool state.")
+      Term.(const run $ socket_arg $ port_arg $ host_arg)
+  in
+  let prepare =
+    let run socket port host iname query =
+      wrap (fun () ->
+          with_client socket port host (fun c ->
+              let p = Serve.Client.prepare c ~instance:iname ~query in
+              Fmt.pr "plan %d (%d atoms)%s@." p.Serve.Client.id p.atoms
+                (if p.cached then " [cached]" else "")))
+    in
+    Cmd.v
+      (Cmd.info "prepare"
+         ~doc:"Compile a query into the server's plan cache.")
+      Term.(const run $ socket_arg $ port_arg $ host_arg $ iname_arg $ query_arg)
+  in
+  let exec =
+    let plan_id_arg =
+      let doc = "Execute a previously prepared plan instead of query text." in
+      Arg.(value & opt (some int) None & info [ "plan" ] ~docv:"ID" ~doc)
+    in
+    let run socket port host iname mode p plan_id query =
+      wrap (fun () ->
+          with_client socket port host (fun c ->
+              let plan : Serve.Wire.plan_ref =
+                match plan_id, query with
+                | Some id, None -> Id id
+                | None, Some q -> Adhoc q
+                | _ -> invalid_arg "give either QUERY or --plan=ID"
+              in
+              let result, stats =
+                Serve.Client.execute c ~instance:iname
+                  ~mode:(parse_mode mode p) plan
+              in
+              Fmt.pr "%a@." Relational.Instance.pp result;
+              Fmt.pr "(%d facts)@." (Relational.Instance.cardinal result);
+              Option.iter (fun s -> Fmt.pr "stats: %a@." Mpc.Stats.pp s) stats))
+    in
+    let query_opt_arg =
+      let doc = "The query text (or use --plan=ID)." in
+      Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "exec" ~doc:"Execute a query (ad hoc or prepared).")
+      Term.(
+        const run $ socket_arg $ port_arg $ host_arg $ iname_arg $ mode_arg
+        $ p_arg $ plan_id_arg $ query_opt_arg)
+  in
+  let ingest =
+    let run socket port host iname inline file =
+      wrap (fun () ->
+          with_client socket port host (fun c ->
+              let facts =
+                Relational.Instance.facts (load_instance inline file)
+              in
+              let added = Serve.Client.ingest c ~instance:iname facts in
+              Fmt.pr "%d new facts (of %d sent)@." added (List.length facts)))
+    in
+    Cmd.v
+      (Cmd.info "ingest" ~doc:"Load facts into a served instance.")
+      Term.(
+        const run $ socket_arg $ port_arg $ host_arg $ iname_arg $ instance_arg
+        $ instance_file_arg)
+  in
+  let doc = "Talk to a running lamp serve instance." in
+  Cmd.group (Cmd.info "client" ~doc) [ health; stats; prepare; exec; ingest ]
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -719,6 +984,8 @@ let main_cmd =
       analyze_cmd;
       datalog_cmd;
       classify_cmd;
+      serve_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -24,6 +24,9 @@
     - {!Mpc}: the MPC simulator and its algorithms — repartition and
       grid joins, Shares/HyperCube, multi-round plans, Yannakakis/GYM
       (Section 3);
+    - {!Serve}: the networked query service — wire protocol, resource
+      pooling, prepared-plan cache, admission control — serving the CQ
+      and MPC engines to concurrent clients;
     - {!Mapreduce}: the MapReduce formalization and its MPC translation
       (Section 3);
     - {!Datalog}: stratified and well-founded Datalog, connectivity,
@@ -111,6 +114,15 @@ module Mpc = struct
   module Yannakakis = Lamp_mpc.Yannakakis
   module Gym_ghd = Lamp_mpc.Gym_ghd
   module Workload = Lamp_mpc.Workload
+end
+
+module Serve = struct
+  module Wire = Lamp_serve.Wire
+  module Rpool = Lamp_serve.Rpool
+  module Quota = Lamp_serve.Quota
+  module Cache = Lamp_serve.Cache
+  module Server = Lamp_serve.Server
+  module Client = Lamp_serve.Client
 end
 
 module Mapreduce = struct

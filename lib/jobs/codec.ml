@@ -12,6 +12,7 @@ let writer () = Buffer.create 4096
 let contents = Buffer.contents
 let w_int b i = Buffer.add_int64_be b (Int64.of_int i)
 
+let w_char = Buffer.add_char
 let w_bool b v = Buffer.add_char b (if v then '\001' else '\000')
 let w_float b f = Buffer.add_int64_be b (Int64.bits_of_float f)
 
@@ -55,8 +56,12 @@ type r = { buf : string; mutable pos : int }
 
 let reader s = { buf = s; pos = 0 }
 
+(* [String.length r.buf - r.pos] cannot overflow ([pos <= length]),
+   whereas [r.pos + n] can when a corrupted length prefix holds a value
+   near [max_int] — that overflow used to slip past the bound check and
+   surface as an unprotected [String.sub] failure. *)
 let need r n =
-  if n < 0 || r.pos + n > String.length r.buf then
+  if n < 0 || n > String.length r.buf - r.pos then
     corrupt "truncated checkpoint at byte %d (want %d more of %d)" r.pos n
       (String.length r.buf)
 
@@ -65,6 +70,12 @@ let r_int r =
   let v = Int64.to_int (String.get_int64_be r.buf r.pos) in
   r.pos <- r.pos + 8;
   v
+
+let r_char r =
+  need r 1;
+  let c = r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
 
 let r_bool r =
   need r 1;
@@ -90,9 +101,18 @@ let r_string r =
 
 let r_option r f = if r_bool r then Some (f r) else None
 
+(* Every element encoding in this codec occupies at least one byte
+   (the cheapest, an empty nested list, costs its 8-byte length
+   prefix), so a well-formed collection of [n] elements needs at least
+   [n] more bytes. Checking that up front turns a corrupted length
+   prefix into {!Corrupt} before [Array.init]/[List.init] try to
+   allocate billions of slots. *)
 let r_len r =
   let n = r_int r in
   if n < 0 then corrupt "negative length %d at byte %d" n (r.pos - 8);
+  if n > String.length r.buf - r.pos then
+    corrupt "length %d at byte %d exceeds the %d bytes remaining" n (r.pos - 8)
+      (String.length r.buf - r.pos);
   n
 
 let r_list r f = List.init (r_len r) (fun _ -> f r)

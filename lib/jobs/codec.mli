@@ -11,7 +11,11 @@
 
 exception Corrupt of string
 (** Raised by every reader on truncated input, a bad tag byte, or a
-    length prefix that overruns the buffer. *)
+    length prefix that overruns the buffer. Decoding malformed bytes
+    must never crash, over-read, or over-allocate: length prefixes are
+    validated against the bytes actually remaining before any list or
+    array is materialized (the wire protocol of [lamp.serve] feeds this
+    codec untrusted input). *)
 
 (** {1 Writing} *)
 
@@ -21,6 +25,7 @@ val writer : unit -> w
 val contents : w -> string
 
 val w_int : w -> int -> unit
+val w_char : w -> char -> unit
 val w_bool : w -> bool -> unit
 val w_float : w -> float -> unit
 val w_string : w -> string -> unit
@@ -41,6 +46,7 @@ type r
 val reader : string -> r
 
 val r_int : r -> int
+val r_char : r -> char
 val r_bool : r -> bool
 val r_float : r -> float
 val r_string : r -> string

@@ -196,6 +196,35 @@ let histogram_snapshot h =
     buckets = !buckets;
   }
 
+(* Rank-based percentile with linear interpolation inside the winning
+   power-of-two bucket. Bucket [ub] spans [lo .. min ub max_value] where
+   [lo] is [0] for the zero bucket and [(ub + 1) / 2] otherwise;
+   clamping the top bucket to [max_value] keeps p99 from overshooting
+   the largest value ever observed. Exact for q = 0 (min bucket lower
+   bound) and q = 1 (max_value); within a factor of 2 elsewhere, which
+   is the resolution the histogram stores. *)
+let percentile s q =
+  if s.count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int s.count in
+    let rec find seen = function
+      | [] -> float_of_int s.max_value
+      | (ub, c) :: rest ->
+        let seen = seen + c in
+        if float_of_int seen >= rank && c > 0 then begin
+          let lo = if ub = 0 then 0 else (ub + 1) / 2 in
+          let hi = min ub s.max_value in
+          let frac =
+            (rank -. float_of_int (seen - c)) /. float_of_int c
+          in
+          float_of_int lo +. (frac *. float_of_int (hi - lo))
+        end
+        else find seen rest
+    in
+    find 0 s.buckets
+  end
+
 let histograms () =
   Mutex.protect mutex (fun () ->
       Hashtbl.fold

@@ -122,3 +122,12 @@ type histogram_snapshot = {
 val histogram_snapshot : histogram -> histogram_snapshot
 val histograms : unit -> (string * histogram_snapshot) list
 (** All registered histograms with at least one observation, sorted. *)
+
+val percentile : histogram_snapshot -> float -> float
+(** [percentile s q] estimates the [q]-quantile ([q] clamped to
+    [\[0, 1\]]) of the observed values by linear interpolation inside
+    the power-of-two bucket holding the rank, clamped above by
+    [max_value]. [percentile s 1.0 = max_value]; an empty snapshot
+    yields [0.]. Accuracy is bounded by the bucket width — within a
+    factor of 2 of the true quantile, which is plenty for the p50/p95/
+    p99 latency fields the bench writer reports. *)

@@ -1,5 +1,10 @@
+type seq_state = {
+  batches : int ref;  (* inline task counter *)
+  active : int Atomic.t;  (* indices of the running batch not yet done *)
+}
+
 type backend =
-  | Sequential of int ref  (* inline task counter *)
+  | Sequential of seq_state
   | Pool_backend of Pool.t
 
 type t = {
@@ -7,7 +12,10 @@ type t = {
   chunk : int option;
 }
 
-let sequential = { backend = Sequential (ref 0); chunk = None }
+let sequential =
+  { backend = Sequential { batches = ref 0; active = Atomic.make 0 };
+    chunk = None }
+
 let pool ?chunk p = { backend = Pool_backend p; chunk }
 
 let workers t =
@@ -26,14 +34,27 @@ let chunk_size t ~chunk ~n =
     c
   | None, None -> max 1 ((n + (4 * workers t) - 1) / (4 * workers t))
 
+(* The sequential gauge counts remaining indices of the running batch,
+   mirroring [Pool.in_flight]; a monitoring thread (the serve stats
+   endpoint) reads it concurrently, hence the [Fun.protect] so a raising
+   task cannot leave the gauge stuck non-zero. *)
+let seq_batch s ~n body =
+  incr s.batches;
+  Atomic.set s.active n;
+  Fun.protect
+    ~finally:(fun () -> Atomic.set s.active 0)
+    (fun () ->
+      body (fun () -> Atomic.decr s.active))
+
 let parallel_for t ?chunk ~n f =
   if n > 0 then
     match t.backend with
-    | Sequential count ->
-      count := !count + 1;
-      for i = 0 to n - 1 do
-        f ~worker:0 i
-      done
+    | Sequential s ->
+      seq_batch s ~n (fun done_one ->
+          for i = 0 to n - 1 do
+            f ~worker:0 i;
+            done_one ()
+          done)
     | Pool_backend p ->
       let c = chunk_size t ~chunk ~n in
       let tasks = (n + c - 1) / c in
@@ -63,9 +84,12 @@ let map_reduce t ?chunk ~n ~map ~combine init =
     in
     let partials =
       match t.backend with
-      | Sequential count ->
-        count := !count + 1;
-        Array.init tasks fold_range
+      | Sequential s ->
+        seq_batch s ~n:tasks (fun done_one ->
+            Array.init tasks (fun k ->
+                let r = fold_range k in
+                done_one ();
+                r))
       | Pool_backend p ->
         let out = Array.make tasks None in
         Pool.run p ~tasks (fun ~worker:_ k -> out.(k) <- Some (fold_range k));
@@ -188,5 +212,13 @@ type counters = {
 
 let counters t =
   match t.backend with
-  | Sequential count -> { tasks = !count; steals = 0 }
+  | Sequential s -> { tasks = !(s.batches); steals = 0 }
   | Pool_backend p -> { tasks = Pool.tasks_run p; steals = Pool.steals p }
+
+let in_flight t =
+  match t.backend with
+  | Sequential s -> Atomic.get s.active
+  | Pool_backend p -> Pool.in_flight p
+
+let backend_pool t =
+  match t.backend with Sequential _ -> None | Pool_backend p -> Some p

@@ -144,3 +144,17 @@ type counters = {
 val counters : t -> counters
 (** Cumulative instrumentation counters; subtract two snapshots to
     meter a region. *)
+
+val in_flight : t -> int
+(** Indices of the currently running batch not yet completed, 0 when
+    idle. Readable from any thread or domain (one atomic load), so a
+    serving layer's admission control and stats endpoint can observe a
+    busy executor without synchronizing with it. On {!sequential} the
+    gauge only moves while a combinator runs on another thread — reading
+    it from the same thread always yields 0 or the remaining count of
+    the batch that is interrupted by the read. *)
+
+val backend_pool : t -> Pool.t option
+(** The underlying pool, [None] for {!sequential}. Gives stats
+    endpoints access to {!Pool.tasks_run}/{!Pool.steals} attribution
+    without widening this interface further. *)

@@ -23,6 +23,7 @@ type t = {
   mutable stopped : bool;
   executed : int Atomic.t array;
   stolen : int Atomic.t array;
+  inflight : int Atomic.t;
   mutable domains : unit Domain.t list;
 }
 
@@ -61,6 +62,7 @@ let exec t w k =
          Mutex.lock t.mutex;
          if t.failure = None then t.failure <- Some (e, bt);
          Mutex.unlock t.mutex));
+  Atomic.decr t.inflight;
   Mutex.lock t.mutex;
   t.remaining <- t.remaining - 1;
   if t.remaining = 0 then Condition.broadcast t.done_;
@@ -108,6 +110,7 @@ let create ?domains () =
       stopped = false;
       executed = Array.init n (fun _ -> Atomic.make 0);
       stolen = Array.init n (fun _ -> Atomic.make 0);
+      inflight = Atomic.make 0;
       domains = [];
     }
   in
@@ -132,6 +135,10 @@ let run t ~tasks f =
     t.batch_fn <- Some f;
     t.failure <- None;
     t.remaining <- tasks;
+    (* The gauge mirrors [remaining] but is readable without the
+       mutex, from any thread or domain (the serve layer's stats
+       endpoint polls it). *)
+    Atomic.set t.inflight tasks;
     t.epoch <- t.epoch + 1;
     Mutex.unlock t.mutex;
     for k = 0 to tasks - 1 do
@@ -166,6 +173,7 @@ let run t ~tasks f =
 let sum counters = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counters
 let tasks_run t = sum t.executed
 let steals t = sum t.stolen
+let in_flight t = Atomic.get t.inflight
 
 let shutdown t =
   Mutex.lock t.mutex;

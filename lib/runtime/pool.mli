@@ -38,6 +38,12 @@ val steals : t -> int
 (** Cumulative number of tasks a worker took from another worker's
     deque. *)
 
+val in_flight : t -> int
+(** Tasks of the current batch not yet completed — 0 whenever no batch
+    is running. One atomic load; safe from any thread or domain, which
+    is what lets a server's stats endpoint observe a busy pool without
+    touching its mutex. *)
+
 val shutdown : t -> unit
 (** Terminates and joins every spawned domain. Idempotent. After
     shutdown, {!run} raises. *)

@@ -1,0 +1,94 @@
+module Instance = Lamp_relational.Instance
+
+type t = {
+  fd : Unix.file_descr;
+  mutable closed : bool;
+}
+
+exception Server_error of Wire.error_code * string
+exception Protocol_error of string
+
+let proto fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
+
+let connect fd addr =
+  match Unix.connect fd addr with
+  | () -> { fd; closed = false }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let connect_unix ~path =
+  connect (Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0) (ADDR_UNIX path)
+
+let connect_tcp ?(host = "127.0.0.1") ~port () =
+  connect
+    (Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0)
+    (ADDR_INET (Unix.inet_addr_of_string host, port))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let roundtrip t req =
+  if t.closed then proto "client is closed";
+  Wire.write_request t.fd req;
+  match Wire.read_response t.fd with
+  | Error { code; message } -> raise (Server_error (code, message))
+  | resp -> resp
+
+let hello ?(client = "anon") t =
+  match
+    roundtrip t (Hello { client; version = Wire.protocol_version })
+  with
+  | Hello_ok { server; version } ->
+    if version <> Wire.protocol_version then
+      proto "server speaks protocol %d, client %d" version
+        Wire.protocol_version;
+    server
+  | _ -> proto "expected Hello_ok"
+
+type prepared = {
+  id : int;
+  cached : bool;
+  atoms : int;
+}
+
+let prepare t ~instance ~query =
+  match roundtrip t (Prepare { instance; query }) with
+  | Prepared { id; cached; atoms } -> { id; cached; atoms }
+  | _ -> proto "expected Prepared"
+
+(* Collect Batch* Done. The first response comes through [roundtrip],
+   so a leading Error raises there; Errors can also terminate the
+   stream mid-way. *)
+let execute t ~instance ?(mode = Wire.Local) plan =
+  let first = roundtrip t (Execute { instance; plan; mode }) in
+  let rec collect acc = function
+    | Wire.Batch facts ->
+      collect (List.rev_append facts acc) (Wire.read_response t.fd)
+    | Wire.Done { facts; stats } ->
+      let got = List.length acc in
+      if got <> facts then
+        proto "result stream announced %d facts, carried %d" facts got;
+      (Instance.of_facts acc, stats)
+    | Wire.Error { code; message } -> raise (Server_error (code, message))
+    | _ -> proto "expected Batch or Done"
+  in
+  collect [] first
+
+let ingest t ~instance facts =
+  match roundtrip t (Ingest { instance; facts }) with
+  | Ingested { added } -> added
+  | _ -> proto "expected Ingested"
+
+let stats t =
+  match roundtrip t Stats with
+  | Stats_reply s -> s
+  | _ -> proto "expected Stats_reply"
+
+let health t =
+  match roundtrip t Health with
+  | Healthy -> true
+  | _ -> false

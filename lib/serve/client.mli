@@ -1,0 +1,52 @@
+(** Blocking client for the lamp query server.
+
+    One connection per client value; calls are synchronous
+    request/response exchanges and a client value must not be shared
+    between threads without external locking (the load generator gives
+    each concurrent session its own connection, as real drivers do).
+
+    Server-signalled failures ({!Wire.Error} responses) raise
+    {!Server_error}; a reply that violates the protocol (wrong response
+    kind, batch count mismatch) raises {!Protocol_error}. *)
+
+type t
+
+exception Server_error of Wire.error_code * string
+exception Protocol_error of string
+
+val connect_unix : path:string -> t
+val connect_tcp : ?host:string -> port:int -> unit -> t
+(** [host] defaults to ["127.0.0.1"]. *)
+
+val hello : ?client:string -> t -> string
+(** Identifies the session (the server's quota key; default ["anon"])
+    and checks protocol versions; returns the server's name. *)
+
+type prepared = {
+  id : int;  (** Pass as [Wire.Id id] to {!execute}. *)
+  cached : bool;  (** The server already had this plan compiled. *)
+  atoms : int;  (** Join steps of the compiled plan. *)
+}
+
+val prepare : t -> instance:string -> query:string -> prepared
+
+val execute :
+  t ->
+  instance:string ->
+  ?mode:Wire.mode ->
+  Wire.plan_ref ->
+  Lamp_relational.Instance.t * Lamp_mpc.Stats.t option
+(** Runs the plan ([mode] defaults to [Local]), collecting the streamed
+    batches into an instance. The MPC modes also return the run's load
+    statistics, exactly the [Stats.t] the library call yields. *)
+
+val ingest : t -> instance:string -> Lamp_relational.Fact.t list -> int
+(** Returns how many facts were new. *)
+
+val stats : t -> Wire.server_stats
+val health : t -> bool
+(** [false] only on a server that answers but declares itself sick —
+    connection errors raise as usual. *)
+
+val close : t -> unit
+(** Idempotent. *)

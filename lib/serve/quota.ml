@@ -1,0 +1,38 @@
+type t = {
+  rate : float;
+  burst : float;
+  clock : unit -> float;
+  mutex : Mutex.t;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create ?(clock = Unix.gettimeofday) ~rate ~burst () =
+  if not (rate > 0.0) then invalid_arg "Quota.create: rate must be > 0";
+  if not (burst >= 1.0) then invalid_arg "Quota.create: burst must be >= 1";
+  { rate; burst; clock; mutex = Mutex.create (); tokens = burst; last = clock () }
+
+(* Lazy refill: tokens accrue on observation, so an idle bucket costs
+   nothing. A clock running backwards (ntp step) refills nothing rather
+   than debiting. *)
+let refill t =
+  let now = t.clock () in
+  let dt = now -. t.last in
+  if dt > 0.0 then begin
+    t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.rate));
+    t.last <- now
+  end
+
+let try_take ?(cost = 1.0) t =
+  Mutex.protect t.mutex (fun () ->
+      refill t;
+      if t.tokens >= cost then begin
+        t.tokens <- t.tokens -. cost;
+        true
+      end
+      else false)
+
+let tokens t =
+  Mutex.protect t.mutex (fun () ->
+      refill t;
+      t.tokens)

@@ -1,0 +1,25 @@
+(** Token-bucket rate limiting, one bucket per client.
+
+    A bucket holds up to [burst] tokens and refills continuously at
+    [rate] tokens per second; each admitted request spends one token.
+    A client that stays below [rate] requests/second is never
+    throttled, and may burst [burst] requests instantly after an idle
+    spell — the standard shape for smoothing the load generator's
+    request storms without starving interactive clients.
+
+    The clock is injectable so tests drive time deterministically. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> rate:float -> burst:float -> unit -> t
+(** [clock] defaults to [Unix.gettimeofday]. The bucket starts full.
+    @raise Invalid_argument unless [rate > 0] and [burst >= 1]. *)
+
+val try_take : ?cost:float -> t -> bool
+(** Spend [cost] tokens (default 1): [true] and debits on success,
+    [false] (and no debit) when the bucket holds fewer than [cost].
+    Thread-safe. *)
+
+val tokens : t -> float
+(** Current token count after refill — for stats, not for decisions
+    (racy by the time the caller looks). *)

@@ -1,0 +1,154 @@
+(* Invariant: [size] counts live resources, [idle] holds the free ones,
+   so [in_use = size - List.length idle]. Waiters block on [cond],
+   signalled whenever a resource is returned or disposed (both free
+   capacity). Allocation happens outside the lock — a slot is reserved
+   first ([size] incremented), released again if the allocator raises —
+   so a slow [alloc] never stalls checkouts of already-live handles. *)
+
+type 'a t = {
+  alloc : unit -> 'a;
+  validate : 'a -> bool;
+  dispose : 'a -> unit;
+  max_size : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable idle_q : 'a list;
+  mutable size : int;
+  mutable created : int;
+  mutable draining : bool;
+}
+
+exception Draining
+
+let create ?(max_size = 8) ?(validate = fun _ -> true) ?(dispose = ignore)
+    alloc =
+  if max_size < 1 then invalid_arg "Rpool.create: max_size < 1";
+  {
+    alloc;
+    validate;
+    dispose;
+    max_size;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    idle_q = [];
+    size = 0;
+    created = 0;
+    draining = false;
+  }
+
+(* Dispose outside the lock: user callbacks must not run under it. *)
+let dispose_all t rs = List.iter (fun r -> try t.dispose r with _ -> ()) rs
+
+let rec checkout t =
+  Mutex.lock t.mutex;
+  if t.draining then begin
+    Mutex.unlock t.mutex;
+    raise Draining
+  end;
+  match t.idle_q with
+  | r :: rest ->
+    t.idle_q <- rest;
+    Mutex.unlock t.mutex;
+    if t.validate r then r
+    else begin
+      (* Stale (e.g. built against a retired instance version):
+         dispose, free the slot, try again. *)
+      dispose_all t [ r ];
+      Mutex.lock t.mutex;
+      t.size <- t.size - 1;
+      Condition.signal t.cond;
+      Mutex.unlock t.mutex;
+      checkout t
+    end
+  | [] ->
+    if t.size < t.max_size then begin
+      t.size <- t.size + 1;
+      t.created <- t.created + 1;
+      Mutex.unlock t.mutex;
+      match t.alloc () with
+      | r -> r
+      | exception e ->
+        Mutex.lock t.mutex;
+        t.size <- t.size - 1;
+        t.created <- t.created - 1;
+        Condition.signal t.cond;
+        Mutex.unlock t.mutex;
+        raise e
+    end
+    else begin
+      Condition.wait t.cond t.mutex;
+      Mutex.unlock t.mutex;
+      checkout t
+    end
+
+let release t r ~ok =
+  Mutex.lock t.mutex;
+  if ok && not t.draining then begin
+    t.idle_q <- r :: t.idle_q;
+    Condition.signal t.cond;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    t.size <- t.size - 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    dispose_all t [ r ]
+  end
+
+let use t f =
+  let r = checkout t in
+  match f r with
+  | v ->
+    release t r ~ok:true;
+    v
+  | exception e ->
+    release t r ~ok:false;
+    raise e
+
+let trim t ~keep =
+  if keep < 0 then invalid_arg "Rpool.trim: keep < 0";
+  Mutex.lock t.mutex;
+  let rec split n = function
+    | rest when n = 0 -> ([], rest)
+    | [] -> ([], [])
+    | r :: rest ->
+      let kept, evicted = split (n - 1) rest in
+      (r :: kept, evicted)
+  in
+  let kept, evicted = split keep t.idle_q in
+  t.idle_q <- kept;
+  t.size <- t.size - List.length evicted;
+  if evicted <> [] then Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  dispose_all t evicted
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  let rec go () =
+    let idle = t.idle_q in
+    t.idle_q <- [];
+    t.size <- t.size - List.length idle;
+    if idle <> [] then begin
+      Mutex.unlock t.mutex;
+      dispose_all t idle;
+      Mutex.lock t.mutex
+    end;
+    if t.size > 0 then begin
+      (* In-use resources: their release sees [draining] and disposes,
+         decrementing [size] and waking us. *)
+      Condition.wait t.cond t.mutex;
+      go ()
+    end
+  in
+  go ();
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let size t = Mutex.protect t.mutex (fun () -> t.size)
+let idle t = Mutex.protect t.mutex (fun () -> List.length t.idle_q)
+
+let in_use t =
+  Mutex.protect t.mutex (fun () -> t.size - List.length t.idle_q)
+
+let created t = Mutex.protect t.mutex (fun () -> t.created)

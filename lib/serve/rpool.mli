@@ -1,0 +1,60 @@
+(** A generic blocking resource pool (modeled on caqti's [pool.ml]):
+    bounded creation, reuse of idle resources, validation on checkout,
+    idle eviction, drain on shutdown.
+
+    The serving layer keeps one pool of engine handles per instance: a
+    handle (an interned-tuple [Cq.Plan.Db] plus its lazily built column
+    indexes) is expensive to rebuild and must never be shared between
+    two concurrent requests, exactly the profile of a pooled database
+    connection. Checkout re-validates, so handles made stale by an
+    {e ingest} (version bump) are disposed instead of reused.
+
+    All operations are thread-safe; {!use} blocks when the pool is at
+    capacity with every resource checked out. *)
+
+type 'a t
+
+exception Draining
+(** Raised by {!use} once {!drain} has begun. *)
+
+val create :
+  ?max_size:int ->
+  ?validate:('a -> bool) ->
+  ?dispose:('a -> unit) ->
+  (unit -> 'a) ->
+  'a t
+(** [create ~max_size alloc] pools resources built by [alloc].
+    [max_size] (default 8) bounds live resources (idle + in use);
+    [validate] (default [fun _ -> true]) is checked on checkout — a
+    stale resource is disposed and replaced; [dispose] (default
+    [ignore]) releases a resource on eviction, invalidation, failure or
+    drain. [alloc] runs outside the pool lock.
+    @raise Invalid_argument on [max_size < 1]. *)
+
+val use : 'a t -> ('a -> 'b) -> 'b
+(** [use p f] checks a resource out, runs [f] on it and returns it to
+    the idle set. If [f] raises, the resource is disposed rather than
+    returned (its state is unknown) and the exception is re-raised.
+    Blocks while [max_size] resources are all in use.
+    @raise Draining once {!drain} has begun. *)
+
+val trim : 'a t -> keep:int -> unit
+(** Disposes idle resources beyond [keep] — idle eviction for a pool
+    that burst above its steady-state needs. In-use resources are
+    untouched. *)
+
+val drain : 'a t -> unit
+(** Disposes every idle resource, waits for in-use resources to be
+    returned and disposes them too; subsequent {!use} raises
+    {!Draining}. Idempotent. After drain, [size p = 0] — the leak check
+    of the serve smoke test. *)
+
+val size : 'a t -> int
+(** Live resources: idle + in use. *)
+
+val in_use : 'a t -> int
+val idle : 'a t -> int
+
+val created : 'a t -> int
+(** Cumulative resources ever built — [created - size] have been
+    disposed. *)

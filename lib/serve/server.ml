@@ -1,0 +1,552 @@
+module Trace = Lamp_obs.Trace
+module Instance = Lamp_relational.Instance
+module Intern = Lamp_relational.Intern
+module Tuple = Lamp_relational.Tuple
+module Plan = Lamp_cq.Plan
+module Parser = Lamp_cq.Parser
+module Ast = Lamp_cq.Ast
+module Executor = Lamp_runtime.Executor
+
+type config = {
+  name : string;
+  max_sessions : int;
+  max_inflight : int;
+  handle_pool : int;
+  plan_cache : int;
+  batch : int;
+  quota : (float * float) option;
+}
+
+let default_config =
+  {
+    name = "lamp";
+    max_sessions = 1024;
+    max_inflight = 64;
+    handle_pool = 4;
+    plan_cache = 128;
+    batch = 512;
+    quota = None;
+  }
+
+(* An engine handle: the interned-tuple view of an instance plus its
+   lazily built column indexes. Building one replays the whole
+   instance through the interner, so handles are pooled and reused;
+   [built_version] retires them after an ingest. *)
+type handle = {
+  db : Plan.Db.t;
+  built_version : int;
+}
+
+type inst = {
+  mutable data : Instance.t;
+  mutable version : int;
+  handles : handle Rpool.t;
+}
+
+type plan_entry = {
+  pe_id : int;
+  pe_instance : string;
+  pe_ast : Ast.t;
+  pe_plan : Plan.t;
+}
+
+type t = {
+  config : config;
+  executor : Executor.t;
+  (* Serializes all engine work (parse/compile/eval/ingest): the
+     process-global interning tables and Db handles are not
+     thread-safe. Sessions overlap on socket I/O, not on evaluation. *)
+  engine : Mutex.t;
+  (* Protects the registries and session bookkeeping below. Leaf locks
+     (Rpool, Cache, Quota) may be taken under [engine] but never the
+     other way round. *)
+  lock : Mutex.t;
+  session_exit : Condition.t;
+  instances : (string, inst) Hashtbl.t;
+  plans : (int, plan_entry) Hashtbl.t;
+  mutable next_plan : int;
+  plan_cache : plan_entry Cache.t;
+  quotas : (string, Quota.t) Hashtbl.t;
+  mutable listeners : Unix.file_descr list;
+  mutable acceptors : Thread.t list;
+  session_fds : (Unix.file_descr, unit) Hashtbl.t;
+  mutable session_count : int;
+  mutable stopped : bool;
+  active : int Atomic.t;
+  served : int Atomic.t;
+  rejected : int Atomic.t;
+  throttled : int Atomic.t;
+}
+
+let requests_c = Trace.counter "serve.requests"
+let rejected_c = Trace.counter "serve.rejected"
+let throttled_c = Trace.counter "serve.throttled"
+let queue_wait_h = Trace.histogram "serve.queue_wait_us"
+let request_h = Trace.histogram "serve.request_us"
+
+let create ?(config = default_config) ~executor () =
+  if config.max_sessions < 1 then invalid_arg "Server: max_sessions < 1";
+  if config.max_inflight < 0 then invalid_arg "Server: max_inflight < 0";
+  if config.batch < 1 then invalid_arg "Server: batch < 1";
+  {
+    config;
+    executor;
+    engine = Mutex.create ();
+    lock = Mutex.create ();
+    session_exit = Condition.create ();
+    instances = Hashtbl.create 8;
+    plans = Hashtbl.create 64;
+    next_plan = 1;
+    plan_cache = Cache.create ~capacity:config.plan_cache ();
+    quotas = Hashtbl.create 16;
+    listeners = [];
+    acceptors = [];
+    session_fds = Hashtbl.create 64;
+    session_count = 0;
+    stopped = false;
+    active = Atomic.make 0;
+    served = Atomic.make 0;
+    rejected = Atomic.make 0;
+    throttled = Atomic.make 0;
+  }
+
+let add_instance t ~name data =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.instances name with
+      | Some inst ->
+        inst.data <- data;
+        inst.version <- inst.version + 1
+      | None ->
+        (* The pool's callbacks need the instance record they live in;
+           tie the knot through a cell. *)
+        let cell = ref None in
+        let get () = Option.get !cell in
+        let handles =
+          Rpool.create ~max_size:t.config.handle_pool
+            ~validate:(fun h -> h.built_version = (get ()).version)
+            (fun () ->
+              let i = get () in
+              { db = Plan.Db.of_instance i.data; built_version = i.version })
+        in
+        let inst = { data; version = 0; handles } in
+        cell := Some inst;
+        Hashtbl.replace t.instances name inst)
+
+let instance t name =
+  Mutex.protect t.lock (fun () ->
+      Option.map (fun i -> i.data) (Hashtbl.find_opt t.instances name))
+
+let find_instance t name =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.instances name)
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+exception Reply of Wire.error_code * string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Reply (Bad_request, s))) fmt
+
+let usecs s = int_of_float (s *. 1e6)
+
+let with_engine t f =
+  let t0 = Unix.gettimeofday () in
+  Mutex.lock t.engine;
+  Trace.observe queue_wait_h (usecs (Unix.gettimeofday () -. t0));
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.engine) f
+
+let get_inst t name =
+  match find_instance t name with
+  | Some i -> i
+  | None -> bad "unknown instance %S" name
+
+(* Canonical fingerprint: the pretty-printed parse, not the raw text,
+   so formatting variants of one query share a cache entry. *)
+let fingerprint ~instance ast = instance ^ "\000" ^ Fmt.str "%a" Ast.pp ast
+
+let parse_query q =
+  try Parser.query q with Parser.Parse_error m -> bad "parse error: %s" m
+
+(* Compile under the engine lock, against a pooled handle's counts
+   (join-order estimates only — the result set is order-independent). *)
+let prepare_plan t inst ~instance ast =
+  let key = fingerprint ~instance ast in
+  Cache.find_or_add t.plan_cache key (fun () ->
+      let plan =
+        Rpool.use inst.handles (fun h ->
+            Plan.make ~counts:(Plan.Db.count h.db) ast)
+      in
+      let id =
+        Mutex.protect t.lock (fun () ->
+            let id = t.next_plan in
+            t.next_plan <- id + 1;
+            id)
+      in
+      let entry = { pe_id = id; pe_instance = instance; pe_ast = ast; pe_plan = plan } in
+      Mutex.protect t.lock (fun () -> Hashtbl.replace t.plans id entry);
+      entry)
+
+let resolve_plan t inst ~instance = function
+  | Wire.Id id -> (
+    match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.plans id) with
+    | None -> bad "unknown plan id %d" id
+    | Some e when e.pe_instance <> instance ->
+      bad "plan %d belongs to instance %S" id e.pe_instance
+    | Some e -> e)
+  | Wire.Adhoc q ->
+    (* Ad-hoc executions go through the same cache: after warmup even
+       clients that never Prepare hit compiled plans. *)
+    fst (prepare_plan t inst ~instance (parse_query q))
+
+(* Mirrors Cq.Eval.eval_idx: fold the compiled plan, then build the
+   result instance from the head-tuple set — byte-for-byte the library
+   result. *)
+let eval_local entry (h : handle) =
+  let plan = entry.pe_plan in
+  let tuples =
+    Plan.fold plan h.db (fun regs acc -> Plan.head_tuple plan regs :: acc) []
+  in
+  match tuples with
+  | [] -> Instance.empty
+  | _ ->
+    Instance.of_tuple_set (Plan.head_rel plan)
+      (Tuple.Set.of_list (List.rev_map Intern.untuple tuples))
+
+let execute t ~instance plan_ref mode =
+  let inst = get_inst t instance in
+  with_engine t (fun () ->
+      match mode with
+      | Wire.Local ->
+        let entry = resolve_plan t inst ~instance plan_ref in
+        let result = Rpool.use inst.handles (eval_local entry) in
+        (result, None)
+      | Wire.Hypercube { p } ->
+        if p < 1 then bad "hypercube: p must be >= 1";
+        let entry = resolve_plan t inst ~instance plan_ref in
+        let result, stats, _shares =
+          Lamp_mpc.Hypercube.run ~executor:t.executor ~p entry.pe_ast
+            inst.data
+        in
+        (result, Some stats)
+      | Wire.Repartition { p } ->
+        if p < 1 then bad "repartition: p must be >= 1";
+        let result, stats =
+          Lamp_mpc.Repartition_join.run ~executor:t.executor ~p inst.data
+        in
+        (result, Some stats)
+      | Wire.Grid { p } ->
+        if p < 1 then bad "grid: p must be >= 1";
+        let result, stats =
+          Lamp_mpc.Grid_join.run ~executor:t.executor ~p inst.data
+        in
+        (result, Some stats))
+
+let ingest t ~instance facts =
+  let inst = get_inst t instance in
+  with_engine t (fun () ->
+      let before = Instance.cardinal inst.data in
+      inst.data <- Instance.union inst.data (Instance.of_facts facts);
+      inst.version <- inst.version + 1;
+      (* Handles built on the old contents fail validation at their
+         next checkout; plans compiled with stale counts are dropped so
+         re-preparation sees fresh cardinalities. *)
+      let prefix = instance ^ "\000" in
+      ignore
+        (Cache.remove_if t.plan_cache (fun k ->
+             String.length k >= String.length prefix
+             && String.sub k 0 (String.length prefix) = prefix));
+      Instance.cardinal inst.data - before)
+
+let stats t =
+  let handle_pools =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold
+          (fun name i acc ->
+            (name, Rpool.in_use i.handles, Rpool.idle i.handles) :: acc)
+          t.instances [])
+    |> List.sort compare
+  in
+  {
+    Wire.sessions = Mutex.protect t.lock (fun () -> t.session_count);
+    active_requests = Atomic.get t.active;
+    executor_in_flight = Executor.in_flight t.executor;
+    pool_workers = Executor.workers t.executor;
+    plan_cache_size = Cache.length t.plan_cache;
+    plan_cache_hits = Cache.hits t.plan_cache;
+    plan_cache_misses = Cache.misses t.plan_cache;
+    handle_pools;
+    requests_served = Atomic.get t.served;
+    rejected = Atomic.get t.rejected;
+    throttled = Atomic.get t.throttled;
+  }
+
+let quota_allows t client =
+  match t.config.quota with
+  | None -> true
+  | Some (rate, burst) ->
+    let bucket =
+      Mutex.protect t.lock (fun () ->
+          match Hashtbl.find_opt t.quotas client with
+          | Some b -> b
+          | None ->
+            let b = Quota.create ~rate ~burst () in
+            Hashtbl.replace t.quotas client b;
+            b)
+    in
+    Quota.try_take bucket
+
+(* Admission: claim a slot with one fetch-and-add; over-claims are
+   rolled back and fast-rejected, so a full server answers cheaply
+   instead of queueing unboundedly. *)
+let with_admission t f =
+  let n = Atomic.fetch_and_add t.active 1 in
+  if n >= t.config.max_inflight then begin
+    Atomic.decr t.active;
+    Atomic.incr t.rejected;
+    Trace.incr rejected_c;
+    raise (Reply (Rejected, "server at max in-flight requests"))
+  end;
+  Fun.protect ~finally:(fun () -> Atomic.decr t.active) f
+
+let stream_result t fd result stats =
+  let total = Instance.cardinal result in
+  let flush batch =
+    if batch <> [] then Wire.write_response fd (Batch (List.rev batch))
+  in
+  let pending, count =
+    Instance.fold
+      (fun fact (batch, n) ->
+        if n = t.config.batch then begin
+          flush batch;
+          ([ fact ], 1)
+        end
+        else (fact :: batch, n + 1))
+      result ([], 0)
+  in
+  ignore count;
+  flush pending;
+  Wire.write_response fd (Done { facts = total; stats })
+
+let handle_request t fd client req =
+  Trace.incr requests_c;
+  let t0 = Unix.gettimeofday () in
+  (try
+     match (req : Wire.request) with
+     | Hello { client = name; version } ->
+       if version <> Wire.protocol_version then
+         Wire.write_response fd
+           (Error
+              {
+                code = Bad_request;
+                message =
+                  Printf.sprintf "protocol version %d, server speaks %d"
+                    version Wire.protocol_version;
+              })
+       else begin
+         client := name;
+         Wire.write_response fd
+           (Hello_ok { server = t.config.name; version = Wire.protocol_version })
+       end
+     | Health -> Wire.write_response fd Healthy
+     | Stats -> Wire.write_response fd (Stats_reply (stats t))
+     | Prepare { instance; query } ->
+       if not (quota_allows t !client) then begin
+         Atomic.incr t.throttled;
+         Trace.incr throttled_c;
+         raise (Reply (Throttled, "client quota exhausted"))
+       end;
+       with_admission t (fun () ->
+           let ast = parse_query query in
+           let inst = get_inst t instance in
+           let entry, cached =
+             with_engine t (fun () -> prepare_plan t inst ~instance ast)
+           in
+           Atomic.incr t.served;
+           Wire.write_response fd
+             (Prepared
+                {
+                  id = entry.pe_id;
+                  cached;
+                  atoms = Plan.atom_count entry.pe_plan;
+                }))
+     | Execute { instance; plan; mode } ->
+       if not (quota_allows t !client) then begin
+         Atomic.incr t.throttled;
+         Trace.incr throttled_c;
+         raise (Reply (Throttled, "client quota exhausted"))
+       end;
+       with_admission t (fun () ->
+           let result, mpc_stats = execute t ~instance plan mode in
+           Atomic.incr t.served;
+           (* Stream outside the engine lock: the result instance is
+              immutable, so slow clients only hold their own socket. *)
+           stream_result t fd result mpc_stats)
+     | Ingest { instance; facts } ->
+       if not (quota_allows t !client) then begin
+         Atomic.incr t.throttled;
+         Trace.incr throttled_c;
+         raise (Reply (Throttled, "client quota exhausted"))
+       end;
+       with_admission t (fun () ->
+           let added = ingest t ~instance facts in
+           Atomic.incr t.served;
+           Wire.write_response fd (Ingested { added }))
+   with
+  | Reply (code, message) -> Wire.write_response fd (Error { code; message })
+  | Rpool.Draining ->
+    Wire.write_response fd
+      (Error { code = Rejected; message = "server shutting down" })
+  | Wire.Closed as e -> raise e
+  | e ->
+    Wire.write_response fd
+      (Error { code = Failed; message = Printexc.to_string e }));
+  Trace.observe request_h (usecs (Unix.gettimeofday () -. t0))
+
+(* ------------------------------------------------------------------ *)
+(* Sessions and listeners                                              *)
+
+let session_enter t fd =
+  Mutex.protect t.lock (fun () ->
+      if t.stopped then false
+      else begin
+        t.session_count <- t.session_count + 1;
+        Hashtbl.replace t.session_fds fd ();
+        t.session_count <= t.config.max_sessions
+      end)
+
+let session_leave t fd =
+  Mutex.protect t.lock (fun () ->
+      t.session_count <- t.session_count - 1;
+      Hashtbl.remove t.session_fds fd;
+      Condition.broadcast t.session_exit)
+
+let session t fd =
+  let admitted = session_enter t fd in
+  Fun.protect
+    ~finally:(fun () ->
+      session_leave t fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      if not admitted then
+        try
+          Wire.write_response fd
+            (Error { code = Rejected; message = "server at max sessions" })
+        with _ -> ()
+      else begin
+        let client = ref "anon" in
+        let rec loop () =
+          match Wire.read_request fd with
+          | req ->
+            handle_request t fd client req;
+            loop ()
+          | exception Wire.Closed -> ()
+          | exception Lamp_jobs.Codec.Corrupt msg ->
+            (* A corrupt frame leaves the stream unframed; answer once
+               and hang up rather than guess at a resync point. *)
+            (try
+               Wire.write_response fd
+                 (Error { code = Bad_request; message = "corrupt frame: " ^ msg })
+             with _ -> ())
+          | exception Unix.Unix_error _ -> ()
+        in
+        (* [handle_request] itself only lets [Closed] (peer hung up
+           mid-response) and socket errors escape. *)
+        try loop () with Wire.Closed | Unix.Unix_error _ -> ()
+      end)
+
+(* Poll with a timeout rather than block in accept: on Linux a thread
+   blocked in accept(2) is NOT woken when another thread closes the
+   listening fd, so a blocking acceptor would hang [stop]. The listener
+   is created before any session, so its fd number is far below
+   select's FD_SETSIZE; session sockets never go through select. *)
+let acceptor t listen_fd =
+  let rec loop () =
+    if not (Mutex.protect t.lock (fun () -> t.stopped)) then begin
+      match Unix.select [ listen_fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept ~cloexec:true listen_fd with
+        | fd, _ -> ignore (Thread.create (fun () -> session t fd) ())
+        | exception
+            Unix.Unix_error
+              ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
+          ()
+        | exception Unix.Unix_error ((EBADF | EINVAL), _, _) ->
+          (* Listener closed by [stop]; the guard above exits. *)
+          ()
+        | exception Unix.Unix_error _ ->
+          (* e.g. EMFILE under fd pressure: back off, retry. *)
+          Thread.delay 0.01);
+        loop ()
+      | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> loop ()
+    end
+  in
+  loop ()
+
+let start_listener t fd =
+  Mutex.protect t.lock (fun () ->
+      if t.stopped then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        invalid_arg "Server: stopped"
+      end;
+      t.listeners <- fd :: t.listeners;
+      t.acceptors <- Thread.create (fun () -> acceptor t fd) () :: t.acceptors)
+
+let listen_unix t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (ADDR_UNIX path);
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  start_listener t fd
+
+let listen_tcp ?(host = "127.0.0.1") t ~port =
+  let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd SO_REUSEADDR true;
+     Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> assert false
+  in
+  start_listener t fd;
+  bound
+
+let stop t =
+  let listeners, sessions =
+    Mutex.protect t.lock (fun () ->
+        if t.stopped then ([], [])
+        else begin
+          t.stopped <- true;
+          let ls = t.listeners in
+          t.listeners <- [];
+          let ss = Hashtbl.fold (fun fd () acc -> fd :: acc) t.session_fds [] in
+          (ls, ss)
+        end)
+  in
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  (* Shut sessions down at the socket: their blocking reads return EOF
+     and the session threads unwind; each closes its own fd. *)
+  List.iter
+    (fun fd -> try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    sessions;
+  Mutex.protect t.lock (fun () ->
+      while t.session_count > 0 do
+        Condition.wait t.session_exit t.lock
+      done);
+  let acceptors = t.acceptors in
+  t.acceptors <- [];
+  List.iter Thread.join acceptors;
+  let pools =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun _ i acc -> i.handles :: acc) t.instances [])
+  in
+  List.iter Rpool.drain pools

@@ -1,0 +1,69 @@
+(** The lamp query server.
+
+    One process serves named instances over Unix-domain or TCP sockets
+    speaking {!Wire}. Each accepted connection gets a session thread;
+    session threads block on socket I/O (releasing the OCaml runtime
+    lock) and take a server-wide {e engine lock} to run queries — the
+    interning tables and [Cq.Plan.Db] handles are not thread-safe, so
+    executions are serialized and parallelism {e within} an execution
+    comes from the {!Lamp_runtime.Executor} passed at creation. The
+    time a request spends waiting on the engine lock is recorded in the
+    ["serve.queue_wait_us"] histogram.
+
+    Resources are governed as a database server would: per-instance
+    {!Rpool}s of engine handles (an interned DB with its lazily built
+    indexes) reused across requests and retired when an ingest bumps
+    the instance version; a {!Cache} of compiled plans keyed by
+    (instance, canonical query) shared by all sessions; admission
+    control fast-rejecting work past [max_inflight]; and per-client
+    token-bucket {!Quota}s.
+
+    Responses are bit-identical to direct library calls: [Local] mode
+    mirrors [Cq.Eval.eval]'s compiled-plan path, the MPC modes call the
+    same [Mpc.*] entry points the CLI does. *)
+
+type config = {
+  name : string;  (** Reported in [Hello_ok]. *)
+  max_sessions : int;  (** Connections beyond this are rejected. *)
+  max_inflight : int;
+      (** Requests past admission at once; excess gets [Error
+          Rejected] immediately (fast-reject, no queueing). *)
+  handle_pool : int;  (** Max pooled engine handles per instance. *)
+  plan_cache : int;  (** Plan cache capacity. *)
+  batch : int;  (** Facts per [Batch] frame when streaming results. *)
+  quota : (float * float) option;
+      (** Per-client token bucket as [(rate, burst)]; [None] disables
+          throttling. *)
+}
+
+val default_config : config
+(** [{ name = "lamp"; max_sessions = 1024; max_inflight = 64;
+      handle_pool = 4; plan_cache = 128; batch = 512; quota = None }] *)
+
+type t
+
+val create : ?config:config -> executor:Lamp_runtime.Executor.t -> unit -> t
+(** The executor runs MPC simulations and must outlive the server. *)
+
+val add_instance : t -> name:string -> Lamp_relational.Instance.t -> unit
+(** Registers (or replaces) a served instance. Replacing bumps the
+    version, retiring pooled handles and cached plans. *)
+
+val instance : t -> string -> Lamp_relational.Instance.t option
+(** Current contents of a served instance (ingests included). *)
+
+val listen_unix : t -> path:string -> unit
+(** Binds a Unix-domain socket (unlinking a stale one) and starts
+    accepting. *)
+
+val listen_tcp : ?host:string -> t -> port:int -> int
+(** Binds [host] (default ["127.0.0.1"]) and starts accepting; returns
+    the bound port, which is the OS's pick when [port = 0]. *)
+
+val stats : t -> Wire.server_stats
+
+val stop : t -> unit
+(** Closes listeners, shuts down live sessions, waits for session
+    threads to exit, then drains every handle pool — after [stop],
+    every pool reports size 0 (the smoke test's leak check).
+    Idempotent. The executor is the caller's to dispose. *)

@@ -1,0 +1,320 @@
+module Codec = Lamp_jobs.Codec
+module Stats = Lamp_mpc.Stats
+
+let protocol_version = 1
+let max_frame = 256 * 1024 * 1024
+
+type mode =
+  | Local
+  | Hypercube of { p : int }
+  | Repartition of { p : int }
+  | Grid of { p : int }
+
+type plan_ref =
+  | Id of int
+  | Adhoc of string
+
+type request =
+  | Hello of { client : string; version : int }
+  | Prepare of { instance : string; query : string }
+  | Execute of { instance : string; plan : plan_ref; mode : mode }
+  | Ingest of { instance : string; facts : Lamp_relational.Fact.t list }
+  | Stats
+  | Health
+
+type error_code =
+  | Bad_request
+  | Rejected
+  | Throttled
+  | Failed
+
+type server_stats = {
+  sessions : int;
+  active_requests : int;
+  executor_in_flight : int;
+  pool_workers : int;
+  plan_cache_size : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+  handle_pools : (string * int * int) list;
+  requests_served : int;
+  rejected : int;
+  throttled : int;
+}
+
+type response =
+  | Hello_ok of { server : string; version : int }
+  | Prepared of { id : int; cached : bool; atoms : int }
+  | Batch of Lamp_relational.Fact.t list
+  | Done of { facts : int; stats : Lamp_mpc.Stats.t option }
+  | Ingested of { added : int }
+  | Stats_reply of server_stats
+  | Healthy
+  | Error of { code : error_code; message : string }
+
+(* Codecs. Every variant gets a one-character tag; unknown tags raise
+   Corrupt with the offending byte, like the checkpoint codecs. *)
+
+let w_mode b = function
+  | Local -> Codec.w_char b 'l'
+  | Hypercube { p } ->
+    Codec.w_char b 'h';
+    Codec.w_int b p
+  | Repartition { p } ->
+    Codec.w_char b 'r';
+    Codec.w_int b p
+  | Grid { p } ->
+    Codec.w_char b 'g';
+    Codec.w_int b p
+
+let r_mode r =
+  match Codec.r_char r with
+  | 'l' -> Local
+  | 'h' -> Hypercube { p = Codec.r_int r }
+  | 'r' -> Repartition { p = Codec.r_int r }
+  | 'g' -> Grid { p = Codec.r_int r }
+  | c -> raise (Codec.Corrupt (Printf.sprintf "bad mode tag %C" c))
+
+let w_plan_ref b = function
+  | Id id ->
+    Codec.w_char b 'i';
+    Codec.w_int b id
+  | Adhoc q ->
+    Codec.w_char b 'a';
+    Codec.w_string b q
+
+let r_plan_ref r =
+  match Codec.r_char r with
+  | 'i' -> Id (Codec.r_int r)
+  | 'a' -> Adhoc (Codec.r_string r)
+  | c -> raise (Codec.Corrupt (Printf.sprintf "bad plan-ref tag %C" c))
+
+let w_request b = function
+  | Hello { client; version } ->
+    Codec.w_char b 'h';
+    Codec.w_string b client;
+    Codec.w_int b version
+  | Prepare { instance; query } ->
+    Codec.w_char b 'p';
+    Codec.w_string b instance;
+    Codec.w_string b query
+  | Execute { instance; plan; mode } ->
+    Codec.w_char b 'x';
+    Codec.w_string b instance;
+    w_plan_ref b plan;
+    w_mode b mode
+  | Ingest { instance; facts } ->
+    Codec.w_char b 'g';
+    Codec.w_string b instance;
+    Codec.w_list b Codec.w_fact facts
+  | Stats -> Codec.w_char b 's'
+  | Health -> Codec.w_char b '?'
+
+let r_request r =
+  match Codec.r_char r with
+  | 'h' ->
+    let client = Codec.r_string r in
+    Hello { client; version = Codec.r_int r }
+  | 'p' ->
+    let instance = Codec.r_string r in
+    Prepare { instance; query = Codec.r_string r }
+  | 'x' ->
+    let instance = Codec.r_string r in
+    let plan = r_plan_ref r in
+    Execute { instance; plan; mode = r_mode r }
+  | 'g' ->
+    let instance = Codec.r_string r in
+    Ingest { instance; facts = Codec.r_list r Codec.r_fact }
+  | 's' -> Stats
+  | '?' -> Health
+  | c -> raise (Codec.Corrupt (Printf.sprintf "bad request tag %C" c))
+
+let w_error_code b = function
+  | Bad_request -> Codec.w_char b 'b'
+  | Rejected -> Codec.w_char b 'j'
+  | Throttled -> Codec.w_char b 't'
+  | Failed -> Codec.w_char b 'f'
+
+let r_error_code r =
+  match Codec.r_char r with
+  | 'b' -> Bad_request
+  | 'j' -> Rejected
+  | 't' -> Throttled
+  | 'f' -> Failed
+  | c -> raise (Codec.Corrupt (Printf.sprintf "bad error tag %C" c))
+
+let w_mpc_stats b (s : Stats.t) =
+  Codec.w_int b s.p;
+  Codec.w_int b s.initial_max;
+  Codec.w_list b Stats.w_round_stats s.rounds;
+  Codec.w_list b Stats.w_recovery s.recoveries
+
+let r_mpc_stats r : Stats.t =
+  let p = Codec.r_int r in
+  let initial_max = Codec.r_int r in
+  let rounds = Codec.r_list r Stats.r_round_stats in
+  let recoveries = Codec.r_list r Stats.r_recovery in
+  { p; initial_max; rounds; recoveries }
+
+let w_pool_row b (name, in_use, idle) =
+  Codec.w_string b name;
+  Codec.w_int b in_use;
+  Codec.w_int b idle
+
+let r_pool_row r =
+  let name = Codec.r_string r in
+  let in_use = Codec.r_int r in
+  (name, in_use, Codec.r_int r)
+
+let w_server_stats b s =
+  Codec.w_int b s.sessions;
+  Codec.w_int b s.active_requests;
+  Codec.w_int b s.executor_in_flight;
+  Codec.w_int b s.pool_workers;
+  Codec.w_int b s.plan_cache_size;
+  Codec.w_int b s.plan_cache_hits;
+  Codec.w_int b s.plan_cache_misses;
+  Codec.w_list b w_pool_row s.handle_pools;
+  Codec.w_int b s.requests_served;
+  Codec.w_int b s.rejected;
+  Codec.w_int b s.throttled
+
+let r_server_stats r =
+  let sessions = Codec.r_int r in
+  let active_requests = Codec.r_int r in
+  let executor_in_flight = Codec.r_int r in
+  let pool_workers = Codec.r_int r in
+  let plan_cache_size = Codec.r_int r in
+  let plan_cache_hits = Codec.r_int r in
+  let plan_cache_misses = Codec.r_int r in
+  let handle_pools = Codec.r_list r r_pool_row in
+  let requests_served = Codec.r_int r in
+  let rejected = Codec.r_int r in
+  let throttled = Codec.r_int r in
+  {
+    sessions;
+    active_requests;
+    executor_in_flight;
+    pool_workers;
+    plan_cache_size;
+    plan_cache_hits;
+    plan_cache_misses;
+    handle_pools;
+    requests_served;
+    rejected;
+    throttled;
+  }
+
+let w_response b = function
+  | Hello_ok { server; version } ->
+    Codec.w_char b 'H';
+    Codec.w_string b server;
+    Codec.w_int b version
+  | Prepared { id; cached; atoms } ->
+    Codec.w_char b 'P';
+    Codec.w_int b id;
+    Codec.w_bool b cached;
+    Codec.w_int b atoms
+  | Batch facts ->
+    Codec.w_char b 'B';
+    Codec.w_list b Codec.w_fact facts
+  | Done { facts; stats } ->
+    Codec.w_char b 'D';
+    Codec.w_int b facts;
+    Codec.w_option b w_mpc_stats stats
+  | Ingested { added } ->
+    Codec.w_char b 'G';
+    Codec.w_int b added
+  | Stats_reply s ->
+    Codec.w_char b 'S';
+    w_server_stats b s
+  | Healthy -> Codec.w_char b 'O'
+  | Error { code; message } ->
+    Codec.w_char b 'E';
+    w_error_code b code;
+    Codec.w_string b message
+
+let r_response r =
+  match Codec.r_char r with
+  | 'H' ->
+    let server = Codec.r_string r in
+    Hello_ok { server; version = Codec.r_int r }
+  | 'P' ->
+    let id = Codec.r_int r in
+    let cached = Codec.r_bool r in
+    Prepared { id; cached; atoms = Codec.r_int r }
+  | 'B' -> Batch (Codec.r_list r Codec.r_fact)
+  | 'D' ->
+    let facts = Codec.r_int r in
+    Done { facts; stats = Codec.r_option r r_mpc_stats }
+  | 'G' -> Ingested { added = Codec.r_int r }
+  | 'S' -> Stats_reply (r_server_stats r)
+  | 'O' -> Healthy
+  | 'E' ->
+    let code = r_error_code r in
+    Error { code; message = Codec.r_string r }
+  | c -> raise (Codec.Corrupt (Printf.sprintf "bad response tag %C" c))
+
+let encode w v =
+  let b = Codec.writer () in
+  w b v;
+  Codec.contents b
+
+let decode rd s =
+  let r = Codec.reader s in
+  let v = rd r in
+  Codec.r_end r;
+  v
+
+let request_to_string = encode w_request
+let request_of_string = decode r_request
+let response_to_string = encode w_response
+let response_of_string = decode r_response
+
+(* Framed I/O. *)
+
+exception Closed
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let read_all fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then raise Closed;
+      go (off + n)
+    end
+  in
+  go 0;
+  Bytes.unsafe_to_string buf
+
+let read_frame fd =
+  let header = read_all fd 8 in
+  let len = Codec.r_int (Codec.reader header) in
+  if len < 0 || len > max_frame then
+    raise
+      (Codec.Corrupt (Printf.sprintf "frame length %d out of bounds" len));
+  read_all fd len
+
+let write_frame fd payload =
+  let b = Codec.writer () in
+  Codec.w_int b (String.length payload);
+  let header = Codec.contents b in
+  (* One buffer per frame so header and payload reach the socket in a
+     single write when it is not full — sessions interleave whole
+     frames, never partial ones. *)
+  let msg = header ^ payload in
+  write_all fd msg 0 (String.length msg)
+
+let read_request fd = request_of_string (read_frame fd)
+let write_request fd req = write_frame fd (request_to_string req)
+let read_response fd = response_of_string (read_frame fd)
+let write_response fd resp = write_frame fd (response_to_string resp)

@@ -1,0 +1,123 @@
+(** The wire protocol of lamp.serve.
+
+    Every message is one {e frame}: an 8-byte big-endian payload length
+    followed by the payload, a {!Lamp_jobs.Codec} encoding of a
+    {!request} or {!response}. Framing and payload reuse the checkpoint
+    codec deliberately: its decoders treat input as untrusted (length
+    prefixes are validated before allocation, malformed bytes raise
+    {!Lamp_jobs.Codec.Corrupt}, never crash), which is exactly the
+    contract a network-facing parser needs.
+
+    Encodings are canonical — the payload bytes are a pure function of
+    the message value — so the equivalence tests can compare raw frames,
+    and the property tests can round-trip random messages. *)
+
+val protocol_version : int
+(** Bumped on any incompatible change to the frame or message layout.
+    {!Hello} carries the client's copy; the server rejects mismatches. *)
+
+val max_frame : int
+(** Upper bound on a payload length (256 MiB). A frame header
+    announcing more is treated as corrupt before any allocation. *)
+
+(** {1 Messages} *)
+
+(** How an {!Execute} request runs the query. [Local] is the
+    single-server compiled-plan engine, bit-identical to
+    [Cq.Eval.eval]. The MPC modes simulate the paper's one-round
+    algorithms on [p] servers and return their {!Lamp_mpc.Stats.t};
+    [Repartition] and [Grid] run those algorithms' fixed queries
+    (Examples 3.1(1a) and 3.1(1b)) and ignore the request's plan. *)
+type mode =
+  | Local
+  | Hypercube of { p : int }
+  | Repartition of { p : int }
+  | Grid of { p : int }
+
+(** A prepared plan id returned by {!Prepare}, or the query text
+    compiled (through the same cache) on the fly. *)
+type plan_ref =
+  | Id of int
+  | Adhoc of string
+
+type request =
+  | Hello of { client : string; version : int }
+      (** First request of a session: names the client (the quota key)
+          and checks protocol compatibility. *)
+  | Prepare of { instance : string; query : string }
+      (** Compile [query] against the named instance once; later
+          {!Execute}s reference the returned id. Idempotent: the same
+          query text on the same instance returns the cached plan. *)
+  | Execute of { instance : string; plan : plan_ref; mode : mode }
+  | Ingest of { instance : string; facts : Lamp_relational.Fact.t list }
+      (** Batch-load facts; bumps the instance version, retiring pooled
+          engine handles and cached plans built on the old contents. *)
+  | Stats
+  | Health
+
+type error_code =
+  | Bad_request  (** Unknown instance/plan id, parse error, bad frame. *)
+  | Rejected  (** Admission control: too many requests in flight. *)
+  | Throttled  (** The client's token bucket is empty. *)
+  | Failed  (** The engine raised; the message carries the exception. *)
+
+type server_stats = {
+  sessions : int;  (** Connected sessions, including the asker. *)
+  active_requests : int;  (** Requests past admission, not yet answered. *)
+  executor_in_flight : int;  (** {!Lamp_runtime.Executor.in_flight}. *)
+  pool_workers : int;  (** Executor workers (1 on seq). *)
+  plan_cache_size : int;
+  plan_cache_hits : int;
+  plan_cache_misses : int;
+  handle_pools : (string * int * int) list;
+      (** Per instance: (name, handles in use, idle handles). *)
+  requests_served : int;
+  rejected : int;
+  throttled : int;
+}
+
+type response =
+  | Hello_ok of { server : string; version : int }
+  | Prepared of { id : int; cached : bool; atoms : int }
+      (** [cached] is true on a plan-cache hit; [atoms] is the number
+          of join steps of the compiled plan. *)
+  | Batch of Lamp_relational.Fact.t list
+      (** One chunk of an {!Execute} result; zero or more precede
+          {!Done}. Facts arrive in canonical (sorted-set) order. *)
+  | Done of { facts : int; stats : Lamp_mpc.Stats.t option }
+      (** Terminates an {!Execute} stream. [facts] is the total across
+          batches, a framing cross-check; [stats] is the MPC load
+          accounting ([None] for [Local] mode). *)
+  | Ingested of { added : int }
+  | Stats_reply of server_stats
+  | Healthy
+  | Error of { code : error_code; message : string }
+
+(** {1 Codecs}
+
+    Pure encode/decode, exposed for the property tests; the framed I/O
+    below wraps them. Decoders raise {!Lamp_jobs.Codec.Corrupt} on
+    malformed input and verify the whole payload is consumed. *)
+
+val request_to_string : request -> string
+val request_of_string : string -> request
+val response_to_string : response -> string
+val response_of_string : string -> response
+
+(** {1 Framed I/O}
+
+    Blocking reads/writes on a connected socket. Short reads and writes
+    are retried; EOF mid-frame raises {!Closed}; a frame header
+    announcing a negative or oversized payload raises
+    {!Lamp_jobs.Codec.Corrupt}. *)
+
+exception Closed
+(** The peer closed the connection (EOF on a frame boundary or
+    mid-frame). *)
+
+val read_frame : Unix.file_descr -> string
+val write_frame : Unix.file_descr -> string -> unit
+val read_request : Unix.file_descr -> request
+val write_request : Unix.file_descr -> request -> unit
+val read_response : Unix.file_descr -> response
+val write_response : Unix.file_descr -> response -> unit

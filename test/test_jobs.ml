@@ -106,6 +106,115 @@ let test_codec_corrupt () =
   with Codec.Corrupt _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Codec hardening: the wire protocol feeds it untrusted bytes, so
+   malformed input of any shape must surface as [Corrupt] — never an
+   [Invalid_argument] from a missed bound check, never an allocation
+   sized by an attacker-controlled length prefix. *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map Value.int (int_range (-1000) 1000);
+        map Value.str (string_size ~gen:printable (int_range 0 8));
+      ])
+
+let fact_gen =
+  QCheck.Gen.(
+    oneofl [ "R"; "S"; "T" ] >>= fun rel ->
+    list_size (int_range 0 3) value_gen >>= fun args ->
+    return (Fact.of_list rel args))
+
+let instance_gen =
+  QCheck.Gen.(map Instance.of_facts (list_size (int_range 0 12) fact_gen))
+
+let instance_arb = QCheck.make ~print:(Fmt.to_to_string Instance.pp) instance_gen
+
+let encode_instance i =
+  let w = Codec.writer () in
+  Codec.w_instance w i;
+  Codec.contents w
+
+let decode_instance s =
+  let r = Codec.reader s in
+  let i = Codec.r_instance r in
+  Codec.r_end r;
+  i
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"random instances round-trip canonically" ~count:200
+    instance_arb (fun i ->
+      let enc = encode_instance i in
+      let dec = decode_instance enc in
+      Instance.equal i dec && String.equal enc (encode_instance dec))
+
+let qcheck_truncation =
+  (* Every strict prefix of a valid encoding is truncated somewhere, so
+     decoding must raise [Corrupt] — a prefix can never silently decode
+     (the byte budget of the announced lengths does not fit). *)
+  QCheck.Test.make ~name:"every strict prefix raises Corrupt" ~count:50
+    instance_arb (fun i ->
+      let enc = encode_instance i in
+      let ok = ref true in
+      for len = 0 to String.length enc - 1 do
+        match decode_instance (String.sub enc 0 len) with
+        | _ -> ok := false
+        | exception Codec.Corrupt _ -> ()
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+let qcheck_byte_flip =
+  (* Flipping one byte may still decode (a constant changed) but must
+     never escape as anything but [Corrupt]. *)
+  QCheck.Test.make ~name:"byte flips: clean decode or Corrupt" ~count:300
+    (QCheck.pair instance_arb (QCheck.pair QCheck.small_nat QCheck.small_nat))
+    (fun (i, (pos, bits)) ->
+      let enc = encode_instance i in
+      QCheck.assume (String.length enc > 0);
+      let pos = pos mod String.length enc in
+      let flip = 1 + (bits mod 255) in
+      let b = Bytes.of_string enc in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip));
+      match decode_instance (Bytes.unsafe_to_string b) with
+      | _ -> true
+      | exception Codec.Corrupt _ -> true
+      | exception _ -> false)
+
+let test_codec_hostile_lengths () =
+  let enc_int n =
+    let w = Codec.writer () in
+    Codec.w_int w n;
+    Codec.contents w
+  in
+  let expect_corrupt name s read =
+    match read (Codec.reader s) with
+    | _ -> Alcotest.failf "%s must raise Corrupt" name
+    | exception Codec.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "%s escaped as %s, not Corrupt" name (Printexc.to_string e)
+  in
+  (* A length prefix near max_int used to overflow [pos + n] past the
+     bound check; a merely huge one used to size an allocation. Both
+     must die in the length guard, byte-for-byte untouched. *)
+  expect_corrupt "max_int list length" (enc_int max_int) (fun r ->
+      Codec.r_list r Codec.r_int);
+  expect_corrupt "huge array length"
+    (enc_int 1_000_000_000)
+    (fun r -> Codec.r_array r Codec.r_fact);
+  expect_corrupt "negative list length" (enc_int (-1)) (fun r ->
+      Codec.r_list r Codec.r_int);
+  expect_corrupt "max_int string length" (enc_int max_int) Codec.r_string;
+  expect_corrupt "negative string length" (enc_int min_int) Codec.r_string;
+  (* The new char primitive behaves like the other fixed-size reads. *)
+  let w = Codec.writer () in
+  Codec.w_char w 'z';
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check char) "char round-trips" 'z' (Codec.r_char r);
+  Codec.r_end r;
+  expect_corrupt "char past the end" "" Codec.r_char
+
+(* ------------------------------------------------------------------ *)
 (* Store: memory and disk backends                                     *)
 
 let temp_dir =
@@ -779,7 +888,10 @@ let () =
           test_case "primitive round-trips" `Quick test_codec_roundtrip;
           test_case "canonical instances" `Quick test_codec_instance_canonical;
           test_case "corruption detected" `Quick test_codec_corrupt;
-        ] );
+          test_case "hostile length prefixes" `Quick test_codec_hostile_lengths;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ qcheck_roundtrip; qcheck_truncation; qcheck_byte_flip ] );
       ( "store",
         [
           test_case "memory backend" `Quick test_store_memory;

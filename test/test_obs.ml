@@ -97,6 +97,42 @@ let test_histogram_buckets () =
   Alcotest.(check (list (pair int int)))
     "buckets" [ (0, 1); (1, 1); (3, 2); (15, 1) ] s.Trace.buckets
 
+let test_percentiles () =
+  Trace.set_enabled true;
+  let snap values =
+    let h = Trace.histogram "test.percentiles" in
+    List.iter (Trace.observe h) values;
+    Trace.histogram_snapshot h
+  in
+  (* Empty histogram: every quantile is 0. *)
+  let empty = snap [] in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Trace.percentile empty 0.5);
+  (* A single value: all quantiles land on (an estimate of) it; q = 1
+     is exact by the max_value clamp. *)
+  Trace.reset ();
+  let one = snap [ 100 ] in
+  Alcotest.(check (float 0.0)) "single value, q=1" 100.0
+    (Trace.percentile one 1.0);
+  let p50 = Trace.percentile one 0.5 in
+  Alcotest.(check bool) "single value, q=0.5 within bucket" true
+    (p50 >= 64.0 && p50 <= 100.0);
+  (* Monotonicity across quantiles, upper clamp at max_value. *)
+  Trace.reset ();
+  let s = snap (List.init 1000 (fun i -> i)) in
+  let p50 = Trace.percentile s 0.50 in
+  let p95 = Trace.percentile s 0.95 in
+  let p99 = Trace.percentile s 0.99 in
+  Alcotest.(check bool) "p50 <= p95 <= p99" true (p50 <= p95 && p95 <= p99);
+  Alcotest.(check bool) "p99 <= max" true
+    (p99 <= float_of_int s.Trace.max_value);
+  Alcotest.(check (float 0.0)) "q=1 is the max" 999.0 (Trace.percentile s 1.0);
+  (* Power-of-two resolution: the estimate stays within a factor of 2
+     of the true quantile (true p50 of 0..999 is ~500). *)
+  Alcotest.(check bool) "p50 within a bucket of truth" true
+    (p50 >= 250.0 && p50 <= 1000.0);
+  (* Out-of-range quantiles clamp instead of raising. *)
+  Alcotest.(check (float 0.0)) "q>1 clamps" 999.0 (Trace.percentile s 1.5)
+
 let test_reset_clears () =
   Trace.set_enabled true;
   let c = Trace.counter "test.reset" in
@@ -276,6 +312,7 @@ let () =
             (clean test_counter_pool_aggregation);
           Alcotest.test_case "histogram buckets" `Quick
             (clean test_histogram_buckets);
+          Alcotest.test_case "percentiles" `Quick (clean test_percentiles);
           Alcotest.test_case "reset" `Quick (clean test_reset_clears);
         ] );
       ( "metrics-shim",

@@ -129,6 +129,63 @@ let test_executor_propagates () =
               if i = 31 then failwith "dead")))
 
 (* ------------------------------------------------------------------ *)
+(* In-flight gauge and pool accessor (admission control / stats feed)  *)
+
+let test_in_flight_gauge () =
+  let check_backend name exec =
+    Alcotest.(check int) (name ^ " idle at rest") 0 (Executor.in_flight exec);
+    let n = 16 in
+    let seen = ref [] in
+    Executor.parallel_for exec ~chunk:1 ~n (fun ~worker:_ _ ->
+        seen := Executor.in_flight exec :: !seen);
+    (* Each task observes itself (and possibly peers) still in flight:
+       the gauge is >= 1 from inside a task, whatever the backend. *)
+    List.iter
+      (fun v ->
+        if v < 1 || v > n then
+          Alcotest.failf "%s mid-batch gauge %d out of [1..%d]" name v n)
+      !seen;
+    Alcotest.(check int) (name ^ " idle after batch") 0
+      (Executor.in_flight exec)
+  in
+  check_backend "seq" Executor.sequential;
+  with_pool_executor 2 (check_backend "pool");
+  (* The raw pool gauge agrees and is independently readable. *)
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "pool gauge at rest" 0 (Pool.in_flight pool);
+      let inside = ref 0 in
+      Pool.run pool ~tasks:8 (fun ~worker:_ _ ->
+          inside := max !inside (Pool.in_flight pool));
+      Alcotest.(check bool) "pool gauge >= 1 mid-batch" true (!inside >= 1);
+      Alcotest.(check int) "pool gauge drained" 0 (Pool.in_flight pool))
+
+let test_in_flight_resets_on_raise () =
+  (* A raising batch must not leave the gauge stuck: admission control
+     would otherwise believe the executor busy forever. *)
+  (try
+     Executor.parallel_for Executor.sequential ~n:4 (fun ~worker:_ i ->
+         if i = 2 then failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "seq gauge after raise" 0
+    (Executor.in_flight Executor.sequential)
+
+let test_backend_pool_accessor () =
+  Alcotest.(check bool)
+    "sequential has no pool" true
+    (Executor.backend_pool Executor.sequential = None);
+  with_pool_executor 3 (fun exec ->
+      match Executor.backend_pool exec with
+      | None -> Alcotest.fail "pool backend must expose its pool"
+      | Some p ->
+        Alcotest.(check int) "exposed pool has the right size" 3 (Pool.size p);
+        Alcotest.(check int)
+          "workers agrees with exposed pool" (Executor.workers exec)
+          (Pool.size p))
+
+(* ------------------------------------------------------------------ *)
 (* Backend equivalence on the MPC simulator                            *)
 
 let stats_equal = Alcotest.of_pp Lamp_mpc.Stats.pp
@@ -238,6 +295,11 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_executor_map_reduce;
           Alcotest.test_case "exceptions propagate" `Quick
             test_executor_propagates;
+          Alcotest.test_case "in-flight gauge" `Quick test_in_flight_gauge;
+          Alcotest.test_case "gauge resets on raise" `Quick
+            test_in_flight_resets_on_raise;
+          Alcotest.test_case "backend pool accessor" `Quick
+            test_backend_pool_accessor;
         ] );
       ( "backend equivalence",
         [

@@ -1,0 +1,603 @@
+(* lamp.serve: wire codecs, resource pool, quotas, plan cache, and the
+   headline property — a loopback server answers every query with
+   results (and MPC statistics) bit-identical to the direct library
+   call, on both execution backends. *)
+
+open Lamp_relational
+module Codec = Lamp_jobs.Codec
+module Executor = Lamp_runtime.Executor
+module Pool = Lamp_runtime.Pool
+module Eval = Lamp_cq.Eval
+module Parser = Lamp_cq.Parser
+module Stats = Lamp_mpc.Stats
+module Wire = Lamp_serve.Wire
+module Rpool = Lamp_serve.Rpool
+module Quota = Lamp_serve.Quota
+module Cache = Lamp_serve.Cache
+module Server = Lamp_serve.Server
+module Client = Lamp_serve.Client
+
+let instance = Alcotest.testable Instance.pp Instance.equal
+let stats_t = Alcotest.testable Stats.pp (fun (a : Stats.t) b -> a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codecs                                                         *)
+
+let sample_stats : Stats.t =
+  {
+    p = 4;
+    initial_max = 7;
+    rounds = [ { max_received = 3; total_received = 9 } ];
+    recoveries =
+      [
+        {
+          round = 1;
+          crashed = 1;
+          replayed = 5;
+          retransmitted = 2;
+          duplicates = 1;
+          retries = 0;
+          speculated = 1;
+        };
+      ];
+  }
+
+let sample_facts =
+  [
+    Fact.of_list "R" [ Value.int 1; Value.str "a" ];
+    Fact.of_list "S" [];
+    Fact.of_list "T" [ Value.str "x\000y" ];
+  ]
+
+let sample_requests : Wire.request list =
+  [
+    Hello { client = "c1"; version = Wire.protocol_version };
+    Prepare { instance = "main"; query = "H(x) <- R(x,y)" };
+    Execute { instance = "main"; plan = Id 42; mode = Local };
+    Execute
+      { instance = "m"; plan = Adhoc "H() <- R(x,x)"; mode = Hypercube { p = 8 } };
+    Execute { instance = "m"; plan = Id 1; mode = Repartition { p = 3 } };
+    Execute { instance = "m"; plan = Id 1; mode = Grid { p = 9 } };
+    Ingest { instance = "main"; facts = sample_facts };
+    Ingest { instance = "empty"; facts = [] };
+    Stats;
+    Health;
+  ]
+
+let sample_responses : Wire.response list =
+  [
+    Hello_ok { server = "lamp"; version = 1 };
+    Prepared { id = 7; cached = true; atoms = 3 };
+    Batch sample_facts;
+    Batch [];
+    Done { facts = 12; stats = None };
+    Done { facts = 0; stats = Some sample_stats };
+    Ingested { added = 5 };
+    Stats_reply
+      {
+        sessions = 3;
+        active_requests = 1;
+        executor_in_flight = 0;
+        pool_workers = 2;
+        plan_cache_size = 4;
+        plan_cache_hits = 99;
+        plan_cache_misses = 1;
+        handle_pools = [ ("main", 1, 2) ];
+        requests_served = 100;
+        rejected = 2;
+        throttled = 1;
+      };
+    Healthy;
+    Error { code = Bad_request; message = "nope" };
+    Error { code = Rejected; message = "" };
+    Error { code = Throttled; message = "slow down" };
+    Error { code = Failed; message = "engine exploded" };
+  ]
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun req ->
+      Alcotest.(check bool)
+        "request round-trips" true
+        (Wire.request_of_string (Wire.request_to_string req) = req))
+    sample_requests;
+  List.iter
+    (fun resp ->
+      Alcotest.(check bool)
+        "response round-trips" true
+        (Wire.response_of_string (Wire.response_to_string resp) = resp))
+    sample_responses
+
+let test_wire_hostile () =
+  (* Every strict prefix of every encoding must raise Corrupt; so must
+     a bad leading tag. Decoders never escape with another exception. *)
+  let check_prefixes enc decode =
+    for len = 0 to String.length enc - 1 do
+      match decode (String.sub enc 0 len) with
+      | _ -> Alcotest.failf "prefix of length %d decoded" len
+      | exception Codec.Corrupt _ -> ()
+      | exception e ->
+        Alcotest.failf "prefix of length %d escaped as %s" len
+          (Printexc.to_string e)
+    done
+  in
+  List.iter
+    (fun req ->
+      check_prefixes (Wire.request_to_string req) Wire.request_of_string)
+    sample_requests;
+  List.iter
+    (fun resp ->
+      check_prefixes (Wire.response_to_string resp) Wire.response_of_string)
+    sample_responses;
+  (try
+     ignore (Wire.request_of_string "\255garbage");
+     Alcotest.fail "bad tag must raise"
+   with Codec.Corrupt _ -> ());
+  (* Trailing bytes are schema drift, not silence. *)
+  try
+    ignore
+      (Wire.response_of_string (Wire.response_to_string Wire.Healthy ^ "x"));
+    Alcotest.fail "trailing bytes must raise"
+  with Codec.Corrupt _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Resource pool                                                       *)
+
+let test_rpool_reuse_and_dispose () =
+  let live = ref 0 in
+  let built = ref 0 in
+  let p =
+    Rpool.create ~max_size:2
+      ~dispose:(fun _ -> decr live)
+      (fun () ->
+        incr live;
+        incr built;
+        !built)
+  in
+  let first = Rpool.use p (fun r -> r) in
+  let second = Rpool.use p (fun r -> r) in
+  Alcotest.(check int) "sequential uses share one resource" first second;
+  Alcotest.(check int) "one allocation" 1 (Rpool.created p);
+  Alcotest.(check int) "one idle" 1 (Rpool.idle p);
+  (* A raising user poisons its resource: disposed, not reused. *)
+  (try Rpool.use p (fun _ -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "poisoned resource disposed" 0 (Rpool.size p);
+  Alcotest.(check int) "live tracks dispose" 0 !live;
+  let third = Rpool.use p (fun r -> r) in
+  Alcotest.(check bool) "fresh resource after poison" true (third > second)
+
+let test_rpool_validation () =
+  let version = ref 0 in
+  let p =
+    Rpool.create ~max_size:2
+      ~validate:(fun (v, _) -> v = !version)
+      (fun () -> (!version, ()))
+  in
+  Rpool.use p ignore;
+  Alcotest.(check int) "handle pooled" 1 (Rpool.size p);
+  incr version;
+  Rpool.use p (fun (v, ()) ->
+      Alcotest.(check int) "stale handle replaced on checkout" 1 v);
+  Alcotest.(check int) "replacement, not accumulation" 1 (Rpool.size p);
+  Alcotest.(check int) "two allocations total" 2 (Rpool.created p)
+
+let test_rpool_blocks_at_capacity () =
+  let p = Rpool.create ~max_size:1 (fun () -> ()) in
+  let order = Queue.create () in
+  let m = Mutex.create () in
+  let push x = Mutex.protect m (fun () -> Queue.push x order) in
+  let holder =
+    Thread.create
+      (fun () ->
+        Rpool.use p (fun () ->
+            push `Held;
+            Thread.delay 0.05;
+            push `Releasing))
+      ()
+  in
+  Thread.delay 0.02;
+  Rpool.use p (fun () -> push `Second);
+  Thread.join holder;
+  Alcotest.(check bool)
+    "second use waited for the release" true
+    (List.of_seq (Queue.to_seq order) = [ `Held; `Releasing; `Second ])
+
+let test_rpool_trim_and_drain () =
+  let live = ref 0 in
+  let p =
+    Rpool.create ~max_size:4
+      ~dispose:(fun _ -> decr live)
+      (fun () ->
+        incr live;
+        ref ())
+  in
+  (* Force several concurrent checkouts so the pool grows. *)
+  let barrier = Mutex.create () in
+  Mutex.lock barrier;
+  let ts =
+    List.init 3 (fun _ ->
+        Thread.create
+          (fun () ->
+            Rpool.use p (fun _ ->
+                Mutex.lock barrier;
+                Mutex.unlock barrier))
+          ())
+  in
+  while Rpool.in_use p < 3 do
+    Thread.delay 0.005
+  done;
+  Mutex.unlock barrier;
+  List.iter Thread.join ts;
+  Alcotest.(check int) "pool grew to demand" 3 (Rpool.size p);
+  Rpool.trim p ~keep:1;
+  Alcotest.(check int) "trim evicts idle beyond keep" 1 (Rpool.size p);
+  Alcotest.(check int) "dispose ran on eviction" 1 !live;
+  Rpool.drain p;
+  Alcotest.(check int) "drain empties the pool" 0 (Rpool.size p);
+  Alcotest.(check int) "every resource disposed" 0 !live;
+  try
+    Rpool.use p ignore;
+    Alcotest.fail "use after drain must raise"
+  with Rpool.Draining -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Quota                                                               *)
+
+let test_quota_bucket () =
+  let now = ref 0.0 in
+  let q = Quota.create ~clock:(fun () -> !now) ~rate:1.0 ~burst:2.0 () in
+  Alcotest.(check bool) "burst 1" true (Quota.try_take q);
+  Alcotest.(check bool) "burst 2" true (Quota.try_take q);
+  Alcotest.(check bool) "bucket empty" false (Quota.try_take q);
+  now := 0.5;
+  Alcotest.(check bool) "half a token is not one" false (Quota.try_take q);
+  now := 1.5;
+  Alcotest.(check bool) "refilled at rate" true (Quota.try_take q);
+  now := 100.0;
+  Alcotest.(check (float 0.001)) "refill caps at burst" 2.0 (Quota.tokens q);
+  now := 99.0;
+  Alcotest.(check bool) "clock going backwards never debits" true
+    (Quota.tokens q >= 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache (LRU)                                                    *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 () in
+  let build v () = v in
+  Alcotest.(check (pair int bool)) "miss builds" (1, false)
+    (Cache.find_or_add c "a" (build 1));
+  Alcotest.(check (pair int bool)) "hit returns cached" (1, true)
+    (Cache.find_or_add c "a" (build 99));
+  ignore (Cache.find_or_add c "b" (build 2));
+  (* Touch "a" so "b" is the LRU entry, then overflow. *)
+  ignore (Cache.find c "a");
+  ignore (Cache.find_or_add c "c" (build 3));
+  Alcotest.(check bool) "LRU entry evicted" true (Cache.find c "b" = None);
+  Alcotest.(check bool) "recent entry survives" true (Cache.find c "a" = Some 1);
+  Alcotest.(check int) "bounded" 2 (Cache.length c);
+  Alcotest.(check int) "evictions counted" 1 (Cache.evictions c);
+  let dropped = Cache.remove_if c (fun k -> k = "a") in
+  Alcotest.(check int) "remove_if reports drops" 1 dropped;
+  Alcotest.(check bool) "invalidated" true (Cache.find c "a" = None);
+  Alcotest.(check bool) "hits and misses tracked" true
+    (Cache.hits c > 0 && Cache.misses c > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback server: equivalence with the library                       *)
+
+(* A seeded instance rich enough for every query family: binary R/S/T
+   for the join/triangle queries, E for the single-edge-relation ones,
+   and loops R(x,x) so the fig-1 boolean queries are satisfiable. *)
+let seed_data =
+  let facts = ref [] in
+  let add f = facts := f :: !facts in
+  for i = 0 to 19 do
+    add (Fact.of_list "R" [ Value.int i; Value.int ((i + 1) mod 20) ]);
+    add (Fact.of_list "S" [ Value.int i; Value.int ((i + 3) mod 20) ]);
+    add (Fact.of_list "T" [ Value.int ((i * 7) mod 20); Value.int i ]);
+    add (Fact.of_list "E" [ Value.int i; Value.int ((i + 1) mod 20) ]);
+    add (Fact.of_list "E" [ Value.int i; Value.int ((i * 3) mod 20) ]);
+    add (Fact.of_list "T" [ Value.int i ]);
+    add (Fact.of_list "S" [ Value.int i ])
+  done;
+  add (Fact.of_list "R" [ Value.int 5; Value.int 5 ]);
+  add (Fact.of_list "R" [ Value.int 12; Value.int 12 ]);
+  Instance.of_facts !facts
+
+(* fig 1 (Example 4.11) and the e1–e5 query families, as wire text. *)
+let fig1_queries =
+  [
+    ("fig1 q1", "H() <- S(x), R(x,x), T(x)");
+    ("fig1 q2", "H() <- R(x,x), T(x)");
+    ("fig1 q3", "H() <- S(x), R(x,y), T(y)");
+    ("fig1 q4", "H() <- R(x,y), T(y)");
+  ]
+
+let engine_queries =
+  [
+    ("join", "H(x,y,z) <- R(x,y), S(y,z)");
+    ("triangle", "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+    ("two-path", "H(x,z) <- E(x,y), E(y,z)");
+    ( "distinct triangles",
+      "H(x,y,z) <- E(x,y), E(y,z), E(z,x), x != y, y != z, x != z" );
+    ("open triangle", "H(x,y,z) <- E(x,y), E(y,z), !E(z,x)");
+  ]
+
+let sock_counter = ref 0
+
+let with_server ?config backend f =
+  let executor, cleanup =
+    match backend with
+    | `Seq -> (Executor.sequential, ignore)
+    | `Pool n ->
+      let p = Pool.create ~domains:n () in
+      (Executor.pool p, fun () -> Pool.shutdown p)
+  in
+  incr sock_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lamp_serve_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let server = Server.create ?config ~executor () in
+  Server.add_instance server ~name:"main" seed_data;
+  Server.listen_unix server ~path;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      cleanup ();
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f server ~executor ~path)
+
+let with_client path f =
+  let c = Client.connect_unix ~path in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let encode_instance i =
+  let w = Codec.writer () in
+  Codec.w_instance w i;
+  Codec.contents w
+
+let check_bit_identical name expected got =
+  Alcotest.check instance name expected got;
+  Alcotest.(check bool)
+    (name ^ ": canonical encodings agree") true
+    (String.equal (encode_instance expected) (encode_instance got))
+
+let run_equivalence backend () =
+  with_server backend (fun server ~executor ~path ->
+      ignore server;
+      with_client path (fun c ->
+          ignore (Client.hello ~client:"equiv" c);
+          (* Local mode against Cq.Eval, ad-hoc and prepared. *)
+          List.iter
+            (fun (name, qtext) ->
+              let expected = Eval.eval (Parser.query qtext) seed_data in
+              let got, stats =
+                Client.execute c ~instance:"main" (Adhoc qtext)
+              in
+              check_bit_identical (name ^ " adhoc") expected got;
+              Alcotest.(check bool) (name ^ ": local has no MPC stats") true
+                (stats = None);
+              let prepared = Client.prepare c ~instance:"main" ~query:qtext in
+              Alcotest.(check bool)
+                (name ^ ": adhoc warmed the plan cache") true prepared.cached;
+              let got_id, _ =
+                Client.execute c ~instance:"main" (Id prepared.id)
+              in
+              check_bit_identical (name ^ " by plan id") expected got_id)
+            (fig1_queries @ engine_queries);
+          (* MPC modes: result and Stats.t equal the library call. *)
+          let hypercube_q = "H(x,y,z) <- R(x,y), S(y,z), T(z,x)" in
+          let expected, estats, _shares =
+            Lamp_mpc.Hypercube.run ~executor ~p:4
+              (Parser.query hypercube_q) seed_data
+          in
+          let got, gstats =
+            Client.execute c ~instance:"main" ~mode:(Hypercube { p = 4 })
+              (Adhoc hypercube_q)
+          in
+          check_bit_identical "hypercube result" expected got;
+          Alcotest.(check (option stats_t))
+            "hypercube stats" (Some estats) gstats;
+          let expected, estats =
+            Lamp_mpc.Repartition_join.run ~executor ~p:3 seed_data
+          in
+          let got, gstats =
+            Client.execute c ~instance:"main" ~mode:(Repartition { p = 3 })
+              (Adhoc "H() <- R(x,y)")
+          in
+          check_bit_identical "repartition result" expected got;
+          Alcotest.(check (option stats_t))
+            "repartition stats" (Some estats) gstats;
+          let expected, estats =
+            Lamp_mpc.Grid_join.run ~executor ~p:4 seed_data
+          in
+          let got, gstats =
+            Client.execute c ~instance:"main" ~mode:(Grid { p = 4 })
+              (Adhoc "H() <- R(x,y)")
+          in
+          check_bit_identical "grid result" expected got;
+          Alcotest.(check (option stats_t)) "grid stats" (Some estats) gstats))
+
+let test_equivalence_seq = run_equivalence `Seq
+let test_equivalence_pool = run_equivalence (`Pool 2)
+
+let test_prepare_cache_and_ids () =
+  with_server `Seq (fun server ~executor:_ ~path ->
+      with_client path (fun c ->
+          let q = "H(x,z) <- E(x,y), E(y,z)" in
+          let p1 = Client.prepare c ~instance:"main" ~query:q in
+          Alcotest.(check bool) "first prepare compiles" false p1.cached;
+          let p2 = Client.prepare c ~instance:"main" ~query:q in
+          Alcotest.(check bool) "second prepare hits" true p2.cached;
+          Alcotest.(check int) "same plan id" p1.id p2.id;
+          Alcotest.(check int) "two join steps" 2 p1.atoms;
+          (* Another connection shares the compiled plan. *)
+          with_client path (fun c2 ->
+              let p3 = Client.prepare c2 ~instance:"main" ~query:q in
+              Alcotest.(check bool) "cache is cross-session" true p3.cached;
+              Alcotest.(check int) "same id cross-session" p1.id p3.id);
+          let s = Server.stats server in
+          Alcotest.(check bool) "stats expose cache traffic" true
+            (s.plan_cache_hits >= 2 && s.plan_cache_misses >= 1)))
+
+let test_ingest_invalidation () =
+  with_server `Seq (fun _server ~executor:_ ~path ->
+      with_client path (fun c ->
+          let q = "H(x,y,z) <- R(x,y), S(y,z)" in
+          let before, _ = Client.execute c ~instance:"main" (Adhoc q) in
+          let fresh =
+            [
+              Fact.of_list "R" [ Value.int 100; Value.int 101 ];
+              Fact.of_list "S" [ Value.int 101; Value.int 102 ];
+            ]
+          in
+          let added = Client.ingest c ~instance:"main" fresh in
+          Alcotest.(check int) "both facts were new" 2 added;
+          Alcotest.(check int) "re-ingest adds nothing" 0
+            (Client.ingest c ~instance:"main" fresh);
+          let updated = Instance.union seed_data (Instance.of_facts fresh) in
+          let expected = Eval.eval (Parser.query q) updated in
+          let got, _ = Client.execute c ~instance:"main" (Adhoc q) in
+          check_bit_identical "post-ingest result" expected got;
+          Alcotest.(check bool) "ingest reached the result" true
+            (Instance.cardinal got > Instance.cardinal before)))
+
+let test_admission_reject () =
+  let config = { Server.default_config with max_inflight = 0 } in
+  with_server ~config `Seq (fun _server ~executor:_ ~path ->
+      with_client path (fun c ->
+          (* Health and stats bypass admission; engine work does not. *)
+          Alcotest.(check bool) "health is always on" true (Client.health c);
+          match Client.execute c ~instance:"main" (Adhoc "H() <- R(x,y)") with
+          | _ -> Alcotest.fail "full server must fast-reject"
+          | exception Client.Server_error (Rejected, _) -> ()))
+
+let test_quota_throttle () =
+  let config = { Server.default_config with quota = Some (0.001, 2.0) } in
+  with_server ~config `Seq (fun _server ~executor:_ ~path ->
+      with_client path (fun c ->
+          ignore (Client.hello ~client:"greedy" c);
+          let q = "H() <- R(x,y)" in
+          ignore (Client.execute c ~instance:"main" (Adhoc q));
+          ignore (Client.execute c ~instance:"main" (Adhoc q));
+          (match Client.execute c ~instance:"main" (Adhoc q) with
+          | _ -> Alcotest.fail "burst exhausted, must throttle"
+          | exception Client.Server_error (Throttled, _) -> ());
+          (* Another client identity has its own bucket. *)
+          with_client path (fun c2 ->
+              ignore (Client.hello ~client:"modest" c2);
+              ignore (Client.execute c2 ~instance:"main" (Adhoc q)))))
+
+let test_errors_and_health () =
+  with_server `Seq (fun _server ~executor:_ ~path ->
+      with_client path (fun c ->
+          (match Client.execute c ~instance:"nope" (Adhoc "H() <- R(x,y)") with
+          | _ -> Alcotest.fail "unknown instance"
+          | exception Client.Server_error (Bad_request, _) -> ());
+          (match Client.execute c ~instance:"main" (Adhoc "H( <- R(x") with
+          | _ -> Alcotest.fail "parse error"
+          | exception Client.Server_error (Bad_request, _) -> ());
+          (match Client.execute c ~instance:"main" (Id 424242) with
+          | _ -> Alcotest.fail "unknown plan id"
+          | exception Client.Server_error (Bad_request, _) -> ());
+          (* The session survives every error above. *)
+          Alcotest.(check bool) "still healthy" true (Client.health c)))
+
+let test_stop_drains_pools () =
+  let executor = Executor.sequential in
+  let server = Server.create ~executor () in
+  Server.add_instance server ~name:"main" seed_data;
+  incr sock_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lamp_serve_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  Server.listen_unix server ~path;
+  with_client path (fun c ->
+      ignore (Client.execute c ~instance:"main" (Adhoc "H() <- R(x,y)"));
+      let s = Client.stats c in
+      Alcotest.(check bool) "a handle is pooled while serving" true
+        (List.exists (fun (_, _, idle) -> idle > 0) s.handle_pools));
+  Server.stop server;
+  let s = Server.stats server in
+  List.iter
+    (fun (name, in_use, idle) ->
+      Alcotest.(check int) (name ^ ": no handle in use") 0 in_use;
+      Alcotest.(check int) (name ^ ": no idle handle survives") 0 idle)
+    s.handle_pools;
+  Alcotest.(check int) "no session survives" 0 s.sessions;
+  (try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let test_concurrent_clients_match () =
+  with_server (`Pool 2) (fun _server ~executor:_ ~path ->
+      let q = "H(x,z) <- E(x,y), E(y,z)" in
+      let expected = Eval.eval (Parser.query q) seed_data in
+      let failures = Atomic.make 0 in
+      let ts =
+        List.init 16 (fun i ->
+            Thread.create
+              (fun () ->
+                try
+                  with_client path (fun c ->
+                      ignore (Client.hello ~client:(string_of_int i) c);
+                      for _ = 1 to 5 do
+                        let got, _ =
+                          Client.execute c ~instance:"main" (Adhoc q)
+                        in
+                        if not (Instance.equal expected got) then
+                          Atomic.incr failures
+                      done)
+                with _ -> Atomic.incr failures)
+              ())
+      in
+      List.iter Thread.join ts;
+      Alcotest.(check int) "every concurrent result matched" 0
+        (Atomic.get failures))
+
+let () =
+  Alcotest.run "lamp.serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "round-trips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "hostile input" `Quick test_wire_hostile;
+        ] );
+      ( "rpool",
+        [
+          Alcotest.test_case "reuse and dispose" `Quick
+            test_rpool_reuse_and_dispose;
+          Alcotest.test_case "validation retires stale handles" `Quick
+            test_rpool_validation;
+          Alcotest.test_case "blocks at capacity" `Quick
+            test_rpool_blocks_at_capacity;
+          Alcotest.test_case "trim and drain" `Quick test_rpool_trim_and_drain;
+        ] );
+      ( "quota",
+        [ Alcotest.test_case "token bucket" `Quick test_quota_bucket ] );
+      ( "cache",
+        [ Alcotest.test_case "LRU semantics" `Quick test_cache_lru ] );
+      ( "server",
+        [
+          Alcotest.test_case "library equivalence (seq)" `Quick
+            test_equivalence_seq;
+          Alcotest.test_case "library equivalence (pool)" `Quick
+            test_equivalence_pool;
+          Alcotest.test_case "prepared plans are shared" `Quick
+            test_prepare_cache_and_ids;
+          Alcotest.test_case "ingest invalidates" `Quick
+            test_ingest_invalidation;
+          Alcotest.test_case "admission fast-reject" `Quick
+            test_admission_reject;
+          Alcotest.test_case "per-client quotas" `Quick test_quota_throttle;
+          Alcotest.test_case "errors keep the session" `Quick
+            test_errors_and_health;
+          Alcotest.test_case "stop drains every pool" `Quick
+            test_stop_drains_pools;
+          Alcotest.test_case "concurrent clients agree" `Quick
+            test_concurrent_clients_match;
+        ] );
+    ]
