@@ -300,21 +300,35 @@ let resolve_universe universe instance =
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
 
+let plan_strategy_arg =
+  let doc =
+    "Plan backend: $(b,binary) (the seed join-order plan) or $(b,wcoj) \
+     (worst-case-optimal leapfrog join over the same column indexes). \
+     Results are bit-identical."
+  in
+  Arg.(value & opt string "binary" & info [ "plan" ] ~docv:"STRATEGY" ~doc)
+
+let parse_strategy s =
+  match Cq.Eval.strategy_of_string s with
+  | Ok st -> st
+  | Error msg -> invalid_arg msg
+
 let eval_cmd =
-  let run query inline file trace profile =
+  let run query inline file strategy trace profile =
     wrap (fun () ->
         with_obs trace profile (fun () ->
+            let strategy = parse_strategy strategy in
             let q = Cq.Parser.query query in
             let i = load_instance inline file in
-            let result = Cq.Eval.eval q i in
+            let result = Cq.Eval.eval ~strategy q i in
             Fmt.pr "%a@." Relational.Instance.pp result;
             Fmt.pr "(%d facts)@." (Relational.Instance.cardinal result)))
   in
   let doc = "Evaluate a conjunctive query (with !negation and != allowed)." in
   Cmd.v (Cmd.info "eval" ~doc)
     Term.(
-      const run $ query_arg $ instance_arg $ instance_file_arg $ trace_arg
-      $ profile_arg)
+      const run $ query_arg $ instance_arg $ instance_file_arg
+      $ plan_strategy_arg $ trace_arg $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pc                                                                  *)
@@ -427,6 +441,49 @@ let hypercube_cmd =
       $ seed_arg $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg
       $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ profile_arg
       $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* kst                                                                 *)
+
+let kst_cmd =
+  let threshold_arg =
+    let doc =
+      "Heavy-hitter degree threshold; defaults to m/p. Doubles \
+       automatically until the heavy-configuration count fits the cap."
+    in
+    Arg.(value & opt (some int) None & info [ "threshold" ] ~docv:"N" ~doc)
+  in
+  let run query inline file p seed threshold backend domains faults_spec
+      fault_seed checkpoint resume kill_after trace profile verbose =
+    wrap (fun () ->
+        with_obs trace profile (fun () ->
+            let q = Cq.Parser.query query in
+            let i = load_instance inline file in
+            let faults = parse_faults faults_spec fault_seed in
+            if not (Faults.Plan.is_none faults) then
+              Fmt.pr "faults: %a@." Faults.Plan.pp faults;
+            with_job ~name:"kst" checkpoint resume kill_after (fun job ->
+                let result, stats, combos =
+                  with_executor backend domains (fun executor ->
+                      Mpc.Kst.run ~seed ?threshold ~executor ~faults ?job ~p
+                        q i)
+                in
+                Fmt.pr "heavy configurations: %d@." combos;
+                Fmt.pr "result: %a@." Relational.Instance.pp result;
+                Fmt.pr "stats:  %a@." Mpc.Stats.pp stats;
+                if verbose then Fmt.pr "%a" Mpc.Stats.pp_rounds stats)))
+  in
+  let doc =
+    "Run the KST-style near-optimal multi-round schedule: heavy/light \
+     decomposition into per-configuration HyperCube subgrids, \
+     worst-case-optimal local evaluation."
+  in
+  Cmd.v (Cmd.info "kst" ~doc)
+    Term.(
+      const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
+      $ seed_arg $ threshold_arg $ backend_arg $ domains_arg $ faults_arg
+      $ fault_seed_arg $ checkpoint_arg $ resume_arg $ kill_after_arg
+      $ trace_arg $ profile_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gym                                                                 *)
@@ -759,9 +816,10 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "quota" ] ~docv:"RATE:BURST" ~doc)
   in
   let run socket port host inline file iname max_sessions max_inflight
-      pool_size plan_cache batch quota backend domains trace profile =
+      pool_size plan_cache batch quota strategy backend domains trace profile =
     wrap (fun () ->
         with_obs trace profile (fun () ->
+            let strategy = parse_strategy strategy in
             let quota =
               Option.map
                 (fun s ->
@@ -780,6 +838,7 @@ let serve_cmd =
                 plan_cache;
                 batch;
                 quota;
+                strategy;
               }
             in
             with_executor backend domains (fun executor ->
@@ -831,8 +890,9 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ instance_arg
       $ instance_file_arg $ iname_arg $ max_sessions_arg $ max_inflight_arg
-      $ pool_size_arg $ plan_cache_arg $ batch_arg $ quota_arg $ backend_arg
-      $ domains_arg $ trace_arg $ profile_arg)
+      $ pool_size_arg $ plan_cache_arg $ batch_arg $ quota_arg
+      $ plan_strategy_arg $ backend_arg $ domains_arg $ trace_arg
+      $ profile_arg)
 
 (* Opens the connection named by --socket/--port, runs [f], closes. *)
 let with_client socket port host f =
@@ -979,6 +1039,7 @@ let main_cmd =
       transfer_cmd;
       hypercube_cmd;
       gym_cmd;
+      kst_cmd;
       triangle_cmd;
       calm_cmd;
       analyze_cmd;

@@ -80,6 +80,7 @@ module Cq = struct
   module Index = Lamp_cq.Index
   module Eval = Lamp_cq.Eval
   module Generic_join = Lamp_cq.Generic_join
+  module Wcoj = Lamp_cq.Wcoj
   module Minimal = Lamp_cq.Minimal
   module Containment = Lamp_cq.Containment
   module Hypergraph = Lamp_cq.Hypergraph
@@ -111,6 +112,7 @@ module Mpc = struct
   module Shares = Lamp_mpc.Shares
   module Hypercube = Lamp_mpc.Hypercube
   module Multi_round = Lamp_mpc.Multi_round
+  module Kst = Lamp_mpc.Kst
   module Yannakakis = Lamp_mpc.Yannakakis
   module Gym_ghd = Lamp_mpc.Gym_ghd
   module Workload = Lamp_mpc.Workload

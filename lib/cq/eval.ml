@@ -121,50 +121,85 @@ end
 (* ------------------------------------------------------------------ *)
 (* Compiled-plan engine (default)                                      *)
 
+(* Selectable plan backend: [Binary] is the seed backtracking pipeline
+   over compiled {!Plan}s; [Wcoj] is the leapfrog worst-case-optimal
+   join of {!Wcoj}, which avoids the intermediate-result blowup on
+   cyclic queries. Both run on the same interned [Plan.Db] indexes and
+   produce identical instances — the property suite checks them against
+   each other and against {!Generic_join}. *)
+type strategy =
+  | Binary
+  | Wcoj
+
+let strategy_name = function
+  | Binary -> "binary"
+  | Wcoj -> "wcoj"
+
+let strategy_of_string = function
+  | "binary" -> Ok Binary
+  | "wcoj" -> Ok Wcoj
+  | s -> Error (Fmt.str "unknown plan strategy %S (binary|wcoj)" s)
+
 let compile q idx = Plan.make ~counts:(Plan.Db.count (Index.db idx)) q
 
-let fold_valuations_idx q idx f init =
+let compile_wcoj q idx = Wcoj.make ~counts:(Plan.Db.count (Index.db idx)) q
+
+let fold_valuations_idx ?(strategy = Binary) q idx f init =
   let db = Index.db idx in
-  let plan = compile q idx in
-  Plan.fold plan db (fun regs acc -> f (Plan.valuation plan regs) acc) init
+  match strategy with
+  | Binary ->
+    let plan = compile q idx in
+    Plan.fold plan db (fun regs acc -> f (Plan.valuation plan regs) acc) init
+  | Wcoj ->
+    let plan = compile_wcoj q idx in
+    Wcoj.fold plan db (fun regs acc -> f (Wcoj.valuation plan regs) acc) init
 
-let fold_valuations q instance f init =
-  fold_valuations_idx q (Index.create instance) f init
+let fold_valuations ?strategy q instance f init =
+  fold_valuations_idx ?strategy q (Index.create instance) f init
 
-let valuations q instance =
-  List.rev (fold_valuations q instance (fun v acc -> v :: acc) [])
+let valuations ?strategy q instance =
+  List.rev (fold_valuations ?strategy q instance (fun v acc -> v :: acc) [])
 
-let eval_idx q idx =
+let eval_idx ?(strategy = Binary) q idx =
   let db = Index.db idx in
-  let plan = compile q idx in
-  let tuples =
-    Plan.fold plan db (fun regs acc -> Plan.head_tuple plan regs :: acc) []
+  let head_rel, tuples =
+    match strategy with
+    | Binary ->
+      let plan = compile q idx in
+      ( Plan.head_rel plan,
+        Plan.fold plan db (fun regs acc -> Plan.head_tuple plan regs :: acc) []
+      )
+    | Wcoj ->
+      let plan = compile_wcoj q idx in
+      ( Wcoj.head_rel plan,
+        Wcoj.fold plan db (fun regs acc -> Wcoj.head_tuple plan regs :: acc) []
+      )
   in
   match tuples with
   | [] -> Instance.empty
   | _ ->
-    Instance.of_tuple_set (Plan.head_rel plan)
+    Instance.of_tuple_set head_rel
       (Tuple.Set.of_list (List.rev_map Intern.untuple tuples))
 
-let eval q instance = eval_idx q (Index.create instance)
+let eval ?strategy q instance = eval_idx ?strategy q (Index.create instance)
 
-let eval_ucq qs instance =
+let eval_ucq ?strategy qs instance =
   let idx = Index.create instance in
   List.fold_left
-    (fun acc q -> Instance.union acc (eval_idx q idx))
+    (fun acc q -> Instance.union acc (eval_idx ?strategy q idx))
     Instance.empty qs
 
-let holds q instance =
+let holds ?strategy q instance =
   let exception Found in
   try
-    fold_valuations q instance (fun _ () -> raise Found) ();
+    fold_valuations ?strategy q instance (fun _ () -> raise Found) ();
     false
   with Found -> true
 
-let derives q instance fact =
+let derives ?strategy q instance fact =
   let exception Found in
   try
-    fold_valuations q instance
+    fold_valuations ?strategy q instance
       (fun v () ->
         if Fact.equal (Valuation.head_fact v q) fact then raise Found)
       ();

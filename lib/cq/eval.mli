@@ -11,32 +11,48 @@
 
 open Lamp_relational
 
+(** Selectable plan backend. [Binary] (the default) is the compiled
+    binary-join pipeline of {!Plan}; [Wcoj] is the leapfrog
+    worst-case-optimal join of {!Wcoj}, bounded by the AGM bound on
+    cyclic queries. Both run over the same interned {!Plan.Db} column
+    indexes and agree bit-for-bit on every query and instance (checked
+    by the randomized property suite, with {!Generic_join} as the
+    value-level oracle). *)
+type strategy =
+  | Binary
+  | Wcoj
+
+val strategy_name : strategy -> string
+(** ["binary"] / ["wcoj"], as accepted by the CLI and bench flags. *)
+
+val strategy_of_string : string -> (strategy, string) result
+
 val fold_valuations :
-  Ast.t -> Instance.t -> (Valuation.t -> 'a -> 'a) -> 'a -> 'a
+  ?strategy:strategy -> Ast.t -> Instance.t -> (Valuation.t -> 'a -> 'a) -> 'a -> 'a
 (** Folds over all satisfying valuations of the query. *)
 
 val fold_valuations_idx :
-  Ast.t -> Index.t -> (Valuation.t -> 'a -> 'a) -> 'a -> 'a
+  ?strategy:strategy -> Ast.t -> Index.t -> (Valuation.t -> 'a -> 'a) -> 'a -> 'a
 (** As {!fold_valuations} over a pre-built index, allowing index reuse
     across queries on the same instance. *)
 
-val valuations : Ast.t -> Instance.t -> Valuation.t list
+val valuations : ?strategy:strategy -> Ast.t -> Instance.t -> Valuation.t list
 (** All satisfying valuations of [q] on the instance. *)
 
-val eval : Ast.t -> Instance.t -> Instance.t
+val eval : ?strategy:strategy -> Ast.t -> Instance.t -> Instance.t
 (** [eval q i] is [Q(I)]: the set of facts derived by satisfying
     valuations. *)
 
-val eval_idx : Ast.t -> Index.t -> Instance.t
+val eval_idx : ?strategy:strategy -> Ast.t -> Index.t -> Instance.t
 
-val eval_ucq : Ast.t list -> Instance.t -> Instance.t
+val eval_ucq : ?strategy:strategy -> Ast.t list -> Instance.t -> Instance.t
 (** Union of the results of the disjuncts. *)
 
-val holds : Ast.t -> Instance.t -> bool
+val holds : ?strategy:strategy -> Ast.t -> Instance.t -> bool
 (** Whether at least one satisfying valuation exists (boolean-query
     semantics). *)
 
-val derives : Ast.t -> Instance.t -> Fact.t -> bool
+val derives : ?strategy:strategy -> Ast.t -> Instance.t -> Fact.t -> bool
 (** Whether the given head fact is derived on the instance. *)
 
 (** The pre-compiled-plan backtracking evaluator over {!Valuation.t}

@@ -42,3 +42,19 @@ val two_path : Ast.t
 
 val full_triangle_e : Ast.t
 (** Triangle query over a single edge relation, without inequalities. *)
+
+val q_four_cycle : Ast.t
+(** The 4-cycle [H(x,y,z,w) ← R(x,y), S(y,z), T(z,w), U(w,x)] — with
+    the triangle and the cliques, the canonical cyclic queries on which
+    worst-case-optimal joins beat every binary join plan. *)
+
+val q_clique : int -> Ast.t
+(** [q_clique k] is the k-clique query
+    [H(x1,…,xk) ← Eij(xi,xj) for 1 ≤ i < j ≤ k] over one binary
+    relation per edge ({!clique_rels} names them), so it is self-join
+    free and every MPC entry point applies directly. Populate all the
+    [Eij] with the same edge set to count cliques of one graph.
+    @raise Invalid_argument when [k < 2]. *)
+
+val clique_rels : int -> string list
+(** The relation names [q_clique k] uses, in atom order. *)

@@ -15,13 +15,27 @@ let check_query q =
     invalid_arg "Generic_join.eval: negated atoms are not supported \
                  (inequalities are)"
 
-(* Default variable order: greedy by number of covering atoms (most
-   constrained first), ties broken by name for determinism. *)
+(* Default variable order: most constrained first — variables covered
+   by more body atoms are eliminated earlier. Fully deterministic, a
+   pure function of the query: covering counts are computed once into
+   an association list keyed by the (sorted) output of [Ast.body_vars],
+   and ties are broken by variable name, ascending. Nothing here reads
+   a hash table or other iteration-order-dependent structure, so the
+   order — and therefore the exact sequence of intersections — is
+   stable across runs and OCaml versions. [Wcoj] relies on this module
+   as its value-level oracle; a nondeterministic order would make
+   failures of the equivalence properties unreproducible. *)
 let default_order q =
-  let count v =
-    List.length
-      (List.filter (fun a -> List.mem v (Ast.atom_vars a)) (Ast.body q))
+  let counts =
+    List.map
+      (fun v ->
+        ( v,
+          List.length
+            (List.filter (fun a -> List.mem v (Ast.atom_vars a)) (Ast.body q))
+        ))
+      (Ast.body_vars q)
   in
+  let count v = List.assoc v counts in
   List.sort
     (fun v1 v2 ->
       let c = Int.compare (count v2) (count v1) in

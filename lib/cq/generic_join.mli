@@ -12,7 +12,11 @@
 open Lamp_relational
 
 val default_order : Ast.t -> string list
-(** Most-constrained-first variable order. *)
+(** Most-constrained-first variable order: variables covered by more
+    body atoms come first, ties broken by variable name (ascending).
+    Deterministic — a pure function of the query, never of hash or
+    iteration order — so the oracle runs the {!Wcoj} property suite
+    compares against are reproducible. *)
 
 val eval : ?order:string list -> Ast.t -> Instance.t -> Instance.t
 (** Evaluates a positive CQ (inequalities allowed); agrees with

@@ -475,6 +475,28 @@ module Db = struct
       (Instance.relations instance);
     t
 
+  (* Raw zero-copy handles for the leapfrog backend ({!Wcoj}): the
+     store and its flat-bucket column indexes, resolved once per fold
+     and then read in place — no per-probe list materialization, no
+     second index structure. *)
+  type raw_store = store
+  type raw_col = col
+  type raw_bucket = bucket
+
+  let raw_store = store
+  let raw_n (s : raw_store) = s.n
+  let raw_tuple (s : raw_store) i = s.tuples.(i)
+  let raw_col (s : raw_store) pos : raw_col = col s pos
+
+  let raw_sync (s : raw_store) (c : raw_col) pos =
+    if c.upto < s.n then ignore (col s pos)
+
+  let raw_find (c : raw_col) key : raw_bucket option =
+    Hashtbl.find_opt c.tbl key
+
+  let raw_data (b : raw_bucket) = b.bdata
+  let raw_len (b : raw_bucket) = b.blen
+
   let to_instance ?(keep = fun _ -> true) t =
     Hashtbl.fold
       (fun rel s acc ->

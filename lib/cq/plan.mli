@@ -37,6 +37,43 @@ module Db : sig
       relations); its indexes are dropped and rebuilt lazily. *)
 
   val to_instance : ?keep:(string -> bool) -> t -> Instance.t
+
+  (** {2 Raw column access}
+
+      Zero-copy handles into a relation's extent and its flat-bucket
+      column indexes, for the {!Wcoj} leapfrog backend: handles are
+      resolved once per fold and buckets are then read in place (the
+      record layout is [arity, v0, ..., v_{arity-1}]), so the
+      worst-case-optimal join runs on exactly the same index structure
+      as the binary-join plans — nothing is materialized twice. *)
+
+  type raw_store
+  type raw_col
+  type raw_bucket
+
+  val raw_store : t -> string -> raw_store
+  (** The relation's store, created empty if absent. *)
+
+  val raw_n : raw_store -> int
+  (** Number of tuples in the extent. *)
+
+  val raw_tuple : raw_store -> int -> int array
+  (** The i-th extent tuple, in place — do not mutate. *)
+
+  val raw_col : raw_store -> int -> raw_col
+  (** The column index at a position, built or incrementally extended
+      to cover the current extent. *)
+
+  val raw_sync : raw_store -> raw_col -> int -> unit
+  (** Re-extends the column index if the extent grew since {!raw_col}
+      (the [pos] must be the one the handle was resolved at). *)
+
+  val raw_find : raw_col -> int -> raw_bucket option
+  (** The bucket of tuples holding the given value id at the handle's
+      column, if any. *)
+
+  val raw_data : raw_bucket -> int array
+  val raw_len : raw_bucket -> int
 end
 
 type t

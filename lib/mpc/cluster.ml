@@ -672,4 +672,5 @@ let route_by f = fun _src local ->
 
 let keep_received = fun _ ~received ~previous:_ -> received
 
-let eval_query q = fun _ ~received ~previous:_ -> Lamp_cq.Eval.eval q received
+let eval_query ?strategy q =
+ fun _ ~received ~previous:_ -> Lamp_cq.Eval.eval ?strategy q received

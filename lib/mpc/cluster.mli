@@ -143,6 +143,9 @@ val keep_received : int -> received:Instance.t -> previous:Instance.t -> Instanc
     a pure reshuffle. *)
 
 val eval_query :
+  ?strategy:Lamp_cq.Eval.strategy ->
   Lamp_cq.Ast.t -> int -> received:Instance.t -> previous:Instance.t -> Instance.t
 (** Computation phase evaluating a query over the received facts; the
-    local instance becomes the local result. *)
+    local instance becomes the local result. [strategy] picks the local
+    plan backend (default the binary join-order plan); the result is
+    identical either way. *)

@@ -3,8 +3,8 @@ open Lamp_distribution
 open Lamp_cq
 module Codec = Lamp_jobs.Codec
 
-let run_with_shares ?(seed = 0) ?(materialize = true) ?executor ?faults
-    ~shares query instance =
+let run_with_shares ?(seed = 0) ?(materialize = true) ?strategy ?executor
+    ?faults ~shares query instance =
   let policy, grid = Policy.hypercube ~seed ~name:"hypercube" ~query ~shares () in
   let cluster = Cluster.create ?executor ?faults ~p:(Grid.size grid) instance in
   Cluster.run_round cluster
@@ -12,7 +12,7 @@ let run_with_shares ?(seed = 0) ?(materialize = true) ?executor ?faults
       Cluster.communicate =
         Cluster.route_by (fun f -> Policy.responsible_nodes policy f);
       compute =
-        (if materialize then Cluster.eval_query query
+        (if materialize then Cluster.eval_query ?strategy query
          else fun _ ~received:_ ~previous:_ -> Instance.empty);
     };
   (Cluster.union_all cluster, Cluster.stats cluster)
@@ -20,8 +20,8 @@ let run_with_shares ?(seed = 0) ?(materialize = true) ?executor ?faults
 let sizes_of_instance instance (a : Ast.atom) =
   Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel)
 
-let run ?(seed = 0) ?(materialize = true) ?executor ?faults ?job ?shares ~p
-    query instance =
+let run ?(seed = 0) ?(materialize = true) ?strategy ?executor ?faults ?job
+    ?shares ~p query instance =
   if not (Ast.is_positive query) then
     invalid_arg "Hypercube.run: defined for positive CQs";
   let p0 = p in
@@ -61,7 +61,7 @@ let run ?(seed = 0) ?(materialize = true) ?executor ?faults ?job ?shares ~p
                 Cluster.communicate =
                   Cluster.route_by (fun f -> Policy.responsible_nodes policy f);
                 compute =
-                  (if materialize then Cluster.eval_query query
+                  (if materialize then Cluster.eval_query ?strategy query
                    else fun _ ~received:_ ~previous:_ -> Instance.empty);
               };
             `Done

@@ -12,6 +12,7 @@ open Lamp_relational
 val run_with_shares :
   ?seed:int ->
   ?materialize:bool ->
+  ?strategy:Lamp_cq.Eval.strategy ->
   ?executor:Lamp_runtime.Executor.t ->
   ?faults:Lamp_faults.Plan.t ->
   shares:(string * int) list ->
@@ -27,6 +28,7 @@ val run_with_shares :
 val run :
   ?seed:int ->
   ?materialize:bool ->
+  ?strategy:Lamp_cq.Eval.strategy ->
   ?executor:Lamp_runtime.Executor.t ->
   ?faults:Lamp_faults.Plan.t ->
   ?job:Lamp_jobs.Supervisor.t ->

@@ -1,0 +1,382 @@
+open Lamp_relational
+open Lamp_distribution
+open Lamp_cq
+
+let h ~seed ~p v = Policy.hash_value ~seed ~buckets:p v
+let plan_of = function Some f -> f | None -> Lamp_faults.Plan.none
+
+(* Facts parked for round 2 are renamed with this prefix so the round-1
+   light evaluation (which matches atoms by relation name) never sees
+   them. *)
+let stage_prefix = "kst!"
+let plen = String.length stage_prefix
+let stage rel = stage_prefix ^ rel
+
+let is_staged rel =
+  String.length rel > plen && String.sub rel 0 plen = stage_prefix
+
+let unstage rel = String.sub rel plen (String.length rel - plen)
+
+(* One heavy configuration: a set S of variables pinned to heavy values
+   (c_heavy, sorted by variable), plus a HyperCube subgrid over the
+   remaining light variables (c_dims), laid out at servers
+   [(c_offset + linear index) mod p]. *)
+type combo = {
+  c_heavy : (string * Value.t) list;
+  c_dims : (string * int) array;
+  c_offset : int;
+}
+
+(* [args] can instantiate the atom: arity, constants and repeated
+   variables all agree. *)
+let compatible a args =
+  let terms = a.Ast.terms in
+  List.length terms = Array.length args
+  &&
+  let ok = ref true and seen = Hashtbl.create 4 in
+  List.iteri
+    (fun i t ->
+      match t with
+      | Ast.Const c -> if not (Value.equal c args.(i)) then ok := false
+      | Ast.Var v -> (
+        match Hashtbl.find_opt seen v with
+        | Some j -> if not (Value.equal args.(j) args.(i)) then ok := false
+        | None -> Hashtbl.add seen v i))
+    terms;
+  !ok
+
+(* Variable bindings of a compatible atom instantiation, sorted. *)
+let bindings a args =
+  let b = ref [] in
+  List.iteri
+    (fun i t -> match t with Ast.Var v -> b := (v, args.(i)) :: !b | _ -> ())
+    a.Ast.terms;
+  List.sort_uniq compare !b
+
+(* The tuple belongs to this configuration in this atom's role exactly
+   when its heavy signature is S restricted to the atom's variables,
+   with the configuration's values. Light positions need no check: a
+   variable whose binding were heavy would appear in [hsig] and fail
+   the subset test. *)
+let combo_matches combo bnd hsig =
+  List.for_all (fun (v, _) -> List.mem_assoc v combo.c_heavy) hsig
+  && List.for_all
+       (fun (v, value) ->
+         match List.assoc_opt v bnd with
+         | None -> true
+         | Some x -> Value.equal x value)
+       combo.c_heavy
+
+(* Servers of the configuration's subgrid responsible for the tuple:
+   dimensions whose variable the atom binds are pinned to the hashed
+   coordinate, the others are replicated over. *)
+let cells ~seed ~p combo bnd =
+  let nd = Array.length combo.c_dims in
+  let rec go i lin acc =
+    if i = nd then ((combo.c_offset + lin) mod p) :: acc
+    else
+      let v, share = combo.c_dims.(i) in
+      match List.assoc_opt v bnd with
+      | Some x ->
+        go (i + 1) ((lin * share) + h ~seed:(seed + 131 + i) ~p:share x) acc
+      | None ->
+        let r = ref acc in
+        for c = 0 to share - 1 do
+          r := go (i + 1) ((lin * share) + c) !r
+        done;
+        !r
+  in
+  go 0 0 []
+
+let run ?(seed = 0) ?threshold ?executor ?faults ?job ~p query instance =
+  if p <= 0 then invalid_arg "Kst.run: p must be positive";
+  if not (Ast.is_positive query) then
+    invalid_arg "Kst.run: positive conjunctive queries only";
+  let atoms = query.Ast.body in
+  List.iter
+    (fun a ->
+      let n = List.length a.Ast.terms in
+      if n < 1 || n > 2 then
+        invalid_arg "Kst.run: body atoms must be unary or binary")
+    atoms;
+  let head_rel = query.Ast.head.Ast.rel in
+  let vars = List.sort_uniq String.compare (Ast.body_vars query) in
+  let body_rels = List.sort_uniq String.compare (List.map (fun a -> a.Ast.rel) atoms) in
+  let m =
+    List.fold_left
+      (fun acc rel -> max acc (Tuple.Set.cardinal (Instance.tuples instance rel)))
+      1 body_rels
+  in
+  (* Columns in which each variable occurs, for its heavy-hitter set. *)
+  let occurrences v =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun a ->
+           List.mapi (fun i t -> (i, t)) a.Ast.terms
+           |> List.filter_map (fun (i, t) ->
+                  match t with
+                  | Ast.Var v' when String.equal v v' -> Some (a.Ast.rel, i)
+                  | _ -> None))
+         atoms)
+  in
+  let deg_tbl = Hashtbl.create 8 in
+  let degree rel pos c =
+    let key = (rel, pos) in
+    let map =
+      match Hashtbl.find_opt deg_tbl key with
+      | Some map -> map
+      | None ->
+        let map = Skew.degrees instance ~rel ~pos in
+        Hashtbl.add deg_tbl key map;
+        map
+    in
+    match Value.Map.find_opt c map with Some d -> d | None -> 0
+  in
+  let sizes a = Tuple.Set.cardinal (Instance.tuples instance a.Ast.rel) in
+  let combos_count = ref 0 in
+  (* The whole plan — threshold, heavy-hitter sets, the configuration
+     list and every subgrid — depends on p, so it is rebuilt (memoized)
+     per topology: a restart after rebalancing replans for the
+     survivor count. *)
+  let plans = Hashtbl.create 2 in
+  let rounds_for ~p =
+    match Hashtbl.find_opt plans p with
+    | Some rounds -> rounds
+    | None ->
+      (* Doubling the degree threshold until the configuration count
+         fits the cap bounds the replication of all-light atoms into
+         the subgrids; values pushed back under the threshold fall
+         through to the one-round light plan, which is always sound. *)
+      let cap = max 8 (2 * int_of_float (sqrt (float_of_int p))) in
+      let rec settle threshold =
+        let heavy =
+          List.map
+            (fun v ->
+              ( v,
+                List.fold_left
+                  (fun acc (rel, pos) ->
+                    Value.Set.union acc
+                      (Skew.heavy_hitters instance ~rel ~pos ~threshold))
+                  Value.Set.empty (occurrences v) ))
+            vars
+        in
+        let hvars =
+          List.filter (fun (_, s) -> not (Value.Set.is_empty s)) heavy
+        in
+        let hv = Array.of_list hvars in
+        let nh = Array.length hv in
+        let configs = ref [] in
+        for mask = 1 to (1 lsl nh) - 1 do
+          let sel = ref [] in
+          for i = nh - 1 downto 0 do
+            if mask land (1 lsl i) <> 0 then
+              sel :=
+                (fst hv.(i), Value.Set.elements (snd hv.(i))) :: !sel
+          done;
+          let rec prod acc = function
+            | [] -> configs := List.rev acc :: !configs
+            | (v, values) :: rest ->
+              List.iter (fun x -> prod ((v, x) :: acc) rest) values
+          in
+          prod [] !sel
+        done;
+        let configs = List.rev !configs in
+        if List.length configs > cap && threshold < m then
+          settle (threshold * 2)
+        else (heavy, configs)
+      in
+      let threshold0 =
+        match threshold with
+        | Some t -> max 1 t
+        | None -> Skew.default_threshold ~m ~p
+      in
+      let heavy, configs = settle threshold0 in
+      let heavy_of v =
+        match List.assoc_opt v heavy with
+        | Some s -> s
+        | None -> Value.Set.empty
+      in
+      let ncombos = List.length configs in
+      combos_count := ncombos;
+      let p_res = max 1 (p / max 1 ncombos) in
+      (* Subgrid shares of one configuration: HyperCube over the
+         residual query (heavy variables frozen to their values), with
+         sizes estimated from column degrees. *)
+      let dims_of config =
+        let svars = List.map fst config in
+        let l = List.filter (fun v -> not (List.mem v svars)) vars in
+        if l = [] then [||]
+        else begin
+          let subst = function
+            | Ast.Var v as t -> (
+              match List.assoc_opt v config with
+              | Some x -> Ast.Const x
+              | None -> t)
+            | t -> t
+          in
+          let body =
+            List.map
+              (fun a -> Ast.atom a.Ast.rel (List.map subst a.Ast.terms))
+              atoms
+          in
+          let head = Ast.atom "Hres" (List.map (fun v -> Ast.Var v) l) in
+          let rq = Ast.make ~head ~body () in
+          let rsizes a =
+            let consts =
+              List.mapi (fun i t -> (i, t)) a.Ast.terms
+              |> List.filter_map (fun (i, t) ->
+                     match t with Ast.Const c -> Some (i, c) | _ -> None)
+            in
+            match consts with
+            | [] -> sizes a
+            | cs ->
+              List.fold_left
+                (fun acc (i, c) -> min acc (degree a.Ast.rel i c))
+                max_int cs
+          in
+          let shares, _ =
+            Shares.optimize ~objective:Shares.Max_load ~p:p_res ~sizes:rsizes
+              rq
+          in
+          Array.of_list
+            (List.map
+               (fun v ->
+                 ( v,
+                   match List.assoc_opt v shares with
+                   | Some s -> max 1 s
+                   | None -> 1 ))
+               l)
+        end
+      in
+      let combos, _ =
+        List.fold_left
+          (fun (acc, off) config ->
+            let dims = dims_of config in
+            let size = Array.fold_left (fun g (_, s) -> g * s) 1 dims in
+            ( { c_heavy = config; c_dims = dims; c_offset = off mod p } :: acc,
+              off + size ))
+          ([], 0) configs
+      in
+      let combos = List.rev combos in
+      let shares, _ = Shares.optimize ~objective:Shares.Max_load ~p ~sizes query in
+      let policy, _ =
+        Policy.hypercube ~seed ~name:"kst-light" ~query ~shares ()
+      in
+      let atoms_of rel = List.filter (fun a -> String.equal a.Ast.rel rel) atoms in
+      let light_binding b =
+        List.for_all (fun (v, x) -> not (Value.Set.mem x (heavy_of v))) b
+      in
+      let rounds =
+        [|
+          {
+            (* Round 1: light roles run the one-round HyperCube; every
+               query-relevant fact additionally parks at its source
+               under a staged name, awaiting round 2. *)
+            Cluster.communicate =
+              (fun src local ->
+                Instance.fold
+                  (fun f acc ->
+                    let rel = Fact.rel f and args = Fact.args f in
+                    let roles =
+                      List.filter_map
+                        (fun a ->
+                          if compatible a args then Some (bindings a args)
+                          else None)
+                        (atoms_of rel)
+                    in
+                    if roles = [] then acc
+                    else begin
+                      let acc =
+                        if List.exists light_binding roles then
+                          List.fold_left
+                            (fun acc dst -> (dst, f) :: acc)
+                            acc
+                            (Policy.responsible_nodes policy f)
+                        else acc
+                      in
+                      if ncombos > 0 then
+                        (src, Fact.make (stage rel) args) :: acc
+                      else acc
+                    end)
+                  local []);
+            compute =
+              (fun _ ~received ~previous:_ ->
+                let light =
+                  Instance.filter (fun f -> not (is_staged (Fact.rel f))) received
+                in
+                let staged =
+                  Instance.filter (fun f -> is_staged (Fact.rel f)) received
+                in
+                Instance.union (Eval.eval ~strategy:Eval.Wcoj query light) staged);
+          };
+          {
+            (* Round 2: staged tuples fan out to every configuration
+               whose heavy assignment matches one of their atom roles,
+               pinned by the light coordinates; round-1 output stays. *)
+            Cluster.communicate =
+              (fun src local ->
+                Instance.fold
+                  (fun f acc ->
+                    let rel = Fact.rel f in
+                    if String.equal rel head_rel then (src, f) :: acc
+                    else if is_staged rel then begin
+                      let orig = unstage rel in
+                      let args = Fact.args f in
+                      let g = Fact.make orig args in
+                      let dsts =
+                        List.concat_map
+                          (fun a ->
+                            if compatible a args then begin
+                              let b = bindings a args in
+                              let hsig =
+                                List.filter
+                                  (fun (v, x) -> Value.Set.mem x (heavy_of v))
+                                  b
+                              in
+                              List.concat_map
+                                (fun c ->
+                                  if combo_matches c b hsig then
+                                    cells ~seed ~p c b
+                                  else [])
+                                combos
+                            end
+                            else [])
+                          (atoms_of orig)
+                      in
+                      List.fold_left
+                        (fun acc dst -> (dst, g) :: acc)
+                        acc
+                        (List.sort_uniq compare dsts)
+                    end
+                    else acc)
+                  local []);
+            compute =
+              (fun _ ~received ~previous:_ ->
+                let prior =
+                  Instance.filter (fun f -> String.equal (Fact.rel f) head_rel) received
+                in
+                let rest =
+                  Instance.filter
+                    (fun f -> not (String.equal (Fact.rel f) head_rel))
+                    received
+                in
+                Instance.union prior (Eval.eval ~strategy:Eval.Wcoj query rest));
+          };
+        |]
+      in
+      Hashtbl.add plans p rounds;
+      rounds
+  in
+  let cluster = ref (Cluster.create ?executor ?faults ~p instance) in
+  Cluster.supervise ?job ~name:"kst" ~faults:(plan_of faults)
+    (Multi_round.cluster_script ?executor ?faults cluster ~rounds_for
+       ~rebalance:(fun ~round ~dead ->
+         (* Staged tuples park at their round-1 servers and the
+            subgrid layout is a function of p — both cross-round
+            rendezvous break under a topology change, so a permanent
+            crash restarts the job from round 0 on the survivors. *)
+         Multi_round.rebalance_restart ?executor ?faults instance cluster
+           ~round ~dead));
+  (* Reflect the topology the run actually finished under. *)
+  ignore (rounds_for ~p:(Cluster.p !cluster));
+  (Cluster.union_all !cluster, Cluster.stats !cluster, !combos_count)

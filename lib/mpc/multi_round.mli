@@ -8,6 +8,45 @@
 
 open Lamp_relational
 
+(** {1 Script plumbing}
+
+    The job skeleton every cluster-backed multi-round algorithm shares
+    (including {!Kst}): a per-topology sequence of rounds over one
+    cluster held in a ref, checkpointed through
+    {!Cluster.snapshot}/{!Cluster.restore}. *)
+
+val cluster_script :
+  ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
+  Cluster.t ref ->
+  rounds_for:(p:int -> Cluster.round array) ->
+  rebalance:(round:int -> dead:int -> [ `Continue | `Restart ]) ->
+  Lamp_jobs.Supervisor.script
+(** [rounds_for] is re-consulted at every step with the cluster's
+    current [p], so a rebalanced job rebuilds its remaining rounds for
+    the shrunk topology. *)
+
+val rebalance_shrink :
+  Cluster.t ref -> round:int -> dead:int -> [ `Continue | `Restart ]
+(** Survivor rebalancing for algorithms whose every round rehashes from
+    scratch: shrink p → p−1, rehash the dead server's local onto the
+    survivors, continue from the current round. *)
+
+val rebalance_restart :
+  ?executor:Lamp_runtime.Executor.t ->
+  ?faults:Lamp_faults.Plan.t ->
+  Instance.t ->
+  Cluster.t ref ->
+  round:int ->
+  dead:int ->
+  [ `Continue | `Restart ]
+(** Restart policy for algorithms that rendezvous across rounds on a
+    p-dependent hash: a topology change invalidates the parked
+    placement, so the job restarts from round 0 on a fresh p−1 cluster,
+    charging the dead server's resident facts as replay traffic. *)
+
+(** {1 The paper's two-round triangle plans} *)
+
 val cascade_triangle :
   ?seed:int ->
   ?executor:Lamp_runtime.Executor.t ->

@@ -58,6 +58,27 @@ let triangle_y_skew ~rng ~m ~domain ~heavy_fraction =
     (Instance.union heavy_r (light "R"))
     (Instance.union (Instance.union heavy_s (light "S")) t)
 
+let graph_pairs ~rng ~m ~domain =
+  List.init m (fun _ ->
+      (Random.State.int rng domain, Random.State.int rng domain))
+
+let zipf_pairs ~rng ~m ~domain ~s =
+  let sample = Generate.zipf_sampler ~rng ~n:domain ~s in
+  List.init m (fun _ -> (sample (), sample ()))
+
+let relations_from_pairs ~rels pairs =
+  List.fold_left
+    (fun acc rel ->
+      List.fold_left
+        (fun acc (a, b) -> Instance.add (Fact.of_ints rel [ a; b ]) acc)
+        acc pairs)
+    Instance.empty rels
+
+let cycle_from_pairs ~rels pairs = relations_from_pairs ~rels pairs
+
+let clique_from_pairs ~k pairs =
+  relations_from_pairs ~rels:(Lamp_cq.Examples.clique_rels k) pairs
+
 let acyclic_chain ~rng ~m ~domain ~rels =
   List.fold_left
     (fun acc rel ->

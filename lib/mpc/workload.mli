@@ -35,6 +35,32 @@ val triangle_y_skew :
     hub value, while x and z stay uniform — the scenario of the paper's
     Section 3.2 skew discussion. *)
 
+val graph_pairs :
+  rng:Random.State.t -> m:int -> domain:int -> (int * int) list
+(** [m] uniform directed edges over [0..domain-1] (with replacement) —
+    the seeded edge list the E16 bench and the engine property tests
+    share. *)
+
+val zipf_pairs :
+  rng:Random.State.t -> m:int -> domain:int -> s:float -> (int * int) list
+(** [m] edges with both endpoints Zipf(s)-distributed over
+    [1..domain]; [s] at 1.0 and beyond concentrates the mass on a few
+    hub nodes, producing the heavy hitters the skew-resilient plans
+    (and the worst-case-optimal join's advantage) are about. *)
+
+val relations_from_pairs :
+  rels:string list -> (int * int) list -> Instance.t
+(** Copies one edge list into every named binary relation, so a cyclic
+    query over distinct relation names (triangle over R,S,T; 4-cycle
+    over R,S,T,U; {!Lamp_cq.Examples.q_clique}) counts the pattern
+    occurrences of a single graph while staying self-join free. *)
+
+val cycle_from_pairs : rels:string list -> (int * int) list -> Instance.t
+(** Alias of {!relations_from_pairs}, named for the cycle queries. *)
+
+val clique_from_pairs : k:int -> (int * int) list -> Instance.t
+(** {!relations_from_pairs} over {!Lamp_cq.Examples.clique_rels}. *)
+
 val acyclic_chain :
   rng:Random.State.t -> m:int -> domain:int -> rels:string list -> Instance.t
 (** One uniform binary relation per name, for chain queries

@@ -3,6 +3,8 @@ module Instance = Lamp_relational.Instance
 module Intern = Lamp_relational.Intern
 module Tuple = Lamp_relational.Tuple
 module Plan = Lamp_cq.Plan
+module Wcoj = Lamp_cq.Wcoj
+module Eval = Lamp_cq.Eval
 module Parser = Lamp_cq.Parser
 module Ast = Lamp_cq.Ast
 module Executor = Lamp_runtime.Executor
@@ -15,6 +17,7 @@ type config = {
   plan_cache : int;
   batch : int;
   quota : (float * float) option;
+  strategy : Eval.strategy;
 }
 
 let default_config =
@@ -26,6 +29,7 @@ let default_config =
     plan_cache = 128;
     batch = 512;
     quota = None;
+    strategy = Eval.Binary;
   }
 
 (* An engine handle: the interned-tuple view of an instance plus its
@@ -43,12 +47,23 @@ type inst = {
   handles : handle Rpool.t;
 }
 
+(* A prepared plan, compiled for whichever backend the server was
+   configured with; both fold the same column indexes and produce the
+   same head-tuple set. *)
+type compiled =
+  | Pbinary of Plan.t
+  | Pwcoj of Wcoj.t
+
 type plan_entry = {
   pe_id : int;
   pe_instance : string;
   pe_ast : Ast.t;
-  pe_plan : Plan.t;
+  pe_plan : compiled;
 }
+
+let compiled_atoms = function
+  | Pbinary p -> Plan.atom_count p
+  | Pwcoj w -> Wcoj.atom_count w
 
 type t = {
   config : config;
@@ -173,7 +188,9 @@ let prepare_plan t inst ~instance ast =
   Cache.find_or_add t.plan_cache key (fun () ->
       let plan =
         Rpool.use inst.handles (fun h ->
-            Plan.make ~counts:(Plan.Db.count h.db) ast)
+            match t.config.strategy with
+            | Eval.Binary -> Pbinary (Plan.make ~counts:(Plan.Db.count h.db) ast)
+            | Eval.Wcoj -> Pwcoj (Wcoj.make ~counts:(Plan.Db.count h.db) ast))
       in
       let id =
         Mutex.protect t.lock (fun () ->
@@ -199,16 +216,25 @@ let resolve_plan t inst ~instance = function
 
 (* Mirrors Cq.Eval.eval_idx: fold the compiled plan, then build the
    result instance from the head-tuple set — byte-for-byte the library
-   result. *)
+   result, whichever backend the plan was compiled for. *)
 let eval_local entry (h : handle) =
-  let plan = entry.pe_plan in
-  let tuples =
-    Plan.fold plan h.db (fun regs acc -> Plan.head_tuple plan regs :: acc) []
+  let rel, tuples =
+    match entry.pe_plan with
+    | Pbinary plan ->
+      ( Plan.head_rel plan,
+        Plan.fold plan h.db
+          (fun regs acc -> Plan.head_tuple plan regs :: acc)
+          [] )
+    | Pwcoj plan ->
+      ( Wcoj.head_rel plan,
+        Wcoj.fold plan h.db
+          (fun regs acc -> Wcoj.head_tuple plan regs :: acc)
+          [] )
   in
   match tuples with
   | [] -> Instance.empty
   | _ ->
-    Instance.of_tuple_set (Plan.head_rel plan)
+    Instance.of_tuple_set rel
       (Tuple.Set.of_list (List.rev_map Intern.untuple tuples))
 
 let execute t ~instance plan_ref mode =
@@ -366,7 +392,7 @@ let handle_request t fd client req =
                 {
                   id = entry.pe_id;
                   cached;
-                  atoms = Plan.atom_count entry.pe_plan;
+                  atoms = compiled_atoms entry.pe_plan;
                 }))
      | Execute { instance; plan; mode } ->
        if not (quota_allows t !client) then begin

@@ -34,11 +34,16 @@ type config = {
   quota : (float * float) option;
       (** Per-client token bucket as [(rate, burst)]; [None] disables
           throttling. *)
+  strategy : Lamp_cq.Eval.strategy;
+      (** Plan backend prepared plans compile to: [Binary] (the seed
+          join-order plan) or [Wcoj] (worst-case-optimal). Both produce
+          bit-identical results over the same column indexes. *)
 }
 
 val default_config : config
 (** [{ name = "lamp"; max_sessions = 1024; max_inflight = 64;
-      handle_pool = 4; plan_cache = 128; batch = 512; quota = None }] *)
+      handle_pool = 4; plan_cache = 128; batch = 512; quota = None;
+      strategy = Binary }] *)
 
 type t
 

@@ -199,6 +199,49 @@ let test_generic_rejects_negation () =
       with Invalid_argument _ -> raise (Invalid_argument ""))
 
 (* ------------------------------------------------------------------ *)
+(* Cyclic example queries (4-cycle, k-clique)                          *)
+
+let test_four_cycle_query () =
+  let q = Examples.q_four_cycle in
+  Alcotest.(check int) "four atoms" 4 (List.length (Ast.body q));
+  (* One directed 4-cycle 1→2→3→4→1, plus a chord that closes nothing. *)
+  let i =
+    inst "R(1,2). S(2,3). T(3,4). U(4,1). R(2,3). S(1,4)"
+  in
+  let out = Eval.eval q i in
+  Alcotest.(check int) "one cycle" 1 (Instance.cardinal out);
+  Alcotest.check instance "wcoj agrees"
+    out
+    (Eval.eval ~strategy:Eval.Wcoj q i)
+
+let test_clique_query () =
+  Alcotest.(check (list string)) "triangle rels" [ "E12"; "E13"; "E23" ]
+    (Examples.clique_rels 3);
+  Alcotest.(check int) "k=4 has C(4,2) atoms" 6
+    (List.length (Ast.body (Examples.q_clique 4)));
+  Alcotest.(check int) "rels match atoms" 6
+    (List.length (Examples.clique_rels 4));
+  (* K4 on nodes 1..4 (directed both ways in every edge relation) plus
+     an extra vertex attached by a single edge. *)
+  let edges =
+    [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4); (4, 5) ]
+  in
+  let facts =
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun (a, b) -> [ Fact.of_ints r [ a; b ]; Fact.of_ints r [ b; a ] ])
+          edges)
+      (Examples.clique_rels 4)
+  in
+  let i = Instance.of_facts facts in
+  let out = Eval.eval (Examples.q_clique 4) i in
+  (* The single K4 appears once per vertex ordering: 4! = 24. *)
+  Alcotest.(check int) "K4 orderings" 24 (Instance.cardinal out);
+  Alcotest.check instance "wcoj agrees" out
+    (Eval.eval ~strategy:Eval.Wcoj (Examples.q_clique 4) i)
+
+(* ------------------------------------------------------------------ *)
 (* Minimal valuations                                                  *)
 
 let test_minimal_example_4_5 () =
@@ -537,6 +580,11 @@ let () =
           Alcotest.test_case "custom orders" `Quick test_generic_custom_order;
           Alcotest.test_case "bad order" `Quick test_generic_bad_order;
           Alcotest.test_case "rejects negation" `Quick test_generic_rejects_negation;
+        ] );
+      ( "cyclic examples",
+        [
+          Alcotest.test_case "4-cycle" `Quick test_four_cycle_query;
+          Alcotest.test_case "k-clique" `Quick test_clique_query;
         ] );
       ( "minimal",
         [

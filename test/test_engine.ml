@@ -200,6 +200,100 @@ let prop_valuations_match =
         (via_fold Eval.Reference.fold_valuations_idx))
 
 (* ------------------------------------------------------------------ *)
+(* Worst-case-optimal backend: Wcoj ≡ binary ≡ Generic_join            *)
+
+let prop_wcoj_matches_binary =
+  QCheck.Test.make ~name:"wcoj eval = binary eval (full CQ with neg/diseq)"
+    ~count:400
+    (QCheck.pair cq_arb small_instance_arb)
+    (fun (q, db) ->
+      Instance.equal (Eval.eval ~strategy:Eval.Wcoj q db) (Eval.eval q db))
+
+let prop_wcoj_matches_generic_join =
+  (* Generic_join is the value-level oracle; it only accepts positive
+     bodies, so CQ¬ samples pass trivially. *)
+  QCheck.Test.make ~name:"wcoj eval = Generic_join oracle (positive CQ)"
+    ~count:400
+    (QCheck.pair cq_arb small_instance_arb)
+    (fun (q, db) ->
+      match Ast.negated q with
+      | _ :: _ -> true
+      | [] ->
+          Instance.equal
+            (Eval.eval ~strategy:Eval.Wcoj q db)
+            (Generic_join.eval q db))
+
+let prop_wcoj_valuations_match =
+  QCheck.Test.make ~name:"wcoj valuations = binary valuations" ~count:200
+    (QCheck.pair cq_arb small_instance_arb)
+    (fun (q, db) ->
+      let sort vs = List.sort Valuation.compare vs in
+      let via strategy =
+        let idx = Index.create db in
+        sort
+          (Eval.fold_valuations_idx ~strategy q idx (fun v acc -> v :: acc) [])
+      in
+      List.equal
+        (fun a b -> Valuation.compare a b = 0)
+        (via Eval.Wcoj) (via Eval.Binary))
+
+let prop_wcoj_trace_invariant =
+  (* Enabling lamp.obs tracing must never change results — both
+     backends, same instance, trace on vs off. *)
+  QCheck.Test.make ~name:"wcoj eval unchanged by tracing" ~count:100
+    (QCheck.pair cq_arb small_instance_arb)
+    (fun (q, db) ->
+      let off = Eval.eval ~strategy:Eval.Wcoj q db in
+      Lamp_obs.Trace.set_enabled true;
+      let on =
+        Fun.protect
+          ~finally:(fun () -> Lamp_obs.Trace.set_enabled false)
+          (fun () -> Eval.eval ~strategy:Eval.Wcoj q db)
+      in
+      Instance.equal off on)
+
+let test_wcoj_counters_tick () =
+  (* The lamp.obs counters on the WCOJ path record work while tracing
+     is on and stay frozen while it is off. *)
+  let db = Instance.of_string "R(1,2). R(2,3). R(3,1). S(1,2). S(2,3). S(3,1). T(1,2). T(2,3). T(3,1)." in
+  let q = parse "H(x,y,z) <- R(x,y), S(y,z), T(z,x)" in
+  let probes = Lamp_obs.Trace.counter "cq.wcoj_probes" in
+  let emitted = Lamp_obs.Trace.counter "cq.wcoj_emitted" in
+  Lamp_obs.Trace.set_enabled false;
+  let p0 = Lamp_obs.Trace.value probes in
+  ignore (Eval.eval ~strategy:Eval.Wcoj q db);
+  Alcotest.(check int) "frozen while off" p0 (Lamp_obs.Trace.value probes);
+  Lamp_obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Lamp_obs.Trace.set_enabled false)
+    (fun () ->
+      let out = Eval.eval ~strategy:Eval.Wcoj q db in
+      Alcotest.(check int) "triangle count" 3 (Instance.cardinal out);
+      Alcotest.(check bool) "probes tick" true
+        (Lamp_obs.Trace.value probes > p0);
+      Alcotest.(check bool) "emitted ticks" true
+        (Lamp_obs.Trace.value emitted > 0))
+
+let test_default_order_deterministic () =
+  (* Most-constrained-first with name tie-breaks: a pure function of
+     the query, identical across calls and across atom orderings that
+     keep the coverage counts. *)
+  let q = parse "H(x,y,z) <- R(x,y), S(y,z), T(z,x)" in
+  let o1 = Generic_join.default_order q in
+  let o2 = Generic_join.default_order q in
+  Alcotest.(check (list string)) "stable" o1 o2;
+  Alcotest.(check (list string)) "name ties ascending" [ "x"; "y"; "z" ] o1;
+  let q' = parse "H(x,y,z) <- T(z,x), R(x,y), S(y,z)" in
+  Alcotest.(check (list string))
+    "atom order irrelevant" o1
+    (Generic_join.default_order q');
+  (* w is covered once, the cycle vars twice: w must come last. *)
+  let q2 = parse "H(x,w) <- R(x,y), S(y,x), T(x,w)" in
+  Alcotest.(check (list string))
+    "coverage before names" [ "x"; "y"; "w" ]
+    (Generic_join.default_order q2)
+
+(* ------------------------------------------------------------------ *)
 (* Duplicate-atom regression                                           *)
 
 (* order_atoms used to remove the chosen atom with [List.filter (!=)]:
@@ -326,6 +420,12 @@ let () =
           Alcotest.test_case "duplicate rel, distinct vars" `Quick
             test_duplicate_atom_distinct_vars;
         ] );
+      ( "wcoj",
+        [
+          Alcotest.test_case "obs counters tick" `Quick test_wcoj_counters_tick;
+          Alcotest.test_case "default_order deterministic" `Quick
+            test_default_order_deterministic;
+        ] );
       ( "datalog",
         [
           Alcotest.test_case "canned vs reference" `Quick test_datalog_canned;
@@ -338,6 +438,10 @@ let () =
             prop_compiled_matches_reference;
             prop_compiled_matches_brute_force;
             prop_valuations_match;
+            prop_wcoj_matches_binary;
+            prop_wcoj_matches_generic_join;
+            prop_wcoj_valuations_match;
+            prop_wcoj_trace_invariant;
             prop_datalog_random_stratified;
             prop_datalog_seminaive_matches_naive;
           ] );

@@ -263,6 +263,16 @@ let algorithms =
         let i = Workload.triangle_skew_free ~rng:(rng ()) ~m:90 ~domain:25 in
         let r, s, _ = Gym_ghd.run ~executor ~faults ~p:8 Examples.q2_triangle i in
         (r, s) );
+    ( "kst",
+      fun ~executor ~faults ->
+        let i =
+          Workload.triangle_y_skew ~rng:(rng ()) ~m:120 ~domain:40
+            ~heavy_fraction:0.4
+        in
+        let r, s, _ =
+          Kst.run ~threshold:8 ~executor ~faults ~p:8 Examples.q2_triangle i
+        in
+        (r, s) );
   ]
 
 let same_clean_portion name pname clean stats =

@@ -389,6 +389,15 @@ let algorithms : (string * algo) list =
             tri_instance
         in
         (r, s) );
+    ( "kst",
+      (* threshold 1 forces the heavy decomposition even on this small
+         instance, so the resumed run replays the staged round too. *)
+      fun ?job ~executor ~faults () ->
+        let r, s, _ =
+          Kst.run ~seed:1 ~threshold:1 ~executor ~faults ?job ~p:4
+            triangle_query tri_instance
+        in
+        (r, s) );
   ]
 
 (* Kill the job after round [r], resume it, and return the final

@@ -284,6 +284,99 @@ let test_gym_star () =
   Alcotest.check instance "gym star" (Eval.eval q i) result
 
 (* ------------------------------------------------------------------ *)
+(* KST near-optimal multi-round algorithm                              *)
+
+let kst_check ?threshold ~p q i =
+  let expect = Eval.eval q i in
+  let got, _, combos = Kst.run ~seed:7 ?threshold ~p q i in
+  Alcotest.check instance "kst = sequential" expect got;
+  combos
+
+let test_kst_triangle_skew_free () =
+  let i = Workload.triangle_skew_free ~rng:(rng ()) ~m:400 ~domain:60 in
+  ignore (kst_check ~p:4 Examples.q2_triangle i)
+
+let test_kst_triangle_skewed () =
+  let i =
+    Workload.triangle_y_skew ~rng:(rng ()) ~m:600 ~domain:80
+      ~heavy_fraction:0.3
+  in
+  (* A low explicit threshold forces the heavy decomposition on. *)
+  let combos = kst_check ~threshold:8 ~p:6 Examples.q2_triangle i in
+  Alcotest.(check bool) "heavy configurations planned" true (combos > 0)
+
+let test_kst_four_cycle_zipf () =
+  let pairs = Workload.zipf_pairs ~rng:(rng ()) ~m:500 ~domain:100 ~s:1.2 in
+  let i = Workload.cycle_from_pairs ~rels:[ "R"; "S"; "T"; "U" ] pairs in
+  ignore (kst_check ~p:5 Examples.q_four_cycle i);
+  ignore (kst_check ~threshold:5 ~p:5 Examples.q_four_cycle i)
+
+let test_kst_clique () =
+  let pairs = Workload.zipf_pairs ~rng:(rng ()) ~m:400 ~domain:80 ~s:1.1 in
+  let i = Workload.clique_from_pairs ~k:3 pairs in
+  ignore (kst_check ~p:4 (Examples.q_clique 3) i)
+
+let test_kst_constants_repeated () =
+  let q = Parser.query "H(x,y) <- R(x,x), S(x,y), S(y,0)" in
+  let i =
+    Instance.of_facts
+      (List.concat
+         [
+           List.init 40 (fun k -> Fact.of_ints "R" [ k mod 7; k mod 7 ]);
+           List.init 60 (fun k -> Fact.of_ints "S" [ k mod 7; k mod 11 ]);
+           List.init 11 (fun k -> Fact.of_ints "S" [ k; 0 ]);
+         ])
+  in
+  ignore (kst_check ~p:3 q i);
+  ignore (kst_check ~threshold:4 ~p:3 q i)
+
+let test_kst_single_server () =
+  let i =
+    Workload.triangle_y_skew ~rng:(rng ()) ~m:300 ~domain:50
+      ~heavy_fraction:0.3
+  in
+  ignore (kst_check ~p:1 Examples.q2_triangle i);
+  ignore (kst_check ~threshold:4 ~p:1 Examples.q2_triangle i)
+
+let test_kst_deterministic () =
+  let i =
+    Workload.triangle_y_skew ~rng:(rng ()) ~m:400 ~domain:60
+      ~heavy_fraction:0.3
+  in
+  let a, sa, ca = Kst.run ~seed:7 ~threshold:8 ~p:6 Examples.q2_triangle i in
+  let b, sb, cb = Kst.run ~seed:7 ~threshold:8 ~p:6 Examples.q2_triangle i in
+  Alcotest.check instance "same output" a b;
+  Alcotest.(check bool) "bit-identical stats" true (sa = sb);
+  Alcotest.(check int) "same configurations" ca cb
+
+let test_kst_load_vs_hypercube () =
+  (* On skewed input the KST load must stay within a small constant
+     factor of one-round HyperCube's (it is allowed to be better). *)
+  let i =
+    Workload.triangle_y_skew ~rng:(rng ()) ~m:800 ~domain:100
+      ~heavy_fraction:0.3
+  in
+  let _, hs, _ = Hypercube.run ~seed:7 ~p:6 Examples.q2_triangle i in
+  let _, ks, _ = Kst.run ~seed:7 ~threshold:8 ~p:6 Examples.q2_triangle i in
+  Alcotest.(check bool) "within 3x of hypercube" true
+    (Stats.max_load ks <= 3 * Stats.max_load hs)
+
+let test_hypercube_wcoj_strategy_identical () =
+  (* The plan backend changes local evaluation only: same routing, so
+     bit-identical stats, and the same output. *)
+  let i =
+    Workload.triangle_y_skew ~rng:(rng ()) ~m:500 ~domain:70
+      ~heavy_fraction:0.2
+  in
+  let rb, sb, shb = Hypercube.run ~seed:3 ~p:8 Examples.q2_triangle i in
+  let rw, sw, shw =
+    Hypercube.run ~seed:3 ~strategy:Eval.Wcoj ~p:8 Examples.q2_triangle i
+  in
+  Alcotest.check instance "same output" rb rw;
+  Alcotest.(check bool) "bit-identical stats" true (sb = sw);
+  Alcotest.(check bool) "same shares" true (shb = shw)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 
 let graph_workload_arb =
@@ -370,6 +463,23 @@ let prop_skew_resilient_correct =
       let result, _, _ = Multi_round.skew_resilient_triangle ~p:8 i in
       Instance.equal result (Eval.eval Examples.q2_triangle i))
 
+let prop_kst_matches_sequential =
+  QCheck.Test.make ~name:"KST = sequential evaluation" ~count:40
+    (QCheck.triple
+       (QCheck.make
+          QCheck.Gen.(
+            let* seed = int_range 0 100_000 in
+            let* fraction = oneofl [ 0.0; 0.3; 0.7 ] in
+            let rng = Random.State.make [| seed |] in
+            return
+              (Workload.triangle_y_skew ~rng ~m:60 ~domain:20
+                 ~heavy_fraction:fraction)))
+       (QCheck.make QCheck.Gen.(int_range 1 12))
+       (QCheck.make QCheck.Gen.(oneofl [ None; Some 2; Some 6 ])))
+    (fun (i, p, threshold) ->
+      let result, _, _ = Kst.run ?threshold ~p Examples.q2_triangle i in
+      Instance.equal result (Eval.eval Examples.q2_triangle i))
+
 let () =
   Alcotest.run "lamp_mpc"
     [
@@ -428,6 +538,22 @@ let () =
           Alcotest.test_case "gym correct" `Quick test_gym_correct;
           Alcotest.test_case "gym star" `Quick test_gym_star;
         ] );
+      ( "kst",
+        [
+          Alcotest.test_case "triangle, skew-free" `Quick
+            test_kst_triangle_skew_free;
+          Alcotest.test_case "triangle, skewed" `Quick test_kst_triangle_skewed;
+          Alcotest.test_case "4-cycle, Zipf" `Quick test_kst_four_cycle_zipf;
+          Alcotest.test_case "clique" `Quick test_kst_clique;
+          Alcotest.test_case "constants/repeated vars" `Quick
+            test_kst_constants_repeated;
+          Alcotest.test_case "p = 1" `Quick test_kst_single_server;
+          Alcotest.test_case "deterministic" `Quick test_kst_deterministic;
+          Alcotest.test_case "load vs hypercube" `Quick
+            test_kst_load_vs_hypercube;
+          Alcotest.test_case "hypercube wcoj backend identical" `Quick
+            test_hypercube_wcoj_strategy_identical;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -436,5 +562,6 @@ let () =
             prop_yannakakis_matches_eval;
             prop_gym_matches_eval;
             prop_skew_resilient_correct;
+            prop_kst_matches_sequential;
           ] );
     ]
