@@ -67,7 +67,9 @@ let metric_stats prefix ~m stats =
 let metric_percentiles prefix (s : Obs.Trace.histogram_snapshot) =
   metric (prefix ^ "_p50") (Obs.Trace.percentile s 0.50);
   metric (prefix ^ "_p95") (Obs.Trace.percentile s 0.95);
-  metric (prefix ^ "_p99") (Obs.Trace.percentile s 0.99)
+  metric (prefix ^ "_p99") (Obs.Trace.percentile s 0.99);
+  metric (prefix ^ "_count") (float_of_int s.count);
+  metric (prefix ^ "_max") (float_of_int s.max_value)
 
 let write_json path =
   Obs.Export.write_metrics_json path
@@ -1879,6 +1881,263 @@ let e16 () =
     \  one-round HyperCube is skew-bound."
 
 (* ------------------------------------------------------------------ *)
+(* E17: lamp.obs v2 — sketch accuracy, skew reports, live scrape      *)
+
+let e17 () =
+  section "E17: one-pass sketches, per-round skew reports, live scrape";
+  let n = if !smoke then 20_000 else 200_000 in
+  let rng = Random.State.make [| 17 |] in
+  (* -- Count-Min / SpaceSaving / reservoir vs exact, on Zipf ids. ----
+     The stream is materialized first so the reservoir determinism
+     check can replay it. *)
+  let domain = 5000 in
+  let draw = Relational.Generate.zipf_sampler ~rng ~n:domain ~s:1.2 in
+  let stream = Array.init n (fun _ -> draw ()) in
+  let exact = Hashtbl.create domain in
+  Array.iter
+    (fun id ->
+      Hashtbl.replace exact id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt exact id)))
+    stream;
+  let truth id = Option.value ~default:0 (Hashtbl.find_opt exact id) in
+  let exact_sorted =
+    Hashtbl.fold (fun id c acc -> (c, -id) :: acc) exact []
+    |> List.sort (fun a b -> compare b a)
+    |> List.map (fun (c, nid) -> (-nid, c))
+  in
+  let epsilon = 0.005 and delta = 0.01 in
+  let cm = Obs.Sketch.Cm.create ~epsilon ~delta () in
+  let topk = Obs.Sketch.Topk.create ~capacity:64 () in
+  let res = Obs.Sketch.Reservoir.create ~capacity:256 () in
+  Array.iter
+    (fun id ->
+      Obs.Sketch.Cm.add cm id;
+      Obs.Sketch.Topk.offer topk id;
+      Obs.Sketch.Reservoir.offer res id)
+    stream;
+  let bound = Obs.Sketch.Cm.error_bound cm in
+  let one_sided = ref true and over_bound = ref 0 and max_err = ref 0 in
+  let sum_err = ref 0 and distinct = ref 0 in
+  Hashtbl.iter
+    (fun id c ->
+      incr distinct;
+      let est = Obs.Sketch.Cm.estimate cm id in
+      if est < c then one_sided := false;
+      let err = est - c in
+      if err > bound then incr over_bound;
+      if err > !max_err then max_err := err;
+      sum_err := !sum_err + err)
+    exact;
+  check "cm: estimates never undercount (one-sided error)" !one_sided;
+  check
+    (Printf.sprintf "cm: error <= eps*m = %d on >= 99%% of the %d keys" bound
+       !distinct)
+    (float_of_int !over_bound <= 0.01 *. float_of_int !distinct);
+  let top10 = List.filteri (fun i _ -> i < 10) exact_sorted in
+  check "cm: the true top-10 keys estimate within the bound"
+    (List.for_all
+       (fun (id, c) -> Obs.Sketch.Cm.estimate cm id - c <= bound)
+       top10);
+  metric "cm_width" (float_of_int (Obs.Sketch.Cm.width cm));
+  metric "cm_depth" (float_of_int (Obs.Sketch.Cm.depth cm));
+  metric "cm_error_bound" (float_of_int bound);
+  metric "cm_max_err" (float_of_int !max_err);
+  metric "cm_mean_err" (float_of_int !sum_err /. float_of_int !distinct);
+  (* SpaceSaving: any key above total/capacity is guaranteed caught;
+     the Zipf head towers over that, so the true top-5 must be there,
+     with counts sandwiched by the per-entry overestimate bound. *)
+  let ss = Obs.Sketch.Topk.top topk 16 in
+  let ss_ids = List.map (fun (id, _, _) -> id) ss in
+  let top5 = List.filteri (fun i _ -> i < 5) exact_sorted in
+  check "spacesaving: true top-5 all monitored in top-16"
+    (List.for_all (fun (id, _) -> List.mem id ss_ids) top5);
+  check "spacesaving: count sandwich est - err <= truth <= est"
+    (List.for_all
+       (fun (id, est, err) ->
+         let c = truth id in
+         est - err <= c && c <= est)
+       ss);
+  (* Reservoir: bounded, fed by the whole stream, deterministic. *)
+  check "reservoir: saw the stream, kept its capacity"
+    (Obs.Sketch.Reservoir.seen res = n
+    && List.length (Obs.Sketch.Reservoir.contents res) = 256);
+  let res2 = Obs.Sketch.Reservoir.create ~capacity:256 () in
+  Array.iter (Obs.Sketch.Reservoir.offer res2) stream;
+  check "reservoir: identical stream, identical sample (deterministic)"
+    (Obs.Sketch.Reservoir.contents res = Obs.Sketch.Reservoir.contents res2);
+  line "  cm %dx%d on %d zipf draws: bound %d, max err %d, mean err %.2f"
+    (Obs.Sketch.Cm.width cm) (Obs.Sketch.Cm.depth cm) n bound !max_err
+    (float_of_int !sum_err /. float_of_int !distinct);
+  (* -- Per-round skew report on a Zipf join, vs exact degrees. ------
+     Repartition routes every fact exactly once, keyed on y, so the
+     received stream the coordinator sketches is exactly the input:
+     the report's top keys must be the true heavy hitters, and its
+     estimated max load must track the measured per-server load. *)
+  let m_join = if !smoke then 4_000 else 40_000 in
+  let p = 16 in
+  let draw_y = Relational.Generate.zipf_sampler ~rng ~n:1000 ~s:1.5 in
+  let join_inst =
+    Relational.Instance.of_facts
+      (List.concat
+         (List.init m_join (fun i ->
+              [
+                Relational.Fact.of_list "R"
+                  [
+                    Relational.Value.int (1_000_000 + i);
+                    Relational.Value.int (draw_y ());
+                  ];
+                Relational.Fact.of_list "S"
+                  [
+                    Relational.Value.int (draw_y ());
+                    Relational.Value.int (2_000_000 + i);
+                  ];
+              ])))
+  in
+  (* Exact occurrence count of every value across the delivered facts —
+     the quantity the sketch estimates. *)
+  let occ = Hashtbl.create 4096 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun v ->
+          let k = Relational.Value.to_string v in
+          Hashtbl.replace occ k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt occ k)))
+        (Relational.Tuple.to_list (Relational.Fact.args f)))
+    (Relational.Instance.facts join_inst);
+  let exact_top =
+    Hashtbl.fold (fun k c acc -> (c, k) :: acc) occ []
+    |> List.sort (fun a b -> compare b a)
+  in
+  Obs.Sketch.reset ();
+  Obs.Sketch.set_enabled true;
+  (* materialize:false — the heavy key's output is quadratic in its
+     degree, and the report is entirely about the communication phase. *)
+  let _, rj_stats =
+    Mpc.Repartition_join.run ~materialize:false ~executor:(exec ()) ~p
+      join_inst
+  in
+  Obs.Sketch.set_enabled false;
+  (match Obs.Sketch.latest () with
+  | None -> check "skew report recorded for the round" false
+  | Some r ->
+    check "skew report recorded for the round"
+      (r.round = 1 && r.label = "repartition" && r.p = p);
+    check "report relations cover the delivered facts"
+      (List.fold_left (fun acc (_, c) -> acc + c) 0 r.rels
+       = r.total_received
+      && List.mem_assoc "R" r.rels && List.mem_assoc "S" r.rels);
+    let report_keys = List.map fst r.top in
+    let true_top3 =
+      List.filteri (fun i _ -> i < 3) exact_top |> List.map snd
+    in
+    check "report top-5 contains the true top-3 heavy keys"
+      (List.for_all (fun k -> List.mem k report_keys) true_top3);
+    check "report estimates within the cm bound of exact degrees"
+      (List.for_all
+         (fun (k, est) ->
+           match Hashtbl.find_opt occ k with
+           | None -> false
+           | Some c -> est >= c && est - c <= r.error_bound)
+         r.top);
+    let measured = Mpc.Stats.max_load rj_stats in
+    check "report max_received = measured max load"
+      (r.max_received = measured);
+    (* The heavy server also carries its hash-share of light keys, so
+       the estimate may sit below the measurement by up to ~2m/p. *)
+    let slack = r.error_bound + (2 * ((r.total_received / r.p) + 1)) in
+    check "est max load tracks measured load within cm bound + fair share"
+      (abs (r.est_max_load - measured) <= slack);
+    let eps_measured = Mpc.Stats.epsilon ~m:r.m rj_stats in
+    metric "skew_epsilon" eps_measured;
+    metric "skew_target_load"
+      (Mpc.Stats.target_load ~m:r.m ~p:r.p ~epsilon:eps_measured);
+    metric "skew_est_max_load" (float_of_int r.est_max_load);
+    metric "skew_measured_max_load" (float_of_int measured);
+    metric "skew_error_bound" (float_of_int r.error_bound);
+    line "  zipf join, p = %d: measured max %d, report estimate %d (+-%d)" p
+      measured r.est_max_load r.error_bound);
+  (* -- Telemetry on/off bit-identity, e16-style. -------------------- *)
+  let encode i =
+    let w = Jobs.Codec.writer () in
+    Jobs.Codec.w_instance w i;
+    Jobs.Codec.contents w
+  in
+  let tri =
+    Mpc.Workload.relations_from_pairs ~rels:[ "R"; "S"; "T" ]
+      (Mpc.Workload.zipf_pairs ~rng ~m:(if !smoke then 500 else 5000)
+         ~domain:500 ~s:1.1)
+  in
+  let run_tri () =
+    Mpc.Hypercube.run ~executor:(exec ()) ~p:8 Cq.Examples.q2_triangle tri
+  in
+  let r_off, s_off, _ = run_tri () in
+  Obs.Trace.set_mode (Ring 4096);
+  Obs.Trace.set_enabled true;
+  Obs.Sketch.set_enabled true;
+  let r_on, s_on, _ = run_tri () in
+  let scrape_t0 = Unix.gettimeofday () in
+  let exposition = Obs.Export.openmetrics () in
+  let scrape_us = 1e6 *. (Unix.gettimeofday () -. scrape_t0) in
+  Obs.Trace.set_enabled false;
+  Obs.Trace.set_mode Full;
+  Obs.Sketch.set_enabled false;
+  check "telemetry on: triangle result and Stats.t bit-identical"
+    (String.equal (encode r_off) (encode r_on) && s_off = s_on);
+  (* -- Scrape: structurally valid OpenMetrics, parseable back. ------ *)
+  let samples = Obs.Export.parse_openmetrics exposition in
+  check "openmetrics: terminated by # EOF"
+    (String.length exposition >= 6
+    && String.sub exposition (String.length exposition - 6) 6 = "# EOF\n");
+  let value name =
+    List.find_map
+      (fun (s, _, v) -> if String.equal s name then Some v else None)
+      samples
+  in
+  let bucket_inf name =
+    List.find_map
+      (fun (s, labels, v) ->
+        if String.equal s (name ^ "_bucket")
+           && List.assoc_opt "le" labels = Some "+Inf"
+        then Some v
+        else None)
+      samples
+  in
+  (* Histogram invariant: the +Inf cumulative bucket equals _count,
+     for every exposed histogram family. *)
+  let hist_bases =
+    List.filter_map
+      (fun (s, _, _) ->
+        if String.length s > 6 && Filename.check_suffix s "_count" then
+          Some (String.sub s 0 (String.length s - 6))
+        else None)
+      samples
+    |> List.sort_uniq compare
+    |> List.filter (fun base -> bucket_inf base <> None)
+  in
+  check
+    (Printf.sprintf "openmetrics: +Inf bucket = count on all %d histograms"
+       (List.length hist_bases))
+    (hist_bases <> []
+    && List.for_all
+         (fun base -> bucket_inf base = value (base ^ "_count"))
+         hist_bases);
+  check "openmetrics: skew gauges exposed from the latest report"
+    (value "lamp_skew_round" <> None
+    && value "lamp_skew_est_max_load" <> None);
+  metric "exposition_bytes" (float_of_int (String.length exposition));
+  metric "exposition_samples" (float_of_int (List.length samples));
+  metric "scrape_us" scrape_us;
+  line "  scrape: %d bytes, %d samples, %.0f us" (String.length exposition)
+    (List.length samples) scrape_us;
+  line
+    "  shape: the sketches give the coordinator a per-round skew verdict\n\
+    \  for the price of a scan it already does — the report names the\n\
+    \  keys a skew-resilient schedule would split, bounds their degrees\n\
+    \  within eps*m, and the whole telemetry path stays invisible to the\n\
+    \  measured Stats.t."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1900,6 +2159,7 @@ let experiments =
     ("e14", e14);
     ("e15", e15);
     ("e16", e16);
+    ("e17", e17);
   ]
 
 (* One parser for every [--key=value] flag: the key names its handler

@@ -815,10 +815,26 @@ let serve_cmd =
                second, bucket size). Unset means unlimited." in
     Arg.(value & opt (some string) None & info [ "quota" ] ~docv:"RATE:BURST" ~doc)
   in
+  let telemetry_arg =
+    let doc =
+      "Enable live telemetry: event tracing in a bounded ring plus sketch \
+       statistics (skew reports), scrapeable over the wire with $(b,lamp \
+       client metrics), $(b,lamp client trace) and $(b,lamp top)."
+    in
+    Arg.(value & flag & info [ "telemetry" ] ~doc)
+  in
   let run socket port host inline file iname max_sessions max_inflight
-      pool_size plan_cache batch quota strategy backend domains trace profile =
+      pool_size plan_cache batch quota strategy telemetry backend domains trace
+      profile =
     wrap (fun () ->
         with_obs trace profile (fun () ->
+            if telemetry then begin
+              (* A long-lived server must not grow its event buffer
+                 without bound: keep the newest spans in a ring. *)
+              Obs.Trace.set_mode (Ring 4096);
+              Obs.Trace.set_enabled true;
+              Obs.Sketch.set_enabled true
+            end;
             let strategy = parse_strategy strategy in
             let quota =
               Option.map
@@ -863,6 +879,7 @@ let serve_cmd =
                     let bound = Serve.Server.listen_tcp ~host server ~port in
                     Fmt.pr "listening on %s:%d@." host bound)
                   port;
+                if telemetry then Fmt.pr "telemetry on (ring of 4096 events)@.";
                 Fmt.pr "serving instance %S (%d facts); ^C stops@." iname
                   (Relational.Instance.cardinal data);
                 (* The handler only flips a flag: Server.stop joins
@@ -891,8 +908,8 @@ let serve_cmd =
       const run $ socket_arg $ port_arg $ host_arg $ instance_arg
       $ instance_file_arg $ iname_arg $ max_sessions_arg $ max_inflight_arg
       $ pool_size_arg $ plan_cache_arg $ batch_arg $ quota_arg
-      $ plan_strategy_arg $ backend_arg $ domains_arg $ trace_arg
-      $ profile_arg)
+      $ plan_strategy_arg $ telemetry_arg $ backend_arg $ domains_arg
+      $ trace_arg $ profile_arg)
 
 (* Opens the connection named by --socket/--port, runs [f], closes. *)
 let with_client socket port host f =
@@ -954,7 +971,8 @@ let client_cmd =
                   Fmt.pr "handles[%s]: %d in use, %d idle@." name in_use idle)
                 s.handle_pools;
               Fmt.pr "served: %d (%d rejected, %d throttled)@."
-                s.requests_served s.rejected s.throttled))
+                s.requests_served s.rejected s.throttled;
+              if s.uptime_s > 0.0 then Fmt.pr "uptime: %.1fs@." s.uptime_s))
     in
     Cmd.v
       (Cmd.info "stats" ~doc:"Print the server's counters and pool state.")
@@ -1021,8 +1039,207 @@ let client_cmd =
         const run $ socket_arg $ port_arg $ host_arg $ iname_arg $ instance_arg
         $ instance_file_arg)
   in
+  let metrics =
+    let run socket port host =
+      wrap (fun () ->
+          with_client socket port host (fun c ->
+              print_string (Serve.Client.metrics c)))
+    in
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:
+           "Scrape the server's live metrics as OpenMetrics/Prometheus text.")
+      Term.(const run $ socket_arg $ port_arg $ host_arg)
+  in
+  let trace =
+    let limit_arg =
+      let doc = "Newest spans to fetch." in
+      Arg.(value & opt int 64 & info [ "limit" ] ~docv:"N" ~doc)
+    in
+    let run socket port host limit =
+      wrap (fun () ->
+          with_client socket port host (fun c ->
+              let spans = Serve.Client.trace_dump ~limit c in
+              if spans = [] then
+                Fmt.pr "no spans (is the server running --telemetry?)@."
+              else
+                List.iter
+                  (fun (s : Serve.Wire.span_info) ->
+                    Fmt.pr "%10.6fs %9.3fms  tid=%d  %s/%s@." s.sp_t
+                      (s.sp_dur *. 1e3) s.sp_tid s.sp_cat s.sp_name)
+                  spans))
+    in
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:"Fetch the server's most recent completed spans.")
+      Term.(const run $ socket_arg $ port_arg $ host_arg $ limit_arg)
+  in
   let doc = "Talk to a running lamp serve instance." in
-  Cmd.group (Cmd.info "client" ~doc) [ health; stats; prepare; exec; ingest ]
+  Cmd.group (Cmd.info "client" ~doc)
+    [ health; stats; prepare; exec; ingest; metrics; trace ]
+
+(* ------------------------------------------------------------------ *)
+(* top — live view over the metrics op                                 *)
+
+(* Successive scrapes, rendered Prometheus-style: rates and quantiles
+   come from the delta between the two newest scrapes, exactly what a
+   rate()/histogram_quantile() pair computes — the server only ever
+   ships cumulative counters. *)
+
+let top_find samples name =
+  List.find_map
+    (fun (n, _, v) -> if String.equal n name then Some v else None)
+    samples
+
+let top_value samples name = Option.value ~default:0.0 (top_find samples name)
+
+(* The cumulative buckets of histogram [name], sorted by upper bound. *)
+let top_buckets samples name =
+  let bucket = name ^ "_bucket" in
+  List.filter_map
+    (fun (n, labels, v) ->
+      if String.equal n bucket then
+        Option.map
+          (fun le ->
+            ((if le = "+Inf" then infinity else float_of_string le), v))
+          (List.assoc_opt "le" labels)
+      else None)
+    samples
+  |> List.sort compare
+
+(* histogram_quantile over the window: subtract the older scrape's
+   cumulative buckets, then rank-interpolate. NaN when the window saw
+   no observations. *)
+let top_quantile ~newer ~older name q =
+  let ob = top_buckets older name in
+  let d =
+    List.map
+      (fun (le, v) ->
+        (le, v -. Option.value ~default:0.0 (List.assoc_opt le ob)))
+      (top_buckets newer name)
+  in
+  match List.rev d with
+  | [] -> nan
+  | (_, total) :: _ when total <= 0.0 -> nan
+  | (_, total) :: _ ->
+    let rank = q *. total in
+    let rec walk lo lo_cum = function
+      | [] -> nan
+      | (le, cum) :: rest ->
+        if cum >= rank && cum > 0.0 then
+          if le = infinity then lo
+          else if cum <= lo_cum then le
+          else lo +. ((le -. lo) *. ((rank -. lo_cum) /. (cum -. lo_cum)))
+        else walk le cum rest
+    in
+    walk 0.0 0.0 d
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let count_arg =
+    let doc = "Refreshes before exiting (0 = until interrupted)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let render ~clear ~dt ~newer ~older (s : Serve.Wire.server_stats) =
+    if clear then print_string "\027[H\027[2J";
+    let rate name =
+      (top_value newer name -. top_value older name) /. dt
+    in
+    let q name p = top_quantile ~newer ~older name p in
+    let pq v = if Float.is_nan v then "-" else Fmt.str "%.0f" v in
+    Fmt.pr "lamp top — uptime %.0fs, %d sessions, %d active, %d in-flight@."
+      s.uptime_s s.sessions s.active_requests s.executor_in_flight;
+    Fmt.pr "  qps      %8.1f   rejected/s %6.2f   throttled/s %6.2f@."
+      (rate "lamp_serve_requests_total")
+      (rate "lamp_serve_rejected_total")
+      (rate "lamp_serve_throttled_total");
+    let lookups = s.plan_cache_hits + s.plan_cache_misses in
+    Fmt.pr "  plans    %8d   cache hit rate %s   pool in use %.0f@."
+      s.plan_cache_size
+      (if lookups = 0 then "-"
+       else Fmt.str "%5.1f%%" (100.0 *. float_of_int s.plan_cache_hits /. float_of_int lookups))
+      (top_value newer "lamp_serve_pool_in_use");
+    let h name label =
+      Fmt.pr "  %s  p50 %6sµs  p95 %6sµs  p99 %6sµs@." label
+        (pq (q name 0.5)) (pq (q name 0.95)) (pq (q name 0.99))
+    in
+    h "lamp_serve_queue_wait_us" "queue wait";
+    h "lamp_serve_request_us" "latency   ";
+    (* Current skew report, if the server sketches. *)
+    (match top_find newer "lamp_skew_round" with
+    | None -> ()
+    | Some round ->
+      Fmt.pr
+        "  skew [%s round %.0f]  est max load %.0f  threshold %.0f  (±%.0f)@."
+        (Option.value ~default:"?"
+           (List.find_map
+              (fun (n, labels, _) ->
+                if String.equal n "lamp_skew_top" then
+                  List.assoc_opt "ctx" labels
+                else None)
+              newer))
+        round
+        (top_value newer "lamp_skew_est_max_load")
+        (top_value newer "lamp_skew_threshold")
+        (top_value newer "lamp_skew_error_bound");
+      List.filter_map
+        (fun (n, labels, v) ->
+          if String.equal n "lamp_skew_top" then
+            Option.map
+              (fun r -> (int_of_string r, List.assoc_opt "key" labels, v))
+              (List.assoc_opt "rank" labels)
+          else None)
+        newer
+      |> List.sort compare
+      |> List.iter (fun (rank, key, est) ->
+             Fmt.pr "    #%d %-16s ~%.0f@." rank
+               (Option.value ~default:"?" key)
+               est))
+  in
+  let run socket port host interval count =
+    wrap (fun () ->
+        if interval <= 0.0 then invalid_arg "--interval must be positive";
+        with_client socket port host (fun c ->
+            let stop = Atomic.make false in
+            ignore
+              (Sys.signal Sys.sigint
+                 (Sys.Signal_handle (fun _ -> Atomic.set stop true)));
+            let prev = ref [] in
+            let prev_t = ref nan in
+            let i = ref 0 in
+            while
+              (count = 0 || !i < count) && not (Atomic.get stop)
+            do
+              incr i;
+              let t = Unix.gettimeofday () in
+              let samples =
+                Obs.Export.parse_openmetrics (Serve.Client.metrics c)
+              in
+              let s = Serve.Client.stats c in
+              (* First scrape has no window yet: rate over the uptime
+                 (the lifetime average) rather than nothing. *)
+              let dt =
+                if Float.is_nan !prev_t then Float.max s.uptime_s interval
+                else Float.max (t -. !prev_t) 1e-9
+              in
+              render ~clear:(count <> 1) ~dt ~newer:samples ~older:!prev s;
+              prev := samples;
+              prev_t := t;
+              if count = 0 || !i < count then Thread.delay interval
+            done))
+  in
+  let doc =
+    "Live telemetry view of a running server: qps, queue-wait and latency \
+     percentiles over the refresh window, cache and pool state, and the \
+     current skew report. Scrapes the $(b,metrics) wire op; the server \
+     should run with $(b,--telemetry)."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ interval_arg $ count_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1047,6 +1264,7 @@ let main_cmd =
       classify_cmd;
       serve_cmd;
       client_cmd;
+      top_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

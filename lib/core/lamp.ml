@@ -36,6 +36,8 @@
 
 module Obs = struct
   module Trace = Lamp_obs.Trace
+  module Metrics = Lamp_obs.Metrics
+  module Sketch = Lamp_obs.Sketch
   module Export = Lamp_obs.Export
 end
 

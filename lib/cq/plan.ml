@@ -14,6 +14,22 @@ let cnt_index_extends = Trace.counter "cq.index_extends"
 let cnt_dedup_fresh = Trace.counter "cq.dedup_fresh"
 let cnt_dedup_hits = Trace.counter "cq.dedup_hits"
 
+let () =
+  let module M = Lamp_obs.Metrics in
+  M.describe ~kind:M.Counter ~help:"Index probes issued by join steps"
+    "cq.probes";
+  M.describe ~kind:M.Counter ~help:"Index probes that found no bucket"
+    "cq.probe_misses";
+  M.describe ~kind:M.Counter ~help:"Full-relation scans (no usable index)"
+    "cq.scans";
+  M.describe ~kind:M.Counter ~help:"Column indexes built" "cq.index_builds";
+  M.describe ~kind:M.Counter ~help:"Incremental index extensions"
+    "cq.index_extends";
+  M.describe ~kind:M.Counter ~help:"Output tuples seen for the first time"
+    "cq.dedup_fresh";
+  M.describe ~kind:M.Counter ~help:"Output tuples suppressed as duplicates"
+    "cq.dedup_hits"
+
 (* Compiled CQ plans over interned tuples.
 
    A query is compiled once: variables become integer slots, each body

@@ -25,6 +25,18 @@ let cnt_gallops = Trace.counter "cq.wcoj_gallop_steps"
 let cnt_emitted = Trace.counter "cq.wcoj_emitted"
 let cnt_intersections = Trace.counter "cq.wcoj_intersections"
 
+let () =
+  let module M = Lamp_obs.Metrics in
+  M.describe ~kind:M.Counter ~help:"Trie-range probes during leapfrog folds"
+    "cq.wcoj_probes";
+  M.describe ~kind:M.Counter ~help:"Galloping search steps across ranges"
+    "cq.wcoj_gallop_steps";
+  M.describe ~kind:M.Counter ~help:"Tuples emitted by worst-case-optimal joins"
+    "cq.wcoj_emitted";
+  M.describe ~kind:M.Counter
+    ~help:"Multi-way intersections materialized per variable level"
+    "cq.wcoj_intersections"
+
 type probe_key =
   | Kconst of int
   | Kslot of int

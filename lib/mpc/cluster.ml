@@ -2,6 +2,7 @@ open Lamp_relational
 module Executor = Lamp_runtime.Executor
 module Metrics = Lamp_runtime.Metrics
 module Trace = Lamp_obs.Trace
+module Sketch = Lamp_obs.Sketch
 module Plan = Lamp_faults.Plan
 
 type t = {
@@ -138,6 +139,69 @@ let emit_round_trace t ~round_no ~sent ~shipped ~received ~max_received
                 keys))
       "mpc.heavy_keys"
 
+(* One-pass sketch statistics over the round's deliveries: Count-Min
+   degree estimates and SpaceSaving heavy hitters over the interned id
+   of every join-key value, plus per-relation delivery counts and a
+   reservoir of sampled keys. Runs on the coordinating thread after the
+   merge (deterministic iteration order, so identical on both
+   backends), reads only what the round produced, and is gated on
+   {!Sketch.is_enabled} — one atomic load when off. The resulting
+   {!Sketch.report} is what the future online re-planner (ROADMAP
+   "adaptive skew handling") consumes; today it feeds the metrics
+   scrape and [lamp top]. *)
+let sketch_round t ~round_no ~received ~max_received ~total_received =
+  let cm = Sketch.Cm.create ~epsilon:0.005 ~delta:0.01 () in
+  let topk = Sketch.Topk.create ~capacity:64 () in
+  let sample = Sketch.Reservoir.create ~capacity:256 () in
+  let rels : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun inst ->
+      Instance.iter
+        (fun f ->
+          (match Hashtbl.find_opt rels (Fact.rel f) with
+          | Some r -> incr r
+          | None -> Hashtbl.add rels (Fact.rel f) (ref 1));
+          Array.iter
+            (fun v ->
+              let id = Intern.id v in
+              Sketch.Cm.add cm id;
+              Sketch.Topk.offer topk id;
+              Sketch.Reservoir.offer sample id)
+            (Fact.args f))
+        inst)
+    received;
+  let m = t.initial_total in
+  let threshold = Skew.default_threshold ~m ~p:t.p in
+  (* Report CM estimates for the ids SpaceSaving surfaced — the
+     classic pairing: SpaceSaving guarantees the heavy ids are present,
+     CM bounds the counts (truth <= estimate <= truth + eps*total). *)
+  let top =
+    List.map
+      (fun (id, _ss_count, _err) ->
+        (Value.to_string (Intern.value id), Sketch.Cm.estimate cm id))
+      (Sketch.Topk.top topk 5)
+  in
+  let est_top = List.fold_left (fun acc (_, c) -> max acc c) 0 top in
+  let per_server =
+    if t.p = 0 then 0 else (total_received + t.p - 1) / t.p
+  in
+  Sketch.record
+    {
+      Sketch.label = Sketch.context ();
+      round = round_no;
+      p = t.p;
+      m;
+      threshold;
+      top;
+      rels =
+        Hashtbl.fold (fun rel r acc -> (rel, !r) :: acc) rels []
+        |> List.sort compare;
+      est_max_load = max per_server est_top;
+      max_received;
+      total_received;
+      error_bound = Sketch.Cm.error_bound cm;
+    }
+
 (* ------------------------------------------------------------------ *)
 
 let bad_destination ~p ~src ~dst fact =
@@ -216,6 +280,8 @@ let run_round_clean t round =
   in
   t.round_stats <-
     { Stats.max_received; total_received } :: t.round_stats;
+  if Sketch.is_enabled () then
+    sketch_round t ~round_no ~received ~max_received ~total_received;
   if tracing then begin
     (* Messages shipped to each destination, duplicates included —
        [received] counts distinct facts after the inbox set union. *)
@@ -437,6 +503,8 @@ let run_round_faulty t plan round =
   in
   t.round_stats <-
     { Stats.max_received; total_received } :: t.round_stats;
+  if Sketch.is_enabled () then
+    sketch_round t ~round_no ~received ~max_received ~total_received;
   let retries = ref 0 in
   (* Like retries, speculations are counted analytically — both are
      pure functions of (plan, round, phase, task), and the compute

@@ -11,6 +11,7 @@ let query = Lamp_cq.Examples.q1_join
 
 let run ?(materialize = true) ?executor ?faults ~p instance =
   if p < 1 then invalid_arg "Grid_join.run: p < 1";
+  Lamp_obs.Sketch.set_context "grid";
   let g = max 1 (int_of_float (sqrt (float_of_int p))) in
   let cluster = Cluster.create ?executor ?faults ~p instance in
   (* Stable per-fact group numbers: hash of the fact itself modulo g

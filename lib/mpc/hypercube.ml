@@ -5,6 +5,7 @@ module Codec = Lamp_jobs.Codec
 
 let run_with_shares ?(seed = 0) ?(materialize = true) ?strategy ?executor
     ?faults ~shares query instance =
+  Lamp_obs.Sketch.set_context "hypercube";
   let policy, grid = Policy.hypercube ~seed ~name:"hypercube" ~query ~shares () in
   let cluster = Cluster.create ?executor ?faults ~p:(Grid.size grid) instance in
   Cluster.run_round cluster
@@ -24,6 +25,7 @@ let run ?(seed = 0) ?(materialize = true) ?strategy ?executor ?faults ?job
     ?shares ~p query instance =
   if not (Ast.is_positive query) then
     invalid_arg "Hypercube.run: defined for positive CQs";
+  Lamp_obs.Sketch.set_context "hypercube";
   let p0 = p in
   let shares_for ~p =
     match shares with

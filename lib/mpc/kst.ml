@@ -92,6 +92,7 @@ let run ?(seed = 0) ?threshold ?executor ?faults ?job ~p query instance =
   if p <= 0 then invalid_arg "Kst.run: p must be positive";
   if not (Ast.is_positive query) then
     invalid_arg "Kst.run: positive conjunctive queries only";
+  Lamp_obs.Sketch.set_context "kst";
   let atoms = query.Ast.body in
   List.iter
     (fun a ->

@@ -73,6 +73,7 @@ let plan_of = function Some f -> f | None -> Lamp_faults.Plan.none
    Round 1 joins R and S on y into K; round 2 joins K with T on the
    pair (x, z). T rides along at its initial servers during round 1. *)
 let cascade_triangle ?(seed = 0) ?executor ?faults ?job ~p instance =
+  Lamp_obs.Sketch.set_context "cascade";
   let k_query = Parser.query "K(x,y,z) <- R(x,y), S(y,z)" in
   let finish = Parser.query "H(x,y,z) <- K(x,y,z), T(z,x)" in
   let cluster = ref (Cluster.create ?executor ?faults ~p instance) in
@@ -135,6 +136,7 @@ let cascade_triangle ?(seed = 0) ?executor ?faults ?job ~p instance =
             the heavy S there. *)
 let skew_resilient_triangle ?(seed = 0) ?threshold ?executor ?faults ?job ~p
     instance =
+  Lamp_obs.Sketch.set_context "skew_resilient";
   let m_rel =
     List.fold_left
       (fun acc rel -> max acc (Tuple.Set.cardinal (Instance.tuples instance rel)))

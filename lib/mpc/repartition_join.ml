@@ -9,6 +9,7 @@ open Lamp_distribution
 let query = Lamp_cq.Examples.q1_join
 
 let run ?(seed = 0) ?(materialize = true) ?executor ?faults ~p instance =
+  Lamp_obs.Sketch.set_context "repartition";
   let cluster = Cluster.create ?executor ?faults ~p instance in
   let route fact =
     let args = Fact.args fact in

@@ -73,7 +73,18 @@ val epsilon : m:int -> t -> float
     paper's bounds correspond to ε = 0 for a skew-free join, 1/3 for the
     one-round triangle, 1/2 for the grid join. *)
 
+val target_load : m:int -> p:int -> epsilon:float -> float
+(** The paper's load form [m / p^(1-ε)] — the budget a round at skew ε
+    is entitled to. The per-round skew reports ([Obs.Sketch.report])
+    compare their estimated max load against it. *)
+
 val pp : t Fmt.t
+
+val pp_skew : Format.formatter -> Lamp_obs.Sketch.report list -> unit
+(** Render the obs-side per-round skew reports (sampled heavy-hitter
+    statistics recorded during the run). They live in [Obs.Sketch]'s
+    ring, {e not} in {!t}: [t] is bit-identical with sketching on or
+    off. *)
 
 val pp_rounds : t Fmt.t
 (** Per-round breakdown: one line per communication round with that

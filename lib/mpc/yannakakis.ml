@@ -283,6 +283,7 @@ type numbered = { id : int; node : reduced_tree; kids : numbered list }
 let gym_job ?(seed = 0) ?forest ?executor ?(faults = Lamp_faults.Plan.none) ~p
     q instance =
   if p < 1 then invalid_arg "Yannakakis.gym: p < 1";
+  Lamp_obs.Sketch.set_context "gym";
   let forest =
     match forest with Some f -> Some f | None -> Hypergraph.gyo q
   in

@@ -249,6 +249,201 @@ let pp_report ppf () =
       hs
 
 (* ------------------------------------------------------------------ *)
+(* OpenMetrics / Prometheus text exposition                            *)
+
+(* Prometheus metric names are [a-zA-Z0-9_:]; ours use dots. Sanitize
+   and prefix with the exporter namespace. *)
+let om_name name =
+  let buf = Buffer.create (String.length name + 5) in
+  if String.length name < 5 || String.sub name 0 5 <> "lamp_" then
+    Buffer.add_string buf "lamp_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+        Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let om_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+(* One [# HELP]/[# TYPE] header per metric family. [raw] is the
+   pre-sanitization name {!Metrics.describe} was keyed on. *)
+let om_header buf seen ~raw ~base kind =
+  if not (Hashtbl.mem seen base) then begin
+    Hashtbl.add seen base ();
+    (match Metrics.help raw with
+    | Some h ->
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base h)
+    | None -> ());
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+  end
+
+let om_skew buf seen =
+  match Sketch.latest () with
+  | None -> ()
+  | Some (r : Sketch.report) ->
+    let g raw v =
+      let base = om_name raw in
+      om_header buf seen ~raw ~base "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" base (om_float v))
+    in
+    g "skew.round" (float_of_int r.round);
+    g "skew.p" (float_of_int r.p);
+    g "skew.m" (float_of_int r.m);
+    g "skew.threshold" (float_of_int r.threshold);
+    g "skew.est_max_load" (float_of_int r.est_max_load);
+    g "skew.max_received" (float_of_int r.max_received);
+    g "skew.total_received" (float_of_int r.total_received);
+    g "skew.error_bound" (float_of_int r.error_bound);
+    let top_base = om_name "skew.top" in
+    om_header buf seen ~raw:"skew.top" ~base:top_base "gauge";
+    List.iteri
+      (fun i (key, est) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" top_base
+             (Metrics.render_labels ""
+                [
+                  ("ctx", r.label);
+                  ("rank", string_of_int (i + 1));
+                  ("key", key);
+                ])
+             est))
+      r.top;
+    let rel_base = om_name "skew.rel" in
+    om_header buf seen ~raw:"skew.rel" ~base:rel_base "gauge";
+    List.iter
+      (fun (rel, n) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" rel_base
+             (Metrics.render_labels "" [ ("rel", rel) ])
+             n))
+      r.rels;
+    let base = om_name "skew.reports" in
+    om_header buf seen ~raw:"skew.reports" ~base "counter";
+    Buffer.add_string buf
+      (Printf.sprintf "%s_total %d\n" base (Sketch.report_count ()))
+
+let openmetrics () =
+  let buf = Buffer.create 8192 in
+  let seen = Hashtbl.create 64 in
+  (* Counters: zeros included, so a scraper's rate() resets cleanly. *)
+  List.iter
+    (fun (name, v) ->
+      let raw, labels = Metrics.split_labels name in
+      let base = om_name raw in
+      om_header buf seen ~raw ~base "counter";
+      Buffer.add_string buf (Printf.sprintf "%s_total%s %d\n" base labels v))
+    (Trace.counters ~all:true ());
+  (* Gauges: settable values and on-demand callbacks. *)
+  List.iter
+    (fun (name, v) ->
+      let raw, labels = Metrics.split_labels name in
+      let base = om_name raw in
+      om_header buf seen ~raw ~base "gauge";
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" base labels (om_float v)))
+    (Metrics.gauges ());
+  (* Histograms: the power-of-two buckets, made cumulative as the
+     exposition format requires. *)
+  List.iter
+    (fun (name, (s : Trace.histogram_snapshot)) ->
+      let raw, labels = Metrics.split_labels name in
+      let base = om_name raw in
+      om_header buf seen ~raw ~base "histogram";
+      let strip l =
+        (* merge the le label into an existing label set *)
+        if l = "" then "" else String.sub l 1 (String.length l - 2) ^ ","
+      in
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, c) ->
+          cum := !cum + c;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{%sle=\"%d\"} %d\n" base (strip labels)
+               ub !cum))
+        s.buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{%sle=\"+Inf\"} %d\n" base (strip labels)
+           s.count);
+      Buffer.add_string buf (Printf.sprintf "%s_sum%s %d\n" base labels s.sum);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" base labels s.count))
+    (Trace.histograms ~all:true ());
+  om_skew buf seen;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let write_openmetrics path =
+  with_out path (fun oc -> output_string oc (openmetrics ()))
+
+(* Parser for the exposition format — enough for [lamp top] and the
+   tests to read back what [openmetrics] (or any Prometheus exporter)
+   emits: [name{k="v",...} value] lines, comments skipped. *)
+let parse_openmetrics text =
+  let parse_line line =
+    let n = String.length line in
+    if n = 0 || line.[0] = '#' then None
+    else
+      try
+        let i = ref 0 in
+        while !i < n && line.[!i] <> '{' && line.[!i] <> ' ' do incr i done;
+        let name = String.sub line 0 !i in
+        let labels = ref [] in
+        if !i < n && line.[!i] = '{' then begin
+          incr i;
+          let rec pairs () =
+            if line.[!i] = '}' then incr i
+            else begin
+              let k0 = !i in
+              while line.[!i] <> '=' do incr i done;
+              let k = String.sub line k0 (!i - k0) in
+              i := !i + 2 (* skip the = and the opening quote *);
+              let b = Buffer.create 8 in
+              let rec scan () =
+                match line.[!i] with
+                | '\\' ->
+                  incr i;
+                  (match line.[!i] with
+                  | 'n' -> Buffer.add_char b '\n'
+                  | c -> Buffer.add_char b c);
+                  incr i;
+                  scan ()
+                | '"' -> incr i
+                | c ->
+                  Buffer.add_char b c;
+                  incr i;
+                  scan ()
+              in
+              scan ();
+              labels := (k, Buffer.contents b) :: !labels;
+              if line.[!i] = ',' then begin
+                incr i;
+                pairs ()
+              end
+              else incr i (* '}' *)
+            end
+          in
+          pairs ()
+        end;
+        while !i < n && line.[!i] = ' ' do incr i done;
+        let j = ref !i in
+        while !j < n && line.[!j] <> ' ' do incr j done;
+        match float_of_string_opt (String.sub line !i (!j - !i)) with
+        | Some v -> Some (name, List.rev !labels, v)
+        | None -> None
+      with _ -> None
+  in
+  String.split_on_char '\n' text |> List.filter_map parse_line
+
+(* ------------------------------------------------------------------ *)
 (* Metrics JSON (bench results file)                                   *)
 
 type meta =

@@ -21,6 +21,31 @@ val write_jsonl : string -> unit
 
 val pp_report : Format.formatter -> unit -> unit
 
+(** {1 OpenMetrics / Prometheus text exposition} *)
+
+val openmetrics : unit -> string
+(** A Prometheus-scrapable snapshot of the whole registry: every
+    {!Trace} counter ([lamp_<name>_total], zeros included) and
+    histogram (cumulative [_bucket{le="..."}]/[_sum]/[_count] over the
+    power-of-two bounds), every {!Metrics} gauge (settable and
+    callback), labeled family cells with their labels re-attached,
+    [# HELP]/[# TYPE] headers from {!Metrics.describe}, the latest
+    {!Sketch} skew report as [lamp_skew_*] gauges and
+    [lamp_skew_top{rank,key}] entries, and a final [# EOF]. Metric
+    names are sanitized to [a-zA-Z0-9_:] and prefixed [lamp_]. *)
+
+val write_openmetrics : string -> unit
+
+val parse_openmetrics :
+  string -> (string * (string * string) list * float) list
+(** Parse exposition text back into [(name, labels, value)] samples —
+    comments skipped, malformed lines dropped. Enough to read
+    {!openmetrics} output (it's what [lamp top] runs on each poll). *)
+
+val om_name : string -> string
+(** The exposition name for a registry name: [om_name "serve.qps"] =
+    ["lamp_serve_qps"]. *)
+
 (** {1 Metrics JSON}
 
     The bench harness's machine-readable results file: experiment

@@ -1,0 +1,258 @@
+(* One-pass data statistics over interned ids — the sampled-statistics
+   substrate the adaptive-skew roadmap item needs, packaged as
+   observability so recording can never perturb results.
+
+   Three classic summaries, all deterministic (fixed seeds, no global
+   randomness) so runs are reproducible and the accuracy tests can pin
+   exact bounds:
+
+   - Count-Min: frequency estimates with one-sided error
+     (estimate >= truth, estimate <= truth + eps * total w.h.p.);
+   - SpaceSaving: top-k heavy hitters with per-entry overestimate
+     bounds;
+   - Reservoir: a uniform sample of a stream of unknown length.
+
+   Sketches are built by the coordinating thread after a round's data
+   is merged (never inside parallel workers), so the structures here
+   are deliberately plain mutable state with no atomics.
+
+   Recording is gated on a master switch separate from Trace's: a
+   server wants cheap per-round skew reports without paying for event
+   tracing, and a bench wants tracing without sketch overhead. Off
+   cost is the same discipline as Trace: one atomic load + branch. *)
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+(* Ambient producer label: the algorithm driving the cluster sets it
+   ("hypercube", "kst", ...) so per-round reports name their producer
+   without threading a label through every Cluster entry point. *)
+let context_label = Atomic.make "mpc"
+let set_context l = Atomic.set context_label l
+let context () = Atomic.get context_label
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic mixing                                                *)
+
+(* splitmix-style finalizer over OCaml's 63-bit ints; constants kept
+   under 2^62. Quality is far beyond what CM's pairwise-independence
+   analysis needs in practice. *)
+let mix seed x =
+  let h = (x + 0x9E3779B9) * ((seed lsl 1) lor 1) in
+  let h = h lxor (h lsr 31) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x3C79AC492BA7B653 in
+  let h = h lxor (h lsr 32) in
+  h land max_int
+
+(* ------------------------------------------------------------------ *)
+(* Count-Min                                                           *)
+
+module Cm = struct
+  type t = {
+    width : int;
+    depth : int;
+    epsilon : float;
+    seeds : int array;
+    rows : int array array;
+    mutable total : int;
+  }
+
+  let create ?(epsilon = 0.01) ?(delta = 0.02) ?(seed = 0x5eed) () =
+    let epsilon = Float.max 1e-6 epsilon in
+    let delta = Float.max 1e-9 (Float.min 0.5 delta) in
+    let width = max 2 (int_of_float (Float.ceil (Float.exp 1.0 /. epsilon))) in
+    let depth = max 1 (int_of_float (Float.ceil (Float.log (1.0 /. delta)))) in
+    {
+      width;
+      depth;
+      epsilon;
+      seeds = Array.init depth (fun i -> mix seed (i + 1));
+      rows = Array.make_matrix depth width 0;
+      total = 0;
+    }
+
+    let width t = t.width
+    let depth t = t.depth
+    let epsilon t = t.epsilon
+    let total t = t.total
+
+  let add t ?(count = 1) id =
+    t.total <- t.total + count;
+    for r = 0 to t.depth - 1 do
+      let j = mix t.seeds.(r) id mod t.width in
+      t.rows.(r).(j) <- t.rows.(r).(j) + count
+    done
+
+  let estimate t id =
+    let est = ref max_int in
+    for r = 0 to t.depth - 1 do
+      let j = mix t.seeds.(r) id mod t.width in
+      if t.rows.(r).(j) < !est then est := t.rows.(r).(j)
+    done;
+    if !est = max_int then 0 else !est
+
+  (* The additive error CM guarantees w.h.p.: eps * total, rounded up. *)
+  let error_bound t =
+    int_of_float (Float.ceil (t.epsilon *. float_of_int t.total))
+end
+
+(* ------------------------------------------------------------------ *)
+(* SpaceSaving top-k                                                   *)
+
+module Topk = struct
+  type entry = {
+    mutable count : int;
+    mutable err : int;  (* the evicted count this entry inherited *)
+  }
+
+  type t = {
+    capacity : int;
+    table : (int, entry) Hashtbl.t;
+  }
+
+  let create ?(capacity = 16) () =
+    let capacity = max 1 capacity in
+    { capacity; table = Hashtbl.create (2 * capacity) }
+
+  let offer t ?(count = 1) id =
+    match Hashtbl.find_opt t.table id with
+    | Some e -> e.count <- e.count + count
+    | None ->
+      if Hashtbl.length t.table < t.capacity then
+        Hashtbl.add t.table id { count; err = 0 }
+      else begin
+        (* Evict the minimum-count entry; the newcomer inherits its
+           count (the classic SpaceSaving overestimate). Ties break on
+           the smaller id so runs are deterministic. *)
+        let min_id = ref (-1) and min_e = ref None in
+        Hashtbl.iter
+          (fun id' e ->
+            match !min_e with
+            | None ->
+              min_id := id';
+              min_e := Some e
+            | Some m ->
+              if e.count < m.count || (e.count = m.count && id' < !min_id)
+              then begin
+                min_id := id';
+                min_e := Some e
+              end)
+          t.table;
+        match !min_e with
+        | None -> Hashtbl.add t.table id { count; err = 0 }
+        | Some m ->
+          Hashtbl.remove t.table !min_id;
+          Hashtbl.add t.table id { count = m.count + count; err = m.count }
+      end
+
+  let top t k =
+    Hashtbl.fold (fun id e acc -> (id, e.count, e.err) :: acc) t.table []
+    |> List.sort (fun (id1, c1, _) (id2, c2, _) ->
+           if c1 <> c2 then compare c2 c1 else compare id1 id2)
+    |> List.filteri (fun i _ -> i < k)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reservoir sampling                                                  *)
+
+module Reservoir = struct
+  type t = {
+    capacity : int;
+    seed : int;
+    items : int array;
+    mutable seen : int;
+  }
+
+  let create ?(seed = 0x5eed) ~capacity () =
+    let capacity = max 1 capacity in
+    { capacity; seed; items = Array.make capacity 0; seen = 0 }
+
+  let offer t id =
+    if t.seen < t.capacity then t.items.(t.seen) <- id
+    else begin
+      (* Algorithm R with a deterministic per-step mix: item [seen]
+         replaces a slot with probability capacity / (seen + 1). *)
+      let j = mix t.seed t.seen mod (t.seen + 1) in
+      if j < t.capacity then t.items.(j) <- id
+    end;
+    t.seen <- t.seen + 1
+
+  let seen t = t.seen
+
+  let contents t =
+    Array.to_list (Array.sub t.items 0 (min t.seen t.capacity))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Skew reports                                                        *)
+
+type report = {
+  label : string;
+  round : int;
+  p : int;
+  m : int;
+  threshold : int;
+  top : (string * int) list;
+  rels : (string * int) list;
+  est_max_load : int;
+  max_received : int;
+  total_received : int;
+  error_bound : int;
+}
+
+let report_capacity = 64
+let reports_mutex = Mutex.create ()
+let report_ring : report option array = Array.make report_capacity None
+let report_pos = ref 0
+let report_len = ref 0
+let report_seq = ref 0
+
+let record r =
+  Mutex.protect reports_mutex (fun () ->
+      report_ring.(!report_pos) <- Some r;
+      report_pos := (!report_pos + 1) mod report_capacity;
+      if !report_len < report_capacity then incr report_len;
+      incr report_seq)
+
+let reports () =
+  Mutex.protect reports_mutex (fun () ->
+      List.init !report_len (fun i ->
+          match
+            report_ring.((!report_pos - !report_len + i + (2 * report_capacity))
+                         mod report_capacity)
+          with
+          | Some r -> r
+          | None -> assert false))
+
+let latest () =
+  Mutex.protect reports_mutex (fun () ->
+      if !report_len = 0 then None
+      else
+        report_ring.((!report_pos - 1 + report_capacity) mod report_capacity))
+
+let report_count () = Mutex.protect reports_mutex (fun () -> !report_seq)
+
+let reset () =
+  Mutex.protect reports_mutex (fun () ->
+      Array.fill report_ring 0 report_capacity None;
+      report_pos := 0;
+      report_len := 0;
+      report_seq := 0)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>skew[%s] round %d: p=%d m=%d threshold=%d est_max_load=%d \
+     measured_max=%d (+/-%d)@,"
+    r.label r.round r.p r.m r.threshold r.est_max_load r.max_received
+    r.error_bound;
+  List.iteri
+    (fun i (key, est) ->
+      Format.fprintf ppf "  top%d %s ~%d@," (i + 1) key est)
+    r.top;
+  List.iter
+    (fun (rel, n) -> Format.fprintf ppf "  rel %s %d@," rel n)
+    r.rels;
+  Format.fprintf ppf "@]"

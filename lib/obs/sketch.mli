@@ -1,0 +1,121 @@
+(** One-pass data statistics over interned ids.
+
+    The sampled-statistics substrate for adaptive skew handling,
+    packaged as observability: sketches are built by the coordinating
+    thread from data it already holds, never reach back into the
+    computation, and cost one atomic load + branch when disabled — the
+    [Mpc.Stats.t] bit-identity suite runs with sketches on to prove
+    it.
+
+    All three summaries are deterministic (fixed seeds): identical
+    inputs give identical sketches on every backend, which is what
+    lets the accuracy tests pin exact bounds.
+
+    Per-round {!report}s — top-k heavy keys and the load estimate they
+    imply, versus the measured per-server loads — are kept in a small
+    ring, scraped live via the serve layer's [metrics] op and rendered
+    by [lamp top]. *)
+
+(** {1 Master switch}
+
+    Separate from {!Trace}'s: a server wants per-round skew reports
+    without paying for event tracing, a bench wants the reverse. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val set_context : string -> unit
+(** Ambient producer label for subsequent {!report}s (["hypercube"],
+    ["kst"], …; default ["mpc"]). Set by the algorithm driving the
+    cluster. *)
+
+val context : unit -> string
+
+val mix : int -> int -> int
+(** [mix seed x]: the deterministic 63-bit mixing hash the sketches
+    use, exposed for tests. *)
+
+(** {1 Count-Min}
+
+    Frequency estimates in [width * depth] counters. One-sided error:
+    [estimate >= truth] always, and [estimate <= truth +
+    epsilon * total] with probability [1 - delta] (per query). *)
+
+module Cm : sig
+  type t
+
+  val create : ?epsilon:float -> ?delta:float -> ?seed:int -> unit -> t
+  (** [width = ceil(e / epsilon)] (default eps 0.01 -> 272 columns),
+      [depth = ceil(ln (1 / delta))] (default delta 0.02 -> 4 rows). *)
+
+  val add : t -> ?count:int -> int -> unit
+  val estimate : t -> int -> int
+  val total : t -> int
+  val width : t -> int
+  val depth : t -> int
+  val epsilon : t -> float
+
+  val error_bound : t -> int
+  (** [ceil (epsilon * total)] — the additive slack the estimates carry
+      w.h.p.; the accuracy bench records estimates against it. *)
+end
+
+(** {1 SpaceSaving top-k}
+
+    [capacity] monitored entries. Any id with true count >
+    [total / capacity] is guaranteed present; each reported count
+    overestimates truth by at most its [err] component. *)
+
+module Topk : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val offer : t -> ?count:int -> int -> unit
+
+  val top : t -> int -> (int * int * int) list
+  (** [(id, estimated count, overestimate bound)], highest first; ties
+      break on the smaller id, so output is deterministic. *)
+end
+
+(** {1 Reservoir sampling} *)
+
+module Reservoir : sig
+  type t
+
+  val create : ?seed:int -> capacity:int -> unit -> t
+  val offer : t -> int -> unit
+  val seen : t -> int
+  val contents : t -> int list
+  (** The current sample, at most [capacity] items. *)
+end
+
+(** {1 Skew reports} *)
+
+type report = {
+  label : string;  (** producing algorithm: ["hypercube"], ["kst"], … *)
+  round : int;
+  p : int;  (** servers *)
+  m : int;  (** input facts (the paper's m) *)
+  threshold : int;  (** heavy-hitter cut, [Skew.default_threshold] *)
+  top : (string * int) list;  (** top keys with estimated degrees *)
+  rels : (string * int) list;  (** facts delivered per relation *)
+  est_max_load : int;
+      (** the load the sketch predicts a perfect key-partition would
+          still suffer: [max (ceil (m/p)) (top-1 degree estimate)] *)
+  max_received : int;  (** measured max per-server load this round *)
+  total_received : int;
+  error_bound : int;  (** the CM additive slack on the estimates *)
+}
+
+val record : report -> unit
+(** Push into a bounded ring (newest 64 kept). *)
+
+val reports : unit -> report list
+(** Ring contents, oldest first. *)
+
+val latest : unit -> report option
+val report_count : unit -> int
+(** Total reports ever recorded (survives ring eviction). *)
+
+val reset : unit -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -53,9 +53,49 @@ let t_zero = Atomic.make 0.0
 let mutex = Mutex.create ()
 let recorded : event list ref = ref []
 
+(* Event buffer mode. [Full] appends every event to an unbounded list —
+   right for batch runs that export once at exit. [Ring n] keeps only
+   the newest [n] events in a circular buffer — right for a long-lived
+   server that is scraped while it runs and must not grow without
+   bound. Counters and histograms are unaffected by the mode. *)
+type mode =
+  | Full
+  | Ring of int
+
+let mode = ref Full
+let ring : event option array ref = ref [||]
+let ring_pos = ref 0
+let ring_len = ref 0
+
+let set_mode m =
+  Mutex.protect mutex (fun () ->
+      mode := m;
+      (match m with
+      | Full -> ring := [||]
+      | Ring cap -> ring := Array.make (max 1 cap) None);
+      ring_pos := 0;
+      ring_len := 0)
+
 let tid () = (Domain.self () :> int)
 
-let push e = Mutex.protect mutex (fun () -> recorded := e :: !recorded)
+let push e =
+  Mutex.protect mutex (fun () ->
+      match !mode with
+      | Full -> recorded := e :: !recorded
+      | Ring _ ->
+        let r = !ring in
+        r.(!ring_pos) <- Some e;
+        ring_pos := (!ring_pos + 1) mod Array.length r;
+        if !ring_len < Array.length r then incr ring_len)
+
+(* Ring contents, oldest first. Caller holds [mutex]. *)
+let ring_events () =
+  let r = !ring and n = !ring_len in
+  let cap = Array.length r in
+  List.init n (fun i ->
+      match r.((!ring_pos - n + i + cap + cap) mod cap) with
+      | Some e -> e
+      | None -> assert false)
 
 let rel t = t -. Atomic.get t_zero
 
@@ -87,7 +127,31 @@ let sample ?(cat = "") name value =
   if is_enabled () then
     push (Sample { name; cat; tid = tid (); t = rel (now ()); value })
 
-let events () = Mutex.protect mutex (fun () -> List.rev !recorded)
+let events () =
+  Mutex.protect mutex (fun () ->
+      match !mode with
+      | Full -> List.rev !recorded
+      | Ring _ -> ring_events ())
+
+let recent ?(limit = max_int) () =
+  Mutex.protect mutex (fun () ->
+      let evs =
+        match !mode with
+        | Full ->
+          (* [recorded] is newest first: take the head, restore order. *)
+          let rec take n = function
+            | e :: rest when n > 0 -> e :: take (n - 1) rest
+            | _ -> []
+          in
+          List.rev (take limit !recorded)
+        | Ring _ -> ring_events ()
+      in
+      let n = List.length evs in
+      if n <= limit then evs
+      else
+        (* drop the oldest [n - limit] *)
+        let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+        drop (n - limit) evs)
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
@@ -112,12 +176,12 @@ let add c n = if is_enabled () then ignore (Atomic.fetch_and_add c.c n)
 let incr c = add c 1
 let value c = Atomic.get c.c
 
-let counters () =
+let counters ?(all = false) () =
   Mutex.protect mutex (fun () ->
       Hashtbl.fold
         (fun name c acc ->
           let v = Atomic.get c.c in
-          if v = 0 then acc else (name, v) :: acc)
+          if v = 0 && not all then acc else (name, v) :: acc)
         counter_registry [])
   |> List.sort compare
 
@@ -225,11 +289,11 @@ let percentile s q =
     find 0 s.buckets
   end
 
-let histograms () =
+let histograms ?(all = false) () =
   Mutex.protect mutex (fun () ->
       Hashtbl.fold
         (fun name h acc ->
-          if Atomic.get h.h_count = 0 then acc
+          if Atomic.get h.h_count = 0 && not all then acc
           else (name, histogram_snapshot h) :: acc)
         histogram_registry [])
   |> List.sort compare
@@ -237,6 +301,9 @@ let histograms () =
 let reset () =
   Mutex.protect mutex (fun () ->
       recorded := [];
+      Array.fill !ring 0 (Array.length !ring) None;
+      ring_pos := 0;
+      ring_len := 0;
       Hashtbl.iter (fun _ c -> Atomic.set c.c 0) counter_registry;
       Hashtbl.iter
         (fun _ h ->

@@ -32,6 +32,19 @@ val reset : unit -> unit
 (** Drops all recorded events and zeroes every counter and histogram
     (the registries keep their entries). Safe from any domain. *)
 
+(** How recorded events are buffered. [Full] (the default) appends to
+    an unbounded list, exported once at exit — the batch/bench shape.
+    [Ring n] keeps only the newest [n] events in a circular buffer, so
+    a long-lived server can run with tracing on and be scraped live
+    (the [trace] wire op) without growing without bound. Counters and
+    histograms are unaffected by the mode. *)
+type mode =
+  | Full
+  | Ring of int
+
+val set_mode : mode -> unit
+(** Switching modes drops previously buffered events. *)
+
 val now : unit -> float
 (** Wall-clock seconds (for metering regions by hand). *)
 
@@ -81,7 +94,11 @@ val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
 val sample : ?cat:string -> string -> float -> unit
 
 val events : unit -> event list
-(** Recorded events, oldest first. *)
+(** Recorded events, oldest first. In [Ring] mode, the ring contents. *)
+
+val recent : ?limit:int -> unit -> event list
+(** The newest [limit] events, oldest first — the bounded answer a
+    live scrape wants regardless of buffer mode. *)
 
 (** {1 Counters} *)
 
@@ -96,8 +113,10 @@ val incr : counter -> unit
 
 val add : counter -> int -> unit
 val value : counter -> int
-val counters : unit -> (string * int) list
-(** All registered counters with a non-zero value, sorted by name. *)
+val counters : ?all:bool -> unit -> (string * int) list
+(** Registered counters sorted by name. Zero-valued entries are hidden
+    by default; [~all:true] includes them — scrape endpoints must emit
+    zeros so rates reset cleanly across restarts. *)
 
 (** {1 Histograms} *)
 
@@ -120,8 +139,9 @@ type histogram_snapshot = {
 }
 
 val histogram_snapshot : histogram -> histogram_snapshot
-val histograms : unit -> (string * histogram_snapshot) list
-(** All registered histograms with at least one observation, sorted. *)
+val histograms : ?all:bool -> unit -> (string * histogram_snapshot) list
+(** Registered histograms sorted by name. Empty ones are hidden by
+    default; [~all:true] includes them (see {!counters}). *)
 
 val percentile : histogram_snapshot -> float -> float
 (** [percentile s q] estimates the [q]-quantile ([q] clamped to

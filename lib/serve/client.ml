@@ -3,6 +3,15 @@ module Instance = Lamp_relational.Instance
 type t = {
   fd : Unix.file_descr;
   mutable closed : bool;
+  (* Negotiated protocol version; starts optimistic at our own and is
+     settled by {!hello} (both peers default to the same version, so a
+     session that skips hello still agrees with a same-build server). *)
+  mutable version : int;
+  (* This connection's trace id and the next span id under it; carried
+     by the [Traced] envelope on every v2 work request so server-side
+     spans link back to the caller. *)
+  trace : int;
+  mutable next_span : int;
 }
 
 exception Server_error of Wire.error_code * string
@@ -10,9 +19,23 @@ exception Protocol_error of string
 
 let proto fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
 
+(* Process-unique trace ids: the pid distinguishes processes, the
+   counter distinguishes connections within one. *)
+let trace_counter = Atomic.make 1
+
+let fresh_trace () =
+  (Unix.getpid () lsl 24) lxor Atomic.fetch_and_add trace_counter 1
+
 let connect fd addr =
   match Unix.connect fd addr with
-  | () -> { fd; closed = false }
+  | () ->
+    {
+      fd;
+      closed = false;
+      version = Wire.protocol_version;
+      trace = fresh_trace ();
+      next_span = 0;
+    }
   | exception e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
@@ -34,18 +57,28 @@ let close t =
 let roundtrip t req =
   if t.closed then proto "client is closed";
   Wire.write_request t.fd req;
-  match Wire.read_response t.fd with
+  match Wire.read_response ~version:t.version t.fd with
   | Error { code; message } -> raise (Server_error (code, message))
   | resp -> resp
 
-let hello ?(client = "anon") t =
-  match
-    roundtrip t (Hello { client; version = Wire.protocol_version })
-  with
-  | Hello_ok { server; version } ->
-    if version <> Wire.protocol_version then
-      proto "server speaks protocol %d, client %d" version
-        Wire.protocol_version;
+(* Wrap a work request in the trace envelope on a v2 session. Scrape
+   ops ({!metrics}, {!trace_dump}) stay unwrapped: the scraper should
+   read the trace, not add to it. *)
+let traced t req =
+  if t.version >= 2 then begin
+    let span = t.next_span in
+    t.next_span <- span + 1;
+    Wire.Traced { trace = t.trace; span; req }
+  end
+  else req
+
+let hello ?(client = "anon") ?(version = Wire.protocol_version) t =
+  match roundtrip t (Hello { client; version }) with
+  | Hello_ok { server; version = negotiated } ->
+    if negotiated > version || negotiated < 1 then
+      proto "server negotiated protocol %d, client offered %d" negotiated
+        version;
+    t.version <- negotiated;
     server
   | _ -> proto "expected Hello_ok"
 
@@ -56,7 +89,7 @@ type prepared = {
 }
 
 let prepare t ~instance ~query =
-  match roundtrip t (Prepare { instance; query }) with
+  match roundtrip t (traced t (Prepare { instance; query })) with
   | Prepared { id; cached; atoms } -> { id; cached; atoms }
   | _ -> proto "expected Prepared"
 
@@ -64,10 +97,11 @@ let prepare t ~instance ~query =
    so a leading Error raises there; Errors can also terminate the
    stream mid-way. *)
 let execute t ~instance ?(mode = Wire.Local) plan =
-  let first = roundtrip t (Execute { instance; plan; mode }) in
+  let first = roundtrip t (traced t (Execute { instance; plan; mode })) in
   let rec collect acc = function
     | Wire.Batch facts ->
-      collect (List.rev_append facts acc) (Wire.read_response t.fd)
+      collect (List.rev_append facts acc)
+        (Wire.read_response ~version:t.version t.fd)
     | Wire.Done { facts; stats } ->
       let got = List.length acc in
       if got <> facts then
@@ -79,16 +113,29 @@ let execute t ~instance ?(mode = Wire.Local) plan =
   collect [] first
 
 let ingest t ~instance facts =
-  match roundtrip t (Ingest { instance; facts }) with
+  match roundtrip t (traced t (Ingest { instance; facts })) with
   | Ingested { added } -> added
   | _ -> proto "expected Ingested"
 
 let stats t =
-  match roundtrip t Stats with
+  match roundtrip t (traced t Wire.Stats) with
   | Stats_reply s -> s
   | _ -> proto "expected Stats_reply"
 
 let health t =
-  match roundtrip t Health with
+  match roundtrip t (traced t Wire.Health) with
   | Healthy -> true
   | _ -> false
+
+let metrics t =
+  match roundtrip t Wire.Metrics with
+  | Metrics_reply text -> text
+  | _ -> proto "expected Metrics_reply"
+
+let trace_dump ?(limit = 256) t =
+  match roundtrip t (Wire.Trace_dump { limit }) with
+  | Trace_reply spans -> spans
+  | _ -> proto "expected Trace_reply"
+
+let version t = t.version
+let trace_id t = t.trace

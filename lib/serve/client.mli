@@ -18,9 +18,20 @@ val connect_unix : path:string -> t
 val connect_tcp : ?host:string -> port:int -> unit -> t
 (** [host] defaults to ["127.0.0.1"]. *)
 
-val hello : ?client:string -> t -> string
+val hello : ?client:string -> ?version:int -> t -> string
 (** Identifies the session (the server's quota key; default ["anon"])
-    and checks protocol versions; returns the server's name. *)
+    and negotiates the protocol version: the session then speaks
+    [min (client, server)]. [version] (default
+    {!Wire.protocol_version}) lets tests impersonate an older client;
+    returns the server's name. On a v2 session every later work request
+    is wrapped in {!Wire.Traced} with this connection's trace id. *)
+
+val version : t -> int
+(** The negotiated protocol version (own version before {!hello}). *)
+
+val trace_id : t -> int
+(** This connection's trace id, carried by the {!Wire.Traced}
+    envelopes. *)
 
 type prepared = {
   id : int;  (** Pass as [Wire.Id id] to {!execute}. *)
@@ -47,6 +58,16 @@ val stats : t -> Wire.server_stats
 val health : t -> bool
 (** [false] only on a server that answers but declares itself sick —
     connection errors raise as usual. *)
+
+val metrics : t -> string
+(** Live telemetry scrape: the server's current metrics as OpenMetrics
+    text (parse with [Obs.Export.parse_openmetrics]). Requires a v2
+    session. *)
+
+val trace_dump : ?limit:int -> t -> Wire.span_info list
+(** The server's most recent completed spans, oldest first ([limit]
+    defaults to 256). Empty unless the server runs with tracing on.
+    Requires a v2 session. *)
 
 val close : t -> unit
 (** Idempotent. *)

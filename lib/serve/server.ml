@@ -1,4 +1,6 @@
 module Trace = Lamp_obs.Trace
+module Metrics = Lamp_obs.Metrics
+module Export = Lamp_obs.Export
 module Instance = Lamp_relational.Instance
 module Intern = Lamp_relational.Intern
 module Tuple = Lamp_relational.Tuple
@@ -91,6 +93,7 @@ type t = {
   served : int Atomic.t;
   rejected : int Atomic.t;
   throttled : int Atomic.t;
+  started : float;
 }
 
 let requests_c = Trace.counter "serve.requests"
@@ -99,11 +102,47 @@ let throttled_c = Trace.counter "serve.throttled"
 let queue_wait_h = Trace.histogram "serve.queue_wait_us"
 let request_h = Trace.histogram "serve.request_us"
 
+let () =
+  Metrics.describe ~kind:Metrics.Counter
+    ~help:"Requests received, including rejected and throttled ones"
+    "serve.requests";
+  Metrics.describe ~kind:Metrics.Counter
+    ~help:"Requests refused by admission control" "serve.rejected";
+  Metrics.describe ~kind:Metrics.Counter
+    ~help:"Requests refused by a client's token bucket" "serve.throttled";
+  Metrics.describe ~kind:Metrics.Histogram
+    ~help:"Wait for the engine lock, microseconds" "serve.queue_wait_us";
+  Metrics.describe ~kind:Metrics.Histogram
+    ~help:"Request handling end to end, microseconds" "serve.request_us"
+
+(* Live gauges for the scrape endpoint. Callback-backed: evaluated at
+   snapshot time, so they are always current and cost nothing between
+   scrapes. Registered per [create]; with several servers in one
+   process the most recent registration wins, which is the serving
+   process shape (one server) anyway. *)
+let register_gauges t =
+  Metrics.register_callback "serve.sessions" (fun () ->
+      float_of_int (Mutex.protect t.lock (fun () -> t.session_count)));
+  Metrics.register_callback "serve.active_requests" (fun () ->
+      float_of_int (Atomic.get t.active));
+  Metrics.register_callback "serve.executor_in_flight" (fun () ->
+      float_of_int (Executor.in_flight t.executor));
+  Metrics.register_callback "serve.plan_cache_size" (fun () ->
+      float_of_int (Cache.length t.plan_cache));
+  Metrics.register_callback "serve.pool_in_use" (fun () ->
+      float_of_int
+        (Mutex.protect t.lock (fun () ->
+             Hashtbl.fold
+               (fun _ i acc -> acc + Rpool.in_use i.handles)
+               t.instances 0)));
+  Metrics.register_callback "serve.uptime_s" (fun () ->
+      Unix.gettimeofday () -. t.started)
+
 let create ?(config = default_config) ~executor () =
   if config.max_sessions < 1 then invalid_arg "Server: max_sessions < 1";
   if config.max_inflight < 0 then invalid_arg "Server: max_inflight < 0";
   if config.batch < 1 then invalid_arg "Server: batch < 1";
-  {
+  let t = {
     config;
     executor;
     engine = Mutex.create ();
@@ -123,7 +162,10 @@ let create ?(config = default_config) ~executor () =
     served = Atomic.make 0;
     rejected = Atomic.make 0;
     throttled = Atomic.make 0;
-  }
+    started = Unix.gettimeofday ();
+  } in
+  register_gauges t;
+  t
 
 let add_instance t ~name data =
   Mutex.protect t.lock (fun () ->
@@ -303,6 +345,7 @@ let stats t =
     requests_served = Atomic.get t.served;
     rejected = Atomic.get t.rejected;
     throttled = Atomic.get t.throttled;
+    uptime_s = Unix.gettimeofday () -. t.started;
   }
 
 let quota_allows t client =
@@ -333,10 +376,11 @@ let with_admission t f =
   end;
   Fun.protect ~finally:(fun () -> Atomic.decr t.active) f
 
-let stream_result t fd result stats =
+let stream_result t fd ~version result stats =
   let total = Instance.cardinal result in
   let flush batch =
-    if batch <> [] then Wire.write_response fd (Batch (List.rev batch))
+    if batch <> [] then
+      Wire.write_response ~version fd (Batch (List.rev batch))
   in
   let pending, count =
     Instance.fold
@@ -350,81 +394,117 @@ let stream_result t fd result stats =
   in
   ignore count;
   flush pending;
-  Wire.write_response fd (Done { facts = total; stats })
+  Wire.write_response ~version fd (Done { facts = total; stats })
 
-let handle_request t fd client req =
+let span_info_of_event : Trace.event -> Wire.span_info option = function
+  | Trace.Span { name; cat; tid; t; dur; args = _ } ->
+    Some { Wire.sp_name = name; sp_cat = cat; sp_tid = tid; sp_t = t; sp_dur = dur }
+  | Trace.Instant _ | Trace.Sample _ -> None
+
+(* [version] is the session's negotiated protocol version; every
+   response on the session is encoded with it, so a v1 client gets
+   v1-layout replies. *)
+let handle_request t fd version client req =
   Trace.incr requests_c;
   let t0 = Unix.gettimeofday () in
+  let reply resp = Wire.write_response ~version:!version fd resp in
   (try
-     match (req : Wire.request) with
-     | Hello { client = name; version } ->
-       if version <> Wire.protocol_version then
-         Wire.write_response fd
-           (Error
-              {
-                code = Bad_request;
-                message =
-                  Printf.sprintf "protocol version %d, server speaks %d"
-                    version Wire.protocol_version;
-              })
-       else begin
-         client := name;
-         Wire.write_response fd
-           (Hello_ok { server = t.config.name; version = Wire.protocol_version })
-       end
-     | Health -> Wire.write_response fd Healthy
-     | Stats -> Wire.write_response fd (Stats_reply (stats t))
-     | Prepare { instance; query } ->
-       if not (quota_allows t !client) then begin
-         Atomic.incr t.throttled;
-         Trace.incr throttled_c;
-         raise (Reply (Throttled, "client quota exhausted"))
-       end;
-       with_admission t (fun () ->
-           let ast = parse_query query in
-           let inst = get_inst t instance in
-           let entry, cached =
-             with_engine t (fun () -> prepare_plan t inst ~instance ast)
-           in
-           Atomic.incr t.served;
-           Wire.write_response fd
-             (Prepared
+     let rec go (req : Wire.request) =
+       match req with
+       | Hello { client = name; version = v } ->
+         if v < Wire.min_protocol_version then
+           reply
+             (Error
                 {
-                  id = entry.pe_id;
-                  cached;
-                  atoms = compiled_atoms entry.pe_plan;
-                }))
-     | Execute { instance; plan; mode } ->
-       if not (quota_allows t !client) then begin
-         Atomic.incr t.throttled;
-         Trace.incr throttled_c;
-         raise (Reply (Throttled, "client quota exhausted"))
-       end;
-       with_admission t (fun () ->
-           let result, mpc_stats = execute t ~instance plan mode in
-           Atomic.incr t.served;
-           (* Stream outside the engine lock: the result instance is
-              immutable, so slow clients only hold their own socket. *)
-           stream_result t fd result mpc_stats)
-     | Ingest { instance; facts } ->
-       if not (quota_allows t !client) then begin
-         Atomic.incr t.throttled;
-         Trace.incr throttled_c;
-         raise (Reply (Throttled, "client quota exhausted"))
-       end;
-       with_admission t (fun () ->
-           let added = ingest t ~instance facts in
-           Atomic.incr t.served;
-           Wire.write_response fd (Ingested { added }))
+                  code = Bad_request;
+                  message =
+                    Printf.sprintf
+                      "protocol version %d, server speaks %d..%d" v
+                      Wire.min_protocol_version Wire.protocol_version;
+                })
+         else begin
+           client := name;
+           (* Speak the older of the two dialects for the rest of the
+              session; the client learns the choice from the reply. *)
+           version := min v Wire.protocol_version;
+           reply
+             (Hello_ok { server = t.config.name; version = !version })
+         end
+       | Health -> reply Healthy
+       | Stats -> reply (Stats_reply (stats t))
+       | Metrics -> reply (Metrics_reply (Export.openmetrics ()))
+       | Trace_dump { limit } ->
+         let limit = max 0 (min limit 10_000) in
+         let spans =
+           List.filter_map span_info_of_event (Trace.recent ~limit ())
+         in
+         reply (Trace_reply spans)
+       | Traced { trace; span; req = inner } -> (
+         match inner with
+         | Traced _ -> bad "nested Traced request"
+         | _ ->
+           (* The server-side span for the work, linked to the caller's
+              trace so a client span and its server span correlate in
+              one timeline. *)
+           Trace.span ~cat:"serve"
+             ~args:
+               [
+                 ("trace", Trace.Int trace);
+                 ("span", Trace.Int span);
+                 ("client", Trace.Str !client);
+               ]
+             "serve.request"
+             (fun () -> go inner))
+       | Prepare { instance; query } ->
+         if not (quota_allows t !client) then begin
+           Atomic.incr t.throttled;
+           Trace.incr throttled_c;
+           raise (Reply (Throttled, "client quota exhausted"))
+         end;
+         with_admission t (fun () ->
+             let ast = parse_query query in
+             let inst = get_inst t instance in
+             let entry, cached =
+               with_engine t (fun () -> prepare_plan t inst ~instance ast)
+             in
+             Atomic.incr t.served;
+             reply
+               (Prepared
+                  {
+                    id = entry.pe_id;
+                    cached;
+                    atoms = compiled_atoms entry.pe_plan;
+                  }))
+       | Execute { instance; plan; mode } ->
+         if not (quota_allows t !client) then begin
+           Atomic.incr t.throttled;
+           Trace.incr throttled_c;
+           raise (Reply (Throttled, "client quota exhausted"))
+         end;
+         with_admission t (fun () ->
+             let result, mpc_stats = execute t ~instance plan mode in
+             Atomic.incr t.served;
+             (* Stream outside the engine lock: the result instance is
+                immutable, so slow clients only hold their own socket. *)
+             stream_result t fd ~version:!version result mpc_stats)
+       | Ingest { instance; facts } ->
+         if not (quota_allows t !client) then begin
+           Atomic.incr t.throttled;
+           Trace.incr throttled_c;
+           raise (Reply (Throttled, "client quota exhausted"))
+         end;
+         with_admission t (fun () ->
+             let added = ingest t ~instance facts in
+             Atomic.incr t.served;
+             reply (Ingested { added }))
+     in
+     go req
    with
-  | Reply (code, message) -> Wire.write_response fd (Error { code; message })
+  | Reply (code, message) -> reply (Error { code; message })
   | Rpool.Draining ->
-    Wire.write_response fd
-      (Error { code = Rejected; message = "server shutting down" })
+    reply (Error { code = Rejected; message = "server shutting down" })
   | Wire.Closed as e -> raise e
-  | e ->
-    Wire.write_response fd
-      (Error { code = Failed; message = Printexc.to_string e }));
+  | e -> reply (Error { code = Failed; message = Printexc.to_string e }));
   Trace.observe request_h (usecs (Unix.gettimeofday () -. t0))
 
 (* ------------------------------------------------------------------ *)
@@ -459,17 +539,18 @@ let session t fd =
         with _ -> ()
       else begin
         let client = ref "anon" in
+        let version = ref Wire.protocol_version in
         let rec loop () =
           match Wire.read_request fd with
           | req ->
-            handle_request t fd client req;
+            handle_request t fd version client req;
             loop ()
           | exception Wire.Closed -> ()
           | exception Lamp_jobs.Codec.Corrupt msg ->
             (* A corrupt frame leaves the stream unframed; answer once
                and hang up rather than guess at a resync point. *)
             (try
-               Wire.write_response fd
+               Wire.write_response ~version:!version fd
                  (Error { code = Bad_request; message = "corrupt frame: " ^ msg })
              with _ -> ())
           | exception Unix.Unix_error _ -> ()

@@ -1,7 +1,14 @@
 module Codec = Lamp_jobs.Codec
 module Stats = Lamp_mpc.Stats
 
-let protocol_version = 1
+(* Version 2 (this revision) adds wire-level trace propagation (the
+   [Traced] request envelope), the live-telemetry ops ([Metrics],
+   [Trace_dump]) and an uptime field in [server_stats]. Version-1
+   clients keep working: the server negotiates [min client server] at
+   hello time and encodes that session's responses in the negotiated
+   layout ([?version] on the response codecs). *)
+let protocol_version = 2
+let min_protocol_version = 1
 let max_frame = 256 * 1024 * 1024
 
 type mode =
@@ -21,6 +28,9 @@ type request =
   | Ingest of { instance : string; facts : Lamp_relational.Fact.t list }
   | Stats
   | Health
+  | Metrics
+  | Trace_dump of { limit : int }
+  | Traced of { trace : int; span : int; req : request }
 
 type error_code =
   | Bad_request
@@ -40,6 +50,15 @@ type server_stats = {
   requests_served : int;
   rejected : int;
   throttled : int;
+  uptime_s : float;
+}
+
+type span_info = {
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_t : float;
+  sp_dur : float;
 }
 
 type response =
@@ -51,6 +70,8 @@ type response =
   | Stats_reply of server_stats
   | Healthy
   | Error of { code : error_code; message : string }
+  | Metrics_reply of string
+  | Trace_reply of span_info list
 
 (* Codecs. Every variant gets a one-character tag; unknown tags raise
    Corrupt with the offending byte, like the checkpoint codecs. *)
@@ -89,7 +110,7 @@ let r_plan_ref r =
   | 'a' -> Adhoc (Codec.r_string r)
   | c -> raise (Codec.Corrupt (Printf.sprintf "bad plan-ref tag %C" c))
 
-let w_request b = function
+let rec w_request b = function
   | Hello { client; version } ->
     Codec.w_char b 'h';
     Codec.w_string b client;
@@ -109,8 +130,17 @@ let w_request b = function
     Codec.w_list b Codec.w_fact facts
   | Stats -> Codec.w_char b 's'
   | Health -> Codec.w_char b '?'
+  | Metrics -> Codec.w_char b 'm'
+  | Trace_dump { limit } ->
+    Codec.w_char b 't';
+    Codec.w_int b limit
+  | Traced { trace; span; req } ->
+    Codec.w_char b 'T';
+    Codec.w_int b trace;
+    Codec.w_int b span;
+    w_request b req
 
-let r_request r =
+let rec r_request r =
   match Codec.r_char r with
   | 'h' ->
     let client = Codec.r_string r in
@@ -127,6 +157,16 @@ let r_request r =
     Ingest { instance; facts = Codec.r_list r Codec.r_fact }
   | 's' -> Stats
   | '?' -> Health
+  | 'm' -> Metrics
+  | 't' -> Trace_dump { limit = Codec.r_int r }
+  | 'T' ->
+    let trace = Codec.r_int r in
+    let span = Codec.r_int r in
+    (* One envelope per request: a nested [Traced] is malformed, not
+       merely unusual — reject it like any other bad frame. *)
+    (match r_request r with
+    | Traced _ -> raise (Codec.Corrupt "nested Traced request")
+    | req -> Traced { trace; span; req })
   | c -> raise (Codec.Corrupt (Printf.sprintf "bad request tag %C" c))
 
 let w_error_code b = function
@@ -166,7 +206,11 @@ let r_pool_row r =
   let in_use = Codec.r_int r in
   (name, in_use, Codec.r_int r)
 
-let w_server_stats b s =
+(* [server_stats] is the one message whose layout changed across
+   protocol versions: v1 has no uptime field. The codecs take the
+   negotiated session version so a v1 client still decodes what a v2
+   server sends it (and the tests can round-trip both layouts). *)
+let w_server_stats ~version b s =
   Codec.w_int b s.sessions;
   Codec.w_int b s.active_requests;
   Codec.w_int b s.executor_in_flight;
@@ -177,9 +221,10 @@ let w_server_stats b s =
   Codec.w_list b w_pool_row s.handle_pools;
   Codec.w_int b s.requests_served;
   Codec.w_int b s.rejected;
-  Codec.w_int b s.throttled
+  Codec.w_int b s.throttled;
+  if version >= 2 then Codec.w_float b s.uptime_s
 
-let r_server_stats r =
+let r_server_stats ~version r =
   let sessions = Codec.r_int r in
   let active_requests = Codec.r_int r in
   let executor_in_flight = Codec.r_int r in
@@ -191,6 +236,7 @@ let r_server_stats r =
   let requests_served = Codec.r_int r in
   let rejected = Codec.r_int r in
   let throttled = Codec.r_int r in
+  let uptime_s = if version >= 2 then Codec.r_float r else 0.0 in
   {
     sessions;
     active_requests;
@@ -203,13 +249,29 @@ let r_server_stats r =
     requests_served;
     rejected;
     throttled;
+    uptime_s;
   }
 
-let w_response b = function
-  | Hello_ok { server; version } ->
+let w_span_info b s =
+  Codec.w_string b s.sp_name;
+  Codec.w_string b s.sp_cat;
+  Codec.w_int b s.sp_tid;
+  Codec.w_float b s.sp_t;
+  Codec.w_float b s.sp_dur
+
+let r_span_info r =
+  let sp_name = Codec.r_string r in
+  let sp_cat = Codec.r_string r in
+  let sp_tid = Codec.r_int r in
+  let sp_t = Codec.r_float r in
+  let sp_dur = Codec.r_float r in
+  { sp_name; sp_cat; sp_tid; sp_t; sp_dur }
+
+let w_response ~version b = function
+  | Hello_ok { server; version = v } ->
     Codec.w_char b 'H';
     Codec.w_string b server;
-    Codec.w_int b version
+    Codec.w_int b v
   | Prepared { id; cached; atoms } ->
     Codec.w_char b 'P';
     Codec.w_int b id;
@@ -227,14 +289,20 @@ let w_response b = function
     Codec.w_int b added
   | Stats_reply s ->
     Codec.w_char b 'S';
-    w_server_stats b s
+    w_server_stats ~version b s
   | Healthy -> Codec.w_char b 'O'
   | Error { code; message } ->
     Codec.w_char b 'E';
     w_error_code b code;
     Codec.w_string b message
+  | Metrics_reply text ->
+    Codec.w_char b 'M';
+    Codec.w_string b text
+  | Trace_reply spans ->
+    Codec.w_char b 'T';
+    Codec.w_list b w_span_info spans
 
-let r_response r =
+let r_response ~version r =
   match Codec.r_char r with
   | 'H' ->
     let server = Codec.r_string r in
@@ -248,11 +316,13 @@ let r_response r =
     let facts = Codec.r_int r in
     Done { facts; stats = Codec.r_option r r_mpc_stats }
   | 'G' -> Ingested { added = Codec.r_int r }
-  | 'S' -> Stats_reply (r_server_stats r)
+  | 'S' -> Stats_reply (r_server_stats ~version r)
   | 'O' -> Healthy
   | 'E' ->
     let code = r_error_code r in
     Error { code; message = Codec.r_string r }
+  | 'M' -> Metrics_reply (Codec.r_string r)
+  | 'T' -> Trace_reply (Codec.r_list r r_span_info)
   | c -> raise (Codec.Corrupt (Printf.sprintf "bad response tag %C" c))
 
 let encode w v =
@@ -268,8 +338,12 @@ let decode rd s =
 
 let request_to_string = encode w_request
 let request_of_string = decode r_request
-let response_to_string = encode w_response
-let response_of_string = decode r_response
+
+let response_to_string ?(version = protocol_version) resp =
+  encode (w_response ~version) resp
+
+let response_of_string ?(version = protocol_version) s =
+  decode (r_response ~version) s
 
 (* Framed I/O. *)
 
@@ -316,5 +390,8 @@ let write_frame fd payload =
 
 let read_request fd = request_of_string (read_frame fd)
 let write_request fd req = write_frame fd (request_to_string req)
-let read_response fd = response_of_string (read_frame fd)
-let write_response fd resp = write_frame fd (response_to_string resp)
+
+let read_response ?version fd = response_of_string ?version (read_frame fd)
+
+let write_response ?version fd resp =
+  write_frame fd (response_to_string ?version resp)

@@ -14,7 +14,16 @@
 
 val protocol_version : int
 (** Bumped on any incompatible change to the frame or message layout.
-    {!Hello} carries the client's copy; the server rejects mismatches. *)
+    {!Hello} carries the client's copy; the server {e negotiates}: a
+    session speaks [min (client, server)] as long as the client's
+    version is at least {!min_protocol_version}, and the negotiated
+    version comes back in {!Hello_ok}. Version 2 added {!Metrics},
+    {!Trace_dump}, the {!Traced} envelope and the [uptime_s] stats
+    field; v1 clients keep working because none of those appear on a
+    v1 session. *)
+
+val min_protocol_version : int
+(** Oldest client version the server still accepts (currently 1). *)
 
 val max_frame : int
 (** Upper bound on a payload length (256 MiB). A frame header
@@ -54,6 +63,18 @@ type request =
           engine handles and cached plans built on the old contents. *)
   | Stats
   | Health
+  | Metrics
+      (** Live telemetry scrape: the server answers {!Metrics_reply}
+          with an OpenMetrics text snapshot ([Obs.Export.openmetrics]).
+          Protocol version 2. *)
+  | Trace_dump of { limit : int }
+      (** The most recent [limit] completed server-side spans, newest
+          last ({!Trace_reply}). Protocol version 2. *)
+  | Traced of { trace : int; span : int; req : request }
+      (** Client-side trace propagation: wraps any non-[Traced] request
+          with the caller's trace and span ids so the server's span for
+          the work links back to the client's. Decoders reject a nested
+          [Traced]. Protocol version 2. *)
 
 type error_code =
   | Bad_request  (** Unknown instance/plan id, parse error, bad frame. *)
@@ -74,7 +95,19 @@ type server_stats = {
   requests_served : int;
   rejected : int;
   throttled : int;
+  uptime_s : float;
+      (** Seconds since the server was created. Added in protocol
+          version 2; a v1 session's encoding omits it (decoded as 0). *)
 }
+
+type span_info = {
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;  (** Domain/thread id the span ran on. *)
+  sp_t : float;  (** Start, seconds since the trace clock's origin. *)
+  sp_dur : float;  (** Duration in seconds. *)
+}
+(** One completed server-side span, as shipped by {!Trace_reply}. *)
 
 type response =
   | Hello_ok of { server : string; version : int }
@@ -92,6 +125,10 @@ type response =
   | Stats_reply of server_stats
   | Healthy
   | Error of { code : error_code; message : string }
+  | Metrics_reply of string
+      (** OpenMetrics text exposition of the server's live metrics. *)
+  | Trace_reply of span_info list
+      (** Recent completed server spans, oldest first. *)
 
 (** {1 Codecs}
 
@@ -101,8 +138,14 @@ type response =
 
 val request_to_string : request -> string
 val request_of_string : string -> request
-val response_to_string : response -> string
-val response_of_string : string -> response
+
+val response_to_string : ?version:int -> response -> string
+(** [version] (default {!protocol_version}) is the session's negotiated
+    protocol version; it selects the {!server_stats} layout (v1 has no
+    [uptime_s]). Requests need no version: every request tag a client
+    can send is fixed by the client's own version. *)
+
+val response_of_string : ?version:int -> string -> response
 
 (** {1 Framed I/O}
 
@@ -119,5 +162,5 @@ val read_frame : Unix.file_descr -> string
 val write_frame : Unix.file_descr -> string -> unit
 val read_request : Unix.file_descr -> request
 val write_request : Unix.file_descr -> request -> unit
-val read_response : Unix.file_descr -> response
-val write_response : Unix.file_descr -> response -> unit
+val read_response : ?version:int -> Unix.file_descr -> response
+val write_response : ?version:int -> Unix.file_descr -> response -> unit

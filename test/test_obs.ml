@@ -292,6 +292,332 @@ let test_export_chrome () =
         (String.length s >= 3 && String.sub s (String.length s - 3) 3 = "]}\n"))
 
 (* ------------------------------------------------------------------ *)
+(* Live metrics registry (lamp.obs v2)                                 *)
+
+module Live = Lamp_obs.Metrics
+module Sketch = Lamp_obs.Sketch
+
+let test_registry_all_flag () =
+  let c = Trace.counter "test.zero_counter" in
+  let _h = Trace.histogram "test.zero_hist" in
+  ignore c;
+  Alcotest.(check bool)
+    "zero counter hidden by default" false
+    (List.mem_assoc "test.zero_counter" (Trace.counters ()));
+  Alcotest.(check (option int))
+    "~all:true exposes it as 0" (Some 0)
+    (List.assoc_opt "test.zero_counter" (Trace.counters ~all:true ()));
+  Alcotest.(check bool)
+    "empty histogram hidden by default" false
+    (List.mem_assoc "test.zero_hist" (Trace.histograms ()));
+  Alcotest.(check bool)
+    "~all:true exposes the empty histogram" true
+    (List.mem_assoc "test.zero_hist" (Trace.histograms ~all:true ()))
+
+let test_gauges () =
+  (* Settable gauges are not gated on tracing: a scrape must see
+     current state even on a quiet server. *)
+  let g = Live.gauge "test.g" in
+  Live.set g 7;
+  Alcotest.(check int) "set/get while disabled" 7 (Live.gauge_value g);
+  Live.register_callback "test.cb" (fun () -> 2.5);
+  Live.register_callback "test.cb_raise" (fun () -> failwith "scrape me not");
+  Fun.protect
+    ~finally:(fun () ->
+      Live.unregister_callback "test.cb";
+      Live.unregister_callback "test.cb_raise")
+    (fun () ->
+      let gs = Live.gauges () in
+      Alcotest.(check (option (float 0.0)))
+        "settable exposed" (Some 7.0)
+        (List.assoc_opt "test.g" gs);
+      Alcotest.(check (option (float 0.0)))
+        "callback evaluated at scrape" (Some 2.5)
+        (List.assoc_opt "test.cb" gs);
+      Alcotest.(check bool)
+        "raising callback reads as nan, scrape survives" true
+        (match List.assoc_opt "test.cb_raise" gs with
+        | Some v -> Float.is_nan v
+        | None -> false));
+  Alcotest.(check bool)
+    "unregistered callback gone" false
+    (List.mem_assoc "test.cb" (Live.gauges ()))
+
+let test_labeled_family () =
+  Trace.set_enabled true;
+  let fam = Live.counter_family ~help:"ops by kind" "test.fam" in
+  let a = Live.cell fam [ ("op", "get") ] in
+  let b = Live.cell fam [ ("op", "put") ] in
+  Trace.incr a;
+  Trace.incr a;
+  Trace.incr b;
+  Alcotest.(check int) "cells count independently" 2 (Trace.value a);
+  Alcotest.(check int) "second cell untouched" 1 (Trace.value b);
+  (* Get-or-create: the same label values yield the same cell. *)
+  Trace.incr (Live.cell fam [ ("op", "get") ]);
+  Alcotest.(check int) "same labels, same cell" 3 (Trace.value a);
+  Alcotest.(check string)
+    "rendered name carries the labels" "test.fam{op=\"get\"}"
+    (Live.render_labels "test.fam" [ ("op", "get") ]);
+  Alcotest.(check (pair string string))
+    "split_labels inverts render" ("test.fam", "{op=\"get\"}")
+    (Live.split_labels "test.fam{op=\"get\"}");
+  Alcotest.(check (option string))
+    "family help registered on the base name" (Some "ops by kind")
+    (Live.help "test.fam")
+
+let test_snapshot_diff () =
+  Trace.set_enabled true;
+  let h = Trace.histogram "test.diff" in
+  List.iter (Trace.observe h) [ 1; 2 ];
+  let older = Trace.histogram_snapshot h in
+  Trace.observe h 8;
+  let newer = Trace.histogram_snapshot h in
+  let d = Live.snapshot_diff ~newer ~older in
+  Alcotest.(check int) "one observation in between" 1 d.Trace.count;
+  Alcotest.(check int) "its sum" 8 d.Trace.sum;
+  Alcotest.(check int)
+    "its bucket" 1
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 d.Trace.buckets);
+  (* Reversed arguments model a reset in between: clamp, don't go
+     negative. *)
+  let z = Live.snapshot_diff ~newer:older ~older:newer in
+  Alcotest.(check int) "negative diffs clamp to zero" 0 z.Trace.count
+
+let test_window_arithmetic () =
+  Trace.set_enabled true;
+  let c = Trace.counter "test.win_c" in
+  let h = Trace.histogram "test.win_h" in
+  let w = Live.window ~slots:3 () in
+  ignore (Live.tick w);
+  Alcotest.(check int) "delta is 0 with one capture" 0 (Live.delta w "test.win_c");
+  Alcotest.(check (float 0.0)) "rate is 0 with one capture" 0.0
+    (Live.rate w "test.win_c");
+  Trace.add c 10;
+  Trace.observe h 4;
+  Unix.sleepf 0.002;
+  ignore (Live.tick w);
+  Alcotest.(check int) "delta across the window" 10 (Live.delta w "test.win_c");
+  Alcotest.(check bool) "span is the capture gap" true (Live.span w > 0.0);
+  Alcotest.(check (float 1e-6))
+    "rate * span = delta" 10.0
+    (Live.rate w "test.win_c" *. Live.span w);
+  Alcotest.(check (float 0.0))
+    "windowed q=1 is the window's max" 4.0
+    (Live.quantile w "test.win_h" 1.0);
+  Trace.add c 5;
+  ignore (Live.tick w);
+  Alcotest.(check int) "full ring covers oldest..newest" 15
+    (Live.delta w "test.win_c");
+  Trace.add c 1;
+  ignore (Live.tick w);
+  (* The fourth tick evicted the first capture: the window now starts
+     at the counter = 10 snapshot. *)
+  Alcotest.(check int) "eviction slides the window" 6
+    (Live.delta w "test.win_c");
+  Alcotest.(check int) "ring holds its slots" 3 (Live.length w)
+
+(* A scrape racing live observers: every mid-flight capture must be
+   sane (monotone, never negative), and once the observers land the
+   aggregates must be exact — nothing lost, nothing double-counted. *)
+let test_concurrent_scrape () =
+  Trace.set_enabled true;
+  let c = Trace.counter "test.live_c" in
+  let h = Trace.histogram "test.live_h" in
+  let per = 20_000 and workers = 3 in
+  let ds =
+    List.init workers (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Trace.incr c;
+              Trace.observe h (i land 255)
+            done))
+  in
+  let monotone = ref true and prev_c = ref 0 and prev_n = ref 0 in
+  for _ = 1 to 200 do
+    let s = Live.snapshot () in
+    (match List.assoc_opt "test.live_c" s.Live.counters with
+    | Some v ->
+      if v < !prev_c then monotone := false;
+      prev_c := v
+    | None -> ());
+    match List.assoc_opt "test.live_h" s.Live.histograms with
+    | Some hs ->
+      if hs.Trace.count < !prev_n || hs.Trace.sum < 0 then monotone := false;
+      prev_n := hs.Trace.count
+    | None -> ()
+  done;
+  List.iter Domain.join ds;
+  Alcotest.(check bool) "mid-flight captures monotone" true !monotone;
+  Alcotest.(check int)
+    "no increment lost to the scraper" (workers * per) (Trace.value c);
+  let s = Trace.histogram_snapshot h in
+  Alcotest.(check int) "all observations landed" (workers * per) s.Trace.count;
+  Alcotest.(check int)
+    "buckets account for every observation" (workers * per)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Trace.buckets)
+
+(* ------------------------------------------------------------------ *)
+(* Sketches                                                            *)
+
+let zipf_stream ~seed ~n ~domain ~s =
+  let rng = Random.State.make [| seed |] in
+  let draw = Generate.zipf_sampler ~rng ~n:domain ~s in
+  Array.init n (fun _ -> draw ())
+
+let exact_counts stream =
+  let tbl = Hashtbl.create 512 in
+  Array.iter
+    (fun id ->
+      Hashtbl.replace tbl id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id)))
+    stream;
+  tbl
+
+let test_cm_zipf_bound () =
+  let stream = zipf_stream ~seed:99 ~n:30_000 ~domain:2000 ~s:1.2 in
+  let exact = exact_counts stream in
+  let cm = Sketch.Cm.create () in
+  Array.iter (Sketch.Cm.add cm) stream;
+  let bound = Sketch.Cm.error_bound cm in
+  Alcotest.(check int) "total is the stream length" 30_000
+    (Sketch.Cm.total cm);
+  let over = ref 0 and under = ref false and keys = ref 0 in
+  Hashtbl.iter
+    (fun id c ->
+      incr keys;
+      let est = Sketch.Cm.estimate cm id in
+      if est < c then under := true;
+      if est - c > bound then incr over)
+    exact;
+  Alcotest.(check bool) "one-sided: never undercounts" false !under;
+  Alcotest.(check bool)
+    "error within eps*m on >= 99% of keys" true
+    (float_of_int !over <= 0.01 *. float_of_int !keys);
+  (* The heavy hitters — where the report looks — estimate exactly or
+     nearly so. *)
+  let top =
+    Hashtbl.fold (fun id c acc -> (c, id) :: acc) exact []
+    |> List.sort (fun a b -> compare b a)
+    |> List.filteri (fun i _ -> i < 10)
+  in
+  Alcotest.(check bool)
+    "true top-10 within the bound" true
+    (List.for_all (fun (c, id) -> Sketch.Cm.estimate cm id - c <= bound) top)
+
+let test_topk_and_reservoir () =
+  let stream = zipf_stream ~seed:99 ~n:30_000 ~domain:2000 ~s:1.2 in
+  let exact = exact_counts stream in
+  let topk = Sketch.Topk.create ~capacity:32 () in
+  let res = Sketch.Reservoir.create ~capacity:64 () in
+  Array.iter
+    (fun id ->
+      Sketch.Topk.offer topk id;
+      Sketch.Reservoir.offer res id)
+    stream;
+  let truth id = Option.value ~default:0 (Hashtbl.find_opt exact id) in
+  let reported = Sketch.Topk.top topk 10 in
+  let true_top5 =
+    Hashtbl.fold (fun id c acc -> (c, id) :: acc) exact []
+    |> List.sort (fun a b -> compare b a)
+    |> List.filteri (fun i _ -> i < 5)
+    |> List.map snd
+  in
+  Alcotest.(check bool)
+    "space-saving catches the true top-5" true
+    (List.for_all
+       (fun id -> List.exists (fun (i, _, _) -> i = id) reported)
+       true_top5);
+  Alcotest.(check bool)
+    "est - err <= truth <= est on every entry" true
+    (List.for_all
+       (fun (id, est, err) ->
+         let c = truth id in
+         est - err <= c && c <= est)
+       reported);
+  Alcotest.(check int) "reservoir saw the stream" 30_000
+    (Sketch.Reservoir.seen res);
+  Alcotest.(check int) "reservoir holds its capacity" 64
+    (List.length (Sketch.Reservoir.contents res));
+  let res2 = Sketch.Reservoir.create ~capacity:64 () in
+  Array.iter (Sketch.Reservoir.offer res2) stream;
+  Alcotest.(check (list int))
+    "same stream, same sample" (Sketch.Reservoir.contents res)
+    (Sketch.Reservoir.contents res2)
+
+(* The per-round skew report rides the MPC rounds: absent while the
+   master switch is off, recorded per round while on — and the measured
+   Stats.t is bit-identical either way. *)
+let test_skew_reports_gated () =
+  Sketch.reset ();
+  let rng = Random.State.make [| 3 |] in
+  let inst =
+    Lamp_mpc.Workload.relations_from_pairs ~rels:[ "R"; "S" ]
+      (Lamp_mpc.Workload.zipf_pairs ~rng ~m:400 ~domain:100 ~s:1.2)
+  in
+  let run () = Lamp_mpc.Repartition_join.run ~materialize:false ~p:4 inst in
+  let _, s_off = run () in
+  Alcotest.(check int) "no report while disabled" 0 (Sketch.report_count ());
+  Sketch.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Sketch.set_enabled false;
+      Sketch.reset ())
+    (fun () ->
+      let _, s_on = run () in
+      Alcotest.(check int) "one round, one report" 1 (Sketch.report_count ());
+      (match Sketch.latest () with
+      | None -> Alcotest.fail "report missing"
+      | Some r ->
+        Alcotest.(check int) "p recorded" 4 r.Sketch.p;
+        Alcotest.(check int) "round numbered from 1" 1 r.Sketch.round;
+        Alcotest.(check bool) "top keys present" true (r.Sketch.top <> []);
+        Alcotest.(check int)
+          "max_received is the measured max load"
+          (Lamp_mpc.Stats.max_load s_on)
+          r.Sketch.max_received);
+      Alcotest.(check bool)
+        "stats bit-identical with sketches on" true (s_off = s_on))
+
+let test_openmetrics_roundtrip () =
+  Trace.set_enabled true;
+  let fam = Live.counter_family "test.om" in
+  Trace.add (Live.cell fam [ ("op", "scan") ]) 7;
+  let h = Trace.histogram "test.om_hist" in
+  List.iter (Trace.observe h) [ 1; 2; 3; 300 ];
+  let g = Live.gauge "test.om_gauge" in
+  Live.set g 5;
+  let text = Export.openmetrics () in
+  Alcotest.(check bool)
+    "exposition ends with # EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  let samples = Export.parse_openmetrics text in
+  let value ?(labels = []) name =
+    List.find_map
+      (fun (n, ls, v) ->
+        if n = name && List.for_all (fun kv -> List.mem kv ls) labels then
+          Some v
+        else None)
+      samples
+  in
+  Alcotest.(check (option (float 0.0)))
+    "labeled counter scraped back" (Some 7.0)
+    (value ~labels:[ ("op", "scan") ] "lamp_test_om_total");
+  Alcotest.(check (option (float 0.0)))
+    "histogram count" (Some 4.0)
+    (value "lamp_test_om_hist_count");
+  Alcotest.(check (option (float 0.0)))
+    "+Inf bucket equals count" (Some 4.0)
+    (value ~labels:[ ("le", "+Inf") ] "lamp_test_om_hist_bucket");
+  Alcotest.(check (option (float 0.0)))
+    "histogram sum" (Some 306.0)
+    (value "lamp_test_om_hist_sum");
+  Alcotest.(check (option (float 0.0)))
+    "gauge scraped back" (Some 5.0)
+    (value "lamp_test_om_gauge")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -332,5 +658,29 @@ let () =
         [
           Alcotest.test_case "jsonl" `Quick (clean test_export_jsonl);
           Alcotest.test_case "chrome" `Quick (clean test_export_chrome);
+        ] );
+      ( "metrics-live",
+        [
+          Alcotest.test_case "registry ~all flag" `Quick
+            (clean test_registry_all_flag);
+          Alcotest.test_case "gauges and callbacks" `Quick (clean test_gauges);
+          Alcotest.test_case "labeled families" `Quick
+            (clean test_labeled_family);
+          Alcotest.test_case "snapshot diff" `Quick (clean test_snapshot_diff);
+          Alcotest.test_case "window arithmetic" `Quick
+            (clean test_window_arithmetic);
+          Alcotest.test_case "concurrent scrape" `Quick
+            (clean test_concurrent_scrape);
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "count-min zipf bound" `Quick
+            (clean test_cm_zipf_bound);
+          Alcotest.test_case "top-k and reservoir" `Quick
+            (clean test_topk_and_reservoir);
+          Alcotest.test_case "skew reports gated" `Quick
+            (clean test_skew_reports_gated);
+          Alcotest.test_case "openmetrics round-trip" `Quick
+            (clean test_openmetrics_roundtrip);
         ] );
     ]

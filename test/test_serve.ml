@@ -62,7 +62,32 @@ let sample_requests : Wire.request list =
     Ingest { instance = "empty"; facts = [] };
     Stats;
     Health;
+    Metrics;
+    Trace_dump { limit = 128 };
+    Traced
+      {
+        trace = 0x1234;
+        span = 7;
+        req = Execute { instance = "main"; plan = Id 42; mode = Local };
+      };
+    Traced { trace = 0; span = 0; req = Health };
   ]
+
+let sample_server_stats : Wire.server_stats =
+  {
+    sessions = 3;
+    active_requests = 1;
+    executor_in_flight = 0;
+    pool_workers = 2;
+    plan_cache_size = 4;
+    plan_cache_hits = 99;
+    plan_cache_misses = 1;
+    handle_pools = [ ("main", 1, 2) ];
+    requests_served = 100;
+    rejected = 2;
+    throttled = 1;
+    uptime_s = 12.5;
+  }
 
 let sample_responses : Wire.response list =
   [
@@ -73,25 +98,24 @@ let sample_responses : Wire.response list =
     Done { facts = 12; stats = None };
     Done { facts = 0; stats = Some sample_stats };
     Ingested { added = 5 };
-    Stats_reply
-      {
-        sessions = 3;
-        active_requests = 1;
-        executor_in_flight = 0;
-        pool_workers = 2;
-        plan_cache_size = 4;
-        plan_cache_hits = 99;
-        plan_cache_misses = 1;
-        handle_pools = [ ("main", 1, 2) ];
-        requests_served = 100;
-        rejected = 2;
-        throttled = 1;
-      };
+    Stats_reply sample_server_stats;
     Healthy;
     Error { code = Bad_request; message = "nope" };
     Error { code = Rejected; message = "" };
     Error { code = Throttled; message = "slow down" };
     Error { code = Failed; message = "engine exploded" };
+    Metrics_reply "# TYPE lamp_serve_requests counter\n# EOF\n";
+    Trace_reply
+      [
+        {
+          sp_name = "serve.request";
+          sp_cat = "serve";
+          sp_tid = 0;
+          sp_t = 0.25;
+          sp_dur = 0.125;
+        };
+      ];
+    Trace_reply [];
   ]
 
 let test_wire_roundtrip () =
@@ -134,10 +158,54 @@ let test_wire_hostile () =
      Alcotest.fail "bad tag must raise"
    with Codec.Corrupt _ -> ());
   (* Trailing bytes are schema drift, not silence. *)
+  (try
+     ignore
+       (Wire.response_of_string (Wire.response_to_string Wire.Healthy ^ "x"));
+     Alcotest.fail "trailing bytes must raise"
+   with Codec.Corrupt _ -> ());
+  (* The trace envelope must not nest. *)
   try
     ignore
-      (Wire.response_of_string (Wire.response_to_string Wire.Healthy ^ "x"));
-    Alcotest.fail "trailing bytes must raise"
+      (Wire.request_of_string
+         (Wire.request_to_string
+            (Traced
+               {
+                 trace = 1;
+                 span = 2;
+                 req = Traced { trace = 3; span = 4; req = Health };
+               })));
+    Alcotest.fail "nested Traced must raise"
+  with Codec.Corrupt _ -> ()
+
+let test_wire_versioning () =
+  (* A v1 session's stats layout omits uptime_s: shorter on the wire,
+     decoded back with uptime 0. A v2 encoding keeps the float. *)
+  let resp : Wire.response = Stats_reply sample_server_stats in
+  let v1 = Wire.response_to_string ~version:1 resp in
+  let v2 = Wire.response_to_string ~version:2 resp in
+  Alcotest.(check bool) "v1 encoding is strictly shorter" true
+    (String.length v1 < String.length v2);
+  (match Wire.response_of_string ~version:1 v1 with
+  | Stats_reply s ->
+    Alcotest.(check (float 0.0)) "v1 decode defaults uptime" 0.0 s.uptime_s;
+    Alcotest.(check bool) "v1 decode keeps the rest" true
+      ({ s with uptime_s = sample_server_stats.uptime_s }
+      = sample_server_stats)
+  | _ -> Alcotest.fail "expected Stats_reply");
+  (match Wire.response_of_string ~version:2 v2 with
+  | Stats_reply s ->
+    Alcotest.(check (float 0.0)) "v2 keeps uptime"
+      sample_server_stats.uptime_s s.uptime_s
+  | _ -> Alcotest.fail "expected Stats_reply");
+  (* Decoding with the wrong dialect must fail loudly, not silently
+     misread: v2 bytes under a v1 decoder leave the float unconsumed. *)
+  (try
+     ignore (Wire.response_of_string ~version:1 v2);
+     Alcotest.fail "v2 bytes under v1 decoder must raise"
+   with Codec.Corrupt _ -> ());
+  try
+    ignore (Wire.response_of_string ~version:2 v1);
+    Alcotest.fail "v1 bytes under v2 decoder must raise"
   with Codec.Corrupt _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -506,6 +574,80 @@ let test_errors_and_health () =
           (* The session survives every error above. *)
           Alcotest.(check bool) "still healthy" true (Client.health c)))
 
+let test_protocol_negotiation () =
+  with_server `Seq (fun _server ~executor:_ ~path ->
+      (* An old v1 client: the session settles on 1 and every reply is
+         v1-layout — stats still decode, with uptime defaulted. *)
+      with_client path (fun c ->
+          ignore (Client.hello ~client:"old" ~version:1 c);
+          Alcotest.(check int) "negotiated down to 1" 1 (Client.version c);
+          let s = Client.stats c in
+          Alcotest.(check (float 0.0)) "v1 stats have no uptime" 0.0 s.uptime_s;
+          Alcotest.(check bool) "v1 session still works" true (Client.health c));
+      (* A futuristic client: the server answers with its own version. *)
+      with_client path (fun c ->
+          ignore (Client.hello ~client:"new" ~version:99 c);
+          Alcotest.(check int) "capped at the server's version"
+            Wire.protocol_version (Client.version c);
+          let s = Client.stats c in
+          Alcotest.(check bool) "v2 stats carry uptime" true (s.uptime_s >= 0.0));
+      (* Below the floor: rejected before the session starts. *)
+      with_client path (fun c ->
+          match Client.hello ~client:"ancient" ~version:0 c with
+          | _ -> Alcotest.fail "version 0 must be rejected"
+          | exception Client.Server_error (Bad_request, _) -> ()))
+
+let test_live_scrape () =
+  Lamp_obs.Trace.set_mode (Ring 4096);
+  Lamp_obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Lamp_obs.Trace.set_enabled false;
+      Lamp_obs.Trace.set_mode Full;
+      Lamp_obs.Trace.reset ())
+    (fun () ->
+      with_server `Seq (fun _server ~executor:_ ~path ->
+          with_client path (fun c ->
+              ignore (Client.hello ~client:"scraper" c);
+              let q = "H(x,z) <- E(x,y), E(y,z)" in
+              for _ = 1 to 5 do
+                ignore (Client.execute c ~instance:"main" (Adhoc q))
+              done;
+              let text = Client.metrics c in
+              Alcotest.(check bool) "exposition is terminated" true
+                (String.length text >= 6
+                && String.sub text (String.length text - 6) 6 = "# EOF\n");
+              let samples = Lamp_obs.Export.parse_openmetrics text in
+              let value name =
+                List.find_map
+                  (fun (n, _, v) -> if n = name then Some v else None)
+                  samples
+              in
+              (match value "lamp_serve_requests_total" with
+              | Some v ->
+                Alcotest.(check bool) "request counter matches load" true
+                  (v >= 6.0)
+              | None -> Alcotest.fail "lamp_serve_requests_total missing");
+              (match value "lamp_serve_sessions" with
+              | Some v ->
+                Alcotest.(check bool) "sessions gauge sees the scraper" true
+                  (v >= 1.0)
+              | None -> Alcotest.fail "lamp_serve_sessions gauge missing");
+              (match value "lamp_serve_uptime_s" with
+              | Some v -> Alcotest.(check bool) "uptime gauge" true (v >= 0.0)
+              | None -> Alcotest.fail "lamp_serve_uptime_s gauge missing");
+              (* Zero-valued counters must be exposed on a scrape. *)
+              (match value "lamp_serve_rejected_total" with
+              | Some v -> Alcotest.(check (float 0.0)) "zeros emitted" 0.0 v
+              | None -> Alcotest.fail "zero counter hidden from scrape");
+              (* The server recorded spans for the traced work; the
+                 trace op ships them back. *)
+              let spans = Client.trace_dump ~limit:64 c in
+              Alcotest.(check bool) "serve spans visible" true
+                (List.exists
+                   (fun (s : Wire.span_info) -> s.sp_name = "serve.request")
+                   spans))))
+
 let test_stop_drains_pools () =
   let executor = Executor.sequential in
   let server = Server.create ~executor () in
@@ -565,6 +707,7 @@ let () =
         [
           Alcotest.test_case "round-trips" `Quick test_wire_roundtrip;
           Alcotest.test_case "hostile input" `Quick test_wire_hostile;
+          Alcotest.test_case "version dialects" `Quick test_wire_versioning;
         ] );
       ( "rpool",
         [
@@ -595,6 +738,10 @@ let () =
           Alcotest.test_case "per-client quotas" `Quick test_quota_throttle;
           Alcotest.test_case "errors keep the session" `Quick
             test_errors_and_health;
+          Alcotest.test_case "protocol negotiation" `Quick
+            test_protocol_negotiation;
+          Alcotest.test_case "live metrics and trace scrape" `Quick
+            test_live_scrape;
           Alcotest.test_case "stop drains every pool" `Quick
             test_stop_drains_pools;
           Alcotest.test_case "concurrent clients agree" `Quick
