@@ -1447,10 +1447,9 @@ let e15 () =
      that is expected, so retry briefly instead of counting it. *)
   let connect_retry path =
     let rec go n =
-      match Serve.Client.connect_unix ~path with
+      match Serve.Client.connect_unix ~path () with
       | c -> c
-      | exception Unix.Unix_error ((EAGAIN | ECONNREFUSED | EINTR), _, _)
-        when n > 0 ->
+      | exception Serve.Client.Connection_lost _ when n > 0 ->
         Thread.delay 0.01;
         go (n - 1)
     in
@@ -1475,7 +1474,7 @@ let e15 () =
         Serve.Server.stop server;
         unlink path)
       (fun () ->
-        let c = Serve.Client.connect_unix ~path in
+        let c = Serve.Client.connect_unix ~path () in
         Fun.protect
           ~finally:(fun () -> Serve.Client.close c)
           (fun () ->
@@ -2138,6 +2137,339 @@ let e17 () =
     \  measured Stats.t."
 
 (* ------------------------------------------------------------------ *)
+(* E18: the serve path under deterministic wire faults                 *)
+
+let e18 () =
+  section "E18: hostile network — chaos proxy, retries, idempotency, shedding";
+  (* Every fig1/e1–e5 query family is driven twice: once over a clean
+     in-process connection, once through the chaos proxy under a
+     seeded wire-fault plan; both must produce byte-identical result
+     encodings and identical Stats.t, however many resets, corrupted
+     frames, stalls and refused connects the plan injects. *)
+  let seeds =
+    if !smoke then [ !fault_seed ]
+    else [ !fault_seed; !fault_seed + 1; !fault_seed + 2 ]
+  in
+  (* The test instance mirrors test_serve's: binary R/S/T for the join
+     and triangle families (e1–e3), unary S/T and R-loops so fig1's
+     boolean queries are satisfiable. *)
+  let inst =
+    let facts = ref [] in
+    let add f = facts := f :: !facts in
+    let n = if !smoke then 14 else 20 in
+    for i = 0 to n - 1 do
+      add (Relational.Fact.of_list "R"
+             [ Relational.Value.int i; Relational.Value.int ((i + 1) mod n) ]);
+      add (Relational.Fact.of_list "S"
+             [ Relational.Value.int i; Relational.Value.int ((i + 3) mod n) ]);
+      add (Relational.Fact.of_list "T"
+             [ Relational.Value.int ((i * 7) mod n); Relational.Value.int i ]);
+      add (Relational.Fact.of_list "T" [ Relational.Value.int i ]);
+      add (Relational.Fact.of_list "S" [ Relational.Value.int i ])
+    done;
+    add (Relational.Fact.of_list "R"
+           [ Relational.Value.int 5; Relational.Value.int 5 ]);
+    Relational.Instance.of_facts !facts
+  in
+  let local_queries =
+    [
+      ("fig1_q1", "H() <- S(x), R(x,x), T(x)");
+      ("fig1_q2", "H() <- R(x,x), T(x)");
+      ("fig1_q3", "H() <- S(x), R(x,y), T(y)");
+      ("fig1_q4", "H() <- R(x,y), T(y)");
+      ("e0_join", "H(x,y,z) <- R(x,y), S(y,z)");
+      ("e3_triangle", "H(x,y,z) <- R(x,y), S(y,z), T(z,x)");
+    ]
+  in
+  let triangle_q = "H(x,y,z) <- R(x,y), S(y,z), T(z,x)" in
+  let encode i =
+    let w = Jobs.Codec.writer () in
+    Jobs.Codec.w_instance w i;
+    Jobs.Codec.contents w
+  in
+  (* Ground truth straight from the library, Stats.t included. *)
+  let expected_local =
+    List.map
+      (fun (name, q) -> (name, encode (Cq.Eval.eval (Cq.Parser.query q) inst)))
+      local_queries
+  in
+  let exp_hc =
+    let r, s, _ = Mpc.Hypercube.run ~executor:(exec ()) ~p:4
+        (Cq.Parser.query triangle_q) inst in
+    (encode r, s)
+  in
+  let exp_rep =
+    let r, s = Mpc.Repartition_join.run ~executor:(exec ()) ~p:3 inst in
+    (encode r, s)
+  in
+  let exp_grid =
+    let r, s = Mpc.Grid_join.run ~executor:(exec ()) ~p:4 inst in
+    (encode r, s)
+  in
+  let sock tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lamp_e18_%s_%d.sock" tag (Unix.getpid ()))
+  in
+  let unlink path = try Unix.unlink path with Unix.Unix_error _ -> () in
+  (* The fault-plan matrix: each row exercises a distinct failure
+     domain of the proxy. Probabilities are chosen so a 12-attempt
+     retry budget survives every row with overwhelming margin while
+     still forcing plenty of re-execution. *)
+  let plans =
+    let base =
+      [
+        ("clean", Faults.Net.zero);
+        ("cuts", { Faults.Net.zero with reset = 0.25; truncate = 0.25 });
+        ("corrupt", { Faults.Net.zero with flip = 0.5 });
+        ("refuse+delay",
+         { Faults.Net.zero with refuse = 0.3; accept_delay = 0.5 });
+        ("slow", { Faults.Net.zero with stall = 0.5; trickle = 0.5 });
+        ("chaos", Faults.Net.chaos);
+      ]
+    in
+    if !smoke then
+      List.filter (fun (n, _) -> List.mem n [ "clean"; "cuts"; "chaos" ]) base
+    else base
+  in
+  let mismatches = ref 0 and dup_ingests = ref 0 in
+  let total_retries = ref 0 and round = ref 0 in
+  let injected = Hashtbl.create 8 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (plan_name, spec) ->
+          incr round;
+          let tag = Printf.sprintf "s%d_%s" seed plan_name in
+          let config =
+            { Serve.Server.default_config with read_timeout_s = Some 5.0 }
+          in
+          let server =
+            Serve.Server.create ~config ~executor:(exec ()) ()
+          in
+          Serve.Server.add_instance server ~name:"bench" inst;
+          let upath = sock (tag ^ "_up") in
+          Serve.Server.listen_unix server ~path:upath;
+          let ppath = sock (tag ^ "_px") in
+          let proxy =
+            Faults.Net.Proxy.start
+              ~plan:(Faults.Net.make ~seed spec)
+              ~listen:(ADDR_UNIX ppath) ~upstream:(ADDR_UNIX upath) ()
+          in
+          let r =
+            Serve.Resilient.create
+              ~config:
+                {
+                  Serve.Resilient.default_config with
+                  max_attempts = 12;
+                  seed;
+                  budget_s = Some 60.0;
+                }
+              ~client:("chaos-" ^ tag)
+              (fun () ->
+                Serve.Client.connect_unix ~timeout_s:3.0 ~path:ppath ())
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Serve.Resilient.close r;
+              Faults.Net.Proxy.stop proxy;
+              Serve.Server.stop server;
+              unlink ppath;
+              unlink upath)
+            (fun () ->
+              let miss name got want =
+                if not (String.equal got want) then begin
+                  incr mismatches;
+                  line "  MISMATCH: seed %d plan %s %s" seed plan_name name
+                end
+              in
+              List.iter
+                (fun (name, q) ->
+                  let got, _ =
+                    Serve.Resilient.execute r ~instance:"bench" (Adhoc q)
+                  in
+                  miss name (encode got) (List.assoc name expected_local))
+                local_queries;
+              let check_mode name mode (want, want_st) =
+                let got, st =
+                  Serve.Resilient.execute r ~instance:"bench" ~mode
+                    (Adhoc triangle_q)
+                in
+                miss name (encode got) want;
+                if st <> Some want_st then begin
+                  incr mismatches;
+                  line "  MISMATCH: seed %d plan %s %s Stats.t" seed plan_name
+                    name
+                end
+              in
+              check_mode "e3_hypercube" (Hypercube { p = 4 }) exp_hc;
+              check_mode "e1_repartition" (Repartition { p = 3 }) exp_rep;
+              check_mode "e2_grid" (Grid { p = 4 }) exp_grid;
+              (* Keyed ingest, exactly once per logical op: a retried
+                 keyed ingest must replay the original count. Facts are
+                 unique per round so each round's first execution
+                 reports exactly 2 additions. *)
+              let fresh =
+                [
+                  Relational.Fact.of_list "R"
+                    [
+                      Relational.Value.int (1000 + (10 * !round));
+                      Relational.Value.int (1001 + (10 * !round));
+                    ];
+                  Relational.Fact.of_list "S"
+                    [
+                      Relational.Value.int (1001 + (10 * !round));
+                      Relational.Value.int (1002 + (10 * !round));
+                    ];
+                ]
+              in
+              let added = Serve.Resilient.ingest r ~instance:"bench" fresh in
+              if added <> 2 then begin
+                incr dup_ingests;
+                line "  DUPLICATE-INGEST: seed %d plan %s added=%d (want 2)"
+                  seed plan_name added
+              end;
+              total_retries := !total_retries + Serve.Resilient.retries r;
+              List.iter
+                (fun (kind, n) ->
+                  Hashtbl.replace injected kind
+                    (n + Option.value ~default:0
+                           (Hashtbl.find_opt injected kind)))
+                (Faults.Net.Proxy.injected proxy)))
+        plans)
+    seeds;
+  let injected_total =
+    Hashtbl.fold (fun _ n acc -> acc + n) injected 0
+  in
+  check
+    (Printf.sprintf
+       "chaos-proxied results bit-identical over %d seed x plan rounds"
+       !round)
+    (!mismatches = 0);
+  check "keyed ingests applied exactly once despite forced retries"
+    (!dup_ingests = 0);
+  check "the proxy injected real faults" (injected_total > 0);
+  check "faults forced client retries" (!total_retries > 0);
+  metric "rounds" (float_of_int !round);
+  metric "retries" (float_of_int !total_retries);
+  metric "injected_faults" (float_of_int injected_total);
+  Hashtbl.iter
+    (fun kind n -> metric ("injected_" ^ kind) (float_of_int n))
+    injected;
+  line "  %d rounds, %d retries, %d faults injected (%s)" !round
+    !total_retries injected_total
+    (String.concat ", "
+       (List.sort compare
+          (Hashtbl.fold
+             (fun k n acc -> Printf.sprintf "%s %d" k n :: acc)
+             injected [])));
+  (* -- Overload: graceful degradation under a request storm. -------- *)
+  (* A sub-zero queue-wait watermark puts the server deep past its
+     admission point from the first request (every estimate, even a
+     0 us uncontended one, exceeds it — the storm runs at far beyond
+     2x the watermark by construction), so it must shed with typed
+     retry hints, keep the control plane live, and keep every
+     surviving probe-admitted request correct. Latching the shed state
+     deterministically is the point: the assertion below is about the
+     degradation machinery, not about winning a timing race. *)
+  let storm_clients = if !smoke then 4 else 8 in
+  let storm_reqs = if !smoke then 8 else 25 in
+  let config =
+    {
+      Serve.Server.default_config with
+      shed_queue_us = Some (-1.0);
+      shed_retry_after_s = 0.002;
+      max_inflight = storm_clients + 4;
+      max_sessions = storm_clients + 4;
+    }
+  in
+  let server = Serve.Server.create ~config ~executor:(exec ()) () in
+  Serve.Server.add_instance server ~name:"bench" inst;
+  let spath = sock "storm" in
+  Serve.Server.listen_unix server ~path:spath;
+  let was_enabled = Obs.Trace.is_enabled () in
+  Obs.Trace.set_enabled true;
+  let lat_h = Obs.Trace.histogram "e18.storm_latency_us" in
+  let storm_mismatch = Atomic.make 0 and storm_err = Atomic.make 0 in
+  let expected_storm = Cq.Eval.eval (Cq.Parser.query triangle_q) inst in
+  let unhealthy = Atomic.make 0 in
+  let stop_probe = Atomic.make false in
+  (* A control client probes health throughout the storm: shedding
+     must never take the control plane down. *)
+  let prober =
+    Thread.create
+      (fun () ->
+        let c = Serve.Client.connect_unix ~timeout_s:5.0 ~path:spath () in
+        ignore (Serve.Client.hello ~client:"probe" c);
+        while not (Atomic.get stop_probe) do
+          (try if not (Serve.Client.health c) then Atomic.incr unhealthy
+           with _ -> Atomic.incr unhealthy);
+          Thread.delay 0.01
+        done;
+        Serve.Client.close c)
+      ()
+  in
+  let storm_thread i =
+    let r =
+      Serve.Resilient.create
+        ~config:
+          {
+            Serve.Resilient.default_config with
+            max_attempts = 50;
+            seed = 100 + i;
+            budget_s = Some 60.0;
+          }
+        ~client:(Printf.sprintf "storm%d" i)
+        (fun () -> Serve.Client.connect_unix ~timeout_s:10.0 ~path:spath ())
+    in
+    Fun.protect
+      ~finally:(fun () -> Serve.Resilient.close r)
+      (fun () ->
+        for _ = 1 to storm_reqs do
+          let t0 = Unix.gettimeofday () in
+          match Serve.Resilient.execute r ~instance:"bench" (Adhoc triangle_q)
+          with
+          | got, _ ->
+            Obs.Trace.observe lat_h
+              (int_of_float (1e6 *. (Unix.gettimeofday () -. t0)));
+            if not (Relational.Instance.equal expected_storm got) then
+              Atomic.incr storm_mismatch
+          | exception _ -> Atomic.incr storm_err
+        done)
+  in
+  let threads = List.init storm_clients (fun i -> Thread.create storm_thread i) in
+  List.iter Thread.join threads;
+  Atomic.set stop_probe true;
+  Thread.join prober;
+  let s = Serve.Server.stats server in
+  check "server shed load past the watermark" (s.shed > 0);
+  check "control plane stayed live through the storm"
+    (Atomic.get unhealthy = 0);
+  check "every admitted request was answered correctly"
+    (Atomic.get storm_mismatch = 0 && Atomic.get storm_err = 0);
+  let lat = Obs.Trace.histogram_snapshot lat_h in
+  let p99 = Obs.Trace.percentile lat 0.99 in
+  check "storm p99 bounded by the retry budget" (p99 < 60.0 *. 1e6);
+  metric "storm_shed" (float_of_int s.shed);
+  metric "storm_requests" (float_of_int (storm_clients * storm_reqs));
+  metric_percentiles "storm_latency_us" lat;
+  line
+    "  storm: %d clients x %d requests, %d shed (typed retry hints), \
+     latency p50 %.0f us p99 %.0f us"
+    storm_clients storm_reqs s.shed
+    (Obs.Trace.percentile lat 0.50)
+    p99;
+  Serve.Server.stop server;
+  unlink spath;
+  Obs.Trace.set_enabled was_enabled;
+  line
+    "  shape: determinism survives the hostile network — the fault plan is\n\
+    \  a pure function of (seed, connection, direction), the checksum turns\n\
+    \  corruption into typed connection loss, idempotency keys turn\n\
+    \  at-least-once retries into exactly-once effects, and overload turns\n\
+    \  into typed backpressure instead of collapse."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2160,6 +2492,7 @@ let experiments =
     ("e15", e15);
     ("e16", e16);
     ("e17", e17);
+    ("e18", e18);
   ]
 
 (* One parser for every [--key=value] flag: the key names its handler

@@ -201,8 +201,17 @@ let wrap f =
       | Rejected -> "rejected"
       | Throttled -> "throttled"
       | Failed -> "failed"
+      | Overloaded { retry_after_s } ->
+        Printf.sprintf "overloaded, retry after %gs" retry_after_s
+      | Corrupt_frame -> "corrupt frame"
     in
     Fmt.epr "server error (%s): %s@." name msg;
+    1
+  | Serve.Client.Connection_lost msg ->
+    Fmt.epr "connection lost: %s@." msg;
+    1
+  | Serve.Client.Timed_out msg ->
+    Fmt.epr "timed out: %s@." msg;
     1
   | Serve.Client.Protocol_error msg ->
     Fmt.epr "protocol error: %s@." msg;
@@ -823,9 +832,57 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "telemetry" ] ~doc)
   in
+  (* Hardening knobs: 0 disables a timeout/watermark (the option's
+     [None]), matching the library defaults where they differ. *)
+  let read_timeout_arg =
+    let doc = "Deadline (seconds) for a started request frame to finish \
+               arriving — defeats slow-loris senders. 0 waits forever." in
+    Arg.(value & opt float 30.0 & info [ "read-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc = "How long (seconds) a session may sit between requests \
+               before it is hung up on. 0 (default) keeps idle sessions \
+               forever." in
+    Arg.(value & opt float 0.0 & info [ "idle-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let reap_after_arg =
+    let doc = "Stalled-connection reaper: shut down any session without \
+               I/O activity for this long (seconds), including one stuck \
+               mid-request. Must exceed the longest legitimate request. \
+               0 (default) disables the reaper." in
+    Arg.(value & opt float 0.0 & info [ "reap-after" ] ~docv:"SECS" ~doc)
+  in
+  let max_frame_arg =
+    let doc = "Cap (bytes) on an incoming frame's payload, checked before \
+               any allocation; a hostile length prefix is answered with a \
+               typed error and a hangup." in
+    Arg.(
+      value
+      & opt int Serve.Wire.max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let dedup_window_arg =
+    let doc = "Completed idempotency-keyed operations remembered per \
+               client for replay, so a retried keyed request re-executes \
+               nothing. 0 disables deduplication." in
+    Arg.(value & opt int 1024 & info [ "dedup-window" ] ~docv:"N" ~doc)
+  in
+  let shed_queue_arg =
+    let doc = "Load-shedding watermark (microseconds) on the queue-wait \
+               EWMA: past it, engine requests get a typed Overloaded \
+               reply with a retry hint while health and scrapes still \
+               serve. 0 (default) disables shedding." in
+    Arg.(value & opt float 0.0 & info [ "shed-queue-us" ] ~docv:"USECS" ~doc)
+  in
+  let shed_retry_after_arg =
+    let doc = "The retry_after_s hint (seconds) carried by shed replies." in
+    Arg.(
+      value & opt float 0.05 & info [ "shed-retry-after" ] ~docv:"SECS" ~doc)
+  in
   let run socket port host inline file iname max_sessions max_inflight
-      pool_size plan_cache batch quota strategy telemetry backend domains trace
-      profile =
+      pool_size plan_cache batch quota strategy telemetry read_timeout
+      idle_timeout reap_after max_frame dedup_window shed_queue
+      shed_retry_after backend domains trace profile =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             if telemetry then begin
@@ -845,6 +902,7 @@ let serve_cmd =
                   | _ -> invalid_arg "--quota expects RATE:BURST")
                 quota
             in
+            let opt_pos v = if v > 0.0 then Some v else None in
             let config =
               {
                 Serve.Server.default_config with
@@ -855,6 +913,13 @@ let serve_cmd =
                 batch;
                 quota;
                 strategy;
+                read_timeout_s = opt_pos read_timeout;
+                idle_timeout_s = opt_pos idle_timeout;
+                reap_after_s = opt_pos reap_after;
+                max_frame;
+                dedup_window;
+                shed_queue_us = opt_pos shed_queue;
+                shed_retry_after_s = shed_retry_after;
               }
             in
             with_executor backend domains (fun executor ->
@@ -908,22 +973,50 @@ let serve_cmd =
       const run $ socket_arg $ port_arg $ host_arg $ instance_arg
       $ instance_file_arg $ iname_arg $ max_sessions_arg $ max_inflight_arg
       $ pool_size_arg $ plan_cache_arg $ batch_arg $ quota_arg
-      $ plan_strategy_arg $ telemetry_arg $ backend_arg $ domains_arg
+      $ plan_strategy_arg $ telemetry_arg $ read_timeout_arg
+      $ idle_timeout_arg $ reap_after_arg $ max_frame_arg $ dedup_window_arg
+      $ shed_queue_arg $ shed_retry_after_arg $ backend_arg $ domains_arg
       $ trace_arg $ profile_arg)
 
-(* Opens the connection named by --socket/--port, runs [f], closes. *)
-let with_client socket port host f =
-  let c =
+let timeout_arg =
+  let doc =
+    "Per-request deadline (seconds): an operation that has not finished \
+     its round-trip by then fails with a typed timeout instead of \
+     hanging. Unset waits forever."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry attempts after a connection loss, timeout or typed overload \
+     reply, with seeded exponential backoff (an Overloaded retry hint \
+     floors the sleep). Mutating operations carry idempotency keys, so a \
+     retried ingest never double-counts."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+(* Wraps the connection named by --socket/--port in a {!Serve.Resilient}
+   retry client, runs [f], closes. With --retries=0 (the default) it is
+   a plain one-shot connection — failures surface immediately. *)
+let with_client socket port host timeout retries f =
+  if retries < 0 then invalid_arg "--retries < 0";
+  let connect () =
     match socket, port with
-    | Some path, None -> Serve.Client.connect_unix ~path
-    | None, Some port -> Serve.Client.connect_tcp ~host ~port ()
+    | Some path, None -> Serve.Client.connect_unix ?timeout_s:timeout ~path ()
+    | None, Some port ->
+      Serve.Client.connect_tcp ?timeout_s:timeout ~host ~port ()
     | _ -> invalid_arg "give exactly one of --socket or --port"
   in
-  Fun.protect
-    ~finally:(fun () -> Serve.Client.close c)
-    (fun () ->
-      ignore (Serve.Client.hello ~client:"lamp-cli" c);
-      f c)
+  let config =
+    { Serve.Resilient.default_config with max_attempts = retries + 1 }
+  in
+  (* The client name keys the server's idempotency-replay window and
+     Resilient keys restart at 1 per process, so successive CLI
+     invocations must not share a name: invocation N's key 1 would
+     replay invocation 1's recorded response. *)
+  let client = Printf.sprintf "lamp-cli.%d" (Unix.getpid ()) in
+  let c = Serve.Resilient.create ~config ~client connect in
+  Fun.protect ~finally:(fun () -> Serve.Resilient.close c) (fun () -> f c)
 
 let mode_arg =
   let doc =
@@ -944,21 +1037,21 @@ let parse_mode mode p : Serve.Wire.mode =
 
 let client_cmd =
   let health =
-    let run socket port host =
+    let run socket port host timeout retries =
       wrap (fun () ->
-          with_client socket port host (fun c ->
-              if Serve.Client.health c then Fmt.pr "healthy@."
+          with_client socket port host timeout retries (fun c ->
+              if Serve.Resilient.health c then Fmt.pr "healthy@."
               else invalid_arg "server reported unhealthy"))
     in
     Cmd.v
       (Cmd.info "health" ~doc:"Ping the service.")
-      Term.(const run $ socket_arg $ port_arg $ host_arg)
+      Term.(const run $ socket_arg $ port_arg $ host_arg $ timeout_arg $ retries_arg)
   in
   let stats =
-    let run socket port host =
+    let run socket port host timeout retries =
       wrap (fun () ->
-          with_client socket port host (fun c ->
-              let s = Serve.Client.stats c in
+          with_client socket port host timeout retries (fun c ->
+              let s = Serve.Resilient.stats c in
               Fmt.pr
                 "sessions: %d (active requests %d, executor in-flight %d, %d \
                  workers)@."
@@ -976,29 +1069,31 @@ let client_cmd =
     in
     Cmd.v
       (Cmd.info "stats" ~doc:"Print the server's counters and pool state.")
-      Term.(const run $ socket_arg $ port_arg $ host_arg)
+      Term.(const run $ socket_arg $ port_arg $ host_arg $ timeout_arg $ retries_arg)
   in
   let prepare =
-    let run socket port host iname query =
+    let run socket port host timeout retries iname query =
       wrap (fun () ->
-          with_client socket port host (fun c ->
-              let p = Serve.Client.prepare c ~instance:iname ~query in
+          with_client socket port host timeout retries (fun c ->
+              let p = Serve.Resilient.prepare c ~instance:iname ~query in
               Fmt.pr "plan %d (%d atoms)%s@." p.Serve.Client.id p.atoms
                 (if p.cached then " [cached]" else "")))
     in
     Cmd.v
       (Cmd.info "prepare"
          ~doc:"Compile a query into the server's plan cache.")
-      Term.(const run $ socket_arg $ port_arg $ host_arg $ iname_arg $ query_arg)
+      Term.(
+        const run $ socket_arg $ port_arg $ host_arg $ timeout_arg
+        $ retries_arg $ iname_arg $ query_arg)
   in
   let exec =
     let plan_id_arg =
       let doc = "Execute a previously prepared plan instead of query text." in
       Arg.(value & opt (some int) None & info [ "plan" ] ~docv:"ID" ~doc)
     in
-    let run socket port host iname mode p plan_id query =
+    let run socket port host timeout retries iname mode p plan_id query =
       wrap (fun () ->
-          with_client socket port host (fun c ->
+          with_client socket port host timeout retries (fun c ->
               let plan : Serve.Wire.plan_ref =
                 match plan_id, query with
                 | Some id, None -> Id id
@@ -1006,7 +1101,7 @@ let client_cmd =
                 | _ -> invalid_arg "give either QUERY or --plan=ID"
               in
               let result, stats =
-                Serve.Client.execute c ~instance:iname
+                Serve.Resilient.execute c ~instance:iname
                   ~mode:(parse_mode mode p) plan
               in
               Fmt.pr "%a@." Relational.Instance.pp result;
@@ -1020,46 +1115,47 @@ let client_cmd =
     Cmd.v
       (Cmd.info "exec" ~doc:"Execute a query (ad hoc or prepared).")
       Term.(
-        const run $ socket_arg $ port_arg $ host_arg $ iname_arg $ mode_arg
-        $ p_arg $ plan_id_arg $ query_opt_arg)
+        const run $ socket_arg $ port_arg $ host_arg $ timeout_arg
+        $ retries_arg $ iname_arg $ mode_arg $ p_arg $ plan_id_arg
+        $ query_opt_arg)
   in
   let ingest =
-    let run socket port host iname inline file =
+    let run socket port host timeout retries iname inline file =
       wrap (fun () ->
-          with_client socket port host (fun c ->
+          with_client socket port host timeout retries (fun c ->
               let facts =
                 Relational.Instance.facts (load_instance inline file)
               in
-              let added = Serve.Client.ingest c ~instance:iname facts in
+              let added = Serve.Resilient.ingest c ~instance:iname facts in
               Fmt.pr "%d new facts (of %d sent)@." added (List.length facts)))
     in
     Cmd.v
       (Cmd.info "ingest" ~doc:"Load facts into a served instance.")
       Term.(
-        const run $ socket_arg $ port_arg $ host_arg $ iname_arg $ instance_arg
-        $ instance_file_arg)
+        const run $ socket_arg $ port_arg $ host_arg $ timeout_arg
+        $ retries_arg $ iname_arg $ instance_arg $ instance_file_arg)
   in
   let metrics =
-    let run socket port host =
+    let run socket port host timeout retries =
       wrap (fun () ->
-          with_client socket port host (fun c ->
-              print_string (Serve.Client.metrics c)))
+          with_client socket port host timeout retries (fun c ->
+              print_string (Serve.Resilient.metrics c)))
     in
     Cmd.v
       (Cmd.info "metrics"
          ~doc:
            "Scrape the server's live metrics as OpenMetrics/Prometheus text.")
-      Term.(const run $ socket_arg $ port_arg $ host_arg)
+      Term.(const run $ socket_arg $ port_arg $ host_arg $ timeout_arg $ retries_arg)
   in
   let trace =
     let limit_arg =
       let doc = "Newest spans to fetch." in
       Arg.(value & opt int 64 & info [ "limit" ] ~docv:"N" ~doc)
     in
-    let run socket port host limit =
+    let run socket port host timeout retries limit =
       wrap (fun () ->
-          with_client socket port host (fun c ->
-              let spans = Serve.Client.trace_dump ~limit c in
+          with_client socket port host timeout retries (fun c ->
+              let spans = Serve.Resilient.trace_dump ~limit c in
               if spans = [] then
                 Fmt.pr "no spans (is the server running --telemetry?)@."
               else
@@ -1072,11 +1168,126 @@ let client_cmd =
     Cmd.v
       (Cmd.info "trace"
          ~doc:"Fetch the server's most recent completed spans.")
-      Term.(const run $ socket_arg $ port_arg $ host_arg $ limit_arg)
+      Term.(
+        const run $ socket_arg $ port_arg $ host_arg $ timeout_arg
+        $ retries_arg $ limit_arg)
   in
   let doc = "Talk to a running lamp serve instance." in
   Cmd.group (Cmd.info "client" ~doc)
     [ health; stats; prepare; exec; ingest; metrics; trace ]
+
+(* ------------------------------------------------------------------ *)
+(* chaos — the wire-fault proxy, standalone                             *)
+
+(* PATH (any string with a '/'), bare PORT (loopback) or HOST:PORT. *)
+let parse_sockaddr ~what s =
+  if String.contains s '/' then Unix.ADDR_UNIX s
+  else
+    match int_of_string_opt s with
+    | Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+    | None -> (
+      match String.rindex_opt s ':' with
+      | None ->
+        invalid_arg (Fmt.str "%s: expected PATH, PORT or HOST:PORT" what)
+      | Some i ->
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        (match int_of_string_opt port with
+        | None -> invalid_arg (Fmt.str "%s: bad port %S" what port)
+        | Some port ->
+          let addr =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (
+              try (Unix.gethostbyname host).h_addr_list.(0)
+              with Not_found ->
+                invalid_arg (Fmt.str "%s: unknown host %S" what host))
+          in
+          Unix.ADDR_INET (addr, port)))
+
+let sockaddr_str = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (addr, port) ->
+    Fmt.str "%s:%d" (Unix.string_of_inet_addr addr) port
+
+let chaos_cmd =
+  let listen_arg =
+    let doc =
+      "Address clients connect to: a Unix-socket PATH, a bare PORT \
+       (loopback) or HOST:PORT. Port 0 binds an OS-picked port, printed \
+       at startup."
+    in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let upstream_arg =
+    let doc = "The real server's address (same forms as --listen)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "upstream" ] ~docv:"ADDR" ~doc)
+  in
+  let net_faults_arg =
+    let doc =
+      "The fault plan: comma-separated key=value fields among $(b,refuse), \
+       $(b,delay), $(b,reset), $(b,truncate), $(b,stall), $(b,trickle), \
+       $(b,flip) (probabilities), $(b,delay_s), $(b,stall_s) (seconds) and \
+       $(b,window)=BYTES; or the presets $(b,none) and $(b,chaos). Every \
+       decision is a pure function of (seed, connection, direction), so a \
+       run replays bit-identically under the same seed."
+    in
+    Arg.(value & opt string "chaos" & info [ "net-faults" ] ~docv:"SPEC" ~doc)
+  in
+  let net_seed_arg =
+    let doc = "Seed of the fault plan." in
+    Arg.(value & opt int 1 & info [ "net-seed" ] ~docv:"N" ~doc)
+  in
+  let run listen upstream faults seed =
+    wrap (fun () ->
+        let plan = Faults.Net.of_string ~seed faults in
+        if Faults.Net.is_none plan then
+          Fmt.epr "note: plan is 'none' — relaying transparently@.";
+        let listen = parse_sockaddr ~what:"--listen" listen in
+        let upstream = parse_sockaddr ~what:"--upstream" upstream in
+        let proxy = Faults.Net.Proxy.start ~plan ~listen ~upstream () in
+        Fmt.pr "chaos proxy: %a@." Faults.Net.pp plan;
+        Fmt.pr "relaying %s -> %s; ^C stops@."
+          (sockaddr_str (Faults.Net.Proxy.addr proxy))
+          (sockaddr_str upstream);
+        (* The handler only flips a flag: Proxy.stop joins threads and
+           must not run inside a signal handler. *)
+        let stop = Atomic.make false in
+        let request_stop _ = Atomic.set stop true in
+        ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+        ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+        while not (Atomic.get stop) do
+          Thread.delay 0.2
+        done;
+        Fmt.pr "stopping...@.";
+        let conns = Faults.Net.Proxy.connections proxy in
+        let injected = Faults.Net.Proxy.injected proxy in
+        Faults.Net.Proxy.stop proxy;
+        (match listen with
+        | Unix.ADDR_UNIX path -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+        | _ -> ());
+        Fmt.pr "%d connections relayed@." conns;
+        if injected = [] then Fmt.pr "no faults injected@."
+        else
+          List.iter
+            (fun (kind, n) -> Fmt.pr "  %-9s %d@." kind n)
+            injected)
+  in
+  let doc =
+    "Interpose a deterministic hostile network between a client and a \
+     running $(b,lamp serve): seeded connection refusals, resets, \
+     truncations, stalls, slow-loris trickle and byte flips, without \
+     touching either end."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ listen_arg $ upstream_arg $ net_faults_arg $ net_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* top — live view over the metrics op                                 *)
@@ -1199,10 +1410,10 @@ let top_cmd =
                (Option.value ~default:"?" key)
                est))
   in
-  let run socket port host interval count =
+  let run socket port host timeout retries interval count =
     wrap (fun () ->
         if interval <= 0.0 then invalid_arg "--interval must be positive";
-        with_client socket port host (fun c ->
+        with_client socket port host timeout retries (fun c ->
             let stop = Atomic.make false in
             ignore
               (Sys.signal Sys.sigint
@@ -1216,9 +1427,9 @@ let top_cmd =
               incr i;
               let t = Unix.gettimeofday () in
               let samples =
-                Obs.Export.parse_openmetrics (Serve.Client.metrics c)
+                Obs.Export.parse_openmetrics (Serve.Resilient.metrics c)
               in
-              let s = Serve.Client.stats c in
+              let s = Serve.Resilient.stats c in
               (* First scrape has no window yet: rate over the uptime
                  (the lifetime average) rather than nothing. *)
               let dt =
@@ -1239,7 +1450,8 @@ let top_cmd =
   in
   Cmd.v (Cmd.info "top" ~doc)
     Term.(
-      const run $ socket_arg $ port_arg $ host_arg $ interval_arg $ count_arg)
+      const run $ socket_arg $ port_arg $ host_arg $ timeout_arg
+      $ retries_arg $ interval_arg $ count_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1264,6 +1476,7 @@ let main_cmd =
       classify_cmd;
       serve_cmd;
       client_cmd;
+      chaos_cmd;
       top_cmd;
     ]
 

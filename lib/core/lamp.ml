@@ -43,6 +43,7 @@ end
 
 module Faults = struct
   module Plan = Lamp_faults.Plan
+  module Net = Lamp_faults.Net
 end
 
 module Jobs = struct
@@ -125,8 +126,10 @@ module Serve = struct
   module Rpool = Lamp_serve.Rpool
   module Quota = Lamp_serve.Quota
   module Cache = Lamp_serve.Cache
+  module Dedup = Lamp_serve.Dedup
   module Server = Lamp_serve.Server
   module Client = Lamp_serve.Client
+  module Resilient = Lamp_serve.Resilient
 end
 
 module Mapreduce = struct

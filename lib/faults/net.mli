@@ -1,0 +1,137 @@
+(** Seeded, deterministic wire-level fault plans and an in-process
+    chaos proxy.
+
+    Where {!Plan} injects faults into the simulated MPC rounds, [Net]
+    injects them into real sockets: connection refusal and accept
+    delay, hard reset or truncation at a drawn byte offset, a
+    mid-stream stall, slow-loris trickle delivery of the first
+    [window] bytes, and a single byte flip. Every decision is a pure
+    function of [(seed, connection ordinal, direction)] — same seed,
+    same hostile network, on any machine.
+
+    The {!Proxy} interposes a plan between a [Serve.Client] and a
+    [Serve.Server] without touching either: point the client at the
+    proxy's address and the proxy relays each accepted connection to
+    the upstream server through the plan's faults. *)
+
+type spec = {
+  refuse : float;  (** Accept-time probability the connection is
+                       accepted and immediately closed. *)
+  accept_delay : float;  (** Accept-time probability the relay is
+                             delayed before contacting upstream. *)
+  accept_delay_s : float;  (** Upper bound on that delay (seconds). *)
+  reset : float;  (** Per-direction probability of a hard reset at a
+                      drawn byte offset: both directions are torn
+                      down at once. *)
+  truncate : float;  (** Per-direction probability the stream is
+                         half-closed at a drawn byte offset; the
+                         other direction keeps flowing. *)
+  stall : float;  (** Per-direction probability of a one-off pause
+                      (partial write, then silence) at a drawn
+                      offset. *)
+  stall_s : float;  (** Upper bound on the stall (seconds). *)
+  trickle : float;  (** Per-direction probability the first [window]
+                        bytes are delivered a few bytes at a time
+                        with a per-chunk delay (slow loris). *)
+  flip : float;  (** Per-direction probability exactly one byte
+                     within [window] is XORed with a non-zero
+                     mask. *)
+  window : int;  (** Byte-offset horizon for cut/stall/flip/trickle
+                     draws (default 2048): faults land in the first
+                     [window] bytes of the stream. *)
+}
+
+val zero : spec
+(** All probabilities 0 — a transparent proxy. *)
+
+val chaos : spec
+(** Kitchen-sink preset: refusals, delays, resets, truncations,
+    stalls, trickles and flips all enabled at moderate rates. *)
+
+type t
+
+val none : t
+val is_none : t -> bool
+
+val make : ?seed:int -> spec -> t
+(** @raise Invalid_argument when a probability is outside [0, 1],
+    [reset + truncate > 1], a duration is negative, or
+    [window < 1]. *)
+
+val seed : t -> int
+val spec : t -> spec
+
+val of_string : ?seed:int -> string -> t
+(** Parses a CLI net-fault spec: comma-separated [key=value] fields
+    among [refuse], [delay], [reset], [truncate], [stall], [trickle],
+    [flip] (probabilities), [delay_s], [stall_s] (seconds) and
+    [window=BYTES]; ["none"]/[""] is {!none}, ["chaos"] the {!chaos}
+    preset. A trailing ["@seed=N"] (the {!pp} echo) names the seed and
+    takes precedence over [?seed], so a logged plan re-parses to the
+    identical plan.
+    @raise Invalid_argument on malformed input. *)
+
+val pp : t Fmt.t
+(** Canonical [spec@seed=N] form, accepted verbatim by {!of_string}. *)
+
+(** {1 Deterministic decisions}
+
+    Exposed so tests can assert a plan's behaviour without sockets. *)
+
+type cut =
+  | Reset  (** Tear down both directions at the offset. *)
+  | Truncate  (** Half-close this direction at the offset. *)
+
+type stream_faults = {
+  cut : (int * cut) option;  (** Offset and kind of the severing. *)
+  stall_at : (int * float) option;  (** Offset and duration. *)
+  flip_at : (int * int) option;  (** Offset and XOR mask (1–255). *)
+  trickle_by : (int * float) option;
+      (** Chunk size (bytes) and per-chunk delay applied to the first
+          [window] bytes. *)
+}
+
+type conn_faults = {
+  refused : bool;
+  delay_s : float;  (** Accept delay; 0 when not selected. *)
+  c2s : stream_faults;  (** Client-to-server direction. *)
+  s2c : stream_faults;  (** Server-to-client direction. *)
+}
+
+val connection : t -> conn:int -> conn_faults
+(** The complete fault assignment for the [conn]-th accepted
+    connection (0-based) — pure, identical for every call. *)
+
+(** {1 The chaos proxy} *)
+
+module Proxy : sig
+  type proxy
+
+  val start :
+    ?backlog:int ->
+    plan:t ->
+    listen:Unix.sockaddr ->
+    upstream:Unix.sockaddr ->
+    unit ->
+    proxy
+  (** Binds [listen] (a stale Unix-socket path is unlinked; TCP gets
+      [SO_REUSEADDR]) and relays every accepted connection to
+      [upstream] through [plan]'s faults. One acceptor thread plus two
+      pump threads per live connection. *)
+
+  val addr : proxy -> Unix.sockaddr
+  (** The bound listening address (useful after binding TCP port 0). *)
+
+  val connections : proxy -> int
+  (** Connections accepted so far. *)
+
+  val injected : proxy -> (string * int) list
+  (** Sorted per-kind counts of faults actually applied (["refuse"],
+      ["delay"], ["reset"], ["truncate"], ["stall"], ["trickle"],
+      ["flip"]) — a planned fault whose byte offset the stream never
+      reached is not counted. *)
+
+  val stop : proxy -> unit
+  (** Stops accepting, severs live relays and joins every thread.
+      Idempotent. *)
+end

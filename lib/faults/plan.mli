@@ -76,6 +76,12 @@ val of_string : ?seed:int -> string -> t
 val pp : t Fmt.t
 (** Canonical form accepted by {!of_string}, plus the seed. *)
 
+val draw : seed:int -> label:int -> int -> int -> int -> float
+(** The raw deterministic draw underlying every decision: a uniform
+    float in [0, 1) that is a pure function of [(seed, label, a, b, c)].
+    Exposed so sibling fault models ({!Net}) share one mixer; label
+    spaces must not overlap (Plan uses 1–7, Net uses 100+). *)
+
 (** {1 Deterministic decisions} *)
 
 type phase = Communicate | Merge | Compute

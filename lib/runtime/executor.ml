@@ -139,11 +139,18 @@ let exponential_backoff ?(base = 0.001) ?(factor = 2.0) ?(max_delay = 0.1)
     capped *. (1.0 +. (jitter *. unit_float ~seed attempt))
 
 let with_retry ?(max_attempts = 4) ?(backoff = ignore) ?delay ?budget
-    ~retryable f =
+    ?(hint = fun (_ : exn) -> None) ~retryable f =
   if max_attempts < 1 then invalid_arg "Executor.with_retry: max_attempts < 1";
   (match budget with
   | Some b when b < 0.0 -> invalid_arg "Executor.with_retry: budget < 0"
   | _ -> ());
+  (* The sleep before the next attempt: the schedule's delay, floored
+     by any server-suggested retry-after the failed attempt carried
+     (an [Overloaded {retry_after_s}] style hint). *)
+  let effective_delay e attempt =
+    let d = match delay with Some d -> d attempt | None -> 0.0 in
+    match hint e with Some h when h > d -> h | _ -> d
+  in
   let slept = ref 0.0 in
   let rec go attempt =
     try f ~attempt
@@ -154,18 +161,15 @@ let with_retry ?(max_attempts = 4) ?(backoff = ignore) ?delay ?budget
            &&
            (* a retry whose backoff sleep would exceed the budget is
               abandoned: the exception propagates instead *)
-           (match (delay, budget) with
-           | Some d, Some b -> !slept +. d attempt <= b
-           | _ -> true)
+           (match budget with
+           | Some b -> !slept +. effective_delay e attempt <= b
+           | None -> true)
     ->
       Lamp_obs.Trace.incr retry_counter;
       backoff attempt;
-      (match delay with
-      | Some d ->
-        let s = d attempt in
-        if s > 0.0 then Unix.sleepf s;
-        slept := !slept +. s
-      | None -> ());
+      let s = effective_delay e attempt in
+      if s > 0.0 then Unix.sleepf s;
+      slept := !slept +. s;
       go (attempt + 1)
   in
   go 1

@@ -87,6 +87,7 @@ val with_retry :
   ?backoff:(int -> unit) ->
   ?delay:(int -> float) ->
   ?budget:float ->
+  ?hint:(exn -> float option) ->
   retryable:(exn -> bool) ->
   (attempt:int -> 'a) ->
   'a
@@ -101,11 +102,17 @@ val with_retry :
     [budget] caps the {e cumulative} sleep: a retry whose delay would
     push the total past the budget is abandoned and the exception
     propagates — a straggling task fails fast instead of blocking its
-    round indefinitely. Without [delay] the budget is ignored.
+    round indefinitely.
 
-    Deterministic as long as [f], [backoff] and [delay] are: no clocks
-    or randomness are involved. Use inside a pool task to absorb
-    transient faults without poisoning the batch. *)
+    [hint] extracts a server-suggested minimum wait from the failed
+    attempt's exception (e.g. an [Overloaded {retry_after_s}] serve
+    error): when present it {e floors} the next sleep — the schedule's
+    delay is used unless the hint is larger — and counts against the
+    budget like any other sleep.
+
+    Deterministic as long as [f], [backoff], [delay] and [hint] are:
+    no clocks or randomness are involved. Use inside a pool task to
+    absorb transient faults without poisoning the batch. *)
 
 (** {1 Speculative execution} *)
 

@@ -7,6 +7,8 @@ type t = {
      settled by {!hello} (both peers default to the same version, so a
      session that skips hello still agrees with a same-build server). *)
   mutable version : int;
+  (* Per-request deadline budget, set at connect time. *)
+  timeout_s : float option;
   (* This connection's trace id and the next span id under it; carried
      by the [Traced] envelope on every v2 work request so server-side
      spans link back to the caller. *)
@@ -16,6 +18,8 @@ type t = {
 
 exception Server_error of Wire.error_code * string
 exception Protocol_error of string
+exception Connection_lost of string
+exception Timed_out of string
 
 let proto fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
 
@@ -26,25 +30,73 @@ let trace_counter = Atomic.make 1
 let fresh_trace () =
   (Unix.getpid () lsl 24) lxor Atomic.fetch_and_add trace_counter 1
 
-let connect fd addr =
+(* Once a frame is torn — peer gone mid-stream, deadline passed, bytes
+   that fail the checksum — the connection's framing is unknowable, so
+   the client value is dead: mark, close, raise the typed error. *)
+let dead t e =
+  t.closed <- true;
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  raise e
+
+let errno_name = Unix.error_message
+
+(* Run one I/O step, mapping every transport-level failure to the
+   typed exceptions. [Codec.Corrupt] from a framed read means the
+   checksum or the layout disagreed with the peer — corruption in
+   flight, not a caller bug — and is connection-fatal too. *)
+let io t label f =
+  try f () with
+  | Wire.Closed -> dead t (Connection_lost (label ^ ": connection closed"))
+  | Wire.Timed_out -> dead t (Timed_out (label ^ ": deadline exceeded"))
+  | Unix.Unix_error
+      ( (( ECONNRESET | EPIPE | ETIMEDOUT | ECONNABORTED | ENOTCONN
+         | EHOSTUNREACH | ENETDOWN | ENETUNREACH | ENETRESET ) as errno),
+        _,
+        _ ) ->
+    dead t (Connection_lost (label ^ ": " ^ errno_name errno))
+  | Lamp_jobs.Codec.Corrupt msg ->
+    dead t (Connection_lost (label ^ ": corrupt frame: " ^ msg))
+  | Wire.Too_large { len; limit } ->
+    (* A response frame claiming more than the limit means the length
+       header itself is corrupt — the stream is unframed, same as a
+       checksum mismatch. *)
+    dead t
+      (Connection_lost
+         (Printf.sprintf "%s: corrupt frame: length %d exceeds %d" label len
+            limit))
+
+let connect ?timeout_s fd addr =
   match Unix.connect fd addr with
   | () ->
     {
       fd;
       closed = false;
       version = Wire.protocol_version;
+      timeout_s;
       trace = fresh_trace ();
       next_span = 0;
     }
   | exception e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise e
+    (match e with
+    | Unix.Unix_error
+        ( (( ECONNREFUSED | ECONNRESET | ETIMEDOUT | ENOENT | EAGAIN
+           | EHOSTUNREACH | ENETUNREACH | ENETDOWN ) as errno),
+          _,
+          _ ) ->
+      (* Transient connect failures (including a not-yet-bound Unix
+         socket path) map to the typed error so resilient callers can
+         retry the connect like any other loss. *)
+      raise (Connection_lost ("connect: " ^ errno_name errno))
+    | e -> raise e)
 
-let connect_unix ~path =
-  connect (Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0) (ADDR_UNIX path)
+let connect_unix ?timeout_s ~path () =
+  connect ?timeout_s
+    (Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0)
+    (ADDR_UNIX path)
 
-let connect_tcp ?(host = "127.0.0.1") ~port () =
-  connect
+let connect_tcp ?timeout_s ?(host = "127.0.0.1") ~port () =
+  connect ?timeout_s
     (Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0)
     (ADDR_INET (Unix.inet_addr_of_string host, port))
 
@@ -54,10 +106,23 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
+let closed t = t.closed
+
+let deadline t =
+  Option.map (fun s -> Unix.gettimeofday () +. s) t.timeout_s
+
+let check_open t =
+  if t.closed then raise (Connection_lost "client is closed")
+
+(* One request/response exchange under a single absolute deadline. *)
 let roundtrip t req =
-  if t.closed then proto "client is closed";
-  Wire.write_request t.fd req;
-  match Wire.read_response ~version:t.version t.fd with
+  check_open t;
+  let dl = deadline t in
+  io t "request" (fun () -> Wire.write_request ?deadline:dl t.fd req);
+  match
+    io t "response" (fun () ->
+        Wire.read_response ~version:t.version ?deadline:dl t.fd)
+  with
   | Error { code; message } -> raise (Server_error (code, message))
   | resp -> resp
 
@@ -71,6 +136,14 @@ let traced t req =
     Wire.Traced { trace = t.trace; span; req }
   end
   else req
+
+(* The idempotency envelope, inside [Traced]: v3 sessions only (an old
+   server would reject the unknown tag, so the key is silently dropped
+   on a downgraded session — re-execution semantics, as before v3). *)
+let keyed t ?key req =
+  match key with
+  | Some k when t.version >= 3 -> Wire.Keyed { key = k; req }
+  | _ -> req
 
 let hello ?(client = "anon") ?(version = Wire.protocol_version) t =
   match roundtrip t (Hello { client; version }) with
@@ -88,20 +161,27 @@ type prepared = {
   atoms : int;
 }
 
-let prepare t ~instance ~query =
-  match roundtrip t (traced t (Prepare { instance; query })) with
+let prepare ?key t ~instance ~query =
+  match roundtrip t (traced t (keyed t ?key (Prepare { instance; query }))) with
   | Prepared { id; cached; atoms } -> { id; cached; atoms }
   | _ -> proto "expected Prepared"
 
 (* Collect Batch* Done. The first response comes through [roundtrip],
    so a leading Error raises there; Errors can also terminate the
-   stream mid-way. *)
-let execute t ~instance ?(mode = Wire.Local) plan =
-  let first = roundtrip t (traced t (Execute { instance; plan; mode })) in
+   stream mid-way. The whole stream shares one deadline: a server (or
+   chaos proxy) trickling batches forever cannot pin the caller. *)
+let execute ?key t ~instance ?(mode = Wire.Local) plan =
+  check_open t;
+  let dl = deadline t in
+  io t "request" (fun () ->
+      Wire.write_request ?deadline:dl t.fd
+        (traced t (keyed t ?key (Execute { instance; plan; mode }))));
+  let read () =
+    io t "response" (fun () ->
+        Wire.read_response ~version:t.version ?deadline:dl t.fd)
+  in
   let rec collect acc = function
-    | Wire.Batch facts ->
-      collect (List.rev_append facts acc)
-        (Wire.read_response ~version:t.version t.fd)
+    | Wire.Batch facts -> collect (List.rev_append facts acc) (read ())
     | Wire.Done { facts; stats } ->
       let got = List.length acc in
       if got <> facts then
@@ -110,10 +190,10 @@ let execute t ~instance ?(mode = Wire.Local) plan =
     | Wire.Error { code; message } -> raise (Server_error (code, message))
     | _ -> proto "expected Batch or Done"
   in
-  collect [] first
+  collect [] (read ())
 
-let ingest t ~instance facts =
-  match roundtrip t (traced t (Ingest { instance; facts })) with
+let ingest ?key t ~instance facts =
+  match roundtrip t (traced t (keyed t ?key (Ingest { instance; facts }))) with
   | Ingested { added } -> added
   | _ -> proto "expected Ingested"
 

@@ -7,16 +7,47 @@
 
     Server-signalled failures ({!Wire.Error} responses) raise
     {!Server_error}; a reply that violates the protocol (wrong response
-    kind, batch count mismatch) raises {!Protocol_error}. *)
+    kind, batch count mismatch) raises {!Protocol_error}.
+
+    {2 Failure typing}
+
+    Transport-level failures never escape as raw [Unix.Unix_error]:
+    mid-stream resets, broken pipes and kernel timeouts
+    ([ECONNRESET]/[EPIPE]/[ETIMEDOUT]/…), a peer that closed between
+    frames, and bytes that fail the frame checksum all raise
+    {!Connection_lost}; a per-request deadline (set at connect time via
+    [?timeout_s]) that expires raises {!Timed_out}. Both are
+    {e connection-fatal}: the framing state is unknowable afterwards,
+    so the client value is marked {!closed} and the socket shut. A
+    caller that wants to continue reconnects — {!Resilient} packages
+    that loop. *)
 
 type t
 
 exception Server_error of Wire.error_code * string
 exception Protocol_error of string
 
-val connect_unix : path:string -> t
-val connect_tcp : ?host:string -> port:int -> unit -> t
-(** [host] defaults to ["127.0.0.1"]. *)
+exception Connection_lost of string
+(** The transport failed: reset/EOF mid-frame, transient connect
+    failure, or in-flight corruption (frame checksum mismatch, or a
+    length header past the frame limit). The
+    client is closed; the operation may or may not have executed
+    server-side — re-issue it under an idempotency [?key] to make the
+    retry safe. *)
+
+exception Timed_out of string
+(** The per-request deadline ([?timeout_s] at connect) expired. The
+    client is closed (a reply may still be in flight on the wire, so
+    the framing is out of sync). *)
+
+val connect_unix : ?timeout_s:float -> path:string -> unit -> t
+val connect_tcp : ?timeout_s:float -> ?host:string -> port:int -> unit -> t
+(** [host] defaults to ["127.0.0.1"]. [timeout_s] is the per-request
+    deadline applied to every later call on this client (whole
+    request/response exchange, including all batches of a streamed
+    result); omitted means wait forever. Transient connect failures
+    ([ECONNREFUSED], a not-yet-bound socket path, …) raise
+    {!Connection_lost}. *)
 
 val hello : ?client:string -> ?version:int -> t -> string
 (** Identifies the session (the server's quota key; default ["anon"])
@@ -39,9 +70,10 @@ type prepared = {
   atoms : int;  (** Join steps of the compiled plan. *)
 }
 
-val prepare : t -> instance:string -> query:string -> prepared
+val prepare : ?key:int -> t -> instance:string -> query:string -> prepared
 
 val execute :
+  ?key:int ->
   t ->
   instance:string ->
   ?mode:Wire.mode ->
@@ -51,8 +83,18 @@ val execute :
     batches into an instance. The MPC modes also return the run's load
     statistics, exactly the [Stats.t] the library call yields. *)
 
-val ingest : t -> instance:string -> Lamp_relational.Fact.t list -> int
-(** Returns how many facts were new. *)
+val ingest :
+  ?key:int -> t -> instance:string -> Lamp_relational.Fact.t list -> int
+(** Returns how many facts were new.
+
+    On {!prepare}/{!execute}/{!ingest}, [?key] is an idempotency key:
+    on a v3 session the request is wrapped in {!Wire.Keyed} and the
+    server deduplicates — re-sending the same [(client, key)] after a
+    {!Connection_lost} or {!Timed_out} replays the recorded response
+    instead of executing again, so a retried keyed ingest counts its
+    facts exactly once. Keys must be unique per logical operation
+    within a client name's dedup window; on a pre-v3 session the key
+    is dropped (plain at-least-once semantics). *)
 
 val stats : t -> Wire.server_stats
 val health : t -> bool
@@ -71,3 +113,7 @@ val trace_dump : ?limit:int -> t -> Wire.span_info list
 
 val close : t -> unit
 (** Idempotent. *)
+
+val closed : t -> bool
+(** [true] once {!close} was called or a connection-fatal failure
+    ({!Connection_lost}/{!Timed_out}) tore the session down. *)

@@ -1,0 +1,77 @@
+(* The idempotency-key dedup window. One entry per (client, key): a
+   keyed op that completed successfully keeps its recorded responses
+   until capacity evicts it; a retry of the same logical op replays
+   those responses instead of re-executing. In-flight entries are
+   Pending so a concurrent retry (the first attempt's connection died
+   but its session thread is still executing) blocks and then replays,
+   rather than racing a second execution of the same ingest. *)
+
+type state =
+  | Pending
+  | Finished of Wire.response list
+
+type token = string * int
+
+type t = {
+  lock : Mutex.t;
+  done_cond : Condition.t;
+  capacity : int;
+  entries : (token, state) Hashtbl.t;
+  (* Completion order; only Finished entries are queued for eviction. *)
+  order : token Queue.t;
+  mutable hits : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Dedup.create: capacity < 1";
+  {
+    lock = Mutex.create ();
+    done_cond = Condition.create ();
+    capacity;
+    entries = Hashtbl.create (min capacity 64);
+    order = Queue.create ();
+    hits = 0;
+  }
+
+let acquire t ~client ~key =
+  let k = (client, key) in
+  Mutex.protect t.lock (fun () ->
+      let rec claim () =
+        match Hashtbl.find_opt t.entries k with
+        | Some (Finished rs) ->
+          t.hits <- t.hits + 1;
+          `Replay rs
+        | Some Pending ->
+          (* First execution still running; wait for its verdict. An
+             abort removes the entry and we claim the re-execution. *)
+          Condition.wait t.done_cond t.lock;
+          claim ()
+        | None ->
+          Hashtbl.replace t.entries k Pending;
+          `Run k
+      in
+      claim ())
+
+let commit t token responses =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.entries token (Finished responses);
+      Queue.push token t.order;
+      (* Evict oldest finished entries past capacity; pendings are not
+         in [order] and never evicted. *)
+      while Queue.length t.order > t.capacity do
+        let old = Queue.pop t.order in
+        match Hashtbl.find_opt t.entries old with
+        | Some (Finished _) -> Hashtbl.remove t.entries old
+        | Some Pending | None -> ()
+      done;
+      Condition.broadcast t.done_cond)
+
+let abort t token =
+  Mutex.protect t.lock (fun () ->
+      (match Hashtbl.find_opt t.entries token with
+      | Some Pending -> Hashtbl.remove t.entries token
+      | Some (Finished _) | None -> ());
+      Condition.broadcast t.done_cond)
+
+let hits t = Mutex.protect t.lock (fun () -> t.hits)
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.entries)

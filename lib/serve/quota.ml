@@ -13,15 +13,20 @@ let create ?(clock = Unix.gettimeofday) ~rate ~burst () =
   { rate; burst; clock; mutex = Mutex.create (); tokens = burst; last = clock () }
 
 (* Lazy refill: tokens accrue on observation, so an idle bucket costs
-   nothing. A clock running backwards (ntp step) refills nothing rather
-   than debiting. *)
+   nothing. Clock jumps grant no free capacity in either direction: a
+   backwards step (ntp) refills nothing but still resyncs [last] —
+   otherwise every refill until the clock re-passed the old mark would
+   be skipped, freezing the bucket — and a huge forward jump (or an
+   [infinity] clock) is clamped at [burst], never an overflowing token
+   count. *)
 let refill t =
   let now = t.clock () in
   let dt = now -. t.last in
-  if dt > 0.0 then begin
+  if dt > 0.0 then
     t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.rate));
-    t.last <- now
-  end
+  (* nan from an insane clock would poison every later comparison;
+     keep the previous mark instead. *)
+  if not (Float.is_nan now) then t.last <- now
 
 let try_take ?(cost = 1.0) t =
   Mutex.protect t.mutex (fun () ->

@@ -7,7 +7,11 @@
     spell — the standard shape for smoothing the load generator's
     request storms without starving interactive clients.
 
-    The clock is injectable so tests drive time deterministically. *)
+    The clock is injectable so tests drive time deterministically, and
+    the bucket is hardened against clock jumps: a backwards step
+    refills nothing (but resyncs, so refills resume immediately), and
+    an arbitrarily large forward jump clamps at [burst] — never a free
+    burst beyond it, never an overflow. *)
 
 type t
 

@@ -20,6 +20,14 @@ type config = {
   batch : int;
   quota : (float * float) option;
   strategy : Eval.strategy;
+  max_frame : int;
+  read_timeout_s : float option;
+  write_timeout_s : float option;
+  idle_timeout_s : float option;
+  reap_after_s : float option;
+  dedup_window : int;
+  shed_queue_us : float option;
+  shed_retry_after_s : float;
 }
 
 let default_config =
@@ -32,6 +40,14 @@ let default_config =
     batch = 512;
     quota = None;
     strategy = Eval.Binary;
+    max_frame = Wire.max_frame;
+    read_timeout_s = Some 30.0;
+    write_timeout_s = Some 30.0;
+    idle_timeout_s = None;
+    reap_after_s = None;
+    dedup_window = 1024;
+    shed_queue_us = None;
+    shed_retry_after_s = 0.05;
   }
 
 (* An engine handle: the interned-tuple view of an instance plus its
@@ -86,7 +102,8 @@ type t = {
   quotas : (string, Quota.t) Hashtbl.t;
   mutable listeners : Unix.file_descr list;
   mutable acceptors : Thread.t list;
-  session_fds : (Unix.file_descr, unit) Hashtbl.t;
+  (* Each session's last-activity timestamp, for the reaper. *)
+  session_fds : (Unix.file_descr, float ref) Hashtbl.t;
   mutable session_count : int;
   mutable stopped : bool;
   active : int Atomic.t;
@@ -94,11 +111,22 @@ type t = {
   rejected : int Atomic.t;
   throttled : int Atomic.t;
   started : float;
+  dedup : Dedup.t option;
+  deduped_n : int Atomic.t;
+  shed_n : int Atomic.t;
+  reaped_n : int Atomic.t;
+  shedding : bool Atomic.t;
+  shed_probe : int Atomic.t;
+  qwait_ewma_us : float Atomic.t;
+  mutable reaper : Thread.t option;
 }
 
 let requests_c = Trace.counter "serve.requests"
 let rejected_c = Trace.counter "serve.rejected"
 let throttled_c = Trace.counter "serve.throttled"
+let deduped_c = Trace.counter "serve.deduped"
+let shed_c = Trace.counter "serve.shed"
+let reaped_c = Trace.counter "serve.reaped"
 let queue_wait_h = Trace.histogram "serve.queue_wait_us"
 let request_h = Trace.histogram "serve.request_us"
 
@@ -110,6 +138,16 @@ let () =
     ~help:"Requests refused by admission control" "serve.rejected";
   Metrics.describe ~kind:Metrics.Counter
     ~help:"Requests refused by a client's token bucket" "serve.throttled";
+  Metrics.describe ~kind:Metrics.Counter
+    ~help:"Keyed requests answered from the dedup window instead of \
+           re-executed"
+    "serve.deduped";
+  Metrics.describe ~kind:Metrics.Counter
+    ~help:"Requests rejected with Overloaded while load shedding"
+    "serve.shed";
+  Metrics.describe ~kind:Metrics.Counter
+    ~help:"Sessions torn down by a deadline, idle timeout or the reaper"
+    "serve.reaped";
   Metrics.describe ~kind:Metrics.Histogram
     ~help:"Wait for the engine lock, microseconds" "serve.queue_wait_us";
   Metrics.describe ~kind:Metrics.Histogram
@@ -136,12 +174,47 @@ let register_gauges t =
                (fun _ i acc -> acc + Rpool.in_use i.handles)
                t.instances 0)));
   Metrics.register_callback "serve.uptime_s" (fun () ->
-      Unix.gettimeofday () -. t.started)
+      Unix.gettimeofday () -. t.started);
+  Metrics.register_callback "serve.shedding" (fun () ->
+      if Atomic.get t.shedding then 1.0 else 0.0);
+  Metrics.register_callback "serve.queue_wait_ewma_us" (fun () ->
+      Atomic.get t.qwait_ewma_us)
+
+(* The stalled-connection reaper: shuts down any session whose last
+   I/O activity is older than [reap_after_s]. The session thread's
+   blocked read then fails and the session unwinds through its normal
+   cleanup. The limit is a hard staleness cap — it must exceed the
+   longest legitimate request (engine time included). *)
+let reaper_loop t limit =
+  let rec loop () =
+    if not (Mutex.protect t.lock (fun () -> t.stopped)) then begin
+      Thread.delay 0.25;
+      let now = Unix.gettimeofday () in
+      let stale =
+        Mutex.protect t.lock (fun () ->
+            Hashtbl.fold
+              (fun fd last acc ->
+                if now -. !last > limit then fd :: acc else acc)
+              t.session_fds [])
+      in
+      List.iter
+        (fun fd ->
+          Atomic.incr t.reaped_n;
+          Trace.incr reaped_c;
+          try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        stale;
+      loop ()
+    end
+  in
+  loop ()
 
 let create ?(config = default_config) ~executor () =
   if config.max_sessions < 1 then invalid_arg "Server: max_sessions < 1";
   if config.max_inflight < 0 then invalid_arg "Server: max_inflight < 0";
   if config.batch < 1 then invalid_arg "Server: batch < 1";
+  if config.max_frame < 1 then invalid_arg "Server: max_frame < 1";
+  if config.shed_retry_after_s < 0.0 then
+    invalid_arg "Server: shed_retry_after_s < 0";
   let t = {
     config;
     executor;
@@ -163,8 +236,23 @@ let create ?(config = default_config) ~executor () =
     rejected = Atomic.make 0;
     throttled = Atomic.make 0;
     started = Unix.gettimeofday ();
+    dedup =
+      (if config.dedup_window > 0 then
+         Some (Dedup.create ~capacity:config.dedup_window)
+       else None);
+    deduped_n = Atomic.make 0;
+    shed_n = Atomic.make 0;
+    reaped_n = Atomic.make 0;
+    shedding = Atomic.make false;
+    shed_probe = Atomic.make 0;
+    qwait_ewma_us = Atomic.make 0.0;
+    reaper = None;
   } in
   register_gauges t;
+  (match config.reap_after_s with
+  | Some limit when limit > 0.0 ->
+    t.reaper <- Some (Thread.create (fun () -> reaper_loop t limit) ())
+  | _ -> ());
   t
 
 let add_instance t ~name data =
@@ -205,11 +293,45 @@ let bad fmt = Format.kasprintf (fun s -> raise (Reply (Bad_request, s))) fmt
 
 let usecs s = int_of_float (s *. 1e6)
 
+(* Queue-wait EWMA drives load shedding: entered past the watermark,
+   exited (with hysteresis) below half of it. Updates race benignly —
+   a lost update skews the estimate by one sample. *)
+let note_queue_wait t w_us =
+  let w = float_of_int w_us in
+  let e = Atomic.get t.qwait_ewma_us in
+  let e' = if e <= 0.0 then w else (0.8 *. e) +. (0.2 *. w) in
+  Atomic.set t.qwait_ewma_us e';
+  match t.config.shed_queue_us with
+  | Some mark ->
+    if e' > mark then Atomic.set t.shedding true
+    else if e' < mark *. 0.5 then Atomic.set t.shedding false
+  | None -> ()
+
 let with_engine t f =
   let t0 = Unix.gettimeofday () in
   Mutex.lock t.engine;
-  Trace.observe queue_wait_h (usecs (Unix.gettimeofday () -. t0));
+  let w_us = usecs (Unix.gettimeofday () -. t0) in
+  Trace.observe queue_wait_h w_us;
+  note_queue_wait t w_us;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.engine) f
+
+(* Graceful degradation: past the watermark, low-priority work (the
+   engine ops) is refused with a typed retry hint while control-plane
+   ops (health, stats, scrapes) keep answering. One probe in eight is
+   admitted so the wait estimate can decay and shedding can exit once
+   the queue drains. *)
+let shed_check t =
+  if t.config.shed_queue_us <> None && Atomic.get t.shedding then begin
+    let n = Atomic.fetch_and_add t.shed_probe 1 in
+    if n mod 8 <> 0 then begin
+      Atomic.incr t.shed_n;
+      Trace.incr shed_c;
+      raise
+        (Reply
+           ( Overloaded { retry_after_s = t.config.shed_retry_after_s },
+             "server overloaded; retry after backoff" ))
+    end
+  end
 
 let get_inst t name =
   match find_instance t name with
@@ -346,6 +468,9 @@ let stats t =
     rejected = Atomic.get t.rejected;
     throttled = Atomic.get t.throttled;
     uptime_s = Unix.gettimeofday () -. t.started;
+    deduped = Atomic.get t.deduped_n;
+    shed = Atomic.get t.shed_n;
+    reaped = Atomic.get t.reaped_n;
   }
 
 let quota_allows t client =
@@ -376,12 +501,9 @@ let with_admission t f =
   end;
   Fun.protect ~finally:(fun () -> Atomic.decr t.active) f
 
-let stream_result t fd ~version result stats =
+let stream_result t reply result stats =
   let total = Instance.cardinal result in
-  let flush batch =
-    if batch <> [] then
-      Wire.write_response ~version fd (Batch (List.rev batch))
-  in
+  let flush batch = if batch <> [] then reply (Wire.Batch (List.rev batch)) in
   let pending, count =
     Instance.fold
       (fun fact (batch, n) ->
@@ -394,7 +516,7 @@ let stream_result t fd ~version result stats =
   in
   ignore count;
   flush pending;
-  Wire.write_response ~version fd (Done { facts = total; stats })
+  reply (Wire.Done { facts = total; stats })
 
 let span_info_of_event : Trace.event -> Wire.span_info option = function
   | Trace.Span { name; cat; tid; t; dur; args = _ } ->
@@ -403,11 +525,23 @@ let span_info_of_event : Trace.event -> Wire.span_info option = function
 
 (* [version] is the session's negotiated protocol version; every
    response on the session is encoded with it, so a v1 client gets
-   v1-layout replies. *)
+   v1-layout replies. Responses carry the write deadline: a peer that
+   stops draining its socket times the session out instead of pinning
+   it forever. Inside a [Keyed] execution every reply is also recorded
+   for the dedup window. *)
 let handle_request t fd version client req =
   Trace.incr requests_c;
   let t0 = Unix.gettimeofday () in
-  let reply resp = Wire.write_response ~version:!version fd resp in
+  let recording = ref None in
+  let reply resp =
+    (match !recording with Some acc -> acc := resp :: !acc | None -> ());
+    let deadline =
+      Option.map
+        (fun s -> Unix.gettimeofday () +. s)
+        t.config.write_timeout_s
+    in
+    Wire.write_response ~version:!version ?deadline fd resp
+  in
   (try
      let rec go (req : Wire.request) =
        match req with
@@ -455,7 +589,36 @@ let handle_request t fd version client req =
                ]
              "serve.request"
              (fun () -> go inner))
+       | Keyed { key; req = inner } -> (
+         match inner with
+         | Keyed _ | Traced _ | Hello _ -> bad "malformed Keyed request"
+         | _ -> (
+           match t.dedup with
+           | None -> go inner
+           | Some dedup -> (
+             match Dedup.acquire dedup ~client:!client ~key with
+             | `Replay rs ->
+               (* The op already ran to completion (possibly on a
+                  session whose connection the client lost): answer
+                  with the recorded responses, execute nothing. *)
+               Atomic.incr t.deduped_n;
+               Trace.incr deduped_c;
+               List.iter reply rs
+             | `Run token -> (
+               let acc = ref [] in
+               recording := Some acc;
+               match go inner with
+               | () ->
+                 recording := None;
+                 Dedup.commit dedup token (List.rev !acc)
+               | exception e ->
+                 (* Only successful completions are recorded: the
+                    retry of a shed or failed attempt re-executes. *)
+                 recording := None;
+                 Dedup.abort dedup token;
+                 raise e))))
        | Prepare { instance; query } ->
+         shed_check t;
          if not (quota_allows t !client) then begin
            Atomic.incr t.throttled;
            Trace.incr throttled_c;
@@ -476,6 +639,7 @@ let handle_request t fd version client req =
                     atoms = compiled_atoms entry.pe_plan;
                   }))
        | Execute { instance; plan; mode } ->
+         shed_check t;
          if not (quota_allows t !client) then begin
            Atomic.incr t.throttled;
            Trace.incr throttled_c;
@@ -486,8 +650,9 @@ let handle_request t fd version client req =
              Atomic.incr t.served;
              (* Stream outside the engine lock: the result instance is
                 immutable, so slow clients only hold their own socket. *)
-             stream_result t fd ~version:!version result mpc_stats)
+             stream_result t reply result mpc_stats)
        | Ingest { instance; facts } ->
+         shed_check t;
          if not (quota_allows t !client) then begin
            Atomic.incr t.throttled;
            Trace.incr throttled_c;
@@ -504,6 +669,7 @@ let handle_request t fd version client req =
   | Rpool.Draining ->
     reply (Error { code = Rejected; message = "server shutting down" })
   | Wire.Closed as e -> raise e
+  | Wire.Timed_out as e -> raise e
   | e -> reply (Error { code = Failed; message = Printexc.to_string e }));
   Trace.observe request_h (usecs (Unix.gettimeofday () -. t0))
 
@@ -511,13 +677,17 @@ let handle_request t fd version client req =
 (* Sessions and listeners                                              *)
 
 let session_enter t fd =
-  Mutex.protect t.lock (fun () ->
-      if t.stopped then false
-      else begin
-        t.session_count <- t.session_count + 1;
-        Hashtbl.replace t.session_fds fd ();
-        t.session_count <= t.config.max_sessions
-      end)
+  let last = ref (Unix.gettimeofday ()) in
+  let admitted =
+    Mutex.protect t.lock (fun () ->
+        if t.stopped then false
+        else begin
+          t.session_count <- t.session_count + 1;
+          Hashtbl.replace t.session_fds fd last;
+          t.session_count <= t.config.max_sessions
+        end)
+  in
+  (admitted, last)
 
 let session_leave t fd =
   Mutex.protect t.lock (fun () ->
@@ -525,8 +695,12 @@ let session_leave t fd =
       Hashtbl.remove t.session_fds fd;
       Condition.broadcast t.session_exit)
 
+let note_reaped t =
+  Atomic.incr t.reaped_n;
+  Trace.incr reaped_c
+
 let session t fd =
-  let admitted = session_enter t fd in
+  let admitted, last = session_enter t fd in
   Fun.protect
     ~finally:(fun () ->
       session_leave t fd;
@@ -540,24 +714,53 @@ let session t fd =
       else begin
         let client = ref "anon" in
         let version = ref Wire.protocol_version in
+        let rdeadline () =
+          Option.map
+            (fun s -> Unix.gettimeofday () +. s)
+            t.config.read_timeout_s
+        in
+        let hangup_with code message =
+          try
+            Wire.write_response ~version:!version fd (Error { code; message })
+          with _ -> ()
+        in
         let rec loop () =
-          match Wire.read_request fd with
-          | req ->
-            handle_request t fd version client req;
-            loop ()
-          | exception Wire.Closed -> ()
-          | exception Lamp_jobs.Codec.Corrupt msg ->
-            (* A corrupt frame leaves the stream unframed; answer once
-               and hang up rather than guess at a resync point. *)
-            (try
-               Wire.write_response ~version:!version fd
-                 (Error { code = Bad_request; message = "corrupt frame: " ^ msg })
-             with _ -> ())
-          | exception Unix.Unix_error _ -> ()
+          (* Two timers guard the read: the idle timeout bounds the
+             wait for a request to {e start} (cheap select, no
+             deadline mid-frame), the read deadline bounds how long a
+             started frame may take to arrive (defeats slow-loris
+             trickle). *)
+          match Wire.wait_readable ?timeout_s:t.config.idle_timeout_s fd with
+          | false -> note_reaped t
+          | true -> (
+            last := Unix.gettimeofday ();
+            match
+              Wire.read_request ~max_len:t.config.max_frame
+                ?deadline:(rdeadline ()) fd
+            with
+            | req ->
+              handle_request t fd version client req;
+              last := Unix.gettimeofday ();
+              loop ()
+            | exception Wire.Closed -> ()
+            | exception Wire.Timed_out ->
+              (* The frame never finished arriving: a stalled or
+                 trickling peer. The stream is torn; hang up. *)
+              note_reaped t
+            | exception Wire.Too_large { len; limit } ->
+              hangup_with Corrupt_frame
+                (Printf.sprintf "frame length %d exceeds limit %d" len limit)
+            | exception Lamp_jobs.Codec.Corrupt msg ->
+              (* A corrupt frame leaves the stream unframed; answer once
+                 and hang up rather than guess at a resync point. *)
+              hangup_with Corrupt_frame ("corrupt frame: " ^ msg)
+            | exception Unix.Unix_error _ -> ())
         in
         (* [handle_request] itself only lets [Closed] (peer hung up
-           mid-response) and socket errors escape. *)
-        try loop () with Wire.Closed | Unix.Unix_error _ -> ()
+           mid-response), a write deadline and socket errors escape. *)
+        try loop () with
+        | Wire.Closed | Unix.Unix_error _ -> ()
+        | Wire.Timed_out -> note_reaped t
       end)
 
 (* Poll with a timeout rather than block in accept: on Linux a thread
@@ -635,7 +838,7 @@ let stop t =
           t.stopped <- true;
           let ls = t.listeners in
           t.listeners <- [];
-          let ss = Hashtbl.fold (fun fd () acc -> fd :: acc) t.session_fds [] in
+          let ss = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.session_fds [] in
           (ls, ss)
         end)
   in
@@ -652,6 +855,11 @@ let stop t =
   let acceptors = t.acceptors in
   t.acceptors <- [];
   List.iter Thread.join acceptors;
+  (match t.reaper with
+  | Some th ->
+    t.reaper <- None;
+    Thread.join th
+  | None -> ());
   let pools =
     Mutex.protect t.lock (fun () ->
         Hashtbl.fold (fun _ i acc -> i.handles :: acc) t.instances [])

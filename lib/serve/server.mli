@@ -38,12 +38,52 @@ type config = {
       (** Plan backend prepared plans compile to: [Binary] (the seed
           join-order plan) or [Wcoj] (worst-case-optimal). Both produce
           bit-identical results over the same column indexes. *)
+  max_frame : int;
+      (** Per-session cap on an incoming frame's payload length,
+          checked before any allocation; a hostile length prefix gets
+          [Error Corrupt_frame] and a hangup. Default
+          {!Wire.max_frame}. *)
+  read_timeout_s : float option;
+      (** Deadline for a {e started} request frame to finish arriving
+          (defeats slow-loris trickle); the idle wait between requests
+          is governed by [idle_timeout_s]. [None] waits forever.
+          Default 30 s. *)
+  write_timeout_s : float option;
+      (** Deadline for each response write; a peer that stops draining
+          its socket is cut loose instead of pinning the session.
+          Default 30 s. *)
+  idle_timeout_s : float option;
+      (** How long a session may sit between requests before it is
+          reaped. [None] (default) keeps idle sessions forever. *)
+  reap_after_s : float option;
+      (** Stalled-connection reaper: a background thread shuts down
+          any session without I/O activity for this long, {e including}
+          one stuck mid-request — the cap must exceed the longest
+          legitimate request. [None] (default) disables the reaper. *)
+  dedup_window : int;
+      (** Capacity of the idempotency-key window ({!Dedup}): how many
+          completed keyed ops are remembered for replay. [0] disables
+          deduplication (keyed requests execute unconditionally).
+          Default 1024. *)
+  shed_queue_us : float option;
+      (** Load-shedding watermark on the queue-wait EWMA
+          (microseconds waiting for the engine lock). Past it the
+          server answers engine ops with [Error Overloaded] — health,
+          stats and scrapes still serve — until the estimate decays
+          below half the watermark. [None] (default) disables
+          shedding. *)
+  shed_retry_after_s : float;
+      (** The [retry_after_s] hint carried by shed responses
+          (default 0.05). *)
 }
 
 val default_config : config
 (** [{ name = "lamp"; max_sessions = 1024; max_inflight = 64;
       handle_pool = 4; plan_cache = 128; batch = 512; quota = None;
-      strategy = Binary }] *)
+      strategy = Binary; max_frame = Wire.max_frame;
+      read_timeout_s = Some 30.0; write_timeout_s = Some 30.0;
+      idle_timeout_s = None; reap_after_s = None; dedup_window = 1024;
+      shed_queue_us = None; shed_retry_after_s = 0.05 }] *)
 
 type t
 

@@ -1,13 +1,16 @@
 module Codec = Lamp_jobs.Codec
 module Stats = Lamp_mpc.Stats
 
-(* Version 2 (this revision) adds wire-level trace propagation (the
-   [Traced] request envelope), the live-telemetry ops ([Metrics],
-   [Trace_dump]) and an uptime field in [server_stats]. Version-1
-   clients keep working: the server negotiates [min client server] at
-   hello time and encodes that session's responses in the negotiated
-   layout ([?version] on the response codecs). *)
-let protocol_version = 2
+(* Version 3 (this revision) adds the [Keyed] idempotency envelope,
+   the [Overloaded]/[Corrupt_frame] error codes and the dedup/shed/reap
+   counters in [server_stats]; version 2 added wire-level trace
+   propagation (the [Traced] request envelope), the live-telemetry ops
+   ([Metrics], [Trace_dump]) and an uptime field in [server_stats].
+   Old clients keep working: the server negotiates [min client server]
+   at hello time and encodes that session's responses in the negotiated
+   layout ([?version] on the response codecs), downgrading the v3 error
+   codes to their closest older equivalent. *)
+let protocol_version = 3
 let min_protocol_version = 1
 let max_frame = 256 * 1024 * 1024
 
@@ -31,12 +34,15 @@ type request =
   | Metrics
   | Trace_dump of { limit : int }
   | Traced of { trace : int; span : int; req : request }
+  | Keyed of { key : int; req : request }
 
 type error_code =
   | Bad_request
   | Rejected
   | Throttled
   | Failed
+  | Overloaded of { retry_after_s : float }
+  | Corrupt_frame
 
 type server_stats = {
   sessions : int;
@@ -51,6 +57,9 @@ type server_stats = {
   rejected : int;
   throttled : int;
   uptime_s : float;
+  deduped : int;
+  shed : int;
+  reaped : int;
 }
 
 type span_info = {
@@ -139,6 +148,10 @@ let rec w_request b = function
     Codec.w_int b trace;
     Codec.w_int b span;
     w_request b req
+  | Keyed { key; req } ->
+    Codec.w_char b 'K';
+    Codec.w_int b key;
+    w_request b req
 
 let rec r_request r =
   match Codec.r_char r with
@@ -162,18 +175,38 @@ let rec r_request r =
   | 'T' ->
     let trace = Codec.r_int r in
     let span = Codec.r_int r in
-    (* One envelope per request: a nested [Traced] is malformed, not
-       merely unusual — reject it like any other bad frame. *)
+    (* One trace envelope per request: a nested [Traced] is malformed,
+       not merely unusual — reject it like any other bad frame. The
+       canonical nesting order is Traced{Keyed{op}}. *)
     (match r_request r with
     | Traced _ -> raise (Codec.Corrupt "nested Traced request")
     | req -> Traced { trace; span; req })
+  | 'K' ->
+    let key = Codec.r_int r in
+    (* An idempotency key marks one re-executable engine op. Envelopes
+       and session-level requests inside it are malformed. *)
+    (match r_request r with
+    | Keyed _ -> raise (Codec.Corrupt "nested Keyed request")
+    | Traced _ -> raise (Codec.Corrupt "Traced inside Keyed request")
+    | Hello _ -> raise (Codec.Corrupt "Hello inside Keyed request")
+    | req -> Keyed { key; req })
   | c -> raise (Codec.Corrupt (Printf.sprintf "bad request tag %C" c))
 
-let w_error_code b = function
+(* The v3 error codes downgrade on old sessions to the closest code the
+   client can decode: Overloaded is a transient capacity refusal like
+   Throttled, a corrupt frame is a malformed request. *)
+let w_error_code ~version b = function
   | Bad_request -> Codec.w_char b 'b'
   | Rejected -> Codec.w_char b 'j'
   | Throttled -> Codec.w_char b 't'
   | Failed -> Codec.w_char b 'f'
+  | Overloaded { retry_after_s } ->
+    if version >= 3 then begin
+      Codec.w_char b 'o';
+      Codec.w_float b retry_after_s
+    end
+    else Codec.w_char b 't'
+  | Corrupt_frame -> if version >= 3 then Codec.w_char b 'c' else Codec.w_char b 'b'
 
 let r_error_code r =
   match Codec.r_char r with
@@ -181,6 +214,8 @@ let r_error_code r =
   | 'j' -> Rejected
   | 't' -> Throttled
   | 'f' -> Failed
+  | 'o' -> Overloaded { retry_after_s = Codec.r_float r }
+  | 'c' -> Corrupt_frame
   | c -> raise (Codec.Corrupt (Printf.sprintf "bad error tag %C" c))
 
 let w_mpc_stats b (s : Stats.t) =
@@ -207,9 +242,10 @@ let r_pool_row r =
   (name, in_use, Codec.r_int r)
 
 (* [server_stats] is the one message whose layout changed across
-   protocol versions: v1 has no uptime field. The codecs take the
-   negotiated session version so a v1 client still decodes what a v2
-   server sends it (and the tests can round-trip both layouts). *)
+   protocol versions: v1 has no uptime field, v2 none of the
+   dedup/shed/reap counters. The codecs take the negotiated session
+   version so an old client still decodes what a newer server sends it
+   (and the tests can round-trip all layouts). *)
 let w_server_stats ~version b s =
   Codec.w_int b s.sessions;
   Codec.w_int b s.active_requests;
@@ -222,7 +258,12 @@ let w_server_stats ~version b s =
   Codec.w_int b s.requests_served;
   Codec.w_int b s.rejected;
   Codec.w_int b s.throttled;
-  if version >= 2 then Codec.w_float b s.uptime_s
+  if version >= 2 then Codec.w_float b s.uptime_s;
+  if version >= 3 then begin
+    Codec.w_int b s.deduped;
+    Codec.w_int b s.shed;
+    Codec.w_int b s.reaped
+  end
 
 let r_server_stats ~version r =
   let sessions = Codec.r_int r in
@@ -237,6 +278,9 @@ let r_server_stats ~version r =
   let rejected = Codec.r_int r in
   let throttled = Codec.r_int r in
   let uptime_s = if version >= 2 then Codec.r_float r else 0.0 in
+  let deduped = if version >= 3 then Codec.r_int r else 0 in
+  let shed = if version >= 3 then Codec.r_int r else 0 in
+  let reaped = if version >= 3 then Codec.r_int r else 0 in
   {
     sessions;
     active_requests;
@@ -250,6 +294,9 @@ let r_server_stats ~version r =
     rejected;
     throttled;
     uptime_s;
+    deduped;
+    shed;
+    reaped;
   }
 
 let w_span_info b s =
@@ -293,7 +340,7 @@ let w_response ~version b = function
   | Healthy -> Codec.w_char b 'O'
   | Error { code; message } ->
     Codec.w_char b 'E';
-    w_error_code b code;
+    w_error_code ~version b code;
     Codec.w_string b message
   | Metrics_reply text ->
     Codec.w_char b 'M';
@@ -345,53 +392,130 @@ let response_to_string ?(version = protocol_version) resp =
 let response_of_string ?(version = protocol_version) s =
   decode (r_response ~version) s
 
-(* Framed I/O. *)
+(* Framed I/O. The frame header is 16 bytes: the payload length and a
+   checksum of the payload, both 8-byte big-endian. The checksum is a
+   63-bit FNV-style polynomial fold; multiplication wraps mod 2^63, and
+   16777619 is odd, so any single-byte change at any position changes
+   the digest — a chaos-proxy byte flip can never smuggle a
+   valid-looking but different message past the decoder. A mismatch is
+   indistinguishable from desync, so it is connection-fatal
+   ([Codec.Corrupt]); the peer hangs up and a resilient client retries
+   on a fresh connection. *)
 
 exception Closed
+exception Timed_out
+exception Too_large of { len : int; limit : int }
 
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let n =
-      try Unix.write_substring fd s off len
-      with Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
+let checksum s =
+  let h = ref 0x100001b3 in
+  for i = 0 to String.length s - 1 do
+    h := (!h * 16777619) + Char.code (String.unsafe_get s i)
+  done;
+  !h land max_int
+
+(* Block until [fd] is ready, or the absolute [deadline] passes. *)
+let rec wait_fd fd ~for_read ~deadline =
+  let timeout = deadline -. Unix.gettimeofday () in
+  if timeout <= 0.0 then raise Timed_out;
+  let rs, ws = if for_read then ([ fd ], []) else ([], [ fd ]) in
+  match Unix.select rs ws [] timeout with
+  | [], [], _ -> raise Timed_out
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    wait_fd fd ~for_read ~deadline
+
+let wait_readable ?timeout_s fd =
+  match timeout_s with
+  | None ->
+    let rec go () =
+      match Unix.select [ fd ] [] [] (-1.0) with
+      | [], _, _ -> go ()
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     in
-    write_all fd s (off + n) (len - n)
+    go ()
+  | Some s -> (
+    let deadline = Unix.gettimeofday () +. s in
+    try
+      wait_fd fd ~for_read:true ~deadline;
+      true
+    with Timed_out -> false)
+
+(* POSIX raises SIGPIPE on a write after the peer has shut its read
+   side, and the default disposition terminates the process — the
+   EPIPE handler below would never run. Ignored once, on the first
+   write, so a vanished peer surfaces as [Closed] instead. *)
+let sigpipe_ignored =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let rec write_all ?deadline fd s off len =
+  Lazy.force sigpipe_ignored;
+  if len > 0 then begin
+    (match deadline with
+    | Some d -> wait_fd fd ~for_read:false ~deadline:d
+    | None -> ());
+    match Unix.write_substring fd s off len with
+    | n -> write_all ?deadline fd s (off + n) (len - n)
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      raise Closed
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      write_all ?deadline fd s off len
   end
 
-let read_all fd len =
+let read_all ?deadline fd len =
   let buf = Bytes.create len in
   let rec go off =
     if off < len then begin
-      let n = Unix.read fd buf off (len - off) in
-      if n = 0 then raise Closed;
-      go (off + n)
+      (match deadline with
+      | Some d -> wait_fd fd ~for_read:true ~deadline:d
+      | None -> ());
+      match Unix.read fd buf off (len - off) with
+      | 0 -> raise Closed
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Closed
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
     end
   in
   go 0;
   Bytes.unsafe_to_string buf
 
-let read_frame fd =
-  let header = read_all fd 8 in
-  let len = Codec.r_int (Codec.reader header) in
-  if len < 0 || len > max_frame then
+let read_frame ?max_len ?deadline fd =
+  let header = read_all ?deadline fd 16 in
+  let r = Codec.reader header in
+  let len = Codec.r_int r in
+  let sum = Codec.r_int r in
+  let limit = match max_len with Some m -> m | None -> max_frame in
+  if len < 0 then
+    raise (Codec.Corrupt (Printf.sprintf "negative frame length %d" len));
+  if len > limit then raise (Too_large { len; limit });
+  let payload = read_all ?deadline fd len in
+  if checksum payload <> sum then
     raise
-      (Codec.Corrupt (Printf.sprintf "frame length %d out of bounds" len));
-  read_all fd len
+      (Codec.Corrupt
+         (Printf.sprintf "frame checksum mismatch (%d bytes)" len));
+  payload
 
-let write_frame fd payload =
+let write_frame ?deadline fd payload =
   let b = Codec.writer () in
   Codec.w_int b (String.length payload);
+  Codec.w_int b (checksum payload);
   let header = Codec.contents b in
   (* One buffer per frame so header and payload reach the socket in a
      single write when it is not full — sessions interleave whole
      frames, never partial ones. *)
   let msg = header ^ payload in
-  write_all fd msg 0 (String.length msg)
+  write_all ?deadline fd msg 0 (String.length msg)
 
-let read_request fd = request_of_string (read_frame fd)
-let write_request fd req = write_frame fd (request_to_string req)
+let read_request ?max_len ?deadline fd =
+  request_of_string (read_frame ?max_len ?deadline fd)
 
-let read_response ?version fd = response_of_string ?version (read_frame fd)
+let write_request ?deadline fd req =
+  write_frame ?deadline fd (request_to_string req)
 
-let write_response ?version fd resp =
-  write_frame fd (response_to_string ?version resp)
+let read_response ?version ?max_len ?deadline fd =
+  response_of_string ?version (read_frame ?max_len ?deadline fd)
+
+let write_response ?version ?deadline fd resp =
+  write_frame ?deadline fd (response_to_string ?version resp)

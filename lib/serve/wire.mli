@@ -1,12 +1,15 @@
 (** The wire protocol of lamp.serve.
 
-    Every message is one {e frame}: an 8-byte big-endian payload length
+    Every message is one {e frame}: a 16-byte header — the payload
+    length and a checksum of the payload, both 8-byte big-endian —
     followed by the payload, a {!Lamp_jobs.Codec} encoding of a
     {!request} or {!response}. Framing and payload reuse the checkpoint
     codec deliberately: its decoders treat input as untrusted (length
     prefixes are validated before allocation, malformed bytes raise
     {!Lamp_jobs.Codec.Corrupt}, never crash), which is exactly the
-    contract a network-facing parser needs.
+    contract a network-facing parser needs. The checksum detects any
+    single-byte corruption of the payload in flight; a mismatch is
+    connection-fatal, because a damaged stream cannot be resynced.
 
     Encodings are canonical — the payload bytes are a pure function of
     the message value — so the equivalence tests can compare raw frames,
@@ -17,17 +20,22 @@ val protocol_version : int
     {!Hello} carries the client's copy; the server {e negotiates}: a
     session speaks [min (client, server)] as long as the client's
     version is at least {!min_protocol_version}, and the negotiated
-    version comes back in {!Hello_ok}. Version 2 added {!Metrics},
+    version comes back in {!Hello_ok}. Version 3 added the {!Keyed}
+    idempotency envelope, the [Overloaded]/[Corrupt_frame] error codes
+    and the dedup/shed/reap stats counters; version 2 added {!Metrics},
     {!Trace_dump}, the {!Traced} envelope and the [uptime_s] stats
-    field; v1 clients keep working because none of those appear on a
-    v1 session. *)
+    field. Old clients keep working because none of the newer messages
+    appear on their sessions, and newer error codes downgrade to the
+    closest older code. *)
 
 val min_protocol_version : int
 (** Oldest client version the server still accepts (currently 1). *)
 
 val max_frame : int
-(** Upper bound on a payload length (256 MiB). A frame header
-    announcing more is treated as corrupt before any allocation. *)
+(** Default upper bound on a payload length (256 MiB). A frame header
+    announcing more raises {!Too_large} {e before} any allocation — a
+    hostile length prefix can never force a giant buffer. Servers can
+    lower it per config ([?max_len] on the framed reads). *)
 
 (** {1 Messages} *)
 
@@ -75,12 +83,32 @@ type request =
           with the caller's trace and span ids so the server's span for
           the work links back to the client's. Decoders reject a nested
           [Traced]. Protocol version 2. *)
+  | Keyed of { key : int; req : request }
+      (** Idempotency envelope: [key] identifies one {e logical} engine
+          op (prepare/execute/ingest). A client retrying after a
+          connection loss re-sends the same key; the server's dedup
+          window (keyed by client name and [key]) replays the recorded
+          responses instead of re-executing, so a retried ingest applies
+          exactly once. Decoders reject [Hello], [Traced] or another
+          [Keyed] inside; the canonical nesting is [Traced{Keyed{op}}].
+          Protocol version 3. *)
 
 type error_code =
   | Bad_request  (** Unknown instance/plan id, parse error, bad frame. *)
   | Rejected  (** Admission control: too many requests in flight. *)
   | Throttled  (** The client's token bucket is empty. *)
   | Failed  (** The engine raised; the message carries the exception. *)
+  | Overloaded of { retry_after_s : float }
+      (** Load shedding: queue wait is past the server's watermark and
+          this request was low-priority work. The client should back
+          off at least [retry_after_s] seconds; resilient clients honor
+          it as a floor on their next retry delay. Downgrades to
+          [Throttled] on pre-v3 sessions. *)
+  | Corrupt_frame
+      (** The server could not decode the client's frame (checksum
+          mismatch, bad length, malformed payload) and is hanging up;
+          safe to retry on a fresh connection. Downgrades to
+          [Bad_request] on pre-v3 sessions. *)
 
 type server_stats = {
   sessions : int;  (** Connected sessions, including the asker. *)
@@ -98,6 +126,16 @@ type server_stats = {
   uptime_s : float;
       (** Seconds since the server was created. Added in protocol
           version 2; a v1 session's encoding omits it (decoded as 0). *)
+  deduped : int;
+      (** Keyed requests answered from the dedup window instead of
+          re-executed. Protocol version 3 (0 on older sessions). *)
+  shed : int;
+      (** Requests rejected with [Overloaded] while load shedding.
+          Protocol version 3 (0 on older sessions). *)
+  reaped : int;
+      (** Sessions torn down by a read/write deadline, the idle
+          timeout or the stalled-connection reaper. Protocol version 3
+          (0 on older sessions). *)
 }
 
 type span_info = {
@@ -151,16 +189,52 @@ val response_of_string : ?version:int -> string -> response
 
     Blocking reads/writes on a connected socket. Short reads and writes
     are retried; EOF mid-frame raises {!Closed}; a frame header
-    announcing a negative or oversized payload raises
-    {!Lamp_jobs.Codec.Corrupt}. *)
+    announcing a negative payload or one whose checksum does not match
+    raises {!Lamp_jobs.Codec.Corrupt}; a length past the limit raises
+    {!Too_large} before any allocation.
+
+    Every operation takes an optional {e absolute} [deadline] (a
+    [Unix.gettimeofday] timestamp): when the socket is not ready by
+    then, {!Timed_out} is raised and the frame is torn — the connection
+    must be abandoned, not reused. *)
 
 exception Closed
-(** The peer closed the connection (EOF on a frame boundary or
-    mid-frame). *)
+(** The peer closed or reset the connection (EOF or ECONNRESET/EPIPE on
+    a frame boundary or mid-frame). *)
 
-val read_frame : Unix.file_descr -> string
-val write_frame : Unix.file_descr -> string -> unit
-val read_request : Unix.file_descr -> request
-val write_request : Unix.file_descr -> request -> unit
-val read_response : ?version:int -> Unix.file_descr -> response
-val write_response : ?version:int -> Unix.file_descr -> response -> unit
+exception Timed_out
+(** An I/O deadline passed mid-frame; the stream position is
+    unknown and the connection must be dropped. *)
+
+exception Too_large of {
+  len : int;  (** The announced payload length. *)
+  limit : int;  (** The limit it exceeded. *)
+}
+(** A frame header announced a payload larger than the configured
+    limit. Raised before allocating anything. *)
+
+val checksum : string -> int
+(** The frame checksum: a 63-bit FNV-style polynomial fold. Any
+    single-byte change at any position changes the digest. Exposed for
+    the property tests. *)
+
+val wait_readable : ?timeout_s:float -> Unix.file_descr -> bool
+(** Blocks until the descriptor is readable (true) or [timeout_s]
+    elapses (false; never with no timeout). EINTR-safe. *)
+
+val read_frame : ?max_len:int -> ?deadline:float -> Unix.file_descr -> string
+(** [max_len] defaults to {!max_frame}. *)
+
+val write_frame : ?deadline:float -> Unix.file_descr -> string -> unit
+
+val read_request :
+  ?max_len:int -> ?deadline:float -> Unix.file_descr -> request
+
+val write_request : ?deadline:float -> Unix.file_descr -> request -> unit
+
+val read_response :
+  ?version:int -> ?max_len:int -> ?deadline:float -> Unix.file_descr ->
+  response
+
+val write_response :
+  ?version:int -> ?deadline:float -> Unix.file_descr -> response -> unit

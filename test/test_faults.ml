@@ -378,6 +378,82 @@ let test_gym_analytic_crash_accounting () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Wire-level fault plans (Faults.Net)                                  *)
+
+module Net = Lamp_faults.Net
+
+let test_net_determinism () =
+  let plan = Net.make ~seed:11 Net.chaos in
+  (* Pure: the same plan yields the same faults for the same ordinal,
+     however many times and in whatever order it is asked. *)
+  let a = List.init 50 (fun c -> Net.connection plan ~conn:c) in
+  let b = List.rev_map (fun c -> Net.connection plan ~conn:c)
+            (List.rev (List.init 50 Fun.id)) in
+  Alcotest.(check bool) "decisions are a pure function of (seed, conn)" true
+    (a = b);
+  (* Distinct seeds decorrelate; a different seed must disagree
+     somewhere on 50 connections of the chaos profile. *)
+  let other = Net.make ~seed:12 Net.chaos in
+  Alcotest.(check bool) "seeds decorrelate" true
+    (List.exists
+       (fun c -> Net.connection plan ~conn:c <> Net.connection other ~conn:c)
+       (List.init 50 Fun.id));
+  (* The chaos profile actually exercises every fault family within a
+     modest number of connections. *)
+  let seen p =
+    List.exists (fun (f : Net.conn_faults) -> p f)
+      (List.init 200 (fun c -> Net.connection plan ~conn:c))
+  in
+  Alcotest.(check bool) "refusals occur" true (seen (fun f -> f.refused));
+  Alcotest.(check bool) "cuts occur" true
+    (seen (fun f -> f.c2s.cut <> None || f.s2c.cut <> None));
+  Alcotest.(check bool) "flips occur" true
+    (seen (fun f -> f.c2s.flip_at <> None || f.s2c.flip_at <> None));
+  Alcotest.(check bool) "clean connections occur" true
+    (seen (fun f ->
+         (not f.refused)
+         && f.delay_s = 0.0
+         && f.c2s = { Net.cut = None; stall_at = None; flip_at = None;
+                      trickle_by = None }
+         && f.s2c = { Net.cut = None; stall_at = None; flip_at = None;
+                      trickle_by = None }))
+
+let test_net_none_and_validation () =
+  Alcotest.(check bool) "none is none" true (Net.is_none Net.none);
+  let f = Net.connection (Net.make ~seed:3 Net.zero) ~conn:0 in
+  Alcotest.(check bool) "zero spec plans nothing" true
+    ((not f.refused) && f.delay_s = 0.0 && f.c2s.cut = None
+    && f.s2c.cut = None);
+  let reject spec =
+    match Net.make spec with
+    | _ -> Alcotest.fail "invalid spec must be rejected"
+    | exception Invalid_argument _ -> ()
+  in
+  reject { Net.zero with refuse = 1.5 };
+  reject { Net.zero with reset = 0.7; truncate = 0.7 };
+  reject { Net.zero with stall_s = -1.0 };
+  reject { Net.zero with window = 0 }
+
+let test_net_parse () =
+  (* of_string round-trips through pp, and the shorthands work. *)
+  let p = Net.of_string ~seed:5 "reset=0.25,flip=0.5,stall=0.1,stall_s=0.2" in
+  let s = Net.spec p in
+  Alcotest.(check (float 0.0)) "reset parsed" 0.25 s.reset;
+  Alcotest.(check (float 0.0)) "flip parsed" 0.5 s.flip;
+  Alcotest.(check (float 0.0)) "stall_s parsed" 0.2 s.stall_s;
+  Alcotest.(check int) "seed carried" 5 (Net.seed p);
+  let echo = Fmt.str "%a" Net.pp p in
+  let p2 = Net.of_string ~seed:5 echo in
+  Alcotest.(check bool) "pp output parses back to the same plan" true
+    (Net.spec p2 = s);
+  Alcotest.(check bool) "\"none\" parses" true (Net.is_none (Net.of_string "none"));
+  Alcotest.(check bool) "\"chaos\" parses" true
+    (Net.spec (Net.of_string "chaos") = Net.chaos);
+  match Net.of_string "flip=2.0" with
+  | _ -> Alcotest.fail "out-of-range probability must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "lamp_faults"
     [
@@ -423,5 +499,13 @@ let () =
             test_total_crash_recovers;
           Alcotest.test_case "gym analytic crashes" `Quick
             test_gym_analytic_crash_accounting;
+        ] );
+      ( "net plans",
+        [
+          Alcotest.test_case "deterministic per (seed, conn)" `Quick
+            test_net_determinism;
+          Alcotest.test_case "none and validation" `Quick
+            test_net_none_and_validation;
+          Alcotest.test_case "of_string and pp" `Quick test_net_parse;
         ] );
     ]

@@ -71,6 +71,20 @@ let sample_requests : Wire.request list =
         req = Execute { instance = "main"; plan = Id 42; mode = Local };
       };
     Traced { trace = 0; span = 0; req = Health };
+    Keyed { key = 17; req = Ingest { instance = "main"; facts = sample_facts } };
+    Keyed
+      { key = 0; req = Prepare { instance = "m"; query = "H(x) <- R(x,y)" } };
+    Traced
+      {
+        trace = 9;
+        span = 1;
+        req =
+          Keyed
+            {
+              key = 3;
+              req = Execute { instance = "main"; plan = Id 1; mode = Local };
+            };
+      };
   ]
 
 let sample_server_stats : Wire.server_stats =
@@ -87,6 +101,9 @@ let sample_server_stats : Wire.server_stats =
     rejected = 2;
     throttled = 1;
     uptime_s = 12.5;
+    deduped = 4;
+    shed = 6;
+    reaped = 1;
   }
 
 let sample_responses : Wire.response list =
@@ -104,6 +121,8 @@ let sample_responses : Wire.response list =
     Error { code = Rejected; message = "" };
     Error { code = Throttled; message = "slow down" };
     Error { code = Failed; message = "engine exploded" };
+    Error { code = Overloaded { retry_after_s = 0.25 }; message = "busy" };
+    Error { code = Corrupt_frame; message = "checksum mismatch" };
     Metrics_reply "# TYPE lamp_serve_requests counter\n# EOF\n";
     Trace_reply
       [
@@ -164,18 +183,31 @@ let test_wire_hostile () =
      Alcotest.fail "trailing bytes must raise"
    with Codec.Corrupt _ -> ());
   (* The trace envelope must not nest. *)
-  try
-    ignore
-      (Wire.request_of_string
-         (Wire.request_to_string
-            (Traced
-               {
-                 trace = 1;
-                 span = 2;
-                 req = Traced { trace = 3; span = 4; req = Health };
-               })));
-    Alcotest.fail "nested Traced must raise"
-  with Codec.Corrupt _ -> ()
+  (try
+     ignore
+       (Wire.request_of_string
+          (Wire.request_to_string
+             (Traced
+                {
+                  trace = 1;
+                  span = 2;
+                  req = Traced { trace = 3; span = 4; req = Health };
+                })));
+     Alcotest.fail "nested Traced must raise"
+   with Codec.Corrupt _ -> ());
+  (* Neither may the idempotency envelope: the canonical nesting is
+     Traced{Keyed{op}}, every other composition is rejected. *)
+  let reject name req =
+    try
+      ignore (Wire.request_of_string (Wire.request_to_string req));
+      Alcotest.failf "%s must raise" name
+    with Codec.Corrupt _ -> ()
+  in
+  reject "nested Keyed" (Keyed { key = 1; req = Keyed { key = 2; req = Stats } });
+  reject "Traced inside Keyed"
+    (Keyed { key = 1; req = Traced { trace = 1; span = 0; req = Stats } });
+  reject "Hello inside Keyed"
+    (Keyed { key = 1; req = Hello { client = "x"; version = 3 } })
 
 let test_wire_versioning () =
   (* A v1 session's stats layout omits uptime_s: shorter on the wire,
@@ -189,7 +221,13 @@ let test_wire_versioning () =
   | Stats_reply s ->
     Alcotest.(check (float 0.0)) "v1 decode defaults uptime" 0.0 s.uptime_s;
     Alcotest.(check bool) "v1 decode keeps the rest" true
-      ({ s with uptime_s = sample_server_stats.uptime_s }
+      ({
+         s with
+         uptime_s = sample_server_stats.uptime_s;
+         deduped = sample_server_stats.deduped;
+         shed = sample_server_stats.shed;
+         reaped = sample_server_stats.reaped;
+       }
       = sample_server_stats)
   | _ -> Alcotest.fail "expected Stats_reply");
   (match Wire.response_of_string ~version:2 v2 with
@@ -203,10 +241,109 @@ let test_wire_versioning () =
      ignore (Wire.response_of_string ~version:1 v2);
      Alcotest.fail "v2 bytes under v1 decoder must raise"
    with Codec.Corrupt _ -> ());
-  try
-    ignore (Wire.response_of_string ~version:2 v1);
-    Alcotest.fail "v1 bytes under v2 decoder must raise"
-  with Codec.Corrupt _ -> ()
+  (try
+     ignore (Wire.response_of_string ~version:2 v1);
+     Alcotest.fail "v1 bytes under v2 decoder must raise"
+   with Codec.Corrupt _ -> ());
+  (* v3 stats carry the dedup/shed/reap counters; a v2 encoding drops
+     them (decoded back as zero). *)
+  let v3 = Wire.response_to_string ~version:3 resp in
+  Alcotest.(check bool) "v2 stats encoding is strictly shorter than v3" true
+    (String.length v2 < String.length v3);
+  (match Wire.response_of_string ~version:3 v3 with
+  | Stats_reply s ->
+    Alcotest.(check bool) "v3 round-trips the hardening counters" true
+      (s = sample_server_stats)
+  | _ -> Alcotest.fail "expected Stats_reply");
+  (match Wire.response_of_string ~version:2 v2 with
+  | Stats_reply s ->
+    Alcotest.(check bool) "v2 decode zeroes v3 counters" true
+      (s.deduped = 0 && s.shed = 0 && s.reaped = 0)
+  | _ -> Alcotest.fail "expected Stats_reply");
+  (* The v3-only error codes downgrade for old sessions: Overloaded is
+     a capacity refusal like Throttled, Corrupt_frame a Bad_request. *)
+  let downgrade code expect =
+    let enc =
+      Wire.response_to_string ~version:2 (Error { code; message = "m" })
+    in
+    match Wire.response_of_string ~version:2 enc with
+    | Error { code = got; _ } ->
+      Alcotest.(check bool) "downgraded code" true (got = expect)
+    | _ -> Alcotest.fail "expected Error"
+  in
+  downgrade (Overloaded { retry_after_s = 0.5 }) Wire.Throttled;
+  downgrade Corrupt_frame Wire.Bad_request;
+  (* And survive verbatim on a v3 session. *)
+  match
+    Wire.response_of_string ~version:3
+      (Wire.response_to_string ~version:3
+         (Error { code = Overloaded { retry_after_s = 0.5 }; message = "m" }))
+  with
+  | Error { code = Overloaded { retry_after_s }; _ } ->
+    Alcotest.(check (float 0.0)) "retry_after survives v3" 0.5 retry_after_s
+  | _ -> Alcotest.fail "expected Overloaded error"
+
+(* ------------------------------------------------------------------ *)
+(* Checksummed framing                                                 *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payload = String.init 3000 (fun i -> Char.chr (i mod 256)) in
+      Wire.write_frame a payload;
+      Alcotest.(check string) "payload round-trips" payload (Wire.read_frame b);
+      Wire.write_frame a "";
+      Alcotest.(check string) "empty frame round-trips" "" (Wire.read_frame b))
+
+let test_frame_checksum () =
+  (* Flip one byte of the payload in flight: the checksum catches it
+     and the reader raises Corrupt instead of decoding garbage. *)
+  with_socketpair (fun a b ->
+      let payload = "hello, hostile network" in
+      Wire.write_frame a payload;
+      (* Re-read what was sent, corrupt the last byte, re-send. *)
+      let frame = Bytes.create (16 + String.length payload) in
+      let n = Unix.read b frame 0 (Bytes.length frame) in
+      Alcotest.(check int) "whole frame read" (Bytes.length frame) n;
+      let j = Bytes.length frame - 1 in
+      Bytes.set frame j (Char.chr (Char.code (Bytes.get frame j) lxor 0x20));
+      ignore (Unix.write a frame 0 (Bytes.length frame));
+      match Wire.read_frame b with
+      | _ -> Alcotest.fail "corrupted frame must not decode"
+      | exception Codec.Corrupt _ -> ())
+
+let test_frame_too_large () =
+  with_socketpair (fun a b ->
+      Wire.write_frame a (String.make 100 'x');
+      (* The length check fires before any payload allocation. *)
+      match Wire.read_frame ~max_len:64 b with
+      | _ -> Alcotest.fail "oversized frame must be refused"
+      | exception Wire.Too_large { len; limit } ->
+        Alcotest.(check int) "reported length" 100 len;
+        Alcotest.(check int) "reported limit" 64 limit)
+
+let test_frame_deadline () =
+  with_socketpair (fun _a b ->
+      let t0 = Unix.gettimeofday () in
+      match Wire.read_frame ~deadline:(t0 +. 0.05) b with
+      | _ -> Alcotest.fail "nothing was sent"
+      | exception Wire.Timed_out ->
+        Alcotest.(check bool) "deadline honoured promptly" true
+          (Unix.gettimeofday () -. t0 < 2.0))
+
+let test_frame_closed () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Wire.read_frame b with
+      | _ -> Alcotest.fail "peer is gone"
+      | exception Wire.Closed -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Resource pool                                                       *)
@@ -308,6 +445,46 @@ let test_rpool_trim_and_drain () =
     Alcotest.fail "use after drain must raise"
   with Rpool.Draining -> ()
 
+let test_rpool_drain_races_checkout () =
+  (* Drain while a checkout is in flight: the drain must wait for the
+     borrowed resource to come back, then dispose it — never dispose a
+     resource out from under its user, never leak it. *)
+  let live = ref 0 in
+  let p =
+    Rpool.create ~max_size:2
+      ~dispose:(fun _ -> decr live)
+      (fun () ->
+        incr live;
+        ref ())
+  in
+  let holding = Semaphore.Binary.make false in
+  let release = Semaphore.Binary.make false in
+  let user =
+    Thread.create
+      (fun () ->
+        Rpool.use p (fun r ->
+            Semaphore.Binary.release holding;
+            (* Wait until the main thread has started the drain. *)
+            Semaphore.Binary.acquire release;
+            (* The resource must still be alive while borrowed. *)
+            !r))
+      ()
+  in
+  Semaphore.Binary.acquire holding;
+  Alcotest.(check int) "resource checked out" 1 (Rpool.in_use p);
+  let drainer = Thread.create (fun () -> Rpool.drain p) () in
+  Thread.delay 0.02;
+  Semaphore.Binary.release release;
+  Thread.join user;
+  Thread.join drainer;
+  Alcotest.(check int) "drain disposed the returned resource" 0 !live;
+  Alcotest.(check int) "nothing in use after the race" 0 (Rpool.in_use p);
+  (* A checkout racing the drain loses cleanly: Draining, not a hang. *)
+  try
+    Rpool.use p ignore;
+    Alcotest.fail "post-drain use must raise"
+  with Rpool.Draining -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Quota                                                               *)
 
@@ -326,6 +503,117 @@ let test_quota_bucket () =
   now := 99.0;
   Alcotest.(check bool) "clock going backwards never debits" true
     (Quota.tokens q >= 2.0)
+
+let test_quota_clock_jumps () =
+  let now = ref 0.0 in
+  let q = Quota.create ~clock:(fun () -> !now) ~rate:1.0 ~burst:4.0 () in
+  Alcotest.(check bool) "take" true (Quota.try_take q);
+  Alcotest.(check bool) "take" true (Quota.try_take q);
+  (* A huge backwards step (ntp slew, VM restore) grants nothing and
+     freezes nothing: refills resume from the new mark immediately. *)
+  now := -1.0e6;
+  Alcotest.(check (float 0.001)) "backwards jump refills nothing" 2.0
+    (Quota.tokens q);
+  now := -1.0e6 +. 1.0;
+  Alcotest.(check (float 0.001)) "refill resumes after resync" 3.0
+    (Quota.tokens q);
+  (* A huge forward jump clamps at burst — no free burst beyond it,
+     no accumulation into a later debit. *)
+  now := 1.0e15;
+  Alcotest.(check (float 0.001)) "forward jump clamps at burst" 4.0
+    (Quota.tokens q);
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "burst spends" true (Quota.try_take q)
+  done;
+  Alcotest.(check bool) "nothing beyond burst" false (Quota.try_take q);
+  (* Even an infinite clock cannot overflow the bucket, and a nan
+     clock neither poisons the mark nor grants tokens. *)
+  now := infinity;
+  Alcotest.(check (float 0.001)) "infinite clock clamps" 4.0 (Quota.tokens q);
+  now := nan;
+  let t = Quota.tokens q in
+  Alcotest.(check bool) "nan clock yields a finite count" true
+    (Float.is_finite t && t <= 4.0)
+
+(* ------------------------------------------------------------------ *)
+(* Dedup window                                                        *)
+
+module Dedup = Lamp_serve.Dedup
+
+let test_dedup_replay_and_abort () =
+  let d = Dedup.create ~capacity:4 in
+  (* First acquire claims the execution; commit records it; the retry
+     replays without running. *)
+  (match Dedup.acquire d ~client:"c" ~key:1 with
+  | `Run tok -> Dedup.commit d tok [ Wire.Ingested { added = 2 } ]
+  | `Replay _ -> Alcotest.fail "fresh key must run");
+  (match Dedup.acquire d ~client:"c" ~key:1 with
+  | `Replay [ Wire.Ingested { added } ] ->
+    Alcotest.(check int) "replayed response" 2 added
+  | `Replay _ -> Alcotest.fail "wrong recorded responses"
+  | `Run _ -> Alcotest.fail "committed key must replay");
+  Alcotest.(check int) "replay counted" 1 (Dedup.hits d);
+  (* Same key, different client: a distinct entry. *)
+  (match Dedup.acquire d ~client:"other" ~key:1 with
+  | `Run tok -> Dedup.abort d tok
+  | `Replay _ -> Alcotest.fail "client names partition the window");
+  (* An aborted execution leaves no record: the retry re-executes. *)
+  (match Dedup.acquire d ~client:"other" ~key:1 with
+  | `Run tok -> Dedup.commit d tok [ Wire.Healthy ]
+  | `Replay _ -> Alcotest.fail "aborted key must re-run");
+  Alcotest.(check int) "two finished entries held" 2 (Dedup.length d)
+
+let test_dedup_eviction () =
+  let d = Dedup.create ~capacity:2 in
+  let finish key =
+    match Dedup.acquire d ~client:"c" ~key with
+    | `Run tok -> Dedup.commit d tok [ Wire.Healthy ]
+    | `Replay _ -> Alcotest.fail "fresh key must run"
+  in
+  finish 1;
+  finish 2;
+  finish 3;
+  Alcotest.(check int) "window bounded" 2 (Dedup.length d);
+  (* Key 1 was evicted (oldest finished): a retry re-executes — the
+     window is a bounded at-most-once guarantee, not an infinite log. *)
+  match Dedup.acquire d ~client:"c" ~key:1 with
+  | `Run tok -> Dedup.abort d tok
+  | `Replay _ -> Alcotest.fail "evicted key must run again"
+
+let test_dedup_concurrent_retry_blocks () =
+  let d = Dedup.create ~capacity:4 in
+  let first_running = Semaphore.Binary.make false in
+  let release = Semaphore.Binary.make false in
+  let replayed = ref [] in
+  let runner =
+    Thread.create
+      (fun () ->
+        match Dedup.acquire d ~client:"c" ~key:9 with
+        | `Run tok ->
+          Semaphore.Binary.release first_running;
+          Semaphore.Binary.acquire release;
+          Dedup.commit d tok [ Wire.Ingested { added = 7 } ]
+        | `Replay _ -> Alcotest.fail "first acquire must run")
+      ()
+  in
+  Semaphore.Binary.acquire first_running;
+  let retrier =
+    Thread.create
+      (fun () ->
+        (* The key is pending: this blocks until the commit, then
+           replays — never a second execution. *)
+        match Dedup.acquire d ~client:"c" ~key:9 with
+        | `Replay rs -> replayed := rs
+        | `Run _ -> Alcotest.fail "concurrent retry must not re-run")
+      ()
+  in
+  Thread.delay 0.02;
+  Semaphore.Binary.release release;
+  Thread.join runner;
+  Thread.join retrier;
+  match !replayed with
+  | [ Wire.Ingested { added = 7 } ] -> ()
+  | _ -> Alcotest.fail "retry saw the committed record"
 
 (* ------------------------------------------------------------------ *)
 (* Plan cache (LRU)                                                    *)
@@ -419,7 +707,7 @@ let with_server ?config backend f =
     (fun () -> f server ~executor ~path)
 
 let with_client path f =
-  let c = Client.connect_unix ~path in
+  let c = Client.connect_unix ~path () in
   Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
 
 let encode_instance i =
@@ -597,6 +885,264 @@ let test_protocol_negotiation () =
           | _ -> Alcotest.fail "version 0 must be rejected"
           | exception Client.Server_error (Bad_request, _) -> ()))
 
+(* ------------------------------------------------------------------ *)
+(* Hostile-network hardening                                           *)
+
+let test_keyed_ingest_exactly_once () =
+  with_server `Seq (fun server ~executor:_ ~path ->
+      with_client path (fun c ->
+          ignore (Client.hello ~client:"keyed" c);
+          Alcotest.(check int) "v3 session" 3 (Client.version c);
+          let fresh =
+            [
+              Fact.of_list "R" [ Value.int 500; Value.int 501 ];
+              Fact.of_list "S" [ Value.int 501; Value.int 502 ];
+            ]
+          in
+          let added = Client.ingest ~key:42 c ~instance:"main" fresh in
+          Alcotest.(check int) "first keyed ingest applies" 2 added;
+          (* The retry path: same client, same key. The server replays
+             the recorded response — [added] repeats the original count
+             instead of the 0 a re-execution would report. *)
+          let again = Client.ingest ~key:42 c ~instance:"main" fresh in
+          Alcotest.(check int) "replay repeats the original answer" 2 again;
+          let s = Server.stats server in
+          Alcotest.(check int) "dedup hit surfaced in stats" 1 s.deduped;
+          (* A fresh key really re-executes (and finds nothing new). *)
+          Alcotest.(check int) "fresh key re-executes" 0
+            (Client.ingest ~key:43 c ~instance:"main" fresh);
+          (* Replays survive a reconnect: the window is keyed by the
+             hello client name, not the socket. *)
+          with_client path (fun c2 ->
+              ignore (Client.hello ~client:"keyed" c2);
+              Alcotest.(check int) "replay across connections" 2
+                (Client.ingest ~key:42 c2 ~instance:"main" fresh))))
+
+let test_shedding_overload () =
+  (* A negative watermark latches shedding after the first engine op
+     (any wait estimate, even 0us on an uncontended engine, exceeds
+     it): from then on, engine work is refused with a typed retry hint
+     (except the 1-in-8 probe) while the control plane keeps
+     answering. *)
+  let config =
+    {
+      Server.default_config with
+      shed_queue_us = Some (-1.0);
+      shed_retry_after_s = 0.125;
+    }
+  in
+  with_server ~config `Seq (fun server ~executor:_ ~path ->
+      with_client path (fun c ->
+          ignore (Client.hello ~client:"storm" c);
+          let q = "H() <- R(x,y)" in
+          ignore (Client.execute c ~instance:"main" (Adhoc q));
+          let shed = ref 0 and served = ref 0 in
+          for _ = 1 to 16 do
+            match Client.execute c ~instance:"main" (Adhoc q) with
+            | _ -> incr served
+            | exception
+                Client.Server_error (Overloaded { retry_after_s }, _) ->
+              Alcotest.(check (float 0.0)) "configured retry hint" 0.125
+                retry_after_s;
+              incr shed
+          done;
+          Alcotest.(check bool) "most of the storm was shed" true (!shed >= 12);
+          Alcotest.(check bool) "probes keep the engine observable" true
+            (!served >= 1);
+          Alcotest.(check bool) "control plane unaffected" true
+            (Client.health c);
+          let s = Server.stats server in
+          Alcotest.(check int) "shed count surfaced" !shed s.shed))
+
+let test_server_frame_limit () =
+  (* A request frame past the server's limit is refused before
+     allocation, with a typed reply, then the connection is dropped —
+     the framing past an oversized announcement is unknowable. *)
+  let config = { Server.default_config with max_frame = 256 } in
+  with_server ~config `Seq (fun _server ~executor:_ ~path ->
+      with_client path (fun c ->
+          let big =
+            List.init 64 (fun i ->
+                Fact.of_list "R" [ Value.int i; Value.str (String.make 64 'x') ])
+          in
+          (match Client.ingest c ~instance:"main" big with
+          | _ -> Alcotest.fail "oversized frame must be refused"
+          | exception Client.Server_error (Corrupt_frame, _) -> ());
+          (* The server hung up after the refusal. *)
+          match Client.health c with
+          | _ -> Alcotest.fail "connection must be gone"
+          | exception (Client.Connection_lost _ | Client.Timed_out _) -> ()))
+
+let test_client_typed_errors () =
+  (* A peer that accepts and immediately hangs up: the exchange raises
+     Connection_lost (never a raw Unix_error) and the client value is
+     dead afterwards. *)
+  incr sock_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lamp_serve_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let srv = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind srv (ADDR_UNIX path);
+  Unix.listen srv 4;
+  let mode = ref `Hangup in
+  let stop = Atomic.make false in
+  let muted = ref [] in
+  (* Poll with select so the acceptor can be stopped: a blocked
+     accept(2) is not woken by closing the listener from another
+     thread. *)
+  let acceptor =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          if not (Atomic.get stop) then begin
+            (match Unix.select [ srv ] [] [] 0.05 with
+            | [], _, _ -> ()
+            | _ -> (
+              match Unix.accept srv with
+              | fd, _ -> (
+                match !mode with
+                | `Hangup -> Unix.close fd
+                | `Mute -> muted := fd :: !muted)
+              | exception Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error _ -> ());
+            go ()
+          end
+        in
+        go ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join acceptor;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !muted;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let c = Client.connect_unix ~path () in
+      (match Client.health c with
+      | _ -> Alcotest.fail "peer hung up"
+      | exception Client.Connection_lost _ -> ());
+      Alcotest.(check bool) "fatal error closes the client" true
+        (Client.closed c);
+      (match Client.health c with
+      | _ -> Alcotest.fail "closed client must refuse"
+      | exception Client.Connection_lost _ -> ());
+      (* A peer that accepts and never answers: the per-request
+         deadline fires as Timed_out. *)
+      mode := `Mute;
+      let c = Client.connect_unix ~timeout_s:0.1 ~path () in
+      let t0 = Unix.gettimeofday () in
+      (match Client.health c with
+      | _ -> Alcotest.fail "mute peer cannot answer"
+      | exception Client.Timed_out _ -> ());
+      Alcotest.(check bool) "deadline honoured promptly" true
+        (Unix.gettimeofday () -. t0 < 2.0);
+      Alcotest.(check bool) "timeout closes the client" true (Client.closed c);
+      (* Nobody listening at all: a typed connect failure. *)
+      match Client.connect_unix ~path:(path ^ ".nowhere") () with
+      | _ -> Alcotest.fail "nothing listens there"
+      | exception Client.Connection_lost _ -> ())
+
+let test_session_reaper () =
+  let config =
+    {
+      Server.default_config with
+      reap_after_s = Some 0.1;
+      idle_timeout_s = Some 10.0;
+    }
+  in
+  with_server ~config `Seq (fun server ~executor:_ ~path ->
+      with_client path (fun c ->
+          ignore (Client.hello ~client:"sleepy" c);
+          (* Go idle past the reap threshold: the reaper shuts the
+             session's socket and the next call finds it gone. *)
+          Thread.delay 0.7;
+          (match Client.health c with
+          | _ -> Alcotest.fail "stalled session must be reaped"
+          | exception (Client.Connection_lost _ | Client.Timed_out _) -> ());
+          let s = Server.stats server in
+          Alcotest.(check bool) "reap surfaced in stats" true (s.reaped >= 1)))
+
+module Net = Lamp_faults.Net
+module Resilient = Lamp_serve.Resilient
+
+let test_chaos_proxy_resilient () =
+  (* The headline robustness property, in miniature: a client talking
+     through a hostile proxy — resets, truncations, stalls, corrupted
+     bytes, refused connects — still produces answers bit-identical to
+     the direct library call, with keyed ingests applied exactly once. *)
+  let config =
+    { Server.default_config with read_timeout_s = Some 5.0 }
+  in
+  with_server ~config `Seq (fun server ~executor:_ ~path ->
+      ignore server;
+      incr sock_counter;
+      let proxy_path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "lamp_chaos_%d_%d.sock" (Unix.getpid ())
+             !sock_counter)
+      in
+      let plan =
+        Net.make ~seed:7
+          {
+            Net.chaos with
+            refuse = 0.1;
+            reset = 0.15;
+            truncate = 0.1;
+            flip = 0.15;
+            stall = 0.0;
+            trickle = 0.0;
+          }
+      in
+      let proxy =
+        Net.Proxy.start ~plan
+          ~listen:(ADDR_UNIX proxy_path)
+          ~upstream:(ADDR_UNIX path) ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Proxy.stop proxy;
+          try Unix.unlink proxy_path with Unix.Unix_error _ -> ())
+        (fun () ->
+          let r =
+            Resilient.create
+              ~config:
+                {
+                  Resilient.default_config with
+                  max_attempts = 12;
+                  budget_s = Some 30.0;
+                }
+              ~client:"chaos" (fun () ->
+                Client.connect_unix ~timeout_s:2.0 ~path:proxy_path ())
+          in
+          Fun.protect
+            ~finally:(fun () -> Resilient.close r)
+            (fun () ->
+              List.iter
+                (fun (name, qtext) ->
+                  let expected = Eval.eval (Parser.query qtext) seed_data in
+                  let got, _ = Resilient.execute r ~instance:"main" (Adhoc qtext) in
+                  check_bit_identical ("chaos " ^ name) expected got)
+                (fig1_queries @ engine_queries);
+              (* Keyed ingest through the same chaos: exactly once. *)
+              let fresh =
+                [
+                  Fact.of_list "R" [ Value.int 900; Value.int 901 ];
+                  Fact.of_list "S" [ Value.int 901; Value.int 902 ];
+                ]
+              in
+              let added = Resilient.ingest r ~instance:"main" fresh in
+              Alcotest.(check int) "keyed ingest applied exactly once" 2 added;
+              (* The proxy really did interfere. *)
+              Alcotest.(check bool) "faults were injected" true
+                (List.exists (fun (_, n) -> n > 0) (Net.Proxy.injected proxy)))))
+
 let test_live_scrape () =
   Lamp_obs.Trace.set_mode (Ring 4096);
   Lamp_obs.Trace.set_enabled true;
@@ -709,6 +1255,16 @@ let () =
           Alcotest.test_case "hostile input" `Quick test_wire_hostile;
           Alcotest.test_case "version dialects" `Quick test_wire_versioning;
         ] );
+      ( "framing",
+        [
+          Alcotest.test_case "round-trips" `Quick test_frame_roundtrip;
+          Alcotest.test_case "checksum catches corruption" `Quick
+            test_frame_checksum;
+          Alcotest.test_case "length limit precedes allocation" `Quick
+            test_frame_too_large;
+          Alcotest.test_case "read deadline" `Quick test_frame_deadline;
+          Alcotest.test_case "peer gone" `Quick test_frame_closed;
+        ] );
       ( "rpool",
         [
           Alcotest.test_case "reuse and dispose" `Quick
@@ -718,9 +1274,22 @@ let () =
           Alcotest.test_case "blocks at capacity" `Quick
             test_rpool_blocks_at_capacity;
           Alcotest.test_case "trim and drain" `Quick test_rpool_trim_and_drain;
+          Alcotest.test_case "drain races a checkout" `Quick
+            test_rpool_drain_races_checkout;
         ] );
       ( "quota",
-        [ Alcotest.test_case "token bucket" `Quick test_quota_bucket ] );
+        [
+          Alcotest.test_case "token bucket" `Quick test_quota_bucket;
+          Alcotest.test_case "clock jumps" `Quick test_quota_clock_jumps;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "replay and abort" `Quick
+            test_dedup_replay_and_abort;
+          Alcotest.test_case "bounded window evicts" `Quick test_dedup_eviction;
+          Alcotest.test_case "concurrent retry blocks" `Quick
+            test_dedup_concurrent_retry_blocks;
+        ] );
       ( "cache",
         [ Alcotest.test_case "LRU semantics" `Quick test_cache_lru ] );
       ( "server",
@@ -746,5 +1315,20 @@ let () =
             test_stop_drains_pools;
           Alcotest.test_case "concurrent clients agree" `Quick
             test_concurrent_clients_match;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "keyed ingest exactly once" `Quick
+            test_keyed_ingest_exactly_once;
+          Alcotest.test_case "overload sheds with retry hint" `Quick
+            test_shedding_overload;
+          Alcotest.test_case "frame limit is typed and fatal" `Quick
+            test_server_frame_limit;
+          Alcotest.test_case "client failures are typed" `Quick
+            test_client_typed_errors;
+          Alcotest.test_case "stalled sessions are reaped" `Quick
+            test_session_reaper;
+          Alcotest.test_case "chaos proxy end-to-end" `Quick
+            test_chaos_proxy_resilient;
         ] );
     ]
