@@ -867,6 +867,16 @@ let serve_cmd =
                nothing. 0 disables deduplication." in
     Arg.(value & opt int 1024 & info [ "dedup-window" ] ~docv:"N" ~doc)
   in
+  let dedup_max_bytes_arg =
+    let doc = "Cap (bytes) on one recorded dedup entry: a keyed \
+               operation whose responses encode past this completes but \
+               is not remembered (its retry re-executes), so large \
+               result streams cannot pin server memory." in
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.dedup_max_bytes
+      & info [ "dedup-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let shed_queue_arg =
     let doc = "Load-shedding watermark (microseconds) on the queue-wait \
                EWMA: past it, engine requests get a typed Overloaded \
@@ -881,8 +891,8 @@ let serve_cmd =
   in
   let run socket port host inline file iname max_sessions max_inflight
       pool_size plan_cache batch quota strategy telemetry read_timeout
-      idle_timeout reap_after max_frame dedup_window shed_queue
-      shed_retry_after backend domains trace profile =
+      idle_timeout reap_after max_frame dedup_window dedup_max_bytes
+      shed_queue shed_retry_after backend domains trace profile =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             if telemetry then begin
@@ -918,6 +928,7 @@ let serve_cmd =
                 reap_after_s = opt_pos reap_after;
                 max_frame;
                 dedup_window;
+                dedup_max_bytes;
                 shed_queue_us = opt_pos shed_queue;
                 shed_retry_after_s = shed_retry_after;
               }
@@ -975,8 +986,8 @@ let serve_cmd =
       $ pool_size_arg $ plan_cache_arg $ batch_arg $ quota_arg
       $ plan_strategy_arg $ telemetry_arg $ read_timeout_arg
       $ idle_timeout_arg $ reap_after_arg $ max_frame_arg $ dedup_window_arg
-      $ shed_queue_arg $ shed_retry_after_arg $ backend_arg $ domains_arg
-      $ trace_arg $ profile_arg)
+      $ dedup_max_bytes_arg $ shed_queue_arg $ shed_retry_after_arg
+      $ backend_arg $ domains_arg $ trace_arg $ profile_arg)
 
 let timeout_arg =
   let doc =
@@ -1010,10 +1021,10 @@ let with_client socket port host timeout retries f =
   let config =
     { Serve.Resilient.default_config with max_attempts = retries + 1 }
   in
-  (* The client name keys the server's idempotency-replay window and
-     Resilient keys restart at 1 per process, so successive CLI
-     invocations must not share a name: invocation N's key 1 would
-     replay invocation 1's recorded response. *)
+  (* The client name keys the server's idempotency-replay window, so
+     successive CLI invocations must not share a name. Resilient keys
+     also carry a per-process nonce and the server digest-checks every
+     replay, but a fresh name keeps invocations fully disjoint. *)
   let client = Printf.sprintf "lamp-cli.%d" (Unix.getpid ()) in
   let c = Serve.Resilient.create ~config ~client connect in
   Fun.protect ~finally:(fun () -> Serve.Resilient.close c) (fun () -> f c)

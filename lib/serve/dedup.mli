@@ -14,7 +14,15 @@
     evicted, and a concurrent retry of a pending key blocks until the
     first execution commits or aborts. Only {e successful} completions
     are recorded — a failed attempt {!abort}s so the retry really
-    re-executes. *)
+    re-executes.
+
+    Client names and keys are both client-chosen, so a (client, key)
+    collision — a restarted client whose counter starts over, a second
+    process sharing a name — is possible and must never replay another
+    operation's recording. Every entry therefore carries a [digest] of
+    the request it was recorded for; {!acquire} with the same key but a
+    different digest answers [`Mismatch], which the server types as a
+    bad request instead of silently returning the wrong responses. *)
 
 type t
 
@@ -26,11 +34,15 @@ val create : capacity:int -> t
 (** @raise Invalid_argument when [capacity < 1]. *)
 
 val acquire :
-  t -> client:string -> key:int ->
-  [ `Replay of Wire.response list | `Run of token ]
+  t -> client:string -> key:int -> digest:int ->
+  [ `Replay of Wire.response list | `Run of token | `Mismatch ]
 (** [`Replay rs]: this op already completed; answer with [rs] (counted
     by {!hits}). [`Run tok]: the caller owns the execution. Blocks
-    while another session is executing the same key. *)
+    while another session is executing the same key {e with the same
+    digest}; [`Mismatch]: the key exists (pending or finished) but was
+    claimed for a different request — reject, never replay. [digest]
+    is any collision-resistant-enough fingerprint of the inner request
+    (the server uses {!Wire.checksum} of its encoding). *)
 
 val commit : t -> token -> Wire.response list -> unit
 (** Record the op's responses (in send order) and wake waiting

@@ -27,19 +27,38 @@ type t = {
   mutex : Mutex.t;
   (* The live session, re-established lazily after a fatal failure. *)
   mutable conn : Client.t option;
-  (* Idempotency keys: one monotone counter per wrapper, so each
-     logical operation gets a fresh key and every retry of that
-     operation re-sends the same one. *)
+  (* Idempotency keys: one monotone counter per wrapper, seeded with a
+     per-wrapper nonce in the high bits, so each logical operation gets
+     a fresh key and every retry of that operation re-sends the same
+     one — and a restarted process sharing a client name lands in a
+     different key range instead of replaying the old process's dedup
+     entries. *)
   mutable next_key : int;
+  (* Negotiated protocol version of the current (or most recent)
+     session, once a hello has succeeded. *)
+  mutable session_version : int option;
   retries : int Atomic.t;
 }
 
 let create ?(config = default_config) ?(client = "resilient")
-    ?hello_version connect =
+    ?hello_version ?key_nonce connect =
   if config.max_attempts < 1 then
     invalid_arg "Resilient.create: max_attempts must be >= 1";
   if config.base_delay_s < 0.0 || config.max_delay_s < 0.0 then
     invalid_arg "Resilient.create: negative delay";
+  let nonce =
+    (match key_nonce with
+    | Some n -> n
+    | None ->
+      (* Time-and-pid entropy, not the seeded streams: the nonce must
+         differ across process restarts, which is exactly what seeded
+         determinism would forbid. Keys never influence results, only
+         which dedup entries two wrappers could collide on — and the
+         server's digest check turns any residual collision into a
+         typed error, not a wrong answer. *)
+      Random.State.bits (Random.State.make_self_init ()))
+    land 0x3FFFFFFF
+  in
   {
     config;
     connect;
@@ -47,23 +66,12 @@ let create ?(config = default_config) ?(client = "resilient")
     hello_version;
     mutex = Mutex.create ();
     conn = None;
-    next_key = 0;
+    next_key = nonce lsl 32;
+    session_version = None;
     retries = Atomic.make 0;
   }
 
 let retries t = Atomic.get t.retries
-
-(* A failure is worth another attempt when the transport broke (the
-   operation may never have reached the server — and if it did, the
-   idempotency key makes re-execution safe), when the server asked us
-   to back off, or when the frame was corrupted in flight. Rejected
-   (quota) errors are retryable only by configuration: whether pacing
-   out a quota rejection is correct depends on the caller. *)
-let retryable t = function
-  | Client.Connection_lost _ | Client.Timed_out _ -> true
-  | Client.Server_error ((Overloaded _ | Corrupt_frame), _) -> true
-  | Client.Server_error (Rejected, _) -> t.config.retry_rejected
-  | _ -> false
 
 (* The server-suggested floor for the next sleep. *)
 let hint = function
@@ -89,6 +97,7 @@ let session t =
     | exception e ->
       Client.close c;
       raise e);
+    t.session_version <- Some (Client.version c);
     t.conn <- Some c;
     c
 
@@ -100,18 +109,46 @@ let fresh_key t =
 (* Run [f] against the live session under the retry policy. Each
    attempt reconnects if the previous one tore the session down; the
    backoff schedule is seeded, so a given wrapper retries on the same
-   deterministic cadence every run. *)
-let run t f =
+   deterministic cadence every run.
+
+   A failure is worth another attempt when the transport broke, when
+   the server asked us to back off ([Overloaded]), or when it could
+   not even decode our frame ([Corrupt_frame] — the op never ran).
+   Rejected (quota) errors are retryable only by configuration.
+   For a transport failure after the op may have reached the server,
+   [exactly_once] demands the session's idempotency key made the
+   re-execution safe: on a session negotiated below protocol 3 the
+   key was silently dropped, so retrying there could double-apply —
+   the failure propagates instead of degrading to at-least-once. *)
+let run ?(exactly_once = false) t f =
   Mutex.protect t.mutex (fun () ->
       let delay =
         Executor.exponential_backoff ~base:t.config.base_delay_s
           ~max_delay:t.config.max_delay_s ~seed:t.config.seed ()
       in
+      let sent = ref false in
+      let retryable = function
+        | Client.Connection_lost _ | Client.Timed_out _ ->
+          (not exactly_once)
+          || (not !sent)
+          || (match t.session_version with
+             | Some v -> v >= 3
+             | None -> false)
+        | Client.Server_error ((Overloaded _ | Corrupt_frame), _) -> true
+        | Client.Server_error (Rejected, _) -> t.config.retry_rejected
+        | _ -> false
+      in
       Executor.with_retry ~max_attempts:t.config.max_attempts ~delay
         ?budget:t.config.budget_s ~hint
         ~backoff:(fun _ -> Atomic.incr t.retries)
-        ~retryable:(retryable t)
-        (fun ~attempt:_ -> f (session t)))
+        ~retryable
+        (fun ~attempt:_ ->
+          sent := false;
+          let c = session t in
+          (* Past this point the request may reach the wire: a
+             transport failure no longer proves the op did not run. *)
+          sent := true;
+          f c))
 
 let prepare t ~instance ~query =
   let key = fresh_key t in
@@ -123,7 +160,9 @@ let execute t ~instance ?mode plan =
 
 let ingest t ~instance facts =
   let key = fresh_key t in
-  run t (fun c -> Client.ingest ~key c ~instance facts)
+  (* The one non-idempotent op: prepare and execute re-run to the same
+     observable state, an unkeyed ingest does not. *)
+  run ~exactly_once:true t (fun c -> Client.ingest ~key c ~instance facts)
 
 let stats t = run t Client.stats
 let health t = run t Client.health

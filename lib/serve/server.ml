@@ -26,6 +26,7 @@ type config = {
   idle_timeout_s : float option;
   reap_after_s : float option;
   dedup_window : int;
+  dedup_max_bytes : int;
   shed_queue_us : float option;
   shed_retry_after_s : float;
 }
@@ -46,6 +47,7 @@ let default_config =
     idle_timeout_s = None;
     reap_after_s = None;
     dedup_window = 1024;
+    dedup_max_bytes = 1 lsl 20;
     shed_queue_us = None;
     shed_retry_after_s = 0.05;
   }
@@ -184,25 +186,30 @@ let register_gauges t =
    I/O activity is older than [reap_after_s]. The session thread's
    blocked read then fails and the session unwinds through its normal
    cleanup. The limit is a hard staleness cap — it must exceed the
-   longest legitimate request (engine time included). *)
+   longest legitimate request (engine time included).
+
+   The shutdown runs while [t.lock] is held: a session removes itself
+   from [session_fds] (under the lock) {e before} closing its fd, so a
+   descriptor still in the table cannot be concurrently closed — and
+   its number cannot be reused by a fresh connection between the
+   staleness check and the shutdown. Shutting down after releasing the
+   lock would race exactly that reuse and could sever a healthy new
+   session. *)
 let reaper_loop t limit =
   let rec loop () =
     if not (Mutex.protect t.lock (fun () -> t.stopped)) then begin
       Thread.delay 0.25;
       let now = Unix.gettimeofday () in
-      let stale =
-        Mutex.protect t.lock (fun () ->
-            Hashtbl.fold
-              (fun fd last acc ->
-                if now -. !last > limit then fd :: acc else acc)
-              t.session_fds [])
-      in
-      List.iter
-        (fun fd ->
-          Atomic.incr t.reaped_n;
-          Trace.incr reaped_c;
-          try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-        stale;
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.iter
+            (fun fd last ->
+              if now -. !last > limit then begin
+                Atomic.incr t.reaped_n;
+                Trace.incr reaped_c;
+                try Unix.shutdown fd SHUTDOWN_ALL
+                with Unix.Unix_error _ -> ()
+              end)
+            t.session_fds);
       loop ()
     end
   in
@@ -213,6 +220,8 @@ let create ?(config = default_config) ~executor () =
   if config.max_inflight < 0 then invalid_arg "Server: max_inflight < 0";
   if config.batch < 1 then invalid_arg "Server: batch < 1";
   if config.max_frame < 1 then invalid_arg "Server: max_frame < 1";
+  if config.dedup_max_bytes < 1 then
+    invalid_arg "Server: dedup_max_bytes < 1";
   if config.shed_retry_after_s < 0.0 then
     invalid_arg "Server: shed_retry_after_s < 0";
   let t = {
@@ -533,8 +542,23 @@ let handle_request t fd version client req =
   Trace.incr requests_c;
   let t0 = Unix.gettimeofday () in
   let recording = ref None in
+  let oversized = ref false in
   let reply resp =
-    (match !recording with Some acc -> acc := resp :: !acc | None -> ());
+    (match !recording with
+    | Some (acc, bytes) ->
+      (* A dedup record pins its responses in server memory for up to
+         [dedup_window] completions, so its size must be bounded by
+         policy, not by [max_frame]. Past the cap the recording is
+         dropped and the keyed wrapper aborts instead of committing:
+         a retry of a huge result re-executes rather than replaying. *)
+      bytes :=
+        !bytes + String.length (Wire.response_to_string ~version:!version resp);
+      if !bytes > t.config.dedup_max_bytes then begin
+        recording := None;
+        oversized := true
+      end
+      else acc := resp :: !acc
+    | None -> ());
     let deadline =
       Option.map
         (fun s -> Unix.gettimeofday () +. s)
@@ -596,7 +620,12 @@ let handle_request t fd version client req =
            match t.dedup with
            | None -> go inner
            | Some dedup -> (
-             match Dedup.acquire dedup ~client:!client ~key with
+             (* The digest ties the window entry to this request's
+                bytes: a colliding (client, key) — client names are
+                self-reported and keys client-allocated — can never be
+                answered with another operation's recording. *)
+             let digest = Wire.checksum (Wire.request_to_string inner) in
+             match Dedup.acquire dedup ~client:!client ~key ~digest with
              | `Replay rs ->
                (* The op already ran to completion (possibly on a
                   session whose connection the client lost): answer
@@ -604,13 +633,18 @@ let handle_request t fd version client req =
                Atomic.incr t.deduped_n;
                Trace.incr deduped_c;
                List.iter reply rs
+             | `Mismatch ->
+               bad "idempotency key %d re-used for a different request"
+                 key
              | `Run token -> (
                let acc = ref [] in
-               recording := Some acc;
+               oversized := false;
+               recording := Some (acc, ref 0);
                match go inner with
                | () ->
                  recording := None;
-                 Dedup.commit dedup token (List.rev !acc)
+                 if !oversized then Dedup.abort dedup token
+                 else Dedup.commit dedup token (List.rev !acc)
                | exception e ->
                  (* Only successful completions are recorded: the
                     retry of a shed or failed attempt re-executes. *)
@@ -831,23 +865,26 @@ let listen_tcp ?(host = "127.0.0.1") t ~port =
   bound
 
 let stop t =
-  let listeners, sessions =
+  let listeners =
     Mutex.protect t.lock (fun () ->
-        if t.stopped then ([], [])
+        if t.stopped then []
         else begin
           t.stopped <- true;
           let ls = t.listeners in
           t.listeners <- [];
-          let ss = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.session_fds [] in
-          (ls, ss)
+          (* Shut sessions down at the socket: their blocking reads
+             return EOF and the session threads unwind; each closes its
+             own fd. Done under the lock for the same reason as the
+             reaper: an fd still in the table cannot be closed (and its
+             number reused) concurrently. *)
+          Hashtbl.iter
+            (fun fd _ ->
+              try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+            t.session_fds;
+          ls
         end)
   in
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
-  (* Shut sessions down at the socket: their blocking reads return EOF
-     and the session threads unwind; each closes its own fd. *)
-  List.iter
-    (fun fd -> try Unix.shutdown fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-    sessions;
   Mutex.protect t.lock (fun () ->
       while t.session_count > 0 do
         Condition.wait t.session_exit t.lock

@@ -64,7 +64,16 @@ type config = {
       (** Capacity of the idempotency-key window ({!Dedup}): how many
           completed keyed ops are remembered for replay. [0] disables
           deduplication (keyed requests execute unconditionally).
-          Default 1024. *)
+          Default 1024. Every entry is bound to a digest of the request
+          it recorded; a replay whose request differs (a reused key) is
+          refused with [Bad_request] instead of answered with the other
+          op's responses. *)
+  dedup_max_bytes : int;
+      (** Cap on the encoded size of one dedup record (default 1 MiB).
+          A keyed op whose responses exceed it completes normally but
+          is {e not} recorded — a retry re-executes instead of
+          replaying — so keyed queries with large result streams cannot
+          pin up to [dedup_window] result sets in server memory. *)
   shed_queue_us : float option;
       (** Load-shedding watermark on the queue-wait EWMA
           (microseconds waiting for the engine lock). Past it the
@@ -83,7 +92,8 @@ val default_config : config
       strategy = Binary; max_frame = Wire.max_frame;
       read_timeout_s = Some 30.0; write_timeout_s = Some 30.0;
       idle_timeout_s = None; reap_after_s = None; dedup_window = 1024;
-      shed_queue_us = None; shed_retry_after_s = 0.05 }] *)
+      dedup_max_bytes = 1 lsl 20; shed_queue_us = None;
+      shed_retry_after_s = 0.05 }] *)
 
 type t
 

@@ -196,7 +196,17 @@ val response_of_string : ?version:int -> string -> response
     Every operation takes an optional {e absolute} [deadline] (a
     [Unix.gettimeofday] timestamp): when the socket is not ready by
     then, {!Timed_out} is raised and the frame is torn — the connection
-    must be abandoned, not reused. *)
+    must be abandoned, not reused.
+
+    {b Global side effect — SIGPIPE.} The first framed {e write} in a
+    process sets the {e process-wide} SIGPIPE disposition to
+    [Signal_ignore] (OCaml's [Unix] module exposes no per-write
+    [MSG_NOSIGNAL]), so a write after the peer's FIN surfaces as
+    [EPIPE] → {!Closed} instead of killing the process. This replaces
+    whatever disposition the embedding application had installed: a
+    host that relies on SIGPIPE termination (e.g. one whose stdout is
+    piped) must reinstall its handler {e after} the first wire write.
+    The overwrite happens once per process and is never undone. *)
 
 exception Closed
 (** The peer closed or reset the connection (EOF or ECONNRESET/EPIPE on

@@ -16,6 +16,7 @@ module Quota = Lamp_serve.Quota
 module Cache = Lamp_serve.Cache
 module Server = Lamp_serve.Server
 module Client = Lamp_serve.Client
+module Resilient = Lamp_serve.Resilient
 
 let instance = Alcotest.testable Instance.pp Instance.equal
 let stats_t = Alcotest.testable Stats.pp (fun (a : Stats.t) b -> a = b)
@@ -544,31 +545,57 @@ let test_dedup_replay_and_abort () =
   let d = Dedup.create ~capacity:4 in
   (* First acquire claims the execution; commit records it; the retry
      replays without running. *)
-  (match Dedup.acquire d ~client:"c" ~key:1 with
+  (match Dedup.acquire d ~client:"c" ~key:1 ~digest:11 with
   | `Run tok -> Dedup.commit d tok [ Wire.Ingested { added = 2 } ]
-  | `Replay _ -> Alcotest.fail "fresh key must run");
-  (match Dedup.acquire d ~client:"c" ~key:1 with
+  | `Replay _ | `Mismatch -> Alcotest.fail "fresh key must run");
+  (match Dedup.acquire d ~client:"c" ~key:1 ~digest:11 with
   | `Replay [ Wire.Ingested { added } ] ->
     Alcotest.(check int) "replayed response" 2 added
   | `Replay _ -> Alcotest.fail "wrong recorded responses"
-  | `Run _ -> Alcotest.fail "committed key must replay");
+  | `Run _ | `Mismatch -> Alcotest.fail "committed key must replay");
   Alcotest.(check int) "replay counted" 1 (Dedup.hits d);
   (* Same key, different client: a distinct entry. *)
-  (match Dedup.acquire d ~client:"other" ~key:1 with
+  (match Dedup.acquire d ~client:"other" ~key:1 ~digest:11 with
   | `Run tok -> Dedup.abort d tok
-  | `Replay _ -> Alcotest.fail "client names partition the window");
+  | `Replay _ | `Mismatch ->
+    Alcotest.fail "client names partition the window");
   (* An aborted execution leaves no record: the retry re-executes. *)
-  (match Dedup.acquire d ~client:"other" ~key:1 with
+  (match Dedup.acquire d ~client:"other" ~key:1 ~digest:11 with
   | `Run tok -> Dedup.commit d tok [ Wire.Healthy ]
-  | `Replay _ -> Alcotest.fail "aborted key must re-run");
+  | `Replay _ | `Mismatch -> Alcotest.fail "aborted key must re-run");
   Alcotest.(check int) "two finished entries held" 2 (Dedup.length d)
+
+let test_dedup_digest_mismatch () =
+  let d = Dedup.create ~capacity:4 in
+  (match Dedup.acquire d ~client:"c" ~key:1 ~digest:100 with
+  | `Run tok -> Dedup.commit d tok [ Wire.Ingested { added = 5 } ]
+  | `Replay _ | `Mismatch -> Alcotest.fail "fresh key must run");
+  (* The same key claimed for different request bytes — a restarted
+     client reusing its counter — must never see the recorded answer. *)
+  (match Dedup.acquire d ~client:"c" ~key:1 ~digest:200 with
+  | `Mismatch -> ()
+  | `Replay _ -> Alcotest.fail "foreign request must not replay"
+  | `Run _ -> Alcotest.fail "colliding key must not claim the entry");
+  (* The mismatch neither evicted nor corrupted the entry: the real
+     retry still replays. *)
+  (match Dedup.acquire d ~client:"c" ~key:1 ~digest:100 with
+  | `Replay [ Wire.Ingested { added = 5 } ] -> ()
+  | _ -> Alcotest.fail "original record must survive a mismatch");
+  (* A pending entry rejects a different digest without blocking. *)
+  match Dedup.acquire d ~client:"c" ~key:2 ~digest:100 with
+  | `Run tok -> (
+    (match Dedup.acquire d ~client:"c" ~key:2 ~digest:300 with
+    | `Mismatch -> ()
+    | `Replay _ | `Run _ -> Alcotest.fail "pending mismatch must reject");
+    Dedup.abort d tok)
+  | `Replay _ | `Mismatch -> Alcotest.fail "fresh key must run"
 
 let test_dedup_eviction () =
   let d = Dedup.create ~capacity:2 in
   let finish key =
-    match Dedup.acquire d ~client:"c" ~key with
+    match Dedup.acquire d ~client:"c" ~key ~digest:key with
     | `Run tok -> Dedup.commit d tok [ Wire.Healthy ]
-    | `Replay _ -> Alcotest.fail "fresh key must run"
+    | `Replay _ | `Mismatch -> Alcotest.fail "fresh key must run"
   in
   finish 1;
   finish 2;
@@ -576,9 +603,9 @@ let test_dedup_eviction () =
   Alcotest.(check int) "window bounded" 2 (Dedup.length d);
   (* Key 1 was evicted (oldest finished): a retry re-executes — the
      window is a bounded at-most-once guarantee, not an infinite log. *)
-  match Dedup.acquire d ~client:"c" ~key:1 with
+  match Dedup.acquire d ~client:"c" ~key:1 ~digest:1 with
   | `Run tok -> Dedup.abort d tok
-  | `Replay _ -> Alcotest.fail "evicted key must run again"
+  | `Replay _ | `Mismatch -> Alcotest.fail "evicted key must run again"
 
 let test_dedup_concurrent_retry_blocks () =
   let d = Dedup.create ~capacity:4 in
@@ -588,12 +615,12 @@ let test_dedup_concurrent_retry_blocks () =
   let runner =
     Thread.create
       (fun () ->
-        match Dedup.acquire d ~client:"c" ~key:9 with
+        match Dedup.acquire d ~client:"c" ~key:9 ~digest:9 with
         | `Run tok ->
           Semaphore.Binary.release first_running;
           Semaphore.Binary.acquire release;
           Dedup.commit d tok [ Wire.Ingested { added = 7 } ]
-        | `Replay _ -> Alcotest.fail "first acquire must run")
+        | `Replay _ | `Mismatch -> Alcotest.fail "first acquire must run")
       ()
   in
   Semaphore.Binary.acquire first_running;
@@ -602,9 +629,10 @@ let test_dedup_concurrent_retry_blocks () =
       (fun () ->
         (* The key is pending: this blocks until the commit, then
            replays — never a second execution. *)
-        match Dedup.acquire d ~client:"c" ~key:9 with
+        match Dedup.acquire d ~client:"c" ~key:9 ~digest:9 with
         | `Replay rs -> replayed := rs
-        | `Run _ -> Alcotest.fail "concurrent retry must not re-run")
+        | `Run _ | `Mismatch ->
+          Alcotest.fail "concurrent retry must not re-run")
       ()
   in
   Thread.delay 0.02;
@@ -916,7 +944,154 @@ let test_keyed_ingest_exactly_once () =
           with_client path (fun c2 ->
               ignore (Client.hello ~client:"keyed" c2);
               Alcotest.(check int) "replay across connections" 2
-                (Client.ingest ~key:42 c2 ~instance:"main" fresh))))
+                (Client.ingest ~key:42 c2 ~instance:"main" fresh);
+              (* A key reused for a *different* request — a restarted
+                 client whose counter started over — is refused, never
+                 answered with the recorded response of the other op. *)
+              let other =
+                [ Fact.of_list "R" [ Value.int 700; Value.int 701 ] ]
+              in
+              (match Client.ingest ~key:42 c2 ~instance:"main" other with
+              | _ -> Alcotest.fail "key reuse must be refused"
+              | exception Client.Server_error (Bad_request, _) -> ());
+              (* The refusal applied nothing and kept the session. *)
+              Alcotest.(check int) "refused ingest did not apply" 1
+                (Client.ingest ~key:44 c2 ~instance:"main" other))))
+
+let test_dedup_byte_cap () =
+  (* Recorded dedup entries are size-capped: a keyed execute whose
+     result stream encodes past [dedup_max_bytes] completes but is not
+     remembered, so its retry re-executes (yielding the same answer —
+     execute is read-only) instead of pinning the result set in the
+     window. Small ops still replay. *)
+  let config = { Server.default_config with dedup_max_bytes = 64 } in
+  with_server ~config `Seq (fun server ~executor:_ ~path ->
+      with_client path (fun c ->
+          ignore (Client.hello ~client:"capped" c);
+          let q = "H(x,y) <- E(x,y)" in
+          let first, _ = Client.execute ~key:1 c ~instance:"main" (Adhoc q) in
+          Alcotest.(check bool) "result is past the cap" true
+            (Instance.cardinal first > 0);
+          let again, _ = Client.execute ~key:1 c ~instance:"main" (Adhoc q) in
+          check_bit_identical "re-execution matches" first again;
+          let s = Server.stats server in
+          Alcotest.(check int) "oversized entry was not recorded" 0 s.deduped;
+          (* A compact keyed op under the same cap still replays. *)
+          let fresh = [ Fact.of_list "R" [ Value.int 800; Value.int 801 ] ] in
+          Alcotest.(check int) "small ingest applies" 1
+            (Client.ingest ~key:2 c ~instance:"main" fresh);
+          Alcotest.(check int) "small ingest replays" 1
+            (Client.ingest ~key:2 c ~instance:"main" fresh);
+          Alcotest.(check int) "replay surfaced in stats" 1
+            (Server.stats server).deduped))
+
+(* A hand-rolled wire-speaking server: answers hello at the version it
+   is told to, then drops the connection on the first engine op it ever
+   sees and serves every later one — the shape of "the request may have
+   applied, the answer is gone". *)
+let test_resilient_downgrade_refuses_ingest_retry () =
+  incr sock_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lamp_fake_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let srv = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind srv (ADDR_UNIX path);
+  Unix.listen srv 4;
+  let stop = Atomic.make false in
+  let ingests_seen = Atomic.make 0 in
+  let dropped_once = Atomic.make false in
+  let rec strip : Wire.request -> Wire.request = function
+    | Traced { req; _ } | Keyed { key = _; req } -> strip req
+    | r -> r
+  in
+  let serve_conn fd =
+    let version = ref Wire.protocol_version in
+    let rec loop () =
+      match Wire.read_request fd with
+      | Hello { version = v; _ } ->
+        version := min v Wire.protocol_version;
+        Wire.write_response ~version:!version fd
+          (Hello_ok { server = "fake"; version = !version });
+        loop ()
+      | req -> (
+        match strip req with
+        | Ingest _ ->
+          Atomic.incr ingests_seen;
+          if Atomic.compare_and_set dropped_once false true then
+            (* Drop mid-op: the client cannot know whether it applied. *)
+            Unix.close fd
+          else begin
+            Wire.write_response ~version:!version fd (Ingested { added = 1 });
+            loop ()
+          end
+        | _ ->
+          Wire.write_response ~version:!version fd Healthy;
+          loop ())
+    in
+    try loop () with
+    | Wire.Closed | Unix.Unix_error _ | Lamp_jobs.Codec.Corrupt _ -> (
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          if not (Atomic.get stop) then begin
+            (match Unix.select [ srv ] [] [] 0.05 with
+            | [], _, _ -> ()
+            | _ -> (
+              match Unix.accept srv with
+              | fd, _ -> ignore (Thread.create serve_conn fd)
+              | exception Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error _ -> ());
+            go ()
+          end
+        in
+        go ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join acceptor;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let fresh = [ Fact.of_list "R" [ Value.int 1; Value.int 2 ] ] in
+      let wrapper version =
+        Resilient.create
+          ~config:{ Resilient.default_config with max_attempts = 4 }
+          ~client:"downgrade" ~hello_version:version (fun () ->
+            Client.connect_unix ~timeout_s:2.0 ~path ())
+      in
+      (* On a v2 session the idempotency key cannot be carried: the
+         wrapper must NOT retry the dropped ingest — the typed loss
+         propagates and the server saw the op exactly once. *)
+      let r2 = wrapper 2 in
+      Fun.protect
+        ~finally:(fun () -> Resilient.close r2)
+        (fun () ->
+          (match Resilient.ingest r2 ~instance:"main" fresh with
+          | _ -> Alcotest.fail "pre-v3 ingest retry must be refused"
+          | exception (Client.Connection_lost _ | Client.Timed_out _) -> ());
+          Alcotest.(check int) "no at-least-once double-send" 1
+            (Atomic.get ingests_seen);
+          Alcotest.(check int) "no retry burned" 0 (Resilient.retries r2));
+      (* The same drop on a v3 session is retried (the key makes the
+         re-execution safe) and succeeds on the fresh connection. *)
+      Atomic.set dropped_once false;
+      Atomic.set ingests_seen 0;
+      let r3 = wrapper 3 in
+      Fun.protect
+        ~finally:(fun () -> Resilient.close r3)
+        (fun () ->
+          Alcotest.(check int) "v3 retry completes the op" 1
+            (Resilient.ingest r3 ~instance:"main" fresh);
+          Alcotest.(check bool) "the retry really happened" true
+            (Resilient.retries r3 >= 1
+            && Atomic.get ingests_seen >= 2)))
 
 let test_shedding_overload () =
   (* A negative watermark latches shedding after the first engine op
@@ -1069,7 +1244,6 @@ let test_session_reaper () =
           Alcotest.(check bool) "reap surfaced in stats" true (s.reaped >= 1)))
 
 module Net = Lamp_faults.Net
-module Resilient = Lamp_serve.Resilient
 
 let test_chaos_proxy_resilient () =
   (* The headline robustness property, in miniature: a client talking
@@ -1286,6 +1460,8 @@ let () =
         [
           Alcotest.test_case "replay and abort" `Quick
             test_dedup_replay_and_abort;
+          Alcotest.test_case "digest mismatch rejects" `Quick
+            test_dedup_digest_mismatch;
           Alcotest.test_case "bounded window evicts" `Quick test_dedup_eviction;
           Alcotest.test_case "concurrent retry blocks" `Quick
             test_dedup_concurrent_retry_blocks;
@@ -1320,6 +1496,10 @@ let () =
         [
           Alcotest.test_case "keyed ingest exactly once" `Quick
             test_keyed_ingest_exactly_once;
+          Alcotest.test_case "dedup records are size-capped" `Quick
+            test_dedup_byte_cap;
+          Alcotest.test_case "pre-v3 session refuses unsafe retry" `Quick
+            test_resilient_downgrade_refuses_ingest_retry;
           Alcotest.test_case "overload sheds with retry hint" `Quick
             test_shedding_overload;
           Alcotest.test_case "frame limit is typed and fatal" `Quick
