@@ -93,6 +93,32 @@ let checkpoint_arg =
   in
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
 
+let disk_faults_arg =
+  let doc =
+    "Deterministic disk-fault plan for the checkpoint store (needs \
+     --checkpoint): comma-separated key=value fields among $(b,rot), \
+     $(b,truncate), $(b,enospc), $(b,litter) (per-save probabilities) and \
+     $(b,crash)=ROUND:POINT — a one-shot simulated power cut during that \
+     round's save, with POINT among $(b,torn):FRAC (the write tears at \
+     that fraction of the slot), $(b,pre-rename) and $(b,post-rename) (the \
+     rename is lost); or the presets $(b,none) and $(b,chaos). Example: \
+     --disk-faults=crash=2:torn:0.5. After a simulated crash, rerun with \
+     --resume (and the crash= field dropped): recovery verifies checksums, \
+     falls back to the previous slot generation when the freshest one is \
+     damaged, and converges to bit-identical output."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "disk-faults" ] ~docv:"SPEC" ~doc)
+
+let disk_fault_seed_arg =
+  let doc = "Seed of the disk-fault plan." in
+  Arg.(value & opt int 0 & info [ "disk-fault-seed" ] ~docv:"N" ~doc)
+
+let parse_disk_faults spec seed =
+  match spec with
+  | None -> Faults.Disk.none
+  | Some s -> Faults.Disk.of_string ~seed s
+
 let resume_arg =
   let doc =
     "Resume from the checkpoint in --checkpoint=DIR instead of starting \
@@ -116,25 +142,36 @@ let kill_after_arg =
 (* Builds the job control block when --checkpoint was given and runs
    [f] under it, turning the simulated death into a clean exit with a
    hint instead of a crash. *)
-let with_job ~name checkpoint resume kill_after f =
+let with_job ~name ?(disk_faults = Faults.Disk.none) checkpoint resume
+    kill_after f =
   match checkpoint with
   | None ->
     if resume then invalid_arg "--resume requires --checkpoint=DIR";
     if kill_after <> None then
       invalid_arg "--kill-after-round requires --checkpoint=DIR";
+    if not (Faults.Disk.is_none disk_faults) then
+      invalid_arg "--disk-faults requires --checkpoint=DIR";
     f None
   | Some dir ->
-    let store = Jobs.Store.on_disk dir in
+    if not (Faults.Disk.is_none disk_faults) then
+      Fmt.pr "disk-faults: %a@." Faults.Disk.pp disk_faults;
+    let store = Jobs.Store.on_disk ~faults:disk_faults dir in
     let job =
       Jobs.Supervisor.create ?kill_after_round:kill_after ~resume ~store name
     in
     (try
        f (Some job);
        Fmt.pr "job:    %a@." Jobs.Supervisor.pp_outcome job
-     with Jobs.Supervisor.Killed { job = j; round } ->
-       Fmt.pr "job %s killed after its round-%d checkpoint; rerun with \
-               --resume to continue@."
-         j round)
+     with
+    | Jobs.Supervisor.Killed { job = j; round } ->
+      Fmt.pr "job %s killed after its round-%d checkpoint; rerun with \
+              --resume to continue@."
+        j round
+    | Jobs.Io.Crashed { job = j; round; point } ->
+      Fmt.pr "job %s hit a simulated power cut (%s) during its round-%d \
+              checkpoint save; rerun with --resume (and without crash= in \
+              --disk-faults) to recover@."
+        j point round)
 
 let trace_arg =
   let doc =
@@ -419,7 +456,8 @@ let transfer_cmd =
 
 let hypercube_cmd =
   let run query inline file p seed backend domains faults_spec fault_seed
-      checkpoint resume kill_after trace profile verbose =
+      checkpoint resume kill_after disk_faults_spec disk_fault_seed trace
+      profile verbose =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             let q = Cq.Parser.query query in
@@ -427,7 +465,9 @@ let hypercube_cmd =
             let faults = parse_faults faults_spec fault_seed in
             if not (Faults.Plan.is_none faults) then
               Fmt.pr "faults: %a@." Faults.Plan.pp faults;
-            with_job ~name:"hypercube" checkpoint resume kill_after
+            with_job ~name:"hypercube"
+              ~disk_faults:(parse_disk_faults disk_faults_spec disk_fault_seed)
+              checkpoint resume kill_after
               (fun job ->
                 let result, stats, shares =
                   with_executor backend domains (fun executor ->
@@ -448,8 +488,8 @@ let hypercube_cmd =
     Term.(
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
       $ seed_arg $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg
-      $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ profile_arg
-      $ verbose_arg)
+      $ checkpoint_arg $ resume_arg $ kill_after_arg $ disk_faults_arg
+      $ disk_fault_seed_arg $ trace_arg $ profile_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* kst                                                                 *)
@@ -463,7 +503,8 @@ let kst_cmd =
     Arg.(value & opt (some int) None & info [ "threshold" ] ~docv:"N" ~doc)
   in
   let run query inline file p seed threshold backend domains faults_spec
-      fault_seed checkpoint resume kill_after trace profile verbose =
+      fault_seed checkpoint resume kill_after disk_faults_spec disk_fault_seed
+      trace profile verbose =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             let q = Cq.Parser.query query in
@@ -471,7 +512,9 @@ let kst_cmd =
             let faults = parse_faults faults_spec fault_seed in
             if not (Faults.Plan.is_none faults) then
               Fmt.pr "faults: %a@." Faults.Plan.pp faults;
-            with_job ~name:"kst" checkpoint resume kill_after (fun job ->
+            with_job ~name:"kst"
+              ~disk_faults:(parse_disk_faults disk_faults_spec disk_fault_seed)
+              checkpoint resume kill_after (fun job ->
                 let result, stats, combos =
                   with_executor backend domains (fun executor ->
                       Mpc.Kst.run ~seed ?threshold ~executor ~faults ?job ~p
@@ -492,14 +535,15 @@ let kst_cmd =
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
       $ seed_arg $ threshold_arg $ backend_arg $ domains_arg $ faults_arg
       $ fault_seed_arg $ checkpoint_arg $ resume_arg $ kill_after_arg
-      $ trace_arg $ profile_arg $ verbose_arg)
+      $ disk_faults_arg $ disk_fault_seed_arg $ trace_arg $ profile_arg
+      $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gym                                                                 *)
 
 let gym_cmd =
   let run query inline file p backend domains faults_spec fault_seed checkpoint
-      resume kill_after trace profile verbose =
+      resume kill_after disk_faults_spec disk_fault_seed trace profile verbose =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             let q = Cq.Parser.query query in
@@ -507,7 +551,9 @@ let gym_cmd =
             let faults = parse_faults faults_spec fault_seed in
             if not (Faults.Plan.is_none faults) then
               Fmt.pr "faults: %a@." Faults.Plan.pp faults;
-            with_job ~name:"gym" checkpoint resume kill_after (fun job ->
+            with_job ~name:"gym"
+              ~disk_faults:(parse_disk_faults disk_faults_spec disk_fault_seed)
+              checkpoint resume kill_after (fun job ->
                 let result, stats, width =
                   with_executor backend domains (fun executor ->
                       Mpc.Gym_ghd.run ~executor ~faults ?job ~p q i)
@@ -525,8 +571,8 @@ let gym_cmd =
     Term.(
       const run $ query_arg $ instance_arg $ instance_file_arg $ p_arg
       $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg
-      $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ profile_arg
-      $ verbose_arg)
+      $ checkpoint_arg $ resume_arg $ kill_after_arg $ disk_faults_arg
+      $ disk_fault_seed_arg $ trace_arg $ profile_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* triangle                                                            *)
@@ -542,14 +588,17 @@ let triangle_cmd =
     Arg.(value & opt string "cascade" & info [ "algo" ] ~docv:"ALGO" ~doc)
   in
   let run algo inline file p seed backend domains faults_spec fault_seed
-      checkpoint resume kill_after trace profile verbose =
+      checkpoint resume kill_after disk_faults_spec disk_fault_seed trace
+      profile verbose =
     wrap (fun () ->
         with_obs trace profile (fun () ->
             let i = load_instance inline file in
             let faults = parse_faults faults_spec fault_seed in
             if not (Faults.Plan.is_none faults) then
               Fmt.pr "faults: %a@." Faults.Plan.pp faults;
-            with_job ~name:"triangle" checkpoint resume kill_after (fun job ->
+            with_job ~name:"triangle"
+              ~disk_faults:(parse_disk_faults disk_faults_spec disk_fault_seed)
+              checkpoint resume kill_after (fun job ->
                 let result, stats =
                   with_executor backend domains (fun executor ->
                       match algo with
@@ -579,8 +628,8 @@ let triangle_cmd =
     Term.(
       const run $ algo_arg $ instance_arg $ instance_file_arg $ p_arg
       $ seed_arg $ backend_arg $ domains_arg $ faults_arg $ fault_seed_arg
-      $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ profile_arg
-      $ verbose_arg)
+      $ checkpoint_arg $ resume_arg $ kill_after_arg $ disk_faults_arg
+      $ disk_fault_seed_arg $ trace_arg $ profile_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* calm                                                                *)
@@ -1465,6 +1514,46 @@ let top_cmd =
       $ retries_arg $ interval_arg $ count_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fsck                                                                *)
+
+let fsck_cmd =
+  let dir_arg =
+    let doc =
+      "Checkpoint directory to scan (the --checkpoint=DIR of the runs)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let repair_arg =
+    let doc =
+      "Repair what can be repaired: sweep stale tmp litter, promote a good \
+       previous generation over a damaged slot, prune a damaged previous \
+       generation behind a good slot. A slot with no good generation at all \
+       is only flagged — fsck never deletes the last copy of anything."
+    in
+    Arg.(value & flag & info [ "repair" ] ~doc)
+  in
+  let run dir repair =
+    wrap (fun () ->
+        if not (Sys.file_exists dir && Sys.is_directory dir) then
+          invalid_arg (Fmt.str "no such directory %S" dir);
+        let reports = Jobs.Store.fsck ~repair dir in
+        if reports = [] then Fmt.pr "%s: no checkpoint files@." dir
+        else
+          List.iter (fun r -> Fmt.pr "%a@." Jobs.Store.pp_report r) reports;
+        if not (Jobs.Store.healthy reports) then
+          failwith
+            (if repair then "unrepairable damage remains"
+             else "damaged checkpoint files found (rerun with --repair)"))
+  in
+  let doc =
+    "Scan a checkpoint directory: verify every slot's header, checksum, \
+     generation and job identity, report per-file verdicts (and stale tmp \
+     litter), optionally $(b,--repair). Exits non-zero while any damage is \
+     unrepaired."
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ dir_arg $ repair_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -1481,6 +1570,7 @@ let main_cmd =
       gym_cmd;
       kst_cmd;
       triangle_cmd;
+      fsck_cmd;
       calm_cmd;
       analyze_cmd;
       datalog_cmd;

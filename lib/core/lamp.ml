@@ -44,10 +44,12 @@ end
 module Faults = struct
   module Plan = Lamp_faults.Plan
   module Net = Lamp_faults.Net
+  module Disk = Lamp_faults.Disk
 end
 
 module Jobs = struct
   module Codec = Lamp_jobs.Codec
+  module Io = Lamp_jobs.Io
   module Store = Lamp_jobs.Store
   module Supervisor = Lamp_jobs.Supervisor
 end

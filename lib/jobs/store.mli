@@ -1,37 +1,139 @@
-(** Durable checkpoint store: one latest snapshot per job.
+(** Durable checkpoint store: one slot per job, two generations deep.
 
-    Each job keeps a single slot — saving round [k+1] supersedes round
-    [k]. A slot holds the completed-round number and an opaque payload
-    (produced by the job's snapshot function, typically via {!Codec}).
+    Each job keeps a current slot — saving round [k+1] supersedes
+    round [k] — plus the previous generation, retained at every save
+    so recovery always has a fallback when the freshest slot is
+    damaged. A slot holds a monotonically increasing generation
+    number, the completed-round number and an opaque payload (produced
+    by the job's snapshot function, typically via {!Codec}), under a
+    magic/version header and an MD5 checksum of everything before it.
 
     Two backends share the interface: {!in_memory} (a hashtable, for
-    tests and benchmarks) and {!on_disk} (one file per job under a
-    directory). Disk writes are atomic — payloads are written to a
-    temp file and [rename]d over the slot, so a crash mid-write leaves
-    either the previous checkpoint or the new one, never a torn file.
-    Disk slots carry a magic/version/job header; {!load} rejects
-    mismatched versions or a file saved under a different job name. *)
+    tests and benchmarks) and {!on_disk} (files under a directory, all
+    traffic through the {!Io} shim). The durability contract of the
+    disk backend:
+
+    - {b Atomic, synced saves.} Slot bytes go to a tmp file which is
+      fsynced before being renamed over the slot; the directory is
+      fsynced around the rename. A power cut leaves the previous
+      checkpoint or the new one — never a torn slot under the slot's
+      name, and never a rename that quietly un-happens later.
+    - {b Verified retention.} Before the rename, the old slot is kept
+      as [<job>.ckpt.prev] — but only when it verifies (or was written
+      clean by this process), so a bit-rotted current generation is
+      never allowed to overwrite the last good fallback.
+    - {b Verified recovery.} {!load} fully validates a slot (checksum,
+      header, job identity) before trusting it; a damaged current
+      generation falls back to the previous one, which is promoted
+      back to the slot name. Recovery I/O is never fault-injected.
+      Only when no generation verifies does {!load} report the job as
+      unstarted — checkpoints are recomputable, so the job restarts
+      from round 0 and still produces bit-identical output.
+    - {b Litter sweep.} Stale [*.ckpt.tmp*] files (crash leftovers)
+      are swept when the store opens, counted in the
+      ["store.tmp_swept"] counter. *)
+
+exception Torn of {
+  job : string;
+  path : string;
+  offset : int;  (** Bytes actually present (the slot ends early). *)
+}
+(** The slot ends mid-field — the torn/short-read case. *)
+
+exception Corrupt of {
+  job : string;
+  path : string;
+  reason : string;
+}
+(** The slot is structurally wrong: bad magic, unreadable version,
+    checksum mismatch, or it belongs to a different job. *)
 
 type t
 
 val in_memory : unit -> t
 
-val on_disk : string -> t
+val on_disk : ?faults:Lamp_faults.Disk.t -> string -> t
 (** [on_disk dir] stores each job's checkpoint as [dir/<job>.ckpt]
-    (job names are sanitized to a filesystem-safe form). Creates
-    [dir] if needed.
+    (job names are sanitized to a filesystem-safe form), with the
+    previous generation at [dir/<job>.ckpt.prev]. Creates [dir] if
+    needed and sweeps stale tmp litter. [faults] routes all slot
+    traffic through a deterministic {!Lamp_faults.Disk} plan — saves
+    may tear, lose their rename, rot, truncate, hit [ENOSPC] (retried
+    internally with the plan's sleep hint) or plant litter, exactly as
+    the plan draws.
     @raise Sys_error if the directory cannot be created. *)
 
 val save : t -> job:string -> round:int -> string -> unit
-(** [save store ~job ~round payload] atomically replaces [job]'s slot. *)
+(** [save store ~job ~round payload] atomically replaces [job]'s slot,
+    bumping its generation and retaining the verified previous one.
+    Under a crash plan this may raise {!Io.Crashed} mid-save — the
+    files are left exactly as the simulated power cut would. *)
 
 val load : t -> job:string -> (int * string) option
-(** Latest [(round, payload)] for [job]; [None] if never saved (or
-    cleared).
-    @raise Codec.Corrupt on a damaged or mismatched disk slot. *)
+(** Latest trustworthy [(round, payload)] for [job]: the current
+    generation if it verifies, else the previous one (promoted back to
+    the slot), else [None]. Never raises on damaged slots and never
+    returns unverified bytes. *)
+
+val verify : t -> job:string -> (int * int) option
+(** Full validation of [job]'s {e current} slot without fallback:
+    [(generation, round)] when it verifies, [None] when absent.
+    @raise Torn on a short slot.
+    @raise Corrupt on a structurally damaged one. *)
 
 val clear : t -> job:string -> unit
-(** Drops [job]'s slot; starting a fresh (non-resuming) run does this
-    so a stale checkpoint cannot leak into it. *)
+(** Drops [job]'s slot, previous generation and tmp; starting a fresh
+    (non-resuming) run does this so a stale checkpoint cannot leak
+    into it. *)
 
 val pp : t Fmt.t
+
+(** {1 Recovery instrumentation} *)
+
+val swept : t -> int
+(** Stale tmp files removed when this store opened. *)
+
+val fallbacks : t -> int
+(** Loads that had to fall back to (and promote) the previous
+    generation. Also counted in the ["store.fallbacks"] counter. *)
+
+val lost : t -> int
+(** Loads that found slot files but no verifiable generation — the job
+    restarts from scratch. Also in the ["store.lost"] counter. *)
+
+val injected : t -> (string * int) list
+(** Faults the {!Io} shim actually applied, per kind (empty without a
+    plan). *)
+
+(** {1 fsck} *)
+
+type report = {
+  file : string;  (** Basename within the scanned directory. *)
+  kind : [ `Slot | `Previous | `Tmp ];
+  verdict :
+    [ `Ok of int * int  (** generation, round *)
+    | `Torn of int  (** bytes present *)
+    | `Corrupt of string
+    | `Stale  (** tmp litter *) ];
+  action :
+    [ `None
+    | `Swept  (** litter removed *)
+    | `Promoted  (** good previous generation copied over a bad slot *)
+    | `Pruned  (** bad previous generation removed (slot is good) *)
+    | `Flagged  (** damaged with no good generation to repair from *) ];
+}
+
+val fsck : ?repair:bool -> string -> report list
+(** Scans a checkpoint directory and validates every slot, previous
+    generation and tmp file, sorted by file name. With [repair]:
+    sweeps litter, promotes a good previous generation over a damaged
+    slot, prunes a damaged previous generation behind a good slot;
+    a slot with no good generation at all is only ever flagged — fsck
+    never deletes the last copy of anything. All fsck I/O bypasses
+    fault injection. *)
+
+val healthy : report list -> bool
+(** No damage left behind: every entry either verified [`Ok] or was
+    repaired ([`Swept]/[`Promoted]/[`Pruned]). *)
+
+val pp_report : report Fmt.t

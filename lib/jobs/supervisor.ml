@@ -155,4 +155,11 @@ let pp_outcome ppf t =
     (fun (round, dead) ->
       Fmt.pf ppf "; rebalanced after crash of server %d before round %d" dead
         round)
-    (List.rev t.rebalanced)
+    (List.rev t.rebalanced);
+  let fallbacks = Store.fallbacks t.store and swept = Store.swept t.store in
+  if fallbacks > 0 then
+    Fmt.pf ppf "; recovered %d damaged slot%s from the previous generation"
+      fallbacks
+      (if fallbacks = 1 then "" else "s");
+  if swept > 0 then
+    Fmt.pf ppf "; swept %d stale tmp file%s" swept (if swept = 1 then "" else "s")

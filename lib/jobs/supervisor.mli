@@ -29,7 +29,14 @@
     Checkpoints are fingerprinted: resuming under a different fault
     plan (or algorithm configuration) than the checkpoint was written
     under raises [Invalid_argument] rather than silently mixing
-    incompatible runs. *)
+    incompatible runs.
+
+    Durability is the store's contract, not the supervisor's: a resume
+    whose freshest slot is torn or corrupt transparently falls back to
+    the previous generation ({!Store.load} verifies before trusting),
+    re-running the rounds after it; if no generation verifies at all
+    the job restarts from round 0 — in every case converging to output
+    bit-identical to an uninterrupted run. *)
 
 exception Killed of { job : string; round : int }
 (** The simulated process death: the checkpoint for [round] is on the

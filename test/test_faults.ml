@@ -454,6 +454,122 @@ let test_net_parse () =
   | _ -> Alcotest.fail "out-of-range probability must be rejected"
   | exception Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Disk fault plans (Faults.Disk)                                      *)
+
+module Disk = Lamp_faults.Disk
+
+let test_disk_determinism () =
+  let plan = Disk.make ~seed:21 Disk.chaos in
+  let coords = List.init 40 (fun i -> (Printf.sprintf "job%d" (i mod 5), i)) in
+  (* Pure: the same plan yields the same faults for the same (job,
+     round), however many times and in whatever order it is asked. *)
+  let draw () =
+    List.map (fun (j, r) -> Disk.save plan ~job:j ~round:r) coords
+  in
+  Alcotest.(check bool) "decisions are a pure function of (seed, job, round)"
+    true
+    (draw () = draw ());
+  let other = Disk.make ~seed:22 Disk.chaos in
+  Alcotest.(check bool) "seeds decorrelate" true
+    (List.exists
+       (fun (j, r) ->
+         Disk.save plan ~job:j ~round:r <> Disk.save other ~job:j ~round:r)
+       coords);
+  Alcotest.(check bool) "jobs decorrelate" true
+    (List.exists
+       (fun r ->
+         Disk.save plan ~job:"alpha" ~round:r
+         <> Disk.save plan ~job:"beta" ~round:r)
+       (List.init 20 Fun.id));
+  (* The chaos profile exercises every fault family — and still leaves
+     clean saves — within a modest number of draws. *)
+  let many = List.init 200 (fun i -> (Printf.sprintf "j%d" (i mod 17), i)) in
+  let seen p =
+    List.exists (fun (j, r) -> p (Disk.save plan ~job:j ~round:r)) many
+  in
+  Alcotest.(check bool) "rot occurs" true (seen (fun f -> f.Disk.rot_at <> None));
+  Alcotest.(check bool) "truncation occurs" true
+    (seen (fun (f : Disk.save_faults) -> f.truncate_at <> None));
+  Alcotest.(check bool) "enospc occurs" true
+    (seen (fun (f : Disk.save_faults) -> f.enospc_failures > 0));
+  Alcotest.(check bool) "litter occurs" true
+    (seen (fun (f : Disk.save_faults) -> f.litter));
+  Alcotest.(check bool) "clean saves occur" true
+    (seen (fun f -> f = Disk.no_save_faults));
+  Alcotest.(check bool) "rot masks non-zero, enospc below the retry budget"
+    true
+    (List.for_all
+       (fun (j, r) ->
+         let (f : Disk.save_faults) = Disk.save plan ~job:j ~round:r in
+         (match f.rot_at with
+         | Some (frac, mask) ->
+           frac >= 0.0 && frac < 1.0 && mask >= 1 && mask <= 255
+         | None -> true)
+         && f.enospc_failures >= 0 && f.enospc_failures <= 2)
+       many)
+
+let test_disk_none_and_validation () =
+  Alcotest.(check bool) "none is none" true (Disk.is_none Disk.none);
+  Alcotest.(check bool) "zero spec plans nothing" true
+    (Disk.save (Disk.make ~seed:3 Disk.zero) ~job:"j" ~round:1
+    = Disk.no_save_faults);
+  let reject spec =
+    match Disk.make spec with
+    | _ -> Alcotest.fail "invalid spec must be rejected"
+    | exception Invalid_argument _ -> ()
+  in
+  reject { Disk.zero with rot = 1.5 };
+  reject { Disk.zero with enospc = -0.1 };
+  reject { Disk.zero with crash = Some (2, Disk.Torn_write 1.5) };
+  reject { Disk.zero with crash = Some (-1, Disk.Before_rename) };
+  (* The one-shot crash fires exactly at its round, for every job. *)
+  let p =
+    Disk.make ~seed:4 { Disk.zero with crash = Some (3, Disk.After_rename) }
+  in
+  Alcotest.(check bool) "crash fires only at its round" true
+    ((Disk.save p ~job:"j" ~round:3).crash = Some Disk.After_rename
+    && (Disk.save p ~job:"j" ~round:2).crash = None
+    && (Disk.save p ~job:"j" ~round:4).crash = None
+    && (Disk.save p ~job:"other" ~round:3).crash = Some Disk.After_rename)
+
+let test_disk_parse () =
+  (* of_string round-trips through pp, including the crash field and
+     the @seed suffix. *)
+  let p =
+    Disk.of_string ~seed:7
+      "rot=0.25,truncate=0.1,enospc=0.5,litter=0.75,crash=2:torn:0.5"
+  in
+  let s = Disk.spec p in
+  Alcotest.(check (float 0.0)) "rot parsed" 0.25 s.rot;
+  Alcotest.(check (float 0.0)) "litter parsed" 0.75 s.litter;
+  Alcotest.(check bool) "crash parsed" true
+    (s.crash = Some (2, Disk.Torn_write 0.5));
+  Alcotest.(check int) "seed carried" 7 (Disk.seed p);
+  let echo = Fmt.str "%a" Disk.pp p in
+  let p2 = Disk.of_string echo in
+  Alcotest.(check bool)
+    "pp output parses back to the identical plan (seed included)" true
+    (Disk.spec p2 = s && Disk.seed p2 = 7);
+  List.iter
+    (fun (str, pt) ->
+      Alcotest.(check bool) str true
+        ((Disk.spec (Disk.of_string str)).crash = Some (1, pt)))
+    [
+      ("crash=1:pre-rename", Disk.Before_rename);
+      ("crash=1:post-rename", Disk.After_rename);
+    ];
+  Alcotest.(check bool) "\"none\" parses" true
+    (Disk.is_none (Disk.of_string "none"));
+  Alcotest.(check bool) "\"chaos\" parses" true
+    (Disk.spec (Disk.of_string "chaos") = Disk.chaos);
+  (match Disk.of_string "rot=2.0" with
+  | _ -> Alcotest.fail "out-of-range probability must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Disk.of_string "crash=2:sideways" with
+  | _ -> Alcotest.fail "unknown crash point must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "lamp_faults"
     [
@@ -507,5 +623,13 @@ let () =
           Alcotest.test_case "none and validation" `Quick
             test_net_none_and_validation;
           Alcotest.test_case "of_string and pp" `Quick test_net_parse;
+        ] );
+      ( "disk plans",
+        [
+          Alcotest.test_case "deterministic per (seed, job, round)" `Quick
+            test_disk_determinism;
+          Alcotest.test_case "none and validation" `Quick
+            test_disk_none_and_validation;
+          Alcotest.test_case "of_string and pp" `Quick test_disk_parse;
         ] );
     ]

@@ -13,6 +13,8 @@ module Codec = Lamp_jobs.Codec
 module Store = Lamp_jobs.Store
 module Supervisor = Lamp_jobs.Supervisor
 module Plan = Lamp_faults.Plan
+module Disk = Lamp_faults.Disk
+module Io = Lamp_jobs.Io
 module Executor = Lamp_runtime.Executor
 module Pool = Lamp_runtime.Pool
 module Trace = Lamp_obs.Trace
@@ -256,10 +258,15 @@ let test_store_disk () =
   let s2 = Store.on_disk dir in
   Alcotest.(check bool) "fresh handle reads the slot" true
     (Store.load s2 ~job:"alg/1" = Some (3, "payload\000with\255bytes"));
-  (* Atomic writes never leave temp files behind. *)
+  Store.save s ~job:"alg/1" ~round:4 "next";
+  (* Atomic writes leave only the slot and its retained previous
+     generation behind — never temp files. *)
   let leftovers =
     Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> not (Filename.check_suffix f ".ckpt"))
+    |> List.filter (fun f ->
+           not
+             (Filename.check_suffix f ".ckpt"
+             || Filename.check_suffix f ".ckpt.prev"))
   in
   Alcotest.(check (list string)) "no temp files left" [] leftovers;
   Store.clear s ~job:"alg/1";
@@ -282,17 +289,193 @@ let test_store_disk_rejects_mismatch () =
   output_string oc contents;
   close_out oc;
   (try
-     ignore (Store.load s ~job:"b");
+     ignore (Store.verify s ~job:"b");
      Alcotest.fail "job-name mismatch must raise"
-   with Codec.Corrupt _ -> ());
+   with Store.Corrupt _ -> ());
+  Alcotest.(check bool) "mismatched slot is never loaded" true
+    (Store.load s ~job:"b" = None);
   (* A corrupted magic header is rejected. *)
   let oc = open_out_bin (file "a") in
   output_string oc ("XAMPCKPT" ^ String.sub contents 8 (String.length contents - 8));
   close_out oc;
-  try
-    ignore (Store.load s ~job:"a");
-    Alcotest.fail "bad magic must raise"
-  with Codec.Corrupt _ -> ()
+  (try
+     ignore (Store.verify s ~job:"a");
+     Alcotest.fail "bad magic must raise"
+   with Store.Corrupt _ | Store.Torn _ -> ());
+  Alcotest.(check bool) "corrupt slot with no fallback loads nothing" true
+    (Store.load s ~job:"a" = None);
+  Alcotest.(check int) "both unrecoverable loads are counted" 2 (Store.lost s)
+
+(* In-place file surgery for corruption tests. *)
+let rewrite_file path f =
+  let ic = open_in_bin path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let b = Bytes.of_string raw in
+  f b;
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let flip_byte path off =
+  rewrite_file path (fun b ->
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40)))
+
+let test_store_generations () =
+  let dir = temp_dir () in
+  let s = Store.on_disk dir in
+  Store.save s ~job:"j" ~round:1 "one";
+  Store.save s ~job:"j" ~round:2 "two";
+  Store.save s ~job:"j" ~round:3 "three";
+  let slot = Filename.concat dir "j.ckpt" in
+  let prev = Filename.concat dir "j.ckpt.prev" in
+  Alcotest.(check bool) "previous generation retained" true
+    (Sys.file_exists prev);
+  (* Bit-rot the current slot: a fresh handle must refuse it and fall
+     back to the previous generation. *)
+  flip_byte slot ((Unix.stat slot).Unix.st_size / 2);
+  let s2 = Store.on_disk dir in
+  Alcotest.(check bool) "load falls back one generation" true
+    (Store.load s2 ~job:"j" = Some (2, "two"));
+  Alcotest.(check int) "fallback counted" 1 (Store.fallbacks s2);
+  (* The fallback promoted the good generation back to the slot name:
+     a third handle reads it directly, no fallback needed. *)
+  let s3 = Store.on_disk dir in
+  Alcotest.(check bool) "promoted slot verifies in place" true
+    (match Store.verify s3 ~job:"j" with Some (_, 2) -> true | _ -> false);
+  Alcotest.(check bool) "promoted slot loads directly" true
+    (Store.load s3 ~job:"j" = Some (2, "two") && Store.fallbacks s3 = 0);
+  (* Saving again on the fallen-back state keeps generations monotone:
+     damage both generations and the job reports unstarted instead of
+     ever returning unverified bytes. *)
+  Store.save s3 ~job:"j" ~round:3 "three'";
+  flip_byte slot 40;
+  flip_byte prev 40;
+  let s4 = Store.on_disk dir in
+  Alcotest.(check bool) "no verifiable generation loads nothing" true
+    (Store.load s4 ~job:"j" = None);
+  Alcotest.(check int) "lost counted" 1 (Store.lost s4)
+
+let test_store_sweeps_litter () =
+  let dir = temp_dir () in
+  let plant n =
+    let oc = open_out_bin (Filename.concat dir n) in
+    output_string oc "stale";
+    close_out oc
+  in
+  plant "j.ckpt.tmp";
+  plant "j.ckpt.tmp.3";
+  plant "other.ckpt.tmp.17";
+  let s = Store.on_disk dir in
+  Alcotest.(check int) "all litter swept on open" 3 (Store.swept s);
+  Alcotest.(check (list string)) "directory is clean" []
+    (Sys.readdir dir |> Array.to_list)
+
+let test_store_enospc_retry () =
+  let dir = temp_dir () in
+  let plan = Disk.make ~seed:6 { Disk.zero with enospc = 1.0 } in
+  let s = Store.on_disk ~faults:plan dir in
+  (* Every save's first attempt dies with ENOSPC; the store's internal
+     retry absorbs it and the slot still lands intact. *)
+  Store.save s ~job:"j" ~round:1 "one";
+  Store.save s ~job:"j" ~round:2 "two";
+  Alcotest.(check bool) "saves land despite ENOSPC" true
+    (Store.load s ~job:"j" = Some (2, "two"));
+  Alcotest.(check bool) "ENOSPC injections recorded" true
+    (match List.assoc_opt "enospc" (Store.injected s) with
+    | Some n -> n >= 2
+    | None -> false)
+
+let crash_points =
+  [
+    ("torn:0.25", Disk.Torn_write 0.25);
+    ("torn:0.75", Disk.Torn_write 0.75);
+    ("pre-rename", Disk.Before_rename);
+    ("post-rename", Disk.After_rename);
+  ]
+
+let test_store_crash_leaves_good_generation () =
+  List.iter
+    (fun (pname, point) ->
+      let dir = temp_dir () in
+      let plan = Disk.make ~seed:8 { Disk.zero with crash = Some (2, point) } in
+      let s = Store.on_disk ~faults:plan dir in
+      Store.save s ~job:"j" ~round:1 "one";
+      (match Store.save s ~job:"j" ~round:2 "two" with
+      | () -> Alcotest.fail (pname ^ ": crash must fire during the save")
+      | exception Io.Crashed { round; _ } ->
+        Alcotest.(check int) (pname ^ ": crashed in the round-2 save") 2 round);
+      (* Reboot: a clean store on the same directory must recover the
+         round-1 checkpoint — never a torn slot. *)
+      let s2 = Store.on_disk dir in
+      Alcotest.(check bool)
+        (pname ^ ": recovery reads the last durable generation")
+        true
+        (Store.load s2 ~job:"j" = Some (1, "one")))
+    crash_points
+
+let test_fsck () =
+  let dir = temp_dir () in
+  let s = Store.on_disk dir in
+  let payload j r = Fmt.str "%s-round-%d-%s" j r (String.make 64 'x') in
+  List.iter
+    (fun j ->
+      Store.save s ~job:j ~round:1 (payload j 1);
+      Store.save s ~job:j ~round:2 (payload j 2))
+    [ "a"; "b"; "c" ];
+  let ok (r : Store.report) =
+    match r.verdict with `Ok _ -> true | _ -> false
+  in
+  let clean = Store.fsck dir in
+  Alcotest.(check bool) "clean directory: all ok, zero false positives" true
+    (clean <> [] && List.for_all ok clean && Store.healthy clean);
+  (* Hand corruption: flipped byte mid-payload, truncated header,
+     zeroed generation field, stale tmp litter. *)
+  let file j = Filename.concat dir (j ^ ".ckpt") in
+  flip_byte (file "a") ((Unix.stat (file "a")).Unix.st_size / 2);
+  Unix.truncate (file "b") 10;
+  rewrite_file (file "c") (fun bytes -> Bytes.fill bytes 24 8 '\000');
+  let oc = open_out_bin (Filename.concat dir "a.ckpt.tmp.3") in
+  output_string oc "stale";
+  close_out oc;
+  let reports = Store.fsck dir in
+  let verdict f =
+    match List.find_opt (fun (r : Store.report) -> r.file = f) reports with
+    | Some r -> r.verdict
+    | None -> Alcotest.fail (f ^ " missing from the fsck report")
+  in
+  Alcotest.(check bool) "flipped byte detected" true
+    (match verdict "a.ckpt" with `Ok _ -> false | _ -> true);
+  Alcotest.(check bool) "truncated header reported torn" true
+    (match verdict "b.ckpt" with `Torn n -> n = 10 | _ -> false);
+  Alcotest.(check bool) "zeroed generation reported corrupt" true
+    (match verdict "c.ckpt" with `Corrupt _ -> true | _ -> false);
+  Alcotest.(check bool) "planted litter reported stale" true
+    (verdict "a.ckpt.tmp.3" = `Stale);
+  Alcotest.(check bool) "undamaged previous generations stay ok" true
+    (List.for_all
+       (fun (r : Store.report) ->
+         match r.kind with `Previous -> ok r | `Slot | `Tmp -> true)
+       reports);
+  Alcotest.(check bool) "damage means unhealthy" false (Store.healthy reports);
+  (* Repair: sweep the litter, promote the good previous generations
+     over the damaged slots, leave the directory verifying clean. *)
+  let repaired = Store.fsck ~repair:true dir in
+  Alcotest.(check bool) "repair leaves a healthy directory" true
+    (Store.healthy repaired);
+  Alcotest.(check bool) "post-repair scan is all ok" true
+    (List.for_all ok (Store.fsck dir));
+  let s2 = Store.on_disk dir in
+  Alcotest.(check bool) "repaired slots load a good generation" true
+    (List.for_all
+       (fun j ->
+         match Store.load s2 ~job:j with
+         | Some (r, p) -> (r = 1 || r = 2) && p = payload j r
+         | None -> false)
+       [ "a"; "b"; "c" ])
 
 (* ------------------------------------------------------------------ *)
 (* Cluster snapshot/restore                                            *)
@@ -469,6 +652,100 @@ let test_kill_resume_under_faults () =
     (fun (name, run) ->
       kill_matrix ~executor:Executor.sequential ~faults name run)
     algorithms
+
+(* The crash-point matrix: a simulated power cut at every injected I/O
+   point of every round's checkpoint save. After each crash a clean
+   store on the same directory must resume to output and statistics
+   bit-identical to an uninterrupted run. *)
+let crash_matrix ~executor name (run : algo) =
+  let baseline = run ~executor ~faults:Plan.none () in
+  List.iter
+    (fun (pname, point) ->
+      let r = ref 1 in
+      let continue_ = ref true in
+      let crashed = ref 0 in
+      while !continue_ do
+        if !r > 50 then
+          Alcotest.fail (name ^ ": crash matrix did not terminate");
+        let dir = temp_dir () in
+        let plan =
+          Disk.make ~seed:5 { Disk.zero with crash = Some (!r, point) }
+        in
+        let store = Store.on_disk ~faults:plan dir in
+        let job = Supervisor.create ~store "t" in
+        (match run ~job ~executor ~faults:Plan.none () with
+        | out, stats ->
+          (* The crash round lies beyond the job's last save: the
+             matrix for this point is exhausted. *)
+          Alcotest.check instance
+            (Fmt.str "%s/%s uncrashed run bit-identical" name pname)
+            (fst baseline) out;
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s uncrashed stats bit-identical" name pname)
+            true
+            (snd baseline = stats);
+          continue_ := false
+        | exception Io.Crashed { round; _ } ->
+          incr crashed;
+          Alcotest.(check int)
+            (Fmt.str "%s/%s crashed in the requested save" name pname)
+            !r round;
+          let store = Store.on_disk dir in
+          let job = Supervisor.create ~resume:true ~store "t" in
+          let out, stats = run ~job ~executor ~faults:Plan.none () in
+          Alcotest.check instance
+            (Fmt.str "%s/%s crash=%d output bit-identical" name pname !r)
+            (fst baseline) out;
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s crash=%d stats bit-identical" name pname !r)
+            true
+            (snd baseline = stats));
+        incr r
+      done;
+      Alcotest.(check bool)
+        (Fmt.str "%s/%s: the crash actually fired" name pname)
+        true (!crashed > 0))
+    crash_points
+
+let test_crash_matrix_seq () =
+  List.iter
+    (fun (name, run) -> crash_matrix ~executor:Executor.sequential name run)
+    algorithms
+
+let test_crash_matrix_pool () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let name, run = List.hd algorithms in
+      crash_matrix ~executor:(Executor.pool pool) name run)
+
+(* Satellite: a resume whose freshest checkpoint was damaged on disk
+   falls back one generation — re-running one more round — instead of
+   crashing or restarting, and still converges bit-identically. *)
+let test_resume_falls_back_a_generation () =
+  let name, run = List.hd algorithms in
+  let executor = Executor.sequential in
+  let baseline = run ~executor ~faults:Plan.none () in
+  let dir = temp_dir () in
+  let store = Store.on_disk dir in
+  let job = Supervisor.create ~kill_after_round:2 ~store "t" in
+  (try ignore (run ~job ~executor ~faults:Plan.none ())
+   with Supervisor.Killed _ -> ());
+  let slot = Filename.concat dir "t.ckpt" in
+  flip_byte slot ((Unix.stat slot).Unix.st_size / 2);
+  let store = Store.on_disk dir in
+  let job = Supervisor.create ~resume:true ~store "t" in
+  let out, stats = run ~job ~executor ~faults:Plan.none () in
+  Alcotest.(check bool)
+    (Fmt.str "%s: resumed from the previous generation" name)
+    true
+    (job.Supervisor.resumed_from = Some 1);
+  Alcotest.(check int) "exactly one fallback" 1 (Store.fallbacks store);
+  Alcotest.check instance "output bit-identical after fallback"
+    (fst baseline) out;
+  Alcotest.(check bool) "stats bit-identical after fallback" true
+    (snd baseline = stats)
 
 (* A checkpoint written on one backend resumes on the other with
    bit-identical results. *)
@@ -905,6 +1182,12 @@ let () =
         [
           test_case "memory backend" `Quick test_store_memory;
           test_case "disk backend" `Quick test_store_disk;
+          test_case "generations and fallback" `Quick test_store_generations;
+          test_case "stale tmp litter swept" `Quick test_store_sweeps_litter;
+          test_case "ENOSPC absorbed by retry" `Quick test_store_enospc_retry;
+          test_case "crash leaves a good generation" `Quick
+            test_store_crash_leaves_good_generation;
+          test_case "fsck detects and repairs" `Quick test_fsck;
           test_case "disk mismatch rejected" `Quick
             test_store_disk_rejects_mismatch;
         ] );
@@ -920,6 +1203,10 @@ let () =
           test_case "matrix (seq)" `Quick test_kill_resume_seq;
           test_case "matrix (pool)" `Quick test_kill_resume_pool;
           test_case "matrix under faults" `Quick test_kill_resume_under_faults;
+          test_case "crash-point matrix (seq)" `Quick test_crash_matrix_seq;
+          test_case "crash-point matrix (pool)" `Quick test_crash_matrix_pool;
+          test_case "falls back a generation" `Quick
+            test_resume_falls_back_a_generation;
           test_case "across backends" `Quick test_resume_across_backends;
           test_case "kill from the fault plan" `Quick test_kill_from_plan;
           test_case "fingerprint mismatch rejected" `Quick
